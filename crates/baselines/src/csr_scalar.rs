@@ -1,0 +1,129 @@
+//! The standard one-thread-per-row CSR SpMV (paper Algorithm 1).
+//!
+//! This is the kernel whose execution the paper breaks down in Fig. 2 into
+//! RANDOM ACCESS (gathering `x`), COMPUTE (the inner products) and
+//! MISCELLANEOUS (row pointers, `y`, launch). The probe records each class
+//! separately — `load_x` for the gathers, `fma` for compute, `load_meta` /
+//! `store_y` / `kernel_launch` for the rest — so `dasp-perf` can attribute
+//! time per class.
+//!
+//! SIMT divergence is modelled faithfully: threads are grouped 32 rows to a
+//! warp, and the warp issues FMA slots for `32 * max(len)` cycles while
+//! shorter rows idle. Memory traffic is counted at the actual element
+//! counts (idle lanes do not load).
+
+#![allow(clippy::needless_range_loop)]
+
+use dasp_fp16::Scalar;
+use dasp_simt::warp::WARP_SIZE;
+use dasp_simt::Probe;
+use dasp_sparse::Csr;
+
+use crate::WARPS_PER_BLOCK;
+
+
+/// One-thread-per-row CSR SpMV. No preprocessing: the handle borrows
+/// nothing and converts nothing.
+#[derive(Debug, Clone)]
+pub struct CsrScalar<S: Scalar> {
+    csr: Csr<S>,
+}
+
+impl<S: Scalar> CsrScalar<S> {
+    /// Wraps a CSR matrix (no format conversion happens).
+    pub fn new(csr: &Csr<S>) -> Self {
+        CsrScalar { csr: csr.clone() }
+    }
+
+    /// Computes `y = A x`.
+    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        let csr = &self.csr;
+        assert_eq!(x.len(), csr.cols);
+        let mut y = vec![S::zero(); csr.rows];
+        if csr.rows == 0 {
+            return y;
+        }
+        let n_warps = csr.rows.div_ceil(WARP_SIZE);
+        probe.kernel_launch(n_warps.div_ceil(WARPS_PER_BLOCK) as u64, WARPS_PER_BLOCK as u64);
+
+        for w in 0..n_warps {
+            let lo_row = w * WARP_SIZE;
+            let hi_row = ((w + 1) * WARP_SIZE).min(csr.rows);
+            let mut max_len = 0usize;
+            for i in lo_row..hi_row {
+                let len = csr.row_len(i);
+                max_len = max_len.max(len);
+                probe.load_meta(2, 4); // RowPtr[i], RowPtr[i+1]
+                let mut sum = S::acc_zero();
+                for j in csr.row_ptr[i]..csr.row_ptr[i + 1] {
+                    let c = csr.col_idx[j] as usize;
+                    probe.load_val(1, S::BYTES);
+                    probe.load_idx(1, 4);
+                    probe.load_x(c, S::BYTES);
+                    sum = S::acc_mul_add(sum, csr.vals[j], x[c]);
+                }
+                y[i] = S::from_acc(sum);
+                probe.store_y(1, S::BYTES);
+            }
+            // Issued FMA slots: every lane occupies the warp for the
+            // longest row's duration (divergence).
+            probe.fma((WARP_SIZE * max_len) as u64);
+        }
+        y
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{assert_matches, spmv_exact};
+    use dasp_simt::{CountingProbe, NoProbe};
+    use dasp_sparse::Coo;
+
+    fn sample() -> Csr<f64> {
+        let mut m = Coo::new(40, 40);
+        for r in 0..40usize {
+            for k in 0..(r % 7) {
+                m.push(r, (r + k * 5) % 40, (r + k) as f64 * 0.3 + 1.0);
+            }
+        }
+        m.to_csr()
+    }
+
+    #[test]
+    fn matches_reference() {
+        let csr = sample();
+        let x: Vec<f64> = (0..40).map(|i| (i as f64) * 0.25 - 3.0).collect();
+        let m = CsrScalar::new(&csr);
+        let y = m.spmv(&x, &mut NoProbe);
+        assert_matches(&y, &spmv_exact(&csr, &x), 1e-12);
+    }
+
+    #[test]
+    fn divergence_counts_issued_slots() {
+        // 32 rows: one of length 10, the rest length 1 -> issued = 32*10.
+        let mut m = Coo::<f64>::new(32, 32);
+        for c in 0..10 {
+            m.push(0, c, 1.0);
+        }
+        for r in 1..32 {
+            m.push(r, r, 1.0);
+        }
+        let csr = m.to_csr();
+        let x = vec![1.0f64; 32];
+        let mut probe = CountingProbe::a100();
+        let y = CsrScalar::new(&csr).spmv(&x, &mut probe);
+        let s = probe.stats();
+        assert_eq!(s.fma_ops, 320);
+        // Traffic is the actual element count, not the issued slots.
+        assert_eq!(s.bytes_val, (10 + 31) * 8);
+        assert_eq!(y[0], 10.0);
+    }
+
+    #[test]
+    fn empty_matrix() {
+        let csr = Csr::<f64>::empty(3, 3);
+        let y = CsrScalar::new(&csr).spmv(&[0.0; 3], &mut NoProbe);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+}

@@ -1,0 +1,73 @@
+//! Baseline SpMV methods the paper compares DASP against (Table 1).
+//!
+//! Every method runs on the same [`dasp_simt`] substrate and counts its
+//! traffic through the same [`dasp_simt::Probe`], so the `dasp-perf` cost
+//! model ranks methods by exactly the byte/flop volumes their algorithms
+//! move:
+//!
+//! * [`CsrScalar`] — the standard one-thread-per-row CSR SpMV of the
+//!   paper's Algorithm 1; also the kernel behind the Fig. 2 time breakdown.
+//!   SIMT divergence is modelled by counting *issued* FMA slots
+//!   (`32 x max_row_len` per warp).
+//! * [`CsrVector`] — warp-per-row CSR SpMV with power-of-two sub-warps
+//!   sized to the mean row length; our stand-in for the closed-source
+//!   cuSPARSE `cusparseSpMV()` CSR path (see DESIGN.md).
+//! * [`Csr5`] — CSR5 (Liu & Vinter, ICS '15): nonzeros partitioned into
+//!   balanced 32 x sigma tiles, per-tile segmented sums, tile descriptors.
+//! * [`TileSpmv`] — TileSpMV-like 2-D tiling (Niu et al., IPDPS '21):
+//!   16x16 tiles, per-tile format choice (dense bitmap vs tile-CSR),
+//!   x reuse within tile columns, per-tile metadata overhead.
+//! * [`LsrbCsr`] — LSRB-CSR-like segment-balanced CSR (Liu et al.,
+//!   ICPADS '15), rebuilt from its abstract: equal-nnz segments with
+//!   per-segment descriptors and cross-segment carries.
+//! * [`BsrSpmv`] — block SpMV over [`dasp_sparse::Bsr`] with explicit zero
+//!   fill-in; our stand-in for `cusparse?bsrmv()`. [`BsrSpmv::best_of`]
+//!   mirrors the paper's "best of 2x2/4x4/8x8" evaluation rule.
+//!
+//! Beyond the paper's set, three related-work formats the paper cites are
+//! implemented as extension comparisons: [`MergeCsr`] (merge-based CSR,
+//! Merrill & Garland SC '16, reference \[73\]), [`SellCSigma`] (SELL-C-sigma,
+//! Kreutzer et al. 2014, reference \[51\]) and [`Hyb`] (ELL + COO, Bell &
+//! Garland SC '09, reference \[8\]).
+//!
+//! [`Baseline`] wraps the methods behind one dispatch enum for the
+//! experiment drivers, and the [`mod@reference`] module
+//! holds the exact CPU ground truth.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bsr;
+pub mod csr5;
+pub mod csr_scalar;
+pub mod csr_vector;
+pub mod hyb;
+pub mod lsrb;
+pub mod merge_csr;
+pub mod method;
+pub mod reference;
+pub mod sell;
+pub mod tilespmv;
+
+/// Warps per thread block used by every baseline's launch accounting
+/// (matching `dasp_core::consts::WARPS_PER_BLOCK`).
+pub(crate) const WARPS_PER_BLOCK: usize = 4;
+
+/// Accumulates an accumulator value into a storage-precision slot — the
+/// boundary-row carry used by the segmented methods (an atomic add on
+/// hardware, which operates at the storage width of `y`).
+#[inline]
+pub(crate) fn acc_spill<S: dasp_fp16::Scalar>(current: S, add: S::Acc) -> S {
+    S::from_acc(S::acc_add(S::acc_from_f64(current.to_f64()), add))
+}
+
+pub use bsr::BsrSpmv;
+pub use csr5::Csr5;
+pub use csr_scalar::CsrScalar;
+pub use csr_vector::CsrVector;
+pub use hyb::Hyb;
+pub use lsrb::LsrbCsr;
+pub use merge_csr::MergeCsr;
+pub use method::Baseline;
+pub use sell::SellCSigma;
+pub use tilespmv::TileSpmv;

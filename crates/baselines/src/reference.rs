@@ -1,0 +1,47 @@
+//! Exact CPU ground truth and comparison helpers shared by the test suites.
+
+use dasp_fp16::Scalar;
+use dasp_sparse::Csr;
+
+/// Computes `y = A x` sequentially in `f64`, regardless of storage
+/// precision. Thin wrapper over [`Csr::spmv_reference`] kept here so all
+/// method crates name the same oracle.
+pub fn spmv_exact<S: Scalar>(csr: &Csr<S>, x: &[S]) -> Vec<f64> {
+    csr.spmv_reference(x)
+}
+
+/// Asserts `got` (storage precision) matches `want` (f64 oracle) within
+/// `rel` relative tolerance against a magnitude floor of 1.0.
+pub fn assert_matches<S: Scalar>(got: &[S], want: &[f64], rel: f64) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, &w)) in got.iter().zip(want).enumerate() {
+        let g = g.to_f64();
+        assert!(
+            (g - w).abs() <= rel * w.abs().max(1.0),
+            "row {i}: got {g} want {w}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_sparse::Coo;
+
+    #[test]
+    fn oracle_is_the_csr_reference() {
+        let mut m = Coo::<f64>::new(2, 2);
+        m.push(0, 0, 3.0);
+        m.push(1, 1, -2.0);
+        let csr = m.to_csr();
+        let x = vec![2.0, 5.0];
+        assert_eq!(spmv_exact(&csr, &x), vec![6.0, -10.0]);
+        assert_matches(&[6.0, -10.0], &[6.0, -10.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row 1")]
+    fn mismatch_is_detected() {
+        assert_matches(&[1.0, 2.0], &[1.0, 3.0], 1e-6);
+    }
+}

@@ -1,0 +1,113 @@
+//! Ablation benches for DASP's design choices (DESIGN.md calls these out):
+//!
+//! * the medium-rows fill `threshold` (paper fixes 0.75),
+//! * the `MAX_LEN` long/medium boundary (paper fixes 256),
+//! * short-row piecing vs padding everything to length-4 blocks.
+//!
+//! Each prints the modeled A100 time across the parameter sweep, then times
+//! the corresponding conversions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dasp_core::{DaspMatrix, DaspParams};
+use dasp_matgen::dense_vector;
+use dasp_perf::{a100, estimate, Precision};
+use dasp_simt::CountingProbe;
+use dasp_sparse::Csr;
+
+fn modeled_time(csr: &Csr<f64>, params: DaspParams) -> f64 {
+    let dev = a100();
+    let d = DaspMatrix::with_params(csr, params);
+    let x = dense_vector(csr.cols, 42);
+    let mut probe = CountingProbe::new(dev.l2_cache());
+    let _ = d.spmv(&x, &mut probe);
+    estimate(&probe.stats(), &dev, Precision::Fp64).seconds
+}
+
+fn bench(c: &mut Criterion) {
+    // Varied medium-row lengths: the trailing 8x4 window of each sorted
+    // row-block lands at different fill levels, so the threshold decides
+    // how much becomes zero-padded regular blocks vs irregular remainder.
+    let csr = dasp_matgen::uniform_random_var(20_000, 20_000, 6, 40, 701);
+
+    println!("[ablation] threshold sweep (paper value 0.75):");
+    for th in [0.1, 0.3, 0.5, 0.75, 0.9, 1.0] {
+        let t = modeled_time(
+            &csr,
+            DaspParams {
+                max_len: 256,
+                threshold: th,
+                short_piecing: true,
+            },
+        );
+        println!("[ablation]   threshold {th:5.3} -> {:8.2} us", t * 1e6);
+    }
+
+    // Rows spread across 32..768 nonzeros: MAX_LEN decides which are cut
+    // into long-row groups vs processed as (very ragged) medium row-blocks.
+    let skew = dasp_matgen::uniform_random_var(5_000, 5_000, 32, 768, 702);
+    println!("[ablation] MAX_LEN sweep on rows of 32..768 nonzeros (paper value 256):");
+    for ml in [64usize, 128, 256, 512, 1024] {
+        let t = modeled_time(
+            &skew,
+            DaspParams {
+                max_len: ml,
+                threshold: 0.75,
+                short_piecing: true,
+            },
+        );
+        println!("[ablation]   max_len {ml:5} -> {:8.2} us", t * 1e6);
+    }
+
+    // Short-row piecing vs plain zero-padding: the paper's §3.3.3 claim
+    // that piecing "effectively reduces the data transfer overhead".
+    let shorts = dasp_matgen::uniform_random_var(150_000, 150_000, 1, 3, 703);
+    let pieced = modeled_time(&shorts, DaspParams::default());
+    let padded = modeled_time(
+        &shorts,
+        DaspParams {
+            short_piecing: false,
+            ..DaspParams::default()
+        },
+    );
+    println!(
+        "[ablation] short-row piecing: pieced {:.2} us vs padded-only {:.2} us ({:.2}x)",
+        pieced * 1e6,
+        padded * 1e6,
+        padded / pieced
+    );
+
+    let mut g = c.benchmark_group("ablation_conversion");
+    dasp_bench::configure(&mut g);
+    for th in [0.5f64, 0.75, 1.0] {
+        g.bench_with_input(BenchmarkId::new("threshold", format!("{th}")), &th, |b, &th| {
+            b.iter(|| {
+                DaspMatrix::with_params(
+                    &csr,
+                    DaspParams {
+                        max_len: 256,
+                        threshold: th,
+                        short_piecing: true,
+                    },
+                )
+            })
+        });
+    }
+    for ml in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::new("max_len", format!("{ml}")), &ml, |b, &ml| {
+            b.iter(|| {
+                DaspMatrix::with_params(
+                    &skew,
+                    DaspParams {
+                        max_len: ml,
+                        threshold: 0.75,
+                        short_piecing: true,
+                    },
+                )
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 1 bench: FP64 effective bandwidth of CSR5 / cuSPARSE-CSR / DASP
+//! on a large matrix — the paper's headline scatter, as a bench series.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dasp_bench::report_measurement;
+use dasp_matgen::{banded, dense_vector};
+use dasp_perf::{a100, measure, MethodKind};
+
+fn bench(c: &mut Criterion) {
+    let dev = a100();
+    // One matrix comfortably above the large-matrix cut.
+    let csr = banded(60_000, 80, 24, 801);
+    for method in [MethodKind::Csr5, MethodKind::VendorCsr, MethodKind::Dasp] {
+        report_measurement("fig01", "banded-large", method, &csr);
+    }
+    println!("[fig01] measured-peak reference: {} GB/s", dev.mem_bw_gbs);
+
+    let x = dense_vector(csr.cols, 42);
+    let mut g = c.benchmark_group("fig01_bandwidth");
+    dasp_bench::configure(&mut g);
+    for method in [MethodKind::Csr5, MethodKind::VendorCsr, MethodKind::Dasp] {
+        g.bench_with_input(
+            BenchmarkId::new(method.name(), "banded-large"),
+            &method,
+            |b, &m| b.iter(|| measure(m, &csr, &x, &dev)),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 2 bench: the CSR-scalar kernel whose RANDOM/COMPUTE/MISC
+//! breakdown motivates the paper. Prints the attribution per structural
+//! class and times the instrumented kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dasp_bench::bench_matrices;
+use dasp_matgen::dense_vector;
+use dasp_perf::{a100, measure, MethodKind};
+
+fn bench(c: &mut Criterion) {
+    let dev = a100();
+    let mats = bench_matrices();
+    for (name, csr) in &mats {
+        let x = dense_vector(csr.cols, 42);
+        let m = measure(MethodKind::CsrScalar, csr, &x, &dev);
+        let (r, comp, misc) = m.estimate.shares();
+        println!(
+            "[fig02] {name}: random {:.1}%  compute {:.1}%  misc {:.1}%  (paper avg: 25.1 / 21.1 / 53.8)",
+            r * 100.0,
+            comp * 100.0,
+            misc * 100.0
+        );
+    }
+    let mut g = c.benchmark_group("fig02_breakdown");
+    dasp_bench::configure(&mut g);
+    for (name, csr) in &mats {
+        let x = dense_vector(csr.cols, 42);
+        g.bench_with_input(BenchmarkId::new("csr-scalar", name), &(), |b, _| {
+            b.iter(|| measure(MethodKind::CsrScalar, csr, &x, &dev))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

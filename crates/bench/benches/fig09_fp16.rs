@@ -1,0 +1,41 @@
+//! Figure 9 bench: FP16 DASP vs the vendor CSR path on both device models.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dasp_bench::{bench_matrices, report_measurement_fp16};
+use dasp_fp16::F16;
+use dasp_matgen::dense_vector;
+use dasp_perf::{a100, h800, measure, MethodKind};
+use dasp_sparse::Csr;
+
+fn bench(c: &mut Criterion) {
+    let mats = bench_matrices();
+    for dev in [a100(), h800()] {
+        for (name, csr) in &mats {
+            for method in [MethodKind::Dasp, MethodKind::VendorCsr] {
+                report_measurement_fp16("fig09", name, method, csr, &dev);
+            }
+        }
+    }
+
+    let dev = a100();
+    let mut g = c.benchmark_group("fig09_fp16");
+    dasp_bench::configure(&mut g);
+    for (name, csr) in &mats {
+        let h: Csr<F16> = csr.cast();
+        let x: Vec<F16> = dense_vector(h.cols, 42)
+            .iter()
+            .map(|&v| F16::from_f64(v))
+            .collect();
+        for method in [MethodKind::Dasp, MethodKind::VendorCsr] {
+            g.bench_with_input(
+                BenchmarkId::new(method.name(), name),
+                &method,
+                |b, &m| b.iter(|| measure(m, &h, &x, &dev)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

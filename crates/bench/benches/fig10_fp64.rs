@@ -1,0 +1,35 @@
+//! Figure 10 bench: FP64 SpMV, all six methods.
+//!
+//! Prints each method's modeled A100 metrics (the figure's data series) and
+//! times the simulated kernels with Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dasp_bench::{bench_matrices, report_measurement};
+use dasp_matgen::dense_vector;
+use dasp_perf::{a100, measure, MethodKind};
+
+fn bench(c: &mut Criterion) {
+    let dev = a100();
+    let mats = bench_matrices();
+    for (name, csr) in &mats {
+        for method in MethodKind::fp64_set() {
+            report_measurement("fig10", name, method, csr);
+        }
+    }
+    let mut g = c.benchmark_group("fig10_fp64");
+    dasp_bench::configure(&mut g);
+    for (name, csr) in &mats {
+        let x = dense_vector(csr.cols, 42);
+        for method in MethodKind::fp64_set() {
+            g.bench_with_input(
+                BenchmarkId::new(method.name(), name),
+                &(method, csr, &x),
+                |b, (m, csr, x)| b.iter(|| measure(*m, csr, x, &dev)),
+            );
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Figure 11 bench: the 21 Table-2 analogs. Prints the FP64 series for
+//! every matrix and times a class-spanning subset with Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dasp_matgen::{dense_vector, representative};
+use dasp_perf::{a100, measure, MethodKind};
+
+fn bench(c: &mut Criterion) {
+    let dev = a100();
+    let reps = representative();
+    for r in &reps {
+        let x = dense_vector(r.matrix.cols, 42);
+        let mut line = format!("[fig11] {:16}", r.name);
+        for method in MethodKind::fp64_set() {
+            let m = measure(method, &r.matrix, &x, &dev);
+            line.push_str(&format!(" {}={:.1}", method.name(), m.gflops));
+        }
+        println!("{line}");
+    }
+
+    let mut g = c.benchmark_group("fig11_representative");
+    dasp_bench::configure(&mut g);
+    for name in ["mc2depi", "cant", "dc2", "mip1"] {
+        let r = reps.iter().find(|r| r.name == name).expect("known analog");
+        let x = dense_vector(r.matrix.cols, 42);
+        g.bench_with_input(BenchmarkId::new("dasp", name), &(), |b, _| {
+            b.iter(|| measure(MethodKind::Dasp, &r.matrix, &x, &dev))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

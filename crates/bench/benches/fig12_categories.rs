@@ -1,0 +1,40 @@
+//! Figure 12 / Table 2 bench: category statistics of the 21 representative
+//! analogs (printed as the figure's data) and the cost of computing them
+//! (format conversion + stats) under Criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dasp_core::DaspMatrix;
+use dasp_matgen::representative;
+
+fn bench(c: &mut Criterion) {
+    let reps = representative();
+    for r in &reps {
+        let d = DaspMatrix::from_csr(&r.matrix);
+        let s = d.category_stats();
+        println!(
+            "[fig12] {:16} rows L/M/S/E = {}/{}/{}/{}  nnz L/M/S = {}/{}/{}  fill {:.2}%",
+            r.name,
+            s.rows_long,
+            s.rows_medium,
+            s.rows_short,
+            s.rows_empty,
+            s.nnz_long,
+            s.nnz_medium,
+            s.nnz_short,
+            100.0 * s.fill_rate()
+        );
+    }
+
+    let mut g = c.benchmark_group("fig12_category_stats");
+    dasp_bench::configure(&mut g);
+    for name in ["mc2depi", "FullChip", "mip1"] {
+        let r = reps.iter().find(|r| r.name == name).expect("known analog");
+        g.bench_with_input(BenchmarkId::new("convert_and_stats", name), &(), |b, _| {
+            b.iter(|| DaspMatrix::from_csr(&r.matrix).category_stats())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! Figure 13 bench: **real wall-clock** preprocessing cost of converting
+//! CSR into each method's format. Unlike the kernel figures this one is a
+//! genuine measurement, not a model: the conversion algorithms are the
+//! paper's own, running on the CPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dasp_baselines::{BsrSpmv, Csr5, LsrbCsr, TileSpmv};
+use dasp_bench::bench_matrices;
+use dasp_core::DaspMatrix;
+
+fn bench(c: &mut Criterion) {
+    let mats = bench_matrices();
+    let mut g = c.benchmark_group("fig13_preprocessing");
+    dasp_bench::configure(&mut g);
+    for (name, csr) in &mats {
+        g.bench_with_input(BenchmarkId::new("dasp", name), csr, |b, csr| {
+            b.iter(|| DaspMatrix::from_csr(csr))
+        });
+        g.bench_with_input(BenchmarkId::new("csr5", name), csr, |b, csr| {
+            b.iter(|| Csr5::new(csr))
+        });
+        g.bench_with_input(BenchmarkId::new("tilespmv", name), csr, |b, csr| {
+            b.iter(|| TileSpmv::new(csr))
+        });
+        g.bench_with_input(BenchmarkId::new("bsr4", name), csr, |b, csr| {
+            b.iter(|| BsrSpmv::new(csr, 4))
+        });
+        g.bench_with_input(BenchmarkId::new("lsrb", name), csr, |b, csr| {
+            b.iter(|| LsrbCsr::new(csr))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

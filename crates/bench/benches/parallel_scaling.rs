@@ -1,0 +1,33 @@
+//! Host-side scaling: the multi-threaded `spmv_par` against the sequential
+//! simulator path, wall-clock. This benchmarks the *reproduction's* CPU
+//! performance (relevant for running large experiments and the solver
+//! examples), not the modeled GPU.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dasp_core::DaspMatrix;
+use dasp_matgen::dense_vector;
+use dasp_simt::NoProbe;
+
+fn bench(c: &mut Criterion) {
+    let mats = [
+        ("banded-1.6M", dasp_matgen::banded(40_000, 60, 40, 951)),
+        ("circuit-300k", dasp_matgen::circuit_like(90_000, 12, 8000, 952)),
+    ];
+    let mut g = c.benchmark_group("spmv_host");
+    dasp_bench::configure(&mut g);
+    g.measurement_time(std::time::Duration::from_millis(1500));
+    for (name, csr) in &mats {
+        let d = DaspMatrix::from_csr(csr);
+        let x = dense_vector(csr.cols, 5);
+        g.bench_with_input(BenchmarkId::new("sequential", name), &(), |b, _| {
+            b.iter(|| d.spmv(&x, &mut NoProbe))
+        });
+        g.bench_with_input(BenchmarkId::new("parallel", name), &(), |b, _| {
+            b.iter(|| d.spmv_par(&x))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,466 @@
+//! `dasp-experiments` — regenerate the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! dasp-experiments [--out DIR] [fig1|fig2|fig9|fig10|fig11|fig12|fig13|table1|table2|all]
+//! ```
+//!
+//! Each experiment prints a text summary and writes a CSV into the output
+//! directory (default `./results`).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use dasp_cli::experiments::{ext_merge, fig01, fig02, fig09, fig10, fig11, fig12, fig13, table1, table2};
+use dasp_cli::output::{f2, f3, text_table, write_csv};
+use dasp_perf::MethodKind;
+
+fn main() -> ExitCode {
+    let mut out_dir = PathBuf::from("results");
+    let mut targets: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => match args.next() {
+                Some(d) => out_dir = PathBuf::from(d),
+                None => {
+                    eprintln!("--out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: dasp-experiments [--out DIR] \
+                     [fig1|fig2|fig9|fig10|fig11|fig12|fig13|table1|table2|ext1|all]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            t => targets.push(t.to_string()),
+        }
+    }
+    if targets.is_empty() {
+        targets.push("all".to_string());
+    }
+    const KNOWN: [&str; 11] = [
+        "all", "table1", "table2", "fig1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13",
+        "ext1",
+    ];
+    for t in &targets {
+        if !KNOWN.contains(&t.as_str()) {
+            eprintln!("unknown experiment '{t}'; known: {}", KNOWN.join(", "));
+            return ExitCode::FAILURE;
+        }
+    }
+    let all = targets.iter().any(|t| t == "all");
+    let want = |name: &str| all || targets.iter().any(|t| t == name);
+
+    if want("table1") {
+        run_table1();
+    }
+    if want("table2") {
+        run_table2(&out_dir);
+    }
+    if want("fig1") {
+        run_fig1(&out_dir);
+    }
+    if want("fig2") {
+        run_fig2(&out_dir);
+    }
+    if want("fig9") {
+        run_fig9(&out_dir);
+    }
+    if want("fig10") {
+        run_fig10(&out_dir);
+    }
+    if want("fig11") {
+        run_fig11(&out_dir);
+    }
+    if want("fig12") {
+        run_fig12(&out_dir);
+    }
+    if want("fig13") {
+        run_fig13(&out_dir);
+    }
+    if want("ext1") {
+        run_ext_merge(&out_dir);
+    }
+    println!("\nCSV outputs in {}", out_dir.display());
+    ExitCode::SUCCESS
+}
+
+fn run_ext_merge(out: &std::path::Path) {
+    let f = ext_merge::run();
+    println!("== Extension: DASP vs related-work formats the paper cites ==");
+    println!(
+        "vs merge-csr:    geomean {}x  max {}x  wins {}/{}  (load balance neutralized; remaining gap = MMA compute path)",
+        f2(f.summary.geomean),
+        f2(f.summary.max),
+        f.summary.wins,
+        f.summary.total
+    );
+    println!(
+        "vs sell-c-sigma: geomean {}x  max {}x  wins {}/{}",
+        f2(f.summary_sell.geomean),
+        f2(f.summary_sell.max),
+        f.summary_sell.wins,
+        f.summary_sell.total
+    );
+    println!(
+        "vs hyb:          geomean {}x  max {}x  wins {}/{}\n",
+        f2(f.summary_hyb.geomean),
+        f2(f.summary_hyb.max),
+        f.summary_hyb.wins,
+        f.summary_hyb.total
+    );
+    let _ = write_csv(
+        out,
+        "ext_related_work.csv",
+        &["matrix", "nnz", "dasp_gflops", "merge_gflops", "sell_gflops", "hyb_gflops"],
+        &f.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.nnz.to_string(),
+                    f3(r.dasp_gflops),
+                    f3(r.merge_gflops),
+                    f3(r.sell_gflops),
+                    f3(r.hyb_gflops),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn run_table1() {
+    let t = table1::run();
+    println!("== Table 1: hardware and algorithms ==");
+    let rows: Vec<Vec<String>> = t
+        .devices
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.to_string(),
+                f2(d.mem_bw_gbs),
+                f2(d.fp64_tc_tflops),
+                f2(d.fp16_tc_tflops),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(&["device", "bw GB/s", "fp64 TC TF", "fp16 TC TF"], &rows)
+    );
+    println!("algorithms: {}\n", t.algorithms.join(", "));
+}
+
+fn run_table2(out: &std::path::Path) {
+    let t = table2::run();
+    println!("== Table 2: 21 representative matrices (paper vs analog) ==");
+    let rows: Vec<Vec<String>> = t
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                format!("{}x{}", r.paper_shape.0, r.paper_shape.1),
+                r.paper_nnz.to_string(),
+                format!("{}x{}", r.analog_shape.0, r.analog_shape.1),
+                r.analog_nnz.to_string(),
+                f2(r.analog_mean_len),
+                r.analog_max_len.to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["matrix", "paper size", "paper nnz", "analog size", "analog nnz", "mean len", "max len"],
+            &rows
+        )
+    );
+    let _ = write_csv(
+        out,
+        "table2.csv",
+        &["matrix", "paper_rows", "paper_cols", "paper_nnz", "analog_rows", "analog_cols", "analog_nnz"],
+        &t.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.to_string(),
+                    r.paper_shape.0.to_string(),
+                    r.paper_shape.1.to_string(),
+                    r.paper_nnz.to_string(),
+                    r.analog_shape.0.to_string(),
+                    r.analog_shape.1.to_string(),
+                    r.analog_nnz.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn run_fig1(out: &std::path::Path) {
+    let f = fig01::run();
+    println!("== Figure 1: FP64 bandwidth on large matrices (A100 model) ==");
+    println!(
+        "matrices: {}   measured-peak: {} GB/s",
+        f.rows.len(),
+        f.peak_bw
+    );
+    println!(
+        "geomean bandwidth GB/s  csr5: {}  cusparse-csr: {}  dasp: {}\n",
+        f2(f.geomeans.0),
+        f2(f.geomeans.1),
+        f2(f.geomeans.2)
+    );
+    let _ = write_csv(
+        out,
+        "fig01_bandwidth.csv",
+        &["matrix", "nnz", "csr5_gbs", "cusparse_csr_gbs", "dasp_gbs"],
+        &f.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.nnz.to_string(),
+                    f3(r.csr5),
+                    f3(r.vendor_csr),
+                    f3(r.dasp),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn run_fig2(out: &std::path::Path) {
+    let f = fig02::run();
+    println!("== Figure 2: CSR SpMV time breakdown (A100 model) ==");
+    println!(
+        "corpus mean shares   random: {:.1}%  compute: {:.1}%  misc: {:.1}%   (paper: 25.1 / 21.1 / 53.8)\n",
+        100.0 * f.mean.0,
+        100.0 * f.mean.1,
+        100.0 * f.mean.2
+    );
+    let _ = write_csv(
+        out,
+        "fig02_breakdown.csv",
+        &["matrix", "nnz", "random", "compute", "misc"],
+        &f.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.nnz.to_string(),
+                    f3(r.random),
+                    f3(r.compute),
+                    f3(r.misc),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn run_fig9(out: &std::path::Path) {
+    let f = fig09::run();
+    println!("== Figure 9: FP16 DASP vs cuSPARSE-CSR (corpus) ==");
+    for d in &f.devices {
+        println!(
+            "{}: geomean {}x  max {}x  wins {}/{}   (paper: 1.70x A100 / 1.75x H800)",
+            d.device,
+            f2(d.summary.geomean),
+            f2(d.summary.max),
+            d.summary.wins,
+            d.summary.total
+        );
+        let _ = write_csv(
+            out,
+            &format!("fig09_fp16_{}.csv", d.device.to_lowercase()),
+            &["matrix", "nnz", "dasp_gflops", "cusparse_gflops", "speedup"],
+            &d.rows
+                .iter()
+                .map(|r| {
+                    vec![
+                        r.name.clone(),
+                        r.nnz.to_string(),
+                        f3(r.dasp_gflops),
+                        f3(r.vendor_gflops),
+                        f3(r.speedup),
+                    ]
+                })
+                .collect::<Vec<_>>(),
+        );
+    }
+    println!();
+}
+
+fn run_fig10(out: &std::path::Path) {
+    let f = fig10::run();
+    println!("== Figure 10: FP64, six methods on the A100 (corpus) ==");
+    let paper = [
+        ("csr5", 1.46),
+        ("tilespmv", 2.09),
+        ("lsrb-csr", 3.29),
+        ("cusparse-bsr", 2.08),
+        ("cusparse-csr", 1.52),
+    ];
+    let rows: Vec<Vec<String>> = f
+        .speedups
+        .iter()
+        .map(|(m, s)| {
+            let p = paper
+                .iter()
+                .find(|(n, _)| *n == m.name())
+                .map(|(_, v)| format!("{v:.2}"))
+                .unwrap_or_default();
+            vec![
+                m.name().to_string(),
+                f2(s.geomean),
+                f2(s.max),
+                format!("{}/{}", s.wins, s.total),
+                p,
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        text_table(
+            &["dasp vs", "geomean", "max", "wins", "paper geomean"],
+            &rows
+        )
+    );
+    let header = [
+        "matrix",
+        "group",
+        "nnz",
+        "dasp",
+        "csr5",
+        "tilespmv",
+        "lsrb_csr",
+        "cusparse_bsr",
+        "cusparse_csr",
+    ];
+    let _ = write_csv(
+        out,
+        "fig10_fp64_gflops.csv",
+        &header,
+        &f.rows
+            .iter()
+            .map(|r| {
+                let mut v = vec![r.name.clone(), r.group.to_string(), r.nnz.to_string()];
+                v.extend(r.gflops.iter().map(|&g| f3(g)));
+                v
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn run_fig11(out: &std::path::Path) {
+    let f = fig11::run();
+    println!("== Figure 11a: FP64 GFlops, 21 representative matrices (A100) ==");
+    let methods: Vec<&str> = MethodKind::fp64_set().iter().map(|m| m.name()).collect();
+    let mut header = vec!["matrix"];
+    header.extend(methods.iter().copied());
+    let rows: Vec<Vec<String>> = f
+        .fp64
+        .iter()
+        .map(|r| {
+            let mut v = vec![r.name.to_string()];
+            v.extend(r.gflops.iter().map(|&g| f2(g)));
+            v
+        })
+        .collect();
+    println!("{}", text_table(&header, &rows));
+    let _ = write_csv(out, "fig11a_fp64_representative.csv", &header, &rows);
+
+    println!("== Figure 11b: FP16 GFlops, 21 representative matrices ==");
+    let header16 = ["matrix", "a100_dasp", "a100_cusparse", "h800_dasp", "h800_cusparse"];
+    let rows16: Vec<Vec<String>> = f
+        .fp16
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                f2(r.a100.0),
+                f2(r.a100.1),
+                f2(r.h800.0),
+                f2(r.h800.1),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&header16, &rows16));
+    let _ = write_csv(out, "fig11b_fp16_representative.csv", &header16, &rows16);
+}
+
+fn run_fig12(out: &std::path::Path) {
+    let f = fig12::run();
+    println!("== Figure 12: category ratios, 21 representative matrices ==");
+    let header = [
+        "matrix", "rows_long", "rows_med", "rows_short", "rows_empty", "nnz_long", "nnz_med",
+        "nnz_short", "fill_rate",
+    ];
+    let rows: Vec<Vec<String>> = f
+        .rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.to_string(),
+                f3(r.row_ratio.0),
+                f3(r.row_ratio.1),
+                f3(r.row_ratio.2),
+                f3(r.row_ratio.3),
+                f3(r.nnz_ratio.0),
+                f3(r.nnz_ratio.1),
+                f3(r.nnz_ratio.2),
+                f3(r.fill_rate),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&header, &rows));
+    let _ = write_csv(out, "fig12_categories.csv", &header, &rows);
+}
+
+fn run_fig13(out: &std::path::Path) {
+    let f = fig13::run();
+    println!("== Figure 13: preprocessing cost (CPU wall-clock) ==");
+    // Print a decile summary instead of every matrix.
+    let n = f.rows.len();
+    let pick: Vec<usize> = (0..10).map(|k| k * n.saturating_sub(1) / 9).collect();
+    let header = ["matrix", "nnz", "dasp_us", "csr5_us", "tilespmv_us", "bsr_us", "lsrb_us"];
+    let rows: Vec<Vec<String>> = pick
+        .iter()
+        .map(|&i| {
+            let r = &f.rows[i];
+            vec![
+                r.name.clone(),
+                r.nnz.to_string(),
+                f2(r.dasp_us),
+                f2(r.csr5_us),
+                f2(r.tilespmv_us),
+                f2(r.bsr_us),
+                f2(r.lsrb_us),
+            ]
+        })
+        .collect();
+    println!("{}", text_table(&header, &rows));
+    let _ = write_csv(
+        out,
+        "fig13_preprocessing.csv",
+        &header,
+        &f.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.nnz.to_string(),
+                    f2(r.dasp_us),
+                    f2(r.csr5_us),
+                    f2(r.tilespmv_us),
+                    f2(r.bsr_us),
+                    f2(r.lsrb_us),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}

@@ -1,0 +1,225 @@
+//! `dasp-spmv` — one-shot SpMV on a Matrix Market file.
+//!
+//! ```text
+//! dasp-spmv MATRIX.mtx [--method dasp|csr5|tilespmv|lsrb-csr|cusparse-bsr|cusparse-csr|csr-scalar|merge-csr]
+//!           [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare]
+//! ```
+//!
+//! `--compare` runs every method on the matrix and prints a ranking table
+//! instead of the single-method report.
+//!
+//! Prints the estimated kernel time, GFlops, effective bandwidth and the
+//! traffic counters for the chosen method on the simulated device.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use dasp_fp16::F16;
+use dasp_matgen::dense_vector;
+use dasp_perf::{a100, h800, measure, DeviceModel, MethodKind};
+use dasp_sparse::mm::read_matrix_market;
+use dasp_sparse::{Coo, Csr};
+
+fn main() -> ExitCode {
+    let mut path: Option<String> = None;
+    let mut method = MethodKind::Dasp;
+    let mut device = "a100".to_string();
+    let mut fp16 = false;
+    let mut fp32 = false;
+    let mut verify = false;
+    let mut compare = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--method" => match args.next().as_deref().and_then(MethodKind::by_name) {
+                Some(m) => method = m,
+                None => {
+                    eprintln!("unknown or missing method");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--device" => match args.next() {
+                Some(d) => device = d,
+                None => {
+                    eprintln!("--device requires a name");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--fp16" => fp16 = true,
+            "--fp32" => fp32 = true,
+            "--verify" => verify = true,
+            "--compare" => compare = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            p if !p.starts_with('-') => path = Some(p.to_string()),
+            other => {
+                eprintln!("unknown flag {other}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprintln!("missing input file; see --help");
+        return ExitCode::FAILURE;
+    };
+    if fp16 && fp32 {
+        eprintln!("--fp16 and --fp32 are mutually exclusive");
+        return ExitCode::FAILURE;
+    }
+    let dev: DeviceModel = match device.as_str() {
+        "a100" => a100(),
+        "h800" => h800(),
+        other => {
+            eprintln!("unknown device {other}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let file = match File::open(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("cannot open {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let coo: Coo<f64> = match read_matrix_market(BufReader::new(file)) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let csr = coo.to_csr();
+    println!(
+        "{}: {} x {}, {} nonzeros; method {}; device {}; {}",
+        path,
+        csr.rows,
+        csr.cols,
+        csr.nnz(),
+        method.name(),
+        dev.name,
+        if fp16 {
+            "fp16"
+        } else if fp32 {
+            "fp32"
+        } else {
+            "fp64"
+        }
+    );
+
+    if compare {
+        // Run the ranking at whichever precision the flags selected.
+        fn rank<S: dasp_fp16::Scalar>(csr: &Csr<S>, dev: &DeviceModel) {
+            let x: Vec<S> = dense_vector(csr.cols, 42)
+                .iter()
+                .map(|&v| S::from_f64(v))
+                .collect();
+            let mut rows: Vec<(MethodKind, f64, f64)> = MethodKind::all()
+                .iter()
+                .map(|&mk| {
+                    let m = measure(mk, csr, &x, dev);
+                    (mk, m.estimate.seconds, m.gflops)
+                })
+                .collect();
+            rows.sort_by(|a, b| a.1.total_cmp(&b.1));
+            println!("{:>13}  {:>12}  {:>9}  {:>8}", "method", "est. time us", "gflops", "vs best");
+            let best = rows[0].1;
+            for (mk, t, g) in &rows {
+                println!(
+                    "{:>13}  {:>12.3}  {:>9.2}  {:>7.2}x",
+                    mk.name(),
+                    t * 1e6,
+                    g,
+                    t / best
+                );
+            }
+        }
+        if fp16 {
+            rank::<F16>(&csr.cast(), &dev);
+        } else if fp32 {
+            rank::<f32>(&csr.cast(), &dev);
+        } else {
+            rank::<f64>(&csr, &dev);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let (m, want) = if fp16 {
+        let h: Csr<F16> = csr.cast();
+        let x64 = dense_vector(h.cols, 42);
+        let x: Vec<F16> = x64.iter().map(|&v| F16::from_f64(v)).collect();
+        let want = if verify {
+            let h64: Csr<f64> = h.cast();
+            let hx: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
+            Some(h64.spmv_reference(&hx))
+        } else {
+            None
+        };
+        (measure(method, &h, &x, &dev), want)
+    } else if fp32 {
+        let h: Csr<f32> = csr.cast();
+        let x64 = dense_vector(h.cols, 42);
+        let x: Vec<f32> = x64.iter().map(|&v| v as f32).collect();
+        let want = if verify {
+            let h64: Csr<f64> = h.cast();
+            let hx: Vec<f64> = x.iter().map(|&v| v as f64).collect();
+            Some(h64.spmv_reference(&hx))
+        } else {
+            None
+        };
+        (measure(method, &h, &x, &dev), want)
+    } else {
+        let x = dense_vector(csr.cols, 42);
+        let want = verify.then(|| csr.spmv_reference(&x));
+        (measure(method, &csr, &x, &dev), want)
+    };
+
+    if let Some(want) = want {
+        let rel = if fp16 {
+            0.05
+        } else if fp32 {
+            1e-4
+        } else {
+            1e-9
+        };
+        let bad = m
+            .y
+            .iter()
+            .zip(&want)
+            .filter(|(&a, &b)| (a - b).abs() > rel * b.abs().max(1.0))
+            .count();
+        if bad > 0 {
+            eprintln!("VERIFY FAILED on {bad} rows");
+            return ExitCode::FAILURE;
+        }
+        println!("verify: OK ({} rows)", want.len());
+    }
+
+    let e = &m.estimate;
+    println!("estimated time : {:.3} us", e.seconds * 1e6);
+    println!("gflops         : {:.2}", m.gflops);
+    println!("bandwidth      : {:.2} GB/s", m.bandwidth_gbs);
+    let (r, c, mi) = e.shares();
+    println!(
+        "attribution    : random {:.1}%  compute {:.1}%  misc {:.1}%",
+        r * 100.0,
+        c * 100.0,
+        mi * 100.0
+    );
+    let s = &m.stats;
+    println!(
+        "traffic        : val {} B, idx {} B, meta {} B, y {} B, x-miss {} B ({} hits / {} misses)",
+        s.bytes_val, s.bytes_idx, s.bytes_meta, s.bytes_y, s.bytes_x_miss, s.x_hits, s.x_misses
+    );
+    println!(
+        "instructions   : {} mma, {} fma, {} shfl, {} launches",
+        s.mma_ops, s.fma_ops, s.shfl_ops, s.launches
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,64 @@
+//! Shared plumbing for the experiment drivers.
+
+use dasp_fp16::{F16, Scalar};
+use dasp_matgen::{corpus_with, dense_vector, CorpusSpec, NamedMatrix};
+use dasp_perf::{measure, DeviceModel, Measurement, MethodKind};
+use dasp_sparse::Csr;
+
+/// Verifies a measurement's `y` against the exact reference, panicking
+/// with the method/matrix names on mismatch. `rel` scales with precision.
+pub fn verify<S: Scalar>(m: &Measurement, csr: &Csr<S>, x: &[S], matrix_name: &str) {
+    let x64: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
+    let exact: Csr<f64> = csr.cast();
+    let want = exact.spmv_reference(&x64);
+    let rel = match S::BYTES {
+        2 => 0.05,
+        4 => 1e-4,
+        _ => 1e-9,
+    };
+    for (i, (&a, &b)) in m.y.iter().zip(&want).enumerate() {
+        assert!(
+            (a - b).abs() <= rel * b.abs().max(1.0),
+            "{} on {matrix_name} row {i}: got {a} want {b}",
+            m.method.name()
+        );
+    }
+}
+
+/// Runs `method` on `named` in FP64 on `dev`, verifying the result.
+pub fn run_fp64(method: MethodKind, named: &NamedMatrix, dev: &DeviceModel) -> Measurement {
+    let x = dense_vector(named.matrix.cols, 42);
+    let m = measure(method, &named.matrix, &x, dev);
+    verify(&m, &named.matrix, &x, &named.name);
+    m
+}
+
+/// Runs `method` on `named` in FP16 on `dev`, verifying the result.
+pub fn run_fp16(method: MethodKind, named: &NamedMatrix, dev: &DeviceModel) -> Measurement {
+    let h: Csr<F16> = named.matrix.cast();
+    let x64 = dense_vector(h.cols, 42);
+    let x: Vec<F16> = x64.iter().map(|&v| F16::from_f64(v)).collect();
+    let m = measure(method, &h, &x, dev);
+    verify(&m, &h, &x, &named.name);
+    m
+}
+
+/// The corpus used wherever the paper sweeps "all 2893 SuiteSparse
+/// matrices" (see DESIGN.md for the substitution).
+///
+/// Size is adjustable without recompiling: `DASP_CORPUS_SEEDS` multiplies
+/// the number of matrices (default 2 seeds per configuration) and
+/// `DASP_CORPUS_SCALE` multiplies matrix dimensions (default 1).
+pub fn full_corpus() -> Vec<NamedMatrix> {
+    let env_usize = |key: &str, default: usize| {
+        std::env::var(key)
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&v| v > 0)
+            .unwrap_or(default)
+    };
+    corpus_with(CorpusSpec {
+        seeds: env_usize("DASP_CORPUS_SEEDS", 2) as u64,
+        size_scale: env_usize("DASP_CORPUS_SCALE", 1),
+    })
+}

@@ -1,0 +1,77 @@
+//! Extension experiment (beyond the paper): DASP against three related-
+//! work formats the paper cites but does not measure —
+//!
+//! * merge-based CSR (Merrill & Garland SC '16, reference \[73\]): perfectly
+//!   nonzero-balanced with zero preprocessing. Against it, DASP's load-
+//!   balancing advantage is neutralized and only the MMA compute path
+//!   remains.
+//! * SELL-C-sigma (Kreutzer et al. 2014, reference \[51\]): sorted ELL
+//!   chunks — the closest CPU-portable relative of DASP's medium category.
+//! * HYB (Bell & Garland SC '09, reference \[8\]): the classic ELL + COO
+//!   split.
+
+use dasp_perf::{a100, speedup_summary, MethodKind, SpeedupSummary};
+
+use crate::experiments::common::{full_corpus, run_fp64};
+
+/// One matrix's comparison.
+pub struct Row {
+    /// Matrix name.
+    pub name: String,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// DASP GFlops.
+    pub dasp_gflops: f64,
+    /// Merge-CSR GFlops.
+    pub merge_gflops: f64,
+    /// SELL-C-sigma GFlops.
+    pub sell_gflops: f64,
+    /// HYB GFlops.
+    pub hyb_gflops: f64,
+    /// Speedup of DASP over merge-CSR.
+    pub speedup: f64,
+}
+
+/// The experiment result.
+pub struct ExtMerge {
+    /// Per-matrix rows.
+    pub rows: Vec<Row>,
+    /// DASP over merge-CSR.
+    pub summary: SpeedupSummary,
+    /// DASP over SELL-C-sigma.
+    pub summary_sell: SpeedupSummary,
+    /// DASP over HYB.
+    pub summary_hyb: SpeedupSummary,
+}
+
+/// Runs the experiment.
+pub fn run() -> ExtMerge {
+    let dev = a100();
+    let mut rows = Vec::new();
+    let mut sell_pairs = Vec::new();
+    let mut hyb_pairs = Vec::new();
+    for named in full_corpus() {
+        let dasp = run_fp64(MethodKind::Dasp, &named, &dev);
+        let merge = run_fp64(MethodKind::MergeCsr, &named, &dev);
+        let sell = run_fp64(MethodKind::Sell, &named, &dev);
+        let hyb = run_fp64(MethodKind::Hyb, &named, &dev);
+        sell_pairs.push((dasp.estimate.seconds, sell.estimate.seconds));
+        hyb_pairs.push((dasp.estimate.seconds, hyb.estimate.seconds));
+        rows.push(Row {
+            name: named.name.clone(),
+            nnz: named.matrix.nnz(),
+            dasp_gflops: dasp.gflops,
+            merge_gflops: merge.gflops,
+            sell_gflops: sell.gflops,
+            hyb_gflops: hyb.gflops,
+            speedup: merge.estimate.seconds / dasp.estimate.seconds,
+        });
+    }
+    let pairs: Vec<(f64, f64)> = rows.iter().map(|r| (1.0, r.speedup)).collect();
+    ExtMerge {
+        summary: speedup_summary(&pairs).expect("non-empty corpus"),
+        summary_sell: speedup_summary(&sell_pairs).expect("non-empty corpus"),
+        summary_hyb: speedup_summary(&hyb_pairs).expect("non-empty corpus"),
+        rows,
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 2: execution-time breakdown of the standard CSR SpMV into
+//! RANDOM ACCESS / COMPUTE / MISCELLANEOUS over the whole corpus.
+//!
+//! The paper reports average shares of 25.1% / 21.1% / 53.8%; the claim
+//! being reproduced is that COMPUTE occupies a substantial share (~20%) —
+//! the observation motivating DASP.
+
+use dasp_perf::{a100, measure, MethodKind};
+use dasp_matgen::dense_vector;
+
+use crate::experiments::common::full_corpus;
+
+/// One matrix's attribution shares (fractions summing to 1).
+pub struct Row {
+    /// Matrix name.
+    pub name: String,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// RANDOM ACCESS share.
+    pub random: f64,
+    /// COMPUTE share.
+    pub compute: f64,
+    /// MISCELLANEOUS share.
+    pub misc: f64,
+}
+
+/// The experiment result.
+pub struct Fig02 {
+    /// Per-matrix shares.
+    pub rows: Vec<Row>,
+    /// Arithmetic-mean shares `(random, compute, misc)` across the corpus.
+    pub mean: (f64, f64, f64),
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig02 {
+    let dev = a100();
+    let mut rows = Vec::new();
+    for named in full_corpus() {
+        let x = dense_vector(named.matrix.cols, 42);
+        let m = measure(MethodKind::CsrScalar, &named.matrix, &x, &dev);
+        let (random, compute, misc) = m.estimate.shares();
+        rows.push(Row {
+            name: named.name.clone(),
+            nnz: named.matrix.nnz(),
+            random,
+            compute,
+            misc,
+        });
+    }
+    let n = rows.len().max(1) as f64;
+    let mean = (
+        rows.iter().map(|r| r.random).sum::<f64>() / n,
+        rows.iter().map(|r| r.compute).sum::<f64>() / n,
+        rows.iter().map(|r| r.misc).sum::<f64>() / n,
+    );
+    Fig02 { rows, mean }
+}

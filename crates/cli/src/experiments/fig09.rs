@@ -1,0 +1,68 @@
+//! Figure 9: FP16 performance of DASP vs the vendor CSR SpMV on both the
+//! A100 and the H800, over the whole corpus.
+//!
+//! Paper shape: DASP wins on ~89% of matrices with geometric-mean speedups
+//! of 1.70x (A100) and 1.75x (H800).
+
+use dasp_perf::{a100, h800, speedup_summary, MethodKind, SpeedupSummary};
+
+use crate::experiments::common::{full_corpus, run_fp16};
+
+/// One matrix's FP16 measurements on one device.
+pub struct Row {
+    /// Matrix name.
+    pub name: String,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// DASP GFlops.
+    pub dasp_gflops: f64,
+    /// Vendor-CSR GFlops.
+    pub vendor_gflops: f64,
+    /// Speedup (vendor seconds / DASP seconds).
+    pub speedup: f64,
+}
+
+/// Results for one device.
+pub struct DeviceResult {
+    /// Device name.
+    pub device: &'static str,
+    /// Per-matrix rows.
+    pub rows: Vec<Row>,
+    /// Aggregate speedup.
+    pub summary: SpeedupSummary,
+}
+
+/// The experiment result: one entry per device.
+pub struct Fig09 {
+    /// A100 then H800.
+    pub devices: Vec<DeviceResult>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig09 {
+    let mut devices = Vec::new();
+    for dev in [a100(), h800()] {
+        let mut rows = Vec::new();
+        for named in full_corpus() {
+            let dasp = run_fp16(MethodKind::Dasp, &named, &dev);
+            let vendor = run_fp16(MethodKind::VendorCsr, &named, &dev);
+            rows.push(Row {
+                name: named.name.clone(),
+                nnz: named.matrix.nnz(),
+                dasp_gflops: dasp.gflops,
+                vendor_gflops: vendor.gflops,
+                speedup: vendor.estimate.seconds / dasp.estimate.seconds,
+            });
+        }
+        let pairs: Vec<(f64, f64)> = rows
+            .iter()
+            .map(|r| (1.0, r.speedup)) // speedups already formed
+            .collect();
+        devices.push(DeviceResult {
+            device: dev.name,
+            summary: speedup_summary(&pairs).expect("non-empty corpus"),
+            rows,
+        });
+    }
+    Fig09 { devices }
+}

@@ -1,0 +1,68 @@
+//! Figure 10: FP64 performance of all six methods on the A100 over the
+//! whole corpus, plus DASP's speedup over each baseline.
+//!
+//! The headline numbers being reproduced in shape: DASP wins on most
+//! matrices against every baseline, with geometric-mean speedups of
+//! 1.46x (CSR5), 2.09x (TileSpMV), 3.29x (LSRB-CSR), 2.08x (cuSPARSE-BSR)
+//! and 1.52x (cuSPARSE-CSR) in the paper.
+
+use dasp_perf::{a100, speedup_summary, MethodKind, SpeedupSummary};
+
+use crate::experiments::common::{full_corpus, run_fp64};
+
+/// One matrix's GFlops for every method.
+pub struct Row {
+    /// Matrix name.
+    pub name: String,
+    /// Structural group tag.
+    pub group: &'static str,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// GFlops in `MethodKind::fp64_set()` order (DASP first).
+    pub gflops: [f64; 6],
+    /// Estimated seconds, same order.
+    pub seconds: [f64; 6],
+}
+
+/// The experiment result.
+pub struct Fig10 {
+    /// Per-matrix measurements.
+    pub rows: Vec<Row>,
+    /// Speedup of DASP over each baseline, in `fp64_set()[1..]` order.
+    pub speedups: Vec<(MethodKind, SpeedupSummary)>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig10 {
+    let dev = a100();
+    let methods = MethodKind::fp64_set();
+    let mut rows = Vec::new();
+    for named in full_corpus() {
+        let mut gflops = [0.0; 6];
+        let mut seconds = [0.0; 6];
+        for (k, &m) in methods.iter().enumerate() {
+            let meas = run_fp64(m, &named, &dev);
+            gflops[k] = meas.gflops;
+            seconds[k] = meas.estimate.seconds;
+        }
+        rows.push(Row {
+            name: named.name.clone(),
+            group: named.group,
+            nnz: named.matrix.nnz(),
+            gflops,
+            seconds,
+        });
+    }
+    let speedups = methods[1..]
+        .iter()
+        .enumerate()
+        .map(|(j, &m)| {
+            let pairs: Vec<(f64, f64)> = rows
+                .iter()
+                .map(|r| (r.seconds[0], r.seconds[j + 1]))
+                .collect();
+            (m, speedup_summary(&pairs).expect("non-empty corpus"))
+        })
+        .collect();
+    Fig10 { rows, speedups }
+}

@@ -1,0 +1,77 @@
+//! Figure 11: per-matrix bars for the 21 representative matrices —
+//! FP64 with all six methods on the A100 (11a), FP16 with DASP vs the
+//! vendor CSR on A100 and H800 (11b).
+
+use dasp_matgen::{representative, NamedMatrix};
+use dasp_perf::{a100, h800, MethodKind};
+
+use crate::experiments::common::{run_fp16, run_fp64};
+
+/// FP64 results for one representative matrix.
+pub struct RowFp64 {
+    /// Matrix name (Table 2).
+    pub name: &'static str,
+    /// Analog nonzeros.
+    pub nnz: usize,
+    /// GFlops in `MethodKind::fp64_set()` order.
+    pub gflops: [f64; 6],
+}
+
+/// FP16 results for one representative matrix.
+pub struct RowFp16 {
+    /// Matrix name.
+    pub name: &'static str,
+    /// `(dasp, vendor)` GFlops on the A100.
+    pub a100: (f64, f64),
+    /// `(dasp, vendor)` GFlops on the H800.
+    pub h800: (f64, f64),
+}
+
+/// The experiment result.
+pub struct Fig11 {
+    /// FP64 sub-figure rows.
+    pub fp64: Vec<RowFp64>,
+    /// FP16 sub-figure rows.
+    pub fp16: Vec<RowFp16>,
+}
+
+fn as_named(r: &dasp_matgen::RepresentativeMatrix) -> NamedMatrix {
+    NamedMatrix {
+        name: r.name.to_string(),
+        group: "representative",
+        matrix: r.matrix.clone(),
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig11 {
+    let reps = representative();
+    let dev_a = a100();
+    let dev_h = h800();
+    let mut fp64 = Vec::new();
+    let mut fp16 = Vec::new();
+    for r in &reps {
+        let named = as_named(r);
+        let mut gflops = [0.0; 6];
+        for (k, &m) in MethodKind::fp64_set().iter().enumerate() {
+            gflops[k] = run_fp64(m, &named, &dev_a).gflops;
+        }
+        fp64.push(RowFp64 {
+            name: r.name,
+            nnz: r.matrix.nnz(),
+            gflops,
+        });
+        fp16.push(RowFp16 {
+            name: r.name,
+            a100: (
+                run_fp16(MethodKind::Dasp, &named, &dev_a).gflops,
+                run_fp16(MethodKind::VendorCsr, &named, &dev_a).gflops,
+            ),
+            h800: (
+                run_fp16(MethodKind::Dasp, &named, &dev_h).gflops,
+                run_fp16(MethodKind::VendorCsr, &named, &dev_h).gflops,
+            ),
+        });
+    }
+    Fig11 { fp64, fp16 }
+}

@@ -1,0 +1,51 @@
+//! Figure 12: for the 21 representative matrices, the fraction of rows and
+//! of nonzeros in each DASP category (long / medium / short / empty).
+
+use dasp_core::DaspMatrix;
+use dasp_matgen::representative;
+
+/// Category ratios for one matrix. Row ratios include the empty class;
+/// nonzero ratios cover the three real categories.
+pub struct Row {
+    /// Matrix name (Table 2).
+    pub name: &'static str,
+    /// Fractions of rows `(long, medium, short, empty)`.
+    pub row_ratio: (f64, f64, f64, f64),
+    /// Fractions of nonzeros `(long, medium, short)`.
+    pub nnz_ratio: (f64, f64, f64),
+    /// Zero-fill rate of the converted format.
+    pub fill_rate: f64,
+}
+
+/// The experiment result.
+pub struct Fig12 {
+    /// One row per representative matrix.
+    pub rows: Vec<Row>,
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig12 {
+    let mut rows = Vec::new();
+    for r in representative() {
+        let d = DaspMatrix::from_csr(&r.matrix);
+        let s = d.category_stats();
+        let nr = s.rows.max(1) as f64;
+        let nn = s.nnz.max(1) as f64;
+        rows.push(Row {
+            name: r.name,
+            row_ratio: (
+                s.rows_long as f64 / nr,
+                s.rows_medium as f64 / nr,
+                s.rows_short as f64 / nr,
+                s.rows_empty as f64 / nr,
+            ),
+            nnz_ratio: (
+                s.nnz_long as f64 / nn,
+                s.nnz_medium as f64 / nn,
+                s.nnz_short as f64 / nn,
+            ),
+            fill_rate: s.fill_rate(),
+        });
+    }
+    Fig12 { rows }
+}

@@ -1,0 +1,73 @@
+//! Figure 13: preprocessing cost — converting CSR to each method's format
+//! — as a function of matrix size.
+//!
+//! Unlike the kernel experiments, these are **real wall-clock** timings of
+//! the format builders running on the CPU: the conversion algorithms (row
+//! classification + piecing for DASP, tile descriptor construction for
+//! CSR5, 2-D tiling for TileSpMV, block fill-in for BSR) are exactly the
+//! paper's, so their relative scaling is meaningful even though the
+//! absolute numbers are CPU-side. Paper shape: DASP's preprocessing is
+//! almost always cheaper than TileSpMV's and cuSPARSE-BSR's, and becomes
+//! costlier than CSR5's as matrices grow large.
+
+use std::time::Instant;
+
+use dasp_baselines::{BsrSpmv, Csr5, LsrbCsr, TileSpmv};
+use dasp_core::DaspMatrix;
+
+use crate::experiments::common::full_corpus;
+
+/// Preprocessing wall-clock times for one matrix, in microseconds.
+pub struct Row {
+    /// Matrix name.
+    pub name: String,
+    /// Nonzeros.
+    pub nnz: usize,
+    /// DASP format build.
+    pub dasp_us: f64,
+    /// CSR5 build.
+    pub csr5_us: f64,
+    /// TileSpMV build.
+    pub tilespmv_us: f64,
+    /// BSR build at the paper's three block sizes (2/4/8, like the
+    /// kernel-time measurement's best-of rule).
+    pub bsr_us: f64,
+    /// LSRB segment-descriptor build.
+    pub lsrb_us: f64,
+}
+
+/// The experiment result.
+pub struct Fig13 {
+    /// One row per corpus matrix, ordered by nonzeros.
+    pub rows: Vec<Row>,
+}
+
+fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64() * 1e6)
+}
+
+/// Runs the experiment.
+pub fn run() -> Fig13 {
+    let mut rows = Vec::new();
+    for named in full_corpus() {
+        let csr = &named.matrix;
+        let (_d, dasp_us) = time_us(|| DaspMatrix::from_csr(csr));
+        let (_c, csr5_us) = time_us(|| Csr5::new(csr));
+        let (_t, tilespmv_us) = time_us(|| TileSpmv::new(csr));
+        let (_b, bsr_us) = time_us(|| BsrSpmv::best_of(csr));
+        let (_l, lsrb_us) = time_us(|| LsrbCsr::new(csr));
+        rows.push(Row {
+            name: named.name.clone(),
+            nnz: csr.nnz(),
+            dasp_us,
+            csr5_us,
+            tilespmv_us,
+            bsr_us,
+            lsrb_us,
+        });
+    }
+    rows.sort_by_key(|r| r.nnz);
+    Fig13 { rows }
+}

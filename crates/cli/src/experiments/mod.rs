@@ -1,0 +1,14 @@
+//! One module per reproduced table/figure. See DESIGN.md's per-experiment
+//! index for the mapping to the paper.
+
+pub mod common;
+pub mod ext_merge;
+pub mod fig01;
+pub mod fig02;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod table1;
+pub mod table2;

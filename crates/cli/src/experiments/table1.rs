@@ -1,0 +1,26 @@
+//! Table 1: the evaluated hardware and algorithms.
+
+use dasp_perf::{a100, h800, DeviceModel};
+
+/// The experiment result: the encoded device models and method labels.
+pub struct Table1 {
+    /// The two device models.
+    pub devices: Vec<DeviceModel>,
+    /// The six method labels, DASP last like the paper's listing.
+    pub algorithms: Vec<&'static str>,
+}
+
+/// Returns the table contents.
+pub fn run() -> Table1 {
+    Table1 {
+        devices: vec![a100(), h800()],
+        algorithms: vec![
+            "CSR5",
+            "TileSpMV",
+            "LSRB-CSR",
+            "cuSPARSE-BSR",
+            "cuSPARSE-CSR",
+            "DASP (this work)",
+        ],
+    }
+}

@@ -1,0 +1,49 @@
+//! Table 2: the 21 representative matrices — paper dimensions side by side
+//! with the synthetic analogs actually used.
+
+use dasp_matgen::representative;
+use dasp_sparse::RowStats;
+
+/// One representative matrix's paper metadata and analog statistics.
+pub struct Row {
+    /// SuiteSparse name.
+    pub name: &'static str,
+    /// Paper rows x cols.
+    pub paper_shape: (usize, usize),
+    /// Paper nonzeros.
+    pub paper_nnz: usize,
+    /// Analog rows x cols.
+    pub analog_shape: (usize, usize),
+    /// Analog nonzeros.
+    pub analog_nnz: usize,
+    /// Analog mean row length.
+    pub analog_mean_len: f64,
+    /// Analog max row length.
+    pub analog_max_len: usize,
+}
+
+/// The experiment result.
+pub struct Table2 {
+    /// One row per matrix, in Table-2 order.
+    pub rows: Vec<Row>,
+}
+
+/// Builds the table.
+pub fn run() -> Table2 {
+    let rows = representative()
+        .into_iter()
+        .map(|r| {
+            let s = RowStats::of(&r.matrix);
+            Row {
+                name: r.name,
+                paper_shape: r.paper_shape,
+                paper_nnz: r.paper_nnz,
+                analog_shape: (r.matrix.rows, r.matrix.cols),
+                analog_nnz: r.matrix.nnz(),
+                analog_mean_len: s.mean_len,
+                analog_max_len: s.max_len,
+            }
+        })
+        .collect();
+    Table2 { rows }
+}

@@ -1,0 +1,143 @@
+//! Integration tests driving the two binaries end to end.
+
+use std::io::Write;
+use std::process::Command;
+
+fn bin(name: &str) -> Command {
+    Command::new(env!(concat!("CARGO_BIN_EXE_", "dasp-experiments")).replace("dasp-experiments", name))
+}
+
+#[test]
+fn spmv_binary_verifies_a_matrix_market_file() {
+    // Write a small general real matrix.
+    let dir = std::env::temp_dir().join("dasp_cli_bin_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("m.mtx");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "%%MatrixMarket matrix coordinate real general").unwrap();
+    writeln!(f, "6 6 8").unwrap();
+    for (r, c, v) in [
+        (1, 1, 2.0),
+        (1, 4, -1.0),
+        (2, 2, 3.0),
+        (3, 3, 1.5),
+        (4, 1, -1.0),
+        (4, 4, 2.0),
+        (5, 5, 1.0),
+        (6, 6, 4.0),
+    ] {
+        writeln!(f, "{r} {c} {v}").unwrap();
+    }
+    drop(f);
+
+    for method in ["dasp", "csr5", "cusparse-csr", "merge-csr"] {
+        let out = bin("dasp-spmv")
+            .arg(path.to_str().unwrap())
+            .args(["--method", method, "--verify"])
+            .output()
+            .expect("binary runs");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(out.status.success(), "{method}: {stdout}");
+        assert!(stdout.contains("verify: OK"), "{method}: {stdout}");
+        assert!(stdout.contains("estimated time"), "{method}: {stdout}");
+    }
+}
+
+#[test]
+fn spmv_binary_fp16_and_h800() {
+    let dir = std::env::temp_dir().join("dasp_cli_bin_test2");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("diag.mtx");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "%%MatrixMarket matrix coordinate real general").unwrap();
+    writeln!(f, "4 4 4").unwrap();
+    for i in 1..=4 {
+        writeln!(f, "{i} {i} {}.5", i).unwrap();
+    }
+    drop(f);
+    let out = bin("dasp-spmv")
+        .arg(path.to_str().unwrap())
+        .args(["--fp16", "--device", "h800", "--verify"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("H800"), "{stdout}");
+    assert!(stdout.contains("fp16"), "{stdout}");
+    assert!(stdout.contains("verify: OK"), "{stdout}");
+}
+
+#[test]
+fn spmv_binary_rejects_bad_input() {
+    let out = bin("dasp-spmv").arg("/nonexistent.mtx").output().unwrap();
+    assert!(!out.status.success());
+    let out = bin("dasp-spmv").args(["--method", "bogus"]).output().unwrap();
+    assert!(!out.status.success());
+}
+
+#[test]
+fn experiments_binary_runs_cheap_targets() {
+    let dir = std::env::temp_dir().join("dasp_cli_results");
+    let out = bin("dasp-experiments")
+        .args(["--out", dir.to_str().unwrap(), "table2", "fig12"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("Table 2"), "{stdout}");
+    assert!(stdout.contains("Figure 12"), "{stdout}");
+    assert!(dir.join("table2.csv").exists());
+    assert!(dir.join("fig12_categories.csv").exists());
+    // CSV sanity: 21 matrices + header.
+    let csv = std::fs::read_to_string(dir.join("fig12_categories.csv")).unwrap();
+    assert_eq!(csv.lines().count(), 22);
+}
+
+#[test]
+fn tune_binary_sweeps_parameters() {
+    let dir = std::env::temp_dir().join("dasp_cli_bin_test3");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t.mtx");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "%%MatrixMarket matrix coordinate real general").unwrap();
+    writeln!(f, "64 64 128").unwrap();
+    for i in 0..64 {
+        writeln!(f, "{} {} 1.0", i + 1, i + 1).unwrap();
+        writeln!(f, "{} {} 0.5", i + 1, (i + 7) % 64 + 1).unwrap();
+    }
+    drop(f);
+    let out = bin("dasp-tune").arg(path.to_str().unwrap()).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("paper defaults"), "{stdout}");
+    // 5 max_len x 3 thresholds x 2 piecing = 30 rows + headers
+    assert!(stdout.lines().filter(|l| l.contains('x') && l.contains('.')).count() >= 30);
+}
+
+#[test]
+fn conflicting_precision_flags_are_rejected() {
+    let dir = std::env::temp_dir().join("dasp_cli_bin_test4");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("one.mtx");
+    std::fs::write(
+        &path,
+        "%%MatrixMarket matrix coordinate real general\n1 1 1\n1 1 2.0\n",
+    )
+    .unwrap();
+    let out = bin("dasp-spmv")
+        .arg(path.to_str().unwrap())
+        .args(["--fp16", "--fp32"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("mutually exclusive"), "{err}");
+}
+
+#[test]
+fn unknown_experiment_target_is_rejected() {
+    let out = bin("dasp-experiments").arg("bogus123").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("unknown experiment"), "{err}");
+}

@@ -1,0 +1,82 @@
+//! Tunable parameters and fixed geometry of the DASP algorithm.
+
+pub use dasp_simt::mma::{MMA_K, MMA_M, MMA_N};
+
+/// Elements per MMA block (`MMA_M * MMA_K` = 32).
+pub const BLOCK_ELEMS: usize = MMA_M * MMA_K;
+
+/// Elements per long-row group (`2 * MMA_M * MMA_K` = 64): each warp
+/// computes one group with two MMA issues (paper §3.2).
+pub const GROUP_ELEMS: usize = 2 * BLOCK_ELEMS;
+
+/// Lanes per warp, used for launch-geometry arithmetic.
+pub const WARP_SIZE_LAUNCH: usize = 32;
+
+/// Warps per thread block in the long-rows kernel; together with
+/// [`GROUP_ELEMS`] this makes `MAX_LEN` "exactly the workload of a thread
+/// block" (paper §3.3.1).
+pub const WARPS_PER_BLOCK: usize = 4;
+
+/// Algorithm parameters (paper §3.2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DaspParams {
+    /// Maximum length of a medium row; rows longer than this are "long".
+    /// Paper value: 256 (= `WARPS_PER_BLOCK * GROUP_ELEMS`).
+    pub max_len: usize,
+    /// Fill threshold above which an 8x4 window of a medium row-block is
+    /// stored as a zero-padded regular block. Paper value: 0.75.
+    pub threshold: f64,
+    /// Whether short rows are pieced together (1&3, 2&2) as in the paper,
+    /// or zero-padded straight into length-4 blocks (the ablation of
+    /// §3.3.3's data-transfer claim). Paper behaviour: `true`.
+    pub short_piecing: bool,
+}
+
+impl Default for DaspParams {
+    fn default() -> Self {
+        DaspParams {
+            max_len: 256,
+            threshold: 0.75,
+            short_piecing: true,
+        }
+    }
+}
+
+/// The paper's `LOOP_NUM` schedule (§3.3.2): row-blocks computed per warp in
+/// the medium-rows kernel, stepped up with the medium-row count so large
+/// matrices launch fewer, fatter warps.
+pub fn loop_num(row_medium: usize) -> usize {
+    if row_medium < 59_990 {
+        1
+    } else if row_medium < 400_000 {
+        2
+    } else {
+        4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometry_matches_paper() {
+        assert_eq!(MMA_M, 8);
+        assert_eq!(MMA_N, 8);
+        assert_eq!(MMA_K, 4);
+        assert_eq!(BLOCK_ELEMS, 32);
+        assert_eq!(GROUP_ELEMS, 64);
+        // MAX_LEN is exactly one thread block's workload.
+        assert_eq!(DaspParams::default().max_len, WARPS_PER_BLOCK * GROUP_ELEMS);
+    }
+
+    #[test]
+    fn loop_num_thresholds() {
+        assert_eq!(loop_num(0), 1);
+        assert_eq!(loop_num(59_989), 1);
+        assert_eq!(loop_num(59_990), 2);
+        assert_eq!(loop_num(399_999), 2);
+        assert_eq!(loop_num(400_000), 4);
+        assert_eq!(loop_num(10_000_000), 4);
+    }
+}

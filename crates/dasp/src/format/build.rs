@@ -1,0 +1,176 @@
+//! CSR -> DASP conversion (the preprocessing step of paper Fig. 13).
+
+use dasp_fp16::Scalar;
+use dasp_sparse::Csr;
+
+use crate::consts::DaspParams;
+use crate::format::{DaspMatrix, LongPart, MediumPart, ShortPart};
+
+/// Classifies rows and builds all three category parts.
+pub(crate) fn build<S: Scalar>(csr: &Csr<S>, params: DaspParams) -> DaspMatrix<S> {
+    assert!(params.max_len > 4, "MAX_LEN must exceed the short-row bound");
+    let mut long = LongPart::empty();
+    let mut medium_rows: Vec<(u32, Vec<(u32, S)>)> = Vec::new();
+    let mut short_rows: Vec<(u32, Vec<(u32, S)>)> = Vec::new();
+
+    for i in 0..csr.rows {
+        let len = csr.row_len(i);
+        if len == 0 {
+            continue; // empty rows belong to no category
+        }
+        let elems: Vec<(u32, S)> = csr.row(i).collect();
+        if len > params.max_len {
+            long.push_row(i as u32, &elems);
+        } else if len > 4 {
+            medium_rows.push((i as u32, elems));
+        } else {
+            short_rows.push((i as u32, elems));
+        }
+    }
+
+    // Stable descending sort by length (paper §3.2: "sorted in a stable
+    // descending order").
+    medium_rows.sort_by_key(|(_, e)| std::cmp::Reverse(e.len()));
+    let medium = MediumPart::build(&medium_rows, params.threshold);
+    let short = if params.short_piecing {
+        ShortPart::build(short_rows)
+    } else {
+        ShortPart::build_padded_only(short_rows)
+    };
+
+    DaspMatrix {
+        rows: csr.rows,
+        cols: csr.cols,
+        nnz: csr.nnz(),
+        long,
+        medium,
+        short,
+        params,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_sparse::Coo;
+
+    /// A matrix with rows in every category:
+    /// row 0: 300 nonzeros (long), row 1: empty, row 2: 10 (medium),
+    /// rows 3..20: 6 each (medium), rows 20..40: lengths 1..=4 cycling.
+    fn mixed() -> Csr<f64> {
+        let mut m = Coo::new(40, 400);
+        for c in 0..300 {
+            m.push(0, c, 1.0);
+        }
+        for c in 0..10 {
+            m.push(2, c * 3, 2.0);
+        }
+        for r in 3..20 {
+            for c in 0..6 {
+                m.push(r, c * 7 + r, 3.0);
+            }
+        }
+        for r in 20..40 {
+            let len = (r - 20) % 4 + 1;
+            for c in 0..len {
+                m.push(r, c * 11 + r, 4.0);
+            }
+        }
+        m.to_csr()
+    }
+
+    #[test]
+    fn categories_partition_the_rows() {
+        let m = mixed();
+        let d = DaspMatrix::from_csr(&m);
+        let s = d.category_stats();
+        assert_eq!(s.rows_long, 1);
+        assert_eq!(s.rows_medium, 18);
+        assert_eq!(s.rows_short, 20);
+        assert_eq!(s.rows_empty, 1);
+        assert_eq!(s.rows_long + s.rows_medium + s.rows_short + s.rows_empty, 40);
+        assert_eq!(s.nnz_long + s.nnz_medium + s.nnz_short, m.nnz());
+    }
+
+    #[test]
+    fn medium_rows_sorted_descending_and_stable() {
+        let m = mixed();
+        let d = DaspMatrix::from_csr(&m);
+        let lens: Vec<usize> = d
+            .medium
+            .rows
+            .iter()
+            .map(|&r| m.row_len(r as usize))
+            .collect();
+        for w in lens.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+        // Rows 3..20 all have length 6; stability keeps original order.
+        assert_eq!(&d.medium.rows[1..], (3u32..20).collect::<Vec<_>>().as_slice());
+    }
+
+    #[test]
+    fn boundary_lengths_classify_per_paper() {
+        // len 4 -> short; len 5 -> medium; len 256 -> medium; len 257 -> long
+        let mut m = Coo::<f64>::new(4, 300);
+        for c in 0..4 {
+            m.push(0, c, 1.0);
+        }
+        for c in 0..5 {
+            m.push(1, c, 1.0);
+        }
+        for c in 0..256 {
+            m.push(2, c, 1.0);
+        }
+        for c in 0..257 {
+            m.push(3, c, 1.0);
+        }
+        let d = DaspMatrix::from_csr(&m.to_csr());
+        assert_eq!(d.short.num_rows(), 1);
+        assert_eq!(d.medium.rows, vec![2, 1]);
+        assert_eq!(d.long.rows, vec![3]);
+    }
+
+    #[test]
+    fn custom_max_len_moves_the_boundary() {
+        let mut m = Coo::<f64>::new(2, 300);
+        for c in 0..100 {
+            m.push(0, c, 1.0);
+        }
+        for c in 0..20 {
+            m.push(1, c, 1.0);
+        }
+        let d = DaspMatrix::with_params(
+            &m.to_csr(),
+            DaspParams {
+                max_len: 64,
+                threshold: 0.75,
+                short_piecing: true,
+            },
+        );
+        assert_eq!(d.long.rows, vec![0]);
+        assert_eq!(d.medium.rows, vec![1]);
+    }
+
+    #[test]
+    fn fill_rate_is_small_for_friendly_structure() {
+        // All rows length 4: zero fill needed at all.
+        let mut m = Coo::<f64>::new(64, 64);
+        for r in 0..64 {
+            for c in 0..4 {
+                m.push(r, (r + c * 16) % 64, 1.0);
+            }
+        }
+        let d = DaspMatrix::from_csr(&m.to_csr());
+        assert_eq!(d.category_stats().fill_rate(), 0.0);
+    }
+
+    #[test]
+    fn empty_matrix_builds() {
+        let m = Csr::<f64>::empty(10, 10);
+        let d = DaspMatrix::from_csr(&m);
+        let s = d.category_stats();
+        assert_eq!(s.rows_empty, 10);
+        assert_eq!(s.nnz, 0);
+    }
+}

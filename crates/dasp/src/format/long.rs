@@ -1,0 +1,105 @@
+//! Storage of the long-rows category (paper §3.2, yellow part of Fig. 5).
+
+use dasp_fp16::Scalar;
+
+use crate::consts::GROUP_ELEMS;
+
+/// Long rows (`len > MAX_LEN`), each cut into zero-padded groups of
+/// [`GROUP_ELEMS`] (= 64) elements.
+///
+/// * `vals` / `cids` — the paper's `longVal` / `longCid`: the elements of
+///   all groups back to back, `GROUP_ELEMS` per group, padding carries
+///   value 0 and column id 0.
+/// * `group_ptr` — the paper's `groupPtr`: group index of each row's first
+///   group; length `rows.len() + 1`.
+/// * `rows` — original row id of each long row (implicit in the paper's
+///   artifact; needed to scatter `y`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LongPart<S: Scalar> {
+    /// Padded element values (`nnz_long_new` entries).
+    pub vals: Vec<S>,
+    /// Padded element column ids.
+    pub cids: Vec<u32>,
+    /// First group of each row; `group_ptr[i+1] - group_ptr[i]` is row `i`'s
+    /// group count.
+    pub group_ptr: Vec<usize>,
+    /// Original row ids.
+    pub rows: Vec<u32>,
+    /// Original (unpadded) nonzero count of this category.
+    pub nnz_orig: usize,
+}
+
+impl<S: Scalar> LongPart<S> {
+    /// An empty part.
+    pub fn empty() -> Self {
+        LongPart {
+            vals: Vec::new(),
+            cids: Vec::new(),
+            group_ptr: vec![0],
+            rows: Vec::new(),
+            nnz_orig: 0,
+        }
+    }
+
+    /// Total number of 64-element groups.
+    pub fn num_groups(&self) -> usize {
+        *self.group_ptr.last().expect("group_ptr never empty")
+    }
+
+    /// Appends one long row given its elements.
+    pub(crate) fn push_row(&mut self, row: u32, elems: &[(u32, S)]) {
+        debug_assert!(!elems.is_empty());
+        self.rows.push(row);
+        self.nnz_orig += elems.len();
+        let groups = elems.len().div_ceil(GROUP_ELEMS);
+        for (c, v) in elems {
+            self.cids.push(*c);
+            self.vals.push(*v);
+        }
+        let pad = groups * GROUP_ELEMS - elems.len();
+        self.cids.extend(std::iter::repeat_n(0, pad));
+        self.vals.extend(std::iter::repeat_n(S::zero(), pad));
+        let start = *self.group_ptr.last().unwrap();
+        self.group_ptr.push(start + groups);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pads_to_group_multiples() {
+        let mut p = LongPart::<f64>::empty();
+        let elems: Vec<(u32, f64)> = (0..300).map(|i| (i, i as f64)).collect();
+        p.push_row(5, &elems);
+        // 300 elements -> 5 groups of 64 = 320 stored.
+        assert_eq!(p.num_groups(), 5);
+        assert_eq!(p.vals.len(), 320);
+        assert_eq!(p.nnz_orig, 300);
+        assert_eq!(p.vals[299], 299.0);
+        assert_eq!(p.vals[300], 0.0);
+        assert_eq!(p.cids[300], 0);
+        assert_eq!(p.group_ptr, vec![0, 5]);
+        assert_eq!(p.rows, vec![5]);
+    }
+
+    #[test]
+    fn exact_multiple_needs_no_padding() {
+        let mut p = LongPart::<f64>::empty();
+        let elems: Vec<(u32, f64)> = (0..320).map(|i| (i, 1.0)).collect();
+        p.push_row(0, &elems);
+        assert_eq!(p.vals.len(), 320);
+        assert_eq!(p.num_groups(), 5);
+    }
+
+    #[test]
+    fn multiple_rows_accumulate_groups() {
+        let mut p = LongPart::<f64>::empty();
+        p.push_row(1, &(0..257).map(|i| (i, 1.0)).collect::<Vec<_>>());
+        p.push_row(9, &(0..64).map(|i| (i, 1.0)).collect::<Vec<_>>());
+        assert_eq!(p.group_ptr, vec![0, 5, 6]);
+        assert_eq!(p.rows, vec![1, 9]);
+        assert_eq!(p.vals.len(), 6 * 64);
+    }
+}

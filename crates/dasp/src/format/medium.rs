@@ -1,0 +1,228 @@
+//! Storage of the medium-rows category (paper §3.2, red part of Fig. 5).
+
+use dasp_fp16::Scalar;
+
+use crate::consts::{BLOCK_ELEMS, MMA_K, MMA_M};
+
+/// Medium rows (`4 < len <= MAX_LEN`), stable-sorted by descending length
+/// and grouped [`MMA_M`] (= 8) rows to a *row-block*.
+///
+/// Within a row-block, consecutive 8x4 position windows are stored as
+/// zero-padded *regular* blocks while the window holds more than
+/// `threshold * 32` nonzeros; every element beyond the regular span is the
+/// row's *irregular* remainder, stored per row.
+///
+/// * `reg_val` / `reg_cid` — the paper's `regVal`/`regCid`: regular blocks
+///   back to back, intra-block **row-major** (element `(r, k)` of a block
+///   at offset `r * MMA_K + k`).
+/// * `rowblock_ptr` — the paper's `rowblockPtr`: element offset of each
+///   row-block's regular part.
+/// * `irreg_val` / `irreg_cid` / `irreg_ptr` — the paper's irregular
+///   arrays, indexed by *sorted* medium-row position.
+/// * `rows` — sorted position to original row id.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediumPart<S: Scalar> {
+    /// Regular-block values (`nnz_reg_new` entries, multiple of 32).
+    pub reg_val: Vec<S>,
+    /// Regular-block column ids.
+    pub reg_cid: Vec<u32>,
+    /// Element offset of each row-block's regular part; length
+    /// `num_rowblocks + 1`.
+    pub rowblock_ptr: Vec<usize>,
+    /// Irregular values (`nnz_irreg` entries, no padding).
+    pub irreg_val: Vec<S>,
+    /// Irregular column ids.
+    pub irreg_cid: Vec<u32>,
+    /// First irregular element of each sorted medium row; length
+    /// `rows.len() + 1`.
+    pub irreg_ptr: Vec<usize>,
+    /// Sorted medium-row position to original row id.
+    pub rows: Vec<u32>,
+    /// Original (unpadded) nonzero count of this category.
+    pub nnz_orig: usize,
+}
+
+impl<S: Scalar> MediumPart<S> {
+    /// An empty part.
+    pub fn empty() -> Self {
+        MediumPart {
+            reg_val: Vec::new(),
+            reg_cid: Vec::new(),
+            rowblock_ptr: vec![0],
+            irreg_val: Vec::new(),
+            irreg_cid: Vec::new(),
+            irreg_ptr: vec![0],
+            rows: Vec::new(),
+            nnz_orig: 0,
+        }
+    }
+
+    /// Number of 8-row row-blocks.
+    pub fn num_rowblocks(&self) -> usize {
+        self.rowblock_ptr.len() - 1
+    }
+
+    /// Number of regular 8x4 blocks in row-block `b`.
+    pub fn reg_blocks(&self, b: usize) -> usize {
+        (self.rowblock_ptr[b + 1] - self.rowblock_ptr[b]) / BLOCK_ELEMS
+    }
+
+    /// Builds the part from the sorted medium rows.
+    ///
+    /// `sorted_rows` holds `(original_row_id, elements)` sorted by
+    /// descending element count (stable). `threshold` is the regular-block
+    /// fill threshold.
+    pub(crate) fn build(sorted_rows: &[(u32, Vec<(u32, S)>)], threshold: f64) -> Self {
+        let mut part = MediumPart::empty();
+        if sorted_rows.is_empty() {
+            return part;
+        }
+        part.rows = sorted_rows.iter().map(|(r, _)| *r).collect();
+        part.nnz_orig = sorted_rows.iter().map(|(_, e)| e.len()).sum();
+
+        let accept = (BLOCK_ELEMS as f64) * threshold;
+        let n_blocks = sorted_rows.len().div_ceil(MMA_M);
+        for b in 0..n_blocks {
+            let rows = &sorted_rows[b * MMA_M..((b + 1) * MMA_M).min(sorted_rows.len())];
+            // Count nonzeros in each 8x4 position window; rows are sorted by
+            // descending length so the counts are non-increasing in k.
+            let max_len = rows.iter().map(|(_, e)| e.len()).max().unwrap_or(0);
+            let mut reg_windows = 0usize;
+            for k in 0..max_len.div_ceil(MMA_K) {
+                let count: usize = rows
+                    .iter()
+                    .map(|(_, e)| e.len().saturating_sub(k * MMA_K).min(MMA_K))
+                    .sum();
+                if (count as f64) > accept {
+                    reg_windows = k + 1;
+                } else {
+                    break;
+                }
+            }
+            // Emit the regular blocks, intra-block row-major with zero fill.
+            for k in 0..reg_windows {
+                for r in 0..MMA_M {
+                    for kk in 0..MMA_K {
+                        let pos = k * MMA_K + kk;
+                        match rows.get(r).and_then(|(_, e)| e.get(pos)) {
+                            Some(&(c, v)) => {
+                                part.reg_cid.push(c);
+                                part.reg_val.push(v);
+                            }
+                            None => {
+                                part.reg_cid.push(0);
+                                part.reg_val.push(S::zero());
+                            }
+                        }
+                    }
+                }
+            }
+            let start = *part.rowblock_ptr.last().unwrap();
+            part.rowblock_ptr.push(start + reg_windows * BLOCK_ELEMS);
+
+            // Everything past the regular span is irregular, per row.
+            for (_, elems) in rows {
+                let from = (reg_windows * MMA_K).min(elems.len());
+                for &(c, v) in &elems[from..] {
+                    part.irreg_cid.push(c);
+                    part.irreg_val.push(v);
+                }
+                let s = *part.irreg_ptr.last().unwrap();
+                part.irreg_ptr.push(s + elems.len() - from);
+            }
+        }
+        part
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(id: u32, len: usize) -> (u32, Vec<(u32, f64)>) {
+        (id, (0..len as u32).map(|c| (c, (c + 1) as f64)).collect())
+    }
+
+    #[test]
+    fn full_rowblock_is_all_regular() {
+        // 8 rows of length 8: both windows 100% full.
+        let rows: Vec<_> = (0..8).map(|i| row(i, 8)).collect();
+        let p = MediumPart::build(&rows, 0.75);
+        assert_eq!(p.num_rowblocks(), 1);
+        assert_eq!(p.reg_blocks(0), 2);
+        assert_eq!(p.reg_val.len(), 64);
+        assert!(p.irreg_val.is_empty());
+        assert_eq!(p.irreg_ptr, vec![0; 9]);
+        assert_eq!(p.nnz_orig, 64);
+    }
+
+    #[test]
+    fn tail_window_below_threshold_goes_irregular() {
+        // 8 rows: lengths 8,8,8,8,5,5,5,5. Window 0 (positions 0..4): 32/32
+        // full -> regular. Window 1 (positions 4..8): 4*4 + 4*1 = 20 < 24
+        // -> irregular remainder.
+        let mut rows: Vec<_> = (0..4).map(|i| row(i, 8)).collect();
+        rows.extend((4..8).map(|i| row(i, 5)));
+        let p = MediumPart::build(&rows, 0.75);
+        assert_eq!(p.reg_blocks(0), 1);
+        assert_eq!(p.reg_val.len(), 32);
+        // irregular: rows 0-3 keep 4 elements each, rows 4-7 keep 1 each
+        assert_eq!(p.irreg_val.len(), 4 * 4 + 4);
+        assert_eq!(p.irreg_ptr, vec![0, 4, 8, 12, 16, 17, 18, 19, 20]);
+    }
+
+    #[test]
+    fn exactly_at_threshold_is_not_regular() {
+        // Window with exactly 24 of 32 filled: the paper says "exceeds", so
+        // 24 == 0.75 * 32 must NOT become a regular block.
+        let rows: Vec<_> = (0..8).map(|i| row(i, 3)).collect();
+        let p = MediumPart::build(&rows, 0.75);
+        assert_eq!(p.reg_blocks(0), 0);
+        assert_eq!(p.irreg_val.len(), 24);
+    }
+
+    #[test]
+    fn above_threshold_is_regular() {
+        // 25 of 32 filled: one row of 4, seven of 3.
+        let mut rows = vec![row(0, 4)];
+        rows.extend((1..8).map(|i| row(i, 3)));
+        let p = MediumPart::build(&rows, 0.75);
+        assert_eq!(p.reg_blocks(0), 1);
+        assert_eq!(p.irreg_val.len(), 0);
+        // Padding slots carry zero value and cid 0.
+        assert_eq!(p.reg_val.len(), 32);
+        let zeros = p.reg_val.iter().filter(|&&v| v == 0.0).count();
+        assert_eq!(zeros, 7);
+    }
+
+    #[test]
+    fn partial_last_rowblock_pads_missing_rows() {
+        // 10 rows of length 5: two row-blocks, the second with 2 real rows.
+        let rows: Vec<_> = (0..10).map(|i| row(i, 5)).collect();
+        let p = MediumPart::build(&rows, 0.75);
+        assert_eq!(p.num_rowblocks(), 2);
+        // First row-block: window 0 full (32) regular; window 1: 8 < 24.
+        assert_eq!(p.reg_blocks(0), 1);
+        // Second row-block: window 0 has 2*4=8 of 32 -> irregular entirely.
+        assert_eq!(p.reg_blocks(1), 0);
+        assert_eq!(p.irreg_ptr.len(), 11);
+        // Sorted-position row 8 and 9 have all 5 elements irregular.
+        assert_eq!(p.irreg_ptr[9] - p.irreg_ptr[8], 5);
+    }
+
+    #[test]
+    fn intra_block_layout_is_row_major() {
+        let rows: Vec<_> = (0..8).map(|i| row(i, 4)).collect();
+        let p = MediumPart::build(&rows, 0.75);
+        // Element (r=2, k=3) of block 0 must be row 2's element at position 3.
+        assert_eq!(p.reg_val[2 * MMA_K + 3], 4.0);
+        assert_eq!(p.reg_cid[2 * MMA_K + 3], 3);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_part() {
+        let p = MediumPart::<f64>::build(&[], 0.75);
+        assert_eq!(p.num_rowblocks(), 0);
+        assert_eq!(p.rows.len(), 0);
+    }
+}

@@ -1,0 +1,183 @@
+//! The DASP data structure (paper §3.2).
+//!
+//! [`DaspMatrix::from_csr`] performs the preprocessing the paper's Fig. 13
+//! measures: classify rows by length, then lay each category out in
+//! MMA-shaped blocks:
+//!
+//! * [`LongPart`] — rows longer than `MAX_LEN`, cut into 64-element groups;
+//! * [`MediumPart`] — rows of length 5..=`MAX_LEN`, sorted descending,
+//!   grouped 8 to a row-block and split into regular blocks / irregular
+//!   remainder by the 75% fill threshold;
+//! * [`ShortPart`] — rows of length <= 4, pieced into full 8x4 blocks.
+//!
+//! Empty rows belong to no category; their `y` entries stay zero.
+
+mod build;
+mod long;
+mod medium;
+mod reconstruct;
+mod serialize;
+mod short;
+mod validate;
+
+pub use long::LongPart;
+pub use serialize::SerError;
+pub use validate::FormatError;
+pub use medium::MediumPart;
+pub use short::{ShortPart, NO_ROW};
+
+use dasp_fp16::Scalar;
+use dasp_sparse::Csr;
+
+use crate::consts::DaspParams;
+
+/// A sparse matrix converted to the DASP blocked format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaspMatrix<S: Scalar> {
+    /// Number of rows of the original matrix.
+    pub rows: usize,
+    /// Number of columns of the original matrix.
+    pub cols: usize,
+    /// Number of stored nonzeros of the original matrix.
+    pub nnz: usize,
+    /// The long-rows category.
+    pub long: LongPart<S>,
+    /// The medium-rows category.
+    pub medium: MediumPart<S>,
+    /// The short-rows category.
+    pub short: ShortPart<S>,
+    /// Parameters the matrix was built with.
+    pub params: DaspParams,
+}
+
+impl<S: Scalar> DaspMatrix<S> {
+    /// Converts a CSR matrix with the paper's default parameters
+    /// (`MAX_LEN = 256`, `threshold = 0.75`).
+    pub fn from_csr(csr: &Csr<S>) -> Self {
+        Self::with_params(csr, DaspParams::default())
+    }
+
+    /// Converts a CSR matrix with explicit parameters.
+    pub fn with_params(csr: &Csr<S>, params: DaspParams) -> Self {
+        build::build(csr, params)
+    }
+
+    /// Category occupancy statistics (the data behind paper Fig. 12).
+    pub fn category_stats(&self) -> CategoryStats {
+        let rows_long = self.long.rows.len();
+        let rows_medium = self.medium.rows.len();
+        let rows_short = self.short.num_rows();
+        CategoryStats {
+            rows: self.rows,
+            nnz: self.nnz,
+            rows_long,
+            rows_medium,
+            rows_short,
+            rows_empty: self.rows - rows_long - rows_medium - rows_short,
+            nnz_long: self.long.nnz_orig,
+            nnz_medium: self.medium.nnz_orig,
+            nnz_short: self.short.nnz_orig,
+            stored_long: self.long.vals.len(),
+            stored_medium: self.medium.reg_val.len() + self.medium.irreg_val.len(),
+            stored_short: self.short.vals.len(),
+        }
+    }
+}
+
+/// Row and nonzero occupancy per category, plus padded storage sizes.
+///
+/// `stored_*` counts include the zero fill, so
+/// `stored / nnz - 1` is the category's fill rate (the paper quotes 0.85%
+/// for `rel19`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CategoryStats {
+    /// Total rows.
+    pub rows: usize,
+    /// Total nonzeros.
+    pub nnz: usize,
+    /// Rows in the long category.
+    pub rows_long: usize,
+    /// Rows in the medium category.
+    pub rows_medium: usize,
+    /// Rows in the short category (length 1..=4).
+    pub rows_short: usize,
+    /// Rows with no nonzeros.
+    pub rows_empty: usize,
+    /// Original nonzeros in long rows.
+    pub nnz_long: usize,
+    /// Original nonzeros in medium rows.
+    pub nnz_medium: usize,
+    /// Original nonzeros in short rows.
+    pub nnz_short: usize,
+    /// Stored elements (incl. padding) in the long part.
+    pub stored_long: usize,
+    /// Stored elements (incl. padding) in the medium part.
+    pub stored_medium: usize,
+    /// Stored elements (incl. padding) in the short part.
+    pub stored_short: usize,
+}
+
+impl CategoryStats {
+    /// Overall zero-fill rate: padded elements / original nonzeros.
+    pub fn fill_rate(&self) -> f64 {
+        let stored = self.stored_long + self.stored_medium + self.stored_short;
+        if self.nnz == 0 {
+            return 0.0;
+        }
+        stored as f64 / self.nnz as f64 - 1.0
+    }
+}
+
+impl<S: Scalar> DaspMatrix<S> {
+    /// Total bytes of the converted format's arrays (values, column ids,
+    /// pointers, permutations) — what the paper's format occupies in GPU
+    /// memory, for comparison against CSR's `12*nnz + 4*(rows+1)` (FP64).
+    pub fn memory_bytes(&self) -> usize {
+        let s = std::mem::size_of::<S>();
+        let long = self.long.vals.len() * s
+            + self.long.cids.len() * 4
+            + self.long.group_ptr.len() * 4
+            + self.long.rows.len() * 4;
+        let medium = self.medium.reg_val.len() * s
+            + self.medium.reg_cid.len() * 4
+            + self.medium.rowblock_ptr.len() * 4
+            + self.medium.irreg_val.len() * s
+            + self.medium.irreg_cid.len() * 4
+            + self.medium.irreg_ptr.len() * 4
+            + self.medium.rows.len() * 4;
+        let short = self.short.vals.len() * s
+            + self.short.cids.len() * 4
+            + (self.short.perm13.len()
+                + self.short.perm4.len()
+                + self.short.perm22.len()
+                + self.short.perm1.len())
+                * 4;
+        long + medium + short
+    }
+}
+
+#[cfg(test)]
+mod footprint_tests {
+    use super::*;
+    use dasp_sparse::Coo;
+
+    #[test]
+    fn footprint_is_close_to_csr_for_friendly_structure() {
+        // 4-nonzero rows, no padding: format memory ~= CSR memory + perms.
+        let mut coo = Coo::<f64>::new(512, 512);
+        for r in 0..512 {
+            for k in 0..4 {
+                coo.push(r, (r + k * 31) % 512, 1.0);
+            }
+        }
+        let csr = coo.to_csr();
+        let d = DaspMatrix::from_csr(&csr);
+        let csr_bytes = csr.nnz() * 12 + (csr.rows + 1) * 4;
+        let dasp_bytes = d.memory_bytes();
+        assert!(
+            dasp_bytes < csr_bytes * 2,
+            "dasp {dasp_bytes} vs csr {csr_bytes}"
+        );
+        assert!(dasp_bytes >= csr.nnz() * 12, "must hold at least the data");
+    }
+}

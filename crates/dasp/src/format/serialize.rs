@@ -1,0 +1,418 @@
+//! Binary serialization of the converted DASP format.
+//!
+//! The paper's §4.4 argument — preprocessing amortizes over many SpMV
+//! calls — extends across *runs* if the converted format can be saved.
+//! This module writes a small versioned container (`DASPFMT1`):
+//!
+//! ```text
+//! magic    8 bytes  "DASPFMT1"
+//! scalar   1 byte   storage width (2 = fp16, 4 = fp32, 8 = fp64)
+//! header   7 x u64  rows, cols, nnz, max_len, threshold (f64 bits),
+//!                   short_piecing, reserved
+//! arrays   length-prefixed little-endian arrays, fixed order
+//! ```
+//!
+//! Reading validates the magic, the scalar width against `S`, and runs the
+//! full structural [`DaspMatrix::validate`] before returning, so corrupted
+//! or truncated files are rejected rather than producing wrong results.
+
+use std::io::{Read, Write};
+
+use dasp_fp16::Scalar;
+
+use crate::consts::DaspParams;
+use crate::format::{DaspMatrix, FormatError, LongPart, MediumPart, ShortPart};
+
+const MAGIC: &[u8; 8] = b"DASPFMT1";
+
+/// An error while reading or writing a serialized format.
+#[derive(Debug)]
+pub enum SerError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The bytes are not a DASP format container, or are corrupted.
+    Malformed(String),
+    /// The container holds a different scalar width than requested.
+    WrongScalar {
+        /// Width stored in the file.
+        found: u8,
+        /// Width of the requested `S`.
+        expected: u8,
+    },
+    /// The decoded structure fails [`DaspMatrix::validate`].
+    Invalid(FormatError),
+}
+
+impl std::fmt::Display for SerError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerError::Io(e) => write!(f, "io error: {e}"),
+            SerError::Malformed(s) => write!(f, "malformed container: {s}"),
+            SerError::WrongScalar { found, expected } => {
+                write!(f, "scalar width {found} in file, expected {expected}")
+            }
+            SerError::Invalid(e) => write!(f, "decoded format invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SerError {}
+
+impl From<std::io::Error> for SerError {
+    fn from(e: std::io::Error) -> Self {
+        SerError::Io(e)
+    }
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> std::io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, SerError> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn read_len<R: Read>(r: &mut R, cap: u64) -> Result<usize, SerError> {
+    let n = read_u64(r)?;
+    if n > cap {
+        return Err(SerError::Malformed(format!("array length {n} exceeds sanity cap {cap}")));
+    }
+    Ok(n as usize)
+}
+
+fn write_usizes<W: Write>(w: &mut W, v: &[usize]) -> std::io::Result<()> {
+    write_u64(w, v.len() as u64)?;
+    for &x in v {
+        write_u64(w, x as u64)?;
+    }
+    Ok(())
+}
+
+fn read_usizes<R: Read>(r: &mut R, cap: u64) -> Result<Vec<usize>, SerError> {
+    let n = read_len(r, cap)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(read_u64(r)? as usize);
+    }
+    Ok(out)
+}
+
+fn write_u32s<W: Write>(w: &mut W, v: &[u32]) -> std::io::Result<()> {
+    write_u64(w, v.len() as u64)?;
+    for &x in v {
+        w.write_all(&x.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_u32s<R: Read>(r: &mut R, cap: u64) -> Result<Vec<u32>, SerError> {
+    let n = read_len(r, cap)?;
+    let mut out = Vec::with_capacity(n);
+    let mut b = [0u8; 4];
+    for _ in 0..n {
+        r.read_exact(&mut b)?;
+        out.push(u32::from_le_bytes(b));
+    }
+    Ok(out)
+}
+
+fn write_scalars<S: Scalar, W: Write>(w: &mut W, v: &[S]) -> std::io::Result<()> {
+    write_u64(w, v.len() as u64)?;
+    for x in v {
+        // Values travel as f64 bits: lossless for every supported storage
+        // width (f16/f32/f64 all embed exactly in f64).
+        w.write_all(&x.to_f64().to_bits().to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_scalars<S: Scalar, R: Read>(r: &mut R, cap: u64) -> Result<Vec<S>, SerError> {
+    let n = read_len(r, cap)?;
+    let mut out = Vec::with_capacity(n);
+    let mut b = [0u8; 8];
+    for _ in 0..n {
+        r.read_exact(&mut b)?;
+        out.push(S::from_f64(f64::from_bits(u64::from_le_bytes(b))));
+    }
+    Ok(out)
+}
+
+impl<S: Scalar> DaspMatrix<S> {
+    /// Writes the converted format to `w`.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&[S::BYTES as u8])?;
+        write_u64(w, self.rows as u64)?;
+        write_u64(w, self.cols as u64)?;
+        write_u64(w, self.nnz as u64)?;
+        write_u64(w, self.params.max_len as u64)?;
+        write_u64(w, self.params.threshold.to_bits())?;
+        write_u64(w, self.params.short_piecing as u64)?;
+        write_u64(w, 0)?; // reserved
+
+        write_scalars(w, &self.long.vals)?;
+        write_u32s(w, &self.long.cids)?;
+        write_usizes(w, &self.long.group_ptr)?;
+        write_u32s(w, &self.long.rows)?;
+        write_u64(w, self.long.nnz_orig as u64)?;
+
+        write_scalars(w, &self.medium.reg_val)?;
+        write_u32s(w, &self.medium.reg_cid)?;
+        write_usizes(w, &self.medium.rowblock_ptr)?;
+        write_scalars(w, &self.medium.irreg_val)?;
+        write_u32s(w, &self.medium.irreg_cid)?;
+        write_usizes(w, &self.medium.irreg_ptr)?;
+        write_u32s(w, &self.medium.rows)?;
+        write_u64(w, self.medium.nnz_orig as u64)?;
+
+        write_scalars(w, &self.short.vals)?;
+        write_u32s(w, &self.short.cids)?;
+        write_u64(w, self.short.n13_warps as u64)?;
+        write_u64(w, self.short.n4_warps as u64)?;
+        write_u64(w, self.short.n22_warps as u64)?;
+        write_u64(w, self.short.n1 as u64)?;
+        write_u64(w, self.short.off4 as u64)?;
+        write_u64(w, self.short.off22 as u64)?;
+        write_u64(w, self.short.off1 as u64)?;
+        write_u32s(w, &self.short.perm13)?;
+        write_u32s(w, &self.short.perm4)?;
+        write_u32s(w, &self.short.perm22)?;
+        write_u32s(w, &self.short.perm1)?;
+        write_u64(w, self.short.nnz_orig as u64)?;
+        Ok(())
+    }
+
+    /// Reads a converted format from `r`, validating structure before
+    /// returning.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Self, SerError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(SerError::Malformed("bad magic".into()));
+        }
+        let mut width = [0u8; 1];
+        r.read_exact(&mut width)?;
+        if width[0] as u64 != S::BYTES {
+            return Err(SerError::WrongScalar {
+                found: width[0],
+                expected: S::BYTES as u8,
+            });
+        }
+        let rows = read_u64(r)? as usize;
+        let cols = read_u64(r)? as usize;
+        let nnz = read_u64(r)? as usize;
+        // Row/column ids travel as u32 in the format, so larger headers
+        // can only come from corruption; nnz beyond 2^48 would mean a
+        // multi-petabyte container. Reject before any allocation sizing.
+        if rows > u32::MAX as usize || cols > u32::MAX as usize || nnz > 1 << 48 {
+            return Err(SerError::Malformed(format!(
+                "implausible header: rows {rows}, cols {cols}, nnz {nnz}"
+            )));
+        }
+        let max_len = read_u64(r)? as usize;
+        let threshold = f64::from_bits(read_u64(r)?);
+        let short_piecing = read_u64(r)? != 0;
+        let _reserved = read_u64(r)?;
+        // Sanity cap for array lengths. The format's zero fill is bounded
+        // by 64x for any legal parameterization (a 64-element long-row
+        // group can hold as few as `max_len + 1 >= 6` nonzeros, a regular
+        // medium block as few as 1 at tiny thresholds, a pieced short warp
+        // as few as 4), so 64x plus slack rejects only corruption.
+        let cap = (nnz as u64 + rows as u64 + 1024) * 64;
+
+        let long = LongPart {
+            vals: read_scalars(r, cap)?,
+            cids: read_u32s(r, cap)?,
+            group_ptr: read_usizes(r, cap)?,
+            rows: read_u32s(r, cap)?,
+            nnz_orig: read_u64(r)? as usize,
+        };
+        let medium = MediumPart {
+            reg_val: read_scalars(r, cap)?,
+            reg_cid: read_u32s(r, cap)?,
+            rowblock_ptr: read_usizes(r, cap)?,
+            irreg_val: read_scalars(r, cap)?,
+            irreg_cid: read_u32s(r, cap)?,
+            irreg_ptr: read_usizes(r, cap)?,
+            rows: read_u32s(r, cap)?,
+            nnz_orig: read_u64(r)? as usize,
+        };
+        let short = ShortPart {
+            vals: read_scalars(r, cap)?,
+            cids: read_u32s(r, cap)?,
+            n13_warps: read_u64(r)? as usize,
+            n4_warps: read_u64(r)? as usize,
+            n22_warps: read_u64(r)? as usize,
+            n1: read_u64(r)? as usize,
+            off4: read_u64(r)? as usize,
+            off22: read_u64(r)? as usize,
+            off1: read_u64(r)? as usize,
+            perm13: read_u32s(r, cap)?,
+            perm4: read_u32s(r, cap)?,
+            perm22: read_u32s(r, cap)?,
+            perm1: read_u32s(r, cap)?,
+            nnz_orig: read_u64(r)? as usize,
+        };
+
+        let m = DaspMatrix {
+            rows,
+            cols,
+            nnz,
+            long,
+            medium,
+            short,
+            params: DaspParams {
+                max_len,
+                threshold,
+                short_piecing,
+            },
+        };
+        m.validate().map_err(SerError::Invalid)?;
+        Ok(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_fp16::F16;
+    use dasp_simt::NoProbe;
+    use dasp_sparse::Csr;
+
+    fn sample() -> Csr<f64> {
+        dasp_matgen::circuit_like(3000, 3, 700, 11)
+    }
+
+    #[test]
+    fn round_trips_fp64() {
+        let d = DaspMatrix::from_csr(&sample());
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        let back: DaspMatrix<f64> = DaspMatrix::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(d, back);
+        // And it still computes.
+        let x = dasp_matgen::dense_vector(d.cols, 1);
+        assert_eq!(d.spmv(&x, &mut NoProbe), back.spmv(&x, &mut NoProbe));
+    }
+
+    #[test]
+    fn round_trips_fp16_and_fp32() {
+        let csr = sample();
+        let h16: Csr<F16> = csr.cast();
+        let d = DaspMatrix::from_csr(&h16);
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        let back: DaspMatrix<F16> = DaspMatrix::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(d, back);
+
+        let h32: Csr<f32> = csr.cast();
+        let d = DaspMatrix::from_csr(&h32);
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        let back: DaspMatrix<f32> = DaspMatrix::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn round_trips_heavily_padded_parameterizations() {
+        // max_len = 5 classifies 6-nonzero rows as long: ~10.7x zero fill.
+        // The read-side sanity cap must accept everything write_to emits.
+        let csr = dasp_matgen::uniform_random(2000, 2000, 6, 12);
+        let d = DaspMatrix::with_params(
+            &csr,
+            crate::consts::DaspParams {
+                max_len: 5,
+                threshold: 0.1,
+                short_piecing: false,
+            },
+        );
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        let back: DaspMatrix<f64> = DaspMatrix::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(d, back);
+    }
+
+    #[test]
+    fn empty_rowblock_ptr_is_rejected_not_a_panic() {
+        // A container whose medium rowblock_ptr has length 0 must come back
+        // as an error (validate would otherwise index [0]).
+        let d = DaspMatrix::from_csr(&sample());
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        // Locate the rowblock_ptr length prefix: it follows the header,
+        // long arrays, and the medium reg arrays. Rather than computing
+        // offsets, rebuild with an empty medium part and corrupt nnz
+        // bookkeeping is caught too — here we synthesize directly:
+        let mut m = d.clone();
+        m.medium.rowblock_ptr.clear();
+        assert!(m.validate().is_err(), "empty rowblock_ptr must be an error");
+    }
+
+    #[test]
+    fn implausible_header_is_rejected() {
+        let d = DaspMatrix::from_csr(&sample());
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        // rows field sits right after magic (8) + width (1).
+        buf[9..17].copy_from_slice(&(u64::MAX / 2).to_le_bytes());
+        let err = DaspMatrix::<f64>::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SerError::Malformed(_)), "{err}");
+    }
+
+    #[test]
+    fn wrong_scalar_width_is_rejected() {
+        let d = DaspMatrix::from_csr(&sample());
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        let err = DaspMatrix::<F16>::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SerError::WrongScalar { found: 8, expected: 2 }));
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let buf = b"NOTDASP0rest".to_vec();
+        let err = DaspMatrix::<f64>::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SerError::Malformed(_)));
+    }
+
+    #[test]
+    fn truncation_is_rejected() {
+        let d = DaspMatrix::from_csr(&sample());
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        for cut in [9usize, 60, buf.len() / 2, buf.len() - 3] {
+            let err = DaspMatrix::<f64>::read_from(&mut &buf[..cut]).unwrap_err();
+            assert!(
+                matches!(err, SerError::Io(_) | SerError::Malformed(_)),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn corruption_fails_validation() {
+        let d = DaspMatrix::from_csr(&sample());
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        // Flip a byte inside the short-part offsets region (near the end).
+        let idx = buf.len() - 200;
+        buf[idx] ^= 0xff;
+        let res = DaspMatrix::<f64>::read_from(&mut buf.as_slice());
+        assert!(res.is_err(), "corrupted container must not decode cleanly");
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let d = DaspMatrix::from_csr(&sample());
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        // Overwrite the first array length (right after the 65-byte header)
+        // with an absurd value.
+        let pos = 8 + 1 + 7 * 8;
+        buf[pos..pos + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        let err = DaspMatrix::<f64>::read_from(&mut buf.as_slice()).unwrap_err();
+        assert!(matches!(err, SerError::Malformed(_)), "{err}");
+    }
+}

@@ -1,0 +1,341 @@
+//! Storage of the short-rows category (paper §3.2, cool-toned part of
+//! Fig. 5).
+
+use dasp_fp16::Scalar;
+
+use crate::consts::{MMA_K, MMA_M};
+
+/// Sentinel in the permutation arrays marking a padding slot with no
+/// original row behind it.
+pub const NO_ROW: u32 = u32::MAX;
+
+/// Short rows (`len <= 4`), pieced together into full 8x4 blocks.
+///
+/// Four sub-categories, stored back to back in `vals`/`cids` in the paper's
+/// order:
+///
+/// 1. **1&3 pieced** — a length-1 row and a length-3 row share a packed
+///    4-element row (`[a1 | b0 b1 b2]`). Two blocks per warp; 32 `y` values.
+/// 2. **pure length-4** — length-4 rows, length-3 rows left over after 1&3
+///    pairing (padded with one zero), and an odd leftover length-2 row
+///    (padded with two zeros). Four blocks per warp.
+/// 3. **2&2 pieced** — two length-2 rows per packed row. Two blocks per
+///    warp.
+/// 4. **leftover length-1** — computed by the scalar kernel (Algorithm 5).
+///
+/// Each sub-category is padded with all-zero packed rows up to its warp
+/// granularity, and `perm*` arrays map each warp's 32 `y` slots back to
+/// original row ids ([`NO_ROW`] for padding). The slot order inside a warp
+/// follows the kernels' shuffle extraction: iteration `i` of the 4-MMA loop
+/// fills slots `i*8..(i+1)*8`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShortPart<S: Scalar> {
+    /// All packed element values: `[1&3 blocks][len-4 blocks][2&2 blocks][singles]`.
+    pub vals: Vec<S>,
+    /// Matching column ids (0 for padding).
+    pub cids: Vec<u32>,
+    /// Warps in the 1&3 kernel (2 blocks, 32 y values each).
+    pub n13_warps: usize,
+    /// Warps in the length-4 kernel (4 blocks each).
+    pub n4_warps: usize,
+    /// Warps in the 2&2 kernel (2 blocks each).
+    pub n22_warps: usize,
+    /// Leftover singleton rows handled by the scalar kernel.
+    pub n1: usize,
+    /// Element offset of the length-4 blocks within `vals`.
+    pub off4: usize,
+    /// Element offset of the 2&2 blocks.
+    pub off22: usize,
+    /// Element offset of the singleton elements.
+    pub off1: usize,
+    /// y-slot to original row for the 1&3 kernel; `n13_warps * 32` entries.
+    pub perm13: Vec<u32>,
+    /// y-slot to original row for the length-4 kernel; `n4_warps * 32`.
+    pub perm4: Vec<u32>,
+    /// y-slot to original row for the 2&2 kernel; `n22_warps * 32`.
+    pub perm22: Vec<u32>,
+    /// Original row of each singleton; `n1` entries.
+    pub perm1: Vec<u32>,
+    /// Original (unpadded) nonzero count of this category.
+    pub nnz_orig: usize,
+}
+
+/// One short row queued for packing.
+type ShortRow<S> = (u32, Vec<(u32, S)>);
+
+impl<S: Scalar> ShortPart<S> {
+    /// An empty part.
+    pub fn empty() -> Self {
+        ShortPart {
+            vals: Vec::new(),
+            cids: Vec::new(),
+            n13_warps: 0,
+            n4_warps: 0,
+            n22_warps: 0,
+            n1: 0,
+            off4: 0,
+            off22: 0,
+            off1: 0,
+            perm13: Vec::new(),
+            perm4: Vec::new(),
+            perm22: Vec::new(),
+            perm1: Vec::new(),
+            nnz_orig: 0,
+        }
+    }
+
+    /// Number of short rows across all sub-categories.
+    pub fn num_rows(&self) -> usize {
+        self.perm13.iter().filter(|&&r| r != NO_ROW).count()
+            + self.perm4.iter().filter(|&&r| r != NO_ROW).count()
+            + self.perm22.iter().filter(|&&r| r != NO_ROW).count()
+            + self.n1
+    }
+
+    /// Builds the part from the short rows, in original row order.
+    pub(crate) fn build(short_rows: Vec<ShortRow<S>>) -> Self {
+        Self::build_with_piecing(short_rows, true)
+    }
+
+    /// Builds the part without 1&3 / 2&2 piecing: every row shorter than 4
+    /// is zero-padded into the length-4 category instead. This is the
+    /// ablation of paper §3.3.3's claim that piecing "effectively reduces
+    /// the data transfer overhead" — without it, a length-1 row occupies a
+    /// whole 4-element slot (4x the value traffic and x loads).
+    pub fn build_padded_only(short_rows: Vec<ShortRow<S>>) -> Self {
+        Self::build_with_piecing(short_rows, false)
+    }
+
+    fn build_with_piecing(short_rows: Vec<ShortRow<S>>, piecing: bool) -> Self {
+        let mut part = ShortPart::empty();
+        part.nnz_orig = short_rows.iter().map(|(_, e)| e.len()).sum();
+
+        let mut r1: Vec<ShortRow<S>> = Vec::new();
+        let mut r2: Vec<ShortRow<S>> = Vec::new();
+        let mut r3: Vec<ShortRow<S>> = Vec::new();
+        let mut r4: Vec<ShortRow<S>> = Vec::new();
+        for row in short_rows {
+            match row.1.len() {
+                1 if !piecing => {
+                    let (id, e) = row;
+                    r4.push((id, vec![e[0], (0, S::zero()), (0, S::zero()), (0, S::zero())]));
+                }
+                2 if !piecing => {
+                    let (id, e) = row;
+                    r4.push((id, vec![e[0], e[1], (0, S::zero()), (0, S::zero())]));
+                }
+                3 if !piecing => {
+                    let (id, e) = row;
+                    r4.push((id, vec![e[0], e[1], e[2], (0, S::zero())]));
+                }
+                1 => r1.push(row),
+                2 => r2.push(row),
+                3 => r3.push(row),
+                4 => r4.push(row),
+                l => panic!("short row of length {l}"),
+            }
+        }
+
+        // --- 1&3 piecing -------------------------------------------------
+        let pairs13 = r1.len().min(r3.len());
+        let ones: Vec<ShortRow<S>> = r1.drain(..pairs13).collect();
+        let threes: Vec<ShortRow<S>> = r3.drain(..pairs13).collect();
+        // A packed row per pair; warp granularity = 16 packed rows.
+        part.n13_warps = pairs13.div_ceil(2 * MMA_M);
+        let packed13 = part.n13_warps * 2 * MMA_M;
+        part.perm13 = vec![NO_ROW; part.n13_warps * 32];
+        for slot in 0..packed13 {
+            // packed row `slot` lives in block b = slot/8, local row r = slot%8
+            let (b, r) = (slot / MMA_M, slot % MMA_M);
+            let w = b / 2; // warp
+            let i0 = (b % 2) * 2; // iteration of the "1" piece (0 or 2)
+            if slot < pairs13 {
+                let (one_id, one_elems) = &ones[slot];
+                let (three_id, three_elems) = &threes[slot];
+                part.push_elem(one_elems[0]);
+                for &e in three_elems.iter() {
+                    part.push_elem(e);
+                }
+                part.perm13[w * 32 + i0 * MMA_M + r] = *one_id;
+                part.perm13[w * 32 + (i0 + 1) * MMA_M + r] = *three_id;
+            } else {
+                part.push_zeros(MMA_K);
+            }
+        }
+
+        // --- pure length-4 (plus padded leftovers) -----------------------
+        part.off4 = part.vals.len();
+        let mut fours: Vec<(u32, [(u32, S); 4])> = Vec::new();
+        for (id, e) in r4 {
+            fours.push((id, [e[0], e[1], e[2], e[3]]));
+        }
+        for (id, e) in r3 {
+            // leftover length-3 rows: pad one zero (paper §3.2)
+            fours.push((id, [e[0], e[1], e[2], (0, S::zero())]));
+        }
+        if r2.len() % 2 == 1 {
+            // an odd leftover length-2 row: pad two zeros (the paper leaves
+            // this case unspecified; padding keeps it in the MMA path)
+            let (id, e) = r2.pop().expect("odd length checked");
+            fours.push((id, [e[0], e[1], (0, S::zero()), (0, S::zero())]));
+        }
+        part.n4_warps = fours.len().div_ceil(4 * MMA_M);
+        let packed4 = part.n4_warps * 4 * MMA_M;
+        part.perm4 = vec![NO_ROW; part.n4_warps * 32];
+        for slot in 0..packed4 {
+            let (b, r) = (slot / MMA_M, slot % MMA_M);
+            let (w, i) = (b / 4, b % 4);
+            if let Some((id, elems)) = fours.get(slot) {
+                for &e in elems.iter() {
+                    part.push_elem(e);
+                }
+                part.perm4[w * 32 + i * MMA_M + r] = *id;
+            } else {
+                part.push_zeros(MMA_K);
+            }
+        }
+
+        // --- 2&2 piecing --------------------------------------------------
+        part.off22 = part.vals.len();
+        let pairs22 = r2.len() / 2;
+        part.n22_warps = pairs22.div_ceil(2 * MMA_M);
+        let packed22 = part.n22_warps * 2 * MMA_M;
+        part.perm22 = vec![NO_ROW; part.n22_warps * 32];
+        for slot in 0..packed22 {
+            let (b, r) = (slot / MMA_M, slot % MMA_M);
+            let w = b / 2;
+            let i0 = (b % 2) * 2;
+            if slot < pairs22 {
+                let (a_id, a_elems) = &r2[2 * slot];
+                let (b_id, b_elems) = &r2[2 * slot + 1];
+                part.push_elem(a_elems[0]);
+                part.push_elem(a_elems[1]);
+                part.push_elem(b_elems[0]);
+                part.push_elem(b_elems[1]);
+                part.perm22[w * 32 + i0 * MMA_M + r] = *a_id;
+                part.perm22[w * 32 + (i0 + 1) * MMA_M + r] = *b_id;
+            } else {
+                part.push_zeros(MMA_K);
+            }
+        }
+
+        // --- leftover singletons ------------------------------------------
+        part.off1 = part.vals.len();
+        part.n1 = r1.len();
+        for (id, e) in r1 {
+            part.push_elem(e[0]);
+            part.perm1.push(id);
+        }
+
+        part
+    }
+
+    fn push_elem(&mut self, (c, v): (u32, S)) {
+        self.cids.push(c);
+        self.vals.push(v);
+    }
+
+    fn push_zeros(&mut self, n: usize) {
+        for _ in 0..n {
+            self.push_elem((0, S::zero()));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::consts::BLOCK_ELEMS;
+
+    fn row(id: u32, len: usize) -> ShortRow<f64> {
+        (
+            id,
+            (0..len as u32)
+                .map(|c| (c, (id * 10 + c + 1) as f64))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn pairs_ones_with_threes() {
+        // 3 singles + 2 threes -> 2 pairs, 1 leftover single.
+        let rows = vec![row(0, 1), row(1, 3), row(2, 1), row(3, 3), row(4, 1)];
+        let p = ShortPart::build(rows);
+        assert_eq!(p.n13_warps, 1);
+        assert_eq!(p.n1, 1);
+        assert_eq!(p.perm1, vec![4]);
+        // Pair 0 = rows (0, 1): packed row 0 = [a0 | b0 b1 b2]
+        assert_eq!(p.vals[0], 1.0); // row 0's single element
+        assert_eq!(p.vals[1], 11.0); // row 1's first element
+        // perm: warp 0, block 0, iteration 0 slot 0 -> row 0; iteration 1
+        // slot 0 -> row 1.
+        assert_eq!(p.perm13[0], 0);
+        assert_eq!(p.perm13[MMA_M], 1);
+        assert_eq!(p.perm13[1], 2);
+        assert_eq!(p.perm13[MMA_M + 1], 3);
+        assert_eq!(p.num_rows(), 5);
+    }
+
+    #[test]
+    fn leftover_threes_become_fours() {
+        // 1 single, 3 threes: one 1&3 pair, two threes padded into fours.
+        let rows = vec![row(0, 1), row(1, 3), row(2, 3), row(3, 3)];
+        let p = ShortPart::build(rows);
+        assert_eq!(p.n13_warps, 1);
+        assert_eq!(p.n4_warps, 1);
+        assert_eq!(p.n1, 0);
+        // The fours hold rows 2 and 3 with a zero pad in position 3.
+        assert_eq!(p.vals[p.off4 + 3], 0.0);
+        assert_eq!(p.cids[p.off4 + 3], 0);
+        assert_eq!(p.perm4[0], 2);
+        assert_eq!(p.perm4[1], 3);
+    }
+
+    #[test]
+    fn twos_paired_and_odd_leftover_padded() {
+        let rows = vec![row(0, 2), row(1, 2), row(2, 2)];
+        let p = ShortPart::build(rows);
+        // rows 0&1 pair in the 2&2 category; row 2 is the odd one out,
+        // padded into the fours.
+        assert_eq!(p.n22_warps, 1);
+        assert_eq!(p.n4_warps, 1);
+        assert_eq!(p.perm22[0], 0);
+        assert_eq!(p.perm22[MMA_M], 1);
+        assert_eq!(p.perm4[0], 2);
+        assert_eq!(p.num_rows(), 3);
+    }
+
+    #[test]
+    fn pure_fours_fill_blocks() {
+        let rows: Vec<_> = (0..40).map(|i| row(i, 4)).collect();
+        let p = ShortPart::build(rows);
+        // 40 fours -> 2 warps of 32 slots (second warp 8 rows + 24 pads).
+        assert_eq!(p.n4_warps, 2);
+        assert_eq!(p.vals.len(), 2 * 4 * BLOCK_ELEMS);
+        assert_eq!(p.perm4.iter().filter(|&&r| r != NO_ROW).count(), 40);
+        // slot order: warp 0 holds rows 0..32 as blocks of 8.
+        assert_eq!(p.perm4[0], 0);
+        assert_eq!(p.perm4[8], 8);
+        assert_eq!(p.perm4[31], 31);
+        assert_eq!(p.perm4[32], 32);
+    }
+
+    #[test]
+    fn padding_slots_are_zeroed() {
+        let rows = vec![row(7, 1), row(8, 3)];
+        let p = ShortPart::build(rows);
+        // One pair; 15 packed-row pads of 4 zero elements each.
+        assert_eq!(p.vals.len(), 16 * MMA_K);
+        let nonzero = p.vals.iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nonzero, 4);
+        assert_eq!(p.nnz_orig, 4);
+    }
+
+    #[test]
+    fn empty_input_is_empty_part() {
+        let p = ShortPart::<f64>::build(Vec::new());
+        assert_eq!(p.num_rows(), 0);
+        assert_eq!(p.vals.len(), 0);
+        assert_eq!(p.n13_warps + p.n4_warps + p.n22_warps + p.n1, 0);
+    }
+}

@@ -1,0 +1,327 @@
+//! Structural validation of the DASP format.
+//!
+//! [`DaspMatrix::validate`] checks every internal invariant the kernels
+//! rely on. The builder always produces valid formats (property-tested),
+//! but a validator makes that contract explicit, catches corruption in
+//! hand-constructed or deserialized formats, and documents the format's
+//! rules in executable form.
+
+use dasp_fp16::Scalar;
+
+use crate::consts::{BLOCK_ELEMS, GROUP_ELEMS, MMA_M};
+use crate::format::short::NO_ROW;
+use crate::format::DaspMatrix;
+
+/// A violated DASP-format invariant.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FormatError(pub String);
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid DASP format: {}", self.0)
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+fn err<T>(msg: impl Into<String>) -> Result<T, FormatError> {
+    Err(FormatError(msg.into()))
+}
+
+impl<S: Scalar> DaspMatrix<S> {
+    /// Checks all structural invariants of the blocked format.
+    pub fn validate(&self) -> Result<(), FormatError> {
+        self.validate_long()?;
+        self.validate_medium()?;
+        self.validate_short()?;
+        self.validate_row_partition()?;
+        // The top-level nonzero count gates the kernels' early-return: it
+        // must agree with the per-category counts, or a corrupted header
+        // would silently produce an all-zero result.
+        let nnz_sum = self.long.nnz_orig + self.medium.nnz_orig + self.short.nnz_orig;
+        if self.nnz != nnz_sum {
+            return err(format!(
+                "nnz {} disagrees with category sum {nnz_sum}",
+                self.nnz
+            ));
+        }
+        if self.long.nnz_orig > self.long.vals.len()
+            || self.medium.nnz_orig > self.medium.reg_val.len() + self.medium.irreg_val.len()
+            || self.short.nnz_orig > self.short.vals.len()
+        {
+            return err("a category's nnz_orig exceeds its stored elements");
+        }
+        Ok(())
+    }
+
+    fn validate_long(&self) -> Result<(), FormatError> {
+        let l = &self.long;
+        if l.group_ptr.len() != l.rows.len() + 1 {
+            return err("long: group_ptr length != rows + 1");
+        }
+        if l.group_ptr[0] != 0 {
+            return err("long: group_ptr[0] != 0");
+        }
+        for w in l.group_ptr.windows(2) {
+            if w[0] >= w[1] {
+                return err("long: group_ptr not strictly increasing (every long row has >= 1 group)");
+            }
+        }
+        if l
+            .num_groups()
+            .checked_mul(GROUP_ELEMS)
+            .is_none_or(|n| n != l.vals.len())
+        {
+            return err("long: vals not group-aligned");
+        }
+        if l.cids.len() != l.vals.len() {
+            return err("long: cids/vals length mismatch");
+        }
+        for (i, &c) in l.cids.iter().enumerate() {
+            if c as usize >= self.cols {
+                return Err(FormatError(format!("long: cid {c} out of range at {i}")));
+            }
+        }
+        for &r in &l.rows {
+            if r as usize >= self.rows {
+                return err("long: row id out of range");
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_medium(&self) -> Result<(), FormatError> {
+        let m = &self.medium;
+        if m.rowblock_ptr.is_empty() {
+            // Deserialized containers can carry an empty array; every use
+            // below (and `num_rowblocks`) assumes at least the leading 0.
+            return err("medium: rowblock_ptr must hold at least [0]");
+        }
+        let expect_blocks = m.rows.len().div_ceil(MMA_M);
+        if !m.rows.is_empty() && m.num_rowblocks() != expect_blocks {
+            return err("medium: rowblock count != ceil(rows / 8)");
+        }
+        if m.rowblock_ptr[0] != 0 {
+            return err("medium: rowblock_ptr[0] != 0");
+        }
+        for w in m.rowblock_ptr.windows(2) {
+            if w[0] > w[1] {
+                return err("medium: rowblock_ptr decreasing");
+            }
+            if (w[1] - w[0]) % BLOCK_ELEMS != 0 {
+                return err("medium: regular part not a multiple of 32");
+            }
+        }
+        if *m.rowblock_ptr.last().unwrap_or(&0) != m.reg_val.len() {
+            return err("medium: rowblock_ptr end != reg_val length");
+        }
+        if m.reg_cid.len() != m.reg_val.len() {
+            return err("medium: reg_cid/reg_val length mismatch");
+        }
+        if m.irreg_ptr.len() != m.rows.len() + 1 {
+            return err("medium: irreg_ptr length != rows + 1");
+        }
+        for w in m.irreg_ptr.windows(2) {
+            if w[0] > w[1] {
+                return err("medium: irreg_ptr decreasing");
+            }
+        }
+        if *m.irreg_ptr.last().unwrap_or(&0) != m.irreg_val.len() {
+            return err("medium: irreg_ptr end != irreg_val length");
+        }
+        if m.irreg_cid.len() != m.irreg_val.len() {
+            return err("medium: irreg_cid/irreg_val length mismatch");
+        }
+        for &c in m.reg_cid.iter().chain(&m.irreg_cid) {
+            if c as usize >= self.cols {
+                return err("medium: cid out of range");
+            }
+        }
+        for &r in &m.rows {
+            if r as usize >= self.rows {
+                return err("medium: row id out of range");
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_short(&self) -> Result<(), FormatError> {
+        let s = &self.short;
+        let elems_13 = s.n13_warps * 2 * BLOCK_ELEMS;
+        let elems_4 = s.n4_warps * 4 * BLOCK_ELEMS;
+        let elems_22 = s.n22_warps * 2 * BLOCK_ELEMS;
+        if s.off4 != elems_13 {
+            return err("short: off4 != end of 1&3 region");
+        }
+        if s.off22 != elems_13 + elems_4 {
+            return err("short: off22 != end of len-4 region");
+        }
+        if s.off1 != elems_13 + elems_4 + elems_22 {
+            return err("short: off1 != end of 2&2 region");
+        }
+        if s.vals.len() != s.off1 + s.n1 {
+            return err("short: vals length != regions + singles");
+        }
+        if s.cids.len() != s.vals.len() {
+            return err("short: cids/vals length mismatch");
+        }
+        if s.perm13.len() != s.n13_warps * 32
+            || s.perm4.len() != s.n4_warps * 32
+            || s.perm22.len() != s.n22_warps * 32
+            || s.perm1.len() != s.n1
+        {
+            return err("short: perm array sizes inconsistent with warp counts");
+        }
+        for perm in [&s.perm13, &s.perm4, &s.perm22, &s.perm1] {
+            for &r in perm.iter() {
+                if r != NO_ROW && r as usize >= self.rows {
+                    return err("short: perm row id out of range");
+                }
+            }
+        }
+        for &c in &s.cids {
+            if c as usize >= self.cols {
+                return err("short: cid out of range");
+            }
+        }
+        Ok(())
+    }
+
+    /// Every original row appears in exactly one category slot (or none,
+    /// for empty rows).
+    fn validate_row_partition(&self) -> Result<(), FormatError> {
+        let mut seen = vec![false; self.rows];
+        let mut mark = |r: u32| -> Result<(), FormatError> {
+            let i = r as usize;
+            if seen[i] {
+                return Err(FormatError(format!("row {i} assigned to two category slots")));
+            }
+            seen[i] = true;
+            Ok(())
+        };
+        for &r in &self.long.rows {
+            mark(r)?;
+        }
+        for &r in &self.medium.rows {
+            mark(r)?;
+        }
+        for perm in [
+            &self.short.perm13,
+            &self.short.perm4,
+            &self.short.perm22,
+            &self.short.perm1,
+        ] {
+            for &r in perm.iter() {
+                if r != NO_ROW {
+                    mark(r)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_format(seed: u64) -> DaspMatrix<f64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut coo = dasp_sparse::Coo::new(200, 700);
+        for r in 0..200usize {
+            let len = match rng.gen_range(0..10) {
+                0 => 0,
+                1..=5 => rng.gen_range(1..=4usize),
+                6..=8 => rng.gen_range(5..=256),
+                _ => rng.gen_range(257..=650),
+            };
+            let mut cs: Vec<usize> = Vec::new();
+            while cs.len() < len {
+                let c = rng.gen_range(0..700);
+                if !cs.contains(&c) {
+                    cs.push(c);
+                }
+            }
+            for c in cs {
+                coo.push(r, c, rng.gen_range(0.1..1.0));
+            }
+        }
+        DaspMatrix::from_csr(&coo.to_csr())
+    }
+
+    #[test]
+    fn builder_output_is_always_valid() {
+        for seed in 0..12 {
+            random_format(seed).validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        // Each mutation must trip a specific invariant.
+        let base = random_format(3);
+
+        let mut m = base.clone();
+        m.long.group_ptr[0] = 1;
+        assert!(m.validate().is_err());
+
+        let mut m = base.clone();
+        if !m.long.vals.is_empty() {
+            m.long.vals.pop();
+            assert!(m.validate().is_err());
+        }
+
+        let mut m = base.clone();
+        if !m.medium.reg_cid.is_empty() {
+            m.medium.reg_cid[0] = 10_000;
+            assert!(m.validate().is_err());
+        }
+
+        let mut m = base.clone();
+        if m.medium.irreg_ptr.len() > 2 {
+            let last = m.medium.irreg_ptr.len() - 1;
+            m.medium.irreg_ptr.swap(1, last);
+            assert!(m.validate().is_err());
+        }
+
+        let mut m = base.clone();
+        m.short.off4 += 1;
+        assert!(m.validate().is_err());
+
+        let mut m = base.clone();
+        if let Some(slot) = m.short.perm4.iter().position(|&r| r != NO_ROW) {
+            // Duplicate an assigned row into another category.
+            let row = m.short.perm4[slot];
+            m.medium.rows.push(row);
+            m.medium.irreg_ptr.push(*m.medium.irreg_ptr.last().unwrap());
+            assert!(m.validate().is_err(), "duplicate row must be caught");
+        }
+    }
+
+    #[test]
+    fn corrupted_nnz_header_is_detected() {
+        let mut m = random_format(5);
+        m.nnz = 0;
+        assert!(m.validate().is_err(), "zeroed nnz must fail validation");
+        let mut m = random_format(5);
+        m.nnz += 1;
+        assert!(m.validate().is_err());
+        let mut m = random_format(5);
+        m.short.nnz_orig = m.short.vals.len() + 1;
+        assert!(m.validate().is_err());
+    }
+
+    #[test]
+    fn generator_formats_validate() {
+        for csr in [
+            dasp_matgen::banded(400, 12, 9, 1),
+            dasp_matgen::rmat(10, 6, 2),
+            dasp_matgen::circuit_like(1000, 3, 400, 3),
+            dasp_matgen::stencil3d(8, 8, 8, 27, 4),
+        ] {
+            DaspMatrix::from_csr(&csr).validate().unwrap();
+        }
+    }
+}

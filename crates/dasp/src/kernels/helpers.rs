@@ -1,0 +1,89 @@
+//! Shared pieces of the DASP kernels.
+
+#![allow(clippy::needless_range_loop)]
+
+use dasp_fp16::Scalar;
+use dasp_simt::mma::AccFrag;
+use dasp_simt::warp::{full_mask, per_lane, WARP_SIZE};
+use dasp_simt::{shfl_sync_var, Probe};
+
+/// The per-lane element index used by every DASP kernel to address one 8x4
+/// block (paper Algorithms 2-4, `idx = (3 & laneid) + (laneid >> 2) * MMA_K`):
+/// lane `t` owns block element `(row = t >> 2, k = t & 3)` of the intra-block
+/// row-major layout.
+#[inline]
+pub(crate) fn mma_idx() -> [usize; WARP_SIZE] {
+    per_lane(|lane| (3 & lane) + (lane >> 2) * 4)
+}
+
+/// Loads each lane's column id from `cids[offset + idx[lane]]`.
+#[inline]
+pub(crate) fn load_idx_lane(cids: &[u32], offset: usize, idx: &[usize; WARP_SIZE]) -> [u32; WARP_SIZE] {
+    per_lane(|lane| cids[offset + idx[lane]])
+}
+
+/// The diagonal extraction of Algorithms 3 and 4 (lines 13-18 / 15-20):
+/// after iteration `i`'s MMA, the eight row results live on the diagonal of
+/// the accumulator fragment; two variable-source shuffles with
+/// `target = ((laneid - i*8) >> 1) * 9` move them to lanes `i*8..(i+1)*8`,
+/// where even lanes take register 0 and odd lanes register 1.
+#[inline]
+pub(crate) fn extract_diagonals<S: Scalar, P: Probe>(
+    acc: &AccFrag<S>,
+    i: usize,
+    res: &mut [S::Acc; WARP_SIZE],
+    probe: &mut P,
+) {
+    let y0: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][0]);
+    let y1: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][1]);
+    let target: [i32; WARP_SIZE] = per_lane(|l| ((l as i32 - (i as i32) * 8) >> 1) * 9);
+    let target4: [i32; WARP_SIZE] = per_lane(|l| target[l] + 4);
+    let t0 = shfl_sync_var(full_mask(), y0, &target);
+    let t1 = shfl_sync_var(full_mask(), y1, &target4);
+    probe.shfl(2);
+    for lane in 0..WARP_SIZE {
+        if lane >> 3 == i {
+            res[lane] = if lane & 1 == 0 { t0[lane] } else { t1[lane] };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_simt::mma::{acc_zero, diag_position};
+    use dasp_simt::NoProbe;
+
+    #[test]
+    fn mma_idx_covers_one_block_row_major() {
+        let idx = mma_idx();
+        let mut seen = [false; 32];
+        for (lane, &i) in idx.iter().enumerate() {
+            assert_eq!(i, (lane >> 2) * 4 + (lane & 3));
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn extraction_places_rows_for_every_iteration() {
+        for i in 0..4usize {
+            let mut acc = acc_zero::<f64>();
+            for r in 0..8 {
+                let (lane, reg) = diag_position(r);
+                acc[lane][reg] = (100 * i + r) as f64;
+            }
+            let mut res = [0.0f64; WARP_SIZE];
+            extract_diagonals::<f64, _>(&acc, i, &mut res, &mut NoProbe);
+            for r in 0..8 {
+                assert_eq!(res[i * 8 + r], (100 * i + r) as f64, "i={i} r={r}");
+            }
+            // Other lanes untouched.
+            for lane in 0..WARP_SIZE {
+                if lane >> 3 != i {
+                    assert_eq!(res[lane], 0.0);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! The long-rows kernel (paper Algorithm 2 and Fig. 6).
+//!
+//! Phase 1: one warp per 64-element group — two block loads, two MMA
+//! issues, then the diagonal partial sums (lanes `{0,9,18,27}` register 0
+//! and `{4,13,22,31}` register 1) are collapsed into lane 0 with the
+//! paper's `shfl_down 9, 18` / `shfl(fragY[1], 4)` sequence and written to
+//! the auxiliary `warpVal` array.
+//!
+//! Phase 2: one warp per long row sums its groups' `warpVal` entries with a
+//! strided loop and a tree `warpReduceSum`, writing the final `y` value.
+
+use dasp_fp16::Scalar;
+use dasp_simt::mma::{acc_zero, mma_m8n8k4};
+use dasp_simt::warp::{full_mask, per_lane, WARP_SIZE};
+use dasp_simt::{shfl_down_sync, shfl_sync, warp_reduce, Probe, SharedSlice};
+
+use crate::consts::{BLOCK_ELEMS, GROUP_ELEMS};
+use crate::format::LongPart;
+use crate::kernels::{load_idx_lane, mma_idx};
+
+/// Runs the two-phase long-rows SpMV, scattering results into `y`.
+pub fn spmv_long<S: Scalar, P: Probe>(part: &LongPart<S>, x: &[S], y: &mut [S], probe: &mut P) {
+    let n_groups = part.num_groups();
+    if n_groups == 0 {
+        return;
+    }
+    let mut warp_val: Vec<S::Acc> = vec![S::acc_zero(); n_groups];
+    {
+        let wv = SharedSlice::new(&mut warp_val);
+        spmv_long_phase1_range(part, x, &wv, 0, n_groups, probe);
+    }
+    let shared = SharedSlice::new(y);
+    spmv_long_phase2_range(part, &warp_val, &shared, 0, part.rows.len(), probe);
+}
+
+/// Phase 1 over a group range: each warp computes one 64-element group's
+/// partial sum into `warp_val` (disjoint writes; multi-threaded path).
+pub fn spmv_long_phase1_range<S: Scalar, P: Probe>(
+    part: &LongPart<S>,
+    x: &[S],
+    warp_val: &SharedSlice<S::Acc>,
+    g_lo: usize,
+    g_hi: usize,
+    probe: &mut P,
+) {
+    let mask = full_mask();
+    let idx = mma_idx();
+    for g in g_lo..g_hi.min(part.num_groups()) {
+        let mut acc = acc_zero::<S>();
+        let mut offset_a = g * GROUP_ELEMS;
+        for _i in 0..2 {
+            let frag_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset_a + idx[l]]);
+            let cids = load_idx_lane(&part.cids, offset_a, &idx);
+            let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
+            probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+            probe.load_idx(BLOCK_ELEMS as u64, 4);
+            for &c in &cids {
+                probe.load_x(c as usize, S::BYTES);
+            }
+            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+            probe.mma();
+            offset_a += BLOCK_ELEMS;
+        }
+        // Lines 10-14: collapse the eight diagonal partials into lane 0.
+        let mut y0: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][0]);
+        let mut y1: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][1]);
+        for delta in [9usize, 18] {
+            let d = shfl_down_sync(mask, y0, delta);
+            for l in 0..WARP_SIZE {
+                y0[l] = S::acc_add(y0[l], d[l]);
+            }
+            let d = shfl_down_sync(mask, y1, delta);
+            for l in 0..WARP_SIZE {
+                y1[l] = S::acc_add(y1[l], d[l]);
+            }
+        }
+        let b = shfl_sync(mask, y1, 4);
+        for l in 0..WARP_SIZE {
+            y0[l] = S::acc_add(y0[l], b[l]);
+        }
+        probe.shfl(5);
+        warp_val.write(g, y0[0]);
+        probe.store_y(1, S::ACC_BYTES);
+    }
+}
+
+/// Phase 2 over a long-row range: one warp per row reduces its groups'
+/// partials from `warp_val` into `y` (multi-threaded path).
+pub fn spmv_long_phase2_range<S: Scalar, P: Probe>(
+    part: &LongPart<S>,
+    warp_val: &[S::Acc],
+    y: &SharedSlice<S>,
+    r_lo: usize,
+    r_hi: usize,
+    probe: &mut P,
+) {
+    let mask = full_mask();
+    for lr in r_lo..r_hi.min(part.rows.len()) {
+        let orig_row = part.rows[lr];
+        let lo = part.group_ptr[lr];
+        let hi = part.group_ptr[lr + 1];
+        probe.load_meta(2, 4); // groupPtr (int32 on device)
+        let row_warp_len = hi - lo;
+        let mut thread_val: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
+        for (lane, tv) in thread_val.iter_mut().enumerate() {
+            let mut i = lane;
+            while i < row_warp_len {
+                *tv = S::acc_add(*tv, warp_val[lo + i]);
+                probe.load_meta(1, S::ACC_BYTES); // warpVal read-back
+                i += WARP_SIZE;
+            }
+        }
+        let reduced = warp_reduce(mask, thread_val, |a, b| S::acc_add(a, b));
+        probe.shfl(dasp_simt::shuffle::WARP_REDUCE_SHFLS);
+        y.write(orig_row as usize, S::from_acc(reduced[0]));
+        probe.store_y(1, S::BYTES);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_simt::{CountingProbe, NoProbe};
+    use dasp_sparse::Coo;
+
+    fn check(lens: &[usize], cols: usize) {
+        let mut coo = Coo::<f64>::new(lens.len(), cols);
+        for (r, &len) in lens.iter().enumerate() {
+            for k in 0..len {
+                let c = (k * 7 + r * 3) % cols;
+                coo.push(r, c, ((r + 1) * (k + 3)) as f64 * 0.01);
+            }
+        }
+        let csr = coo.to_csr();
+        let mut part = crate::format::LongPart::empty();
+        for r in 0..csr.rows {
+            let elems: Vec<(u32, f64)> = csr.row(r).collect();
+            if !elems.is_empty() {
+                part.push_row(r as u32, &elems);
+            }
+        }
+        let x: Vec<f64> = (0..cols).map(|i| 0.5 + (i % 13) as f64 * 0.1).collect();
+        let mut y = vec![0.0f64; csr.rows];
+        spmv_long(&part, &x, &mut y, &mut NoProbe);
+        let want = csr.spmv_reference(&x);
+        for r in 0..csr.rows {
+            assert!(
+                (y[r] - want[r]).abs() <= 1e-9 * want[r].abs().max(1.0),
+                "row {r}: got {} want {}",
+                y[r],
+                want[r]
+            );
+        }
+    }
+
+    #[test]
+    fn single_row_one_group() {
+        // Exactly 64 nonzeros: one group, no padding.
+        check(&[64], 128);
+    }
+
+    #[test]
+    fn single_row_with_padding() {
+        check(&[300], 512);
+    }
+
+    #[test]
+    fn row_of_256_uses_four_warps_like_figure6() {
+        check(&[256], 300);
+    }
+
+    #[test]
+    fn many_rows_mixed_group_counts() {
+        check(&[65, 64, 257, 1000, 100, 63], 1024);
+    }
+
+    #[test]
+    fn row_longer_than_warp_groups() {
+        // > 32 groups so phase 2's strided loop iterates more than once.
+        check(&[64 * 40 + 17], 4096);
+    }
+
+    #[test]
+    fn stats_count_launches_and_mmas() {
+        let mut coo = Coo::<f64>::new(1, 128);
+        for k in 0..128 {
+            coo.push(0, k, 1.0);
+        }
+        let csr = coo.to_csr();
+        let mut part = crate::format::LongPart::empty();
+        part.push_row(0, &csr.row(0).collect::<Vec<_>>());
+        let x = vec![1.0f64; 128];
+        let mut y = vec![0.0f64; 1];
+        let mut probe = CountingProbe::a100();
+        spmv_long(&part, &x, &mut y, &mut probe);
+        let s = probe.stats();
+        assert_eq!(y[0], 128.0);
+        assert_eq!(s.launches, 0); // launch accounting lives in spmv()
+        assert_eq!(s.mma_ops, 4); // 128 elems = 2 groups x 2 mma
+        assert_eq!(s.bytes_val, 128 * 8);
+        assert_eq!(s.x_requests, 128);
+    }
+
+    #[test]
+    fn empty_part_is_a_no_op() {
+        let part = crate::format::LongPart::<f64>::empty();
+        let mut y = vec![0.0f64; 3];
+        let mut probe = CountingProbe::a100();
+        spmv_long(&part, &[1.0], &mut y, &mut probe);
+        assert_eq!(probe.stats().launches, 0);
+        assert_eq!(y, vec![0.0; 3]);
+    }
+}

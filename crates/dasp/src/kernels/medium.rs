@@ -1,0 +1,210 @@
+//! The medium-rows kernel (paper Algorithm 3 and Fig. 7).
+//!
+//! Each warp computes `LOOP_NUM` row-blocks. Per row-block it streams the
+//! regular 8x4 blocks through the MMA unit, accumulating in the fragment;
+//! the eight row sums are then pulled off the accumulator diagonal with the
+//! `target = ((laneid - i*8) >> 1) * 9` shuffle pair into per-lane `res`
+//! registers. Finally each active lane walks its row's irregular elements
+//! with scalar FMAs and writes `y`.
+
+use dasp_fp16::Scalar;
+use dasp_simt::mma::{acc_zero, mma_m8n8k4};
+use dasp_simt::warp::{per_lane, WARP_SIZE};
+use dasp_simt::{Probe, SharedSlice};
+
+use crate::consts::{loop_num, BLOCK_ELEMS, MMA_M};
+use crate::format::MediumPart;
+use crate::kernels::{extract_diagonals, load_idx_lane, mma_idx};
+
+/// Runs the medium-rows SpMV, scattering results into `y`.
+pub fn spmv_medium<S: Scalar, P: Probe>(part: &MediumPart<S>, x: &[S], y: &mut [S], probe: &mut P) {
+    let n_warps = medium_warps(part);
+    let shared = SharedSlice::new(y);
+    spmv_medium_range(part, x, &shared, 0, n_warps, probe);
+}
+
+/// Number of warps the medium kernel launches for `part`.
+pub fn medium_warps<S: Scalar>(part: &MediumPart<S>) -> usize {
+    if part.rows.is_empty() {
+        return 0;
+    }
+    part.num_rowblocks().div_ceil(loop_num(part.rows.len()))
+}
+
+/// Warp-range variant used by the multi-threaded path.
+pub fn spmv_medium_range<S: Scalar, P: Probe>(
+    part: &MediumPart<S>,
+    x: &[S],
+    y: &SharedSlice<S>,
+    w_lo: usize,
+    w_hi: usize,
+    probe: &mut P,
+) {
+    let n_rows = part.rows.len();
+    if n_rows == 0 {
+        return;
+    }
+    let ln = loop_num(n_rows);
+    let n_rowblocks = part.num_rowblocks();
+    let n_warps = n_rowblocks.div_ceil(ln);
+    let idx = mma_idx();
+
+    for wid in w_lo..w_hi.min(n_warps) {
+        let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
+
+        // Regular part: LOOP_NUM row-blocks through the MMA unit.
+        for i in 0..ln {
+            let bid = wid * ln + i;
+            if bid >= n_rowblocks {
+                break;
+            }
+            probe.load_meta(2, 4); // rowblockPtr (int32 on device)
+            let mut offset_a = part.rowblock_ptr[bid];
+            let nblocks = part.reg_blocks(bid);
+            let mut acc = acc_zero::<S>();
+            for _b in 0..nblocks {
+                let frag_a: [S; WARP_SIZE] = per_lane(|l| part.reg_val[offset_a + idx[l]]);
+                let cids = load_idx_lane(&part.reg_cid, offset_a, &idx);
+                let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
+                probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+                probe.load_idx(BLOCK_ELEMS as u64, 4);
+                for &c in &cids {
+                    probe.load_x(c as usize, S::BYTES);
+                }
+                mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+                probe.mma();
+                offset_a += BLOCK_ELEMS;
+            }
+            extract_diagonals::<S, P>(&acc, i, &mut res, probe);
+        }
+
+        // Irregular part + write-back: one lane per row (Algorithm 3,
+        // lines 20-26).
+        for lane in 0..(ln * MMA_M).min(WARP_SIZE) {
+            let cur_row = wid * ln * MMA_M + lane;
+            if cur_row >= n_rows {
+                continue;
+            }
+            probe.load_meta(2, 4); // irregPtr (int32 on device)
+            let mut v = res[lane];
+            for j in part.irreg_ptr[cur_row]..part.irreg_ptr[cur_row + 1] {
+                v = S::acc_mul_add(v, part.irreg_val[j], x[part.irreg_cid[j] as usize]);
+                probe.load_val(1, S::BYTES);
+                probe.load_idx(1, 4);
+                probe.load_x(part.irreg_cid[j] as usize, S::BYTES);
+                probe.fma(1);
+            }
+            y.write(part.rows[cur_row] as usize, S::from_acc(v));
+            probe.store_y(1, S::BYTES);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_simt::{CountingProbe, NoProbe};
+    use dasp_sparse::{Coo, Csr};
+
+    fn build_medium(csr: &Csr<f64>) -> MediumPart<f64> {
+        let mut rows: Vec<(u32, Vec<(u32, f64)>)> = (0..csr.rows)
+            .filter(|&r| csr.row_len(r) > 0)
+            .map(|r| (r as u32, csr.row(r).collect()))
+            .collect();
+        rows.sort_by_key(|(_, e)| std::cmp::Reverse(e.len()));
+        MediumPart::build(&rows, 0.75)
+    }
+
+    fn check(lens: &[usize], cols: usize) {
+        let mut coo = Coo::<f64>::new(lens.len(), cols);
+        for (r, &len) in lens.iter().enumerate() {
+            for k in 0..len {
+                let c = (k * 5 + r * 11) % cols;
+                coo.push(r, c, ((r + 2) * (k + 1)) as f64 * 0.01);
+            }
+        }
+        let csr = coo.to_csr();
+        let part = build_medium(&csr);
+        let x: Vec<f64> = (0..cols).map(|i| 1.0 - (i % 7) as f64 * 0.2).collect();
+        let mut y = vec![0.0f64; csr.rows];
+        spmv_medium(&part, &x, &mut y, &mut NoProbe);
+        let want = csr.spmv_reference(&x);
+        for r in 0..csr.rows {
+            assert!(
+                (y[r] - want[r]).abs() <= 1e-9 * want[r].abs().max(1.0),
+                "row {r}: got {} want {}",
+                y[r],
+                want[r]
+            );
+        }
+    }
+
+    #[test]
+    fn one_full_rowblock() {
+        check(&[8; 8], 64);
+    }
+
+    #[test]
+    fn regular_and_irregular_mix() {
+        check(&[8, 8, 8, 8, 5, 5, 5, 5], 64);
+    }
+
+    #[test]
+    fn all_irregular_below_threshold() {
+        // Rows of 5 nonzeros in a sparse-threshold configuration: window 1
+        // has 8 of 32, irregular.
+        check(&[5; 8], 64);
+    }
+
+    #[test]
+    fn partial_last_rowblock() {
+        check(&[10, 9, 8, 7, 6, 6, 6, 5, 5, 5], 64);
+    }
+
+    #[test]
+    fn many_rowblocks_unequal_lengths() {
+        let lens: Vec<usize> = (0..100).map(|i| 5 + (i * 13) % 250).collect();
+        check(&lens, 500);
+    }
+
+    #[test]
+    fn loop_num_paths_execute() {
+        // Force LOOP_NUM > 1 by exceeding the row threshold is impractical
+        // in a unit test (59990 rows); instead verify the helper wiring
+        // against a matrix whose rowblocks exceed one warp.
+        let lens: Vec<usize> = (0..64).map(|i| 5 + i % 30).collect();
+        check(&lens, 128);
+    }
+
+    #[test]
+    fn counters_track_regular_blocks() {
+        // 8 rows of 8: two full regular blocks, no irregular.
+        let mut coo = Coo::<f64>::new(8, 64);
+        for r in 0..8 {
+            for k in 0..8 {
+                coo.push(r, k * 8 + r, 1.0);
+            }
+        }
+        let csr = coo.to_csr();
+        let part = build_medium(&csr);
+        let x = vec![1.0f64; 64];
+        let mut y = vec![0.0f64; 8];
+        let mut probe = CountingProbe::a100();
+        spmv_medium(&part, &x, &mut y, &mut probe);
+        let s = probe.stats();
+        assert_eq!(s.mma_ops, 2);
+        assert_eq!(s.fma_ops, 0);
+        assert_eq!(s.bytes_val, 64 * 8);
+        assert_eq!(s.launches, 0); // launch accounting lives in spmv()
+        assert!(y.iter().all(|&v| v == 8.0));
+    }
+
+    #[test]
+    fn empty_part_is_a_no_op() {
+        let part = MediumPart::<f64>::empty();
+        let mut probe = CountingProbe::a100();
+        let mut y = vec![0.0f64; 2];
+        spmv_medium(&part, &[1.0], &mut y, &mut probe);
+        assert_eq!(probe.stats().launches, 0);
+    }
+}

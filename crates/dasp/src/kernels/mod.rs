@@ -1,0 +1,28 @@
+//! The DASP SpMV kernels (paper §3.3, Algorithms 2-5).
+//!
+//! Each kernel is a line-by-line translation of its pseudocode onto the
+//! [`dasp_simt`] warp substrate: per-warp functions over 32-lane arrays,
+//! issuing `mma.m8n8k4` and the paper's exact shuffle sequences. All kernels
+//! are generic over [`dasp_fp16::Scalar`] (FP64 and FP16) and over
+//! [`dasp_simt::Probe`] for traffic accounting.
+//!
+//! Lane loops intentionally index multiple warp registers by `lane`; the
+//! range-loop lint is disabled to keep the lockstep reading.
+#![allow(clippy::needless_range_loop)]
+
+mod helpers;
+mod long;
+mod medium;
+mod short1;
+mod short13;
+mod short22;
+mod short4;
+
+pub use long::{spmv_long, spmv_long_phase1_range, spmv_long_phase2_range};
+pub use medium::{medium_warps, spmv_medium, spmv_medium_range};
+pub use short1::{spmv_short1, spmv_short1_range};
+pub use short13::{spmv_short13, spmv_short13_range};
+pub use short22::{spmv_short22, spmv_short22_range};
+pub use short4::{spmv_short4, spmv_short4_range};
+
+pub(crate) use helpers::{extract_diagonals, load_idx_lane, mma_idx};

@@ -1,0 +1,86 @@
+//! The leftover length-1 rows kernel (paper Algorithm 5).
+//!
+//! The singletons that remain after 1&3 piecing are computed on the basic
+//! CUDA cores: one thread per row, a single multiply, no MMA involvement.
+
+use dasp_fp16::Scalar;
+use dasp_simt::{Probe, SharedSlice};
+
+use crate::format::ShortPart;
+
+/// Runs the scalar singleton kernel, scattering results into `y`.
+pub fn spmv_short1<S: Scalar, P: Probe>(part: &ShortPart<S>, x: &[S], y: &mut [S], probe: &mut P) {
+    let shared = SharedSlice::new(y);
+    spmv_short1_range(part, x, &shared, 0, part.n1, probe);
+}
+
+/// Element-range variant used by the multi-threaded path.
+pub fn spmv_short1_range<S: Scalar, P: Probe>(
+    part: &ShortPart<S>,
+    x: &[S],
+    y: &SharedSlice<S>,
+    t_lo: usize,
+    t_hi: usize,
+    probe: &mut P,
+) {
+    for t in t_lo..t_hi.min(part.n1) {
+        let e = part.off1 + t;
+        let c = part.cids[e] as usize;
+        let v = S::mul_to_acc(part.vals[e], x[c]);
+        probe.load_val(1, S::BYTES);
+        probe.load_idx(1, 4);
+        probe.load_x(c, S::BYTES);
+        probe.fma(1);
+        y.write(part.perm1[t] as usize, S::from_acc(v));
+        probe.store_y(1, S::BYTES);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_simt::{CountingProbe, NoProbe};
+    use dasp_sparse::Coo;
+
+    #[test]
+    fn singletons_compute_products() {
+        // All rows length 1 and no length-3 rows, so every row stays in the
+        // scalar category.
+        let n = 10;
+        let mut coo = Coo::<f64>::new(n, n);
+        for r in 0..n {
+            coo.push(r, (r * 3) % n, (r + 1) as f64);
+        }
+        let csr = coo.to_csr();
+        let rows: Vec<(u32, Vec<(u32, f64)>)> =
+            (0..n).map(|r| (r as u32, csr.row(r).collect())).collect();
+        let part = ShortPart::build(rows);
+        assert_eq!(part.n1, n);
+        let x: Vec<f64> = (0..n).map(|i| i as f64 + 0.5).collect();
+        let mut y = vec![0.0f64; n];
+        spmv_short1(&part, &x, &mut y, &mut NoProbe);
+        let want = csr.spmv_reference(&x);
+        assert_eq!(y, want);
+    }
+
+    #[test]
+    fn counters_reflect_one_element_per_row() {
+        let mut coo = Coo::<f64>::new(5, 5);
+        for r in 0..5 {
+            coo.push(r, r, 2.0);
+        }
+        let csr = coo.to_csr();
+        let rows: Vec<(u32, Vec<(u32, f64)>)> =
+            (0..5).map(|r| (r as u32, csr.row(r).collect())).collect();
+        let part = ShortPart::build(rows);
+        let x = vec![1.0f64; 5];
+        let mut y = vec![0.0f64; 5];
+        let mut probe = CountingProbe::a100();
+        spmv_short1(&part, &x, &mut y, &mut probe);
+        let s = probe.stats();
+        assert_eq!(s.fma_ops, 5);
+        assert_eq!(s.mma_ops, 0);
+        assert_eq!(s.bytes_val, 40);
+        assert_eq!(y, vec![2.0; 5]);
+    }
+}

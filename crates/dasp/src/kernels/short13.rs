@@ -1,0 +1,180 @@
+//! The 1&3-pieced short-rows kernel (paper Algorithm 4 and Fig. 8).
+//!
+//! Each warp computes two 8x4 blocks with **four** MMA issues. A block's
+//! matrix values are loaded once; the `x` values are loaded in two passes —
+//! first only column 0 (the length-1 piece of every packed row), then only
+//! columns 1..3 (the length-3 piece) — so each MMA's diagonal holds either
+//! the singleton products or the 3-element dot products. The warp produces
+//! exactly 32 `y` values.
+
+use dasp_fp16::Scalar;
+use dasp_simt::mma::{acc_zero, mma_m8n8k4};
+use dasp_simt::warp::{per_lane, WARP_SIZE};
+use dasp_simt::{Probe, SharedSlice};
+
+use crate::consts::BLOCK_ELEMS;
+use crate::format::{ShortPart, NO_ROW};
+use crate::kernels::{extract_diagonals, load_idx_lane, mma_idx};
+
+/// Runs the 1&3 short-rows SpMV, scattering results into `y`.
+pub fn spmv_short13<S: Scalar, P: Probe>(part: &ShortPart<S>, x: &[S], y: &mut [S], probe: &mut P) {
+    let shared = SharedSlice::new(y);
+    spmv_short13_range(part, x, &shared, 0, part.n13_warps, probe);
+}
+
+/// Warp-range variant used by the multi-threaded path.
+pub fn spmv_short13_range<S: Scalar, P: Probe>(
+    part: &ShortPart<S>,
+    x: &[S],
+    y: &SharedSlice<S>,
+    w_lo: usize,
+    w_hi: usize,
+    probe: &mut P,
+) {
+    let idx = mma_idx();
+
+    for w in w_lo..w_hi.min(part.n13_warps) {
+        let warp_base = w * 2 * BLOCK_ELEMS; // two blocks per warp
+        let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
+        let mut frag_a: [S; WARP_SIZE] = [S::zero(); WARP_SIZE];
+        let mut offset = warp_base;
+
+        for i in 0..4usize {
+            let mut acc = acc_zero::<S>();
+            let cids = load_idx_lane(&part.cids, offset, &idx);
+            let frag_x: [S; WARP_SIZE];
+            if i & 1 == 0 {
+                // Even pass: load A and the x values of column 0 only.
+                frag_a = per_lane(|l| part.vals[offset + idx[l]]);
+                probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+                probe.load_idx(BLOCK_ELEMS as u64, 4);
+                frag_x = per_lane(|l| {
+                    if l & 3 == 0 {
+                        probe.load_x(cids[l] as usize, S::BYTES);
+                        x[cids[l] as usize]
+                    } else {
+                        S::zero()
+                    }
+                });
+            } else {
+                // Odd pass: x values of columns 1..3; A stays in registers.
+                frag_x = per_lane(|l| {
+                    if l & 3 == 0 {
+                        S::zero()
+                    } else {
+                        probe.load_x(cids[l] as usize, S::BYTES);
+                        x[cids[l] as usize]
+                    }
+                });
+                offset += BLOCK_ELEMS; // advance to the next block
+            }
+            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+            probe.mma();
+            extract_diagonals::<S, P>(&acc, i, &mut res, probe);
+        }
+
+        for lane in 0..WARP_SIZE {
+            let row = part.perm13[w * WARP_SIZE + lane];
+            if row != NO_ROW {
+                y.write(row as usize, S::from_acc(res[lane]));
+                probe.store_y(1, S::BYTES);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_simt::{CountingProbe, NoProbe};
+    use dasp_sparse::{Coo, Csr};
+
+    fn build_short(csr: &Csr<f64>) -> ShortPart<f64> {
+        let rows: Vec<(u32, Vec<(u32, f64)>)> = (0..csr.rows)
+            .filter(|&r| csr.row_len(r) > 0)
+            .map(|r| (r as u32, csr.row(r).collect()))
+            .collect();
+        ShortPart::build(rows)
+    }
+
+    /// Rows alternating length 1 and 3 so everything lands in the 1&3
+    /// category.
+    fn check(n_pairs: usize, cols: usize) {
+        let mut coo = Coo::<f64>::new(2 * n_pairs, cols);
+        for p in 0..n_pairs {
+            coo.push(2 * p, (p * 3) % cols, (p + 1) as f64 * 0.5);
+            for k in 0..3 {
+                coo.push(2 * p + 1, (p * 5 + k * 2 + 1) % cols, (p + k + 1) as f64 * 0.25);
+            }
+        }
+        let csr = coo.to_csr();
+        let part = build_short(&csr);
+        assert_eq!(part.n1, 0);
+        assert_eq!(part.n4_warps, 0);
+        let x: Vec<f64> = (0..cols).map(|i| 0.3 + (i % 5) as f64).collect();
+        let mut y = vec![0.0f64; csr.rows];
+        spmv_short13(&part, &x, &mut y, &mut NoProbe);
+        let want = csr.spmv_reference(&x);
+        for r in 0..csr.rows {
+            assert!(
+                (y[r] - want[r]).abs() <= 1e-9 * want[r].abs().max(1.0),
+                "row {r}: got {} want {}",
+                y[r],
+                want[r]
+            );
+        }
+    }
+
+    #[test]
+    fn one_pair() {
+        check(1, 16);
+    }
+
+    #[test]
+    fn exactly_one_warp_of_pairs() {
+        check(16, 64);
+    }
+
+    #[test]
+    fn multiple_warps_with_padding() {
+        check(23, 128);
+    }
+
+    #[test]
+    fn many_warps() {
+        check(200, 512);
+    }
+
+    #[test]
+    fn a_loaded_once_x_loaded_once_per_element() {
+        let mut coo = Coo::<f64>::new(32, 64);
+        for p in 0..16 {
+            coo.push(2 * p, p, 1.0);
+            for k in 0..3 {
+                coo.push(2 * p + 1, p + k + 1, 1.0);
+            }
+        }
+        let csr = coo.to_csr();
+        let part = build_short(&csr);
+        let x = vec![1.0f64; 64];
+        let mut y = vec![0.0f64; 32];
+        let mut probe = CountingProbe::a100();
+        spmv_short13(&part, &x, &mut y, &mut probe);
+        let s = probe.stats();
+        // One warp, two blocks: A loaded once per block (64 elements), x
+        // requested once per element slot (8 + 24 per block).
+        assert_eq!(s.bytes_val, 64 * 8);
+        assert_eq!(s.x_requests, 64);
+        assert_eq!(s.mma_ops, 4);
+        assert_eq!(s.bytes_y, 32 * 8);
+    }
+
+    #[test]
+    fn empty_part_is_a_no_op() {
+        let part = ShortPart::<f64>::build(Vec::new());
+        let mut probe = CountingProbe::a100();
+        let mut y = vec![0.0f64; 2];
+        spmv_short13(&part, &[1.0], &mut y, &mut probe);
+        assert_eq!(probe.stats().launches, 0);
+    }
+}

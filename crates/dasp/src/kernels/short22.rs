@@ -1,0 +1,142 @@
+//! The 2&2-pieced short-rows kernel (paper §3.3.3).
+//!
+//! Identical structure to the 1&3 kernel, but each packed row holds two
+//! length-2 rows: the even MMA pass loads `x` for columns 0..1 (the first
+//! row of the pair) and the odd pass for columns 2..3 (the second row).
+
+use dasp_fp16::Scalar;
+use dasp_simt::mma::{acc_zero, mma_m8n8k4};
+use dasp_simt::warp::{per_lane, WARP_SIZE};
+use dasp_simt::{Probe, SharedSlice};
+
+use crate::consts::BLOCK_ELEMS;
+use crate::format::{ShortPart, NO_ROW};
+use crate::kernels::{extract_diagonals, load_idx_lane, mma_idx};
+
+/// Runs the 2&2 short-rows SpMV, scattering results into `y`.
+pub fn spmv_short22<S: Scalar, P: Probe>(part: &ShortPart<S>, x: &[S], y: &mut [S], probe: &mut P) {
+    let shared = SharedSlice::new(y);
+    spmv_short22_range(part, x, &shared, 0, part.n22_warps, probe);
+}
+
+/// Warp-range variant used by the multi-threaded path.
+pub fn spmv_short22_range<S: Scalar, P: Probe>(
+    part: &ShortPart<S>,
+    x: &[S],
+    y: &SharedSlice<S>,
+    w_lo: usize,
+    w_hi: usize,
+    probe: &mut P,
+) {
+    let idx = mma_idx();
+
+    for w in w_lo..w_hi.min(part.n22_warps) {
+        let warp_base = part.off22 + w * 2 * BLOCK_ELEMS;
+        let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
+        let mut frag_a: [S; WARP_SIZE] = [S::zero(); WARP_SIZE];
+        let mut offset = warp_base;
+
+        for i in 0..4usize {
+            let mut acc = acc_zero::<S>();
+            let cids = load_idx_lane(&part.cids, offset, &idx);
+            let frag_x: [S; WARP_SIZE];
+            if i & 1 == 0 {
+                frag_a = per_lane(|l| part.vals[offset + idx[l]]);
+                probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+                probe.load_idx(BLOCK_ELEMS as u64, 4);
+                // First two columns: the first length-2 row of each pair.
+                frag_x = per_lane(|l| {
+                    if l & 3 < 2 {
+                        probe.load_x(cids[l] as usize, S::BYTES);
+                        x[cids[l] as usize]
+                    } else {
+                        S::zero()
+                    }
+                });
+            } else {
+                // Last two columns: the second row of each pair.
+                frag_x = per_lane(|l| {
+                    if l & 3 < 2 {
+                        S::zero()
+                    } else {
+                        probe.load_x(cids[l] as usize, S::BYTES);
+                        x[cids[l] as usize]
+                    }
+                });
+                offset += BLOCK_ELEMS;
+            }
+            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+            probe.mma();
+            extract_diagonals::<S, P>(&acc, i, &mut res, probe);
+        }
+
+        for lane in 0..WARP_SIZE {
+            let row = part.perm22[w * WARP_SIZE + lane];
+            if row != NO_ROW {
+                y.write(row as usize, S::from_acc(res[lane]));
+                probe.store_y(1, S::BYTES);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_simt::NoProbe;
+    use dasp_sparse::{Coo, Csr};
+
+    fn build_short(csr: &Csr<f64>) -> ShortPart<f64> {
+        let rows: Vec<(u32, Vec<(u32, f64)>)> = (0..csr.rows)
+            .filter(|&r| csr.row_len(r) > 0)
+            .map(|r| (r as u32, csr.row(r).collect()))
+            .collect();
+        ShortPart::build(rows)
+    }
+
+    /// All rows length 2 (an even count keeps everything in 2&2).
+    fn check(n_rows: usize, cols: usize) {
+        assert_eq!(n_rows % 2, 0);
+        let mut coo = Coo::<f64>::new(n_rows, cols);
+        for r in 0..n_rows {
+            coo.push(r, (r * 3) % cols, (r + 1) as f64 * 0.1);
+            coo.push(r, (r * 3 + 1) % cols, (r + 2) as f64 * 0.2);
+        }
+        let csr = coo.to_csr();
+        let part = build_short(&csr);
+        assert!(part.n22_warps > 0);
+        assert_eq!(part.n4_warps, 0);
+        let x: Vec<f64> = (0..cols).map(|i| 1.0 + (i % 3) as f64 * 0.5).collect();
+        let mut y = vec![0.0f64; csr.rows];
+        spmv_short22(&part, &x, &mut y, &mut NoProbe);
+        let want = csr.spmv_reference(&x);
+        for r in 0..csr.rows {
+            assert!(
+                (y[r] - want[r]).abs() <= 1e-9 * want[r].abs().max(1.0),
+                "row {r}: got {} want {}",
+                y[r],
+                want[r]
+            );
+        }
+    }
+
+    #[test]
+    fn one_pair_of_twos() {
+        check(2, 8);
+    }
+
+    #[test]
+    fn full_warp_of_pairs() {
+        check(32, 64);
+    }
+
+    #[test]
+    fn several_warps_with_padding() {
+        check(70, 128);
+    }
+
+    #[test]
+    fn large() {
+        check(500, 300);
+    }
+}

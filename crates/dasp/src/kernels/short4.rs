@@ -1,0 +1,143 @@
+//! The length-4 short-rows kernel (paper §3.3.3).
+//!
+//! Each warp computes four 8x4 blocks with four MMA issues. Every block is
+//! a complete load (all 32 A elements and all 32 x values), and each MMA's
+//! eight diagonal results are eight finished `y` values, extracted with the
+//! same shuffle pair as the other short kernels.
+
+use dasp_fp16::Scalar;
+use dasp_simt::mma::{acc_zero, mma_m8n8k4};
+use dasp_simt::warp::{per_lane, WARP_SIZE};
+use dasp_simt::{Probe, SharedSlice};
+
+use crate::consts::BLOCK_ELEMS;
+use crate::format::{ShortPart, NO_ROW};
+use crate::kernels::{extract_diagonals, load_idx_lane, mma_idx};
+
+/// Runs the length-4 short-rows SpMV, scattering results into `y`.
+pub fn spmv_short4<S: Scalar, P: Probe>(part: &ShortPart<S>, x: &[S], y: &mut [S], probe: &mut P) {
+    let shared = SharedSlice::new(y);
+    spmv_short4_range(part, x, &shared, 0, part.n4_warps, probe);
+}
+
+/// Warp-range variant used by the multi-threaded path: computes warps
+/// `w_lo..w_hi`, writing through the disjoint-write view.
+pub fn spmv_short4_range<S: Scalar, P: Probe>(
+    part: &ShortPart<S>,
+    x: &[S],
+    y: &SharedSlice<S>,
+    w_lo: usize,
+    w_hi: usize,
+    probe: &mut P,
+) {
+    let idx = mma_idx();
+    for w in w_lo..w_hi.min(part.n4_warps) {
+        let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
+        for i in 0..4usize {
+            let offset = part.off4 + (w * 4 + i) * BLOCK_ELEMS;
+            let mut acc = acc_zero::<S>();
+            let frag_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset + idx[l]]);
+            let cids = load_idx_lane(&part.cids, offset, &idx);
+            let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
+            probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+            probe.load_idx(BLOCK_ELEMS as u64, 4);
+            for &c in &cids {
+                probe.load_x(c as usize, S::BYTES);
+            }
+            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+            probe.mma();
+            extract_diagonals::<S, P>(&acc, i, &mut res, probe);
+        }
+        for lane in 0..WARP_SIZE {
+            let row = part.perm4[w * WARP_SIZE + lane];
+            if row != NO_ROW {
+                y.write(row as usize, S::from_acc(res[lane]));
+                probe.store_y(1, S::BYTES);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_simt::NoProbe;
+    use dasp_sparse::{Coo, Csr};
+
+    fn build_short(csr: &Csr<f64>) -> ShortPart<f64> {
+        let rows: Vec<(u32, Vec<(u32, f64)>)> = (0..csr.rows)
+            .filter(|&r| csr.row_len(r) > 0)
+            .map(|r| (r as u32, csr.row(r).collect()))
+            .collect();
+        ShortPart::build(rows)
+    }
+
+    fn check(n_rows: usize, cols: usize) {
+        let mut coo = Coo::<f64>::new(n_rows, cols);
+        for r in 0..n_rows {
+            for k in 0..4 {
+                coo.push(r, (r * 7 + k * 2) % cols, ((r + 1) * (k + 1)) as f64 * 0.05);
+            }
+        }
+        let csr = coo.to_csr();
+        let part = build_short(&csr);
+        assert!(part.n4_warps > 0);
+        assert_eq!(part.n13_warps + part.n22_warps, 0);
+        let x: Vec<f64> = (0..cols).map(|i| 0.5 + (i % 4) as f64 * 0.25).collect();
+        let mut y = vec![0.0f64; csr.rows];
+        spmv_short4(&part, &x, &mut y, &mut NoProbe);
+        let want = csr.spmv_reference(&x);
+        for r in 0..csr.rows {
+            assert!(
+                (y[r] - want[r]).abs() <= 1e-9 * want[r].abs().max(1.0),
+                "row {r}: got {} want {}",
+                y[r],
+                want[r]
+            );
+        }
+    }
+
+    #[test]
+    fn one_row() {
+        check(1, 16);
+    }
+
+    #[test]
+    fn exactly_one_warp() {
+        check(32, 64);
+    }
+
+    #[test]
+    fn padding_tail() {
+        check(45, 128);
+    }
+
+    #[test]
+    fn many_warps() {
+        check(400, 256);
+    }
+
+    #[test]
+    fn range_split_covers_all_warps() {
+        // Running [0, k) and [k, n) separately must equal the full run.
+        let mut coo = Coo::<f64>::new(100, 64);
+        for r in 0..100 {
+            for k in 0..4 {
+                coo.push(r, (r + k * 9) % 64, (r + k + 1) as f64 * 0.1);
+            }
+        }
+        let csr = coo.to_csr();
+        let part = build_short(&csr);
+        assert!(part.n4_warps >= 2);
+        let x = vec![1.0f64; 64];
+        let mut y_full = vec![0.0f64; 100];
+        spmv_short4(&part, &x, &mut y_full, &mut NoProbe);
+        let mut y_split = vec![0.0f64; 100];
+        {
+            let shared = SharedSlice::new(&mut y_split);
+            spmv_short4_range(&part, &x, &shared, 0, 1, &mut NoProbe);
+            spmv_short4_range(&part, &x, &shared, 1, part.n4_warps, &mut NoProbe);
+        }
+        assert_eq!(y_full, y_split);
+    }
+}

@@ -1,0 +1,335 @@
+//! The SpMV entry point: dispatches all category kernels.
+
+#![allow(clippy::needless_range_loop)]
+
+use dasp_fp16::Scalar;
+use dasp_simt::Probe;
+
+use crate::format::DaspMatrix;
+use crate::kernels::{spmv_long, spmv_medium, spmv_short1, spmv_short13, spmv_short22, spmv_short4};
+
+impl<S: Scalar> DaspMatrix<S> {
+    /// Computes `y = A x` with the DASP kernels, threading `probe` through
+    /// every memory access and arithmetic issue.
+    ///
+    /// `x.len()` must equal the matrix's column count. Rows with no
+    /// nonzeros produce `0`. Results are rounded to storage precision, as
+    /// the GPU kernels write `y` in the matrix's element type.
+    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        let mut y = vec![S::zero(); self.rows];
+        self.spmv_into(x, &mut y, probe);
+        y
+    }
+
+    /// Computes `y = A x` into a caller-provided buffer (no allocation):
+    /// the solver-loop API. `y` is fully overwritten; rows with no
+    /// nonzeros are set to zero.
+    pub fn spmv_into<P: Probe>(&self, x: &[S], y: &mut [S], probe: &mut P) {
+        assert_eq!(x.len(), self.cols, "x length {} != cols {}", x.len(), self.cols);
+        assert_eq!(y.len(), self.rows, "y length {} != rows {}", y.len(), self.rows);
+        y.fill(S::zero());
+        if self.nnz == 0 {
+            return;
+        }
+        // Launch accounting lives here: the paper runs one kernel per row
+        // *category* (plus the dependent long-rows reduction pass), so the
+        // four short sub-kernels share a single launch.
+        use crate::consts::{WARP_SIZE_LAUNCH, WARPS_PER_BLOCK};
+        let wpb = WARPS_PER_BLOCK as u64;
+        if self.long.num_groups() > 0 {
+            // Algorithm 2 is one kernel: the warpVal reduction runs after a
+            // grid-wide sync rather than as a second launch.
+            probe.kernel_launch(self.long.num_groups().div_ceil(WARPS_PER_BLOCK) as u64, wpb);
+            spmv_long(&self.long, x, y, probe);
+        }
+        if !self.medium.rows.is_empty() {
+            let warps = self
+                .medium
+                .num_rowblocks()
+                .div_ceil(crate::consts::loop_num(self.medium.rows.len()));
+            probe.kernel_launch(warps.div_ceil(WARPS_PER_BLOCK) as u64, wpb);
+            spmv_medium(&self.medium, x, y, probe);
+        }
+        let short_warps = self.short.n13_warps
+            + self.short.n4_warps
+            + self.short.n22_warps
+            + self.short.n1.div_ceil(WARP_SIZE_LAUNCH);
+        if short_warps > 0 {
+            probe.kernel_launch(short_warps.div_ceil(WARPS_PER_BLOCK) as u64, wpb);
+            spmv_short13(&self.short, x, y, probe);
+            spmv_short4(&self.short, x, y, probe);
+            spmv_short22(&self.short, x, y, probe);
+            spmv_short1(&self.short, x, y, probe);
+        }
+    }
+
+    /// Multi-threaded `y = A x` across CPU cores.
+    ///
+    /// Exploits the same independence the GPU does: every warp owns a
+    /// disjoint set of output rows (or a disjoint `warpVal` slot), so the
+    /// warp ranges of each category kernel fan out over threads through
+    /// [`dasp_simt::SharedSlice`]. Results are bit-identical to
+    /// [`DaspMatrix::spmv`]. No instrumentation (probing would serialize
+    /// the cache model); use the sequential path for measurements.
+    pub fn spmv_par(&self, x: &[S]) -> Vec<S> {
+        use crate::kernels::{
+            medium_warps, spmv_long_phase1_range, spmv_long_phase2_range, spmv_medium_range,
+            spmv_short13_range, spmv_short1_range, spmv_short22_range, spmv_short4_range,
+        };
+        use dasp_simt::{for_each_warp_par, NoProbe, SharedSlice};
+
+        assert_eq!(x.len(), self.cols, "x length {} != cols {}", x.len(), self.cols);
+        let mut y = vec![S::zero(); self.rows];
+        if self.nnz == 0 {
+            return y;
+        }
+
+        // Long rows: phase 1 over groups, barrier, phase 2 over rows.
+        let n_groups = self.long.num_groups();
+        let mut warp_val: Vec<S::Acc> = vec![S::acc_zero(); n_groups];
+        if n_groups > 0 {
+            {
+                let wv = SharedSlice::new(&mut warp_val);
+                for_each_warp_par(n_groups, |g| {
+                    spmv_long_phase1_range(&self.long, x, &wv, g, g + 1, &mut NoProbe);
+                });
+            }
+            let shared = SharedSlice::new(&mut y);
+            for_each_warp_par(self.long.rows.len(), |r| {
+                spmv_long_phase2_range(&self.long, &warp_val, &shared, r, r + 1, &mut NoProbe);
+            });
+        }
+
+        // Medium and short categories: all warps are mutually independent.
+        {
+            let shared = SharedSlice::new(&mut y);
+            let n_medium = medium_warps(&self.medium);
+            for_each_warp_par(n_medium, |w| {
+                spmv_medium_range(&self.medium, x, &shared, w, w + 1, &mut NoProbe);
+            });
+            for_each_warp_par(self.short.n13_warps, |w| {
+                spmv_short13_range(&self.short, x, &shared, w, w + 1, &mut NoProbe);
+            });
+            for_each_warp_par(self.short.n4_warps, |w| {
+                spmv_short4_range(&self.short, x, &shared, w, w + 1, &mut NoProbe);
+            });
+            for_each_warp_par(self.short.n22_warps, |w| {
+                spmv_short22_range(&self.short, x, &shared, w, w + 1, &mut NoProbe);
+            });
+            // Singletons: chunk by warp-sized strides.
+            let n1_warps = self.short.n1.div_ceil(32);
+            for_each_warp_par(n1_warps, |w| {
+                spmv_short1_range(&self.short, x, &shared, w * 32, (w + 1) * 32, &mut NoProbe);
+            });
+        }
+        y
+    }
+
+    /// Computes `Y = A X` for several right-hand sides (column-major:
+    /// `xs[j]` is the j-th input vector). Each column runs the full kernel
+    /// pipeline; the converted format is reused across columns, which is
+    /// the batching story the paper's preprocessing amortization implies.
+    pub fn spmv_batch<P: Probe>(&self, xs: &[Vec<S>], probe: &mut P) -> Vec<Vec<S>> {
+        xs.iter().map(|x| self.spmv(x, probe)).collect()
+    }
+
+    /// Convenience wrapper taking and returning `f64` regardless of the
+    /// storage precision (useful for solvers; conversion costs are not
+    /// probed).
+    pub fn spmv_f64<P: Probe>(&self, x: &[f64], probe: &mut P) -> Vec<f64> {
+        let xs: Vec<S> = x.iter().map(|&v| S::from_f64(v)).collect();
+        self.spmv(&xs, probe).iter().map(|v| v.to_f64()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_fp16::F16;
+    use dasp_simt::{CountingProbe, NoProbe};
+    use dasp_sparse::{Coo, Csr};
+
+    fn dense_mixed_matrix() -> Csr<f64> {
+        // Rows spanning every category: lengths 0..=4, a few medium, one
+        // long; irregular column patterns.
+        let mut coo = Coo::<f64>::new(64, 600);
+        let mut push_row = |r: usize, len: usize| {
+            for k in 0..len {
+                let c = (r * 13 + k * 7) % 600;
+                coo.push(r, c, ((r + 1) as f64 * 0.1) + k as f64 * 0.01);
+            }
+        };
+        for r in 0..40 {
+            push_row(r, r % 5); // 0..=4 incl. empty rows
+        }
+        for r in 40..60 {
+            push_row(r, 5 + r % 80);
+        }
+        push_row(60, 300);
+        push_row(61, 257);
+        push_row(62, 256);
+        push_row(63, 1000 % 600 - 1); // 399: medium? no, > 256 -> long
+        coo.to_csr()
+    }
+
+    fn assert_close(y: &[f64], want: &[f64], tol: f64) {
+        for (i, (&a, &b)) in y.iter().zip(want).enumerate() {
+            assert!(
+                (a - b).abs() <= tol * b.abs().max(1.0),
+                "row {i}: got {a} want {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn full_pipeline_matches_reference_fp64() {
+        let csr = dense_mixed_matrix();
+        let d = DaspMatrix::from_csr(&csr);
+        let x: Vec<f64> = (0..600).map(|i| ((i % 17) as f64 - 8.0) * 0.1).collect();
+        let y = d.spmv(&x, &mut NoProbe);
+        assert_close(&y, &csr.spmv_reference(&x), 1e-9);
+    }
+
+    #[test]
+    fn full_pipeline_matches_reference_fp16() {
+        let csr = dense_mixed_matrix();
+        let h: Csr<F16> = csr.cast();
+        let d = DaspMatrix::from_csr(&h);
+        let x64: Vec<f64> = (0..600).map(|i| ((i % 17) as f64 - 8.0) * 0.1).collect();
+        let x: Vec<F16> = x64.iter().map(|&v| F16::from_f64(v)).collect();
+        let y = d.spmv(&x, &mut NoProbe);
+        // Reference computed on the rounded inputs; tolerance covers the
+        // f16 result rounding plus f32 accumulation order differences.
+        let hcsr: Csr<f64> = h.cast();
+        let hx: Vec<f64> = x.iter().map(|v| v.to_f64()).collect();
+        let want = hcsr.spmv_reference(&hx);
+        for (i, (&a, &b)) in y.iter().zip(&want).enumerate() {
+            let tol = 2e-2 * b.abs().max(1.0);
+            assert!((a.to_f64() - b).abs() <= tol, "row {i}: got {a:?} want {b}");
+        }
+    }
+
+    #[test]
+    fn empty_rows_stay_zero() {
+        let csr = dense_mixed_matrix();
+        let d = DaspMatrix::from_csr(&csr);
+        let x = vec![1.0f64; 600];
+        let y = d.spmv(&x, &mut NoProbe);
+        for r in 0..40 {
+            if r % 5 == 0 {
+                assert_eq!(y[r], 0.0, "empty row {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn probe_accounts_whole_matrix_traffic() {
+        let csr = dense_mixed_matrix();
+        let d = DaspMatrix::from_csr(&csr);
+        let x = vec![1.0f64; 600];
+        let mut probe = CountingProbe::a100();
+        let _ = d.spmv(&x, &mut probe);
+        let s = probe.stats();
+        // Every stored (padded) element is loaded exactly once.
+        let stats = d.category_stats();
+        let stored = (stats.stored_long + stats.stored_medium + stats.stored_short) as u64;
+        assert_eq!(s.bytes_val, stored * 8);
+        assert!(s.mma_ops > 0);
+        assert!(s.launches >= 3);
+    }
+
+    #[test]
+    fn spmv_f64_wrapper_round_trips() {
+        let csr = dense_mixed_matrix();
+        let d = DaspMatrix::<f64>::from_csr(&csr);
+        let x: Vec<f64> = (0..600).map(|i| (i % 3) as f64).collect();
+        let via_wrapper = d.spmv_f64(&x, &mut NoProbe);
+        let direct = d.spmv(&x, &mut NoProbe);
+        assert_eq!(via_wrapper, direct);
+    }
+
+    #[test]
+    #[should_panic(expected = "x length")]
+    fn wrong_x_length_panics() {
+        let csr = dense_mixed_matrix();
+        let d = DaspMatrix::from_csr(&csr);
+        let _ = d.spmv(&[1.0; 10], &mut NoProbe);
+    }
+}
+
+#[cfg(test)]
+mod par_tests {
+    use super::*;
+    use dasp_simt::NoProbe;
+    use dasp_sparse::{Coo, Csr};
+
+    fn mixed(seed: u64, rows: usize, cols: usize) -> Csr<f64> {
+        use rand::rngs::SmallRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut coo = Coo::new(rows, cols);
+        for r in 0..rows {
+            let len = match rng.gen_range(0..10) {
+                0 => 0,
+                1..=5 => rng.gen_range(1..=4usize),
+                6..=8 => rng.gen_range(5..=200),
+                _ => rng.gen_range(257..=500),
+            }
+            .min(cols);
+            let mut cs: Vec<usize> = Vec::new();
+            while cs.len() < len {
+                let c = rng.gen_range(0..cols);
+                if !cs.contains(&c) {
+                    cs.push(c);
+                }
+            }
+            for c in cs {
+                coo.push(r, c, rng.gen_range(-1.0..1.0));
+            }
+        }
+        coo.to_csr()
+    }
+
+    #[test]
+    fn parallel_matches_sequential_bit_for_bit() {
+        for seed in 0..4 {
+            let csr = mixed(seed, 700, 800);
+            let d = DaspMatrix::from_csr(&csr);
+            let x = dasp_matgen::dense_vector(csr.cols, seed);
+            let seq = d.spmv(&x, &mut NoProbe);
+            let par = d.spmv_par(&x);
+            assert_eq!(seq, par, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn parallel_on_large_matrix() {
+        // Enough warps (>= 64 per category) to actually engage the thread
+        // pool rather than the sequential fallback.
+        let csr = mixed(99, 20_000, 4000);
+        let d = DaspMatrix::from_csr(&csr);
+        let x = dasp_matgen::dense_vector(csr.cols, 7);
+        let seq = d.spmv(&x, &mut NoProbe);
+        let par = d.spmv_par(&x);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn batch_equals_columnwise_spmv() {
+        let csr = mixed(5, 300, 400);
+        let d = DaspMatrix::from_csr(&csr);
+        let xs: Vec<Vec<f64>> = (0..4)
+            .map(|j| dasp_matgen::dense_vector(csr.cols, j))
+            .collect();
+        let batch = d.spmv_batch(&xs, &mut NoProbe);
+        for (j, x) in xs.iter().enumerate() {
+            assert_eq!(batch[j], d.spmv(x, &mut NoProbe), "column {j}");
+        }
+    }
+
+    #[test]
+    fn parallel_handles_empty_matrix() {
+        let d = DaspMatrix::from_csr(&Csr::<f64>::empty(5, 5));
+        assert_eq!(d.spmv_par(&[0.0; 5]), vec![0.0; 5]);
+    }
+}

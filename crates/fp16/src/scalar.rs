@@ -1,0 +1,258 @@
+//! The [`Scalar`] abstraction the SpMV kernels are generic over.
+
+use core::fmt::Debug;
+
+use crate::F16;
+
+/// A matrix/vector element type usable by the SpMV kernels.
+///
+/// `Scalar` separates the **storage** precision (what is held in the matrix
+/// value arrays and the `x`/`y` vectors, and what the memory model counts as
+/// traffic) from the **accumulator** precision used inside the MMA unit and
+/// the scalar FMA paths. This mirrors the hardware: FP64 tensor-core MMA
+/// accumulates in FP64, FP16 MMA multiplies half-precision inputs and
+/// accumulates in FP32, and FP32 (modeled as TF32 on the tensor cores)
+/// accumulates in FP32.
+pub trait Scalar: Copy + Default + PartialEq + Debug + Send + Sync + 'static {
+    /// The accumulator type (`f64` for `f64`, `f32` for [`F16`]).
+    type Acc: Copy + Default + PartialEq + Debug + Send + Sync + 'static;
+
+    /// Size in bytes of one stored element, used for traffic accounting.
+    const BYTES: u64;
+    /// Size in bytes of one accumulator value (partial-sum arrays).
+    const ACC_BYTES: u64;
+    /// Human-readable precision name ("fp64" / "fp16").
+    const NAME: &'static str;
+
+    /// The additive identity.
+    fn zero() -> Self;
+    /// The multiplicative identity.
+    fn one() -> Self;
+    /// Lossy conversion from `f64` (rounds to storage precision).
+    fn from_f64(v: f64) -> Self;
+    /// Widening conversion to `f64`.
+    fn to_f64(self) -> f64;
+
+    /// The accumulator additive identity.
+    fn acc_zero() -> Self::Acc;
+    /// Lossy conversion of an `f64` into the accumulator type.
+    fn acc_from_f64(v: f64) -> Self::Acc;
+    /// Widening conversion of an accumulator value to `f64`.
+    fn acc_to_f64(a: Self::Acc) -> f64;
+
+    /// Widening multiply of two stored elements into the accumulator type.
+    fn mul_to_acc(a: Self, b: Self) -> Self::Acc;
+    /// Accumulator addition.
+    fn acc_add(a: Self::Acc, b: Self::Acc) -> Self::Acc;
+    /// `acc + a * b`, the MMA/FMA inner step (product in accumulator width).
+    fn acc_mul_add(acc: Self::Acc, a: Self, b: Self) -> Self::Acc;
+    /// Rounds an accumulator value back to storage precision (for writing `y`).
+    fn from_acc(a: Self::Acc) -> Self;
+}
+
+impl Scalar for f64 {
+    type Acc = f64;
+
+    const BYTES: u64 = 8;
+    const ACC_BYTES: u64 = 8;
+    const NAME: &'static str = "fp64";
+
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self
+    }
+    #[inline]
+    fn acc_zero() -> f64 {
+        0.0
+    }
+    #[inline]
+    fn acc_from_f64(v: f64) -> f64 {
+        v
+    }
+    #[inline]
+    fn acc_to_f64(a: f64) -> f64 {
+        a
+    }
+    #[inline]
+    fn mul_to_acc(a: f64, b: f64) -> f64 {
+        a * b
+    }
+    #[inline]
+    fn acc_add(a: f64, b: f64) -> f64 {
+        a + b
+    }
+    #[inline]
+    fn acc_mul_add(acc: f64, a: f64, b: f64) -> f64 {
+        acc + a * b
+    }
+    #[inline]
+    fn from_acc(a: f64) -> f64 {
+        a
+    }
+}
+
+impl Scalar for f32 {
+    type Acc = f32;
+
+    const BYTES: u64 = 4;
+    const ACC_BYTES: u64 = 4;
+    const NAME: &'static str = "fp32";
+
+    #[inline]
+    fn zero() -> Self {
+        0.0
+    }
+    #[inline]
+    fn one() -> Self {
+        1.0
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        self as f64
+    }
+    #[inline]
+    fn acc_zero() -> f32 {
+        0.0
+    }
+    #[inline]
+    fn acc_from_f64(v: f64) -> f32 {
+        v as f32
+    }
+    #[inline]
+    fn acc_to_f64(a: f32) -> f64 {
+        a as f64
+    }
+    #[inline]
+    fn mul_to_acc(a: f32, b: f32) -> f32 {
+        a * b
+    }
+    #[inline]
+    fn acc_add(a: f32, b: f32) -> f32 {
+        a + b
+    }
+    #[inline]
+    fn acc_mul_add(acc: f32, a: f32, b: f32) -> f32 {
+        acc + a * b
+    }
+    #[inline]
+    fn from_acc(a: f32) -> f32 {
+        a
+    }
+}
+
+impl Scalar for F16 {
+    type Acc = f32;
+
+    const BYTES: u64 = 2;
+    const ACC_BYTES: u64 = 4;
+    const NAME: &'static str = "fp16";
+
+    #[inline]
+    fn zero() -> Self {
+        F16::ZERO
+    }
+    #[inline]
+    fn one() -> Self {
+        F16::ONE
+    }
+    #[inline]
+    fn from_f64(v: f64) -> Self {
+        F16::from_f64(v)
+    }
+    #[inline]
+    fn to_f64(self) -> f64 {
+        F16::to_f64(self)
+    }
+    #[inline]
+    fn acc_zero() -> f32 {
+        0.0
+    }
+    #[inline]
+    fn acc_from_f64(v: f64) -> f32 {
+        v as f32
+    }
+    #[inline]
+    fn acc_to_f64(a: f32) -> f64 {
+        a as f64
+    }
+    #[inline]
+    fn mul_to_acc(a: F16, b: F16) -> f32 {
+        a.to_f32() * b.to_f32()
+    }
+    #[inline]
+    fn acc_add(a: f32, b: f32) -> f32 {
+        a + b
+    }
+    #[inline]
+    fn acc_mul_add(acc: f32, a: F16, b: F16) -> f32 {
+        acc + a.to_f32() * b.to_f32()
+    }
+    #[inline]
+    fn from_acc(a: f32) -> F16 {
+        F16::from_f32(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot_product<S: Scalar>(a: &[S], b: &[S]) -> f64 {
+        let mut acc = S::acc_zero();
+        for (&x, &y) in a.iter().zip(b) {
+            acc = S::acc_mul_add(acc, x, y);
+        }
+        S::acc_to_f64(acc)
+    }
+
+    #[test]
+    fn generic_dot_product_matches_both_precisions() {
+        let xs: Vec<f64> = vec![1.0, 2.0, 3.0, 4.0];
+        let ys: Vec<f64> = vec![0.5, 0.25, 2.0, -1.0];
+        let expected = 1.0 * 0.5 + 2.0 * 0.25 + 3.0 * 2.0 + -4.0;
+
+        assert_eq!(dot_product::<f64>(&xs, &ys), expected);
+
+        let hx: Vec<F16> = xs.iter().map(|&v| F16::from_f64(v)).collect();
+        let hy: Vec<F16> = ys.iter().map(|&v| F16::from_f64(v)).collect();
+        // All inputs are exactly representable in f16, so the f32-accumulated
+        // result is exact as well.
+        assert_eq!(dot_product::<F16>(&hx, &hy), expected);
+    }
+
+    #[test]
+    fn fp16_accumulates_wider_than_storage() {
+        // 2048 is representable in f16, and 2048 + 1 is NOT (spacing is 2).
+        // A storage-precision accumulation would lose the +1; the f32
+        // accumulator keeps it.
+        let big = F16::from_f64(2048.0);
+        let one = F16::ONE;
+        let acc = F16::acc_mul_add(F16::mul_to_acc(big, one), one, one);
+        assert_eq!(acc, 2049.0f32);
+        // Rounding back to storage loses it again, as on hardware.
+        assert_eq!(F16::from_acc(acc).to_f64(), 2048.0);
+    }
+
+    #[test]
+    fn byte_sizes_match_storage() {
+        assert_eq!(<f64 as Scalar>::BYTES, 8);
+        assert_eq!(<F16 as Scalar>::BYTES, 2);
+        assert_eq!(core::mem::size_of::<F16>() as u64, <F16 as Scalar>::BYTES);
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests for the binary16 implementation.
+
+use dasp_fp16::{f16_bits_to_f32, f32_to_f16_bits, F16, Scalar};
+use proptest::prelude::*;
+
+/// Brute-force "nearest f16" oracle: walk the candidate and its neighbours
+/// and pick the closest value in f64 arithmetic, applying ties-to-even.
+fn oracle_nearest(x: f64) -> u16 {
+    if x.is_nan() {
+        return 0x7e00;
+    }
+    let sign = if x.is_sign_negative() { 0x8000u16 } else { 0 };
+    // IEEE round-to-nearest overflows to infinity at and beyond the midpoint
+    // between MAX (65504) and the next would-be value (65536).
+    if x.abs() >= 65520.0 {
+        return sign | 0x7c00;
+    }
+    // Scan all finite magnitudes; feasible because f16 has 2^15 of them.
+    let ax = x.abs();
+    let mut best_bits = 0u16;
+    let mut best_err = f64::INFINITY;
+    for h in 0..=0x7bffu16 {
+        let v = f16_bits_to_f32(h) as f64;
+        let err = (v - ax).abs();
+        if err < best_err || (err == best_err && (h & 1) == 0) {
+            best_bits = h;
+            best_err = err;
+        }
+    }
+    sign | best_bits
+}
+
+proptest! {
+    #[test]
+    fn round_trip_f16_f32_identity(bits in any::<u16>()) {
+        let f = f16_bits_to_f32(bits);
+        if f.is_nan() {
+            prop_assert!(f16_bits_to_f32(f32_to_f16_bits(f)).is_nan());
+        } else {
+            prop_assert_eq!(f32_to_f16_bits(f), bits);
+        }
+    }
+
+    #[test]
+    fn conversion_is_monotone(a in -70000.0f32..70000.0, b in -70000.0f32..70000.0) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let fl = f16_bits_to_f32(f32_to_f16_bits(lo));
+        let fh = f16_bits_to_f32(f32_to_f16_bits(hi));
+        prop_assert!(fl <= fh, "f16({lo}) = {fl} > f16({hi}) = {fh}");
+    }
+
+    #[test]
+    fn conversion_error_within_half_ulp(x in -65000.0f32..65000.0) {
+        let h = F16::from_f32(x);
+        let back = h.to_f32();
+        // ulp at |x| in f16: spacing between h and its neighbour away from 0
+        let bits = h.to_bits() & 0x7fff;
+        let next = f16_bits_to_f32(bits + 1).abs();
+        let ulp = (next - back.abs()).abs().max(f16_bits_to_f32(1));
+        prop_assert!((back - x).abs() <= ulp / 2.0 + f32::EPSILON,
+            "x={x} back={back} ulp={ulp}");
+    }
+
+    #[test]
+    fn addition_commutes(a in -1000.0f32..1000.0, b in -1000.0f32..1000.0) {
+        let (x, y) = (F16::from_f32(a), F16::from_f32(b));
+        prop_assert_eq!(x + y, y + x);
+    }
+
+    #[test]
+    fn multiplication_commutes(a in -100.0f32..100.0, b in -100.0f32..100.0) {
+        let (x, y) = (F16::from_f32(a), F16::from_f32(b));
+        prop_assert_eq!(x * y, y * x);
+    }
+
+    #[test]
+    fn neg_is_involution(a in any::<u16>()) {
+        let x = F16::from_bits(a);
+        prop_assert_eq!((-(-x)).to_bits(), x.to_bits());
+    }
+
+    #[test]
+    fn scalar_roundtrip_exact_for_representable(bits in any::<u16>()) {
+        let x = F16::from_bits(bits);
+        if x.is_finite() {
+            // from_f64(to_f64(x)) must be the identity on finite values.
+            let y = <F16 as Scalar>::from_f64(x.to_f64());
+            prop_assert_eq!(y.to_bits() & 0x7fff | (x.to_bits() & 0x8000), x.to_bits());
+        }
+    }
+}
+
+#[test]
+fn sampled_values_match_brute_force_oracle() {
+    // The oracle is O(65536) per query, so sample a fixed grid instead of
+    // using proptest for it.
+    let mut vals = vec![0.0f64, 1e-8, 5.96e-8, 1.0 / 3.0, 0.1, 1.5, 1000.25, 65504.0, 65520.0];
+    let mut v = 1e-7;
+    while v < 7e4 {
+        vals.push(v * 1.37);
+        v *= 3.1;
+    }
+    for &x in &vals {
+        for &s in &[x, -x] {
+            let got = f32_to_f16_bits(s as f32);
+            let want = oracle_nearest(s as f32 as f64);
+            let g = f16_bits_to_f32(got);
+            let w = f16_bits_to_f32(want);
+            assert!(
+                g == w || (g.is_nan() && w.is_nan()),
+                "value {s}: got {got:#06x} ({g}), oracle {want:#06x} ({w})"
+            );
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! The synthetic corpus standing in for "all 2893 SuiteSparse matrices".
+//!
+//! Where the paper sweeps the whole collection (Figs. 1, 2, 9, 10, 13),
+//! this reproduction sweeps a seeded sample spanning the same structural
+//! classes and three decades of nonzero counts. The default spec generates
+//! about a hundred matrices from ~1k to ~300k nonzeros; a larger spec is a
+//! parameter away.
+
+use dasp_sparse::Csr;
+
+use crate::generators::{
+    banded, block_dense, circuit_like, diagonal_bands, rectangular_long, rmat, stencil2d,
+    uniform_random,
+};
+
+/// A corpus entry: a generated matrix with a descriptive name and class tag.
+pub struct NamedMatrix {
+    /// Unique name, e.g. `banded_n4000_b40_k24_s3`.
+    pub name: String,
+    /// Structural class, e.g. `banded`, `rmat`, `circuit`.
+    pub group: &'static str,
+    /// The matrix.
+    pub matrix: Csr<f64>,
+}
+
+/// Parameters controlling corpus size.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusSpec {
+    /// Scale multiplier applied to matrix dimensions (1 = default sizes).
+    pub size_scale: usize,
+    /// Number of seeds per configuration.
+    pub seeds: u64,
+}
+
+impl Default for CorpusSpec {
+    fn default() -> Self {
+        CorpusSpec {
+            size_scale: 1,
+            seeds: 2,
+        }
+    }
+}
+
+/// Generates the default corpus (about a hundred matrices).
+pub fn corpus() -> Vec<NamedMatrix> {
+    corpus_with(CorpusSpec::default())
+}
+
+/// Generates a corpus with explicit sizing.
+pub fn corpus_with(spec: CorpusSpec) -> Vec<NamedMatrix> {
+    let mut out = Vec::new();
+    let sc = spec.size_scale.max(1);
+    let mut push = |name: String, group: &'static str, m: Csr<f64>| {
+        out.push(NamedMatrix {
+            name,
+            group,
+            matrix: m,
+        });
+    };
+
+    for seed in 0..spec.seeds {
+        // Banded / FEM-like, small to large, varying density.
+        for &(n, hb, k) in &[
+            (2000usize, 8usize, 6usize),
+            (8000, 16, 12),
+            (20_000, 40, 24),
+            (40_000, 60, 40),
+            (60_000, 80, 24),
+        ] {
+            push(
+                format!("banded_n{n}_b{hb}_k{k}_s{seed}"),
+                "banded",
+                banded(n * sc, hb, k, 1000 + seed),
+            );
+        }
+
+        // 2-D stencils (short regular rows).
+        for &(g, p) in &[(100usize, 5usize), (256, 5), (512, 5), (96, 4), (300, 9)] {
+            push(
+                format!("stencil{p}_g{g}_s{seed}"),
+                "stencil",
+                stencil2d(g * sc, g, p, 2000 + seed),
+            );
+        }
+
+        // Power-law graphs.
+        for &(scale, ef) in &[(12u32, 4usize), (14, 6), (15, 8), (16, 12), (17, 6)] {
+            push(
+                format!("rmat_s{scale}_e{ef}_s{seed}"),
+                "rmat",
+                rmat(scale, ef, 3000 + seed),
+            );
+        }
+
+        // Uniform random (worst locality).
+        for &(r, k) in &[(4000usize, 4usize), (12_000, 8), (30_000, 16), (60_000, 10)] {
+            push(
+                format!("uniform_n{r}_k{k}_s{seed}"),
+                "uniform",
+                uniform_random(r * sc, r * sc, k, 4000 + seed),
+            );
+        }
+
+        // Very short rows: diagonal band stacks.
+        for &(n, bands) in &[
+            (10_000usize, &[0isize][..]),
+            (40_000, &[0, 1][..]),
+            (120_000, &[0, -1, 1][..]),
+            (250_000, &[0, 2, -2, 1][..]),
+        ] {
+            push(
+                format!("diag_n{n}_b{}_s{seed}", bands.len()),
+                "diagonal",
+                diagonal_bands(n * sc, bands, 5000 + seed),
+            );
+        }
+
+        // Circuits: short rows + dense rows.
+        for &(n, nd, dl) in &[
+            (10_000usize, 2usize, 2000usize),
+            (40_000, 6, 4000),
+            (90_000, 12, 8000),
+        ] {
+            push(
+                format!("circuit_n{n}_d{nd}x{dl}_s{seed}"),
+                "circuit",
+                circuit_like(n * sc, nd, dl, 6000 + seed),
+            );
+        }
+
+        // All-long-rows rectangles (bibd / LP-like).
+        for &(r, c, l) in &[(40usize, 20_000usize, 6000usize), (120, 40_000, 8000), (600, 16_000, 2000)] {
+            push(
+                format!("rect_r{r}_c{c}_l{l}_s{seed}"),
+                "rectangular",
+                rectangular_long(r, c * sc, l, 7000 + seed),
+            );
+        }
+
+        // BSR-friendly dense blocks.
+        for &(n, b, od) in &[(4096usize, 4usize, 2usize), (8192, 8, 3), (12_288, 16, 4)] {
+            push(
+                format!("blocks_n{n}_b{b}_o{od}_s{seed}"),
+                "blocks",
+                block_dense(n * sc, b, od, 8000 + seed),
+            );
+        }
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_corpus_is_diverse_and_valid() {
+        let c = corpus();
+        assert!(c.len() >= 50, "corpus has {} matrices", c.len());
+        let mut groups: Vec<&str> = c.iter().map(|m| m.group).collect();
+        groups.sort();
+        groups.dedup();
+        assert!(groups.len() >= 8, "groups: {groups:?}");
+        for m in &c {
+            m.matrix
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let c = corpus();
+        let mut names: Vec<&str> = c.iter().map(|m| m.name.as_str()).collect();
+        let total = names.len();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), total);
+    }
+
+    #[test]
+    fn nnz_spans_orders_of_magnitude() {
+        let c = corpus();
+        let min = c.iter().map(|m| m.matrix.nnz()).min().unwrap();
+        let max = c.iter().map(|m| m.matrix.nnz()).max().unwrap();
+        assert!(min < 30_000, "min nnz {min}");
+        assert!(max > 900_000, "max nnz {max}");
+    }
+
+    #[test]
+    fn seeds_control_determinism() {
+        let a = corpus();
+        let b = corpus();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.matrix, y.matrix, "{}", x.name);
+        }
+    }
+}

@@ -1,0 +1,511 @@
+//! The individual matrix generators.
+
+use dasp_sparse::{Coo, Csr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+fn value(rng: &mut SmallRng) -> f64 {
+    // Values in [-1, 1) with a guaranteed non-zero magnitude. Kept small so
+    // FP16 runs neither overflow nor underflow on realistic row lengths.
+    loop {
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        if v.abs() > 1e-3 {
+            return v;
+        }
+    }
+}
+
+/// A random dense vector in [-1, 1), for use as the SpMV input `x`.
+pub fn dense_vector(n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x9e37_79b9_7f4a_7c15);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+/// A banded matrix: each row has `nnz_per_row` nonzeros scattered within
+/// `[i - half_band, i + half_band]`, the structure of 1-D FEM/spring models
+/// (`pwtk`, `cant`, `consph`, `shipsec1` are banded at heart).
+pub fn banded(n: usize, half_band: usize, nnz_per_row: usize, seed: u64) -> Csr<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        let lo = i.saturating_sub(half_band);
+        let hi = (i + half_band + 1).min(n);
+        let width = hi - lo;
+        let take = nnz_per_row.min(width);
+        // Sample distinct columns within the band; always include the diagonal.
+        let mut cols: Vec<usize> = Vec::with_capacity(take);
+        cols.push(i);
+        while cols.len() < take {
+            let c = lo + rng.gen_range(0..width);
+            if !cols.contains(&c) {
+                cols.push(c);
+            }
+        }
+        for c in cols {
+            coo.push(i, c, value(&mut rng));
+        }
+    }
+    coo.to_csr()
+}
+
+/// A 2-D structured grid stencil on an `nx` by `ny` grid: `points` must be
+/// 4, 5 or 9. The 4-point variant (centre, west, east, north) reproduces
+/// `mc2depi`'s structure (a 2-D epidemiology grid with 4 nonzeros per row,
+/// all rows in DASP's short category); 5 and 9 are the classic Laplacian
+/// stencils.
+pub fn stencil2d(nx: usize, ny: usize, points: usize, seed: u64) -> Csr<f64> {
+    assert!(
+        points == 4 || points == 5 || points == 9,
+        "stencil2d supports 4-, 5- or 9-point stencils"
+    );
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = nx * ny;
+    let mut coo = Coo::new(n, n);
+    let idx = |x: usize, y: usize| y * nx + x;
+    for y in 0..ny {
+        for x in 0..nx {
+            let i = idx(x, y);
+            let mut add = |dx: isize, dy: isize, rng: &mut SmallRng| {
+                let xx = x as isize + dx;
+                let yy = y as isize + dy;
+                if xx >= 0 && yy >= 0 && (xx as usize) < nx && (yy as usize) < ny {
+                    coo.push(i, idx(xx as usize, yy as usize), value(rng));
+                }
+            };
+            add(0, 0, &mut rng);
+            add(-1, 0, &mut rng);
+            add(1, 0, &mut rng);
+            add(0, -1, &mut rng);
+            if points >= 5 {
+                add(0, 1, &mut rng);
+            }
+            if points == 9 {
+                add(-1, -1, &mut rng);
+                add(1, -1, &mut rng);
+                add(-1, 1, &mut rng);
+                add(1, 1, &mut rng);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// An R-MAT (recursive Kronecker) graph adjacency matrix with the classic
+/// skewed parameters, producing the power-law row-length distributions of
+/// `kron_g500-logn20`, `wiki-Talk` and web crawls. `scale` gives `n = 2^scale`
+/// vertices; `edge_factor` edges are drawn per vertex.
+pub fn rmat(scale: u32, edge_factor: usize, seed: u64) -> Csr<f64> {
+    // Standard Graph500 partition probabilities.
+    let (a, b, c) = (0.57, 0.19, 0.19);
+    let n = 1usize << scale;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    let m = n * edge_factor;
+    for _ in 0..m {
+        let mut r = 0usize;
+        let mut col = 0usize;
+        for level in (0..scale).rev() {
+            let p: f64 = rng.gen();
+            let (ri, ci) = if p < a {
+                (0, 0)
+            } else if p < a + b {
+                (0, 1)
+            } else if p < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r |= ri << level;
+            col |= ci << level;
+        }
+        coo.push(r, col, value(&mut rng));
+    }
+    // Duplicates are summed by to_csr, mirroring multigraph collapse.
+    coo.to_csr()
+}
+
+/// Like [`uniform_random`] but with row lengths drawn uniformly from
+/// `min_len..=max_len`, giving a short/medium category mix
+/// (`mac_econ_fwd500`-like economics matrices).
+pub fn uniform_random_var(
+    rows: usize,
+    cols: usize,
+    min_len: usize,
+    max_len: usize,
+    seed: u64,
+) -> Csr<f64> {
+    assert!(min_len <= max_len);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::new(rows, cols);
+    for i in 0..rows {
+        let take = rng.gen_range(min_len..=max_len).min(cols);
+        let mut cs: Vec<usize> = Vec::with_capacity(take);
+        while cs.len() < take {
+            let c = rng.gen_range(0..cols);
+            if !cs.contains(&c) {
+                cs.push(c);
+            }
+        }
+        for c in cs {
+            coo.push(i, c, value(&mut rng));
+        }
+    }
+    coo.to_csr()
+}
+
+/// A uniformly random matrix: every row draws `nnz_per_row` distinct
+/// columns uniformly from all of `cols`. Worst-case locality for `x`.
+pub fn uniform_random(rows: usize, cols: usize, nnz_per_row: usize, seed: u64) -> Csr<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::new(rows, cols);
+    let take = nnz_per_row.min(cols);
+    for i in 0..rows {
+        let mut cs: Vec<usize> = Vec::with_capacity(take);
+        while cs.len() < take {
+            let c = rng.gen_range(0..cols);
+            if !cs.contains(&c) {
+                cs.push(c);
+            }
+        }
+        for c in cs {
+            coo.push(i, c, value(&mut rng));
+        }
+    }
+    coo.to_csr()
+}
+
+/// A matrix of `bands` diagonals (very short rows, `rel19`-like): row `i`
+/// holds nonzeros at `i + offset` for each configured offset that lands in
+/// range.
+pub fn diagonal_bands(n: usize, offsets: &[isize], seed: u64) -> Csr<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        for &off in offsets {
+            let c = i as isize + off;
+            if c >= 0 && (c as usize) < n {
+                coo.push(i, c as usize, value(&mut rng));
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// A circuit-simulation-like matrix: ~90% of rows have 1..=4 nonzeros near
+/// the diagonal (DASP's short category), ~10% have 5..=12 (medium), plus
+/// `n_dense` rows (power/ground nets) with `dense_len` uniformly scattered
+/// nonzeros — the structure of `FullChip`, `circuit5M`, `dc2` and
+/// `ASIC_680k` that gives DASP's long-rows method its largest wins.
+pub fn circuit_like(n: usize, n_dense: usize, dense_len: usize, seed: u64) -> Csr<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        let l = if rng.gen_range(0..10) == 0 {
+            rng.gen_range(5..=12usize)
+        } else {
+            rng.gen_range(1..=4usize)
+        };
+        coo.push(i, i, value(&mut rng));
+        for _ in 1..l {
+            let span = 50.min(n - 1);
+            let c = (i + rng.gen_range(0..=span)).min(n - 1);
+            coo.push(i, c, value(&mut rng));
+        }
+    }
+    // Dense rows spread across the matrix.
+    for d in 0..n_dense {
+        let r = (d * n) / n_dense.max(1);
+        let mut added = 0usize;
+        while added < dense_len {
+            let c = rng.gen_range(0..n);
+            coo.push(r, c, value(&mut rng));
+            added += 1;
+        }
+    }
+    coo.to_csr()
+}
+
+/// A short-and-wide (or few-rows) matrix whose every row is very long:
+/// `bibd_20_10` (rows of ~47k nonzeros) and LP constraint matrices
+/// (`lp_osa_60`). All rows land in DASP's long-rows category.
+pub fn rectangular_long(rows: usize, cols: usize, row_len: usize, seed: u64) -> Csr<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::new(rows, cols);
+    let take = row_len.min(cols);
+    for i in 0..rows {
+        // Dense prefix sampling: pick a random stride pattern to spread
+        // columns without the O(len^2) distinctness check.
+        let stride = (cols / take).max(1);
+        let jitter = rng.gen_range(0..stride);
+        for k in 0..take {
+            let c = (k * stride + jitter) % cols;
+            coo.push(i, c, value(&mut rng));
+        }
+    }
+    let csr = coo.to_csr();
+    // Collapse any duplicate columns introduced by the modulo wrap.
+    csr.validate().expect("generator must produce valid CSR");
+    csr
+}
+
+/// A matrix of small dense blocks along a randomized block structure
+/// (`mip1`, `pdb1HYS`-like): `nblocks` dense `block x block` tiles placed on
+/// a block-diagonal plus random off-diagonal tiles.
+pub fn block_dense(n: usize, block: usize, off_diag_per_row: usize, seed: u64) -> Csr<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let nb = n / block;
+    let mut coo = Coo::new(n, n);
+    let fill_tile = |bi: usize, bj: usize, rng: &mut SmallRng, coo: &mut Coo<f64>| {
+        for r in 0..block {
+            for c in 0..block {
+                coo.push(bi * block + r, bj * block + c, value(rng));
+            }
+        }
+    };
+    for bi in 0..nb {
+        fill_tile(bi, bi, &mut rng, &mut coo);
+        for _ in 0..off_diag_per_row {
+            let bj = rng.gen_range(0..nb);
+            if bj != bi {
+                fill_tile(bi, bj, &mut rng, &mut coo);
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_sparse::RowStats;
+
+    #[test]
+    fn banded_stays_within_band_and_is_valid() {
+        let m = banded(200, 10, 8, 1);
+        m.validate().unwrap();
+        for i in 0..m.rows {
+            assert!(m.row_len(i) >= 1);
+            for (c, _) in m.row(i) {
+                assert!((c as isize - i as isize).unsigned_abs() <= 10);
+            }
+        }
+    }
+
+    #[test]
+    fn stencil5_interior_rows_have_five_points() {
+        let m = stencil2d(10, 10, 5, 2);
+        m.validate().unwrap();
+        // interior point (5,5) -> row 55
+        assert_eq!(m.row_len(55), 5);
+        // corner (0,0) -> 3 neighbours
+        assert_eq!(m.row_len(0), 3);
+        assert_eq!(m.nnz(), 5 * 100 - 4 * 10); // 2 missing per boundary row/col
+    }
+
+    #[test]
+    fn stencil9_has_nine_interior_points() {
+        let m = stencil2d(8, 8, 9, 3);
+        assert_eq!(m.row_len(8 * 4 + 4), 9);
+        assert_eq!(m.row_len(0), 4);
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        let m = rmat(10, 8, 4);
+        m.validate().unwrap();
+        let s = RowStats::of(&m);
+        // Power-law: the max row is far above the mean.
+        assert!(s.max_len as f64 > 4.0 * s.mean_len, "max {} mean {}", s.max_len, s.mean_len);
+        assert!(s.empty_rows > 0, "rmat should leave some vertices isolated");
+    }
+
+    #[test]
+    fn uniform_random_has_exact_row_lengths() {
+        let m = uniform_random(50, 300, 7, 5);
+        m.validate().unwrap();
+        for i in 0..50 {
+            assert_eq!(m.row_len(i), 7);
+        }
+    }
+
+    #[test]
+    fn diagonal_bands_produces_short_rows() {
+        let m = diagonal_bands(100, &[0, 1, -1], 6);
+        m.validate().unwrap();
+        let s = RowStats::of(&m);
+        assert_eq!(s.max_len, 3);
+        assert_eq!(s.min_len, 2); // boundary rows lose one band
+    }
+
+    #[test]
+    fn circuit_like_mixes_short_and_dense_rows() {
+        let m = circuit_like(2000, 4, 900, 7);
+        m.validate().unwrap();
+        let s = RowStats::of(&m);
+        assert!(s.max_len > 500, "dense rows missing: max {}", s.max_len);
+        // The bulk of rows stay short.
+        let short = (0..m.rows).filter(|&i| m.row_len(i) <= 4).count();
+        assert!(short as f64 > 0.8 * m.rows as f64);
+    }
+
+    #[test]
+    fn rectangular_long_rows_all_long() {
+        let m = rectangular_long(16, 4000, 1200, 8);
+        m.validate().unwrap();
+        for i in 0..m.rows {
+            assert!(m.row_len(i) >= 1100, "row {i} len {}", m.row_len(i));
+        }
+    }
+
+    #[test]
+    fn block_dense_is_bsr_friendly() {
+        let m = block_dense(64, 4, 2, 9);
+        m.validate().unwrap();
+        let b = dasp_sparse::Bsr::from_csr(&m, 4);
+        assert!(b.fill_ratio() < 1.01, "fill {}", b.fill_ratio());
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        assert_eq!(banded(50, 4, 3, 11), banded(50, 4, 3, 11));
+        assert_ne!(banded(50, 4, 3, 11), banded(50, 4, 3, 12));
+        assert_eq!(rmat(8, 4, 2), rmat(8, 4, 2));
+        assert_eq!(dense_vector(10, 3), dense_vector(10, 3));
+    }
+
+    #[test]
+    fn dense_vector_in_range() {
+        let v = dense_vector(1000, 1);
+        assert!(v.iter().all(|&x| (-1.0..1.0).contains(&x)));
+    }
+}
+
+/// A 3-D structured grid stencil on an `nx * ny * nz` grid: `points` must
+/// be 7 (faces) or 27 (full cube neighbourhood). 7-point is the classic
+/// Poisson discretization; 27-point produces the heavy ~27-nonzero rows of
+/// 3-D FEM matrices.
+pub fn stencil3d(nx: usize, ny: usize, nz: usize, points: usize, seed: u64) -> Csr<f64> {
+    assert!(points == 7 || points == 27, "stencil3d supports 7- or 27-point stencils");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let n = nx * ny * nz;
+    let mut coo = Coo::new(n, n);
+    let idx = |x: usize, y: usize, z: usize| (z * ny + y) * nx + x;
+    for z in 0..nz {
+        for y in 0..ny {
+            for x in 0..nx {
+                let i = idx(x, y, z);
+                for dz in -1i64..=1 {
+                    for dy in -1i64..=1 {
+                        for dx in -1i64..=1 {
+                            let manhattan = dx.abs() + dy.abs() + dz.abs();
+                            if points == 7 && manhattan > 1 {
+                                continue;
+                            }
+                            let (xx, yy, zz) =
+                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            if xx < 0
+                                || yy < 0
+                                || zz < 0
+                                || xx as usize >= nx
+                                || yy as usize >= ny
+                                || zz as usize >= nz
+                            {
+                                continue;
+                            }
+                            coo.push(
+                                i,
+                                idx(xx as usize, yy as usize, zz as usize),
+                                value(&mut rng),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+    coo.to_csr()
+}
+
+/// An explicit Kronecker-power graph: the `k`-th Kronecker power of a
+/// small seed adjacency pattern, the deterministic cousin of [`rmat`]
+/// (`kron_g500`-style synthetic graphs). The seed pattern is a dense 2x2
+/// stochastic-like mask: an edge `(i, j)` of the power exists iff every
+/// base-2 digit pair of `(i, j)` is an edge of the seed.
+pub fn kronecker(seed_edges: &[(usize, usize)], k: u32, value_seed: u64) -> Csr<f64> {
+    assert!(k >= 1 && k <= 16, "kronecker power out of range");
+    for &(r, c) in seed_edges {
+        assert!(r < 2 && c < 2, "seed pattern must be 2x2");
+    }
+    let mut rng = SmallRng::seed_from_u64(value_seed);
+    let n = 1usize << k;
+    let mut coo = Coo::new(n, n);
+    // Iteratively expand the edge list: E_{t+1} = E_t (x) E_seed,
+    // starting from the seed itself at t = 1.
+    let mut edges: Vec<(usize, usize)> = seed_edges.to_vec();
+    for _ in 1..k {
+        let mut next = Vec::with_capacity(edges.len() * seed_edges.len());
+        for &(r, c) in &edges {
+            for &(sr, sc) in seed_edges {
+                next.push((r * 2 + sr, c * 2 + sc));
+            }
+        }
+        edges = next;
+    }
+    for (r, c) in edges {
+        coo.push(r, c, value(&mut rng));
+    }
+    coo.to_csr()
+}
+
+#[cfg(test)]
+mod tests3d {
+    use super::*;
+    use dasp_sparse::RowStats;
+
+    #[test]
+    fn stencil3d_7pt_interior_rows() {
+        let m = stencil3d(6, 6, 6, 7, 1);
+        m.validate().unwrap();
+        // interior point has 7 neighbours, corner has 4
+        let interior = (2 * 6 + 2) * 6 + 2;
+        assert_eq!(m.row_len(interior), 7);
+        assert_eq!(m.row_len(0), 4);
+    }
+
+    #[test]
+    fn stencil3d_27pt_interior_rows() {
+        let m = stencil3d(5, 5, 5, 27, 2);
+        m.validate().unwrap();
+        let interior = (2 * 5 + 2) * 5 + 2;
+        assert_eq!(m.row_len(interior), 27);
+        assert_eq!(m.row_len(0), 8); // corner: 2x2x2 cube
+    }
+
+    #[test]
+    fn kronecker_edge_count_is_seed_power() {
+        // Seed with 3 edges -> k-th power has 3^k edges (no collisions for
+        // a deterministic pattern).
+        let seed = [(0, 0), (0, 1), (1, 0)];
+        let m = kronecker(&seed, 5, 3);
+        m.validate().unwrap();
+        assert_eq!(m.rows, 32);
+        assert_eq!(m.nnz(), 3usize.pow(5));
+    }
+
+    #[test]
+    fn kronecker_is_skewed_like_rmat() {
+        let seed = [(0, 0), (0, 1), (1, 0)];
+        let m = kronecker(&seed, 10, 4);
+        let s = RowStats::of(&m);
+        // Power-law: row 0 collects 2^k edges while typical rows hold few.
+        assert!(s.max_len as f64 > 5.0 * s.mean_len.max(1.0));
+        assert_eq!(s.max_len, 1 << 10);
+    }
+
+    #[test]
+    fn dense_seed_gives_dense_power() {
+        let seed = [(0, 0), (0, 1), (1, 0), (1, 1)];
+        let m = kronecker(&seed, 3, 5);
+        assert_eq!(m.nnz(), 64); // fully dense 8x8
+    }
+}

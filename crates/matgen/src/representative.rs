@@ -1,0 +1,276 @@
+//! Scaled-down analogs of the 21 representative matrices of paper Table 2.
+//!
+//! Each analog matches its original's *structural class* — the row-length
+//! distribution that decides DASP category membership, and the column
+//! locality pattern — at roughly 1/40 to 1/100 of the original nonzero
+//! count, so the full Fig. 11/12 sweep runs in seconds on a CPU simulator.
+//! The paper's row/nnz dimensions are recorded alongside for reporting.
+
+use dasp_sparse::{Coo, Csr};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::generators::{
+    banded, block_dense, circuit_like, diagonal_bands, rmat, stencil2d, uniform_random_var,
+};
+
+/// One Table-2 matrix: the paper's metadata plus our synthetic analog.
+pub struct RepresentativeMatrix {
+    /// SuiteSparse name, as printed in Table 2.
+    pub name: &'static str,
+    /// Rows x cols of the original.
+    pub paper_shape: (usize, usize),
+    /// Nonzeros of the original.
+    pub paper_nnz: usize,
+    /// The scaled analog.
+    pub matrix: Csr<f64>,
+}
+
+/// Replaces each row in `rows` with `len` uniformly scattered nonzeros,
+/// turning them into "dense" (long) rows.
+fn add_long_rows(csr: &Csr<f64>, rows: &[usize], len: usize, seed: u64) -> Csr<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::new(csr.rows, csr.cols);
+    for i in 0..csr.rows {
+        if rows.contains(&i) {
+            continue;
+        }
+        for (c, v) in csr.row(i) {
+            coo.push(i, c as usize, v);
+        }
+    }
+    for &r in rows {
+        for _ in 0..len {
+            let c = rng.gen_range(0..csr.cols);
+            let v = rng.gen_range(0.001..1.0);
+            coo.push(r, c, v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Gives every empty row a diagonal self-loop — web-crawl matrices like
+/// `webbase-1M` keep an entry for dangling pages, so their rows are short
+/// rather than empty.
+fn fill_empty_diag(csr: &Csr<f64>, seed: u64) -> Csr<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::new(csr.rows, csr.cols);
+    for i in 0..csr.rows {
+        if csr.row_len(i) == 0 {
+            coo.push(i, i.min(csr.cols - 1), rng.gen_range(0.1..1.0));
+        }
+        for (c, v) in csr.row(i) {
+            coo.push(i, c as usize, v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Empties every row whose index satisfies `i % period == phase`,
+/// reproducing matrices with many empty rows (`cop20k_A` has 21349).
+fn clear_rows(csr: &Csr<f64>, period: usize, phase: usize) -> Csr<f64> {
+    let mut coo = Coo::new(csr.rows, csr.cols);
+    for i in 0..csr.rows {
+        if i % period == phase {
+            continue;
+        }
+        for (c, v) in csr.row(i) {
+            coo.push(i, c as usize, v);
+        }
+    }
+    coo.to_csr()
+}
+
+/// Builds all 21 analogs, in Table-2 order.
+pub fn representative() -> Vec<RepresentativeMatrix> {
+    let mk = |name, shape, nnz, matrix| RepresentativeMatrix {
+        name,
+        paper_shape: shape,
+        paper_nnz: nnz,
+        matrix,
+    };
+    vec![
+        // FEM / structural: banded medium rows (~53/row).
+        mk("pwtk", (217_918, 217_918), 11_524_432, banded(5000, 60, 52, 101)),
+        // Circuit with a handful of enormous rows.
+        mk(
+            "FullChip",
+            (2_987_012, 2_987_012),
+            26_621_983,
+            circuit_like(24_000, 8, 3500, 102),
+        ),
+        // Dense 16x16 block structure plus very long rows: the paper notes
+        // mip1's nonzeros are dominated by the long-rows category.
+        mk(
+            "mip1",
+            (66_463, 66_463),
+            10_352_819,
+            add_long_rows(
+                &block_dense(1024, 16, 4, 103),
+                &(0..100).map(|k| k * 10).collect::<Vec<_>>(),
+                1200,
+                1031,
+            ),
+        ),
+        // 2-D epidemiology grid: pure short rows (4/row).
+        mk("mc2depi", (525_825, 525_825), 2_100_225, stencil2d(230, 230, 4, 104)),
+        // Web graph, power-law, mostly tiny rows.
+        mk(
+            "webbase-1M",
+            (1_000_005, 1_000_005),
+            3_105_536,
+            fill_empty_diag(&rmat(14, 3, 105), 1051),
+        ),
+        // Huge circuit: short rows plus dense rows.
+        mk(
+            "circuit5M",
+            (5_558_326, 5_558_326),
+            59_524_291,
+            circuit_like(30_000, 10, 3000, 106),
+        ),
+        // Quantum chemistry: medium rows with a long-row component.
+        mk(
+            "Si41Ge41H72",
+            (185_639, 185_639),
+            15_011_265,
+            add_long_rows(
+                &banded(4000, 90, 55, 107),
+                &(0..60).map(|k| k * 66).collect::<Vec<_>>(),
+                1500,
+                1071,
+            ),
+        ),
+        mk(
+            "Ga41As41H72",
+            (268_096, 268_096),
+            18_488_476,
+            add_long_rows(
+                &banded(4600, 80, 48, 108),
+                &(0..70).map(|k| k * 65).collect::<Vec<_>>(),
+                1400,
+                1081,
+            ),
+        ),
+        // Web crawls: skewed power-law with locality.
+        mk("in-2004", (1_382_908, 1_382_908), 16_917_053, rmat(13, 12, 109)),
+        mk("eu-2005", (862_664, 862_664), 19_235_140, rmat(12, 22, 110)),
+        // FEM ship section.
+        mk("shipsec1", (140_874, 140_874), 7_813_404, banded(4500, 60, 54, 111)),
+        // Economics: short scattered rows.
+        mk(
+            "mac_econ_fwd500",
+            (206_500, 206_500),
+            1_273_389,
+            uniform_random_var(16_000, 16_000, 2, 10, 112),
+        ),
+        // Small circuit.
+        mk("scircuit", (170_998, 170_998), 958_936, circuit_like(14_000, 2, 300, 113)),
+        // Protein: very heavy medium rows (~119/row).
+        mk("pdb1HYS", (36_417, 36_417), 4_344_765, banded(2400, 140, 118, 114)),
+        // FEM sphere (~72/row).
+        mk("consph", (83_334, 83_334), 6_010_480, banded(3600, 100, 72, 115)),
+        // FEM cantilever (~64/row).
+        mk("cant", (62_451, 62_451), 4_007_383, banded(3400, 70, 64, 116)),
+        // Accelerator cavity: medium rows plus many empty rows.
+        mk(
+            "cop20k_A",
+            (121_192, 121_192),
+            2_624_331,
+            clear_rows(&banded(9000, 50, 26, 117), 6, 3),
+        ),
+        // Simulation netlist with a few dense rows, moderate size.
+        mk("dc2", (116_835, 116_835), 766_396, circuit_like(10_000, 6, 1800, 118)),
+        // CFD (~49/row).
+        mk("rma10", (46_835, 46_835), 2_329_092, banded(3000, 55, 48, 119)),
+        // QCD lattice: perfectly uniform 39/row.
+        mk(
+            "conf5_4-8x8-10",
+            (49_152, 49_152),
+            1_916_928,
+            banded(3200, 24, 39, 120),
+        ),
+        // ASIC netlist: short rows plus dense rows, some diagonal bands.
+        mk(
+            "ASIC_680k",
+            (682_862, 682_862),
+            3_871_773,
+            add_long_rows(
+                &diagonal_bands(16_000, &[0, 1, -1, 40], 121),
+                &[0, 4000, 8000, 12_000],
+                2500,
+                1211,
+            ),
+        ),
+    ]
+}
+
+/// The 21 names in Table-2 order.
+pub fn representative_names() -> Vec<&'static str> {
+    representative().iter().map(|r| r.name).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_sparse::RowStats;
+
+    #[test]
+    fn builds_21_valid_matrices() {
+        let reps = representative();
+        assert_eq!(reps.len(), 21);
+        for r in &reps {
+            r.matrix.validate().unwrap_or_else(|e| panic!("{}: {e}", r.name));
+            assert!(r.matrix.nnz() > 10_000, "{} too small: {}", r.name, r.matrix.nnz());
+            assert!(r.matrix.nnz() < 800_000, "{} too large: {}", r.name, r.matrix.nnz());
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_in_table_order() {
+        let names = representative_names();
+        assert_eq!(names[0], "pwtk");
+        assert_eq!(names[20], "ASIC_680k");
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 21);
+    }
+
+    #[test]
+    fn mc2depi_analog_is_all_short_rows() {
+        let reps = representative();
+        let m = &reps.iter().find(|r| r.name == "mc2depi").unwrap().matrix;
+        let s = RowStats::of(m);
+        assert!(s.max_len <= 5);
+    }
+
+    #[test]
+    fn cop20k_analog_has_empty_rows() {
+        let reps = representative();
+        let m = &reps.iter().find(|r| r.name == "cop20k_A").unwrap().matrix;
+        let s = RowStats::of(m);
+        assert!(s.empty_rows > m.rows / 10, "empty rows: {}", s.empty_rows);
+    }
+
+    #[test]
+    fn fullchip_analog_has_long_rows() {
+        let reps = representative();
+        let m = &reps.iter().find(|r| r.name == "FullChip").unwrap().matrix;
+        let s = RowStats::of(m);
+        assert!(s.max_len > 256, "max row len {}", s.max_len);
+    }
+
+    #[test]
+    fn chemistry_analogs_mix_medium_and_long() {
+        let reps = representative();
+        for name in ["Si41Ge41H72", "Ga41As41H72"] {
+            let m = &reps.iter().find(|r| r.name == name).unwrap().matrix;
+            let s = RowStats::of(m);
+            assert!(s.max_len > 256, "{name} needs long rows");
+            let medium = (0..m.rows)
+                .filter(|&i| m.row_len(i) > 4 && m.row_len(i) <= 256)
+                .count();
+            assert!(medium > m.rows / 2, "{name} should be mostly medium rows");
+        }
+    }
+}

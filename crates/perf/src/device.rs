@@ -1,0 +1,163 @@
+//! Device models of the paper's two GPUs (Table 1).
+
+use dasp_simt::CacheModel;
+
+/// Arithmetic precision of a run, selecting which peak rates apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Precision {
+    /// FP64 storage, FP64 accumulate.
+    Fp64,
+    /// FP32 storage, FP32 accumulate (TF32 on the tensor cores — note the
+    /// 10-bit TF32 mantissa; this is the precision regime of AlphaSparse,
+    /// which the paper mentions but does not compare against).
+    Fp32,
+    /// FP16 storage, FP32 accumulate.
+    Fp16,
+}
+
+/// A roofline model of one GPU.
+///
+/// Peak rates come from the vendor datasheets quoted in the paper's
+/// Table 1. The two efficiency factors are the model's only calibration
+/// knobs, fixed once for all methods and documented in EXPERIMENTS.md:
+///
+/// * `cuda_flops_eff` — fraction of CUDA-core FMA peak a gather-bound,
+///   serially-dependent SpMV inner loop sustains (profiling literature
+///   puts CSR kernels at 5-20% of peak; 0.05 used — every FMA sits behind
+///   a gather).
+/// * `tc_flops_eff` — fraction of tensor-core peak a stream of dependent
+///   `mma.m8n8k4` issues sustains (0.5 used; the unit pipelines much
+///   better than scalar chains but DASP cannot batch like GEMM).
+#[derive(Debug, Clone, Copy)]
+pub struct DeviceModel {
+    /// Marketing name.
+    pub name: &'static str,
+    /// Sustainable DRAM bandwidth in GB/s (STREAM-Triad-like, the blue
+    /// dashed line of Fig. 1 — below the datasheet number).
+    pub mem_bw_gbs: f64,
+    /// On-chip (L2) bandwidth serving cache hits, GB/s.
+    pub l2_bw_gbs: f64,
+    /// FP64 CUDA-core peak, TFLOPS.
+    pub fp64_cuda_tflops: f64,
+    /// FP64 tensor-core peak, TFLOPS.
+    pub fp64_tc_tflops: f64,
+    /// FP32 CUDA-core peak, TFLOPS.
+    pub fp32_cuda_tflops: f64,
+    /// TF32 tensor-core peak, TFLOPS (serves the FP32 storage precision).
+    pub tf32_tc_tflops: f64,
+    /// FP16 CUDA-core peak, TFLOPS. Scalar half arithmetic issues at the
+    /// FP32 rate (the 2x half2 rate needs vectorization a gather-bound
+    /// SpMV kernel cannot use), so this is the FP32 FMA peak.
+    pub fp16_cuda_tflops: f64,
+    /// FP16 tensor-core peak, TFLOPS.
+    pub fp16_tc_tflops: f64,
+    /// Warp-shuffle issue rate, gigashuffles/s (aggregate over SMs).
+    pub shfl_gops: f64,
+    /// Marginal cost per kernel launch, microseconds. This is the
+    /// back-to-back enqueue gap seen inside a 1000-iteration timing loop
+    /// (the paper's methodology), not a cold-start driver round trip.
+    pub launch_overhead_us: f64,
+    /// CUDA-core efficiency factor (see type docs).
+    pub cuda_flops_eff: f64,
+    /// Tensor-core efficiency factor (see type docs).
+    pub tc_flops_eff: f64,
+    /// L2 capacity in bytes (drives the x-gather cache model).
+    pub l2_bytes: u64,
+}
+
+impl DeviceModel {
+    /// CUDA-core sustained rate for `p`, flops/s.
+    pub fn cuda_flops(&self, p: Precision) -> f64 {
+        let peak = match p {
+            Precision::Fp64 => self.fp64_cuda_tflops,
+            Precision::Fp32 => self.fp32_cuda_tflops,
+            Precision::Fp16 => self.fp16_cuda_tflops,
+        };
+        peak * 1e12 * self.cuda_flops_eff
+    }
+
+    /// Tensor-core sustained rate for `p`, flops/s.
+    pub fn tc_flops(&self, p: Precision) -> f64 {
+        let peak = match p {
+            Precision::Fp64 => self.fp64_tc_tflops,
+            Precision::Fp32 => self.tf32_tc_tflops,
+            Precision::Fp16 => self.fp16_tc_tflops,
+        };
+        peak * 1e12 * self.tc_flops_eff
+    }
+
+    /// An L2 cache model sized for this device.
+    pub fn l2_cache(&self) -> CacheModel {
+        CacheModel::new(self.l2_bytes, 128, 16)
+    }
+}
+
+/// NVIDIA A100 40 GB PCIe (Ampere): the paper's FP64 + FP16 machine.
+pub fn a100() -> DeviceModel {
+    DeviceModel {
+        name: "A100",
+        mem_bw_gbs: 1400.0, // 1555 theoretical, Triad-measured below it
+        l2_bw_gbs: 4500.0,
+        fp64_cuda_tflops: 9.7,
+        fp64_tc_tflops: 19.5,
+        fp32_cuda_tflops: 19.5,
+        tf32_tc_tflops: 156.0,
+        fp16_cuda_tflops: 19.5,
+        fp16_tc_tflops: 312.0,
+        shfl_gops: 500.0,
+        launch_overhead_us: 0.35,
+        cuda_flops_eff: 0.05,
+        tc_flops_eff: 0.5,
+        l2_bytes: 40 * 1024 * 1024,
+    }
+}
+
+/// NVIDIA H800 80 GB PCIe (Hopper): the paper's FP16 machine.
+pub fn h800() -> DeviceModel {
+    DeviceModel {
+        name: "H800",
+        mem_bw_gbs: 1900.0, // 2048 theoretical
+        l2_bw_gbs: 6500.0,
+        fp64_cuda_tflops: 25.0,
+        fp64_tc_tflops: 50.0,
+        fp32_cuda_tflops: 60.0,
+        tf32_tc_tflops: 378.0,
+        fp16_cuda_tflops: 60.0,
+        fp16_tc_tflops: 756.0,
+        shfl_gops: 700.0,
+        launch_overhead_us: 0.3,
+        cuda_flops_eff: 0.05,
+        tc_flops_eff: 0.5,
+        l2_bytes: 50 * 1024 * 1024,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_numbers_are_encoded() {
+        let a = a100();
+        assert_eq!(a.fp64_tc_tflops, 19.5);
+        assert_eq!(a.fp16_tc_tflops, 312.0);
+        let h = h800();
+        assert_eq!(h.fp16_tc_tflops, 756.0);
+        assert!(h.mem_bw_gbs > a.mem_bw_gbs);
+    }
+
+    #[test]
+    fn sustained_rates_scale_with_precision() {
+        let a = a100();
+        assert!(a.tc_flops(Precision::Fp16) > a.tc_flops(Precision::Fp64));
+        assert!(a.cuda_flops(Precision::Fp64) < a.fp64_cuda_tflops * 1e12);
+        // Tensor cores beat CUDA cores at equal precision.
+        assert!(a.tc_flops(Precision::Fp64) > a.cuda_flops(Precision::Fp64));
+    }
+
+    #[test]
+    fn l2_cache_matches_capacity() {
+        let c = a100().l2_cache();
+        assert_eq!(c.line_bytes(), 128);
+    }
+}

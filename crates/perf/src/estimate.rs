@@ -1,0 +1,182 @@
+//! Counter-to-time conversion: the roofline estimator.
+
+use dasp_simt::KernelStats;
+
+use crate::device::{DeviceModel, Precision};
+
+/// Useful flops of one `mma.m8n8k4` issue (`2 * M * N * K`). The tensor
+/// core performs the full 8x8x4 product even though DASP consumes only the
+/// diagonal, so the *time* accounting must charge all of it.
+pub const MMA_FLOPS: f64 = 2.0 * 8.0 * 8.0 * 4.0;
+
+/// An estimated execution time with its three-way attribution
+/// (the classes of paper Fig. 2).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimate {
+    /// Total estimated kernel time, seconds.
+    pub seconds: f64,
+    /// RANDOM ACCESS: serving the gathers of `x` (DRAM line fills for
+    /// misses, L2 bandwidth for hits).
+    pub t_random: f64,
+    /// COMPUTE: the inner products — MMA issues on the tensor cores,
+    /// scalar FMAs on the CUDA cores, plus warp shuffles.
+    pub t_compute: f64,
+    /// MISCELLANEOUS: streaming the matrix arrays (values, indices,
+    /// pointers/descriptors), writing `y`, and kernel-launch overhead.
+    pub t_misc: f64,
+}
+
+impl Estimate {
+    /// Fraction of total attributed time spent in each class, as
+    /// `(random, compute, misc)`. Sums to 1 for non-zero estimates.
+    pub fn shares(&self) -> (f64, f64, f64) {
+        let total = self.t_random + self.t_compute + self.t_misc;
+        if total <= 0.0 {
+            return (0.0, 0.0, 0.0);
+        }
+        (
+            self.t_random / total,
+            self.t_compute / total,
+            self.t_misc / total,
+        )
+    }
+}
+
+/// Converts kernel counters to an estimated time on `dev` at precision `p`.
+///
+/// The total is the **sum** of the three classes. SpMV's arithmetic is
+/// dependent on its gathers (every FMA waits on an `x` load), so the
+/// compute path does not hide behind the streaming path the way a GEMM
+/// would — and the paper's own Fig. 2 methodology treats the three classes
+/// as additive shares of the total. The CUDA/tensor-core efficiency
+/// factors in [`DeviceModel`] are calibrated so the corpus-average shares
+/// land near the paper's 25.1% / 21.1% / 53.8%.
+pub fn estimate(stats: &KernelStats, dev: &DeviceModel, precision: Precision) -> Estimate {
+    let bw = dev.mem_bw_gbs * 1e9;
+    let l2_bw = dev.l2_bw_gbs * 1e9;
+
+    // RANDOM ACCESS: x gathers. Misses fetch whole lines from DRAM; hits
+    // are served at L2 bandwidth. A scattered gather consumes a full L2
+    // sector (32 B) per request regardless of element width, so hits are
+    // priced at sector granularity.
+    const SECTOR_BYTES: f64 = 32.0;
+    let t_random =
+        stats.bytes_x_miss as f64 / bw + stats.x_hits as f64 * SECTOR_BYTES / l2_bw;
+
+    // COMPUTE: tensor-core MMAs + CUDA-core FMAs + shuffles.
+    let t_mma = stats.mma_ops as f64 * MMA_FLOPS / dev.tc_flops(precision);
+    let t_fma = stats.fma_ops as f64 * 2.0 / dev.cuda_flops(precision);
+    let t_shfl = stats.shfl_ops as f64 / (dev.shfl_gops * 1e9);
+    let t_compute = t_mma + t_fma + t_shfl;
+
+    // MISC: streamed arrays + launches.
+    let streamed = (stats.bytes_val + stats.bytes_idx + stats.bytes_meta + stats.bytes_y) as f64;
+    let t_launch = stats.launches as f64 * dev.launch_overhead_us * 1e-6;
+    let t_misc = streamed / bw + t_launch;
+
+    let seconds = t_random + t_compute + t_misc;
+
+    Estimate {
+        seconds,
+        t_random,
+        t_compute,
+        t_misc,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::a100;
+
+    fn base_stats() -> KernelStats {
+        KernelStats {
+            bytes_val: 8_000_000,
+            bytes_idx: 4_000_000,
+            bytes_meta: 100_000,
+            bytes_y: 80_000,
+            x_requests: 1_000_000,
+            x_hits: 900_000,
+            x_misses: 100_000,
+            bytes_x_miss: 12_800_000,
+            mma_ops: 0,
+            fma_ops: 1_000_000,
+            shfl_ops: 10_000,
+            warps: 10_000,
+            blocks: 2_500,
+            launches: 1,
+        }
+    }
+
+    #[test]
+    fn large_streamed_volume_is_memory_bound() {
+        let dev = a100();
+        let e = estimate(&base_stats(), &dev, Precision::Fp64);
+        // ~25 MB over 1.4 TB/s ~ 18 us, far above compute.
+        assert!(e.seconds > 10e-6 && e.seconds < 50e-6, "t = {}", e.seconds);
+        let (r, c, m) = e.shares();
+        assert!((r + c + m - 1.0).abs() < 1e-12);
+        // Memory-side classes dwarf arithmetic in this profile.
+        assert!(m + r > 2.0 * c, "memory classes should dominate compute");
+    }
+
+    #[test]
+    fn mma_work_is_cheaper_than_equivalent_fma_work() {
+        let dev = a100();
+        // Same useful flops through the two units.
+        let tc = KernelStats {
+            mma_ops: 1_000_000, // 512 flops each
+            ..Default::default()
+        };
+        let cc = KernelStats {
+            fma_ops: 1_000_000 * 256, // the same total flops as 2-flop FMAs
+            ..Default::default()
+        };
+        let et = estimate(&tc, &dev, Precision::Fp64);
+        let ec = estimate(&cc, &dev, Precision::Fp64);
+        assert!(et.t_compute < ec.t_compute);
+    }
+
+    #[test]
+    fn launch_overhead_floors_small_kernels() {
+        let dev = a100();
+        let s = KernelStats {
+            launches: 6,
+            bytes_val: 100,
+            ..Default::default()
+        };
+        let e = estimate(&s, &dev, Precision::Fp64);
+        assert!(e.seconds >= 6.0 * dev.launch_overhead_us * 1e-6);
+    }
+
+    #[test]
+    fn fp16_compute_is_faster_than_fp64() {
+        let dev = a100();
+        let s = KernelStats {
+            mma_ops: 1_000_000,
+            ..Default::default()
+        };
+        let e64 = estimate(&s, &dev, Precision::Fp64);
+        let e16 = estimate(&s, &dev, Precision::Fp16);
+        assert!(e16.t_compute < e64.t_compute);
+    }
+
+    #[test]
+    fn cache_hits_cost_less_than_misses() {
+        let dev = a100();
+        let hit_heavy = KernelStats {
+            x_requests: 1_000_000,
+            x_hits: 1_000_000,
+            ..Default::default()
+        };
+        let miss_heavy = KernelStats {
+            x_requests: 1_000_000,
+            x_misses: 1_000_000,
+            bytes_x_miss: 128_000_000,
+            ..Default::default()
+        };
+        let eh = estimate(&hit_heavy, &dev, Precision::Fp64);
+        let em = estimate(&miss_heavy, &dev, Precision::Fp64);
+        assert!(eh.t_random < em.t_random / 10.0);
+    }
+}

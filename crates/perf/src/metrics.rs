@@ -1,0 +1,57 @@
+//! The metrics the paper plots.
+
+/// SpMV throughput in GFlops: `2 * nnz / t` (one multiply and one add per
+/// stored nonzero) — the y-axis of Figs. 9, 10 and 11.
+pub fn gflops(nnz: usize, seconds: f64) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    2.0 * nnz as f64 / seconds / 1e9
+}
+
+/// Effective bandwidth in GB/s — the y-axis of Fig. 1: the *algorithm-
+/// independent* CSR working set (values, column indices, row pointer, x
+/// read once, y written once) divided by execution time. A method that
+/// moves extra bytes (padding, metadata, fill-in) scores lower because its
+/// time grows while the nominal working set stays fixed.
+pub fn effective_bandwidth_gbs(
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    val_bytes: u64,
+    seconds: f64,
+) -> f64 {
+    if seconds <= 0.0 {
+        return 0.0;
+    }
+    let bytes = nnz as f64 * (val_bytes as f64 + 4.0) // vals + colidx
+        + (rows as f64 + 1.0) * 4.0                   // row pointer
+        + cols as f64 * val_bytes as f64              // x
+        + rows as f64 * val_bytes as f64; // y
+    bytes / seconds / 1e9
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gflops_is_two_flops_per_nnz() {
+        assert_eq!(gflops(500_000_000, 1.0), 1.0);
+        assert_eq!(gflops(1, 0.0), 0.0);
+    }
+
+    #[test]
+    fn bandwidth_counts_the_csr_working_set() {
+        // 1 row, 1 col, 1 nnz, fp64: 12 + 8 + 8 + 8 = 36 bytes.
+        let b = effective_bandwidth_gbs(1, 1, 1, 8, 1e-9);
+        assert!((b - 36.0).abs() < 1e-9, "got {b}");
+    }
+
+    #[test]
+    fn slower_time_means_lower_bandwidth() {
+        let fast = effective_bandwidth_gbs(100, 100, 1000, 8, 1e-6);
+        let slow = effective_bandwidth_gbs(100, 100, 1000, 8, 2e-6);
+        assert!((fast / slow - 2.0).abs() < 1e-12);
+    }
+}

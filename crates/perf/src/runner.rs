@@ -1,0 +1,242 @@
+//! One-stop measurement: run any method on a matrix and estimate its time.
+
+use dasp_baselines::BsrSpmv;
+use dasp_core::DaspMatrix;
+use dasp_fp16::Scalar;
+use dasp_simt::{CountingProbe, KernelStats};
+use dasp_sparse::Csr;
+
+use crate::device::{DeviceModel, Precision};
+use crate::estimate::{estimate, Estimate};
+use crate::metrics::{effective_bandwidth_gbs, gflops};
+
+/// Which SpMV method to measure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MethodKind {
+    /// DASP (this paper).
+    Dasp,
+    /// The plain one-thread-per-row kernel (Fig. 2's subject).
+    CsrScalar,
+    /// CSR5.
+    Csr5,
+    /// TileSpMV-like.
+    TileSpmv,
+    /// LSRB-CSR-like.
+    LsrbCsr,
+    /// cuSPARSE-BSR stand-in (best of block sizes 2/4/8 by estimated time).
+    VendorBsr,
+    /// cuSPARSE-CSR stand-in.
+    VendorCsr,
+    /// Merge-based CSR (extension beyond the paper's set).
+    MergeCsr,
+    /// SELL-C-sigma (extension).
+    Sell,
+    /// HYB = ELL + COO (extension).
+    Hyb,
+}
+
+impl MethodKind {
+    /// Display name matching the paper's labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MethodKind::Dasp => "dasp",
+            MethodKind::CsrScalar => "csr-scalar",
+            MethodKind::Csr5 => "csr5",
+            MethodKind::TileSpmv => "tilespmv",
+            MethodKind::LsrbCsr => "lsrb-csr",
+            MethodKind::VendorBsr => "cusparse-bsr",
+            MethodKind::VendorCsr => "cusparse-csr",
+            MethodKind::MergeCsr => "merge-csr",
+            MethodKind::Sell => "sell-c-sigma",
+            MethodKind::Hyb => "hyb",
+        }
+    }
+
+    /// Every method, DASP first (the `--compare` ordering).
+    pub fn all() -> [MethodKind; 10] {
+        [
+            MethodKind::Dasp,
+            MethodKind::Csr5,
+            MethodKind::TileSpmv,
+            MethodKind::LsrbCsr,
+            MethodKind::VendorBsr,
+            MethodKind::VendorCsr,
+            MethodKind::MergeCsr,
+            MethodKind::Sell,
+            MethodKind::Hyb,
+            MethodKind::CsrScalar,
+        ]
+    }
+
+    /// Parses a display name (as produced by [`MethodKind::name`]) or one
+    /// of its common aliases.
+    pub fn by_name(name: &str) -> Option<MethodKind> {
+        Some(match name {
+            "dasp" => MethodKind::Dasp,
+            "csr-scalar" => MethodKind::CsrScalar,
+            "csr5" => MethodKind::Csr5,
+            "tilespmv" => MethodKind::TileSpmv,
+            "lsrb-csr" => MethodKind::LsrbCsr,
+            "cusparse-bsr" | "bsr" => MethodKind::VendorBsr,
+            "cusparse-csr" | "csr-vector" => MethodKind::VendorCsr,
+            "merge-csr" => MethodKind::MergeCsr,
+            "sell-c-sigma" | "sell" => MethodKind::Sell,
+            "hyb" => MethodKind::Hyb,
+            _ => return None,
+        })
+    }
+
+    /// The methods of the paper's FP64 comparison (Fig. 10), DASP first.
+    pub fn fp64_set() -> [MethodKind; 6] {
+        [
+            MethodKind::Dasp,
+            MethodKind::Csr5,
+            MethodKind::TileSpmv,
+            MethodKind::LsrbCsr,
+            MethodKind::VendorBsr,
+            MethodKind::VendorCsr,
+        ]
+    }
+}
+
+/// The outcome of measuring one method on one matrix on one device.
+#[derive(Debug, Clone)]
+pub struct Measurement {
+    /// Method measured.
+    pub method: MethodKind,
+    /// Raw traffic/instruction counters.
+    pub stats: KernelStats,
+    /// Roofline estimate with attribution.
+    pub estimate: Estimate,
+    /// Throughput in GFlops (`2 nnz / t`).
+    pub gflops: f64,
+    /// Effective bandwidth in GB/s (Fig. 1 metric).
+    pub bandwidth_gbs: f64,
+    /// `y` converted to f64 — kept so callers can verify against the
+    /// reference.
+    pub y: Vec<f64>,
+}
+
+fn precision_of<S: Scalar>() -> Precision {
+    match S::BYTES {
+        2 => Precision::Fp16,
+        4 => Precision::Fp32,
+        _ => Precision::Fp64,
+    }
+}
+
+fn package<S: Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    stats: KernelStats,
+    y: Vec<S>,
+    dev: &DeviceModel,
+) -> Measurement {
+    let est = estimate(&stats, dev, precision_of::<S>());
+    Measurement {
+        method,
+        stats,
+        estimate: est,
+        gflops: gflops(csr.nnz(), est.seconds),
+        bandwidth_gbs: effective_bandwidth_gbs(csr.rows, csr.cols, csr.nnz(), S::BYTES, est.seconds),
+        y: y.iter().map(|v| v.to_f64()).collect(),
+    }
+}
+
+/// Runs `method` on `csr` (input vector `x`) under a counting probe with
+/// `dev`'s L2 model and returns the measurement. Format conversion happens
+/// inside (it is not part of the estimated kernel time — preprocessing is
+/// measured separately, as in the paper's Fig. 13).
+pub fn measure<S: Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    x: &[S],
+    dev: &DeviceModel,
+) -> Measurement {
+    if method == MethodKind::VendorBsr {
+        // The paper evaluates BSR at block sizes 2/4/8 and reports the best.
+        return BsrSpmv::best_of(csr)
+            .into_iter()
+            .map(|h| {
+                let mut p = CountingProbe::new(dev.l2_cache());
+                let y = h.spmv(x, &mut p);
+                package(method, csr, p.stats(), y, dev)
+            })
+            .min_by(|a, b| a.estimate.seconds.total_cmp(&b.estimate.seconds))
+            .expect("three candidates");
+    }
+
+    let mut probe = CountingProbe::new(dev.l2_cache());
+    let y = match method {
+        MethodKind::Dasp => DaspMatrix::from_csr(csr).spmv(x, &mut probe),
+        MethodKind::CsrScalar => dasp_baselines::CsrScalar::new(csr).spmv(x, &mut probe),
+        MethodKind::Csr5 => dasp_baselines::Csr5::new(csr).spmv(x, &mut probe),
+        MethodKind::TileSpmv => dasp_baselines::TileSpmv::new(csr).spmv(x, &mut probe),
+        MethodKind::LsrbCsr => dasp_baselines::LsrbCsr::new(csr).spmv(x, &mut probe),
+        MethodKind::VendorCsr => dasp_baselines::CsrVector::new(csr).spmv(x, &mut probe),
+        MethodKind::MergeCsr => dasp_baselines::MergeCsr::new(csr).spmv(x, &mut probe),
+        MethodKind::Sell => dasp_baselines::SellCSigma::new(csr).spmv(x, &mut probe),
+        MethodKind::Hyb => dasp_baselines::Hyb::new(csr).spmv(x, &mut probe),
+        MethodKind::VendorBsr => unreachable!("handled above"),
+    };
+    package(method, csr, probe.stats(), y, dev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::a100;
+
+    fn verify(m: &Measurement, csr: &Csr<f64>, x: &[f64]) {
+        let want = csr.spmv_reference(x);
+        for (i, (&a, &b)) in m.y.iter().zip(&want).enumerate() {
+            assert!(
+                (a - b).abs() <= 1e-9 * b.abs().max(1.0),
+                "{} row {i}: {a} vs {b}",
+                m.method.name()
+            );
+        }
+        assert!(m.estimate.seconds > 0.0);
+        assert!(m.gflops > 0.0);
+    }
+
+    #[test]
+    fn every_method_measures_and_verifies() {
+        let csr = dasp_matgen::banded(400, 16, 12, 3);
+        let x = dasp_matgen::dense_vector(csr.cols, 1);
+        let dev = a100();
+        for m in MethodKind::fp64_set() {
+            let meas = measure(m, &csr, &x, &dev);
+            verify(&meas, &csr, &x);
+        }
+        let meas = measure(MethodKind::CsrScalar, &csr, &x, &dev);
+        verify(&meas, &csr, &x);
+    }
+
+    #[test]
+    fn vendor_bsr_picks_a_block_size() {
+        // On a 4x4-blocked matrix, BSR should be reasonably efficient.
+        let blocked = dasp_matgen::block_dense(256, 4, 2, 5);
+        let x = dasp_matgen::dense_vector(blocked.cols, 2);
+        let dev = a100();
+        let m = measure(MethodKind::VendorBsr, &blocked, &x, &dev);
+        verify(&m, &blocked, &x);
+        // Fill-adjusted traffic should be close to the nominal CSR volume.
+        assert!(m.stats.bytes_val <= 2 * blocked.nnz() as u64 * 8);
+    }
+
+    #[test]
+    fn dasp_beats_scalar_csr_on_a_medium_matrix() {
+        let csr = dasp_matgen::banded(4000, 40, 28, 4);
+        let x = dasp_matgen::dense_vector(csr.cols, 3);
+        let dev = a100();
+        let dasp = measure(MethodKind::Dasp, &csr, &x, &dev);
+        let scalar = measure(MethodKind::CsrScalar, &csr, &x, &dev);
+        assert!(
+            dasp.estimate.seconds < scalar.estimate.seconds,
+            "dasp {} vs scalar {}",
+            dasp.estimate.seconds,
+            scalar.estimate.seconds
+        );
+    }
+}

@@ -1,0 +1,115 @@
+//! Property-based tests of the cost model: the estimator must be monotone
+//! in every counter and the aggregation helpers must satisfy their algebra.
+
+use dasp_perf::{a100, estimate, geomean, h800, speedup_summary, Precision};
+use dasp_simt::KernelStats;
+use proptest::prelude::*;
+
+fn arb_stats() -> impl Strategy<Value = KernelStats> {
+    (
+        0u64..10_000_000, // bytes_val
+        0u64..10_000_000, // bytes_idx
+        0u64..1_000_000,  // bytes_meta
+        0u64..1_000_000,  // bytes_y
+        0u64..1_000_000,  // x_hits
+        0u64..100_000,    // x_misses
+        0u64..100_000,    // mma
+        0u64..1_000_000,  // fma
+        0u64..100_000,    // shfl
+        0u64..10,         // launches
+    )
+        .prop_map(
+            |(bv, bi, bm, by, xh, xm, mma, fma, shfl, launches)| KernelStats {
+                bytes_val: bv,
+                bytes_idx: bi,
+                bytes_meta: bm,
+                bytes_y: by,
+                x_requests: xh + xm,
+                x_hits: xh,
+                x_misses: xm,
+                bytes_x_miss: xm * 128,
+                mma_ops: mma,
+                fma_ops: fma,
+                shfl_ops: shfl,
+                warps: 1,
+                blocks: 1,
+                launches,
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn estimate_is_monotone_in_every_counter(s in arb_stats()) {
+        let dev = a100();
+        let base = estimate(&s, &dev, Precision::Fp64).seconds;
+        let bump = |f: &dyn Fn(&mut KernelStats)| {
+            let mut s2 = s;
+            f(&mut s2);
+            estimate(&s2, &dev, Precision::Fp64).seconds
+        };
+        prop_assert!(bump(&|s| s.bytes_val += 1_000_000) >= base);
+        prop_assert!(bump(&|s| s.bytes_idx += 1_000_000) >= base);
+        prop_assert!(bump(&|s| s.bytes_meta += 1_000_000) >= base);
+        prop_assert!(bump(&|s| s.bytes_y += 1_000_000) >= base);
+        let with_misses = bump(&|s| {
+            s.x_misses += 1000;
+            s.bytes_x_miss += 128_000;
+        });
+        prop_assert!(with_misses >= base);
+        prop_assert!(bump(&|s| s.x_hits += 100_000) >= base);
+        prop_assert!(bump(&|s| s.mma_ops += 10_000) >= base);
+        prop_assert!(bump(&|s| s.fma_ops += 100_000) >= base);
+        prop_assert!(bump(&|s| s.shfl_ops += 100_000) >= base);
+        prop_assert!(bump(&|s| s.launches += 1) > base);
+    }
+
+    #[test]
+    fn attribution_sums_to_total(s in arb_stats()) {
+        for dev in [a100(), h800()] {
+            for p in [Precision::Fp64, Precision::Fp16] {
+                let e = estimate(&s, &dev, p);
+                let sum = e.t_random + e.t_compute + e.t_misc;
+                prop_assert!((e.seconds - sum).abs() <= 1e-15 + 1e-12 * sum);
+                prop_assert!(e.t_random >= 0.0 && e.t_compute >= 0.0 && e.t_misc >= 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn h800_is_never_slower_than_a100_on_identical_work(s in arb_stats()) {
+        // Every H800 rate in the model dominates the A100's.
+        let ta = estimate(&s, &a100(), Precision::Fp16).seconds;
+        let th = estimate(&s, &h800(), Precision::Fp16).seconds;
+        prop_assert!(th <= ta + 1e-15, "h800 {} vs a100 {}", th, ta);
+    }
+
+    #[test]
+    fn geomean_bounds(values in proptest::collection::vec(0.01f64..100.0, 1..50)) {
+        let g = geomean(&values).unwrap();
+        let min = values.iter().cloned().fold(f64::MAX, f64::min);
+        let max = values.iter().cloned().fold(f64::MIN, f64::max);
+        prop_assert!(g >= min - 1e-12 && g <= max + 1e-12);
+    }
+
+    #[test]
+    fn geomean_is_scale_equivariant(values in proptest::collection::vec(0.01f64..100.0, 1..30), k in 0.1f64..10.0) {
+        let g = geomean(&values).unwrap();
+        let scaled: Vec<f64> = values.iter().map(|v| v * k).collect();
+        let gs = geomean(&scaled).unwrap();
+        prop_assert!((gs - g * k).abs() <= 1e-9 * gs.abs());
+    }
+
+    #[test]
+    fn speedup_summary_counts_are_consistent(
+        pairs in proptest::collection::vec((0.001f64..10.0, 0.001f64..10.0), 1..40)
+    ) {
+        let s = speedup_summary(&pairs).unwrap();
+        prop_assert_eq!(s.total, pairs.len());
+        prop_assert!(s.wins <= s.total);
+        prop_assert!(s.min <= s.geomean + 1e-12);
+        prop_assert!(s.geomean <= s.max + 1e-12);
+        let manual_wins = pairs.iter().filter(|(ours, theirs)| theirs / ours > 1.0).count();
+        prop_assert_eq!(s.wins, manual_wins);
+    }
+}

@@ -1,0 +1,170 @@
+//! A set-associative LRU cache simulator.
+//!
+//! Used by [`crate::probe::CountingProbe`] to classify accesses to the dense
+//! vector `x` — the "RANDOM ACCESS" component of the paper's Fig. 2
+//! breakdown — as hits (served on chip) or misses (DRAM line fills). The
+//! matrix arrays themselves are streamed exactly once, so only `x` benefits
+//! from modelling.
+
+/// A set-associative cache with LRU replacement.
+///
+/// Addresses are byte addresses; the cache tracks tags only (no data), which
+/// is all the traffic model needs.
+#[derive(Debug, Clone)]
+pub struct CacheModel {
+    line_bytes: u64,
+    sets: usize,
+    ways: usize,
+    /// `tags[set * ways + way]` = (tag, last-use tick); `u64::MAX` tag = empty.
+    tags: Vec<(u64, u64)>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl CacheModel {
+    /// Creates a cache of `capacity_bytes` split into `ways`-associative sets
+    /// of `line_bytes` lines. Capacity is rounded down to a whole number of
+    /// sets; a minimum of one set is kept.
+    pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
+        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(ways > 0);
+        let sets = ((capacity_bytes / line_bytes) as usize / ways).max(1);
+        CacheModel {
+            line_bytes,
+            sets,
+            ways,
+            tags: vec![(u64::MAX, 0); sets * ways],
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// A model of an NVIDIA A100-class 40 MB L2 with 128-byte lines.
+    pub fn a100_l2() -> Self {
+        CacheModel::new(40 * 1024 * 1024, 128, 16)
+    }
+
+    /// A model of an NVIDIA H800-class 50 MB L2 with 128-byte lines.
+    pub fn h800_l2() -> Self {
+        CacheModel::new(50 * 1024 * 1024, 128, 16)
+    }
+
+    /// The line size in bytes.
+    pub fn line_bytes(&self) -> u64 {
+        self.line_bytes
+    }
+
+    /// Accesses `addr`; returns `true` on hit. Misses install the line.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let line = addr / self.line_bytes;
+        let set = (line as usize) % self.sets;
+        let base = set * self.ways;
+        let slots = &mut self.tags[base..base + self.ways];
+
+        for slot in slots.iter_mut() {
+            if slot.0 == line {
+                slot.1 = self.tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        // Miss: evict the LRU way.
+        self.misses += 1;
+        let victim = slots
+            .iter_mut()
+            .min_by_key(|(_, last)| *last)
+            .expect("ways > 0");
+        *victim = (line, self.tick);
+        false
+    }
+
+    /// Total hits recorded so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Total misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Clears contents and statistics.
+    pub fn reset(&mut self) {
+        self.tags.fill((u64::MAX, 0));
+        self.tick = 0;
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn repeated_access_hits() {
+        let mut c = CacheModel::new(1024, 64, 2);
+        assert!(!c.access(0));
+        assert!(c.access(0));
+        assert!(c.access(63)); // same line
+        assert!(!c.access(64)); // next line
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 2);
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        // 2 ways, 64-byte lines, 2 sets (256 B total). Lines 0, 2, 4 all map
+        // to set 0.
+        let mut c = CacheModel::new(256, 64, 2);
+        assert!(!c.access(0)); // line 0 -> set 0
+        assert!(!c.access(128)); // line 2 -> set 0
+        assert!(c.access(0)); // refresh line 0
+        assert!(!c.access(256)); // line 4 -> set 0, evicts line 2 (LRU)
+        assert!(c.access(0)); // line 0 still resident
+        assert!(!c.access(128)); // line 2 was evicted
+    }
+
+    #[test]
+    fn working_set_larger_than_cache_thrashes() {
+        let mut c = CacheModel::new(1024, 64, 4);
+        // Stream 64 distinct lines twice; capacity is 16 lines, so the
+        // second sweep misses everywhere with LRU.
+        for pass in 0..2 {
+            for i in 0..64u64 {
+                let hit = c.access(i * 64);
+                assert!(!hit, "pass {pass} line {i}");
+            }
+        }
+        assert_eq!(c.misses(), 128);
+    }
+
+    #[test]
+    fn small_working_set_is_all_hits_after_warmup() {
+        let mut c = CacheModel::a100_l2();
+        for i in 0..1000u64 {
+            c.access(i * 8);
+        }
+        let misses_after_warm = c.misses();
+        for _ in 0..10 {
+            for i in 0..1000u64 {
+                c.access(i * 8);
+            }
+        }
+        assert_eq!(c.misses(), misses_after_warm);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = CacheModel::new(256, 64, 2);
+        c.access(0);
+        c.access(0);
+        c.reset();
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(!c.access(0));
+    }
+}

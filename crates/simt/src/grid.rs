@@ -1,0 +1,203 @@
+//! Grid execution: iterating warps sequentially or across CPU threads.
+//!
+//! A CUDA kernel launch is a set of independent thread blocks; DASP's
+//! kernels additionally make every *warp's* work independent (each warp owns
+//! a disjoint set of output rows, or a disjoint slot of a partial-sum
+//! array). The simulator exploits that:
+//!
+//! * [`for_each_warp`] runs warps in order on the calling thread, threading
+//!   a single [`Probe`] through — the deterministic,
+//!   instrumented path used for the experiments.
+//! * [`for_each_warp_par`] fans warps out over CPU threads with
+//!   `crossbeam::scope`, for the fast uninstrumented path used by the
+//!   examples (iterative solvers call SpMV thousands of times).
+//!
+//! [`SharedSlice`] is the disjoint-write escape hatch parallel warps use to
+//! scatter into `y`: a `Sync` wrapper over a raw slice whose safety contract
+//! is that no two warps write the same element (true by construction for
+//! every kernel here; debug builds additionally check it).
+
+use crate::probe::Probe;
+
+/// Runs `f(warp_id, probe)` for every warp in `0..n_warps`, sequentially and
+/// in order. Deterministic: cache-model state inside the probe evolves in
+/// warp order.
+pub fn for_each_warp<P, F>(n_warps: usize, probe: &mut P, mut f: F)
+where
+    P: Probe,
+    F: FnMut(usize, &mut P),
+{
+    for w in 0..n_warps {
+        f(w, probe);
+    }
+}
+
+/// Runs `f(warp_id)` for every warp in `0..n_warps` across CPU threads.
+///
+/// Warps are distributed in contiguous chunks. The closure must only
+/// perform writes that are disjoint between warps (use [`SharedSlice`]).
+pub fn for_each_warp_par<F>(n_warps: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(n_warps.max(1));
+    if threads <= 1 || n_warps < 64 {
+        for w in 0..n_warps {
+            f(w);
+        }
+        return;
+    }
+    let chunk = n_warps.div_ceil(threads);
+    crossbeam::scope(|scope| {
+        for t in 0..threads {
+            let f = &f;
+            let lo = t * chunk;
+            let hi = ((t + 1) * chunk).min(n_warps);
+            if lo >= hi {
+                break;
+            }
+            scope.spawn(move |_| {
+                for w in lo..hi {
+                    f(w);
+                }
+            });
+        }
+    })
+    .expect("warp worker panicked");
+}
+
+/// A `Sync` view of a mutable slice that permits scattered writes from
+/// multiple threads under a *disjointness* contract.
+///
+/// # Safety contract
+///
+/// Callers of [`SharedSlice::write`] must guarantee that no element index is
+/// written by more than one thread during the lifetime of the view, and that
+/// no reads of written elements occur until the parallel region ends. All
+/// kernels in this workspace satisfy this structurally: each output row is
+/// owned by exactly one warp. Debug builds verify the contract with an
+/// atomic write-marker per element.
+pub struct SharedSlice<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    #[cfg(debug_assertions)]
+    written: Vec<std::sync::atomic::AtomicBool>,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is mediated by `write` under the documented disjointness
+// contract; the raw pointer itself is plain data.
+unsafe impl<T: Send> Sync for SharedSlice<'_, T> {}
+unsafe impl<T: Send> Send for SharedSlice<'_, T> {}
+
+impl<'a, T> SharedSlice<'a, T> {
+    /// Wraps a mutable slice for disjoint parallel writes.
+    pub fn new(slice: &'a mut [T]) -> Self {
+        SharedSlice {
+            ptr: slice.as_mut_ptr(),
+            len: slice.len(),
+            #[cfg(debug_assertions)]
+            written: (0..slice.len())
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Number of elements in the underlying slice.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the underlying slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Writes `value` to element `index`.
+    ///
+    /// Panics on out-of-bounds. In debug builds, also panics if the same
+    /// index is written twice (a violation of the disjointness contract).
+    #[inline]
+    pub fn write(&self, index: usize, value: T) {
+        assert!(index < self.len, "SharedSlice write out of bounds: {index} >= {}", self.len);
+        #[cfg(debug_assertions)]
+        {
+            use std::sync::atomic::Ordering;
+            let prev = self.written[index].swap(true, Ordering::Relaxed);
+            assert!(!prev, "SharedSlice element {index} written twice");
+        }
+        // SAFETY: bounds checked above; disjointness guaranteed by the
+        // caller contract (checked in debug builds).
+        unsafe {
+            self.ptr.add(index).write(value);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::probe::{CountingProbe, NoProbe};
+    use crate::CacheModel;
+
+    #[test]
+    fn sequential_executor_visits_in_order() {
+        let mut seen = Vec::new();
+        let mut probe = NoProbe;
+        for_each_warp(5, &mut probe, |w, _| seen.push(w));
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sequential_executor_threads_probe() {
+        let mut probe = CountingProbe::new(CacheModel::new(1024, 64, 2));
+        for_each_warp(3, &mut probe, |_, p| p.fma(2));
+        assert_eq!(probe.stats().fma_ops, 6);
+    }
+
+    #[test]
+    fn parallel_executor_covers_every_warp_once() {
+        let n = 500;
+        let mut out = vec![0u32; n];
+        {
+            let shared = SharedSlice::new(&mut out);
+            for_each_warp_par(n, |w| shared.write(w, w as u32 + 1));
+        }
+        for (i, &v) in out.iter().enumerate() {
+            assert_eq!(v, i as u32 + 1);
+        }
+    }
+
+    #[test]
+    fn parallel_executor_small_counts_run_inline() {
+        let n = 7;
+        let mut out = vec![0u32; n];
+        {
+            let shared = SharedSlice::new(&mut out);
+            for_each_warp_par(n, |w| shared.write(w, 9));
+        }
+        assert!(out.iter().all(|&v| v == 9));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn shared_slice_bounds_checked() {
+        let mut v = vec![0u8; 4];
+        let s = SharedSlice::new(&mut v);
+        s.write(4, 1);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "written twice")]
+    fn shared_slice_detects_double_write() {
+        let mut v = vec![0u8; 4];
+        let s = SharedSlice::new(&mut v);
+        s.write(1, 1);
+        s.write(1, 2);
+    }
+}

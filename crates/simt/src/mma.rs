@@ -1,0 +1,271 @@
+//! The `mma.m8n8k4` matrix multiply-accumulate unit.
+//!
+//! This models the PTX instruction
+//! `mma.sync.aligned.m8n8k4.row.col.f64.f64.f64.f64` (paper Listing 1) — a
+//! warp-wide operation computing `D = A·B + C` for an 8×4 `A` (row-major), a
+//! 4×8 `B` (column-major) and an 8×8 accumulator, with the operands
+//! distributed over the 32 lanes of a warp exactly as the hardware does
+//! (paper Fig. 4):
+//!
+//! * **A fragment** — one element per lane: lane `t` holds
+//!   `A[t >> 2][t & 3]`.
+//! * **B fragment** — one element per lane: lane `t` holds
+//!   `B[t & 3][t >> 2]` (column-major: `k = t & 3`, `n = t >> 2`).
+//! * **C/D fragment** — two elements per lane: lane `t` holds
+//!   `C[t >> 2][2*(t & 3)]` in register 0 and `C[t >> 2][2*(t & 3) + 1]` in
+//!   register 1.
+//!
+//! The diagonal elements `C[i][i]` — the per-row dot products DASP extracts —
+//! therefore live on lanes `{0, 9, 18, 27}` (register 0, even rows) and
+//! `{4, 13, 22, 31}` (register 1, odd rows), which is precisely why the
+//! paper's reduction uses `shfl_down 9/18` and `shfl target*9`.
+//!
+//! For FP16 the same shape is used with `f32` accumulation, mirroring how
+//! HMMA accumulates wider than its inputs (the real FP16 shapes are
+//! m16n8k8/m16n8k16; DESIGN.md documents this substitution).
+
+use dasp_fp16::Scalar;
+
+use crate::warp::WARP_SIZE;
+
+/// The M dimension of the MMA tile (rows of A and C).
+pub const MMA_M: usize = 8;
+/// The N dimension of the MMA tile (columns of B and C).
+pub const MMA_N: usize = 8;
+/// The K dimension of the MMA tile (columns of A, rows of B).
+pub const MMA_K: usize = 4;
+
+/// A C/D accumulator fragment: two registers per lane.
+pub type AccFrag<S> = [[<S as Scalar>::Acc; 2]; WARP_SIZE];
+
+/// Returns a zeroed accumulator fragment.
+#[inline]
+pub fn acc_zero<S: Scalar>() -> AccFrag<S> {
+    [[S::acc_zero(); 2]; WARP_SIZE]
+}
+
+/// Executes one warp-wide `mma.m8n8k4`: `acc += A · B`, with the fragment
+/// layout described in the module docs. `frag_a[lane]` and `frag_b[lane]`
+/// are each lane's single A/B element.
+#[inline]
+pub fn mma_m8n8k4<S: Scalar>(
+    acc: &mut AccFrag<S>,
+    frag_a: &[S; WARP_SIZE],
+    frag_b: &[S; WARP_SIZE],
+) {
+    // Reassemble the dense operands from the lane fragments, multiply, and
+    // scatter back. The hardware does this wiring combinationally; doing it
+    // explicitly keeps the layout contract in one place.
+    let mut a = [[S::zero(); MMA_K]; MMA_M];
+    let mut b = [[S::zero(); MMA_N]; MMA_K];
+    for lane in 0..WARP_SIZE {
+        a[lane >> 2][lane & 3] = frag_a[lane];
+        b[lane & 3][lane >> 2] = frag_b[lane];
+    }
+    for (lane, regs) in acc.iter_mut().enumerate() {
+        let row = lane >> 2;
+        for (reg, slot) in regs.iter_mut().enumerate() {
+            let col = 2 * (lane & 3) + reg;
+            let mut v = *slot;
+            for k in 0..MMA_K {
+                v = S::acc_mul_add(v, a[row][k], b[k][col]);
+            }
+            *slot = v;
+        }
+    }
+}
+
+/// Packs a dense row-major 8×4 matrix into an A fragment (test helper).
+pub fn pack_a<S: Scalar>(dense: &[[S; MMA_K]; MMA_M]) -> [S; WARP_SIZE] {
+    core::array::from_fn(|lane| dense[lane >> 2][lane & 3])
+}
+
+/// Packs a dense 4×8 matrix into a B fragment (test helper).
+pub fn pack_b<S: Scalar>(dense: &[[S; MMA_N]; MMA_K]) -> [S; WARP_SIZE] {
+    core::array::from_fn(|lane| dense[lane & 3][lane >> 2])
+}
+
+/// Unpacks a C/D fragment into a dense 8×8 matrix (test helper).
+pub fn unpack_c<S: Scalar>(frag: &AccFrag<S>) -> [[S::Acc; MMA_N]; MMA_M] {
+    let mut c = [[S::acc_zero(); MMA_N]; MMA_M];
+    for (lane, regs) in frag.iter().enumerate() {
+        for (reg, &v) in regs.iter().enumerate() {
+            c[lane >> 2][2 * (lane & 3) + reg] = v;
+        }
+    }
+    c
+}
+
+/// The (lane, register) pair holding the diagonal element `C[i][i]`.
+///
+/// Even rows sit in register 0 on lanes `{0, 9, 18, 27}`; odd rows in
+/// register 1 on lanes `{4, 13, 22, 31}` — the positions targeted by the
+/// paper's shuffle sequences.
+#[inline]
+pub const fn diag_position(i: usize) -> (usize, usize) {
+    // lane = i*4 + i/2, reg = i & 1
+    (i * 4 + i / 2, i & 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_fp16::F16;
+
+    fn dense_ref(a: &[[f64; MMA_K]; MMA_M], b: &[[f64; MMA_N]; MMA_K]) -> [[f64; MMA_N]; MMA_M] {
+        let mut c = [[0.0; MMA_N]; MMA_M];
+        for i in 0..MMA_M {
+            for j in 0..MMA_N {
+                for k in 0..MMA_K {
+                    c[i][j] += a[i][k] * b[k][j];
+                }
+            }
+        }
+        c
+    }
+
+    fn arbitrary_a(seed: u64) -> [[f64; MMA_K]; MMA_M] {
+        let mut s = seed;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as i32 % 17) as f64 * 0.25
+        };
+        core::array::from_fn(|_| core::array::from_fn(|_| next()))
+    }
+
+    fn arbitrary_b(seed: u64) -> [[f64; MMA_N]; MMA_K] {
+        let mut s = seed ^ 0xdead_beef;
+        let mut next = || {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((s >> 33) as i32 % 13) as f64 * 0.5
+        };
+        core::array::from_fn(|_| core::array::from_fn(|_| next()))
+    }
+
+    #[test]
+    fn matches_dense_gemm_fp64() {
+        for seed in 0..32 {
+            let a = arbitrary_a(seed);
+            let b = arbitrary_b(seed);
+            let mut acc = acc_zero::<f64>();
+            mma_m8n8k4::<f64>(&mut acc, &pack_a(&a), &pack_b(&b));
+            let got = unpack_c::<f64>(&acc);
+            let want = dense_ref(&a, &b);
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn accumulates_across_calls() {
+        let a = arbitrary_a(1);
+        let b = arbitrary_b(2);
+        let mut acc = acc_zero::<f64>();
+        mma_m8n8k4::<f64>(&mut acc, &pack_a(&a), &pack_b(&b));
+        mma_m8n8k4::<f64>(&mut acc, &pack_a(&a), &pack_b(&b));
+        let got = unpack_c::<f64>(&acc);
+        let want = dense_ref(&a, &b);
+        for i in 0..MMA_M {
+            for j in 0..MMA_N {
+                assert_eq!(got[i][j], 2.0 * want[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn diag_positions_match_figure4() {
+        let expected = [
+            (0, 0),
+            (4, 1),
+            (9, 0),
+            (13, 1),
+            (18, 0),
+            (22, 1),
+            (27, 0),
+            (31, 1),
+        ];
+        for (i, &(lane, reg)) in expected.iter().enumerate() {
+            assert_eq!(diag_position(i), (lane, reg), "diag {i}");
+        }
+        // Cross-check against the unpack layout: place row dot-products so
+        // that C[i][i] = 100 + i and verify lane/reg.
+        let mut a = [[0.0f64; MMA_K]; MMA_M];
+        let mut b = [[0.0f64; MMA_N]; MMA_K];
+        for i in 0..MMA_M {
+            a[i][0] = 100.0 + i as f64;
+            b[0][i] = 1.0;
+        }
+        let mut acc = acc_zero::<f64>();
+        mma_m8n8k4::<f64>(&mut acc, &pack_a(&a), &pack_b(&b));
+        for i in 0..MMA_M {
+            let (lane, reg) = diag_position(i);
+            assert_eq!(acc[lane][reg], 100.0 + i as f64, "diag {i}");
+        }
+    }
+
+    #[test]
+    fn spmv_diagonal_trick() {
+        // The core DASP idea: A holds 8 row-segments of nonzeros, each lane's
+        // B element is x[col] for its own A element; the diagonal of C then
+        // holds the 8 per-segment dot products.
+        let mut a = [[0.0f64; MMA_K]; MMA_M];
+        let mut x = [[0.0f64; MMA_N]; MMA_K];
+        let mut want = [0.0f64; MMA_M];
+        for r in 0..MMA_M {
+            for k in 0..MMA_K {
+                let av = (r * 4 + k + 1) as f64;
+                let xv = 1.0 / (k + 1) as f64;
+                a[r][k] = av;
+                // lane for element (r,k) contributes B[k][r] = x value
+                x[k][r] = xv;
+                want[r] += av * xv;
+            }
+        }
+        let mut acc = acc_zero::<f64>();
+        mma_m8n8k4::<f64>(&mut acc, &pack_a(&a), &pack_b(&x));
+        for (r, &w) in want.iter().enumerate() {
+            let (lane, reg) = diag_position(r);
+            assert!((acc[lane][reg] - w).abs() < 1e-12, "row {r}");
+        }
+    }
+
+    #[test]
+    fn fp16_inputs_accumulate_in_f32() {
+        // 256 * 16 = 4096 products of 1*1 would overflow nothing, but a pure
+        // f16 accumulator would lose precision at 2048+0.5; check a case
+        // where f32 accumulation is observably wider.
+        let a: [[F16; MMA_K]; MMA_M] =
+            core::array::from_fn(|_| core::array::from_fn(|_| F16::from_f32(512.0)));
+        let b: [[F16; MMA_N]; MMA_K] =
+            core::array::from_fn(|_| core::array::from_fn(|_| F16::from_f32(1.0)));
+        let mut acc = acc_zero::<F16>();
+        mma_m8n8k4::<F16>(&mut acc, &pack_a(&a), &pack_b(&b));
+        let c = unpack_c::<F16>(&acc);
+        // each C element = sum of 4 products of 512 = 2048, exact in f32
+        assert!(c.iter().flatten().all(|&v| v == 2048.0f32));
+        // A second MMA adding 1.0 must be kept by the f32 accumulator even
+        // though 2049 is not representable in f16 (spacing is 2 there).
+        let mut a1 = [[F16::ZERO; MMA_K]; MMA_M];
+        let mut b1 = [[F16::ZERO; MMA_N]; MMA_K];
+        for r in 0..MMA_M {
+            a1[r][0] = F16::ONE;
+        }
+        for n in 0..MMA_N {
+            b1[0][n] = F16::ONE;
+        }
+        mma_m8n8k4::<F16>(&mut acc, &pack_a(&a1), &pack_b(&b1));
+        let c = unpack_c::<F16>(&acc);
+        assert!(c.iter().flatten().all(|&v| v == 2049.0f32));
+    }
+
+    #[test]
+    fn zero_a_leaves_accumulator_unchanged() {
+        let mut acc = acc_zero::<f64>();
+        for lane in 0..WARP_SIZE {
+            acc[lane][0] = lane as f64;
+            acc[lane][1] = -(lane as f64);
+        }
+        let snapshot = acc;
+        mma_m8n8k4::<f64>(&mut acc, &[0.0; WARP_SIZE], &[1.0; WARP_SIZE]);
+        assert_eq!(acc, snapshot);
+    }
+}

@@ -1,0 +1,316 @@
+//! Kernel instrumentation: the [`Probe`] trait and its implementations.
+//!
+//! Every kernel in this workspace threads a probe through its memory
+//! accesses and arithmetic issues. Two implementations exist:
+//!
+//! * [`NoProbe`] — every method is an empty `#[inline]` body, so the
+//!   instrumented kernel compiles down to the plain computation. Used by the
+//!   examples and the multi-threaded execution path.
+//! * [`CountingProbe`] — accumulates a [`KernelStats`] record and runs the
+//!   x-vector accesses through a [`CacheModel`]. Used by the experiment
+//!   drivers that regenerate the paper's figures.
+
+use crate::cache::CacheModel;
+
+/// Traffic and instruction counters for one kernel (or a sum of kernels).
+///
+/// Byte counts are *DRAM-side*: the matrix arrays (`val`, `idx`, `meta`,
+/// `y`) are streamed and counted at their access size, while `x` accesses
+/// are classified by the cache model and only misses contribute line fills.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// Bytes of matrix value arrays read (including zero padding).
+    pub bytes_val: u64,
+    /// Bytes of column-index arrays read.
+    pub bytes_idx: u64,
+    /// Bytes of metadata read: row pointers, group pointers, tile
+    /// descriptors, permutations.
+    pub bytes_meta: u64,
+    /// Bytes written to the result vector and auxiliary partial arrays.
+    pub bytes_y: u64,
+    /// Element loads issued against the dense vector `x`.
+    pub x_requests: u64,
+    /// `x` loads served by the cache model.
+    pub x_hits: u64,
+    /// `x` loads that missed.
+    pub x_misses: u64,
+    /// DRAM bytes fetched by `x` misses (line granularity).
+    pub bytes_x_miss: u64,
+    /// Warp-wide `mma.m8n8k4` issues.
+    pub mma_ops: u64,
+    /// Scalar fused multiply-add issues (lane-level).
+    pub fma_ops: u64,
+    /// Warp shuffle issues.
+    pub shfl_ops: u64,
+    /// Warps launched across all kernels.
+    pub warps: u64,
+    /// Thread blocks launched across all kernels.
+    pub blocks: u64,
+    /// Kernel launches.
+    pub launches: u64,
+}
+
+impl KernelStats {
+    /// Total DRAM bytes moved (streamed arrays + x miss fills).
+    pub fn dram_bytes(&self) -> u64 {
+        self.bytes_val + self.bytes_idx + self.bytes_meta + self.bytes_y + self.bytes_x_miss
+    }
+
+    /// Merges another record into this one (summing every field).
+    pub fn merge(&mut self, other: &KernelStats) {
+        self.bytes_val += other.bytes_val;
+        self.bytes_idx += other.bytes_idx;
+        self.bytes_meta += other.bytes_meta;
+        self.bytes_y += other.bytes_y;
+        self.x_requests += other.x_requests;
+        self.x_hits += other.x_hits;
+        self.x_misses += other.x_misses;
+        self.bytes_x_miss += other.bytes_x_miss;
+        self.mma_ops += other.mma_ops;
+        self.fma_ops += other.fma_ops;
+        self.shfl_ops += other.shfl_ops;
+        self.warps += other.warps;
+        self.blocks += other.blocks;
+        self.launches += other.launches;
+    }
+}
+
+impl std::fmt::Display for KernelStats {
+    /// One-line human-readable summary, handy in logs and reports.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "val {} B, idx {} B, meta {} B, y {} B, x {}/{} hit ({} B miss), \
+             {} mma, {} fma, {} shfl, {} warps / {} blocks / {} launches",
+            self.bytes_val,
+            self.bytes_idx,
+            self.bytes_meta,
+            self.bytes_y,
+            self.x_hits,
+            self.x_requests,
+            self.bytes_x_miss,
+            self.mma_ops,
+            self.fma_ops,
+            self.shfl_ops,
+            self.warps,
+            self.blocks,
+            self.launches
+        )
+    }
+}
+
+/// Instrumentation interface threaded through every kernel.
+///
+/// `bytes_per` arguments are the per-element storage width, so the same
+/// kernel code accounts FP64 and FP16 traffic correctly.
+pub trait Probe {
+    /// Records a kernel launch of `blocks` thread blocks, each with
+    /// `warps_per_block` warps.
+    fn kernel_launch(&mut self, blocks: u64, warps_per_block: u64);
+    /// Records a streamed read of `elems` matrix values.
+    fn load_val(&mut self, elems: u64, bytes_per: u64);
+    /// Records a streamed read of `elems` column indices.
+    fn load_idx(&mut self, elems: u64, bytes_per: u64);
+    /// Records a streamed read of `elems` metadata words.
+    fn load_meta(&mut self, elems: u64, bytes_per: u64);
+    /// Records a streamed write of `elems` result values.
+    fn store_y(&mut self, elems: u64, bytes_per: u64);
+    /// Records one element load of `x[index]`, classified by the cache.
+    fn load_x(&mut self, index: usize, bytes_per: u64);
+    /// Records one warp-wide MMA issue.
+    fn mma(&mut self);
+    /// Records `n` scalar FMA issues.
+    fn fma(&mut self, n: u64);
+    /// Records `n` warp shuffle issues.
+    fn shfl(&mut self, n: u64);
+}
+
+/// The zero-cost probe: every method is an empty inline body.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoProbe;
+
+impl Probe for NoProbe {
+    #[inline(always)]
+    fn kernel_launch(&mut self, _: u64, _: u64) {}
+    #[inline(always)]
+    fn load_val(&mut self, _: u64, _: u64) {}
+    #[inline(always)]
+    fn load_idx(&mut self, _: u64, _: u64) {}
+    #[inline(always)]
+    fn load_meta(&mut self, _: u64, _: u64) {}
+    #[inline(always)]
+    fn store_y(&mut self, _: u64, _: u64) {}
+    #[inline(always)]
+    fn load_x(&mut self, _: usize, _: u64) {}
+    #[inline(always)]
+    fn mma(&mut self) {}
+    #[inline(always)]
+    fn fma(&mut self, _: u64) {}
+    #[inline(always)]
+    fn shfl(&mut self, _: u64) {}
+}
+
+/// The counting probe: accumulates [`KernelStats`] and models `x` locality
+/// with a set-associative LRU cache.
+#[derive(Debug, Clone)]
+pub struct CountingProbe {
+    stats: KernelStats,
+    cache: CacheModel,
+}
+
+impl CountingProbe {
+    /// Creates a probe with the given cache model for `x` accesses.
+    pub fn new(cache: CacheModel) -> Self {
+        CountingProbe {
+            stats: KernelStats::default(),
+            cache,
+        }
+    }
+
+    /// Creates a probe with the A100 L2 model.
+    pub fn a100() -> Self {
+        CountingProbe::new(CacheModel::a100_l2())
+    }
+
+    /// Creates a probe with the H800 L2 model.
+    pub fn h800() -> Self {
+        CountingProbe::new(CacheModel::h800_l2())
+    }
+
+    /// Returns the accumulated statistics.
+    pub fn stats(&self) -> KernelStats {
+        self.stats
+    }
+
+    /// Clears statistics and cache contents.
+    pub fn reset(&mut self) {
+        self.stats = KernelStats::default();
+        self.cache.reset();
+    }
+}
+
+impl Probe for CountingProbe {
+    fn kernel_launch(&mut self, blocks: u64, warps_per_block: u64) {
+        self.stats.launches += 1;
+        self.stats.blocks += blocks;
+        self.stats.warps += blocks * warps_per_block;
+    }
+    fn load_val(&mut self, elems: u64, bytes_per: u64) {
+        self.stats.bytes_val += elems * bytes_per;
+    }
+    fn load_idx(&mut self, elems: u64, bytes_per: u64) {
+        self.stats.bytes_idx += elems * bytes_per;
+    }
+    fn load_meta(&mut self, elems: u64, bytes_per: u64) {
+        self.stats.bytes_meta += elems * bytes_per;
+    }
+    fn store_y(&mut self, elems: u64, bytes_per: u64) {
+        self.stats.bytes_y += elems * bytes_per;
+    }
+    fn load_x(&mut self, index: usize, bytes_per: u64) {
+        self.stats.x_requests += 1;
+        let addr = index as u64 * bytes_per;
+        if self.cache.access(addr) {
+            self.stats.x_hits += 1;
+        } else {
+            self.stats.x_misses += 1;
+            self.stats.bytes_x_miss += self.cache.line_bytes();
+        }
+    }
+    fn mma(&mut self) {
+        self.stats.mma_ops += 1;
+    }
+    fn fma(&mut self, n: u64) {
+        self.stats.fma_ops += n;
+    }
+    fn shfl(&mut self, n: u64) {
+        self.stats.shfl_ops += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting_probe_accumulates() {
+        let mut p = CountingProbe::new(CacheModel::new(1024, 64, 2));
+        p.kernel_launch(10, 4);
+        p.load_val(100, 8);
+        p.load_idx(100, 4);
+        p.load_meta(11, 4);
+        p.store_y(10, 8);
+        p.mma();
+        p.mma();
+        p.fma(7);
+        p.shfl(5);
+        let s = p.stats();
+        assert_eq!(s.launches, 1);
+        assert_eq!(s.blocks, 10);
+        assert_eq!(s.warps, 40);
+        assert_eq!(s.bytes_val, 800);
+        assert_eq!(s.bytes_idx, 400);
+        assert_eq!(s.bytes_meta, 44);
+        assert_eq!(s.bytes_y, 80);
+        assert_eq!(s.mma_ops, 2);
+        assert_eq!(s.fma_ops, 7);
+        assert_eq!(s.shfl_ops, 5);
+    }
+
+    #[test]
+    fn x_locality_is_classified_by_the_cache() {
+        let mut p = CountingProbe::new(CacheModel::new(1024, 64, 2));
+        // 8 f64 elements share one 64-byte line.
+        for i in 0..8 {
+            p.load_x(i, 8);
+        }
+        let s = p.stats();
+        assert_eq!(s.x_requests, 8);
+        assert_eq!(s.x_misses, 1);
+        assert_eq!(s.x_hits, 7);
+        assert_eq!(s.bytes_x_miss, 64);
+    }
+
+    #[test]
+    fn display_mentions_every_counter_class() {
+        let mut p = CountingProbe::new(CacheModel::new(1024, 64, 2));
+        p.kernel_launch(1, 4);
+        p.load_val(3, 8);
+        p.mma();
+        let line = p.stats().to_string();
+        for needle in ["val 24 B", "1 mma", "1 launches", "4 warps"] {
+            assert!(line.contains(needle), "missing {needle} in {line}");
+        }
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = KernelStats {
+            bytes_val: 1,
+            mma_ops: 2,
+            ..Default::default()
+        };
+        let b = KernelStats {
+            bytes_val: 10,
+            fma_ops: 5,
+            launches: 1,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.bytes_val, 11);
+        assert_eq!(a.mma_ops, 2);
+        assert_eq!(a.fma_ops, 5);
+        assert_eq!(a.launches, 1);
+    }
+
+    #[test]
+    fn dram_bytes_includes_only_misses_for_x() {
+        let mut p = CountingProbe::new(CacheModel::new(1024, 64, 2));
+        p.load_val(10, 8);
+        for _ in 0..100 {
+            p.load_x(0, 8); // same element: 1 miss, 99 hits
+        }
+        let s = p.stats();
+        assert_eq!(s.dram_bytes(), 80 + 64);
+    }
+}

@@ -1,0 +1,378 @@
+//! Warp shuffle instructions.
+//!
+//! These reproduce the semantics of the CUDA `__shfl_*_sync` intrinsics with
+//! the default width of 32:
+//!
+//! * `shfl_sync(mask, var, src)` — every lane reads lane `src % 32`.
+//! * `shfl_down_sync(mask, var, delta)` — lane `i` reads lane `i + delta`;
+//!   lanes for which `i + delta >= 32` keep their own value.
+//! * `shfl_up_sync(mask, var, delta)` — lane `i` reads lane `i - delta`;
+//!   lanes for which `i < delta` keep their own value.
+//! * `shfl_xor_sync(mask, var, lane_mask)` — lane `i` reads lane
+//!   `i ^ lane_mask`.
+//!
+//! The `mask` argument names the participating lanes. Reading from a lane
+//! outside the mask is undefined behaviour on hardware; the simulator makes
+//! it loud instead (a debug assertion), which catches divergence bugs the
+//! paper's kernels must not contain. Lanes not named in the mask keep their
+//! input value.
+
+use crate::warp::WARP_SIZE;
+
+#[inline]
+fn in_mask(mask: u32, lane: usize) -> bool {
+    mask & (1u32 << lane) != 0
+}
+
+/// `__shfl_sync`: broadcast from `src_lane` (mod 32) to all lanes in `mask`.
+#[inline]
+pub fn shfl_sync<T: Copy>(mask: u32, var: [T; WARP_SIZE], src_lane: usize) -> [T; WARP_SIZE] {
+    let src = src_lane % WARP_SIZE;
+    debug_assert!(
+        in_mask(mask, src),
+        "shfl_sync reads lane {src} which is outside the mask {mask:#010x}"
+    );
+    let mut out = var;
+    for (lane, o) in out.iter_mut().enumerate() {
+        if in_mask(mask, lane) {
+            *o = var[src];
+        }
+    }
+    out
+}
+
+/// `__shfl_sync` with a *per-lane* source operand, as CUDA allows: lane `i`
+/// reads lane `src[i]`. Sources are reduced modulo 32 (matching the
+/// hardware's treatment of out-of-range `srcLane`), and may be negative —
+/// the paper's Algorithms 3/4 compute `((laneid - i*8) >> 1) * 9`, which is
+/// negative on lanes below `i*8` whose results are discarded by the
+/// subsequent predicate.
+#[inline]
+pub fn shfl_sync_var<T: Copy>(
+    mask: u32,
+    var: [T; WARP_SIZE],
+    src: &[i32; WARP_SIZE],
+) -> [T; WARP_SIZE] {
+    let mut out = var;
+    for (lane, o) in out.iter_mut().enumerate() {
+        if in_mask(mask, lane) {
+            let s = src[lane].rem_euclid(WARP_SIZE as i32) as usize;
+            *o = var[s];
+        }
+    }
+    out
+}
+
+/// `__shfl_down_sync`: lane `i` reads lane `i + delta`; out-of-range lanes
+/// keep their own value.
+#[inline]
+pub fn shfl_down_sync<T: Copy>(mask: u32, var: [T; WARP_SIZE], delta: usize) -> [T; WARP_SIZE] {
+    let mut out = var;
+    for (lane, o) in out.iter_mut().enumerate() {
+        if in_mask(mask, lane) {
+            let src = lane + delta;
+            if src < WARP_SIZE {
+                debug_assert!(
+                    in_mask(mask, src),
+                    "shfl_down_sync lane {lane} reads inactive lane {src}"
+                );
+                *o = var[src];
+            }
+        }
+    }
+    out
+}
+
+/// `__shfl_up_sync`: lane `i` reads lane `i - delta`; lanes `< delta` keep
+/// their own value.
+#[inline]
+pub fn shfl_up_sync<T: Copy>(mask: u32, var: [T; WARP_SIZE], delta: usize) -> [T; WARP_SIZE] {
+    let mut out = var;
+    for lane in (0..WARP_SIZE).rev() {
+        if in_mask(mask, lane) && lane >= delta {
+            let src = lane - delta;
+            debug_assert!(
+                in_mask(mask, src),
+                "shfl_up_sync lane {lane} reads inactive lane {src}"
+            );
+            out[lane] = var[src];
+        }
+    }
+    out
+}
+
+/// `__shfl_xor_sync`: lane `i` reads lane `i ^ lane_mask` (the butterfly
+/// pattern used by tree reductions).
+#[inline]
+pub fn shfl_xor_sync<T: Copy>(mask: u32, var: [T; WARP_SIZE], lane_mask: usize) -> [T; WARP_SIZE] {
+    let mut out = var;
+    for (lane, o) in out.iter_mut().enumerate() {
+        if in_mask(mask, lane) {
+            let src = lane ^ lane_mask;
+            if src < WARP_SIZE {
+                debug_assert!(
+                    in_mask(mask, src),
+                    "shfl_xor_sync lane {lane} reads inactive lane {src}"
+                );
+                *o = var[src];
+            }
+        }
+    }
+    out
+}
+
+/// The classic 5-step shuffle-down tree reduction (`warpReduceSum` in the
+/// paper's Algorithm 2). After the call, **lane 0** holds
+/// `combine` applied over all 32 lanes; other lanes hold partial sums.
+///
+/// Returns the full lane array so callers can also use partials, and the
+/// number of shuffle issues (5) so probes can account for them.
+#[inline]
+pub fn warp_reduce<T: Copy, F: Fn(T, T) -> T>(
+    mask: u32,
+    mut var: [T; WARP_SIZE],
+    combine: F,
+) -> [T; WARP_SIZE] {
+    let mut offset = WARP_SIZE / 2;
+    while offset > 0 {
+        let shifted = shfl_down_sync(mask, var, offset);
+        for lane in 0..WARP_SIZE {
+            if in_mask(mask, lane) {
+                var[lane] = combine(var[lane], shifted[lane]);
+            }
+        }
+        offset /= 2;
+    }
+    var
+}
+
+/// Number of shuffle instructions issued by one [`warp_reduce`] call.
+pub const WARP_REDUCE_SHFLS: u64 = 5;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::warp::{full_mask, per_lane};
+
+    #[test]
+    fn shfl_broadcasts_single_lane() {
+        let v = per_lane(|l| l as i64 * 10);
+        let out = shfl_sync(full_mask(), v, 7);
+        assert!(out.iter().all(|&x| x == 70));
+        // src_lane wraps mod 32 like the hardware
+        let out = shfl_sync(full_mask(), v, 35);
+        assert!(out.iter().all(|&x| x == 30));
+    }
+
+    #[test]
+    fn shfl_down_shifts_and_clamps() {
+        let v = per_lane(|l| l as i64);
+        let out = shfl_down_sync(full_mask(), v, 9);
+        for lane in 0..WARP_SIZE {
+            let expect = if lane + 9 < WARP_SIZE { (lane + 9) as i64 } else { lane as i64 };
+            assert_eq!(out[lane], expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn shfl_up_shifts_and_clamps() {
+        let v = per_lane(|l| l as i64);
+        let out = shfl_up_sync(full_mask(), v, 4);
+        for lane in 0..WARP_SIZE {
+            let expect = if lane >= 4 { (lane - 4) as i64 } else { lane as i64 };
+            assert_eq!(out[lane], expect, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn shfl_xor_is_a_butterfly() {
+        let v = per_lane(|l| l as i64);
+        let out = shfl_xor_sync(full_mask(), v, 1);
+        for lane in 0..WARP_SIZE {
+            assert_eq!(out[lane], (lane ^ 1) as i64);
+        }
+        // xor with 16 swaps halves
+        let out = shfl_xor_sync(full_mask(), v, 16);
+        assert_eq!(out[0], 16);
+        assert_eq!(out[31], 15);
+    }
+
+    #[test]
+    fn warp_reduce_sums_all_lanes_into_lane0() {
+        let v = per_lane(|l| l as i64);
+        let out = warp_reduce(full_mask(), v, |a, b| a + b);
+        assert_eq!(out[0], (0..32).sum::<i64>());
+    }
+
+    #[test]
+    fn warp_reduce_with_max() {
+        let v = per_lane(|l| ((l * 7) % 31) as i64);
+        let out = warp_reduce(full_mask(), v, |a, b| a.max(b));
+        assert_eq!(out[0], *v.iter().max().unwrap());
+    }
+
+    #[test]
+    fn partial_mask_leaves_inactive_lanes_untouched() {
+        // Only lanes 0..8 active.
+        let mask = 0xff;
+        let v = per_lane(|l| l as i64);
+        let out = shfl_sync(mask, v, 3);
+        for lane in 0..8 {
+            assert_eq!(out[lane], 3);
+        }
+        for lane in 8..WARP_SIZE {
+            assert_eq!(out[lane], lane as i64);
+        }
+    }
+
+    #[test]
+    fn paper_diagonal_reduction_pattern() {
+        // The exact shuffle sequence of Algorithm 2, lines 10-14: partial
+        // sums live on lanes {0, 9, 18, 27} (fragY[0]) and {4, 13, 22, 31}
+        // (fragY[1]); the sequence must gather all eight into lane 0.
+        let mut y0 = [0.0f64; WARP_SIZE];
+        let mut y1 = [0.0f64; WARP_SIZE];
+        for (k, &lane) in [0usize, 9, 18, 27].iter().enumerate() {
+            y0[lane] = (k + 1) as f64; // 1,2,3,4
+        }
+        for (k, &lane) in [4usize, 13, 22, 31].iter().enumerate() {
+            y1[lane] = (k + 10) as f64; // 10,11,12,13
+        }
+        let m = full_mask();
+        let d = shfl_down_sync(m, y0, 9);
+        for l in 0..WARP_SIZE {
+            y0[l] += d[l];
+        }
+        let d = shfl_down_sync(m, y0, 18);
+        for l in 0..WARP_SIZE {
+            y0[l] += d[l];
+        }
+        let d = shfl_down_sync(m, y1, 9);
+        for l in 0..WARP_SIZE {
+            y1[l] += d[l];
+        }
+        let d = shfl_down_sync(m, y1, 18);
+        for l in 0..WARP_SIZE {
+            y1[l] += d[l];
+        }
+        let b = shfl_sync(m, y1, 4);
+        for l in 0..WARP_SIZE {
+            y0[l] += b[l];
+        }
+        assert_eq!(y0[0], (1 + 2 + 3 + 4 + 10 + 11 + 12 + 13) as f64);
+    }
+}
+
+#[cfg(test)]
+mod var_tests {
+    use super::*;
+    use crate::warp::{full_mask, per_lane};
+
+    #[test]
+    fn per_lane_sources_gather_arbitrarily() {
+        let v = per_lane(|l| l as i64 * 3);
+        let src: [i32; WARP_SIZE] = core::array::from_fn(|l| (31 - l) as i32);
+        let out = shfl_sync_var(full_mask(), v, &src);
+        for lane in 0..WARP_SIZE {
+            assert_eq!(out[lane], (31 - lane) as i64 * 3);
+        }
+    }
+
+    #[test]
+    fn negative_sources_wrap_modulo_32() {
+        let v = per_lane(|l| l as i64);
+        let src = [-9i32; WARP_SIZE]; // -9 mod 32 = 23
+        let out = shfl_sync_var(full_mask(), v, &src);
+        assert!(out.iter().all(|&x| x == 23));
+    }
+
+    #[test]
+    fn paper_target_extraction_pattern() {
+        // Algorithm 3 lines 13-15 for i = 0: lanes 0..8 must receive the 8
+        // diagonal values from lanes {0,9,18,27} (reg0) and {4,13,22,31}
+        // (reg1).
+        let mut y0 = [0.0f64; WARP_SIZE];
+        let mut y1 = [0.0f64; WARP_SIZE];
+        for (r, &lane) in [0usize, 9, 18, 27].iter().enumerate() {
+            y0[lane] = (2 * r) as f64; // diagonals of even rows 0,2,4,6
+        }
+        for (r, &lane) in [4usize, 13, 22, 31].iter().enumerate() {
+            y1[lane] = (2 * r + 1) as f64; // odd rows 1,3,5,7
+        }
+        let i = 0usize;
+        let target: [i32; WARP_SIZE] =
+            core::array::from_fn(|l| ((l as i32 - (i as i32) * 8) >> 1) * 9);
+        let t0 = shfl_sync_var(full_mask(), y0, &target);
+        let t1 = shfl_sync_var(
+            full_mask(),
+            y1,
+            &core::array::from_fn(|l| target[l] + 4),
+        );
+        for lane in 0..8 {
+            let res = if lane & 1 == 0 { t0[lane] } else { t1[lane] };
+            assert_eq!(res, lane as f64, "lane {lane}");
+        }
+    }
+}
+
+/// `__ballot_sync`: returns the bitmask of active lanes whose predicate is
+/// true (every active lane receives the same mask).
+#[inline]
+pub fn ballot_sync(mask: u32, pred: [bool; WARP_SIZE]) -> u32 {
+    let mut out = 0u32;
+    for (lane, &p) in pred.iter().enumerate() {
+        if in_mask(mask, lane) && p {
+            out |= 1 << lane;
+        }
+    }
+    out
+}
+
+/// `__any_sync`: true iff any active lane's predicate is true.
+#[inline]
+pub fn any_sync(mask: u32, pred: [bool; WARP_SIZE]) -> bool {
+    ballot_sync(mask, pred) != 0
+}
+
+/// `__all_sync`: true iff every active lane's predicate is true.
+#[inline]
+pub fn all_sync(mask: u32, pred: [bool; WARP_SIZE]) -> bool {
+    ballot_sync(mask, pred) == mask
+}
+
+#[cfg(test)]
+mod vote_tests {
+    use super::*;
+    use crate::warp::{full_mask, per_lane};
+
+    #[test]
+    fn ballot_collects_predicate_lanes() {
+        let pred = per_lane(|l| l % 3 == 0);
+        let mask = ballot_sync(full_mask(), pred);
+        for lane in 0..WARP_SIZE {
+            assert_eq!(mask >> lane & 1 == 1, lane % 3 == 0, "lane {lane}");
+        }
+    }
+
+    #[test]
+    fn ballot_respects_active_mask() {
+        let pred = [true; WARP_SIZE];
+        assert_eq!(ballot_sync(0x0000_00ff, pred), 0xff);
+    }
+
+    #[test]
+    fn any_and_all_follow_ballot() {
+        let none = [false; WARP_SIZE];
+        let all = [true; WARP_SIZE];
+        let one = per_lane(|l| l == 17);
+        let m = full_mask();
+        assert!(!any_sync(m, none));
+        assert!(any_sync(m, one));
+        assert!(any_sync(m, all));
+        assert!(!all_sync(m, none));
+        assert!(!all_sync(m, one));
+        assert!(all_sync(m, all));
+        // With a partial mask, inactive lanes don't matter.
+        assert!(all_sync(0xff, per_lane(|l| l < 8)));
+    }
+}

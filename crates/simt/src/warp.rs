@@ -1,0 +1,60 @@
+//! Warp-level basics: warp width and lane-array constructors.
+
+/// The number of lanes in a warp. Fixed at 32 to match every NVIDIA
+/// architecture the paper targets (Ampere, Hopper).
+pub const WARP_SIZE: usize = 32;
+
+/// The all-lanes-active mask, `0xffffffff` in CUDA source.
+#[inline]
+pub const fn full_mask() -> u32 {
+    0xffff_ffff
+}
+
+/// Broadcasts one value into every lane of a warp register.
+#[inline]
+pub fn lanes<T: Copy>(v: T) -> [T; WARP_SIZE] {
+    [v; WARP_SIZE]
+}
+
+/// A warp register holding each lane's own id (the CUDA `laneid`).
+#[inline]
+pub fn lane_ids() -> [usize; WARP_SIZE] {
+    let mut ids = [0usize; WARP_SIZE];
+    for (i, id) in ids.iter_mut().enumerate() {
+        *id = i;
+    }
+    ids
+}
+
+/// Builds a warp register by evaluating `f(laneid)` in every lane.
+#[inline]
+pub fn per_lane<T, F: FnMut(usize) -> T>(f: F) -> [T; WARP_SIZE] {
+    core::array::from_fn(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lane_ids_are_sequential() {
+        let ids = lane_ids();
+        for (i, &id) in ids.iter().enumerate() {
+            assert_eq!(id, i);
+        }
+    }
+
+    #[test]
+    fn per_lane_applies_closure() {
+        let sq = per_lane(|l| l * l);
+        assert_eq!(sq[5], 25);
+        assert_eq!(sq[31], 961);
+    }
+
+    #[test]
+    fn broadcast_fills_warp() {
+        let v = lanes(7.5f64);
+        assert!(v.iter().all(|&x| x == 7.5));
+        assert_eq!(v.len(), WARP_SIZE);
+    }
+}

@@ -1,0 +1,228 @@
+//! Conjugate gradients for symmetric positive-definite systems.
+
+use crate::op::{JacobiPreconditioner, LinearOperator};
+use crate::{axpy, dot, norm, Solution, SolveError};
+
+/// CG stopping criteria.
+#[derive(Debug, Clone, Copy)]
+pub struct CgOptions {
+    /// Relative residual target `|b - Ax| / |b|`.
+    pub tol: f64,
+    /// Iteration cap.
+    pub max_iters: usize,
+}
+
+impl Default for CgOptions {
+    fn default() -> Self {
+        CgOptions {
+            tol: 1e-10,
+            max_iters: 10_000,
+        }
+    }
+}
+
+/// Solves `A x = b` for SPD `A` with plain CG, starting from zero.
+pub fn cg<Op: LinearOperator>(a: &Op, b: &[f64], opts: CgOptions) -> Result<Solution, SolveError> {
+    cg_impl(a, b, None, opts)
+}
+
+/// Jacobi-preconditioned CG.
+pub fn cg_preconditioned<Op: LinearOperator>(
+    a: &Op,
+    b: &[f64],
+    pre: &JacobiPreconditioner,
+    opts: CgOptions,
+) -> Result<Solution, SolveError> {
+    cg_impl(a, b, Some(pre), opts)
+}
+
+fn cg_impl<Op: LinearOperator>(
+    a: &Op,
+    b: &[f64],
+    pre: Option<&JacobiPreconditioner>,
+    opts: CgOptions,
+) -> Result<Solution, SolveError> {
+    let n = a.rows();
+    if a.cols() != n {
+        return Err(SolveError::Shape(format!("CG needs a square operator, got {}x{}", n, a.cols())));
+    }
+    if b.len() != n {
+        return Err(SolveError::Shape(format!("b has length {}, operator has {n} rows", b.len())));
+    }
+    let b_norm = norm(b);
+    if b_norm == 0.0 {
+        return Ok(Solution {
+            x: vec![0.0; n],
+            iterations: 0,
+            rel_residual: 0.0,
+            history: Vec::new(),
+        });
+    }
+
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut z = vec![0.0; n];
+    match pre {
+        Some(p) => p.apply(&r, &mut z),
+        None => z.copy_from_slice(&r),
+    }
+    let mut p_vec = z.clone();
+    let mut rz = dot(&r, &z);
+    let mut ap = vec![0.0; n];
+    let mut history = Vec::new();
+
+    for k in 1..=opts.max_iters {
+        a.apply(&p_vec, &mut ap);
+        let pap = dot(&p_vec, &ap);
+        if pap <= 0.0 {
+            return Err(SolveError::Breakdown("p^T A p <= 0 (operator not SPD?)"));
+        }
+        let alpha = rz / pap;
+        axpy(alpha, &p_vec, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let rel = norm(&r) / b_norm;
+        history.push(rel);
+        if rel <= opts.tol {
+            return Ok(Solution {
+                x,
+                iterations: k,
+                rel_residual: rel,
+                history,
+            });
+        }
+        match pre {
+            Some(p) => p.apply(&r, &mut z),
+            None => z.copy_from_slice(&r),
+        }
+        let rz_new = dot(&r, &z);
+        let beta = rz_new / rz;
+        rz = rz_new;
+        for i in 0..n {
+            p_vec[i] = z[i] + beta * p_vec[i];
+        }
+    }
+    let rel = *history.last().unwrap_or(&1.0);
+    Err(SolveError::MaxIterations {
+        x,
+        rel_residual: rel,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_core::DaspMatrix;
+    use dasp_sparse::{Coo, Csr};
+
+    /// 1-D Laplacian tridiag(-1, 2, -1): SPD.
+    fn laplacian1d(n: usize) -> Csr<f64> {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 2.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn solves_laplacian_against_known_solution() {
+        let n = 200;
+        let csr = laplacian1d(n);
+        let ones = vec![1.0; n];
+        let b = csr.spmv_reference(&ones);
+        let sol = cg(&csr, &b, CgOptions::default()).unwrap();
+        for (i, &v) in sol.x.iter().enumerate() {
+            assert!((v - 1.0).abs() < 1e-7, "x[{i}] = {v}");
+        }
+        assert!(sol.rel_residual <= 1e-10);
+    }
+
+    #[test]
+    fn dasp_operator_converges_identically_to_csr() {
+        let n = 150;
+        let csr = laplacian1d(n);
+        let d = DaspMatrix::from_csr(&csr);
+        let b: Vec<f64> = (0..n).map(|i| ((i * 7) % 13) as f64 - 6.0).collect();
+        let s1 = cg(&csr, &b, CgOptions::default()).unwrap();
+        let s2 = cg(&d, &b, CgOptions::default()).unwrap();
+        assert_eq!(s1.iterations, s2.iterations);
+        for (a, b) in s1.x.iter().zip(&s2.x) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jacobi_preconditioning_reduces_iterations_on_scaled_system() {
+        // Badly scaled diagonal: plain CG struggles, Jacobi fixes it.
+        let n = 300;
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            let d = if i % 2 == 0 { 1.0 } else { 1e4 };
+            a.push(i, i, d + 2.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        let csr = a.to_csr();
+        let b = vec![1.0; n];
+        let plain = cg(&csr, &b, CgOptions { tol: 1e-10, max_iters: 5000 }).unwrap();
+        let pre = JacobiPreconditioner::from_csr(&csr);
+        let precond = cg_preconditioned(&csr, &b, &pre, CgOptions { tol: 1e-10, max_iters: 5000 }).unwrap();
+        assert!(
+            precond.iterations < plain.iterations,
+            "jacobi {} vs plain {}",
+            precond.iterations,
+            plain.iterations
+        );
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero_immediately() {
+        let csr = laplacian1d(10);
+        let sol = cg(&csr, &[0.0; 10], CgOptions::default()).unwrap();
+        assert_eq!(sol.iterations, 0);
+        assert_eq!(sol.x, vec![0.0; 10]);
+    }
+
+    #[test]
+    fn non_spd_is_reported_as_breakdown() {
+        let mut a = Coo::<f64>::new(2, 2);
+        a.push(0, 0, -1.0);
+        a.push(1, 1, -1.0);
+        let err = cg(&a.to_csr(), &[1.0, 1.0], CgOptions::default()).unwrap_err();
+        assert!(matches!(err, SolveError::Breakdown(_)));
+    }
+
+    #[test]
+    fn iteration_cap_reports_partial_solution() {
+        let csr = laplacian1d(400);
+        let b = vec![1.0; 400];
+        let err = cg(&csr, &b, CgOptions { tol: 1e-14, max_iters: 3 }).unwrap_err();
+        match err {
+            SolveError::MaxIterations { x, rel_residual } => {
+                assert_eq!(x.len(), 400);
+                // CG's 2-norm residual is not monotone, so only sanity-check
+                // that a finite positive residual was reported.
+                assert!(rel_residual.is_finite() && rel_residual > 0.0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let csr = laplacian1d(4);
+        assert!(matches!(
+            cg(&csr, &[1.0; 3], CgOptions::default()),
+            Err(SolveError::Shape(_))
+        ));
+    }
+}

@@ -1,0 +1,107 @@
+//! Iterative solvers on top of DASP SpMV.
+//!
+//! The paper argues (§4.4) that DASP's one-off preprocessing pays for
+//! itself "if more SpMV kernel calls are needed in an iterative solver" —
+//! this crate is that downstream consumer:
+//!
+//! * [`LinearOperator`] — the matrix-free abstraction (`y = A x`),
+//!   implemented by [`dasp_sparse::Csr`] (reference), by
+//!   [`dasp_core::DaspMatrix`] (multi-threaded DASP kernels), and by
+//!   simple wrappers ([`op::Shifted`], [`op::Scaled`]).
+//! * [`cg`] / [`cg_preconditioned`] — conjugate gradients for SPD
+//!   systems, optionally Jacobi preconditioned.
+//! * [`bicgstab`] — BiCGSTAB for general nonsymmetric systems.
+//! * [`power_iteration`] — power iteration for the dominant eigenpair.
+//!
+//! All solvers work in `f64` and report convergence histories.
+//!
+//! ```
+//! use dasp_core::DaspMatrix;
+//! use dasp_solver::{cg, CgOptions, LinearOperator};
+//! use dasp_sparse::Coo;
+//!
+//! // A tiny SPD system.
+//! let mut a = Coo::<f64>::new(2, 2);
+//! a.push(0, 0, 4.0);
+//! a.push(0, 1, 1.0);
+//! a.push(1, 0, 1.0);
+//! a.push(1, 1, 3.0);
+//! let m = DaspMatrix::from_csr(&a.to_csr());
+//! let b = vec![1.0, 2.0];
+//! let sol = cg(&m, &b, CgOptions::default()).expect("spd system converges");
+//! let mut ax = vec![0.0; 2];
+//! m.apply(&sol.x, &mut ax);
+//! assert!((ax[0] - 1.0).abs() < 1e-8 && (ax[1] - 2.0).abs() < 1e-8);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bicgstab;
+mod cg;
+pub mod op;
+mod power;
+
+pub use bicgstab::{bicgstab, BiCgOptions};
+pub use cg::{cg, cg_preconditioned, CgOptions};
+pub use op::{JacobiPreconditioner, LinearOperator};
+pub use power::{power_iteration, PowerOptions, PowerResult};
+
+/// Why a solver stopped without reaching its tolerance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SolveError {
+    /// The iteration limit was reached; the partial solution and its
+    /// relative residual are attached.
+    MaxIterations {
+        /// Best solution found.
+        x: Vec<f64>,
+        /// Its relative residual.
+        rel_residual: f64,
+    },
+    /// The recurrence broke down (e.g. division by a vanishing inner
+    /// product — typically a non-SPD matrix handed to CG).
+    Breakdown(&'static str),
+    /// Dimension mismatch between operator and vectors.
+    Shape(String),
+}
+
+impl std::fmt::Display for SolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SolveError::MaxIterations { rel_residual, .. } => {
+                write!(f, "max iterations reached (rel residual {rel_residual:.3e})")
+            }
+            SolveError::Breakdown(s) => write!(f, "recurrence breakdown: {s}"),
+            SolveError::Shape(s) => write!(f, "shape mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for SolveError {}
+
+/// A converged solution with its convergence record.
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// The solution vector.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final relative residual `|b - Ax| / |b|`.
+    pub rel_residual: f64,
+    /// Relative residual after each iteration.
+    pub history: Vec<f64>,
+}
+
+pub(crate) fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+pub(crate) fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+pub(crate) fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}

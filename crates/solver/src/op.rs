@@ -1,0 +1,195 @@
+//! The [`LinearOperator`] abstraction and basic operator combinators.
+
+#![allow(clippy::needless_range_loop)]
+
+use dasp_core::DaspMatrix;
+use dasp_simt::NoProbe;
+use dasp_sparse::Csr;
+
+/// Anything that can apply `y = A x` in `f64`.
+pub trait LinearOperator {
+    /// Number of rows of the operator.
+    fn rows(&self) -> usize;
+    /// Number of columns.
+    fn cols(&self) -> usize;
+    /// Computes `y = A x`. `x.len() == cols()`, `y.len() == rows()`.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+}
+
+impl LinearOperator for Csr<f64> {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let r = self.spmv_reference(x);
+        y.copy_from_slice(&r);
+    }
+}
+
+impl LinearOperator for DaspMatrix<f64> {
+    fn rows(&self) -> usize {
+        self.rows
+    }
+    fn cols(&self) -> usize {
+        self.cols
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        if self.nnz > 100_000 {
+            // Multi-threaded kernels; bit-identical to the sequential path.
+            y.copy_from_slice(&self.spmv_par(x));
+        } else {
+            // Small systems: write straight into the caller's buffer.
+            self.spmv_into(x, y, &mut NoProbe);
+        }
+    }
+}
+
+/// `A + sigma I` without forming the shifted matrix.
+pub struct Shifted<'a, Op: LinearOperator> {
+    /// The base operator.
+    pub op: &'a Op,
+    /// The diagonal shift.
+    pub sigma: f64,
+}
+
+impl<Op: LinearOperator> LinearOperator for Shifted<'_, Op> {
+    fn rows(&self) -> usize {
+        self.op.rows()
+    }
+    fn cols(&self) -> usize {
+        self.op.cols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        // A + sigma*I only exists for square operators; a silent zip over
+        // mismatched lengths would drop part of the shift.
+        assert_eq!(
+            self.op.rows(),
+            self.op.cols(),
+            "Shifted requires a square operator"
+        );
+        self.op.apply(x, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi += self.sigma * xi;
+        }
+    }
+}
+
+/// `alpha * A` without forming the scaled matrix.
+pub struct Scaled<'a, Op: LinearOperator> {
+    /// The base operator.
+    pub op: &'a Op,
+    /// The scale factor.
+    pub alpha: f64,
+}
+
+impl<Op: LinearOperator> LinearOperator for Scaled<'_, Op> {
+    fn rows(&self) -> usize {
+        self.op.rows()
+    }
+    fn cols(&self) -> usize {
+        self.op.cols()
+    }
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.op.apply(x, y);
+        for yi in y.iter_mut() {
+            *yi *= self.alpha;
+        }
+    }
+}
+
+/// The Jacobi (diagonal) preconditioner `M^{-1} = diag(A)^{-1}`.
+pub struct JacobiPreconditioner {
+    inv_diag: Vec<f64>,
+}
+
+impl JacobiPreconditioner {
+    /// Extracts the inverse diagonal from a CSR matrix. Zero or missing
+    /// diagonal entries fall back to 1 (identity on those rows).
+    pub fn from_csr(csr: &Csr<f64>) -> Self {
+        let mut inv = vec![1.0; csr.rows];
+        for i in 0..csr.rows.min(csr.cols) {
+            for (c, v) in csr.row(i) {
+                if c as usize == i && v != 0.0 {
+                    inv[i] = 1.0 / v;
+                }
+            }
+        }
+        JacobiPreconditioner { inv_diag: inv }
+    }
+
+    /// Applies `z = M^{-1} r`.
+    pub fn apply(&self, r: &[f64], z: &mut [f64]) {
+        for ((zi, ri), di) in z.iter_mut().zip(r).zip(&self.inv_diag) {
+            *zi = ri * di;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_sparse::Coo;
+
+    fn small() -> Csr<f64> {
+        let mut a = Coo::new(3, 3);
+        a.push(0, 0, 2.0);
+        a.push(1, 1, 4.0);
+        a.push(2, 0, 1.0);
+        a.push(2, 2, 8.0);
+        a.to_csr()
+    }
+
+    #[test]
+    fn csr_and_dasp_operators_agree() {
+        let csr = small();
+        let d = DaspMatrix::from_csr(&csr);
+        let x = vec![1.0, 2.0, 3.0];
+        let mut y1 = vec![0.0; 3];
+        let mut y2 = vec![0.0; 3];
+        csr.apply(&x, &mut y1);
+        d.apply(&x, &mut y2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn shifted_adds_sigma_x() {
+        let csr = small();
+        let sh = Shifted { op: &csr, sigma: 10.0 };
+        let x = vec![1.0, 1.0, 1.0];
+        let mut y = vec![0.0; 3];
+        sh.apply(&x, &mut y);
+        assert_eq!(y, vec![12.0, 14.0, 19.0]);
+    }
+
+    #[test]
+    fn scaled_multiplies() {
+        let csr = small();
+        let sc = Scaled { op: &csr, alpha: 0.5 };
+        let x = vec![1.0, 1.0, 1.0];
+        let mut y = vec![0.0; 3];
+        sc.apply(&x, &mut y);
+        assert_eq!(y, vec![1.0, 2.0, 4.5]);
+    }
+
+    #[test]
+    fn jacobi_inverts_the_diagonal() {
+        let p = JacobiPreconditioner::from_csr(&small());
+        let mut z = vec![0.0; 3];
+        p.apply(&[2.0, 4.0, 8.0], &mut z);
+        assert_eq!(z, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn jacobi_missing_diagonal_is_identity() {
+        let mut a = Coo::<f64>::new(2, 2);
+        a.push(0, 1, 3.0); // no diagonal in row 0
+        a.push(1, 1, 2.0);
+        let p = JacobiPreconditioner::from_csr(&a.to_csr());
+        let mut z = vec![0.0; 2];
+        p.apply(&[5.0, 4.0], &mut z);
+        assert_eq!(z, vec![5.0, 2.0]);
+    }
+}

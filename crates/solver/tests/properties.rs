@@ -1,0 +1,92 @@
+//! Property-based solver tests on randomly generated well-posed systems.
+
+use dasp_core::DaspMatrix;
+use dasp_solver::{bicgstab, cg, BiCgOptions, CgOptions, LinearOperator};
+use dasp_sparse::{Coo, Csr};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A random strictly diagonally dominant matrix — guaranteed nonsingular,
+/// and SPD when symmetrized.
+fn dominant(n: usize, seed: u64, symmetric: bool) -> Csr<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut entries = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for _ in 0..3.min(n.saturating_sub(1)) {
+            let j = rng.gen_range(0..n);
+            if j != i {
+                let v = rng.gen_range(-1.0..1.0);
+                entries[i][j] += v;
+                if symmetric {
+                    entries[j][i] += v;
+                }
+            }
+        }
+    }
+    let mut coo = Coo::new(n, n);
+    for i in 0..n {
+        let offdiag: f64 = entries[i].iter().map(|v| v.abs()).sum();
+        for (j, &v) in entries[i].iter().enumerate() {
+            if j != i && v != 0.0 {
+                coo.push(i, j, v);
+            }
+        }
+        coo.push(i, i, offdiag + 1.0);
+    }
+    coo.to_csr()
+}
+
+fn residual(a: &Csr<f64>, x: &[f64], b: &[f64]) -> f64 {
+    let ax = a.spmv_reference(x);
+    let num: f64 = ax
+        .iter()
+        .zip(b)
+        .map(|(u, v)| (u - v) * (u - v))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = b.iter().map(|v| v * v).sum::<f64>().sqrt().max(1e-300);
+    num / den
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn cg_solves_random_spd_systems(n in 2usize..80, seed in any::<u64>()) {
+        let a = dominant(n, seed, true);
+        let mut rng = SmallRng::seed_from_u64(!seed);
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let sol = cg(&a, &b, CgOptions { tol: 1e-11, max_iters: 10 * n + 50 }).unwrap();
+        prop_assert!(residual(&a, &sol.x, &b) < 1e-9);
+        // The history is recorded once per iteration and ends at the
+        // converged residual.
+        prop_assert_eq!(sol.history.len(), sol.iterations);
+    }
+
+    #[test]
+    fn bicgstab_solves_random_nonsymmetric_systems(n in 2usize..80, seed in any::<u64>()) {
+        let a = dominant(n, seed, false);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xffff);
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        match bicgstab(&a, &b, BiCgOptions { tol: 1e-11, max_iters: 20 * n + 100 }) {
+            Ok(sol) => prop_assert!(residual(&a, &sol.x, &b) < 1e-8),
+            // Rare exact-breakdown cases are legitimate BiCGSTAB behaviour;
+            // they must be *reported*, not silent.
+            Err(e) => prop_assert!(matches!(e, dasp_solver::SolveError::Breakdown(_))),
+        }
+    }
+
+    #[test]
+    fn dasp_operator_and_csr_operator_agree_in_cg(n in 4usize..60, seed in any::<u64>()) {
+        let a = dominant(n, seed, true);
+        let d = DaspMatrix::from_csr(&a);
+        prop_assert_eq!(d.rows(), a.rows());
+        let b: Vec<f64> = (0..n).map(|i| ((i * 13) % 7) as f64 - 3.0).collect();
+        let s1 = cg(&a, &b, CgOptions::default()).unwrap();
+        let s2 = cg(&d, &b, CgOptions::default()).unwrap();
+        for (u, v) in s1.x.iter().zip(&s2.x) {
+            prop_assert!((u - v).abs() < 1e-10);
+        }
+    }
+}

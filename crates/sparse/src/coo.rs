@@ -1,0 +1,149 @@
+//! Coordinate (triplet) format.
+
+use dasp_fp16::Scalar;
+
+use crate::csr::Csr;
+
+/// A sparse matrix as a list of `(row, col, value)` triplets.
+///
+/// The assembly format: generators and the Matrix Market reader produce
+/// `Coo`, which is then converted to [`Csr`] for the SpMV methods.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Coo<S: Scalar> {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// The triplets, in no particular order until [`Coo::sort_dedup`].
+    pub entries: Vec<(u32, u32, S)>,
+}
+
+impl<S: Scalar> Coo<S> {
+    /// Creates an empty matrix of the given shape.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        assert!(rows <= u32::MAX as usize && cols <= u32::MAX as usize);
+        Coo {
+            rows,
+            cols,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Appends one triplet. Panics if the coordinate is out of range.
+    pub fn push(&mut self, row: usize, col: usize, val: S) {
+        assert!(row < self.rows, "row {row} out of range ({} rows)", self.rows);
+        assert!(col < self.cols, "col {col} out of range ({} cols)", self.cols);
+        self.entries.push((row as u32, col as u32, val));
+    }
+
+    /// Number of stored triplets (before dedup this may count duplicates).
+    pub fn nnz(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sorts triplets into row-major order and sums duplicate coordinates.
+    pub fn sort_dedup(&mut self) {
+        self.entries.sort_by_key(|&(r, c, _)| (r, c));
+        let mut out: Vec<(u32, u32, S)> = Vec::with_capacity(self.entries.len());
+        for &(r, c, v) in &self.entries {
+            match out.last_mut() {
+                Some(last) if last.0 == r && last.1 == c => {
+                    let sum = S::from_f64(last.2.to_f64() + v.to_f64());
+                    last.2 = sum;
+                }
+                _ => out.push((r, c, v)),
+            }
+        }
+        self.entries = out;
+    }
+
+    /// Converts to CSR. Duplicates are summed; triplet order need not be
+    /// sorted.
+    pub fn to_csr(&self) -> Csr<S> {
+        let mut sorted = self.clone();
+        sorted.sort_dedup();
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        for &(r, _, _) in &sorted.entries {
+            row_ptr[r as usize + 1] += 1;
+        }
+        for i in 0..self.rows {
+            row_ptr[i + 1] += row_ptr[i];
+        }
+        let col_idx = sorted.entries.iter().map(|&(_, c, _)| c).collect();
+        let vals = sorted.entries.iter().map(|&(_, _, v)| v).collect();
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr,
+            col_idx,
+            vals,
+        }
+    }
+
+    /// Converts element values to another scalar precision.
+    pub fn cast<T: Scalar>(&self) -> Coo<T> {
+        Coo {
+            rows: self.rows,
+            cols: self.cols,
+            entries: self
+                .entries
+                .iter()
+                .map(|&(r, c, v)| (r, c, T::from_f64(v.to_f64())))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_count() {
+        let mut m = Coo::<f64>::new(3, 4);
+        m.push(0, 0, 1.0);
+        m.push(2, 3, -2.0);
+        assert_eq!(m.nnz(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_bad_row() {
+        let mut m = Coo::<f64>::new(2, 2);
+        m.push(2, 0, 1.0);
+    }
+
+    #[test]
+    fn sort_dedup_sums_duplicates() {
+        let mut m = Coo::<f64>::new(2, 2);
+        m.push(1, 1, 2.0);
+        m.push(0, 0, 1.0);
+        m.push(1, 1, 3.0);
+        m.sort_dedup();
+        assert_eq!(m.entries, vec![(0, 0, 1.0), (1, 1, 5.0)]);
+    }
+
+    #[test]
+    fn to_csr_produces_sorted_rows() {
+        let mut m = Coo::<f64>::new(3, 3);
+        m.push(2, 0, 5.0);
+        m.push(0, 2, 1.0);
+        m.push(0, 1, 2.0);
+        let csr = m.to_csr();
+        assert_eq!(csr.row_ptr, vec![0, 2, 2, 3]);
+        assert_eq!(csr.col_idx, vec![1, 2, 0]);
+        assert_eq!(csr.vals, vec![2.0, 1.0, 5.0]);
+        csr.validate().unwrap();
+    }
+
+    #[test]
+    fn cast_to_f16_and_back() {
+        use dasp_fp16::F16;
+        let mut m = Coo::<f64>::new(1, 2);
+        m.push(0, 0, 1.5);
+        m.push(0, 1, 0.25);
+        let h: Coo<F16> = m.cast();
+        let back: Coo<f64> = h.cast();
+        assert_eq!(back.entries, m.entries);
+    }
+}

@@ -1,0 +1,96 @@
+//! Compressed Sparse Column format.
+
+use dasp_fp16::Scalar;
+
+use crate::csr::Csr;
+
+/// A sparse matrix in CSC form. Primarily an intermediate for transposition
+/// and column-oriented analysis; SpMV methods in this workspace consume CSR.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csc<S: Scalar> {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Column pointer array of length `cols + 1`.
+    pub col_ptr: Vec<usize>,
+    /// Row index of each stored element, sorted within each column.
+    pub row_idx: Vec<u32>,
+    /// Value of each stored element.
+    pub vals: Vec<S>,
+}
+
+impl<S: Scalar> Csc<S> {
+    /// Builds CSC from CSR with a counting sort over columns
+    /// (`O(nnz + cols)`), preserving row order within each column.
+    pub fn from_csr(csr: &Csr<S>) -> Self {
+        let nnz = csr.nnz();
+        let mut col_ptr = vec![0usize; csr.cols + 1];
+        for &c in &csr.col_idx {
+            col_ptr[c as usize + 1] += 1;
+        }
+        for i in 0..csr.cols {
+            col_ptr[i + 1] += col_ptr[i];
+        }
+        let mut row_idx = vec![0u32; nnz];
+        let mut vals = vec![S::zero(); nnz];
+        let mut cursor = col_ptr.clone();
+        for r in 0..csr.rows {
+            for j in csr.row_ptr[r]..csr.row_ptr[r + 1] {
+                let c = csr.col_idx[j] as usize;
+                let dst = cursor[c];
+                row_idx[dst] = r as u32;
+                vals[dst] = csr.vals[j];
+                cursor[c] += 1;
+            }
+        }
+        Csc {
+            rows: csr.rows,
+            cols: csr.cols,
+            col_ptr,
+            row_idx,
+            vals,
+        }
+    }
+
+    /// Number of stored elements.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of stored elements in column `j`.
+    pub fn col_len(&self, j: usize) -> usize {
+        self.col_ptr[j + 1] - self.col_ptr[j]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    #[test]
+    fn from_csr_groups_by_column() {
+        let mut m = Coo::<f64>::new(3, 3);
+        m.push(0, 0, 1.0);
+        m.push(0, 2, 2.0);
+        m.push(1, 0, 3.0);
+        m.push(2, 1, 4.0);
+        let csc = Csc::from_csr(&m.to_csr());
+        assert_eq!(csc.col_ptr, vec![0, 2, 3, 4]);
+        assert_eq!(csc.row_idx, vec![0, 1, 2, 0]);
+        assert_eq!(csc.vals, vec![1.0, 3.0, 4.0, 2.0]);
+        assert_eq!(csc.col_len(0), 2);
+        assert_eq!(csc.nnz(), 4);
+    }
+
+    #[test]
+    fn rows_sorted_within_columns() {
+        let mut m = Coo::<f64>::new(5, 2);
+        for r in (0..5).rev() {
+            m.push(r, 0, r as f64);
+        }
+        let csc = Csc::from_csr(&m.to_csr());
+        assert_eq!(csc.row_idx, vec![0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,285 @@
+//! Compressed Sparse Row format.
+
+use dasp_fp16::Scalar;
+
+/// A sparse matrix in CSR form — the paper's baseline storage format and
+/// the input to every format conversion in this workspace.
+///
+/// Invariants (checked by [`Csr::validate`]):
+/// * `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`, non-decreasing,
+///   `row_ptr[rows] == nnz`;
+/// * column indices are `< cols` and strictly increasing within each row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csr<S: Scalar> {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Row pointer array of length `rows + 1`.
+    pub row_ptr: Vec<usize>,
+    /// Column index of each stored element (`nnz` entries).
+    pub col_idx: Vec<u32>,
+    /// Value of each stored element (`nnz` entries).
+    pub vals: Vec<S>,
+}
+
+/// A CSR structural-validity error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrError {
+    /// `row_ptr` has the wrong length or endpoints.
+    BadRowPtr(String),
+    /// A column index is out of range or out of order.
+    BadColIdx(String),
+    /// `col_idx` and `vals` lengths disagree with `row_ptr[rows]`.
+    LengthMismatch(String),
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrError::BadRowPtr(s) => write!(f, "bad row_ptr: {s}"),
+            CsrError::BadColIdx(s) => write!(f, "bad col_idx: {s}"),
+            CsrError::LengthMismatch(s) => write!(f, "length mismatch: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
+impl<S: Scalar> Csr<S> {
+    /// An empty `rows x cols` matrix.
+    pub fn empty(rows: usize, cols: usize) -> Self {
+        Csr {
+            rows,
+            cols,
+            row_ptr: vec![0; rows + 1],
+            col_idx: Vec::new(),
+            vals: Vec::new(),
+        }
+    }
+
+    /// Number of stored elements.
+    pub fn nnz(&self) -> usize {
+        self.vals.len()
+    }
+
+    /// Number of stored elements in row `i`.
+    #[inline]
+    pub fn row_len(&self, i: usize) -> usize {
+        self.row_ptr[i + 1] - self.row_ptr[i]
+    }
+
+    /// The `(col_idx, vals)` pairs of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> impl Iterator<Item = (u32, S)> + '_ {
+        let lo = self.row_ptr[i];
+        let hi = self.row_ptr[i + 1];
+        self.col_idx[lo..hi]
+            .iter()
+            .copied()
+            .zip(self.vals[lo..hi].iter().copied())
+    }
+
+    /// Checks all structural invariants.
+    pub fn validate(&self) -> Result<(), CsrError> {
+        if self.row_ptr.len() != self.rows + 1 {
+            return Err(CsrError::BadRowPtr(format!(
+                "len {} != rows+1 {}",
+                self.row_ptr.len(),
+                self.rows + 1
+            )));
+        }
+        if self.row_ptr[0] != 0 {
+            return Err(CsrError::BadRowPtr("row_ptr[0] != 0".into()));
+        }
+        for i in 0..self.rows {
+            if self.row_ptr[i] > self.row_ptr[i + 1] {
+                return Err(CsrError::BadRowPtr(format!("decreasing at row {i}")));
+            }
+        }
+        let nnz = self.row_ptr[self.rows];
+        if self.col_idx.len() != nnz || self.vals.len() != nnz {
+            return Err(CsrError::LengthMismatch(format!(
+                "row_ptr says {nnz}, col_idx {}, vals {}",
+                self.col_idx.len(),
+                self.vals.len()
+            )));
+        }
+        for i in 0..self.rows {
+            let mut prev: Option<u32> = None;
+            for j in self.row_ptr[i]..self.row_ptr[i + 1] {
+                let c = self.col_idx[j];
+                if c as usize >= self.cols {
+                    return Err(CsrError::BadColIdx(format!(
+                        "row {i}: col {c} >= cols {}",
+                        self.cols
+                    )));
+                }
+                if let Some(p) = prev {
+                    if c <= p {
+                        return Err(CsrError::BadColIdx(format!(
+                            "row {i}: cols not strictly increasing ({p} then {c})"
+                        )));
+                    }
+                }
+                prev = Some(c);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reference SpMV, `y = A x`, computed sequentially in `f64` regardless
+    /// of storage precision. This is the ground truth every GPU-simulated
+    /// method is checked against.
+    pub fn spmv_reference(&self, x: &[S]) -> Vec<f64> {
+        assert_eq!(x.len(), self.cols, "x length must equal cols");
+        let mut y = vec![0.0f64; self.rows];
+        for (i, out) in y.iter_mut().enumerate() {
+            let mut sum = 0.0;
+            for j in self.row_ptr[i]..self.row_ptr[i + 1] {
+                sum += self.vals[j].to_f64() * x[self.col_idx[j] as usize].to_f64();
+            }
+            *out = sum;
+        }
+        y
+    }
+
+    /// Converts element values to another scalar precision.
+    pub fn cast<T: Scalar>(&self) -> Csr<T> {
+        Csr {
+            rows: self.rows,
+            cols: self.cols,
+            row_ptr: self.row_ptr.clone(),
+            col_idx: self.col_idx.clone(),
+            vals: self.vals.iter().map(|v| T::from_f64(v.to_f64())).collect(),
+        }
+    }
+
+    /// The transpose, computed through CSC (counting sort; `O(nnz + cols)`).
+    pub fn transpose(&self) -> Csr<S> {
+        let csc = crate::csc::Csc::from_csr(self);
+        Csr {
+            rows: self.cols,
+            cols: self.rows,
+            row_ptr: csc.col_ptr,
+            col_idx: csc.row_idx,
+            vals: csc.vals,
+        }
+    }
+
+    /// Dense row-major representation (test helper; panics on huge shapes).
+    pub fn to_dense(&self) -> Vec<Vec<f64>> {
+        assert!(self.rows * self.cols <= 1 << 24, "to_dense on a large matrix");
+        let mut d = vec![vec![0.0; self.cols]; self.rows];
+        for (i, drow) in d.iter_mut().enumerate() {
+            for (c, v) in self.row(i) {
+                drow[c as usize] = v.to_f64();
+            }
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn example() -> Csr<f64> {
+        // The 6x6 example of paper Fig. 3 (structure only, values arbitrary).
+        let mut m = Coo::new(6, 6);
+        let pts = [
+            (0, 0, 1.0),
+            (0, 3, 2.0),
+            (1, 1, 3.0),
+            (1, 2, 4.0),
+            (2, 2, 5.0),
+            (3, 0, 6.0),
+            (3, 4, 7.0),
+            (3, 5, 8.0),
+            (4, 4, 9.0),
+            (5, 1, 10.0),
+            (5, 5, 11.0),
+        ];
+        for (r, c, v) in pts {
+            m.push(r, c, v);
+        }
+        m.to_csr()
+    }
+
+    #[test]
+    fn validate_accepts_good_matrix() {
+        example().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_colidx() {
+        let mut m = example();
+        m.col_idx[0] = 99;
+        assert!(matches!(m.validate(), Err(CsrError::BadColIdx(_))));
+    }
+
+    #[test]
+    fn validate_rejects_unsorted_row() {
+        let mut m = example();
+        m.col_idx.swap(0, 1);
+        assert!(matches!(m.validate(), Err(CsrError::BadColIdx(_))));
+    }
+
+    #[test]
+    fn validate_rejects_truncated_vals() {
+        let mut m = example();
+        m.vals.pop();
+        assert!(matches!(m.validate(), Err(CsrError::LengthMismatch(_))));
+    }
+
+    #[test]
+    fn spmv_reference_matches_dense() {
+        let m = example();
+        let x: Vec<f64> = (0..6).map(|i| (i + 1) as f64 * 0.5).collect();
+        let y = m.spmv_reference(&x);
+        let d = m.to_dense();
+        for i in 0..6 {
+            let want: f64 = (0..6).map(|j| d[i][j] * x[j]).sum();
+            assert!((y[i] - want).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn row_len_and_iter_agree() {
+        let m = example();
+        for i in 0..m.rows {
+            assert_eq!(m.row(i).count(), m.row_len(i));
+        }
+        assert_eq!(m.row_len(3), 3);
+        assert_eq!(m.row_len(2), 1);
+    }
+
+    #[test]
+    fn transpose_twice_is_identity() {
+        let m = example();
+        let tt = m.transpose().transpose();
+        assert_eq!(m, tt);
+    }
+
+    #[test]
+    fn transpose_swaps_entries() {
+        let m = example();
+        let t = m.transpose();
+        t.validate().unwrap();
+        let d = m.to_dense();
+        let td = t.to_dense();
+        for i in 0..6 {
+            for j in 0..6 {
+                assert_eq!(d[i][j], td[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_matrix_is_valid() {
+        let m = Csr::<f64>::empty(4, 4);
+        m.validate().unwrap();
+        assert_eq!(m.spmv_reference(&[1.0; 4]), vec![0.0; 4]);
+    }
+}

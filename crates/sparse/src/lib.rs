@@ -1,0 +1,50 @@
+//! Sparse-matrix substrate for the DASP reproduction.
+//!
+//! Provides the storage formats the paper's pipeline touches:
+//!
+//! * [`Coo`] — coordinate triplets, the assembly/interchange format and what
+//!   Matrix Market files decode to.
+//! * [`Csr`] — compressed sparse row, the input format of every SpMV method
+//!   evaluated in the paper (and the output of the generators).
+//! * [`Csc`] — compressed sparse column, used for transposition.
+//! * [`Bsr`] — block sparse row with explicit zero fill-in, the format
+//!   behind the `cusparse?bsrmv()` baseline.
+//!
+//! plus Matrix Market I/O ([`mm`]) so real SuiteSparse files can be used in
+//! place of the synthetic corpus, and row-distribution statistics
+//! ([`stats`]) backing Fig. 12.
+//!
+//! All formats are generic over [`dasp_fp16::Scalar`], so the same structures
+//! serve the FP64 and FP16 experiments.
+
+//! # Example
+//!
+//! ```
+//! use dasp_sparse::{Coo, Csr};
+//!
+//! let mut coo = Coo::<f64>::new(2, 3);
+//! coo.push(0, 0, 1.0);
+//! coo.push(0, 2, 2.0);
+//! coo.push(1, 1, 3.0);
+//! let csr: Csr<f64> = coo.to_csr();
+//! assert_eq!(csr.row_ptr, vec![0, 2, 3]);
+//! assert_eq!(csr.spmv_reference(&[1.0, 1.0, 1.0]), vec![3.0, 3.0]);
+//! assert!(csr.validate().is_ok());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bsr;
+pub mod coo;
+pub mod csc;
+pub mod csr;
+pub mod mm;
+pub mod stats;
+pub mod util;
+
+pub use bsr::Bsr;
+pub use coo::Coo;
+pub use csc::Csc;
+pub use csr::Csr;
+pub use stats::RowStats;

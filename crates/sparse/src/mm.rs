@@ -1,0 +1,279 @@
+//! Matrix Market (`.mtx`) I/O.
+//!
+//! Supports the subset of the format the SuiteSparse collection uses for
+//! SpMV work: `matrix coordinate` with `real`, `integer` or `pattern`
+//! fields and `general`, `symmetric` or `skew-symmetric` symmetry. Pattern
+//! entries read as 1.0. Symmetric/skew entries are expanded to both
+//! triangles on read (diagonal entries are not duplicated).
+//!
+//! This lets real SuiteSparse matrices be dropped into the experiment
+//! drivers in place of the synthetic corpus.
+
+use std::io::{BufRead, Write};
+
+use dasp_fp16::Scalar;
+
+use crate::coo::Coo;
+
+/// A Matrix Market parse error with a line number where applicable.
+#[derive(Debug)]
+pub enum MmError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Malformed or unsupported content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the problem.
+        msg: String,
+    },
+}
+
+impl std::fmt::Display for MmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MmError::Io(e) => write!(f, "io error: {e}"),
+            MmError::Parse { line, msg } => write!(f, "line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MmError {}
+
+impl From<std::io::Error> for MmError {
+    fn from(e: std::io::Error) -> Self {
+        MmError::Io(e)
+    }
+}
+
+fn parse_err(line: usize, msg: impl Into<String>) -> MmError {
+    MmError::Parse {
+        line,
+        msg: msg.into(),
+    }
+}
+
+/// Symmetry declared in the header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Symmetry {
+    General,
+    Symmetric,
+    SkewSymmetric,
+}
+
+/// Reads a Matrix Market coordinate file into a [`Coo`].
+pub fn read_matrix_market<S: Scalar, R: BufRead>(reader: R) -> Result<Coo<S>, MmError> {
+    let mut lines = reader.lines().enumerate();
+
+    // Header line.
+    let (hline_no, header) = loop {
+        match lines.next() {
+            Some((n, l)) => {
+                let l = l?;
+                if !l.trim().is_empty() {
+                    break (n + 1, l);
+                }
+            }
+            None => return Err(parse_err(1, "empty file")),
+        }
+    };
+    let head: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    if head.len() < 5 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
+        return Err(parse_err(hline_no, "expected '%%MatrixMarket matrix ...' header"));
+    }
+    if head[2] != "coordinate" {
+        return Err(parse_err(hline_no, format!("unsupported layout '{}'", head[2])));
+    }
+    let field = head[3].as_str();
+    if !matches!(field, "real" | "integer" | "pattern") {
+        return Err(parse_err(hline_no, format!("unsupported field '{field}'")));
+    }
+    let symmetry = match head[4].as_str() {
+        "general" => Symmetry::General,
+        "symmetric" => Symmetry::Symmetric,
+        "skew-symmetric" => Symmetry::SkewSymmetric,
+        s => return Err(parse_err(hline_no, format!("unsupported symmetry '{s}'"))),
+    };
+
+    // Size line (after comments).
+    let (sline_no, size_line) = loop {
+        match lines.next() {
+            Some((n, l)) => {
+                let l = l?;
+                let t = l.trim();
+                if t.is_empty() || t.starts_with('%') {
+                    continue;
+                }
+                break (n + 1, l);
+            }
+            None => return Err(parse_err(hline_no, "missing size line")),
+        }
+    };
+    let dims: Vec<&str> = size_line.split_whitespace().collect();
+    if dims.len() != 3 {
+        return Err(parse_err(sline_no, "size line must be 'rows cols nnz'"));
+    }
+    let rows: usize = dims[0]
+        .parse()
+        .map_err(|_| parse_err(sline_no, "bad row count"))?;
+    let cols: usize = dims[1]
+        .parse()
+        .map_err(|_| parse_err(sline_no, "bad col count"))?;
+    let nnz: usize = dims[2]
+        .parse()
+        .map_err(|_| parse_err(sline_no, "bad nnz count"))?;
+
+    let mut coo = Coo::new(rows, cols);
+    coo.entries.reserve(nnz);
+    let mut seen = 0usize;
+    for (n, l) in lines {
+        let l = l?;
+        let t = l.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let line_no = n + 1;
+        let mut it = t.split_whitespace();
+        let r: usize = it
+            .next()
+            .ok_or_else(|| parse_err(line_no, "missing row"))?
+            .parse()
+            .map_err(|_| parse_err(line_no, "bad row index"))?;
+        let c: usize = it
+            .next()
+            .ok_or_else(|| parse_err(line_no, "missing col"))?
+            .parse()
+            .map_err(|_| parse_err(line_no, "bad col index"))?;
+        if r == 0 || c == 0 || r > rows || c > cols {
+            return Err(parse_err(line_no, format!("coordinate ({r},{c}) out of range")));
+        }
+        let v: f64 = if field == "pattern" {
+            1.0
+        } else {
+            it.next()
+                .ok_or_else(|| parse_err(line_no, "missing value"))?
+                .parse()
+                .map_err(|_| parse_err(line_no, "bad value"))?
+        };
+        let (r, c) = (r - 1, c - 1);
+        coo.push(r, c, S::from_f64(v));
+        match symmetry {
+            Symmetry::General => {}
+            Symmetry::Symmetric if r != c => coo.push(c, r, S::from_f64(v)),
+            Symmetry::SkewSymmetric if r != c => coo.push(c, r, S::from_f64(-v)),
+            _ => {}
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(parse_err(0, format!("header declares {nnz} entries, found {seen}")));
+    }
+    Ok(coo)
+}
+
+/// Writes a [`Coo`] as a general real coordinate Matrix Market file.
+pub fn write_matrix_market<S: Scalar, W: Write>(coo: &Coo<S>, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(w, "% written by dasp-sparse")?;
+    writeln!(w, "{} {} {}", coo.rows, coo.cols, coo.entries.len())?;
+    for &(r, c, v) in &coo.entries {
+        writeln!(w, "{} {} {:e}", r + 1, c + 1, v.to_f64())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn read_str(s: &str) -> Result<Coo<f64>, MmError> {
+        read_matrix_market(std::io::BufReader::new(s.as_bytes()))
+    }
+
+    #[test]
+    fn reads_general_real() {
+        let src = "%%MatrixMarket matrix coordinate real general\n\
+                   % a comment\n\
+                   3 3 2\n\
+                   1 1 2.5\n\
+                   3 2 -1e2\n";
+        let m = read_str(src).unwrap();
+        assert_eq!((m.rows, m.cols), (3, 3));
+        assert_eq!(m.entries, vec![(0, 0, 2.5), (2, 1, -100.0)]);
+    }
+
+    #[test]
+    fn reads_symmetric_and_mirrors() {
+        let src = "%%MatrixMarket matrix coordinate real symmetric\n\
+                   2 2 2\n\
+                   1 1 1.0\n\
+                   2 1 5.0\n";
+        let mut m = read_str(src).unwrap();
+        m.sort_dedup();
+        assert_eq!(m.entries, vec![(0, 0, 1.0), (0, 1, 5.0), (1, 0, 5.0)]);
+    }
+
+    #[test]
+    fn reads_skew_symmetric_with_negation() {
+        let src = "%%MatrixMarket matrix coordinate real skew-symmetric\n\
+                   2 2 1\n\
+                   2 1 3.0\n";
+        let mut m = read_str(src).unwrap();
+        m.sort_dedup();
+        assert_eq!(m.entries, vec![(0, 1, -3.0), (1, 0, 3.0)]);
+    }
+
+    #[test]
+    fn reads_pattern_as_ones() {
+        let src = "%%MatrixMarket matrix coordinate pattern general\n\
+                   2 3 2\n\
+                   1 3\n\
+                   2 1\n";
+        let m = read_str(src).unwrap();
+        assert_eq!(m.entries, vec![(0, 2, 1.0), (1, 0, 1.0)]);
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(read_str("%%NotMM matrix\n1 1 0\n").is_err());
+        assert!(read_str("%%MatrixMarket matrix array real general\n1 1 0\n").is_err());
+    }
+
+    #[test]
+    fn rejects_out_of_range_coordinates() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(matches!(read_str(src), Err(MmError::Parse { .. })));
+    }
+
+    #[test]
+    fn rejects_wrong_entry_count() {
+        let src = "%%MatrixMarket matrix coordinate real general\n2 2 2\n1 1 1.0\n";
+        assert!(read_str(src).is_err());
+    }
+
+    #[test]
+    fn write_read_round_trip() {
+        let mut m = Coo::<f64>::new(4, 5);
+        m.push(0, 4, 1.25);
+        m.push(3, 0, -7.5);
+        m.push(2, 2, 0.001);
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back: Coo<f64> =
+            read_matrix_market(std::io::BufReader::new(buf.as_slice())).unwrap();
+        assert_eq!(back.rows, 4);
+        assert_eq!(back.cols, 5);
+        let mut a = m.clone();
+        a.sort_dedup();
+        let mut b = back.clone();
+        b.sort_dedup();
+        assert_eq!(a.entries, b.entries);
+    }
+
+    #[test]
+    fn header_is_case_insensitive() {
+        let src = "%%MatrixMarket MATRIX Coordinate Real GENERAL\n1 1 1\n1 1 9.0\n";
+        let m = read_str(src).unwrap();
+        assert_eq!(m.entries, vec![(0, 0, 9.0)]);
+    }
+}

@@ -1,0 +1,146 @@
+//! Row-distribution statistics.
+//!
+//! DASP's whole design is driven by the row-length distribution (paper
+//! §3.2 and Fig. 12); these helpers summarize it for reporting and for the
+//! generator tests.
+
+use dasp_fp16::Scalar;
+
+use crate::csr::Csr;
+
+/// Summary of a matrix's row-length distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RowStats {
+    /// Number of rows.
+    pub rows: usize,
+    /// Number of columns.
+    pub cols: usize,
+    /// Number of stored elements.
+    pub nnz: usize,
+    /// Rows with no stored element.
+    pub empty_rows: usize,
+    /// Shortest non-empty row (0 when all rows are empty).
+    pub min_len: usize,
+    /// Longest row.
+    pub max_len: usize,
+    /// Mean nonzeros per row.
+    pub mean_len: f64,
+    /// Standard deviation of row lengths.
+    pub std_len: f64,
+}
+
+impl RowStats {
+    /// Computes statistics for a CSR matrix.
+    pub fn of<S: Scalar>(m: &Csr<S>) -> Self {
+        let mut empty = 0usize;
+        let mut min_len = usize::MAX;
+        let mut max_len = 0usize;
+        let mut sum = 0f64;
+        let mut sumsq = 0f64;
+        for i in 0..m.rows {
+            let l = m.row_len(i);
+            if l == 0 {
+                empty += 1;
+            } else {
+                min_len = min_len.min(l);
+            }
+            max_len = max_len.max(l);
+            sum += l as f64;
+            sumsq += (l * l) as f64;
+        }
+        let n = m.rows.max(1) as f64;
+        let mean = sum / n;
+        let var = (sumsq / n - mean * mean).max(0.0);
+        RowStats {
+            rows: m.rows,
+            cols: m.cols,
+            nnz: m.nnz(),
+            empty_rows: empty,
+            min_len: if min_len == usize::MAX { 0 } else { min_len },
+            max_len,
+            mean_len: mean,
+            std_len: var.sqrt(),
+        }
+    }
+}
+
+/// Histogram of row lengths with power-of-two buckets: bucket `k` counts
+/// rows with length in `[2^k, 2^(k+1))`; bucket 0 additionally counts
+/// length-1 rows and `empty` tracks length-0 rows separately.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RowHistogram {
+    /// Count of empty rows.
+    pub empty: usize,
+    /// Power-of-two buckets.
+    pub buckets: Vec<usize>,
+}
+
+impl RowHistogram {
+    /// Builds the histogram for a CSR matrix.
+    pub fn of<S: Scalar>(m: &Csr<S>) -> Self {
+        let mut empty = 0usize;
+        let mut buckets: Vec<usize> = Vec::new();
+        for i in 0..m.rows {
+            let l = m.row_len(i);
+            if l == 0 {
+                empty += 1;
+                continue;
+            }
+            let b = usize::BITS as usize - 1 - l.leading_zeros() as usize;
+            if b >= buckets.len() {
+                buckets.resize(b + 1, 0);
+            }
+            buckets[b] += 1;
+        }
+        RowHistogram { empty, buckets }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coo::Coo;
+
+    fn sample() -> Csr<f64> {
+        // rows with lengths 0, 1, 2, 5
+        let mut m = Coo::new(4, 8);
+        m.push(1, 0, 1.0);
+        m.push(2, 1, 1.0);
+        m.push(2, 2, 1.0);
+        for c in 0..5 {
+            m.push(3, c, 1.0);
+        }
+        m.to_csr()
+    }
+
+    #[test]
+    fn row_stats_basics() {
+        let s = RowStats::of(&sample());
+        assert_eq!(s.rows, 4);
+        assert_eq!(s.nnz, 8);
+        assert_eq!(s.empty_rows, 1);
+        assert_eq!(s.min_len, 1);
+        assert_eq!(s.max_len, 5);
+        assert!((s.mean_len - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_buckets_by_power_of_two() {
+        let h = RowHistogram::of(&sample());
+        assert_eq!(h.empty, 1);
+        // len 1 -> bucket 0; len 2 -> bucket 1; len 5 -> bucket 2
+        assert_eq!(h.buckets, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn all_empty_matrix() {
+        let m = Csr::<f64>::empty(3, 3);
+        let s = RowStats::of(&m);
+        assert_eq!(s.empty_rows, 3);
+        assert_eq!(s.min_len, 0);
+        assert_eq!(s.max_len, 0);
+        let h = RowHistogram::of(&m);
+        assert_eq!(h.empty, 3);
+        assert!(h.buckets.is_empty());
+    }
+}

@@ -1,0 +1,129 @@
+//! Convenience matrix operations used by the solvers and examples.
+
+use dasp_fp16::Scalar;
+
+use crate::coo::Coo;
+use crate::csr::Csr;
+
+impl<S: Scalar> Csr<S> {
+    /// Builds a CSR matrix from a dense row-major table, skipping zeros.
+    pub fn from_dense(rows: &[Vec<f64>]) -> Csr<S> {
+        let nrows = rows.len();
+        let ncols = rows.first().map(|r| r.len()).unwrap_or(0);
+        let mut coo = Coo::new(nrows, ncols);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), ncols, "ragged dense input");
+            for (j, &v) in row.iter().enumerate() {
+                if v != 0.0 {
+                    coo.push(i, j, S::from_f64(v));
+                }
+            }
+        }
+        coo.to_csr()
+    }
+
+    /// The main diagonal as a dense vector (`min(rows, cols)` entries,
+    /// zero where no element is stored).
+    pub fn diag(&self) -> Vec<S> {
+        let n = self.rows.min(self.cols);
+        let mut d = vec![S::zero(); n];
+        for (i, di) in d.iter_mut().enumerate() {
+            for (c, v) in self.row(i) {
+                if c as usize == i {
+                    *di = v;
+                }
+            }
+        }
+        d
+    }
+
+    /// Whether the matrix equals its transpose (pattern and values).
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        self.transpose() == *self
+    }
+
+    /// The Frobenius norm, computed in `f64`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.vals
+            .iter()
+            .map(|v| {
+                let x = v.to_f64();
+                x * x
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Returns a copy with every stored value multiplied by `alpha`.
+    pub fn scaled(&self, alpha: f64) -> Csr<S> {
+        let mut out = self.clone();
+        for v in out.vals.iter_mut() {
+            *v = S::from_f64(v.to_f64() * alpha);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Csr<f64> {
+        Csr::from_dense(&[
+            vec![2.0, -1.0, 0.0],
+            vec![-1.0, 2.0, -1.0],
+            vec![0.0, -1.0, 2.0],
+        ])
+    }
+
+    #[test]
+    fn from_dense_skips_zeros() {
+        let m = sample();
+        assert_eq!(m.nnz(), 7);
+        m.validate().unwrap();
+        assert_eq!(m.to_dense()[0], vec![2.0, -1.0, 0.0]);
+    }
+
+    #[test]
+    fn diag_extracts_stored_diagonal() {
+        assert_eq!(sample().diag(), vec![2.0, 2.0, 2.0]);
+        // Missing diagonal entries read as zero.
+        let m = Csr::<f64>::from_dense(&[vec![0.0, 1.0], vec![3.0, 0.0]]);
+        assert_eq!(m.diag(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn symmetry_detection() {
+        assert!(sample().is_symmetric());
+        let asym = Csr::<f64>::from_dense(&[vec![1.0, 2.0], vec![0.0, 1.0]]);
+        assert!(!asym.is_symmetric());
+        let rect = Csr::<f64>::from_dense(&[vec![1.0, 0.0, 0.0]]);
+        assert!(!rect.is_symmetric());
+        // Symmetric pattern with asymmetric values is not symmetric.
+        let vals = Csr::<f64>::from_dense(&[vec![1.0, 5.0], vec![4.0, 1.0]]);
+        assert!(!vals.is_symmetric());
+    }
+
+    #[test]
+    fn frobenius_norm_matches_definition() {
+        let m = Csr::<f64>::from_dense(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert_eq!(m.frobenius_norm(), 5.0);
+    }
+
+    #[test]
+    fn scaled_multiplies_values_only() {
+        let m = sample().scaled(-2.0);
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.to_dense()[1], vec![2.0, -4.0, 2.0]);
+        // SpMV scales linearly.
+        let x = vec![1.0, 2.0, 3.0];
+        let y1 = sample().spmv_reference(&x);
+        let y2 = m.spmv_reference(&x);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert_eq!(*b, -2.0 * a);
+        }
+    }
+}

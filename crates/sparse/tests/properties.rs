@@ -1,0 +1,138 @@
+//! Property-based tests of the sparse-matrix substrate.
+
+#![allow(clippy::needless_range_loop)]
+
+use dasp_sparse::mm::{read_matrix_market, write_matrix_market};
+use dasp_sparse::{Bsr, Coo, Csc};
+use proptest::prelude::*;
+
+/// Arbitrary COO matrices: shape up to 40x40, unique coordinates.
+fn arb_coo() -> impl Strategy<Value = Coo<f64>> {
+    (1usize..40, 1usize..40).prop_flat_map(|(rows, cols)| {
+        let coord = (0..rows, 0..cols, -100i32..100);
+        proptest::collection::vec(coord, 0..120).prop_map(move |entries| {
+            let mut coo = Coo::new(rows, cols);
+            let mut seen = std::collections::HashSet::new();
+            for (r, c, v) in entries {
+                if v != 0 && seen.insert((r, c)) {
+                    coo.push(r, c, v as f64 * 0.125);
+                }
+            }
+            coo
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn coo_to_csr_is_valid_and_preserves_entries(coo in arb_coo()) {
+        let csr = coo.to_csr();
+        prop_assert!(csr.validate().is_ok());
+        prop_assert_eq!(csr.nnz(), coo.nnz());
+        // Every triplet shows up in its row.
+        for &(r, c, v) in &coo.entries {
+            let found = csr.row(r as usize).any(|(cc, vv)| cc == c && vv == v);
+            prop_assert!(found, "({r},{c}) missing");
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(coo in arb_coo()) {
+        let csr = coo.to_csr();
+        prop_assert_eq!(&csr.transpose().transpose(), &csr);
+    }
+
+    #[test]
+    fn transpose_swaps_spmv_sides(coo in arb_coo()) {
+        // y^T A = (A^T y)^T: compare x^T (A^T) against row sums.
+        let csr = coo.to_csr();
+        let t = csr.transpose();
+        let x: Vec<f64> = (0..csr.rows).map(|i| (i % 5) as f64 - 2.0).collect();
+        // A^T x  ==  x^T A (as column vector)
+        let atx = t.spmv_reference(&x);
+        let mut want = vec![0.0; csr.cols];
+        for r in 0..csr.rows {
+            for (c, v) in csr.row(r) {
+                want[c as usize] += v * x[r];
+            }
+        }
+        for (a, b) in atx.iter().zip(&want) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn csc_holds_the_same_entries(coo in arb_coo()) {
+        let csr = coo.to_csr();
+        let csc = Csc::from_csr(&csr);
+        prop_assert_eq!(csc.nnz(), csr.nnz());
+        // Rebuild COO from CSC and compare sorted triplets.
+        let mut back: Vec<(u32, u32, f64)> = Vec::new();
+        for j in 0..csc.cols {
+            for k in csc.col_ptr[j]..csc.col_ptr[j + 1] {
+                back.push((csc.row_idx[k], j as u32, csc.vals[k]));
+            }
+        }
+        back.sort_by_key(|&(r, c, _)| (r, c));
+        let mut fwd = coo.clone();
+        fwd.sort_dedup();
+        prop_assert_eq!(back, fwd.entries);
+    }
+
+    #[test]
+    fn bsr_spmv_matches_csr_for_all_block_sizes(coo in arb_coo(), bs in 1usize..6) {
+        let csr = coo.to_csr();
+        let bsr = Bsr::from_csr(&csr, bs);
+        let x: Vec<f64> = (0..csr.cols).map(|i| 0.5 - (i % 7) as f64 * 0.1).collect();
+        let a = bsr.spmv_reference(&x);
+        let b = csr.spmv_reference(&x);
+        for (u, v) in a.iter().zip(&b) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+        // Fill never loses nonzeros.
+        prop_assert!(bsr.num_blocks() * bs * bs >= csr.nnz());
+    }
+
+    #[test]
+    fn matrix_market_round_trip(coo in arb_coo()) {
+        let mut buf = Vec::new();
+        write_matrix_market(&coo, &mut buf).unwrap();
+        let back: Coo<f64> = read_matrix_market(std::io::BufReader::new(buf.as_slice())).unwrap();
+        let mut a = coo.clone();
+        a.sort_dedup();
+        let mut b = back;
+        b.sort_dedup();
+        prop_assert_eq!(a.entries, b.entries);
+    }
+
+    #[test]
+    fn sort_dedup_is_idempotent(coo in arb_coo()) {
+        let mut once = coo.clone();
+        once.sort_dedup();
+        let mut twice = once.clone();
+        twice.sort_dedup();
+        prop_assert_eq!(once.entries, twice.entries);
+    }
+
+    #[test]
+    fn duplicate_triplets_sum(r in 0usize..10, c in 0usize..10, a in -50i32..50, b in -50i32..50) {
+        let mut coo = Coo::<f64>::new(10, 10);
+        coo.push(r, c, a as f64);
+        coo.push(r, c, b as f64);
+        coo.sort_dedup();
+        prop_assert_eq!(coo.entries.len(), 1);
+        prop_assert_eq!(coo.entries[0].2, (a + b) as f64);
+    }
+
+    #[test]
+    fn spmv_reference_is_linear(coo in arb_coo(), alpha in -4i32..4) {
+        let csr = coo.to_csr();
+        let x: Vec<f64> = (0..csr.cols).map(|i| (i % 3) as f64).collect();
+        let ax: Vec<f64> = x.iter().map(|v| v * alpha as f64).collect();
+        let y1 = csr.spmv_reference(&ax);
+        let y2: Vec<f64> = csr.spmv_reference(&x).iter().map(|v| v * alpha as f64).collect();
+        for (u, v) in y1.iter().zip(&y2) {
+            prop_assert!((u - v).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Quickstart: build a sparse matrix, convert it to the DASP format, run
+//! SpMV on the simulated tensor cores, and inspect what happened.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use dasp_repro::dasp::DaspMatrix;
+use dasp_repro::matgen;
+use dasp_repro::perf::{a100, estimate, gflops, Precision};
+use dasp_repro::simt::CountingProbe;
+
+fn main() {
+    // 1. Get a sparse matrix. Generators stand in for SuiteSparse here;
+    //    `dasp_sparse::mm::read_matrix_market` loads real .mtx files.
+    let csr = matgen::banded(20_000, 40, 24, 7);
+    println!(
+        "matrix: {} x {}, {} nonzeros",
+        csr.rows,
+        csr.cols,
+        csr.nnz()
+    );
+
+    // 2. Convert to the DASP blocked format (the paper's preprocessing).
+    let dasp = DaspMatrix::from_csr(&csr);
+    let stats = dasp.category_stats();
+    println!(
+        "categories: {} long rows / {} medium / {} short / {} empty (fill rate {:.2}%)",
+        stats.rows_long,
+        stats.rows_medium,
+        stats.rows_short,
+        stats.rows_empty,
+        100.0 * stats.fill_rate()
+    );
+
+    // 3. Run y = A x on the simulated A100, collecting traffic counters.
+    let x = matgen::dense_vector(csr.cols, 42);
+    let mut probe = CountingProbe::a100();
+    let y = dasp.spmv(&x, &mut probe);
+
+    // 4. Verify against the exact CPU reference.
+    let want = csr.spmv_reference(&x);
+    let worst = y
+        .iter()
+        .zip(&want)
+        .map(|(&a, &b)| (a - b).abs() / b.abs().max(1.0))
+        .fold(0.0f64, f64::max);
+    println!("verified against CPU reference: max relative error {worst:.2e}");
+
+    // 5. Estimate GPU execution time with the roofline device model.
+    let dev = a100();
+    let est = estimate(&probe.stats(), &dev, Precision::Fp64);
+    let (r, c, m) = est.shares();
+    println!(
+        "estimated A100 time: {:.2} us  ({:.1} GFlops)",
+        est.seconds * 1e6,
+        gflops(csr.nnz(), est.seconds)
+    );
+    println!(
+        "time attribution: random access {:.1}%, compute {:.1}%, misc {:.1}%",
+        r * 100.0,
+        c * 100.0,
+        m * 100.0
+    );
+    let s = probe.stats();
+    println!(
+        "issued: {} tensor-core MMAs, {} scalar FMAs, {} shuffles over {} warps",
+        s.mma_ops, s.fma_ops, s.shfl_ops, s.warps
+    );
+}

@@ -1,0 +1,11 @@
+//! Umbrella crate re-exporting the DASP reproduction workspace for examples
+//! and integration tests at the repository root.
+
+pub use dasp_baselines as baselines;
+pub use dasp_core as dasp;
+pub use dasp_fp16 as fp16;
+pub use dasp_matgen as matgen;
+pub use dasp_perf as perf;
+pub use dasp_simt as simt;
+pub use dasp_solver as solver;
+pub use dasp_sparse as sparse;

@@ -1,0 +1,171 @@
+//! Smoke tests of the experiment claims themselves: the key *shape*
+//! properties the reproduction promises must hold on every run.
+
+use dasp_repro::matgen::{self, dense_vector};
+use dasp_repro::perf::{a100, measure, MethodKind};
+
+/// Fig. 1 shape: DASP's effective bandwidth beats CSR5 and the vendor CSR
+/// on a large bandwidth-bound matrix, and stays below the device peak.
+#[test]
+fn fig1_shape_dasp_bandwidth_leads() {
+    let dev = a100();
+    let csr = matgen::banded(40_000, 60, 40, 55);
+    let x = dense_vector(csr.cols, 1);
+    let dasp = measure(MethodKind::Dasp, &csr, &x, &dev);
+    let csr5 = measure(MethodKind::Csr5, &csr, &x, &dev);
+    let vendor = measure(MethodKind::VendorCsr, &csr, &x, &dev);
+    assert!(dasp.bandwidth_gbs > csr5.bandwidth_gbs);
+    assert!(dasp.bandwidth_gbs > vendor.bandwidth_gbs);
+    assert!(dasp.bandwidth_gbs < dev.mem_bw_gbs);
+}
+
+/// Fig. 2 shape: COMPUTE occupies a non-trivial share (>= 10%) of scalar
+/// CSR SpMV — the observation motivating DASP.
+#[test]
+fn fig2_shape_compute_share_is_substantial() {
+    let dev = a100();
+    let csr = matgen::banded(20_000, 40, 24, 56);
+    let x = dense_vector(csr.cols, 2);
+    let m = measure(MethodKind::CsrScalar, &csr, &x, &dev);
+    let (_, compute, _) = m.estimate.shares();
+    assert!(compute >= 0.10, "compute share {compute}");
+}
+
+/// Fig. 10 shape: on the matrix classes the paper highlights, DASP beats
+/// the vendor CSR path in FP64.
+#[test]
+fn fig10_shape_dasp_beats_vendor_on_highlight_classes() {
+    let dev = a100();
+    for (name, csr) in [
+        ("short-rows (mc2depi-like)", matgen::stencil2d(150, 150, 4, 57)),
+        ("medium-rows (cant-like)", matgen::banded(10_000, 70, 64, 58)),
+        ("long-rows (bibd-like)", matgen::rectangular_long(40, 20_000, 6000, 59)),
+    ] {
+        let x = dense_vector(csr.cols, 3);
+        let dasp = measure(MethodKind::Dasp, &csr, &x, &dev);
+        let vendor = measure(MethodKind::VendorCsr, &csr, &x, &dev);
+        assert!(
+            dasp.estimate.seconds < vendor.estimate.seconds,
+            "{name}: dasp {} vs vendor {}",
+            dasp.estimate.seconds,
+            vendor.estimate.seconds
+        );
+    }
+}
+
+/// §4.3 claim: on short-row-dominated matrices (the `mc2depi` analog),
+/// DASP "can completely outperform the comparison methods".
+#[test]
+fn mc2depi_analog_beats_every_paper_baseline() {
+    let dev = a100();
+    let rep = dasp_repro::matgen::representative();
+    let m = &rep.iter().find(|r| r.name == "mc2depi").unwrap().matrix;
+    let x = dense_vector(m.cols, 8);
+    let dasp = measure(MethodKind::Dasp, m, &x, &dev);
+    for method in [
+        MethodKind::Csr5,
+        MethodKind::TileSpmv,
+        MethodKind::LsrbCsr,
+        MethodKind::VendorBsr,
+        MethodKind::VendorCsr,
+    ] {
+        let other = measure(method, m, &x, &dev);
+        assert!(
+            dasp.estimate.seconds < other.estimate.seconds,
+            "dasp {} vs {} {}",
+            dasp.estimate.seconds,
+            method.name(),
+            other.estimate.seconds
+        );
+    }
+}
+
+/// §4.2 shape: BSR collapses on matrices without block structure (the
+/// paper's 283.92x headline against `lp_osa_60`, 66.89x on `dc2`).
+#[test]
+fn bsr_collapses_on_unstructured_matrices() {
+    let dev = a100();
+    let csr = matgen::uniform_random(8_000, 8_000, 4, 60);
+    let x = dense_vector(csr.cols, 4);
+    let dasp = measure(MethodKind::Dasp, &csr, &x, &dev);
+    let bsr = measure(MethodKind::VendorBsr, &csr, &x, &dev);
+    let speedup = bsr.estimate.seconds / dasp.estimate.seconds;
+    assert!(speedup > 2.0, "dasp over bsr only {speedup:.2}x");
+}
+
+/// §4.3 shape: category statistics of the analogs match what the paper
+/// reports for the originals.
+#[test]
+fn fig12_shape_category_profiles() {
+    use dasp_repro::dasp::DaspMatrix;
+    let reps = matgen::representative();
+    let stats = |name: &str| {
+        let r = reps.iter().find(|r| r.name == name).unwrap();
+        DaspMatrix::from_csr(&r.matrix).category_stats()
+    };
+    // "all rows of this matrix belong to the short rows category" (mc2depi)
+    let s = stats("mc2depi");
+    assert_eq!(s.rows_long + s.rows_medium + s.rows_empty, 0);
+    // "99843 medium rows and 21349 empty rows" (cop20k_A): medium + empty
+    let s = stats("cop20k_A");
+    assert_eq!(s.rows_long + s.rows_short, 0);
+    assert!(s.rows_empty > 0);
+    // long rows carry a large nonzero share in mip1 / Si41Ge41H72
+    for name in ["mip1", "Si41Ge41H72"] {
+        let s = stats(name);
+        assert!(
+            s.nnz_long as f64 > 0.2 * s.nnz as f64,
+            "{name} long-nnz share too small"
+        );
+    }
+}
+
+/// FP16 shape (Fig. 9): DASP is faster than the vendor CSR in half
+/// precision on both modeled devices.
+#[test]
+fn fig9_shape_fp16_speedup_on_both_devices() {
+    use dasp_repro::fp16::F16;
+    use dasp_repro::perf::h800;
+    use dasp_repro::sparse::Csr;
+    let csr = matgen::banded(15_000, 40, 24, 61);
+    let h: Csr<F16> = csr.cast();
+    let x: Vec<F16> = dense_vector(h.cols, 5)
+        .iter()
+        .map(|&v| F16::from_f64(v))
+        .collect();
+    for dev in [a100(), h800()] {
+        let dasp = measure(MethodKind::Dasp, &h, &x, &dev);
+        let vendor = measure(MethodKind::VendorCsr, &h, &x, &dev);
+        assert!(
+            dasp.estimate.seconds < vendor.estimate.seconds,
+            "{}: dasp {} vendor {}",
+            dev.name,
+            dasp.estimate.seconds,
+            vendor.estimate.seconds
+        );
+    }
+}
+
+/// Fig. 13 shape: DASP's preprocessing is cheaper than TileSpMV's on a
+/// mid-sized matrix (real wall-clock, so allow generous margin but demand
+/// the ordering).
+#[test]
+fn fig13_shape_preprocessing_ordering() {
+    use dasp_repro::baselines::TileSpmv;
+    use dasp_repro::dasp::DaspMatrix;
+    use std::time::Instant;
+    let csr = matgen::uniform_random(20_000, 20_000, 16, 62);
+    // Warm both paths once.
+    let _ = DaspMatrix::from_csr(&csr);
+    let _ = TileSpmv::new(&csr);
+    let t0 = Instant::now();
+    let _ = DaspMatrix::from_csr(&csr);
+    let dasp = t0.elapsed();
+    let t1 = Instant::now();
+    let _ = TileSpmv::new(&csr);
+    let tile = t1.elapsed();
+    assert!(
+        dasp < tile * 3,
+        "dasp prep {dasp:?} should not be far beyond tilespmv {tile:?}"
+    );
+}
