@@ -13,7 +13,6 @@ use dasp_sparse::{Bsr, Csr};
 
 use crate::WARPS_PER_BLOCK;
 
-
 /// BSR SpMV at a fixed block size.
 #[derive(Debug, Clone)]
 pub struct BsrSpmv<S: Scalar> {
@@ -33,7 +32,10 @@ impl<S: Scalar> BsrSpmv<S> {
     /// experiment driver picks whichever the cost model ranks fastest, as
     /// the paper does.
     pub fn best_of(csr: &Csr<S>) -> Vec<BsrSpmv<S>> {
-        [2usize, 4, 8].iter().map(|&bs| BsrSpmv::new(csr, bs)).collect()
+        [2usize, 4, 8]
+            .iter()
+            .map(|&bs| BsrSpmv::new(csr, bs))
+            .collect()
     }
 
     /// The wrapped BSR matrix.
@@ -59,7 +61,10 @@ impl<S: Scalar> BsrSpmv<S> {
         // library's dispatch overhead (see csr_vector.rs).
         probe.kernel_launch(0, 0);
         probe.kernel_launch(0, 0);
-        probe.kernel_launch(b.mb.div_ceil(WARPS_PER_BLOCK) as u64, WARPS_PER_BLOCK as u64);
+        probe.kernel_launch(
+            b.mb.div_ceil(WARPS_PER_BLOCK) as u64,
+            WARPS_PER_BLOCK as u64,
+        );
 
         let mut acc = vec![S::acc_zero(); bs];
         for bi in 0..b.mb {

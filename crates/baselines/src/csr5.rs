@@ -27,7 +27,6 @@ use dasp_sparse::Csr;
 
 use crate::{acc_spill, WARPS_PER_BLOCK};
 
-
 /// Default `sigma` (elements per lane per tile). The original autotunes per
 /// architecture; 16 is representative for modern NVIDIA parts.
 pub const DEFAULT_SIGMA: usize = 16;
@@ -174,13 +173,23 @@ impl<S: Scalar> Csr5<S> {
         let tile_nnz = WARP_SIZE * self.sigma;
         let words_per_tile = tile_nnz.div_ceil(64);
         let n_tiles = self.num_tiles();
-        probe.kernel_launch(n_tiles.div_ceil(WARPS_PER_BLOCK) as u64, WARPS_PER_BLOCK as u64);
+        probe.kernel_launch(
+            n_tiles.div_ceil(WARPS_PER_BLOCK) as u64,
+            WARPS_PER_BLOCK as u64,
+        );
 
         let full_tiles = self.nnz / tile_nnz;
         for t in 0..n_tiles {
+            probe.warp_begin(t);
             let base = t * tile_nnz;
             let end = (base + tile_nnz).min(self.nnz);
             let count = end - base;
+            // The trailing partial tile leaves whole lanes without
+            // elements.
+            if count < tile_nnz {
+                let live = count.div_ceil(self.sigma);
+                probe.divergence((WARP_SIZE - live) as u64);
+            }
             probe.load_meta(1, 4); // tile_first_row
             probe.load_meta(words_per_tile as u64, 8); // bit flags
             probe.load_val(count as u64, S::BYTES);
@@ -220,6 +229,7 @@ impl<S: Scalar> Csr5<S> {
             let row = segs[seg_idx] as usize;
             y[row] = acc_spill(y[row], acc);
             probe.store_y(1, S::BYTES);
+            probe.warp_end(t);
         }
         y
     }
@@ -312,7 +322,7 @@ mod tests {
         assert_eq!(Csr5::auto(&medium).sigma(), 16);
         let long = dasp_matgen::rectangular_long(8, 2000, 700, 3);
         assert_eq!(Csr5::auto(&long).sigma(), 32); // clamped down
-        // And all of them still compute correctly.
+                                                   // And all of them still compute correctly.
         for csr in [short, medium, long] {
             let x: Vec<f64> = (0..csr.cols).map(|i| (i % 5) as f64 * 0.2).collect();
             let y = Csr5::auto(&csr).spmv(&x, &mut NoProbe);

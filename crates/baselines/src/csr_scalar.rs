@@ -21,7 +21,6 @@ use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
 
-
 /// One-thread-per-row CSR SpMV. No preprocessing: the handle borrows
 /// nothing and converts nothing.
 #[derive(Debug, Clone)]
@@ -44,7 +43,10 @@ impl<S: Scalar> CsrScalar<S> {
             return y;
         }
         let n_warps = csr.rows.div_ceil(WARP_SIZE);
-        probe.kernel_launch(n_warps.div_ceil(WARPS_PER_BLOCK) as u64, WARPS_PER_BLOCK as u64);
+        probe.kernel_launch(
+            n_warps.div_ceil(WARPS_PER_BLOCK) as u64,
+            WARPS_PER_BLOCK as u64,
+        );
 
         for w in 0..n_warps {
             let lo_row = w * WARP_SIZE;

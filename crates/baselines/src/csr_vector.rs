@@ -16,7 +16,6 @@ use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
 
-
 /// Vectorized CSR SpMV with mean-length-adapted sub-warps.
 #[derive(Debug, Clone)]
 pub struct CsrVector<S: Scalar> {
@@ -62,9 +61,15 @@ impl<S: Scalar> CsrVector<S> {
         // launch-equivalents on top of the kernel itself.
         probe.kernel_launch(0, 0);
         probe.kernel_launch(0, 0);
-        probe.kernel_launch(n_warps.div_ceil(WARPS_PER_BLOCK) as u64, WARPS_PER_BLOCK as u64);
+        probe.kernel_launch(
+            n_warps.div_ceil(WARPS_PER_BLOCK) as u64,
+            WARPS_PER_BLOCK as u64,
+        );
 
         for i in 0..csr.rows {
+            if i % rows_per_warp == 0 {
+                probe.warp_begin(i / rows_per_warp);
+            }
             probe.load_meta(2, 4);
             let lo = csr.row_ptr[i];
             let hi = csr.row_ptr[i + 1];
@@ -80,10 +85,19 @@ impl<S: Scalar> CsrVector<S> {
             // Issued slots: the sub-warp rounds the row up to a multiple of
             // its width (idle lanes on the last pass).
             probe.fma((len.div_ceil(tpr) * tpr) as u64);
+            // Those same idle slots are predicated-off lanes — the
+            // row-length-skew divergence DASP's packing removes.
+            let pad = len.div_ceil(tpr) * tpr - len;
+            if pad > 0 {
+                probe.divergence(pad as u64);
+            }
             // Sub-warp tree reduction.
             probe.shfl(tpr.trailing_zeros() as u64);
             y[i] = S::from_acc(sum);
             probe.store_y(1, S::BYTES);
+            if (i + 1) % rows_per_warp == 0 || i + 1 == csr.rows {
+                probe.warp_end(i / rows_per_warp);
+            }
         }
         y
     }

@@ -18,7 +18,6 @@ use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
 
-
 /// A matrix in HYB (ELL + COO) form.
 #[derive(Debug, Clone)]
 pub struct Hyb<S: Scalar> {
@@ -111,7 +110,10 @@ impl<S: Scalar> Hyb<S> {
         }
         // ELL kernel.
         let n_warps = self.rows.div_ceil(WARP_SIZE);
-        probe.kernel_launch(n_warps.div_ceil(WARPS_PER_BLOCK) as u64, WARPS_PER_BLOCK as u64);
+        probe.kernel_launch(
+            n_warps.div_ceil(WARPS_PER_BLOCK) as u64,
+            WARPS_PER_BLOCK as u64,
+        );
         probe.load_val(self.ell_vals.len() as u64, S::BYTES);
         probe.load_idx(self.ell_cids.len() as u64, 4);
         probe.fma(self.ell_vals.len() as u64); // padded slots issue too
@@ -135,7 +137,10 @@ impl<S: Scalar> Hyb<S> {
         // COO tail kernel: element-per-thread with atomic adds.
         if !self.coo.is_empty() {
             let warps = self.coo.len().div_ceil(WARP_SIZE);
-            probe.kernel_launch(warps.div_ceil(WARPS_PER_BLOCK) as u64, WARPS_PER_BLOCK as u64);
+            probe.kernel_launch(
+                warps.div_ceil(WARPS_PER_BLOCK) as u64,
+                WARPS_PER_BLOCK as u64,
+            );
             for &(r, c, v) in &self.coo {
                 probe.load_val(1, S::BYTES);
                 probe.load_idx(2, 4); // row AND column index per element

@@ -27,7 +27,6 @@ use dasp_sparse::Csr;
 
 use crate::{acc_spill as spill, WARPS_PER_BLOCK};
 
-
 /// Nonzeros per segment (one warp each).
 pub const SEGMENT_NNZ: usize = 256;
 
@@ -72,15 +71,18 @@ impl<S: Scalar> LsrbCsr<S> {
         if n_segs == 0 {
             return y;
         }
-        probe.kernel_launch(n_segs.div_ceil(WARPS_PER_BLOCK) as u64, WARPS_PER_BLOCK as u64);
+        probe.kernel_launch(
+            n_segs.div_ceil(WARPS_PER_BLOCK) as u64,
+            WARPS_PER_BLOCK as u64,
+        );
 
         for s in 0..n_segs {
             let lo = s * SEGMENT_NNZ;
             let hi = (lo + SEGMENT_NNZ).min(csr.nnz());
             probe.load_meta(1, 4); // segment descriptor
-            // Balanced element processing: segments always issue a full
-            // warp-multiple of slots; each element costs an FMA plus two
-            // bookkeeping ops (row-boundary test, shared-memory staging).
+                                   // Balanced element processing: segments always issue a full
+                                   // warp-multiple of slots; each element costs an FMA plus two
+                                   // bookkeeping ops (row-boundary test, shared-memory staging).
             probe.fma((3 * (hi - lo).div_ceil(WARP_SIZE) * WARP_SIZE) as u64);
             // Shared-memory segmented reduction per 256-element segment.
             probe.shfl(48);

@@ -16,7 +16,6 @@ use dasp_sparse::Csr;
 
 use crate::{acc_spill as spill, WARPS_PER_BLOCK};
 
-
 /// Merge items (rows + nonzeros) per warp segment.
 pub const ITEMS_PER_SEGMENT: usize = 288; // 256 nnz-ish + row closures
 
@@ -68,7 +67,10 @@ impl<S: Scalar> MergeCsr<S> {
             return y;
         }
         let n_segs = self.num_segments();
-        probe.kernel_launch(n_segs.div_ceil(WARPS_PER_BLOCK) as u64, WARPS_PER_BLOCK as u64);
+        probe.kernel_launch(
+            n_segs.div_ceil(WARPS_PER_BLOCK) as u64,
+            WARPS_PER_BLOCK as u64,
+        );
 
         let total = csr.rows + csr.nnz();
         for seg in 0..n_segs {

@@ -65,6 +65,23 @@ impl<S: Scalar> Baseline<S> {
         }
     }
 
+    /// [`Baseline::spmv`] with a `spmv.kernel.<name>` span carrying the
+    /// probe counter delta for the run, mirroring the naming the DASP
+    /// kernels use so baseline and DASP traces line up in one timeline.
+    /// With a disabled tracer this is exactly `spmv`.
+    pub fn spmv_traced<P: Probe>(
+        &self,
+        x: &[S],
+        probe: &mut P,
+        tracer: &dasp_trace::Tracer,
+    ) -> Vec<S> {
+        let mut sp = tracer.span(&format!("spmv.kernel.{}", self.name()));
+        let before = probe.stats_snapshot();
+        let y = self.spmv(x, probe);
+        sp.set_stats(probe.stats_snapshot().delta(&before));
+        y
+    }
+
     /// Computes `y = A x` with the wrapped method.
     pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
         match self {
@@ -83,7 +100,13 @@ impl<S: Scalar> Baseline<S> {
 
 /// The method names the FP64 comparison sweeps (paper Fig. 10), in display
 /// order.
-pub const FP64_BASELINES: [&str; 5] = ["csr5", "tilespmv", "lsrb-csr", "cusparse-bsr", "cusparse-csr"];
+pub const FP64_BASELINES: [&str; 5] = [
+    "csr5",
+    "tilespmv",
+    "lsrb-csr",
+    "cusparse-bsr",
+    "cusparse-csr",
+];
 
 #[cfg(test)]
 mod tests {

@@ -17,7 +17,6 @@ use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
 
-
 /// Chunk height (rows per warp). Fixed at the warp width.
 pub const CHUNK: usize = WARP_SIZE;
 
@@ -129,7 +128,10 @@ impl<S: Scalar> SellCSigma<S> {
             return y;
         }
         let n_chunks = self.num_chunks();
-        probe.kernel_launch(n_chunks.div_ceil(WARPS_PER_BLOCK) as u64, WARPS_PER_BLOCK as u64);
+        probe.kernel_launch(
+            n_chunks.div_ceil(WARPS_PER_BLOCK) as u64,
+            WARPS_PER_BLOCK as u64,
+        );
 
         for ch in 0..n_chunks {
             probe.load_meta(2, 4); // chunk_ptr + width

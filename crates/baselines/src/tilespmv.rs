@@ -24,7 +24,6 @@ use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
 
-
 /// Tile edge length.
 pub const TILE_DIM: usize = 16;
 
@@ -198,10 +197,7 @@ mod tests {
     fn dense_blocks_choose_bitmap() {
         let csr = dasp_matgen::block_dense(64, 16, 1, 3);
         let m = TileSpmv::new(&csr);
-        assert!(m
-            .tiles
-            .iter()
-            .all(|t| t.format == TileFormat::DenseBitmap));
+        assert!(m.tiles.iter().all(|t| t.format == TileFormat::DenseBitmap));
         check(&csr);
     }
 
@@ -245,6 +241,11 @@ mod tests {
         let _ = m.spmv(&vec![1.0; 160], &mut probe);
         let s = probe.stats();
         // 10 elements of value traffic vs much larger metadata traffic.
-        assert!(s.bytes_meta > s.bytes_val, "meta {} val {}", s.bytes_meta, s.bytes_val);
+        assert!(
+            s.bytes_meta > s.bytes_val,
+            "meta {} val {}",
+            s.bytes_meta,
+            s.bytes_val
+        );
     }
 }

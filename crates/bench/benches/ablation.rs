@@ -79,32 +79,40 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("ablation_conversion");
     dasp_bench::configure(&mut g);
     for th in [0.5f64, 0.75, 1.0] {
-        g.bench_with_input(BenchmarkId::new("threshold", format!("{th}")), &th, |b, &th| {
-            b.iter(|| {
-                DaspMatrix::with_params(
-                    &csr,
-                    DaspParams {
-                        max_len: 256,
-                        threshold: th,
-                        short_piecing: true,
-                    },
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("threshold", format!("{th}")),
+            &th,
+            |b, &th| {
+                b.iter(|| {
+                    DaspMatrix::with_params(
+                        &csr,
+                        DaspParams {
+                            max_len: 256,
+                            threshold: th,
+                            short_piecing: true,
+                        },
+                    )
+                })
+            },
+        );
     }
     for ml in [64usize, 256, 1024] {
-        g.bench_with_input(BenchmarkId::new("max_len", format!("{ml}")), &ml, |b, &ml| {
-            b.iter(|| {
-                DaspMatrix::with_params(
-                    &skew,
-                    DaspParams {
-                        max_len: ml,
-                        threshold: 0.75,
-                        short_piecing: true,
-                    },
-                )
-            })
-        });
+        g.bench_with_input(
+            BenchmarkId::new("max_len", format!("{ml}")),
+            &ml,
+            |b, &ml| {
+                b.iter(|| {
+                    DaspMatrix::with_params(
+                        &skew,
+                        DaspParams {
+                            max_len: ml,
+                            threshold: 0.75,
+                            short_piecing: true,
+                        },
+                    )
+                })
+            },
+        );
     }
     g.finish();
 }

@@ -27,11 +27,9 @@ fn bench(c: &mut Criterion) {
             .map(|&v| F16::from_f64(v))
             .collect();
         for method in [MethodKind::Dasp, MethodKind::VendorCsr] {
-            g.bench_with_input(
-                BenchmarkId::new(method.name(), name),
-                &method,
-                |b, &m| b.iter(|| measure(m, &h, &x, &dev)),
-            );
+            g.bench_with_input(BenchmarkId::new(method.name(), name), &method, |b, &m| {
+                b.iter(|| measure(m, &h, &x, &dev))
+            });
         }
     }
     g.finish();

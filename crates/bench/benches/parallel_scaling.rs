@@ -11,7 +11,10 @@ use dasp_simt::NoProbe;
 fn bench(c: &mut Criterion) {
     let mats = [
         ("banded-1.6M", dasp_matgen::banded(40_000, 60, 40, 951)),
-        ("circuit-300k", dasp_matgen::circuit_like(90_000, 12, 8000, 952)),
+        (
+            "circuit-300k",
+            dasp_matgen::circuit_like(90_000, 12, 8000, 952),
+        ),
     ];
     let mut g = c.benchmark_group("spmv_host");
     dasp_bench::configure(&mut g);

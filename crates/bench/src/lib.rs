@@ -49,7 +49,13 @@ pub fn report_measurement(figure: &str, name: &str, method: MethodKind, csr: &Cs
 }
 
 /// FP16 variant of [`report_measurement`].
-pub fn report_measurement_fp16(figure: &str, name: &str, method: MethodKind, csr: &Csr<f64>, dev: &DeviceModel) {
+pub fn report_measurement_fp16(
+    figure: &str,
+    name: &str,
+    method: MethodKind,
+    csr: &Csr<f64>,
+    dev: &DeviceModel,
+) {
     let h: Csr<F16> = csr.cast();
     let x64 = dense_vector(h.cols, 42);
     let x: Vec<F16> = x64.iter().map(|&v| F16::from_f64(v)).collect();

@@ -3,21 +3,29 @@
 //! Usage:
 //!
 //! ```text
-//! dasp-experiments [--out DIR] [fig1|fig2|fig9|fig10|fig11|fig12|fig13|table1|table2|all]
+//! dasp-experiments [--out DIR] [--metrics-out DIR]
+//!                  [fig1|fig2|fig9|fig10|fig11|fig12|fig13|table1|table2|all]
 //! ```
 //!
 //! Each experiment prints a text summary and writes a CSV into the output
 //! directory (default `./results`).
+//!
+//! `--metrics-out DIR` additionally runs an instrumented sweep and writes
+//! `metrics.json` / `metrics.csv` (the metrics registry) and `trace.json`
+//! (Chrome Trace Event Format, opens in Perfetto) into `DIR`.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use dasp_cli::experiments::{ext_merge, fig01, fig02, fig09, fig10, fig11, fig12, fig13, table1, table2};
+use dasp_cli::experiments::{
+    ext_merge, fig01, fig02, fig09, fig10, fig11, fig12, fig13, metrics_dump, table1, table2,
+};
 use dasp_cli::output::{f2, f3, text_table, write_csv};
 use dasp_perf::MethodKind;
 
 fn main() -> ExitCode {
     let mut out_dir = PathBuf::from("results");
+    let mut metrics_out: Option<PathBuf> = None;
     let mut targets: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -29,9 +37,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--metrics-out" => match args.next() {
+                Some(d) => metrics_out = Some(PathBuf::from(d)),
+                None => {
+                    eprintln!("--metrics-out requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: dasp-experiments [--out DIR] \
+                    "usage: dasp-experiments [--out DIR] [--metrics-out DIR] \
                      [fig1|fig2|fig9|fig10|fig11|fig12|fig13|table1|table2|ext1|all]"
                 );
                 return ExitCode::SUCCESS;
@@ -85,8 +100,30 @@ fn main() -> ExitCode {
     if want("ext1") {
         run_ext_merge(&out_dir);
     }
+    if let Some(dir) = &metrics_out {
+        if let Err(e) = run_metrics_dump(dir) {
+            eprintln!("cannot write metrics to {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
     println!("\nCSV outputs in {}", out_dir.display());
     ExitCode::SUCCESS
+}
+
+fn run_metrics_dump(dir: &std::path::Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let d = metrics_dump::run();
+    std::fs::write(dir.join("metrics.json"), &d.metrics_json)?;
+    std::fs::write(dir.join("metrics.csv"), &d.metrics_csv)?;
+    std::fs::write(dir.join("trace.json"), &d.trace_json)?;
+    println!(
+        "== Metrics dump: {} matrices, {} spans, {} metrics -> {} ==",
+        d.matrices,
+        d.spans,
+        d.metrics,
+        dir.display()
+    );
+    Ok(())
 }
 
 fn run_ext_merge(out: &std::path::Path) {
@@ -116,7 +153,14 @@ fn run_ext_merge(out: &std::path::Path) {
     let _ = write_csv(
         out,
         "ext_related_work.csv",
-        &["matrix", "nnz", "dasp_gflops", "merge_gflops", "sell_gflops", "hyb_gflops"],
+        &[
+            "matrix",
+            "nnz",
+            "dasp_gflops",
+            "merge_gflops",
+            "sell_gflops",
+            "hyb_gflops",
+        ],
         &f.rows
             .iter()
             .map(|r| {
@@ -176,14 +220,30 @@ fn run_table2(out: &std::path::Path) {
     println!(
         "{}",
         text_table(
-            &["matrix", "paper size", "paper nnz", "analog size", "analog nnz", "mean len", "max len"],
+            &[
+                "matrix",
+                "paper size",
+                "paper nnz",
+                "analog size",
+                "analog nnz",
+                "mean len",
+                "max len"
+            ],
             &rows
         )
     );
     let _ = write_csv(
         out,
         "table2.csv",
-        &["matrix", "paper_rows", "paper_cols", "paper_nnz", "analog_rows", "analog_cols", "analog_nnz"],
+        &[
+            "matrix",
+            "paper_rows",
+            "paper_cols",
+            "paper_nnz",
+            "analog_rows",
+            "analog_cols",
+            "analog_nnz",
+        ],
         &t.rows
             .iter()
             .map(|r| {
@@ -375,7 +435,13 @@ fn run_fig11(out: &std::path::Path) {
     let _ = write_csv(out, "fig11a_fp64_representative.csv", &header, &rows);
 
     println!("== Figure 11b: FP16 GFlops, 21 representative matrices ==");
-    let header16 = ["matrix", "a100_dasp", "a100_cusparse", "h800_dasp", "h800_cusparse"];
+    let header16 = [
+        "matrix",
+        "a100_dasp",
+        "a100_cusparse",
+        "h800_dasp",
+        "h800_cusparse",
+    ];
     let rows16: Vec<Vec<String>> = f
         .fp16
         .iter()
@@ -397,8 +463,15 @@ fn run_fig12(out: &std::path::Path) {
     let f = fig12::run();
     println!("== Figure 12: category ratios, 21 representative matrices ==");
     let header = [
-        "matrix", "rows_long", "rows_med", "rows_short", "rows_empty", "nnz_long", "nnz_med",
-        "nnz_short", "fill_rate",
+        "matrix",
+        "rows_long",
+        "rows_med",
+        "rows_short",
+        "rows_empty",
+        "nnz_long",
+        "nnz_med",
+        "nnz_short",
+        "fill_rate",
     ];
     let rows: Vec<Vec<String>> = f
         .rows
@@ -427,7 +500,15 @@ fn run_fig13(out: &std::path::Path) {
     // Print a decile summary instead of every matrix.
     let n = f.rows.len();
     let pick: Vec<usize> = (0..10).map(|k| k * n.saturating_sub(1) / 9).collect();
-    let header = ["matrix", "nnz", "dasp_us", "csr5_us", "tilespmv_us", "bsr_us", "lsrb_us"];
+    let header = [
+        "matrix",
+        "nnz",
+        "dasp_us",
+        "csr5_us",
+        "tilespmv_us",
+        "bsr_us",
+        "lsrb_us",
+    ];
     let rows: Vec<Vec<String>> = pick
         .iter()
         .map(|&i| {

@@ -3,10 +3,15 @@
 //! ```text
 //! dasp-spmv MATRIX.mtx [--method dasp|csr5|tilespmv|lsrb-csr|cusparse-bsr|cusparse-csr|csr-scalar|merge-csr]
 //!           [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare]
+//!           [--trace OUT.json]
 //! ```
 //!
 //! `--compare` runs every method on the matrix and prints a ranking table
 //! instead of the single-method report.
+//!
+//! `--trace OUT.json` records preprocessing and kernel spans (with probe
+//! counter deltas) and writes them as Chrome Trace Event Format — open the
+//! file in Perfetto or `chrome://tracing`.
 //!
 //! Prints the estimated kernel time, GFlops, effective bandwidth and the
 //! traffic counters for the chosen method on the simulated device.
@@ -17,9 +22,10 @@ use std::process::ExitCode;
 
 use dasp_fp16::F16;
 use dasp_matgen::dense_vector;
-use dasp_perf::{a100, h800, measure, DeviceModel, MethodKind};
+use dasp_perf::{a100, h800, measure_traced, DeviceModel, MethodKind};
 use dasp_sparse::mm::read_matrix_market;
 use dasp_sparse::{Coo, Csr};
+use dasp_trace::{chrome_trace_json, Tracer};
 
 fn main() -> ExitCode {
     let mut path: Option<String> = None;
@@ -29,6 +35,7 @@ fn main() -> ExitCode {
     let mut fp32 = false;
     let mut verify = false;
     let mut compare = false;
+    let mut trace_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -51,9 +58,16 @@ fn main() -> ExitCode {
             "--fp32" => fp32 = true,
             "--verify" => verify = true,
             "--compare" => compare = true,
+            "--trace" => match args.next() {
+                Some(p) => trace_out = Some(p),
+                None => {
+                    eprintln!("--trace requires an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare]"
+                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--trace OUT.json]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -113,9 +127,17 @@ fn main() -> ExitCode {
         }
     );
 
+    // Disabled unless --trace was given; a disabled tracer makes every
+    // traced path identical to the plain one.
+    let tracer = if trace_out.is_some() {
+        Tracer::new()
+    } else {
+        Tracer::disabled()
+    };
+
     if compare {
         // Run the ranking at whichever precision the flags selected.
-        fn rank<S: dasp_fp16::Scalar>(csr: &Csr<S>, dev: &DeviceModel) {
+        fn rank<S: dasp_fp16::Scalar>(csr: &Csr<S>, dev: &DeviceModel, tracer: &Tracer) {
             let x: Vec<S> = dense_vector(csr.cols, 42)
                 .iter()
                 .map(|&v| S::from_f64(v))
@@ -123,12 +145,15 @@ fn main() -> ExitCode {
             let mut rows: Vec<(MethodKind, f64, f64)> = MethodKind::all()
                 .iter()
                 .map(|&mk| {
-                    let m = measure(mk, csr, &x, dev);
+                    let m = measure_traced(mk, csr, &x, dev, tracer);
                     (mk, m.estimate.seconds, m.gflops)
                 })
                 .collect();
             rows.sort_by(|a, b| a.1.total_cmp(&b.1));
-            println!("{:>13}  {:>12}  {:>9}  {:>8}", "method", "est. time us", "gflops", "vs best");
+            println!(
+                "{:>13}  {:>12}  {:>9}  {:>8}",
+                "method", "est. time us", "gflops", "vs best"
+            );
             let best = rows[0].1;
             for (mk, t, g) in &rows {
                 println!(
@@ -141,11 +166,17 @@ fn main() -> ExitCode {
             }
         }
         if fp16 {
-            rank::<F16>(&csr.cast(), &dev);
+            rank::<F16>(&csr.cast(), &dev, &tracer);
         } else if fp32 {
-            rank::<f32>(&csr.cast(), &dev);
+            rank::<f32>(&csr.cast(), &dev, &tracer);
         } else {
-            rank::<f64>(&csr, &dev);
+            rank::<f64>(&csr, &dev, &tracer);
+        }
+        if let Some(out) = &trace_out {
+            if let Err(e) = write_trace(out, &tracer) {
+                eprintln!("cannot write trace {out}: {e}");
+                return ExitCode::FAILURE;
+            }
         }
         return ExitCode::SUCCESS;
     }
@@ -161,7 +192,7 @@ fn main() -> ExitCode {
         } else {
             None
         };
-        (measure(method, &h, &x, &dev), want)
+        (measure_traced(method, &h, &x, &dev, &tracer), want)
     } else if fp32 {
         let h: Csr<f32> = csr.cast();
         let x64 = dense_vector(h.cols, 42);
@@ -173,11 +204,11 @@ fn main() -> ExitCode {
         } else {
             None
         };
-        (measure(method, &h, &x, &dev), want)
+        (measure_traced(method, &h, &x, &dev, &tracer), want)
     } else {
         let x = dense_vector(csr.cols, 42);
         let want = verify.then(|| csr.spmv_reference(&x));
-        (measure(method, &csr, &x, &dev), want)
+        (measure_traced(method, &csr, &x, &dev, &tracer), want)
     };
 
     if let Some(want) = want {
@@ -188,12 +219,11 @@ fn main() -> ExitCode {
         } else {
             1e-9
         };
-        let bad = m
-            .y
-            .iter()
-            .zip(&want)
-            .filter(|(&a, &b)| (a - b).abs() > rel * b.abs().max(1.0))
-            .count();
+        let bad =
+            m.y.iter()
+                .zip(&want)
+                .filter(|(&a, &b)| (a - b).abs() > rel * b.abs().max(1.0))
+                .count();
         if bad > 0 {
             eprintln!("VERIFY FAILED on {bad} rows");
             return ExitCode::FAILURE;
@@ -221,5 +251,19 @@ fn main() -> ExitCode {
         "instructions   : {} mma, {} fma, {} shfl, {} launches",
         s.mma_ops, s.fma_ops, s.shfl_ops, s.launches
     );
+    if let Some(out) = &trace_out {
+        if let Err(e) = write_trace(out, &tracer) {
+            eprintln!("cannot write trace {out}: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
     ExitCode::SUCCESS
+}
+
+/// Drains the tracer and writes its spans as Chrome Trace Event Format.
+fn write_trace(path: &str, tracer: &Tracer) -> std::io::Result<()> {
+    let trace = tracer.take_trace();
+    std::fs::write(path, chrome_trace_json(&trace))?;
+    println!("trace          : {} spans -> {path}", trace.spans.len());
+    Ok(())
 }

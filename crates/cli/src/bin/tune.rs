@@ -80,7 +80,9 @@ fn main() -> ExitCode {
             coo.to_csr()
         }
         None => {
-            println!("tuning a synthetic mixed-structure matrix (pass a .mtx path to tune your own)");
+            println!(
+                "tuning a synthetic mixed-structure matrix (pass a .mtx path to tune your own)"
+            );
             dasp_matgen::circuit_like(40_000, 6, 4000, 7)
         }
     };
@@ -107,7 +109,10 @@ fn main() -> ExitCode {
     }
     results.sort_by(|a, b| a.1.total_cmp(&b.1));
 
-    println!("{:>8} {:>10} {:>8} {:>12} {:>9}", "max_len", "threshold", "piecing", "est time us", "vs best");
+    println!(
+        "{:>8} {:>10} {:>8} {:>12} {:>9}",
+        "max_len", "threshold", "piecing", "est time us", "vs best"
+    );
     let best = results[0].1;
     for (p, t) in &results {
         println!(

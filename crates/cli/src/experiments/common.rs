@@ -1,6 +1,6 @@
 //! Shared plumbing for the experiment drivers.
 
-use dasp_fp16::{F16, Scalar};
+use dasp_fp16::{Scalar, F16};
 use dasp_matgen::{corpus_with, dense_vector, CorpusSpec, NamedMatrix};
 use dasp_perf::{measure, DeviceModel, Measurement, MethodKind};
 use dasp_sparse::Csr;

@@ -5,8 +5,8 @@
 //! being reproduced is that COMPUTE occupies a substantial share (~20%) —
 //! the observation motivating DASP.
 
-use dasp_perf::{a100, measure, MethodKind};
 use dasp_matgen::dense_vector;
+use dasp_perf::{a100, measure, MethodKind};
 
 use crate::experiments::common::full_corpus;
 

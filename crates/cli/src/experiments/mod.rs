@@ -10,5 +10,6 @@ pub mod fig10;
 pub mod fig11;
 pub mod fig12;
 pub mod fig13;
+pub mod metrics_dump;
 pub mod table1;
 pub mod table2;

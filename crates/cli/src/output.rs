@@ -35,7 +35,12 @@ pub fn text_table(header: &[&str], rows: &[Vec<String>]) -> String {
 }
 
 /// Writes a CSV file into `dir`, creating the directory if needed.
-pub fn write_csv(dir: &Path, name: &str, header: &[&str], rows: &[Vec<String>]) -> std::io::Result<()> {
+pub fn write_csv(
+    dir: &Path,
+    name: &str,
+    header: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
     fs::create_dir_all(dir)?;
     let csv = dasp_perf::report::to_csv(header, rows);
     fs::write(dir.join(name), csv)

@@ -4,7 +4,9 @@ use std::io::Write;
 use std::process::Command;
 
 fn bin(name: &str) -> Command {
-    Command::new(env!(concat!("CARGO_BIN_EXE_", "dasp-experiments")).replace("dasp-experiments", name))
+    Command::new(
+        env!(concat!("CARGO_BIN_EXE_", "dasp-experiments")).replace("dasp-experiments", name),
+    )
 }
 
 #[test]
@@ -71,7 +73,10 @@ fn spmv_binary_fp16_and_h800() {
 fn spmv_binary_rejects_bad_input() {
     let out = bin("dasp-spmv").arg("/nonexistent.mtx").output().unwrap();
     assert!(!out.status.success());
-    let out = bin("dasp-spmv").args(["--method", "bogus"]).output().unwrap();
+    let out = bin("dasp-spmv")
+        .args(["--method", "bogus"])
+        .output()
+        .unwrap();
     assert!(!out.status.success());
 }
 
@@ -106,12 +111,21 @@ fn tune_binary_sweeps_parameters() {
         writeln!(f, "{} {} 0.5", i + 1, (i + 7) % 64 + 1).unwrap();
     }
     drop(f);
-    let out = bin("dasp-tune").arg(path.to_str().unwrap()).output().unwrap();
+    let out = bin("dasp-tune")
+        .arg(path.to_str().unwrap())
+        .output()
+        .unwrap();
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(out.status.success(), "{stdout}");
     assert!(stdout.contains("paper defaults"), "{stdout}");
     // 5 max_len x 3 thresholds x 2 piecing = 30 rows + headers
-    assert!(stdout.lines().filter(|l| l.contains('x') && l.contains('.')).count() >= 30);
+    assert!(
+        stdout
+            .lines()
+            .filter(|l| l.contains('x') && l.contains('.'))
+            .count()
+            >= 30
+    );
 }
 
 #[test]

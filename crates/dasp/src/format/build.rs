@@ -2,40 +2,86 @@
 
 use dasp_fp16::Scalar;
 use dasp_sparse::Csr;
+use dasp_trace::Tracer;
 
 use crate::consts::DaspParams;
 use crate::format::{DaspMatrix, LongPart, MediumPart, ShortPart};
 
 /// Classifies rows and builds all three category parts.
 pub(crate) fn build<S: Scalar>(csr: &Csr<S>, params: DaspParams) -> DaspMatrix<S> {
-    assert!(params.max_len > 4, "MAX_LEN must exceed the short-row bound");
-    let mut long = LongPart::empty();
+    build_traced(csr, params, &Tracer::disabled())
+}
+
+/// [`build`] with each preprocessing phase wrapped in a span: a
+/// `preprocess` root with `preprocess.categorize`, `preprocess.sort`, and
+/// `preprocess.build.{long,medium,short}` children. With a disabled
+/// tracer the spans are inert and this *is* the plain build path.
+pub(crate) fn build_traced<S: Scalar>(
+    csr: &Csr<S>,
+    params: DaspParams,
+    tracer: &Tracer,
+) -> DaspMatrix<S> {
+    assert!(
+        params.max_len > 4,
+        "MAX_LEN must exceed the short-row bound"
+    );
+    let root = tracer.span("preprocess");
+
+    let mut long_rows: Vec<(u32, Vec<(u32, S)>)> = Vec::new();
     let mut medium_rows: Vec<(u32, Vec<(u32, S)>)> = Vec::new();
     let mut short_rows: Vec<(u32, Vec<(u32, S)>)> = Vec::new();
-
-    for i in 0..csr.rows {
-        let len = csr.row_len(i);
-        if len == 0 {
-            continue; // empty rows belong to no category
+    {
+        let mut sp = root.child("preprocess.categorize");
+        for i in 0..csr.rows {
+            let len = csr.row_len(i);
+            if len == 0 {
+                continue; // empty rows belong to no category
+            }
+            let elems: Vec<(u32, S)> = csr.row(i).collect();
+            if len > params.max_len {
+                long_rows.push((i as u32, elems));
+            } else if len > 4 {
+                medium_rows.push((i as u32, elems));
+            } else {
+                short_rows.push((i as u32, elems));
+            }
         }
-        let elems: Vec<(u32, S)> = csr.row(i).collect();
-        if len > params.max_len {
-            long.push_row(i as u32, &elems);
-        } else if len > 4 {
-            medium_rows.push((i as u32, elems));
-        } else {
-            short_rows.push((i as u32, elems));
-        }
+        sp.add_arg("rows_long", long_rows.len());
+        sp.add_arg("rows_medium", medium_rows.len());
+        sp.add_arg("rows_short", short_rows.len());
     }
 
-    // Stable descending sort by length (paper §3.2: "sorted in a stable
-    // descending order").
-    medium_rows.sort_by_key(|(_, e)| std::cmp::Reverse(e.len()));
-    let medium = MediumPart::build(&medium_rows, params.threshold);
-    let short = if params.short_piecing {
-        ShortPart::build(short_rows)
-    } else {
-        ShortPart::build_padded_only(short_rows)
+    {
+        // Stable descending sort by length (paper §3.2: "sorted in a
+        // stable descending order").
+        let _sp = root.child("preprocess.sort");
+        medium_rows.sort_by_key(|(_, e)| std::cmp::Reverse(e.len()));
+    }
+
+    let long = {
+        let mut sp = root.child("preprocess.build.long");
+        let mut long = LongPart::empty();
+        for (r, elems) in &long_rows {
+            long.push_row(*r, elems);
+        }
+        sp.add_arg("groups", long.num_groups());
+        long
+    };
+    let medium = {
+        let mut sp = root.child("preprocess.build.medium");
+        let medium = MediumPart::build(&medium_rows, params.threshold);
+        sp.add_arg("rowblocks", medium.num_rowblocks());
+        medium
+    };
+    let short = {
+        let mut sp = root.child("preprocess.build.short");
+        let short = if params.short_piecing {
+            ShortPart::build(short_rows)
+        } else {
+            ShortPart::build_padded_only(short_rows)
+        };
+        sp.add_arg("warps", short.n13_warps + short.n22_warps + short.n4_warps);
+        short
     };
 
     DaspMatrix {
@@ -88,7 +134,10 @@ mod tests {
         assert_eq!(s.rows_medium, 18);
         assert_eq!(s.rows_short, 20);
         assert_eq!(s.rows_empty, 1);
-        assert_eq!(s.rows_long + s.rows_medium + s.rows_short + s.rows_empty, 40);
+        assert_eq!(
+            s.rows_long + s.rows_medium + s.rows_short + s.rows_empty,
+            40
+        );
         assert_eq!(s.nnz_long + s.nnz_medium + s.nnz_short, m.nnz());
     }
 
@@ -106,7 +155,10 @@ mod tests {
             assert!(w[0] >= w[1]);
         }
         // Rows 3..20 all have length 6; stability keeps original order.
-        assert_eq!(&d.medium.rows[1..], (3u32..20).collect::<Vec<_>>().as_slice());
+        assert_eq!(
+            &d.medium.rows[1..],
+            (3u32..20).collect::<Vec<_>>().as_slice()
+        );
     }
 
     #[test]

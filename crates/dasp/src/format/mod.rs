@@ -21,10 +21,10 @@ mod short;
 mod validate;
 
 pub use long::LongPart;
-pub use serialize::SerError;
-pub use validate::FormatError;
 pub use medium::MediumPart;
+pub use serialize::SerError;
 pub use short::{ShortPart, NO_ROW};
+pub use validate::FormatError;
 
 use dasp_fp16::Scalar;
 use dasp_sparse::Csr;
@@ -60,6 +60,23 @@ impl<S: Scalar> DaspMatrix<S> {
     /// Converts a CSR matrix with explicit parameters.
     pub fn with_params(csr: &Csr<S>, params: DaspParams) -> Self {
         build::build(csr, params)
+    }
+
+    /// [`DaspMatrix::from_csr`] with each preprocessing phase recorded as
+    /// a span (`preprocess.categorize`, `preprocess.sort`,
+    /// `preprocess.build.{long,medium,short}`) under a `preprocess` root.
+    /// A disabled tracer makes this identical to `from_csr`.
+    pub fn from_csr_traced(csr: &Csr<S>, tracer: &dasp_trace::Tracer) -> Self {
+        build::build_traced(csr, DaspParams::default(), tracer)
+    }
+
+    /// [`DaspMatrix::with_params`] with preprocessing spans.
+    pub fn with_params_traced(
+        csr: &Csr<S>,
+        params: DaspParams,
+        tracer: &dasp_trace::Tracer,
+    ) -> Self {
+        build::build_traced(csr, params, tracer)
     }
 
     /// Category occupancy statistics (the data behind paper Fig. 12).

@@ -77,7 +77,9 @@ fn read_u64<R: Read>(r: &mut R) -> Result<u64, SerError> {
 fn read_len<R: Read>(r: &mut R, cap: u64) -> Result<usize, SerError> {
     let n = read_u64(r)?;
     if n > cap {
-        return Err(SerError::Malformed(format!("array length {n} exceeds sanity cap {cap}")));
+        return Err(SerError::Malformed(format!(
+            "array length {n} exceeds sanity cap {cap}"
+        )));
     }
     Ok(n as usize)
 }
@@ -367,7 +369,13 @@ mod tests {
         let mut buf = Vec::new();
         d.write_to(&mut buf).unwrap();
         let err = DaspMatrix::<F16>::read_from(&mut buf.as_slice()).unwrap_err();
-        assert!(matches!(err, SerError::WrongScalar { found: 8, expected: 2 }));
+        assert!(matches!(
+            err,
+            SerError::WrongScalar {
+                found: 8,
+                expected: 2
+            }
+        ));
     }
 
     #[test]

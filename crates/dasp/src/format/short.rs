@@ -118,7 +118,10 @@ impl<S: Scalar> ShortPart<S> {
             match row.1.len() {
                 1 if !piecing => {
                     let (id, e) = row;
-                    r4.push((id, vec![e[0], (0, S::zero()), (0, S::zero()), (0, S::zero())]));
+                    r4.push((
+                        id,
+                        vec![e[0], (0, S::zero()), (0, S::zero()), (0, S::zero())],
+                    ));
                 }
                 2 if !piecing => {
                     let (id, e) = row;
@@ -267,8 +270,8 @@ mod tests {
         // Pair 0 = rows (0, 1): packed row 0 = [a0 | b0 b1 b2]
         assert_eq!(p.vals[0], 1.0); // row 0's single element
         assert_eq!(p.vals[1], 11.0); // row 1's first element
-        // perm: warp 0, block 0, iteration 0 slot 0 -> row 0; iteration 1
-        // slot 0 -> row 1.
+                                     // perm: warp 0, block 0, iteration 0 slot 0 -> row 0; iteration 1
+                                     // slot 0 -> row 1.
         assert_eq!(p.perm13[0], 0);
         assert_eq!(p.perm13[MMA_M], 1);
         assert_eq!(p.perm13[1], 2);

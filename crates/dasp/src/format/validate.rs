@@ -64,11 +64,12 @@ impl<S: Scalar> DaspMatrix<S> {
         }
         for w in l.group_ptr.windows(2) {
             if w[0] >= w[1] {
-                return err("long: group_ptr not strictly increasing (every long row has >= 1 group)");
+                return err(
+                    "long: group_ptr not strictly increasing (every long row has >= 1 group)",
+                );
             }
         }
-        if l
-            .num_groups()
+        if l.num_groups()
             .checked_mul(GROUP_ELEMS)
             .is_none_or(|n| n != l.vals.len())
         {
@@ -194,7 +195,9 @@ impl<S: Scalar> DaspMatrix<S> {
         let mut mark = |r: u32| -> Result<(), FormatError> {
             let i = r as usize;
             if seen[i] {
-                return Err(FormatError(format!("row {i} assigned to two category slots")));
+                return Err(FormatError(format!(
+                    "row {i} assigned to two category slots"
+                )));
             }
             seen[i] = true;
             Ok(())
@@ -254,7 +257,9 @@ mod tests {
     #[test]
     fn builder_output_is_always_valid() {
         for seed in 0..12 {
-            random_format(seed).validate().unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            random_format(seed)
+                .validate()
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
         }
     }
 

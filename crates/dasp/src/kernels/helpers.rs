@@ -18,7 +18,11 @@ pub(crate) fn mma_idx() -> [usize; WARP_SIZE] {
 
 /// Loads each lane's column id from `cids[offset + idx[lane]]`.
 #[inline]
-pub(crate) fn load_idx_lane(cids: &[u32], offset: usize, idx: &[usize; WARP_SIZE]) -> [u32; WARP_SIZE] {
+pub(crate) fn load_idx_lane(
+    cids: &[u32],
+    offset: usize,
+    idx: &[usize; WARP_SIZE],
+) -> [u32; WARP_SIZE] {
     per_lane(|lane| cids[offset + idx[lane]])
 }
 

@@ -46,6 +46,7 @@ pub fn spmv_long_phase1_range<S: Scalar, P: Probe>(
     let mask = full_mask();
     let idx = mma_idx();
     for g in g_lo..g_hi.min(part.num_groups()) {
+        probe.warp_begin(g);
         let mut acc = acc_zero::<S>();
         let mut offset_a = g * GROUP_ELEMS;
         for _i in 0..2 {
@@ -81,6 +82,7 @@ pub fn spmv_long_phase1_range<S: Scalar, P: Probe>(
         probe.shfl(5);
         warp_val.write(g, y0[0]);
         probe.store_y(1, S::ACC_BYTES);
+        probe.warp_end(g);
     }
 }
 
@@ -96,11 +98,18 @@ pub fn spmv_long_phase2_range<S: Scalar, P: Probe>(
 ) {
     let mask = full_mask();
     for lr in r_lo..r_hi.min(part.rows.len()) {
+        probe.warp_begin(lr);
         let orig_row = part.rows[lr];
         let lo = part.group_ptr[lr];
         let hi = part.group_ptr[lr + 1];
         probe.load_meta(2, 4); // groupPtr (int32 on device)
         let row_warp_len = hi - lo;
+        // The strided read-back runs with a ragged tail: lanes past
+        // `row_warp_len % 32` sit idle on the last stride.
+        let tail = row_warp_len % WARP_SIZE;
+        if tail != 0 {
+            probe.divergence((WARP_SIZE - tail) as u64);
+        }
         let mut thread_val: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
         for (lane, tv) in thread_val.iter_mut().enumerate() {
             let mut i = lane;
@@ -114,6 +123,7 @@ pub fn spmv_long_phase2_range<S: Scalar, P: Probe>(
         probe.shfl(dasp_simt::shuffle::WARP_REDUCE_SHFLS);
         y.write(orig_row as usize, S::from_acc(reduced[0]));
         probe.store_y(1, S::BYTES);
+        probe.warp_end(lr);
     }
 }
 

@@ -50,6 +50,7 @@ pub fn spmv_medium_range<S: Scalar, P: Probe>(
     let idx = mma_idx();
 
     for wid in w_lo..w_hi.min(n_warps) {
+        probe.warp_begin(wid);
         let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
 
         // Regular part: LOOP_NUM row-blocks through the MMA unit.
@@ -79,7 +80,13 @@ pub fn spmv_medium_range<S: Scalar, P: Probe>(
         }
 
         // Irregular part + write-back: one lane per row (Algorithm 3,
-        // lines 20-26).
+        // lines 20-26). Lanes past the last row (or past LOOP_NUM*8 when
+        // LOOP_NUM < 4) are predicated off for this whole region.
+        let lane_cap = (ln * MMA_M).min(WARP_SIZE);
+        let rows_here = n_rows.saturating_sub(wid * ln * MMA_M).min(lane_cap);
+        if rows_here < WARP_SIZE {
+            probe.divergence((WARP_SIZE - rows_here) as u64);
+        }
         for lane in 0..(ln * MMA_M).min(WARP_SIZE) {
             let cur_row = wid * ln * MMA_M + lane;
             if cur_row >= n_rows {
@@ -97,6 +104,7 @@ pub fn spmv_medium_range<S: Scalar, P: Probe>(
             y.write(part.rows[cur_row] as usize, S::from_acc(v));
             probe.store_y(1, S::BYTES);
         }
+        probe.warp_end(wid);
     }
 }
 

@@ -23,16 +23,33 @@ pub fn spmv_short1_range<S: Scalar, P: Probe>(
     t_hi: usize,
     probe: &mut P,
 ) {
-    for t in t_lo..t_hi.min(part.n1) {
-        let e = part.off1 + t;
-        let c = part.cids[e] as usize;
-        let v = S::mul_to_acc(part.vals[e], x[c]);
-        probe.load_val(1, S::BYTES);
-        probe.load_idx(1, 4);
-        probe.load_x(c, S::BYTES);
-        probe.fma(1);
-        y.write(part.perm1[t] as usize, S::from_acc(v));
-        probe.store_y(1, S::BYTES);
+    const WARP: usize = 32;
+    let t_hi = t_hi.min(part.n1);
+    // Threads group into warps of 32 by global index, so the per-warp
+    // hooks see the same warp boundaries the launch accounting assumes.
+    let mut t = t_lo;
+    while t < t_hi {
+        let warp = t / WARP;
+        let warp_end = ((warp + 1) * WARP).min(t_hi);
+        probe.warp_begin(warp);
+        // The kernel's last warp runs with n1 % 32 live threads.
+        let live = (warp + 1) * WARP;
+        if live > part.n1 {
+            probe.divergence((live - part.n1) as u64);
+        }
+        while t < warp_end {
+            let e = part.off1 + t;
+            let c = part.cids[e] as usize;
+            let v = S::mul_to_acc(part.vals[e], x[c]);
+            probe.load_val(1, S::BYTES);
+            probe.load_idx(1, 4);
+            probe.load_x(c, S::BYTES);
+            probe.fma(1);
+            y.write(part.perm1[t] as usize, S::from_acc(v));
+            probe.store_y(1, S::BYTES);
+            t += 1;
+        }
+        probe.warp_end(warp);
     }
 }
 

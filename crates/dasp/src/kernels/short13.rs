@@ -34,6 +34,7 @@ pub fn spmv_short13_range<S: Scalar, P: Probe>(
     let idx = mma_idx();
 
     for w in w_lo..w_hi.min(part.n13_warps) {
+        probe.warp_begin(w);
         let warp_base = w * 2 * BLOCK_ELEMS; // two blocks per warp
         let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
         let mut frag_a: [S; WARP_SIZE] = [S::zero(); WARP_SIZE];
@@ -73,13 +74,22 @@ pub fn spmv_short13_range<S: Scalar, P: Probe>(
             extract_diagonals::<S, P>(&acc, i, &mut res, probe);
         }
 
+        // Padding slots have no output row: those lanes are predicated off
+        // during write-back.
+        let mut inactive = 0u64;
         for lane in 0..WARP_SIZE {
             let row = part.perm13[w * WARP_SIZE + lane];
             if row != NO_ROW {
                 y.write(row as usize, S::from_acc(res[lane]));
                 probe.store_y(1, S::BYTES);
+            } else {
+                inactive += 1;
             }
         }
+        if inactive > 0 {
+            probe.divergence(inactive);
+        }
+        probe.warp_end(w);
     }
 }
 
@@ -104,7 +114,11 @@ mod tests {
         for p in 0..n_pairs {
             coo.push(2 * p, (p * 3) % cols, (p + 1) as f64 * 0.5);
             for k in 0..3 {
-                coo.push(2 * p + 1, (p * 5 + k * 2 + 1) % cols, (p + k + 1) as f64 * 0.25);
+                coo.push(
+                    2 * p + 1,
+                    (p * 5 + k * 2 + 1) % cols,
+                    (p + k + 1) as f64 * 0.25,
+                );
             }
         }
         let csr = coo.to_csr();

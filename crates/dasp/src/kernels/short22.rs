@@ -31,6 +31,7 @@ pub fn spmv_short22_range<S: Scalar, P: Probe>(
     let idx = mma_idx();
 
     for w in w_lo..w_hi.min(part.n22_warps) {
+        probe.warp_begin(w);
         let warp_base = part.off22 + w * 2 * BLOCK_ELEMS;
         let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
         let mut frag_a: [S; WARP_SIZE] = [S::zero(); WARP_SIZE];
@@ -70,13 +71,22 @@ pub fn spmv_short22_range<S: Scalar, P: Probe>(
             extract_diagonals::<S, P>(&acc, i, &mut res, probe);
         }
 
+        // Padding slots have no output row: those lanes are predicated off
+        // during write-back.
+        let mut inactive = 0u64;
         for lane in 0..WARP_SIZE {
             let row = part.perm22[w * WARP_SIZE + lane];
             if row != NO_ROW {
                 y.write(row as usize, S::from_acc(res[lane]));
                 probe.store_y(1, S::BYTES);
+            } else {
+                inactive += 1;
             }
         }
+        if inactive > 0 {
+            probe.divergence(inactive);
+        }
+        probe.warp_end(w);
     }
 }
 

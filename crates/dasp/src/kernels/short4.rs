@@ -32,6 +32,7 @@ pub fn spmv_short4_range<S: Scalar, P: Probe>(
 ) {
     let idx = mma_idx();
     for w in w_lo..w_hi.min(part.n4_warps) {
+        probe.warp_begin(w);
         let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
         for i in 0..4usize {
             let offset = part.off4 + (w * 4 + i) * BLOCK_ELEMS;
@@ -48,13 +49,22 @@ pub fn spmv_short4_range<S: Scalar, P: Probe>(
             probe.mma();
             extract_diagonals::<S, P>(&acc, i, &mut res, probe);
         }
+        // Padding slots have no output row: those lanes are predicated off
+        // during write-back.
+        let mut inactive = 0u64;
         for lane in 0..WARP_SIZE {
             let row = part.perm4[w * WARP_SIZE + lane];
             if row != NO_ROW {
                 y.write(row as usize, S::from_acc(res[lane]));
                 probe.store_y(1, S::BYTES);
+            } else {
+                inactive += 1;
             }
         }
+        if inactive > 0 {
+            probe.divergence(inactive);
+        }
+        probe.warp_end(w);
     }
 }
 

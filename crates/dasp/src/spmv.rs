@@ -4,9 +4,12 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::Probe;
+use dasp_trace::Tracer;
 
 use crate::format::DaspMatrix;
-use crate::kernels::{spmv_long, spmv_medium, spmv_short1, spmv_short13, spmv_short22, spmv_short4};
+use crate::kernels::{
+    spmv_long, spmv_medium, spmv_short1, spmv_short13, spmv_short22, spmv_short4,
+};
 
 impl<S: Scalar> DaspMatrix<S> {
     /// Computes `y = A x` with the DASP kernels, threading `probe` through
@@ -25,8 +28,46 @@ impl<S: Scalar> DaspMatrix<S> {
     /// the solver-loop API. `y` is fully overwritten; rows with no
     /// nonzeros are set to zero.
     pub fn spmv_into<P: Probe>(&self, x: &[S], y: &mut [S], probe: &mut P) {
-        assert_eq!(x.len(), self.cols, "x length {} != cols {}", x.len(), self.cols);
-        assert_eq!(y.len(), self.rows, "y length {} != rows {}", y.len(), self.rows);
+        self.spmv_into_traced(x, y, probe, &Tracer::disabled());
+    }
+
+    /// [`DaspMatrix::spmv`] with spans: returns the result vector while
+    /// recording a `spmv` root span with one child per kernel.
+    pub fn spmv_traced<P: Probe>(&self, x: &[S], probe: &mut P, tracer: &Tracer) -> Vec<S> {
+        let mut y = vec![S::zero(); self.rows];
+        self.spmv_into_traced(x, &mut y, probe, tracer);
+        y
+    }
+
+    /// [`DaspMatrix::spmv_into`] with spans. Records a `spmv` root span
+    /// and a `spmv.kernel.{long,medium,short13,short4,short22,short1}`
+    /// child per kernel that runs; each span carries the [`Probe`] counter
+    /// delta for exactly its region (diffed from
+    /// [`dasp_simt::Probe::stats_snapshot`]), so the children's deltas sum
+    /// to the root's. The shared short-category launch accounting is
+    /// recorded inside the `short13` span. With a disabled tracer every
+    /// span is inert and this *is* the plain `spmv_into` path — the probe
+    /// call sequence (and thus `y` and all counters) is identical either
+    /// way.
+    pub fn spmv_into_traced<P: Probe>(&self, x: &[S], y: &mut [S], probe: &mut P, tracer: &Tracer) {
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "x length {} != cols {}",
+            x.len(),
+            self.cols
+        );
+        assert_eq!(
+            y.len(),
+            self.rows,
+            "y length {} != rows {}",
+            y.len(),
+            self.rows
+        );
+        let mut root = tracer.span("spmv");
+        root.add_arg("rows", self.rows);
+        root.add_arg("nnz", self.nnz);
+        let run_before = probe.stats_snapshot();
         y.fill(S::zero());
         if self.nnz == 0 {
             return;
@@ -34,33 +75,68 @@ impl<S: Scalar> DaspMatrix<S> {
         // Launch accounting lives here: the paper runs one kernel per row
         // *category* (plus the dependent long-rows reduction pass), so the
         // four short sub-kernels share a single launch.
-        use crate::consts::{WARP_SIZE_LAUNCH, WARPS_PER_BLOCK};
+        use crate::consts::{WARPS_PER_BLOCK, WARP_SIZE_LAUNCH};
         let wpb = WARPS_PER_BLOCK as u64;
         if self.long.num_groups() > 0 {
+            let mut sp = root.child("spmv.kernel.long");
+            sp.add_arg("groups", self.long.num_groups());
+            let before = probe.stats_snapshot();
             // Algorithm 2 is one kernel: the warpVal reduction runs after a
             // grid-wide sync rather than as a second launch.
             probe.kernel_launch(self.long.num_groups().div_ceil(WARPS_PER_BLOCK) as u64, wpb);
             spmv_long(&self.long, x, y, probe);
+            sp.set_stats(probe.stats_snapshot().delta(&before));
         }
         if !self.medium.rows.is_empty() {
+            let mut sp = root.child("spmv.kernel.medium");
+            sp.add_arg("rowblocks", self.medium.num_rowblocks());
+            let before = probe.stats_snapshot();
             let warps = self
                 .medium
                 .num_rowblocks()
                 .div_ceil(crate::consts::loop_num(self.medium.rows.len()));
             probe.kernel_launch(warps.div_ceil(WARPS_PER_BLOCK) as u64, wpb);
             spmv_medium(&self.medium, x, y, probe);
+            sp.set_stats(probe.stats_snapshot().delta(&before));
         }
         let short_warps = self.short.n13_warps
             + self.short.n4_warps
             + self.short.n22_warps
             + self.short.n1.div_ceil(WARP_SIZE_LAUNCH);
         if short_warps > 0 {
-            probe.kernel_launch(short_warps.div_ceil(WARPS_PER_BLOCK) as u64, wpb);
-            spmv_short13(&self.short, x, y, probe);
-            spmv_short4(&self.short, x, y, probe);
-            spmv_short22(&self.short, x, y, probe);
-            spmv_short1(&self.short, x, y, probe);
+            {
+                let mut sp = root.child("spmv.kernel.short13");
+                sp.add_arg("warps", self.short.n13_warps);
+                let before = probe.stats_snapshot();
+                // One launch covers all four short sub-kernels; its
+                // block/warp counts land in this span's delta.
+                probe.kernel_launch(short_warps.div_ceil(WARPS_PER_BLOCK) as u64, wpb);
+                spmv_short13(&self.short, x, y, probe);
+                sp.set_stats(probe.stats_snapshot().delta(&before));
+            }
+            {
+                let mut sp = root.child("spmv.kernel.short4");
+                sp.add_arg("warps", self.short.n4_warps);
+                let before = probe.stats_snapshot();
+                spmv_short4(&self.short, x, y, probe);
+                sp.set_stats(probe.stats_snapshot().delta(&before));
+            }
+            {
+                let mut sp = root.child("spmv.kernel.short22");
+                sp.add_arg("warps", self.short.n22_warps);
+                let before = probe.stats_snapshot();
+                spmv_short22(&self.short, x, y, probe);
+                sp.set_stats(probe.stats_snapshot().delta(&before));
+            }
+            {
+                let mut sp = root.child("spmv.kernel.short1");
+                sp.add_arg("rows", self.short.n1);
+                let before = probe.stats_snapshot();
+                spmv_short1(&self.short, x, y, probe);
+                sp.set_stats(probe.stats_snapshot().delta(&before));
+            }
         }
+        root.set_stats(probe.stats_snapshot().delta(&run_before));
     }
 
     /// Multi-threaded `y = A x` across CPU cores.
@@ -78,7 +154,13 @@ impl<S: Scalar> DaspMatrix<S> {
         };
         use dasp_simt::{for_each_warp_par, NoProbe, SharedSlice};
 
-        assert_eq!(x.len(), self.cols, "x length {} != cols {}", x.len(), self.cols);
+        assert_eq!(
+            x.len(),
+            self.cols,
+            "x length {} != cols {}",
+            x.len(),
+            self.cols
+        );
         let mut y = vec![S::zero(); self.rows];
         if self.nnz == 0 {
             return y;

@@ -60,7 +60,12 @@ fn rows_fall_into_the_figures_categories() {
     let mut med: Vec<u32> = d.medium.rows.clone();
     med.sort_unstable();
     assert_eq!(med, (2u32..10).collect::<Vec<_>>());
-    let lens: Vec<usize> = d.medium.rows.iter().map(|&r| csr.row_len(r as usize)).collect();
+    let lens: Vec<usize> = d
+        .medium
+        .rows
+        .iter()
+        .map(|&r| csr.row_len(r as usize))
+        .collect();
     assert!(lens.windows(2).all(|w| w[0] >= w[1]), "sorted descending");
 
     let s = d.category_stats();

@@ -106,13 +106,13 @@ mod tests {
             (-1.0, 0xbc00),
             (2.0, 0x4000),
             (0.5, 0x3800),
-            (65504.0, 0x7bff),           // largest finite f16
+            (65504.0, 0x7bff), // largest finite f16
             (-65504.0, 0xfbff),
             (f32::INFINITY, 0x7c00),
             (f32::NEG_INFINITY, 0xfc00),
-            (6.103_515_6e-5, 0x0400),    // smallest normal, 2^-14
-            (5.960_464_5e-8, 0x0001),    // smallest subnormal, 2^-24
-            (0.333_251_95, 0x3555),      // nearest f16 to 1/3
+            (6.103_515_6e-5, 0x0400), // smallest normal, 2^-14
+            (5.960_464_5e-8, 0x0001), // smallest subnormal, 2^-24
+            (0.333_251_95, 0x3555),   // nearest f16 to 1/3
         ];
         for &(f, bits) in cases {
             assert_eq!(f32_to_f16_bits(f), bits, "encoding {f}");

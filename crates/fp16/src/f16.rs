@@ -295,13 +295,16 @@ mod tests {
     fn arithmetic_rounds_like_hardware() {
         let a = F16::from_f32(1.0);
         let eps_half = F16::from_f32(4.8828125e-4); // 2^-11, half of F16 epsilon
-        // 1.0 + 2^-11 rounds back to 1.0 (tie to even).
+                                                    // 1.0 + 2^-11 rounds back to 1.0 (tie to even).
         assert_eq!(a + eps_half, a);
         // 1.0 + 2^-10 is exactly representable.
         let next = F16::from_bits(0x3c01);
         assert_eq!(a + F16::EPSILON, next);
         assert_eq!(F16::from_f32(3.0) * F16::from_f32(0.5), F16::from_f32(1.5));
-        assert_eq!(F16::from_f32(1.0) / F16::from_f32(3.0), F16::from_f32(1.0 / 3.0));
+        assert_eq!(
+            F16::from_f32(1.0) / F16::from_f32(3.0),
+            F16::from_f32(1.0 / 3.0)
+        );
     }
 
     #[test]
@@ -398,7 +401,10 @@ mod tests {
         }
         // -NaN sorts below everything.
         let neg_nan = F16::from_bits(0xfe00);
-        assert_eq!(neg_nan.total_cmp(&F16::NEG_INFINITY), core::cmp::Ordering::Less);
+        assert_eq!(
+            neg_nan.total_cmp(&F16::NEG_INFINITY),
+            core::cmp::Ordering::Less
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the binary16 implementation.
 
-use dasp_fp16::{f16_bits_to_f32, f32_to_f16_bits, F16, Scalar};
+use dasp_fp16::{f16_bits_to_f32, f32_to_f16_bits, Scalar, F16};
 use proptest::prelude::*;
 
 /// Brute-force "nearest f16" oracle: walk the candidate and its neighbours
@@ -94,7 +94,17 @@ proptest! {
 fn sampled_values_match_brute_force_oracle() {
     // The oracle is O(65536) per query, so sample a fixed grid instead of
     // using proptest for it.
-    let mut vals = vec![0.0f64, 1e-8, 5.96e-8, 1.0 / 3.0, 0.1, 1.5, 1000.25, 65504.0, 65520.0];
+    let mut vals = vec![
+        0.0f64,
+        1e-8,
+        5.96e-8,
+        1.0 / 3.0,
+        0.1,
+        1.5,
+        1000.25,
+        65504.0,
+        65520.0,
+    ];
     let mut v = 1e-7;
     while v < 7e4 {
         vals.push(v * 1.37);

@@ -129,7 +129,11 @@ pub fn corpus_with(spec: CorpusSpec) -> Vec<NamedMatrix> {
         }
 
         // All-long-rows rectangles (bibd / LP-like).
-        for &(r, c, l) in &[(40usize, 20_000usize, 6000usize), (120, 40_000, 8000), (600, 16_000, 2000)] {
+        for &(r, c, l) in &[
+            (40usize, 20_000usize, 6000usize),
+            (120, 40_000, 8000),
+            (600, 16_000, 2000),
+        ] {
             push(
                 format!("rect_r{r}_c{c}_l{l}_s{seed}"),
                 "rectangular",

@@ -315,7 +315,12 @@ mod tests {
         m.validate().unwrap();
         let s = RowStats::of(&m);
         // Power-law: the max row is far above the mean.
-        assert!(s.max_len as f64 > 4.0 * s.mean_len, "max {} mean {}", s.max_len, s.mean_len);
+        assert!(
+            s.max_len as f64 > 4.0 * s.mean_len,
+            "max {} mean {}",
+            s.max_len,
+            s.mean_len
+        );
         assert!(s.empty_rows > 0, "rmat should leave some vertices isolated");
     }
 
@@ -385,7 +390,10 @@ mod tests {
 /// Poisson discretization; 27-point produces the heavy ~27-nonzero rows of
 /// 3-D FEM matrices.
 pub fn stencil3d(nx: usize, ny: usize, nz: usize, points: usize, seed: u64) -> Csr<f64> {
-    assert!(points == 7 || points == 27, "stencil3d supports 7- or 27-point stencils");
+    assert!(
+        points == 7 || points == 27,
+        "stencil3d supports 7- or 27-point stencils"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let n = nx * ny * nz;
     let mut coo = Coo::new(n, n);
@@ -401,8 +409,7 @@ pub fn stencil3d(nx: usize, ny: usize, nz: usize, points: usize, seed: u64) -> C
                             if points == 7 && manhattan > 1 {
                                 continue;
                             }
-                            let (xx, yy, zz) =
-                                (x as i64 + dx, y as i64 + dy, z as i64 + dz);
+                            let (xx, yy, zz) = (x as i64 + dx, y as i64 + dy, z as i64 + dz);
                             if xx < 0
                                 || yy < 0
                                 || zz < 0
@@ -432,7 +439,7 @@ pub fn stencil3d(nx: usize, ny: usize, nz: usize, points: usize, seed: u64) -> C
 /// stochastic-like mask: an edge `(i, j)` of the power exists iff every
 /// base-2 digit pair of `(i, j)` is an edge of the seed.
 pub fn kronecker(seed_edges: &[(usize, usize)], k: u32, value_seed: u64) -> Csr<f64> {
-    assert!(k >= 1 && k <= 16, "kronecker power out of range");
+    assert!((1..=16).contains(&k), "kronecker power out of range");
     for &(r, c) in seed_edges {
         assert!(r < 2 && c < 2, "seed pattern must be 2x2");
     }

@@ -44,7 +44,7 @@ mod representative;
 
 pub use corpus::{corpus, corpus_with, CorpusSpec, NamedMatrix};
 pub use generators::{
-    banded, block_dense, circuit_like, dense_vector, diagonal_bands, kronecker,
-    rectangular_long, rmat, stencil2d, stencil3d, uniform_random, uniform_random_var,
+    banded, block_dense, circuit_like, dense_vector, diagonal_bands, kronecker, rectangular_long,
+    rmat, stencil2d, stencil3d, uniform_random, uniform_random_var,
 };
 pub use representative::{representative, representative_names, RepresentativeMatrix};

@@ -91,7 +91,12 @@ pub fn representative() -> Vec<RepresentativeMatrix> {
     };
     vec![
         // FEM / structural: banded medium rows (~53/row).
-        mk("pwtk", (217_918, 217_918), 11_524_432, banded(5000, 60, 52, 101)),
+        mk(
+            "pwtk",
+            (217_918, 217_918),
+            11_524_432,
+            banded(5000, 60, 52, 101),
+        ),
         // Circuit with a handful of enormous rows.
         mk(
             "FullChip",
@@ -113,7 +118,12 @@ pub fn representative() -> Vec<RepresentativeMatrix> {
             ),
         ),
         // 2-D epidemiology grid: pure short rows (4/row).
-        mk("mc2depi", (525_825, 525_825), 2_100_225, stencil2d(230, 230, 4, 104)),
+        mk(
+            "mc2depi",
+            (525_825, 525_825),
+            2_100_225,
+            stencil2d(230, 230, 4, 104),
+        ),
         // Web graph, power-law, mostly tiny rows.
         mk(
             "webbase-1M",
@@ -152,10 +162,20 @@ pub fn representative() -> Vec<RepresentativeMatrix> {
             ),
         ),
         // Web crawls: skewed power-law with locality.
-        mk("in-2004", (1_382_908, 1_382_908), 16_917_053, rmat(13, 12, 109)),
+        mk(
+            "in-2004",
+            (1_382_908, 1_382_908),
+            16_917_053,
+            rmat(13, 12, 109),
+        ),
         mk("eu-2005", (862_664, 862_664), 19_235_140, rmat(12, 22, 110)),
         // FEM ship section.
-        mk("shipsec1", (140_874, 140_874), 7_813_404, banded(4500, 60, 54, 111)),
+        mk(
+            "shipsec1",
+            (140_874, 140_874),
+            7_813_404,
+            banded(4500, 60, 54, 111),
+        ),
         // Economics: short scattered rows.
         mk(
             "mac_econ_fwd500",
@@ -164,13 +184,33 @@ pub fn representative() -> Vec<RepresentativeMatrix> {
             uniform_random_var(16_000, 16_000, 2, 10, 112),
         ),
         // Small circuit.
-        mk("scircuit", (170_998, 170_998), 958_936, circuit_like(14_000, 2, 300, 113)),
+        mk(
+            "scircuit",
+            (170_998, 170_998),
+            958_936,
+            circuit_like(14_000, 2, 300, 113),
+        ),
         // Protein: very heavy medium rows (~119/row).
-        mk("pdb1HYS", (36_417, 36_417), 4_344_765, banded(2400, 140, 118, 114)),
+        mk(
+            "pdb1HYS",
+            (36_417, 36_417),
+            4_344_765,
+            banded(2400, 140, 118, 114),
+        ),
         // FEM sphere (~72/row).
-        mk("consph", (83_334, 83_334), 6_010_480, banded(3600, 100, 72, 115)),
+        mk(
+            "consph",
+            (83_334, 83_334),
+            6_010_480,
+            banded(3600, 100, 72, 115),
+        ),
         // FEM cantilever (~64/row).
-        mk("cant", (62_451, 62_451), 4_007_383, banded(3400, 70, 64, 116)),
+        mk(
+            "cant",
+            (62_451, 62_451),
+            4_007_383,
+            banded(3400, 70, 64, 116),
+        ),
         // Accelerator cavity: medium rows plus many empty rows.
         mk(
             "cop20k_A",
@@ -179,9 +219,19 @@ pub fn representative() -> Vec<RepresentativeMatrix> {
             clear_rows(&banded(9000, 50, 26, 117), 6, 3),
         ),
         // Simulation netlist with a few dense rows, moderate size.
-        mk("dc2", (116_835, 116_835), 766_396, circuit_like(10_000, 6, 1800, 118)),
+        mk(
+            "dc2",
+            (116_835, 116_835),
+            766_396,
+            circuit_like(10_000, 6, 1800, 118),
+        ),
         // CFD (~49/row).
-        mk("rma10", (46_835, 46_835), 2_329_092, banded(3000, 55, 48, 119)),
+        mk(
+            "rma10",
+            (46_835, 46_835),
+            2_329_092,
+            banded(3000, 55, 48, 119),
+        ),
         // QCD lattice: perfectly uniform 39/row.
         mk(
             "conf5_4-8x8-10",
@@ -219,9 +269,21 @@ mod tests {
         let reps = representative();
         assert_eq!(reps.len(), 21);
         for r in &reps {
-            r.matrix.validate().unwrap_or_else(|e| panic!("{}: {e}", r.name));
-            assert!(r.matrix.nnz() > 10_000, "{} too small: {}", r.name, r.matrix.nnz());
-            assert!(r.matrix.nnz() < 800_000, "{} too large: {}", r.name, r.matrix.nnz());
+            r.matrix
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", r.name));
+            assert!(
+                r.matrix.nnz() > 10_000,
+                "{} too small: {}",
+                r.name,
+                r.matrix.nnz()
+            );
+            assert!(
+                r.matrix.nnz() < 800_000,
+                "{} too large: {}",
+                r.name,
+                r.matrix.nnz()
+            );
         }
     }
 

@@ -60,8 +60,7 @@ pub fn estimate(stats: &KernelStats, dev: &DeviceModel, precision: Precision) ->
     // sector (32 B) per request regardless of element width, so hits are
     // priced at sector granularity.
     const SECTOR_BYTES: f64 = 32.0;
-    let t_random =
-        stats.bytes_x_miss as f64 / bw + stats.x_hits as f64 * SECTOR_BYTES / l2_bw;
+    let t_random = stats.bytes_x_miss as f64 / bw + stats.x_hits as f64 * SECTOR_BYTES / l2_bw;
 
     // COMPUTE: tensor-core MMAs + CUDA-core FMAs + shuffles.
     let t_mma = stats.mma_ops as f64 * MMA_FLOPS / dev.tc_flops(precision);
@@ -105,6 +104,7 @@ mod tests {
             warps: 10_000,
             blocks: 2_500,
             launches: 1,
+            ..Default::default()
         }
     }
 

@@ -47,15 +47,37 @@ pub fn speedup_summary(pairs: &[(f64, f64)]) -> Option<SpeedupSummary> {
     })
 }
 
-/// Writes rows as a CSV string: a header line, then one line per row,
-/// fields escaped only when needed (the experiment outputs are plain
-/// identifiers and numbers).
+/// Quotes one CSV field per RFC 4180 when it needs it: fields containing
+/// commas, double quotes, or newlines are wrapped in quotes with inner
+/// quotes doubled; everything else passes through unchanged.
+fn csv_escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') || field.contains('\r') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// Writes rows as a CSV string: a header line, then one line per row.
+/// Fields are escaped per RFC 4180, so matrix names containing commas or
+/// quotes (SuiteSparse group/name strings do) survive a round trip.
 pub fn to_csv(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut out = String::new();
-    out.push_str(&header.join(","));
+    out.push_str(
+        &header
+            .iter()
+            .map(|h| csv_escape(h))
+            .collect::<Vec<_>>()
+            .join(","),
+    );
     out.push('\n');
     for row in rows {
-        out.push_str(&row.join(","));
+        out.push_str(
+            &row.iter()
+                .map(|f| csv_escape(f))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
         out.push('\n');
     }
     out
@@ -92,6 +114,23 @@ mod tests {
             &[vec!["a".into(), "1.5".into()], vec!["b".into(), "2".into()]],
         );
         assert_eq!(csv, "name,gflops\na,1.5\nb,2\n");
+    }
+
+    #[test]
+    fn csv_fields_with_commas_quotes_and_newlines_are_quoted() {
+        let csv = to_csv(
+            &["matrix", "note"],
+            &[
+                vec!["HB,bcsstk01".into(), "plain".into()],
+                vec!["say \"hi\"".into(), "two\nlines".into()],
+            ],
+        );
+        let mut lines = csv.split('\n');
+        assert_eq!(lines.next(), Some("matrix,note"));
+        assert_eq!(lines.next(), Some("\"HB,bcsstk01\",plain"));
+        // The quoted-newline row spans two physical lines.
+        assert_eq!(lines.next(), Some("\"say \"\"hi\"\"\",\"two"));
+        assert_eq!(lines.next(), Some("lines\""));
     }
 
     #[test]

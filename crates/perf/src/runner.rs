@@ -1,10 +1,11 @@
 //! One-stop measurement: run any method on a matrix and estimate its time.
 
-use dasp_baselines::BsrSpmv;
+use dasp_baselines::{Baseline, BsrSpmv};
 use dasp_core::DaspMatrix;
 use dasp_fp16::Scalar;
 use dasp_simt::{CountingProbe, KernelStats};
 use dasp_sparse::Csr;
+use dasp_trace::{Registry, Tracer};
 
 use crate::device::{DeviceModel, Precision};
 use crate::estimate::{estimate, Estimate};
@@ -138,7 +139,13 @@ fn package<S: Scalar>(
         stats,
         estimate: est,
         gflops: gflops(csr.nnz(), est.seconds),
-        bandwidth_gbs: effective_bandwidth_gbs(csr.rows, csr.cols, csr.nnz(), S::BYTES, est.seconds),
+        bandwidth_gbs: effective_bandwidth_gbs(
+            csr.rows,
+            csr.cols,
+            csr.nnz(),
+            S::BYTES,
+            est.seconds,
+        ),
         y: y.iter().map(|v| v.to_f64()).collect(),
     }
 }
@@ -180,6 +187,70 @@ pub fn measure<S: Scalar>(
         MethodKind::VendorBsr => unreachable!("handled above"),
     };
     package(method, csr, probe.stats(), y, dev)
+}
+
+/// [`measure`] with tracing: DASP runs record preprocessing and per-kernel
+/// spans, baselines record a `spmv.kernel.<name>` span. Counters and `y`
+/// are identical to the untraced path.
+pub fn measure_traced<S: Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    x: &[S],
+    dev: &DeviceModel,
+    tracer: &Tracer,
+) -> Measurement {
+    match method {
+        MethodKind::Dasp => {
+            let mut probe = CountingProbe::new(dev.l2_cache());
+            let d = DaspMatrix::from_csr_traced(csr, tracer);
+            let y = d.spmv_traced(x, &mut probe, tracer);
+            package(method, csr, probe.stats(), y, dev)
+        }
+        MethodKind::VendorBsr => {
+            // Best of block sizes 2/4/8; every candidate's run is its own
+            // span, so the trace shows the selection work too.
+            BsrSpmv::best_of(csr)
+                .into_iter()
+                .map(|h| {
+                    let mut p = CountingProbe::new(dev.l2_cache());
+                    let mut sp = tracer.span("spmv.kernel.cusparse-bsr");
+                    let y = h.spmv(x, &mut p);
+                    sp.set_stats(p.stats());
+                    package(method, csr, p.stats(), y, dev)
+                })
+                .min_by(|a, b| a.estimate.seconds.total_cmp(&b.estimate.seconds))
+                .expect("three candidates")
+        }
+        _ => {
+            let m = Baseline::build(method.name(), csr)
+                .expect("every non-DASP MethodKind maps to a Baseline");
+            let mut probe = CountingProbe::new(dev.l2_cache());
+            let y = m.spmv_traced(x, &mut probe, tracer);
+            package(method, csr, probe.stats(), y, dev)
+        }
+    }
+}
+
+/// Records one measurement's headline metrics into `registry` under
+/// `spmv.<method>.*`: the x-cache hit rate gauge the paper's RANDOM
+/// ACCESS analysis turns on, plus time, throughput, and DRAM traffic.
+pub fn record_measurement(m: &Measurement, registry: &Registry) {
+    let p = format!("spmv.{}", m.method.name());
+    let s = &m.stats;
+    let hit_rate = if s.x_requests == 0 {
+        0.0
+    } else {
+        s.x_hits as f64 / s.x_requests as f64
+    };
+    registry.gauge_set(&format!("{p}.x_hit_rate"), hit_rate);
+    registry.gauge_set(&format!("{p}.seconds"), m.estimate.seconds);
+    registry.gauge_set(&format!("{p}.gflops"), m.gflops);
+    registry.gauge_set(&format!("{p}.bandwidth_gbs"), m.bandwidth_gbs);
+    registry.counter_add(&format!("{p}.dram_bytes"), s.dram_bytes());
+    registry.counter_add(&format!("{p}.mma_ops"), s.mma_ops);
+    registry.counter_add(&format!("{p}.fma_ops"), s.fma_ops);
+    registry.counter_add(&format!("{p}.divergent_regions"), s.divergent_regions);
+    registry.counter_add(&format!("{p}.inactive_lanes"), s.inactive_lanes);
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@ fn arb_stats() -> impl Strategy<Value = KernelStats> {
                 warps: 1,
                 blocks: 1,
                 launches,
+                ..Default::default()
             },
         )
 }

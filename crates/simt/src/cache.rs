@@ -27,7 +27,10 @@ impl CacheModel {
     /// of `line_bytes` lines. Capacity is rounded down to a whole number of
     /// sets; a minimum of one set is kept.
     pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0);
         let sets = ((capacity_bytes / line_bytes) as usize / ways).max(1);
         CacheModel {

@@ -9,7 +9,7 @@
 //!   a single [`Probe`] through — the deterministic,
 //!   instrumented path used for the experiments.
 //! * [`for_each_warp_par`] fans warps out over CPU threads with
-//!   `crossbeam::scope`, for the fast uninstrumented path used by the
+//!   `std::thread::scope`, for the fast uninstrumented path used by the
 //!   examples (iterative solvers call SpMV thousands of times).
 //!
 //! [`SharedSlice`] is the disjoint-write escape hatch parallel warps use to
@@ -22,13 +22,20 @@ use crate::probe::Probe;
 /// Runs `f(warp_id, probe)` for every warp in `0..n_warps`, sequentially and
 /// in order. Deterministic: cache-model state inside the probe evolves in
 /// warp order.
+///
+/// Each warp's work is bracketed by [`Probe::warp_begin`] /
+/// [`Probe::warp_end`], so probes that track per-warp statistics (load
+/// imbalance, divergence) see warp boundaries without the kernels having
+/// to report them.
 pub fn for_each_warp<P, F>(n_warps: usize, probe: &mut P, mut f: F)
 where
     P: Probe,
     F: FnMut(usize, &mut P),
 {
     for w in 0..n_warps {
+        probe.warp_begin(w);
         f(w, probe);
+        probe.warp_end(w);
     }
 }
 
@@ -51,7 +58,7 @@ where
         return;
     }
     let chunk = n_warps.div_ceil(threads);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for t in 0..threads {
             let f = &f;
             let lo = t * chunk;
@@ -59,14 +66,13 @@ where
             if lo >= hi {
                 break;
             }
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for w in lo..hi {
                     f(w);
                 }
             });
         }
-    })
-    .expect("warp worker panicked");
+    });
 }
 
 /// A `Sync` view of a mutable slice that permits scattered writes from
@@ -123,7 +129,11 @@ impl<'a, T> SharedSlice<'a, T> {
     /// index is written twice (a violation of the disjointness contract).
     #[inline]
     pub fn write(&self, index: usize, value: T) {
-        assert!(index < self.len, "SharedSlice write out of bounds: {index} >= {}", self.len);
+        assert!(
+            index < self.len,
+            "SharedSlice write out of bounds: {index} >= {}",
+            self.len
+        );
         #[cfg(debug_assertions)]
         {
             use std::sync::atomic::Ordering;

@@ -127,7 +127,9 @@ mod tests {
     fn arbitrary_a(seed: u64) -> [[f64; MMA_K]; MMA_M] {
         let mut s = seed;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as i32 % 17) as f64 * 0.25
         };
         core::array::from_fn(|_| core::array::from_fn(|_| next()))
@@ -136,7 +138,9 @@ mod tests {
     fn arbitrary_b(seed: u64) -> [[f64; MMA_N]; MMA_K] {
         let mut s = seed ^ 0xdead_beef;
         let mut next = || {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((s >> 33) as i32 % 13) as f64 * 0.5
         };
         core::array::from_fn(|_| core::array::from_fn(|_| next()))

@@ -48,6 +48,11 @@ pub struct KernelStats {
     pub blocks: u64,
     /// Kernel launches.
     pub launches: u64,
+    /// Warp-level regions executed with fewer than 32 active lanes.
+    pub divergent_regions: u64,
+    /// Total predicated-off lanes across divergent regions (idle-lane
+    /// "cycles": the per-warp load-imbalance signal of Fig. 2's MISC).
+    pub inactive_lanes: u64,
 }
 
 impl KernelStats {
@@ -72,6 +77,36 @@ impl KernelStats {
         self.warps += other.warps;
         self.blocks += other.blocks;
         self.launches += other.launches;
+        self.divergent_regions += other.divergent_regions;
+        self.inactive_lanes += other.inactive_lanes;
+    }
+
+    /// Field-wise difference `self - earlier`: the traffic recorded between
+    /// two [`Probe::stats_snapshot`] calls. Used by `dasp-trace` spans to
+    /// attribute a run's flat totals to individual kernels and phases.
+    /// Saturating, so a reset probe between snapshots yields zeros rather
+    /// than wrapping.
+    pub fn delta(&self, earlier: &KernelStats) -> KernelStats {
+        KernelStats {
+            bytes_val: self.bytes_val.saturating_sub(earlier.bytes_val),
+            bytes_idx: self.bytes_idx.saturating_sub(earlier.bytes_idx),
+            bytes_meta: self.bytes_meta.saturating_sub(earlier.bytes_meta),
+            bytes_y: self.bytes_y.saturating_sub(earlier.bytes_y),
+            x_requests: self.x_requests.saturating_sub(earlier.x_requests),
+            x_hits: self.x_hits.saturating_sub(earlier.x_hits),
+            x_misses: self.x_misses.saturating_sub(earlier.x_misses),
+            bytes_x_miss: self.bytes_x_miss.saturating_sub(earlier.bytes_x_miss),
+            mma_ops: self.mma_ops.saturating_sub(earlier.mma_ops),
+            fma_ops: self.fma_ops.saturating_sub(earlier.fma_ops),
+            shfl_ops: self.shfl_ops.saturating_sub(earlier.shfl_ops),
+            warps: self.warps.saturating_sub(earlier.warps),
+            blocks: self.blocks.saturating_sub(earlier.blocks),
+            launches: self.launches.saturating_sub(earlier.launches),
+            divergent_regions: self
+                .divergent_regions
+                .saturating_sub(earlier.divergent_regions),
+            inactive_lanes: self.inactive_lanes.saturating_sub(earlier.inactive_lanes),
+        }
     }
 }
 
@@ -123,6 +158,34 @@ pub trait Probe {
     fn fma(&mut self, n: u64);
     /// Records `n` warp shuffle issues.
     fn shfl(&mut self, n: u64);
+
+    // --- Observability hooks (default no-ops, so existing probes and the
+    // --- zero-cost path are unaffected) ---------------------------------
+
+    /// Marks the start of one warp's work. Kernels call this once per
+    /// simulated warp so per-warp profilers (load imbalance, divergence
+    /// attribution) can see warp boundaries.
+    #[inline(always)]
+    fn warp_begin(&mut self, _warp_id: usize) {}
+
+    /// Marks the end of the warp opened by the matching
+    /// [`Probe::warp_begin`].
+    #[inline(always)]
+    fn warp_end(&mut self, _warp_id: usize) {}
+
+    /// Records a warp-level region executed with `inactive` of the 32
+    /// lanes predicated off (branch divergence / ragged tails).
+    #[inline(always)]
+    fn divergence(&mut self, _inactive: u64) {}
+
+    /// Returns the counters accumulated so far, if this probe counts.
+    /// Span-based tracing diffs two snapshots to attribute traffic to a
+    /// kernel or phase; the default (for non-counting probes) is all-zero,
+    /// which yields empty deltas.
+    #[inline(always)]
+    fn stats_snapshot(&self) -> KernelStats {
+        KernelStats::default()
+    }
 }
 
 /// The zero-cost probe: every method is an empty inline body.
@@ -225,6 +288,15 @@ impl Probe for CountingProbe {
     }
     fn shfl(&mut self, n: u64) {
         self.stats.shfl_ops += n;
+    }
+    fn divergence(&mut self, inactive: u64) {
+        if inactive > 0 {
+            self.stats.divergent_regions += 1;
+            self.stats.inactive_lanes += inactive;
+        }
+    }
+    fn stats_snapshot(&self) -> KernelStats {
+        self.stats
     }
 }
 

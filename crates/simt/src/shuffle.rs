@@ -169,7 +169,11 @@ mod tests {
         let v = per_lane(|l| l as i64);
         let out = shfl_down_sync(full_mask(), v, 9);
         for lane in 0..WARP_SIZE {
-            let expect = if lane + 9 < WARP_SIZE { (lane + 9) as i64 } else { lane as i64 };
+            let expect = if lane + 9 < WARP_SIZE {
+                (lane + 9) as i64
+            } else {
+                lane as i64
+            };
             assert_eq!(out[lane], expect, "lane {lane}");
         }
     }
@@ -179,7 +183,11 @@ mod tests {
         let v = per_lane(|l| l as i64);
         let out = shfl_up_sync(full_mask(), v, 4);
         for lane in 0..WARP_SIZE {
-            let expect = if lane >= 4 { (lane - 4) as i64 } else { lane as i64 };
+            let expect = if lane >= 4 {
+                (lane - 4) as i64
+            } else {
+                lane as i64
+            };
             assert_eq!(out[lane], expect, "lane {lane}");
         }
     }
@@ -303,11 +311,7 @@ mod var_tests {
         let target: [i32; WARP_SIZE] =
             core::array::from_fn(|l| ((l as i32 - (i as i32) * 8) >> 1) * 9);
         let t0 = shfl_sync_var(full_mask(), y0, &target);
-        let t1 = shfl_sync_var(
-            full_mask(),
-            y1,
-            &core::array::from_fn(|l| target[l] + 4),
-        );
+        let t1 = shfl_sync_var(full_mask(), y1, &core::array::from_fn(|l| target[l] + 4));
         for lane in 0..8 {
             let res = if lane & 1 == 0 { t0[lane] } else { t1[lane] };
             assert_eq!(res, lane as f64, "lane {lane}");

@@ -36,7 +36,10 @@ pub fn bicgstab<Op: LinearOperator>(
         )));
     }
     if b.len() != n {
-        return Err(SolveError::Shape(format!("b has length {}, operator has {n} rows", b.len())));
+        return Err(SolveError::Shape(format!(
+            "b has length {}, operator has {n} rows",
+            b.len()
+        )));
     }
     let b_norm = norm(b);
     if b_norm == 0.0 {
@@ -195,7 +198,15 @@ mod tests {
     #[test]
     fn iteration_cap_is_enforced() {
         let csr = convection_diffusion(500, 0.9);
-        let err = bicgstab(&csr, &vec![1.0; 500], BiCgOptions { tol: 1e-15, max_iters: 2 }).unwrap_err();
+        let err = bicgstab(
+            &csr,
+            &vec![1.0; 500],
+            BiCgOptions {
+                tol: 1e-15,
+                max_iters: 2,
+            },
+        )
+        .unwrap_err();
         assert!(matches!(err, SolveError::MaxIterations { .. }));
     }
 }

@@ -44,10 +44,17 @@ fn cg_impl<Op: LinearOperator>(
 ) -> Result<Solution, SolveError> {
     let n = a.rows();
     if a.cols() != n {
-        return Err(SolveError::Shape(format!("CG needs a square operator, got {}x{}", n, a.cols())));
+        return Err(SolveError::Shape(format!(
+            "CG needs a square operator, got {}x{}",
+            n,
+            a.cols()
+        )));
     }
     if b.len() != n {
-        return Err(SolveError::Shape(format!("b has length {}, operator has {n} rows", b.len())));
+        return Err(SolveError::Shape(format!(
+            "b has length {}, operator has {n} rows",
+            b.len()
+        )));
     }
     let b_norm = norm(b);
     if b_norm == 0.0 {
@@ -173,9 +180,26 @@ mod tests {
         }
         let csr = a.to_csr();
         let b = vec![1.0; n];
-        let plain = cg(&csr, &b, CgOptions { tol: 1e-10, max_iters: 5000 }).unwrap();
+        let plain = cg(
+            &csr,
+            &b,
+            CgOptions {
+                tol: 1e-10,
+                max_iters: 5000,
+            },
+        )
+        .unwrap();
         let pre = JacobiPreconditioner::from_csr(&csr);
-        let precond = cg_preconditioned(&csr, &b, &pre, CgOptions { tol: 1e-10, max_iters: 5000 }).unwrap();
+        let precond = cg_preconditioned(
+            &csr,
+            &b,
+            &pre,
+            CgOptions {
+                tol: 1e-10,
+                max_iters: 5000,
+            },
+        )
+        .unwrap();
         assert!(
             precond.iterations < plain.iterations,
             "jacobi {} vs plain {}",
@@ -205,7 +229,15 @@ mod tests {
     fn iteration_cap_reports_partial_solution() {
         let csr = laplacian1d(400);
         let b = vec![1.0; 400];
-        let err = cg(&csr, &b, CgOptions { tol: 1e-14, max_iters: 3 }).unwrap_err();
+        let err = cg(
+            &csr,
+            &b,
+            CgOptions {
+                tol: 1e-14,
+                max_iters: 3,
+            },
+        )
+        .unwrap_err();
         match err {
             SolveError::MaxIterations { x, rel_residual } => {
                 assert_eq!(x.len(), 400);

@@ -12,6 +12,9 @@
 //!   systems, optionally Jacobi preconditioned.
 //! * [`bicgstab`] — BiCGSTAB for general nonsymmetric systems.
 //! * [`power_iteration`] — power iteration for the dominant eigenpair.
+//! * [`cg_metered`] / [`bicgstab_metered`] — the same solvers with
+//!   per-iteration residual and SpMV-time metrics recorded into a
+//!   [`dasp_trace::Registry`] (see [`metrics`]).
 //!
 //! All solvers work in `f64` and report convergence histories.
 //!
@@ -39,11 +42,13 @@
 
 mod bicgstab;
 mod cg;
+pub mod metrics;
 pub mod op;
 mod power;
 
 pub use bicgstab::{bicgstab, BiCgOptions};
 pub use cg::{cg, cg_preconditioned, CgOptions};
+pub use metrics::{bicgstab_metered, cg_metered, Metered};
 pub use op::{JacobiPreconditioner, LinearOperator};
 pub use power::{power_iteration, PowerOptions, PowerResult};
 
@@ -69,7 +74,10 @@ impl std::fmt::Display for SolveError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SolveError::MaxIterations { rel_residual, .. } => {
-                write!(f, "max iterations reached (rel residual {rel_residual:.3e})")
+                write!(
+                    f,
+                    "max iterations reached (rel residual {rel_residual:.3e})"
+                )
             }
             SolveError::Breakdown(s) => write!(f, "recurrence breakdown: {s}"),
             SolveError::Shape(s) => write!(f, "shape mismatch: {s}"),

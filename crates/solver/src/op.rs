@@ -157,7 +157,10 @@ mod tests {
     #[test]
     fn shifted_adds_sigma_x() {
         let csr = small();
-        let sh = Shifted { op: &csr, sigma: 10.0 };
+        let sh = Shifted {
+            op: &csr,
+            sigma: 10.0,
+        };
         let x = vec![1.0, 1.0, 1.0];
         let mut y = vec![0.0; 3];
         sh.apply(&x, &mut y);
@@ -167,7 +170,10 @@ mod tests {
     #[test]
     fn scaled_multiplies() {
         let csr = small();
-        let sc = Scaled { op: &csr, alpha: 0.5 };
+        let sc = Scaled {
+            op: &csr,
+            alpha: 0.5,
+        };
         let x = vec![1.0, 1.0, 1.0];
         let mut y = vec![0.0; 3];
         sc.apply(&x, &mut y);

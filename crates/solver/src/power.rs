@@ -63,7 +63,9 @@ pub fn power_iteration<Op: LinearOperator>(
         let new_lambda = dot(&v, &av); // Rayleigh quotient (|v| = 1)
         let n_av = norm(&av);
         if n_av == 0.0 {
-            return Err(SolveError::Breakdown("A v = 0 (start vector in the null space)"));
+            return Err(SolveError::Breakdown(
+                "A v = 0 (start vector in the null space)",
+            ));
         }
         for (vi, avi) in v.iter_mut().zip(&av) {
             *vi = avi / n_av;
@@ -118,8 +120,19 @@ mod tests {
         let csr = a.to_csr();
         let want = 2.0 - 2.0 * (n as f64 * std::f64::consts::PI / (n as f64 + 1.0)).cos();
         let d = DaspMatrix::from_csr(&csr);
-        let r = power_iteration(&d, PowerOptions { tol: 1e-13, max_iters: 200_000 }).unwrap();
-        assert!((r.eigenvalue - want).abs() < 1e-6, "{} vs {want}", r.eigenvalue);
+        let r = power_iteration(
+            &d,
+            PowerOptions {
+                tol: 1e-13,
+                max_iters: 200_000,
+            },
+        )
+        .unwrap();
+        assert!(
+            (r.eigenvalue - want).abs() < 1e-6,
+            "{} vs {want}",
+            r.eigenvalue
+        );
     }
 
     #[test]

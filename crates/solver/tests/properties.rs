@@ -9,6 +9,7 @@ use rand::{Rng, SeedableRng};
 
 /// A random strictly diagonally dominant matrix — guaranteed nonsingular,
 /// and SPD when symmetrized.
+#[allow(clippy::needless_range_loop)] // symmetric fills touch entries[j][i] too
 fn dominant(n: usize, seed: u64, symmetric: bool) -> Csr<f64> {
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut entries = vec![vec![0.0f64; n]; n];

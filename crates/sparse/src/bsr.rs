@@ -69,7 +69,9 @@ impl<S: Scalar> Bsr<S> {
                 for j in csr.row_ptr[r]..csr.row_ptr[r + 1] {
                     let bc = csr.col_idx[j] / bs as u32;
                     // binary search within this block-row's column list
-                    let k = block_cols[bi].binary_search(&bc).expect("pass-1 recorded it");
+                    let k = block_cols[bi]
+                        .binary_search(&bc)
+                        .expect("pass-1 recorded it");
                     let blk = base + k;
                     let rr = r - bi * bs;
                     let cc = csr.col_idx[j] as usize - bc as usize * bs;

@@ -31,8 +31,16 @@ impl<S: Scalar> Coo<S> {
 
     /// Appends one triplet. Panics if the coordinate is out of range.
     pub fn push(&mut self, row: usize, col: usize, val: S) {
-        assert!(row < self.rows, "row {row} out of range ({} rows)", self.rows);
-        assert!(col < self.cols, "col {col} out of range ({} cols)", self.cols);
+        assert!(
+            row < self.rows,
+            "row {row} out of range ({} rows)",
+            self.rows
+        );
+        assert!(
+            col < self.cols,
+            "col {col} out of range ({} cols)",
+            self.cols
+        );
         self.entries.push((row as u32, col as u32, val));
     }
 

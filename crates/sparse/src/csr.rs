@@ -169,7 +169,10 @@ impl<S: Scalar> Csr<S> {
 
     /// Dense row-major representation (test helper; panics on huge shapes).
     pub fn to_dense(&self) -> Vec<Vec<f64>> {
-        assert!(self.rows * self.cols <= 1 << 24, "to_dense on a large matrix");
+        assert!(
+            self.rows * self.cols <= 1 << 24,
+            "to_dense on a large matrix"
+        );
         let mut d = vec![vec![0.0; self.cols]; self.rows];
         for (i, drow) in d.iter_mut().enumerate() {
             for (c, v) in self.row(i) {

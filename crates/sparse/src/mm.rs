@@ -77,12 +77,21 @@ pub fn read_matrix_market<S: Scalar, R: BufRead>(reader: R) -> Result<Coo<S>, Mm
             None => return Err(parse_err(1, "empty file")),
         }
     };
-    let head: Vec<String> = header.split_whitespace().map(|t| t.to_lowercase()).collect();
+    let head: Vec<String> = header
+        .split_whitespace()
+        .map(|t| t.to_lowercase())
+        .collect();
     if head.len() < 5 || head[0] != "%%matrixmarket" || head[1] != "matrix" {
-        return Err(parse_err(hline_no, "expected '%%MatrixMarket matrix ...' header"));
+        return Err(parse_err(
+            hline_no,
+            "expected '%%MatrixMarket matrix ...' header",
+        ));
     }
     if head[2] != "coordinate" {
-        return Err(parse_err(hline_no, format!("unsupported layout '{}'", head[2])));
+        return Err(parse_err(
+            hline_no,
+            format!("unsupported layout '{}'", head[2]),
+        ));
     }
     let field = head[3].as_str();
     if !matches!(field, "real" | "integer" | "pattern") {
@@ -145,7 +154,10 @@ pub fn read_matrix_market<S: Scalar, R: BufRead>(reader: R) -> Result<Coo<S>, Mm
             .parse()
             .map_err(|_| parse_err(line_no, "bad col index"))?;
         if r == 0 || c == 0 || r > rows || c > cols {
-            return Err(parse_err(line_no, format!("coordinate ({r},{c}) out of range")));
+            return Err(parse_err(
+                line_no,
+                format!("coordinate ({r},{c}) out of range"),
+            ));
         }
         let v: f64 = if field == "pattern" {
             1.0
@@ -166,7 +178,10 @@ pub fn read_matrix_market<S: Scalar, R: BufRead>(reader: R) -> Result<Coo<S>, Mm
         seen += 1;
     }
     if seen != nnz {
-        return Err(parse_err(0, format!("header declares {nnz} entries, found {seen}")));
+        return Err(parse_err(
+            0,
+            format!("header declares {nnz} entries, found {seen}"),
+        ));
     }
     Ok(coo)
 }
@@ -259,8 +274,7 @@ mod tests {
         m.push(2, 2, 0.001);
         let mut buf = Vec::new();
         write_matrix_market(&m, &mut buf).unwrap();
-        let back: Coo<f64> =
-            read_matrix_market(std::io::BufReader::new(buf.as_slice())).unwrap();
+        let back: Coo<f64> = read_matrix_market(std::io::BufReader::new(buf.as_slice())).unwrap();
         assert_eq!(back.rows, 4);
         assert_eq!(back.cols, 5);
         let mut a = m.clone();

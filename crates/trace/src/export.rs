@@ -1,0 +1,236 @@
+//! Exporters: Chrome Trace Event Format for spans, JSON and CSV for the
+//! metrics registry.
+
+use dasp_simt::KernelStats;
+
+use crate::json::{escape, fmt_f64};
+use crate::registry::{MetricValue, Registry};
+use crate::span::Trace;
+
+/// The `(name, value)` pairs of a [`KernelStats`], in declaration order.
+/// Shared by every exporter so field naming stays consistent across the
+/// Chrome trace `args`, registry JSON, and CSV.
+pub(crate) fn stats_fields(s: &KernelStats) -> [(&'static str, u64); 16] {
+    [
+        ("bytes_val", s.bytes_val),
+        ("bytes_idx", s.bytes_idx),
+        ("bytes_meta", s.bytes_meta),
+        ("bytes_y", s.bytes_y),
+        ("x_requests", s.x_requests),
+        ("x_hits", s.x_hits),
+        ("x_misses", s.x_misses),
+        ("bytes_x_miss", s.bytes_x_miss),
+        ("mma_ops", s.mma_ops),
+        ("fma_ops", s.fma_ops),
+        ("shfl_ops", s.shfl_ops),
+        ("warps", s.warps),
+        ("blocks", s.blocks),
+        ("launches", s.launches),
+        ("divergent_regions", s.divergent_regions),
+        ("inactive_lanes", s.inactive_lanes),
+    ]
+}
+
+/// Serializes a [`Trace`] to the Chrome Trace Event Format (the JSON
+/// object form): one `"ph": "X"` complete event per span, with the span's
+/// [`KernelStats`] delta and string args flattened into the event `args`.
+///
+/// The output opens directly in Perfetto or `chrome://tracing`. Span ids
+/// and parents are preserved under `args.span_id` / `args.parent_id` so
+/// the hierarchy survives even in viewers that only use ts/dur nesting.
+pub fn chrome_trace_json(trace: &Trace) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for s in &trace.spans {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"{}\",\"ph\":\"X\",\"cat\":\"dasp\",\"pid\":1,\"tid\":{},\
+             \"ts\":{},\"dur\":{},\"args\":{{\"span_id\":{}",
+            escape(&s.name),
+            s.tid,
+            s.start_us,
+            s.dur_us,
+            s.id
+        ));
+        if let Some(p) = s.parent {
+            out.push_str(&format!(",\"parent_id\":{p}"));
+        }
+        if let Some(st) = &s.stats {
+            for (k, v) in stats_fields(st) {
+                out.push_str(&format!(",\"{k}\":{v}"));
+            }
+        }
+        for (k, v) in &s.args {
+            out.push_str(&format!(",\"{}\":\"{}\"", escape(k), escape(v)));
+        }
+        out.push_str("}}");
+    }
+    out.push_str("],\"displayTimeUnit\":\"ms\"}");
+    out
+}
+
+/// Serializes a [`Registry`] snapshot to a JSON object keyed by metric
+/// name. Counters become integers, gauges numbers, histograms objects
+/// with `bounds`/`counts`/`count`/`sum`/`min`/`max`/`mean`.
+pub fn registry_to_json(registry: &Registry) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    for (name, value) in registry.snapshot() {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!("\"{}\":", escape(&name)));
+        match value {
+            MetricValue::Counter(c) => {
+                out.push_str(&format!("{{\"type\":\"counter\",\"value\":{c}}}"))
+            }
+            MetricValue::Gauge(g) => {
+                out.push_str(&format!("{{\"type\":\"gauge\",\"value\":{}}}", fmt_f64(g)))
+            }
+            MetricValue::Histogram(h) => {
+                let bounds: Vec<String> = h.bounds.iter().map(|b| fmt_f64(*b)).collect();
+                let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+                out.push_str(&format!(
+                    "{{\"type\":\"histogram\",\"bounds\":[{}],\"counts\":[{}],\
+                     \"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                    bounds.join(","),
+                    counts.join(","),
+                    h.count,
+                    fmt_f64(h.sum),
+                    fmt_f64(if h.count == 0 { 0.0 } else { h.min }),
+                    fmt_f64(if h.count == 0 { 0.0 } else { h.max }),
+                    fmt_f64(h.mean())
+                ));
+            }
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Quotes one CSV field per RFC 4180: fields containing commas, quotes,
+/// or newlines are wrapped in double quotes with inner quotes doubled.
+fn csv_field(s: &str) -> String {
+    if s.contains(',') || s.contains('"') || s.contains('\n') || s.contains('\r') {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+/// Serializes a [`Registry`] snapshot to CSV with header
+/// `metric,type,value,detail`. Counter/gauge rows carry the value;
+/// histogram rows carry the observation count in `value` and a
+/// `bound<=B:N`-per-bucket summary plus sum/min/max/mean in `detail`.
+pub fn registry_to_csv(registry: &Registry) -> String {
+    let mut out = String::from("metric,type,value,detail\n");
+    for (name, value) in registry.snapshot() {
+        match value {
+            MetricValue::Counter(c) => {
+                out.push_str(&format!("{},counter,{c},\n", csv_field(&name)));
+            }
+            MetricValue::Gauge(g) => {
+                out.push_str(&format!("{},gauge,{},\n", csv_field(&name), fmt_f64(g)));
+            }
+            MetricValue::Histogram(h) => {
+                let mut detail: Vec<String> = h
+                    .bounds
+                    .iter()
+                    .zip(&h.counts)
+                    .map(|(b, c)| format!("le{}:{c}", fmt_f64(*b)))
+                    .collect();
+                detail.push(format!("inf:{}", h.counts[h.bounds.len()]));
+                detail.push(format!("sum:{}", fmt_f64(h.sum)));
+                detail.push(format!(
+                    "min:{}",
+                    fmt_f64(if h.count == 0 { 0.0 } else { h.min })
+                ));
+                detail.push(format!(
+                    "max:{}",
+                    fmt_f64(if h.count == 0 { 0.0 } else { h.max })
+                ));
+                detail.push(format!("mean:{}", fmt_f64(h.mean())));
+                out.push_str(&format!(
+                    "{},histogram,{},{}\n",
+                    csv_field(&name),
+                    h.count,
+                    csv_field(&detail.join(","))
+                ));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::validate_json;
+    use crate::span::Tracer;
+
+    fn sample_trace() -> Trace {
+        let tracer = Tracer::new();
+        {
+            let root = tracer.span("spmv");
+            let mut k = root.child("spmv.kernel.long");
+            k.set_stats(KernelStats {
+                bytes_val: 64,
+                mma_ops: 2,
+                ..Default::default()
+            });
+            k.add_arg("note", "has \"quotes\", commas\nand newlines");
+        }
+        tracer.take_trace()
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_expected_events() {
+        let json = chrome_trace_json(&sample_trace());
+        validate_json(&json).expect("chrome trace must be valid JSON");
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"name\":\"spmv.kernel.long\""));
+        assert!(json.contains("\"mma_ops\":2"));
+        assert!(json.contains("\"parent_id\":"));
+    }
+
+    #[test]
+    fn empty_trace_exports_cleanly() {
+        let json = chrome_trace_json(&Trace::default());
+        validate_json(&json).unwrap();
+        assert!(json.contains("\"traceEvents\":[]"));
+    }
+
+    #[test]
+    fn registry_json_is_valid_and_typed() {
+        let r = Registry::new();
+        r.counter_add("spmv.runs", 2);
+        r.gauge_set("spmv.x_hit_rate", 0.875);
+        r.observe("warp.nnz", 12.0, &[8.0, 32.0]);
+        let json = registry_to_json(&r);
+        validate_json(&json).expect("registry JSON must be valid");
+        assert!(json.contains("\"spmv.runs\":{\"type\":\"counter\",\"value\":2}"));
+        assert!(json.contains("\"type\":\"gauge\",\"value\":0.875"));
+        assert!(json.contains("\"type\":\"histogram\""));
+        assert!(json.contains("\"counts\":[0,1,0]"));
+    }
+
+    #[test]
+    fn registry_csv_has_header_and_rows() {
+        let r = Registry::new();
+        r.counter_add("a,b", 1); // comma in name forces quoting
+        r.gauge_set("g", 1.5);
+        r.observe("h", 3.0, &[4.0]);
+        let csv = registry_to_csv(&r);
+        let mut lines = csv.lines();
+        assert_eq!(lines.next(), Some("metric,type,value,detail"));
+        assert!(csv.contains("\"a,b\",counter,1,"));
+        assert!(csv.contains("g,gauge,1.5,"));
+        assert!(csv.contains("h,histogram,1,"));
+        assert!(csv.contains("le4:1"));
+    }
+}

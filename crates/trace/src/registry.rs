@@ -1,0 +1,297 @@
+//! The metrics registry: counters, gauges, fixed-bucket histograms.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// A fixed-bucket histogram with running sum/min/max.
+///
+/// Bucket `i` counts observations `v <= bounds[i]`; one overflow bucket
+/// counts the rest. Bounds are fixed at creation (the registry rejects
+/// re-registration with different bounds), so merged or repeated runs stay
+/// comparable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Upper bounds of the finite buckets, ascending.
+    pub bounds: Vec<f64>,
+    /// Counts per bucket; `counts.len() == bounds.len() + 1` (overflow last).
+    pub counts: Vec<u64>,
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Smallest observation (`f64::INFINITY` when empty).
+    pub min: f64,
+    /// Largest observation (`f64::NEG_INFINITY` when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// An empty histogram with the given ascending bucket bounds.
+    pub fn new(bounds: &[f64]) -> Histogram {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let idx = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[idx] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Mean of the observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// `max / mean`: the load-imbalance factor (1.0 = perfectly balanced;
+    /// 0 when empty).
+    pub fn imbalance(&self) -> f64 {
+        let m = self.mean();
+        if m == 0.0 {
+            0.0
+        } else {
+            self.max / m
+        }
+    }
+}
+
+/// A snapshot of one metric's value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter.
+    Counter(u64),
+    /// Last-write-wins gauge.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+/// A thread-safe, name-keyed metrics registry.
+///
+/// Names follow the crate's dotted scheme (`spmv.x_hit_rate`,
+/// `warp.nnz`). Iteration order is name order (BTreeMap), so exports are
+/// deterministic.
+#[derive(Debug, Default)]
+pub struct Registry {
+    metrics: Mutex<BTreeMap<String, MetricValue>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Adds `v` to counter `name`, creating it at zero first.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter_add(&self, name: &str, v: u64) {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m.entry(name.to_string()).or_insert(MetricValue::Counter(0)) {
+            MetricValue::Counter(c) => *c += v,
+            other => panic!("metric {name} is not a counter: {other:?}"),
+        }
+    }
+
+    /// Sets gauge `name` to `v`.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m.entry(name.to_string()).or_insert(MetricValue::Gauge(v)) {
+            MetricValue::Gauge(g) => *g = v,
+            other => panic!("metric {name} is not a gauge: {other:?}"),
+        }
+    }
+
+    /// Records `v` into histogram `name`, creating it with `bounds` on
+    /// first use.
+    ///
+    /// # Panics
+    /// If `name` exists with different bounds or as a different kind.
+    pub fn observe(&self, name: &str, v: f64, bounds: &[f64]) {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)))
+        {
+            MetricValue::Histogram(h) => {
+                assert_eq!(
+                    h.bounds, bounds,
+                    "histogram {name} re-registered with different bounds"
+                );
+                h.observe(v);
+            }
+            other => panic!("metric {name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Merges a pre-built histogram under `name` (bounds must match if the
+    /// metric exists).
+    pub fn merge_histogram(&self, name: &str, h: &Histogram) {
+        let mut m = self.metrics.lock().expect("registry lock");
+        match m
+            .entry(name.to_string())
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new(&h.bounds)))
+        {
+            MetricValue::Histogram(existing) => {
+                assert_eq!(
+                    existing.bounds, h.bounds,
+                    "histogram {name} bounds mismatch"
+                );
+                for (c, add) in existing.counts.iter_mut().zip(&h.counts) {
+                    *c += add;
+                }
+                existing.count += h.count;
+                existing.sum += h.sum;
+                existing.min = existing.min.min(h.min);
+                existing.max = existing.max.max(h.max);
+            }
+            other => panic!("metric {name} is not a histogram: {other:?}"),
+        }
+    }
+
+    /// Name-ordered snapshot of every metric.
+    pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
+        self.metrics
+            .lock()
+            .expect("registry lock")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Current value of a counter, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.metrics.lock().expect("registry lock").get(name) {
+            Some(MetricValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Current value of a gauge, if present.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        match self.metrics.lock().expect("registry lock").get(name) {
+            Some(MetricValue::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Clone of a histogram, if present.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        match self.metrics.lock().expect("registry lock").get(name) {
+            Some(MetricValue::Histogram(h)) => Some(h.clone()),
+            _ => None,
+        }
+    }
+
+    /// Number of registered metrics.
+    pub fn len(&self) -> usize {
+        self.metrics.lock().expect("registry lock").len()
+    }
+
+    /// Whether no metrics are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let r = Registry::new();
+        r.counter_add("runs", 1);
+        r.counter_add("runs", 2);
+        r.gauge_set("rate", 0.5);
+        r.gauge_set("rate", 0.75);
+        assert_eq!(r.counter("runs"), Some(3));
+        assert_eq!(r.gauge("rate"), Some(0.75));
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 5.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![1, 2, 1, 1]);
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 500.0);
+        assert!((h.mean() - 112.1).abs() < 1e-9);
+        assert!((h.imbalance() - 500.0 / 112.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn registry_histograms_merge() {
+        let r = Registry::new();
+        r.observe("warp.nnz", 3.0, &[4.0, 16.0]);
+        r.observe("warp.nnz", 20.0, &[4.0, 16.0]);
+        let mut extra = Histogram::new(&[4.0, 16.0]);
+        extra.observe(8.0);
+        r.merge_histogram("warp.nnz", &extra);
+        let h = r.histogram("warp.nnz").unwrap();
+        assert_eq!(h.count, 3);
+        assert_eq!(h.counts, vec![1, 1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.gauge_set("m", 1.0);
+        r.counter_add("m", 1);
+    }
+
+    #[test]
+    fn snapshot_is_name_ordered() {
+        let r = Registry::new();
+        r.counter_add("zzz", 1);
+        r.counter_add("aaa", 1);
+        let names: Vec<String> = r.snapshot().into_iter().map(|(n, _)| n).collect();
+        assert_eq!(names, vec!["aaa", "zzz"]);
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let r = std::sync::Arc::new(Registry::new());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let r = r.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        r.counter_add("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(r.counter("n"), Some(4000));
+    }
+}

@@ -1,0 +1,401 @@
+//! Hierarchical RAII spans.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use dasp_simt::KernelStats;
+
+/// One finished span, as stored in a [`Trace`].
+#[derive(Debug, Clone)]
+pub struct SpanRecord {
+    /// Unique id within the tracer (creation order).
+    pub id: u64,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<u64>,
+    /// Dotted name (see the crate-level naming scheme).
+    pub name: String,
+    /// Microseconds since the tracer's epoch at which the span opened.
+    pub start_us: u64,
+    /// Wall-clock duration in microseconds (saturated, never negative).
+    pub dur_us: u64,
+    /// Logical thread id (small integers, assigned per OS thread).
+    pub tid: u64,
+    /// Counter delta attributed to this span, if one was recorded.
+    pub stats: Option<KernelStats>,
+    /// Free-form key/value annotations.
+    pub args: Vec<(String, String)>,
+}
+
+struct Inner {
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+    next_id: AtomicU64,
+}
+
+/// A handle to a span collector. Cheap to clone; clones share storage.
+///
+/// `Tracer::disabled()` is the no-op variant: spans created from it hold
+/// no allocation and every method returns immediately, mirroring how
+/// [`dasp_simt::NoProbe`] keeps the uninstrumented kernel free.
+#[derive(Clone, Default)]
+pub struct Tracer {
+    inner: Option<Arc<Inner>>,
+}
+
+thread_local! {
+    static TID: u64 = {
+        static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+        NEXT_TID.fetch_add(1, Ordering::Relaxed)
+    };
+}
+
+fn current_tid() -> u64 {
+    TID.with(|t| *t)
+}
+
+impl Tracer {
+    /// A collecting tracer.
+    pub fn new() -> Tracer {
+        Tracer {
+            inner: Some(Arc::new(Inner {
+                epoch: Instant::now(),
+                spans: Mutex::new(Vec::new()),
+                next_id: AtomicU64::new(0),
+            })),
+        }
+    }
+
+    /// The no-op tracer: every span it produces is disabled.
+    pub fn disabled() -> Tracer {
+        Tracer { inner: None }
+    }
+
+    /// Whether spans from this tracer record anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a root span.
+    pub fn span(&self, name: &str) -> Span {
+        self.open(name, None)
+    }
+
+    fn open(&self, name: &str, parent: Option<u64>) -> Span {
+        match &self.inner {
+            None => Span { active: None },
+            Some(inner) => {
+                let id = inner.next_id.fetch_add(1, Ordering::Relaxed);
+                Span {
+                    active: Some(Box::new(ActiveSpan {
+                        tracer: self.clone(),
+                        id,
+                        parent,
+                        name: name.to_string(),
+                        opened: Instant::now(),
+                        start_us: inner.epoch.elapsed().as_micros() as u64,
+                        stats: None,
+                        args: Vec::new(),
+                    })),
+                }
+            }
+        }
+    }
+
+    /// Takes the spans recorded so far, leaving the tracer collecting into
+    /// an empty buffer. Open spans are not included — they record on drop.
+    pub fn take_trace(&self) -> Trace {
+        let spans = match &self.inner {
+            None => Vec::new(),
+            Some(inner) => std::mem::take(&mut *inner.spans.lock().expect("trace lock")),
+        };
+        Trace { spans }
+    }
+
+    fn record(&self, rec: SpanRecord) {
+        if let Some(inner) = &self.inner {
+            inner.spans.lock().expect("trace lock").push(rec);
+        }
+    }
+}
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "Tracer(disabled)"),
+            Some(i) => write!(
+                f,
+                "Tracer({} spans recorded)",
+                i.spans.lock().map(|s| s.len()).unwrap_or(0)
+            ),
+        }
+    }
+}
+
+struct ActiveSpan {
+    tracer: Tracer,
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    opened: Instant,
+    start_us: u64,
+    stats: Option<KernelStats>,
+    args: Vec<(String, String)>,
+}
+
+/// An open span; records itself into its tracer on drop (RAII).
+///
+/// Spans from a disabled tracer are inert: no allocation, no time reads.
+pub struct Span {
+    active: Option<Box<ActiveSpan>>,
+}
+
+impl Span {
+    /// A span that records nothing, for call sites that need a `Span`
+    /// value without a tracer in hand.
+    pub fn disabled() -> Span {
+        Span { active: None }
+    }
+
+    /// Whether this span records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.active.is_some()
+    }
+
+    /// Opens a child span. Children of a disabled span are disabled.
+    pub fn child(&self, name: &str) -> Span {
+        match &self.active {
+            None => Span { active: None },
+            Some(a) => a.tracer.open(name, Some(a.id)),
+        }
+    }
+
+    /// Attaches a counter delta (typically
+    /// `probe.stats_snapshot().delta(&before)`), replacing any previous one.
+    pub fn set_stats(&mut self, delta: KernelStats) {
+        if let Some(a) = &mut self.active {
+            a.stats = Some(delta);
+        }
+    }
+
+    /// Adds a key/value annotation.
+    pub fn add_arg(&mut self, key: &str, value: impl std::fmt::Display) {
+        if let Some(a) = &mut self.active {
+            a.args.push((key.to_string(), value.to_string()));
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(a) = self.active.take() {
+            let rec = SpanRecord {
+                id: a.id,
+                parent: a.parent,
+                name: a.name,
+                start_us: a.start_us,
+                dur_us: a.opened.elapsed().as_micros() as u64,
+                tid: current_tid(),
+                stats: a.stats,
+                args: a.args,
+            };
+            a.tracer.record(rec);
+        }
+    }
+}
+
+/// A finished collection of spans.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    /// All recorded spans, in completion order (children before parents).
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Trace {
+    /// Number of spans.
+    pub fn len(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.spans.is_empty()
+    }
+
+    /// Spans with no parent.
+    pub fn roots(&self) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent.is_none()).collect()
+    }
+
+    /// Direct children of span `id`, in id (creation) order.
+    pub fn children(&self, id: u64) -> Vec<&SpanRecord> {
+        let mut c: Vec<&SpanRecord> = self.spans.iter().filter(|s| s.parent == Some(id)).collect();
+        c.sort_by_key(|s| s.id);
+        c
+    }
+
+    /// The first span whose name matches exactly, if any.
+    pub fn find(&self, name: &str) -> Option<&SpanRecord> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// All spans whose name matches exactly.
+    pub fn find_all(&self, name: &str) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.name == name).collect()
+    }
+
+    /// Sums the stats deltas of every span whose name starts with `prefix`.
+    pub fn stats_sum(&self, prefix: &str) -> KernelStats {
+        let mut total = KernelStats::default();
+        for s in &self.spans {
+            if s.name.starts_with(prefix) {
+                if let Some(st) = &s.stats {
+                    total.merge(st);
+                }
+            }
+        }
+        total
+    }
+
+    /// Checks the span tree is *balanced*: every parent id exists, no
+    /// span is its own ancestor, and every child's recorded interval ends
+    /// no later than roughly its parent's end (1 ms slack for clock
+    /// granularity). Returns a description of the first violation.
+    pub fn check_balanced(&self) -> Result<(), String> {
+        use std::collections::HashMap;
+        let by_id: HashMap<u64, &SpanRecord> = self.spans.iter().map(|s| (s.id, s)).collect();
+        if by_id.len() != self.spans.len() {
+            return Err("duplicate span ids".to_string());
+        }
+        for s in &self.spans {
+            let mut seen = vec![s.id];
+            let mut cur = s.parent;
+            while let Some(pid) = cur {
+                let Some(p) = by_id.get(&pid) else {
+                    return Err(format!(
+                        "span {} ({}) has missing parent {pid}",
+                        s.id, s.name
+                    ));
+                };
+                if seen.contains(&pid) {
+                    return Err(format!("span {} ({}) is in a parent cycle", s.id, s.name));
+                }
+                seen.push(pid);
+                cur = p.parent;
+            }
+            if let Some(pid) = s.parent {
+                let p = by_id[&pid];
+                const SLACK_US: u64 = 1_000;
+                if s.start_us + SLACK_US < p.start_us
+                    || s.start_us + s.dur_us > p.start_us + p.dur_us + SLACK_US
+                {
+                    return Err(format!(
+                        "child {} ({}) [{}..{}] escapes parent {} ({}) [{}..{}]",
+                        s.id,
+                        s.name,
+                        s.start_us,
+                        s.start_us + s.dur_us,
+                        p.id,
+                        p.name,
+                        p.start_us,
+                        p.start_us + p.dur_us
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_and_record_on_drop() {
+        let tracer = Tracer::new();
+        {
+            let root = tracer.span("spmv");
+            {
+                let mut k = root.child("spmv.kernel.long");
+                k.add_arg("groups", 4);
+                k.set_stats(KernelStats {
+                    mma_ops: 8,
+                    ..Default::default()
+                });
+            }
+            let _k2 = root.child("spmv.kernel.medium");
+        }
+        let trace = tracer.take_trace();
+        assert_eq!(trace.len(), 3);
+        assert!(trace.check_balanced().is_ok());
+        let root = trace.find("spmv").unwrap();
+        assert!(root.parent.is_none());
+        let kids = trace.children(root.id);
+        assert_eq!(kids.len(), 2);
+        assert_eq!(kids[0].name, "spmv.kernel.long");
+        assert_eq!(kids[0].stats.unwrap().mma_ops, 8);
+        assert_eq!(kids[0].args, vec![("groups".to_string(), "4".to_string())]);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let tracer = Tracer::disabled();
+        {
+            let root = tracer.span("spmv");
+            assert!(!root.is_enabled());
+            let mut c = root.child("x");
+            c.set_stats(KernelStats::default());
+            c.add_arg("k", "v");
+        }
+        assert!(tracer.take_trace().is_empty());
+        assert!(!tracer.is_enabled());
+    }
+
+    #[test]
+    fn stats_sum_filters_by_prefix() {
+        let tracer = Tracer::new();
+        {
+            let root = tracer.span("spmv");
+            let mut a = root.child("spmv.kernel.long");
+            a.set_stats(KernelStats {
+                mma_ops: 3,
+                ..Default::default()
+            });
+            drop(a);
+            let mut b = root.child("spmv.kernel.short1");
+            b.set_stats(KernelStats {
+                fma_ops: 5,
+                ..Default::default()
+            });
+        }
+        let t = tracer.take_trace();
+        let sum = t.stats_sum("spmv.kernel.");
+        assert_eq!(sum.mma_ops, 3);
+        assert_eq!(sum.fma_ops, 5);
+    }
+
+    #[test]
+    fn balanced_check_rejects_missing_parent() {
+        let mut t = Trace::default();
+        t.spans.push(SpanRecord {
+            id: 1,
+            parent: Some(99),
+            name: "orphan".into(),
+            start_us: 0,
+            dur_us: 1,
+            tid: 1,
+            stats: None,
+            args: Vec::new(),
+        });
+        assert!(t.check_balanced().is_err());
+    }
+
+    #[test]
+    fn take_trace_drains() {
+        let tracer = Tracer::new();
+        drop(tracer.span("a"));
+        assert_eq!(tracer.take_trace().len(), 1);
+        assert!(tracer.take_trace().is_empty());
+    }
+}

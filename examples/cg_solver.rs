@@ -52,7 +52,10 @@ fn main() {
     let t0 = Instant::now();
     let dasp = DaspMatrix::from_csr(&a);
     let prep = t0.elapsed();
-    println!("DASP preprocessing: {:.2} ms (once)", prep.as_secs_f64() * 1e3);
+    println!(
+        "DASP preprocessing: {:.2} ms (once)",
+        prep.as_secs_f64() * 1e3
+    );
 
     // Per-iteration kernel cost on the modeled A100.
     let dev = a100();
@@ -60,7 +63,10 @@ fn main() {
     let x_probe = vec![1.0; a.cols];
     let _ = dasp.spmv(&x_probe, &mut probe);
     let per_iter = estimate(&probe.stats(), &dev, Precision::Fp64).seconds;
-    println!("estimated SpMV kernel time: {:.2} us / iteration", per_iter * 1e6);
+    println!(
+        "estimated SpMV kernel time: {:.2} us / iteration",
+        per_iter * 1e6
+    );
 
     // b = A * ones, so the exact solution is the all-ones vector.
     let ones = vec![1.0; a.cols];

@@ -80,9 +80,15 @@ fn main() {
         return;
     }
     inspect("banded FEM (pwtk-like)", &matgen::banded(8000, 60, 52, 1));
-    inspect("2-D stencil (mc2depi-like)", &matgen::stencil2d(100, 100, 4, 2));
+    inspect(
+        "2-D stencil (mc2depi-like)",
+        &matgen::stencil2d(100, 100, 4, 2),
+    );
     inspect("power-law graph (wiki-Talk-like)", &matgen::rmat(13, 8, 3));
-    inspect("circuit (dc2-like)", &matgen::circuit_like(20_000, 6, 3000, 4));
+    inspect(
+        "circuit (dc2-like)",
+        &matgen::circuit_like(20_000, 6, 3000, 4),
+    );
     inspect(
         "LP / combinatorial (bibd-like)",
         &matgen::rectangular_long(40, 20_000, 6000, 5),

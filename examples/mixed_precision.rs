@@ -70,7 +70,12 @@ fn jacobi_refine(
 fn main() {
     let n = 20_000;
     let a = dominant_system(n);
-    println!("A: {} x {}, {} nonzeros, diagonally dominant", a.rows, a.cols, a.nnz());
+    println!(
+        "A: {} x {}, {} nonzeros, diagonally dominant",
+        a.rows,
+        a.cols,
+        a.nnz()
+    );
 
     let truth: Vec<f64> = (0..n).map(|i| ((i % 23) as f64 - 11.0) * 0.05).collect();
     let b = a.spmv_reference(&truth);
@@ -85,7 +90,10 @@ fn main() {
     let d16 = DaspMatrix::from_csr(&a16);
     let apply16 = |x: &[f64]| -> Vec<f64> {
         let xh: Vec<F16> = x.iter().map(|&v| F16::from_f64(v)).collect();
-        d16.spmv(&xh, &mut NoProbe).iter().map(|v| v.to_f64()).collect()
+        d16.spmv(&xh, &mut NoProbe)
+            .iter()
+            .map(|v| v.to_f64())
+            .collect()
     };
     // FP16 storage limits the achievable residual: the matrix itself is
     // rounded, so refine to the rounding floor rather than 1e-12.
@@ -97,8 +105,14 @@ fn main() {
             .map(|(a, b)| (a - b).abs())
             .fold(0.0f64, f64::max)
     };
-    println!("fp64  refinement: {it64:3} iterations, rel residual {res64:.2e}, max error {:.2e}", err(&x64));
-    println!("fp16  refinement: {it16:3} iterations, rel residual {res16:.2e}, max error {:.2e}", err(&x16));
+    println!(
+        "fp64  refinement: {it64:3} iterations, rel residual {res64:.2e}, max error {:.2e}",
+        err(&x64)
+    );
+    println!(
+        "fp16  refinement: {it16:3} iterations, rel residual {res16:.2e}, max error {:.2e}",
+        err(&x16)
+    );
 
     // What does the precision switch buy on the modeled A100?
     let dev = a100();

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the surface the workspace's bench targets use — `Criterion`,
+//! `benchmark_group`, `BenchmarkGroup::{sample_size, warm_up_time,
+//! measurement_time, bench_function, bench_with_input, finish}`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`, and the
+//! `criterion_group!`/`criterion_main!` macros — as a small wall-clock
+//! harness. No statistics, plots, or saved baselines: each benchmark runs
+//! its closure for the configured sample count and prints mean time per
+//! iteration.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computation whose result is
+/// otherwise unused.
+#[inline]
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Measurement abstraction; only wall-clock time exists in this shim.
+pub mod measurement {
+    /// Marker trait matching criterion's `Measurement` bound.
+    pub trait Measurement {}
+
+    /// Wall-clock time measurement.
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct WallTime;
+
+    impl Measurement for WallTime {}
+}
+
+/// A benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display value.
+    pub fn new(function_id: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures passed to [`Bencher::iter`].
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples: usize,
+    elapsed: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, timing every call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call outside the timed region.
+        black_box(f());
+        let start = Instant::now();
+        for _ in 0..self.samples {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = self.samples as u64;
+    }
+}
+
+/// A named group of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a, M: measurement::Measurement = measurement::WallTime> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+    _marker: std::marker::PhantomData<M>,
+}
+
+impl<M: measurement::Measurement> BenchmarkGroup<'_, M> {
+    /// Sets how many timed iterations each benchmark runs.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Accepted for API compatibility; this shim has no warm-up phase
+    /// beyond one untimed call.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; sampling is controlled by
+    /// [`BenchmarkGroup::sample_size`] alone.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            ..Default::default()
+        };
+        f(&mut b);
+        report(&self.name, &id.id, &b);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher {
+            samples: self.sample_size,
+            ..Default::default()
+        };
+        f(&mut b, input);
+        report(&self.name, &id.id, &b);
+        self
+    }
+
+    /// Ends the group (no-op; output is printed as benchmarks run).
+    pub fn finish(&mut self) {}
+}
+
+fn report(group: &str, id: &str, b: &Bencher) {
+    if b.iters == 0 {
+        println!("{group}/{id}: no samples");
+        return;
+    }
+    let per_iter = b.elapsed.as_secs_f64() / b.iters as f64;
+    println!(
+        "{group}/{id}: {:>12.3} us/iter ({} iters)",
+        per_iter * 1e6,
+        b.iters
+    );
+}
+
+/// The top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Criterion {
+    /// Creates a driver with the default sample size (10).
+    pub fn new() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size.max(1);
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size,
+            _criterion: self,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::new();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times_closures() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(3);
+        let mut calls = 0u32;
+        g.bench_function("count", |b| {
+            b.iter(|| calls += 1);
+        });
+        g.finish();
+        // 1 warm-up + 3 samples.
+        assert_eq!(calls, 4);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input() {
+        let mut c = Criterion::new();
+        let mut g = c.benchmark_group("t2");
+        g.sample_size(2);
+        let mut sum = 0u64;
+        g.bench_with_input(BenchmarkId::new("sum", "v"), &7u64, |b, &v| {
+            b.iter(|| sum += v);
+        });
+        assert_eq!(sum, 21); // 3 calls x 7
+    }
+}

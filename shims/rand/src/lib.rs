@@ -1,0 +1,262 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build container has no network access and no vendored registry, so
+//! the real `rand` cannot be fetched. This shim implements exactly the
+//! surface the workspace uses — [`rngs::SmallRng`], [`SeedableRng::seed_from_u64`],
+//! [`Rng::gen`] and [`Rng::gen_range`] over integer and float ranges — with
+//! a deterministic xoshiro256** generator seeded through SplitMix64 (the
+//! same construction the real `SmallRng` documents on 64-bit targets).
+//!
+//! Streams differ from the real crate, which is fine: every use in this
+//! workspace treats the RNG as an arbitrary deterministic source (matrix
+//! generators, property-test inputs), never as a reproduction of upstream
+//! `rand` sequences.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Seeding interface: the subset of `rand::SeedableRng` the workspace uses.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Values [`Rng::gen`] can produce (stand-in for `Standard: Distribution<T>`).
+pub trait Standard: Sized {
+    /// Draws one value from the generator's raw 64-bit output.
+    fn from_u64(raw: u64) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_u64(raw: u64) -> f64 {
+        // 53 random mantissa bits in [0, 1).
+        (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_u64(raw: u64) -> f32 {
+        (raw >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_u64(raw: u64) -> bool {
+        raw & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_u64(raw: u64) -> u64 {
+        raw
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_u64(raw: u64) -> u32 {
+        (raw >> 32) as u32
+    }
+}
+
+/// Sampling bounds: the subset of `rand::distributions::uniform::SampleRange`.
+pub trait SampleRange<T> {
+    /// Draws a value in the range from `rng`.
+    fn sample(self, rng: &mut dyn RngCore) -> T;
+}
+
+/// Raw 64-bit generator interface (object-safe core of [`Rng`]).
+pub trait RngCore {
+    /// Returns the next raw 64-bit output.
+    fn next_u64(&mut self) -> u64;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let v = (rng.next_u64() as u128) % span;
+                (self.start as i128 + v as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut dyn RngCore) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let v = (rng.next_u64() as u128) % span;
+                (lo as i128 + v as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f64::from_u64(rng.next_u64());
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f64> for RangeInclusive<f64> {
+    #[inline]
+    fn sample(self, rng: &mut dyn RngCore) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        let u = f64::from_u64(rng.next_u64());
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    #[inline]
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let u = f32::from_u64(rng.next_u64());
+        self.start + u * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for RangeInclusive<f32> {
+    #[inline]
+    fn sample(self, rng: &mut dyn RngCore) -> f32 {
+        let (lo, hi) = (*self.start(), *self.end());
+        let u = f32::from_u64(rng.next_u64());
+        lo + u * (hi - lo)
+    }
+}
+
+/// The user-facing generator interface: the subset of `rand::Rng` used here.
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` (uniform over its `Standard` definition).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64(self.next_u64())
+    }
+
+    /// Draws a value uniformly from `range`.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::from_u64(self.next_u64()) < p
+    }
+}
+
+impl<T: RngCore> Rng for T {}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// A small, fast, deterministic generator: xoshiro256** seeded via
+    /// SplitMix64, matching the construction the real `SmallRng` documents.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    #[inline]
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            let s = [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ];
+            SmallRng { s }
+        }
+    }
+
+    impl RngCore for SmallRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = SmallRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let v = r.gen_range(3usize..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(-4i32..=4);
+            assert!((-4..=4).contains(&w));
+            let f = r.gen_range(-1.0..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let p: f64 = r.gen();
+            assert!((0.0..1.0).contains(&p));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_hit_both_endpoints() {
+        let mut r = SmallRng::seed_from_u64(2);
+        let mut seen = [false; 5];
+        for _ in 0..1000 {
+            seen[r.gen_range(0usize..5)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

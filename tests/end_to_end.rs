@@ -46,7 +46,10 @@ fn every_method_agrees_on_every_generator_class() {
     check_all_methods("stencil9", &matgen::stencil2d(40, 40, 9, 23));
     check_all_methods("rmat", &matgen::rmat(11, 8, 24));
     check_all_methods("uniform", &matgen::uniform_random(2000, 2000, 12, 25));
-    check_all_methods("uniform_var", &matgen::uniform_random_var(2000, 2000, 1, 30, 26));
+    check_all_methods(
+        "uniform_var",
+        &matgen::uniform_random_var(2000, 2000, 1, 30, 26),
+    );
     check_all_methods("diag", &matgen::diagonal_bands(5000, &[0, 3, -3], 27));
     check_all_methods("circuit", &matgen::circuit_like(4000, 4, 1200, 28));
     check_all_methods("rect", &matgen::rectangular_long(20, 6000, 1500, 29));

@@ -37,9 +37,18 @@ fn fig2_shape_compute_share_is_substantial() {
 fn fig10_shape_dasp_beats_vendor_on_highlight_classes() {
     let dev = a100();
     for (name, csr) in [
-        ("short-rows (mc2depi-like)", matgen::stencil2d(150, 150, 4, 57)),
-        ("medium-rows (cant-like)", matgen::banded(10_000, 70, 64, 58)),
-        ("long-rows (bibd-like)", matgen::rectangular_long(40, 20_000, 6000, 59)),
+        (
+            "short-rows (mc2depi-like)",
+            matgen::stencil2d(150, 150, 4, 57),
+        ),
+        (
+            "medium-rows (cant-like)",
+            matgen::banded(10_000, 70, 64, 58),
+        ),
+        (
+            "long-rows (bibd-like)",
+            matgen::rectangular_long(40, 20_000, 6000, 59),
+        ),
     ] {
         let x = dense_vector(csr.cols, 3);
         let dasp = measure(MethodKind::Dasp, &csr, &x, &dev);
