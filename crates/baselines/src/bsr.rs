@@ -8,7 +8,7 @@
 //! paper's methodology of taking the best of block sizes 2, 4 and 8.
 
 use dasp_fp16::Scalar;
-use dasp_simt::Probe;
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::{Bsr, Csr};
 
 use crate::WARPS_PER_BLOCK;
@@ -48,11 +48,16 @@ impl<S: Scalar> BsrSpmv<S> {
         self.bsr.fill_ratio()
     }
 
-    /// Computes `y = A x`: one sub-warp row per block row, dense blocks.
-    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+    /// Computes `y = A x` on the process-default executor.
+    pub fn spmv<P: ShardableProbe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        self.spmv_with(x, probe, &Executor::from_env())
+    }
+
+    /// Computes `y = A x` under the given executor: one warp per block row,
+    /// dense blocks, each warp owning a disjoint `bs`-row band of `y`.
+    pub fn spmv_with<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
         let b = &self.bsr;
         assert_eq!(x.len(), b.cols);
-        let bs = b.block_size;
         let mut y = vec![S::zero(); b.rows];
         if b.mb == 0 || b.num_blocks() == 0 {
             return y;
@@ -66,38 +71,44 @@ impl<S: Scalar> BsrSpmv<S> {
             WARPS_PER_BLOCK as u64,
         );
 
+        let shared = SharedSlice::new(&mut y);
+        exec.run(b.mb, probe, |bi, p| self.block_row_warp(x, &shared, bi, p));
+        drop(shared);
+        y
+    }
+
+    /// Warp body: block row `bi`'s sub-warp sweeps its dense blocks.
+    fn block_row_warp<P: Probe>(&self, x: &[S], y: &SharedSlice<S>, bi: usize, probe: &mut P) {
+        let b = &self.bsr;
+        let bs = b.block_size;
+        probe.warp_begin(bi);
+        probe.load_meta(2, 4); // block row_ptr
         let mut acc = vec![S::acc_zero(); bs];
-        for bi in 0..b.mb {
-            probe.load_meta(2, 4); // block row_ptr
-            for a in acc.iter_mut() {
-                *a = S::acc_zero();
-            }
-            for k in b.row_ptr[bi]..b.row_ptr[bi + 1] {
-                let bc = b.col_idx[k] as usize;
-                probe.load_idx(1, 4);
-                probe.load_val((bs * bs) as u64, S::BYTES); // dense incl. fill
-                probe.fma((bs * bs) as u64);
-                for cc in 0..bs {
-                    let c = bc * bs + cc;
-                    if c >= b.cols {
-                        continue;
-                    }
-                    probe.load_x(c, S::BYTES);
-                    for (rr, a) in acc.iter_mut().enumerate() {
-                        let v = b.blocks[k * bs * bs + rr * bs + cc];
-                        *a = S::acc_mul_add(*a, v, x[c]);
-                    }
+        for k in b.row_ptr[bi]..b.row_ptr[bi + 1] {
+            let bc = b.col_idx[k] as usize;
+            probe.load_idx(1, 4);
+            probe.load_val((bs * bs) as u64, S::BYTES); // dense incl. fill
+            probe.fma((bs * bs) as u64);
+            for cc in 0..bs {
+                let c = bc * bs + cc;
+                if c >= b.cols {
+                    continue;
                 }
-            }
-            for (rr, a) in acc.iter().enumerate() {
-                let r = bi * bs + rr;
-                if r < b.rows {
-                    y[r] = S::from_acc(*a);
-                    probe.store_y(1, S::BYTES);
+                probe.load_x(c, S::BYTES);
+                for (rr, a) in acc.iter_mut().enumerate() {
+                    let v = b.blocks[k * bs * bs + rr * bs + cc];
+                    *a = S::acc_mul_add(*a, v, x[c]);
                 }
             }
         }
-        y
+        for (rr, a) in acc.iter().enumerate() {
+            let r = bi * bs + rr;
+            if r < b.rows {
+                y.write(r, S::from_acc(*a));
+                probe.store_y(1, S::BYTES);
+            }
+        }
+        probe.warp_end(bi);
     }
 }
 

@@ -22,7 +22,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::Probe;
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::{acc_spill, WARPS_PER_BLOCK};
@@ -162,76 +162,124 @@ impl<S: Scalar> Csr5<S> {
         self.sigma
     }
 
-    /// Computes `y = A x`: one warp per tile, segmented sums over the bit
-    /// flags, boundary rows accumulated across tiles.
-    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+    /// Computes `y = A x` on the process-default executor.
+    pub fn spmv<P: ShardableProbe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        self.spmv_with(x, probe, &Executor::from_env())
+    }
+
+    /// Computes `y = A x` under the given executor: one warp per tile,
+    /// segmented sums over the bit flags, boundary rows accumulated across
+    /// tiles.
+    ///
+    /// Tiles do not own disjoint rows — a row can span tiles — so the warp
+    /// bodies use a first-spill carry: each tile's *first* segment close
+    /// (which always targets `tile_first_row[t]`, the only row a
+    /// predecessor tile can share) lands in a per-tile carry slot, while
+    /// every later close targets a row that *starts* inside the tile (its
+    /// `y` slot is untouched by any other warp and still zero). A
+    /// sequential epilogue folds the carries into `y` in ascending tile
+    /// order, reproducing the sequential per-row contribution order
+    /// bit-for-bit.
+    pub fn spmv_with<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![S::zero(); self.rows];
         if self.nnz == 0 {
             return y;
         }
-        let tile_nnz = WARP_SIZE * self.sigma;
-        let words_per_tile = tile_nnz.div_ceil(64);
         let n_tiles = self.num_tiles();
         probe.kernel_launch(
             n_tiles.div_ceil(WARPS_PER_BLOCK) as u64,
             WARPS_PER_BLOCK as u64,
         );
 
-        let full_tiles = self.nnz / tile_nnz;
-        for t in 0..n_tiles {
-            probe.warp_begin(t);
-            let base = t * tile_nnz;
-            let end = (base + tile_nnz).min(self.nnz);
-            let count = end - base;
-            // The trailing partial tile leaves whole lanes without
-            // elements.
-            if count < tile_nnz {
-                let live = count.div_ceil(self.sigma);
-                probe.divergence((WARP_SIZE - live) as u64);
-            }
-            probe.load_meta(1, 4); // tile_first_row
-            probe.load_meta(words_per_tile as u64, 8); // bit flags
-            probe.load_val(count as u64, S::BYTES);
-            probe.load_idx(count as u64, 4);
-            // Balanced issue: every lane runs sigma steps regardless of
-            // segment structure (CSR5's core property). Each step is one
-            // FMA plus one segmented-sum bookkeeping op (bit-flag test and
-            // predicated partial-sum handling), so two ALU slots/element.
-            probe.fma(2 * tile_nnz as u64);
-            // Cross-lane segmented merge: two log2(32) shuffle passes.
-            probe.shfl(10);
-
-            let segs = &self.seg_rows[self.seg_ptr[t]..self.seg_ptr[t + 1]];
-            probe.load_meta(segs.len() as u64, 4);
-            let mut seg_idx = 0usize;
-            let mut acc = S::acc_zero();
-            for p in 0..count {
-                let g = base + p;
-                if p > 0 && self.flag(t, p, words_per_tile) {
-                    // Close the previous segment.
-                    let row = segs[seg_idx] as usize;
-                    y[row] = acc_spill(y[row], acc);
-                    probe.store_y(1, S::BYTES);
-                    seg_idx += 1;
-                    acc = S::acc_zero();
-                }
-                let phys = if t < full_tiles {
-                    let (lane, step) = (p / self.sigma, p % self.sigma);
-                    base + step * WARP_SIZE + lane
-                } else {
-                    g
-                };
-                let c = self.cids_t[phys] as usize;
-                probe.load_x(c, S::BYTES);
-                acc = S::acc_mul_add(acc, self.vals_t[phys], x[c]);
-            }
-            let row = segs[seg_idx] as usize;
-            y[row] = acc_spill(y[row], acc);
-            probe.store_y(1, S::BYTES);
-            probe.warp_end(t);
+        let mut carry = vec![S::acc_zero(); n_tiles];
+        {
+            let y_s = SharedSlice::new(&mut y);
+            let carry_s = SharedSlice::new(&mut carry);
+            exec.run(n_tiles, probe, |t, p| {
+                self.tile_warp(x, &y_s, &carry_s, t, p)
+            });
+        }
+        // The cross-tile accumulation the hardware kernel does with
+        // atomics; unprobed (every spill was already counted as a store).
+        for (t, &c) in carry.iter().enumerate() {
+            let row = self.tile_first_row[t] as usize;
+            y[row] = acc_spill(y[row], c);
         }
         y
+    }
+
+    /// Warp body: tile `t`'s segmented sum. The first segment close goes to
+    /// `carry[t]`; later closes write `y` directly (see [`Csr5::spmv_with`]).
+    fn tile_warp<P: Probe>(
+        &self,
+        x: &[S],
+        y: &SharedSlice<S>,
+        carry: &SharedSlice<S::Acc>,
+        t: usize,
+        probe: &mut P,
+    ) {
+        let tile_nnz = WARP_SIZE * self.sigma;
+        let words_per_tile = tile_nnz.div_ceil(64);
+        let full_tiles = self.nnz / tile_nnz;
+        probe.warp_begin(t);
+        let base = t * tile_nnz;
+        let end = (base + tile_nnz).min(self.nnz);
+        let count = end - base;
+        // The trailing partial tile leaves whole lanes without
+        // elements.
+        if count < tile_nnz {
+            let live = count.div_ceil(self.sigma);
+            probe.divergence((WARP_SIZE - live) as u64);
+        }
+        probe.load_meta(1, 4); // tile_first_row
+        probe.load_meta(words_per_tile as u64, 8); // bit flags
+        probe.load_val(count as u64, S::BYTES);
+        probe.load_idx(count as u64, 4);
+        // Balanced issue: every lane runs sigma steps regardless of
+        // segment structure (CSR5's core property). Each step is one
+        // FMA plus one segmented-sum bookkeeping op (bit-flag test and
+        // predicated partial-sum handling), so two ALU slots/element.
+        probe.fma(2 * tile_nnz as u64);
+        // Cross-lane segmented merge: two log2(32) shuffle passes.
+        probe.shfl(10);
+
+        let segs = &self.seg_rows[self.seg_ptr[t]..self.seg_ptr[t + 1]];
+        probe.load_meta(segs.len() as u64, 4);
+        let mut seg_idx = 0usize;
+        let mut acc = S::acc_zero();
+        let mut first_spill = true;
+        for p in 0..count {
+            let g = base + p;
+            if p > 0 && self.flag(t, p, words_per_tile) {
+                // Close the previous segment.
+                if first_spill {
+                    carry.write(t, acc);
+                    first_spill = false;
+                } else {
+                    y.write(segs[seg_idx] as usize, acc_spill(S::zero(), acc));
+                }
+                probe.store_y(1, S::BYTES);
+                seg_idx += 1;
+                acc = S::acc_zero();
+            }
+            let phys = if t < full_tiles {
+                let (lane, step) = (p / self.sigma, p % self.sigma);
+                base + step * WARP_SIZE + lane
+            } else {
+                g
+            };
+            let c = self.cids_t[phys] as usize;
+            probe.load_x(c, S::BYTES);
+            acc = S::acc_mul_add(acc, self.vals_t[phys], x[c]);
+        }
+        if first_spill {
+            carry.write(t, acc);
+        } else {
+            y.write(segs[seg_idx] as usize, acc_spill(S::zero(), acc));
+        }
+        probe.store_y(1, S::BYTES);
+        probe.warp_end(t);
     }
 
     #[inline]

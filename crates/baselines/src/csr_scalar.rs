@@ -16,7 +16,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::Probe;
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
@@ -34,8 +34,14 @@ impl<S: Scalar> CsrScalar<S> {
         CsrScalar { csr: csr.clone() }
     }
 
-    /// Computes `y = A x`.
-    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+    /// Computes `y = A x` on the process-default executor.
+    pub fn spmv<P: ShardableProbe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        self.spmv_with(x, probe, &Executor::from_env())
+    }
+
+    /// Computes `y = A x` under the given executor. Each warp owns a
+    /// disjoint 32-row band, so the warp bodies parallelize directly.
+    pub fn spmv_with<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
         let csr = &self.csr;
         assert_eq!(x.len(), csr.cols);
         let mut y = vec![S::zero(); csr.rows];
@@ -48,31 +54,47 @@ impl<S: Scalar> CsrScalar<S> {
             WARPS_PER_BLOCK as u64,
         );
 
-        for w in 0..n_warps {
-            let lo_row = w * WARP_SIZE;
-            let hi_row = ((w + 1) * WARP_SIZE).min(csr.rows);
-            let mut max_len = 0usize;
-            for i in lo_row..hi_row {
-                let len = csr.row_len(i);
-                max_len = max_len.max(len);
-                probe.load_meta(2, 4); // RowPtr[i], RowPtr[i+1]
-                let mut sum = S::acc_zero();
-                for j in csr.row_ptr[i]..csr.row_ptr[i + 1] {
-                    let c = csr.col_idx[j] as usize;
-                    probe.load_val(1, S::BYTES);
-                    probe.load_idx(1, 4);
-                    probe.load_x(c, S::BYTES);
-                    sum = S::acc_mul_add(sum, csr.vals[j], x[c]);
-                }
-                y[i] = S::from_acc(sum);
-                probe.store_y(1, S::BYTES);
-            }
-            // Issued FMA slots: every lane occupies the warp for the
-            // longest row's duration (divergence).
-            probe.fma((WARP_SIZE * max_len) as u64);
-        }
+        let shared = SharedSlice::new(&mut y);
+        exec.run(n_warps, probe, |w, p| {
+            csr_scalar_warp(csr, x, &shared, w, p)
+        });
+        drop(shared);
         y
     }
+}
+
+/// Warp body: warp `w`'s 32 threads each reduce one row of the band
+/// `w*32..(w+1)*32`.
+pub fn csr_scalar_warp<S: Scalar, P: Probe>(
+    csr: &Csr<S>,
+    x: &[S],
+    y: &SharedSlice<S>,
+    w: usize,
+    probe: &mut P,
+) {
+    probe.warp_begin(w);
+    let lo_row = w * WARP_SIZE;
+    let hi_row = ((w + 1) * WARP_SIZE).min(csr.rows);
+    let mut max_len = 0usize;
+    for i in lo_row..hi_row {
+        let len = csr.row_len(i);
+        max_len = max_len.max(len);
+        probe.load_meta(2, 4); // RowPtr[i], RowPtr[i+1]
+        let mut sum = S::acc_zero();
+        for j in csr.row_ptr[i]..csr.row_ptr[i + 1] {
+            let c = csr.col_idx[j] as usize;
+            probe.load_val(1, S::BYTES);
+            probe.load_idx(1, 4);
+            probe.load_x(c, S::BYTES);
+            sum = S::acc_mul_add(sum, csr.vals[j], x[c]);
+        }
+        y.write(i, S::from_acc(sum));
+        probe.store_y(1, S::BYTES);
+    }
+    // Issued FMA slots: every lane occupies the warp for the
+    // longest row's duration (divergence).
+    probe.fma((WARP_SIZE * max_len) as u64);
+    probe.warp_end(w);
 }
 
 #[cfg(test)]

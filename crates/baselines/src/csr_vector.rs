@@ -11,7 +11,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::Probe;
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
@@ -44,16 +44,21 @@ impl<S: Scalar> CsrVector<S> {
         self.threads_per_row
     }
 
-    /// Computes `y = A x`.
-    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+    /// Computes `y = A x` on the process-default executor.
+    pub fn spmv<P: ShardableProbe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        self.spmv_with(x, probe, &Executor::from_env())
+    }
+
+    /// Computes `y = A x` under the given executor. Each warp owns a
+    /// disjoint group of `32 / threads_per_row` consecutive rows.
+    pub fn spmv_with<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
         let csr = &self.csr;
         assert_eq!(x.len(), csr.cols);
         let mut y = vec![S::zero(); csr.rows];
         if csr.rows == 0 {
             return y;
         }
-        let tpr = self.threads_per_row;
-        let rows_per_warp = WARP_SIZE / tpr;
+        let rows_per_warp = WARP_SIZE / self.threads_per_row;
         let n_warps = csr.rows.div_ceil(rows_per_warp);
         // A vendor-library call is not a bare kernel launch: cusparseSpMV
         // validates parameters, selects an algorithm and stages descriptors
@@ -66,41 +71,54 @@ impl<S: Scalar> CsrVector<S> {
             WARPS_PER_BLOCK as u64,
         );
 
-        for i in 0..csr.rows {
-            if i % rows_per_warp == 0 {
-                probe.warp_begin(i / rows_per_warp);
-            }
-            probe.load_meta(2, 4);
-            let lo = csr.row_ptr[i];
-            let hi = csr.row_ptr[i + 1];
-            let len = hi - lo;
-            let mut sum = S::acc_zero();
-            for j in lo..hi {
-                let c = csr.col_idx[j] as usize;
-                probe.load_val(1, S::BYTES);
-                probe.load_idx(1, 4);
-                probe.load_x(c, S::BYTES);
-                sum = S::acc_mul_add(sum, csr.vals[j], x[c]);
-            }
-            // Issued slots: the sub-warp rounds the row up to a multiple of
-            // its width (idle lanes on the last pass).
-            probe.fma((len.div_ceil(tpr) * tpr) as u64);
-            // Those same idle slots are predicated-off lanes — the
-            // row-length-skew divergence DASP's packing removes.
-            let pad = len.div_ceil(tpr) * tpr - len;
-            if pad > 0 {
-                probe.divergence(pad as u64);
-            }
-            // Sub-warp tree reduction.
-            probe.shfl(tpr.trailing_zeros() as u64);
-            y[i] = S::from_acc(sum);
-            probe.store_y(1, S::BYTES);
-            if (i + 1) % rows_per_warp == 0 || i + 1 == csr.rows {
-                probe.warp_end(i / rows_per_warp);
-            }
-        }
+        let shared = SharedSlice::new(&mut y);
+        exec.run(n_warps, probe, |w, p| {
+            csr_vector_warp(csr, x, &shared, self.threads_per_row, w, p)
+        });
+        drop(shared);
         y
     }
+}
+
+/// Warp body: warp `w` reduces its `32 / tpr` rows, one sub-warp each.
+pub fn csr_vector_warp<S: Scalar, P: Probe>(
+    csr: &Csr<S>,
+    x: &[S],
+    y: &SharedSlice<S>,
+    tpr: usize,
+    w: usize,
+    probe: &mut P,
+) {
+    let rows_per_warp = WARP_SIZE / tpr;
+    probe.warp_begin(w);
+    for i in w * rows_per_warp..((w + 1) * rows_per_warp).min(csr.rows) {
+        probe.load_meta(2, 4);
+        let lo = csr.row_ptr[i];
+        let hi = csr.row_ptr[i + 1];
+        let len = hi - lo;
+        let mut sum = S::acc_zero();
+        for j in lo..hi {
+            let c = csr.col_idx[j] as usize;
+            probe.load_val(1, S::BYTES);
+            probe.load_idx(1, 4);
+            probe.load_x(c, S::BYTES);
+            sum = S::acc_mul_add(sum, csr.vals[j], x[c]);
+        }
+        // Issued slots: the sub-warp rounds the row up to a multiple of
+        // its width (idle lanes on the last pass).
+        probe.fma((len.div_ceil(tpr) * tpr) as u64);
+        // Those same idle slots are predicated-off lanes — the
+        // row-length-skew divergence DASP's packing removes.
+        let pad = len.div_ceil(tpr) * tpr - len;
+        if pad > 0 {
+            probe.divergence(pad as u64);
+        }
+        // Sub-warp tree reduction.
+        probe.shfl(tpr.trailing_zeros() as u64);
+        y.write(i, S::from_acc(sum));
+        probe.store_y(1, S::BYTES);
+    }
+    probe.warp_end(w);
 }
 
 #[cfg(test)]

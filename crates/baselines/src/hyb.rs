@@ -13,7 +13,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::Probe;
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
@@ -100,15 +100,28 @@ impl<S: Scalar> Hyb<S> {
         (self.ell_vals.len() + self.coo.len()) as f64 / self.nnz as f64
     }
 
-    /// Computes `y = A x`: thread-per-row over the ELL slab, element-wise
-    /// atomics over the COO tail.
-    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+    /// Computes `y = A x` on the process-default executor.
+    pub fn spmv<P: ShardableProbe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        self.spmv_with(x, probe, &Executor::from_env())
+    }
+
+    /// Computes `y = A x` under the given executor: thread-per-row over the
+    /// ELL slab (warps own disjoint 32-row bands), element-wise atomics
+    /// over the COO tail.
+    ///
+    /// The COO tail accumulates onto `y` at *storage* precision per
+    /// element, so its result depends on accumulation order; it therefore
+    /// always runs sequentially on the calling thread, under both
+    /// executors, keeping the output bit-identical across them.
+    pub fn spmv_with<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![S::zero(); self.rows];
         if self.rows == 0 || self.nnz == 0 {
             return y;
         }
-        // ELL kernel.
+        // ELL kernel. The slab-wide streams (values, ids, issued slots) are
+        // accounted in bulk at dispatch; per-element x gathers inside the
+        // warp bodies.
         let n_warps = self.rows.div_ceil(WARP_SIZE);
         probe.kernel_launch(
             n_warps.div_ceil(WARPS_PER_BLOCK) as u64,
@@ -117,20 +130,9 @@ impl<S: Scalar> Hyb<S> {
         probe.load_val(self.ell_vals.len() as u64, S::BYTES);
         probe.load_idx(self.ell_cids.len() as u64, 4);
         probe.fma(self.ell_vals.len() as u64); // padded slots issue too
-        let mut acc = vec![S::acc_zero(); self.rows];
-        for j in 0..self.k {
-            for r in 0..self.rows {
-                let e = j * self.rows + r;
-                let v = self.ell_vals[e];
-                if v != S::zero() || self.ell_cids[e] != 0 {
-                    let c = self.ell_cids[e] as usize;
-                    probe.load_x(c, S::BYTES);
-                    acc[r] = S::acc_mul_add(acc[r], v, x[c]);
-                }
-            }
-        }
-        for (r, a) in acc.iter().enumerate() {
-            y[r] = S::from_acc(*a);
+        {
+            let shared = SharedSlice::new(&mut y);
+            exec.run(n_warps, probe, |w, p| self.ell_warp(x, &shared, w, p));
         }
         probe.store_y(self.rows as u64, S::BYTES);
 
@@ -154,6 +156,30 @@ impl<S: Scalar> Hyb<S> {
             }
         }
         y
+    }
+
+    /// Warp body: warp `w`'s 32 threads sweep the ELL slab column-major
+    /// over their 32-row band.
+    fn ell_warp<P: Probe>(&self, x: &[S], y: &SharedSlice<S>, w: usize, probe: &mut P) {
+        probe.warp_begin(w);
+        let lo = w * WARP_SIZE;
+        let hi = ((w + 1) * WARP_SIZE).min(self.rows);
+        let mut acc = [S::acc_zero(); WARP_SIZE];
+        for j in 0..self.k {
+            for r in lo..hi {
+                let e = j * self.rows + r;
+                let v = self.ell_vals[e];
+                if v != S::zero() || self.ell_cids[e] != 0 {
+                    let c = self.ell_cids[e] as usize;
+                    probe.load_x(c, S::BYTES);
+                    acc[r - lo] = S::acc_mul_add(acc[r - lo], v, x[c]);
+                }
+            }
+        }
+        for r in lo..hi {
+            y.write(r, S::from_acc(acc[r - lo]));
+        }
+        probe.warp_end(w);
     }
 }
 

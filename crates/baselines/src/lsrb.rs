@@ -22,7 +22,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::Probe;
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::{acc_spill as spill, WARPS_PER_BLOCK};
@@ -62,8 +62,22 @@ impl<S: Scalar> LsrbCsr<S> {
         self.seg_first_row.len()
     }
 
-    /// Computes `y = A x`.
-    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+    /// Computes `y = A x` on the process-default executor.
+    pub fn spmv<P: ShardableProbe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        self.spmv_with(x, probe, &Executor::from_env())
+    }
+
+    /// Computes `y = A x` under the given executor.
+    ///
+    /// Segments do not own disjoint rows — a row can span segments — so
+    /// the warp bodies use the same first-spill carry as
+    /// [`Csr5::spmv_with`](crate::Csr5::spmv_with): each segment's first
+    /// row close (always `seg_first_row[s]`, the only row shared with a
+    /// predecessor) goes to a per-segment carry slot, later closes target
+    /// rows that start inside the segment (their `y` still zero), and a
+    /// sequential epilogue folds carries in ascending segment order,
+    /// keeping `y` bit-identical to the sequential run.
+    pub fn spmv_with<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
         let csr = &self.csr;
         assert_eq!(x.len(), csr.cols);
         let mut y = vec![S::zero(); csr.rows];
@@ -76,41 +90,76 @@ impl<S: Scalar> LsrbCsr<S> {
             WARPS_PER_BLOCK as u64,
         );
 
-        for s in 0..n_segs {
-            let lo = s * SEGMENT_NNZ;
-            let hi = (lo + SEGMENT_NNZ).min(csr.nnz());
-            probe.load_meta(1, 4); // segment descriptor
-                                   // Balanced element processing: segments always issue a full
-                                   // warp-multiple of slots; each element costs an FMA plus two
-                                   // bookkeeping ops (row-boundary test, shared-memory staging).
-            probe.fma((3 * (hi - lo).div_ceil(WARP_SIZE) * WARP_SIZE) as u64);
-            // Shared-memory segmented reduction per 256-element segment.
-            probe.shfl(48);
-
-            let mut row = self.seg_first_row[s] as usize;
-            // Rows are located by walking row_ptr within the segment; each
-            // crossing is one metadata read.
-            let mut acc = S::acc_zero();
-            for g in lo..hi {
-                while csr.row_ptr[row + 1] <= g {
-                    // close this row's contribution (carry if it spans)
-                    y[row] = spill(y[row], acc);
-                    probe.store_y(1, S::BYTES);
-                    acc = S::acc_zero();
-                    row += 1;
-                    probe.load_meta(1, 4);
-                }
-                let c = csr.col_idx[g] as usize;
-                // 1.5x effective-coalescing penalty on the streamed arrays.
-                probe.load_val(3, S::BYTES / 2);
-                probe.load_idx(3, 2);
-                probe.load_x(c, S::BYTES);
-                acc = S::acc_mul_add(acc, csr.vals[g], x[c]);
-            }
-            y[row] = spill(y[row], acc);
-            probe.store_y(1, S::BYTES);
+        let mut carry = vec![S::acc_zero(); n_segs];
+        {
+            let y_s = SharedSlice::new(&mut y);
+            let carry_s = SharedSlice::new(&mut carry);
+            exec.run(n_segs, probe, |s, p| {
+                self.segment_warp(x, &y_s, &carry_s, s, p)
+            });
+        }
+        for (s, &c) in carry.iter().enumerate() {
+            let row = self.seg_first_row[s] as usize;
+            y[row] = spill(y[row], c);
         }
         y
+    }
+
+    /// Warp body: segment `s`'s row-walking reduction. The first row close
+    /// goes to `carry[s]`; later closes write `y` directly.
+    fn segment_warp<P: Probe>(
+        &self,
+        x: &[S],
+        y: &SharedSlice<S>,
+        carry: &SharedSlice<S::Acc>,
+        s: usize,
+        probe: &mut P,
+    ) {
+        let csr = &self.csr;
+        probe.warp_begin(s);
+        let lo = s * SEGMENT_NNZ;
+        let hi = (lo + SEGMENT_NNZ).min(csr.nnz());
+        probe.load_meta(1, 4); // segment descriptor
+                               // Balanced element processing: segments always issue a full
+                               // warp-multiple of slots; each element costs an FMA plus two
+                               // bookkeeping ops (row-boundary test, shared-memory staging).
+        probe.fma((3 * (hi - lo).div_ceil(WARP_SIZE) * WARP_SIZE) as u64);
+        // Shared-memory segmented reduction per 256-element segment.
+        probe.shfl(48);
+
+        let mut row = self.seg_first_row[s] as usize;
+        // Rows are located by walking row_ptr within the segment; each
+        // crossing is one metadata read.
+        let mut acc = S::acc_zero();
+        let mut first_spill = true;
+        for g in lo..hi {
+            while csr.row_ptr[row + 1] <= g {
+                // close this row's contribution (carry if it spans)
+                if first_spill {
+                    carry.write(s, acc);
+                    first_spill = false;
+                } else {
+                    y.write(row, spill(S::zero(), acc));
+                }
+                probe.store_y(1, S::BYTES);
+                acc = S::acc_zero();
+                row += 1;
+                probe.load_meta(1, 4);
+            }
+            let c = csr.col_idx[g] as usize;
+            // 1.5x effective-coalescing penalty on the streamed arrays.
+            probe.load_val(3, S::BYTES / 2);
+            probe.load_idx(3, 2);
+            probe.load_x(c, S::BYTES);
+            acc = S::acc_mul_add(acc, csr.vals[g], x[c]);
+        }
+        if first_spill {
+            carry.write(s, acc);
+        } else {
+            y.write(row, spill(S::zero(), acc));
+        }
+        probe.store_y(1, S::BYTES);
+        probe.warp_end(s);
     }
 }
 

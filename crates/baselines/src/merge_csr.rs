@@ -11,7 +11,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::Probe;
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::{acc_spill as spill, WARPS_PER_BLOCK};
@@ -58,8 +58,23 @@ impl<S: Scalar> MergeCsr<S> {
         (lo, d - lo)
     }
 
-    /// Computes `y = A x`.
-    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+    /// Computes `y = A x` on the process-default executor.
+    pub fn spmv<P: ShardableProbe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        self.spmv_with(x, probe, &Executor::from_env())
+    }
+
+    /// Computes `y = A x` under the given executor.
+    ///
+    /// Merge segments do not own disjoint rows — rows span segment
+    /// boundaries — so the warp bodies use a first-spill carry like
+    /// [`Csr5::spmv_with`](crate::Csr5::spmv_with). Unlike CSR5/LSRB the
+    /// first spill's target row comes from the runtime diagonal search, so
+    /// the carry slot stores the `(row, partial)` pair. Every later spill
+    /// targets a row whose merge items all start inside this segment (its
+    /// `y` still zero), and the sequential epilogue folds carries in
+    /// ascending segment order, keeping `y` bit-identical to the
+    /// sequential run.
+    pub fn spmv_with<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
         let csr = &self.csr;
         assert_eq!(x.len(), csr.cols);
         let mut y = vec![S::zero(); csr.rows];
@@ -72,47 +87,85 @@ impl<S: Scalar> MergeCsr<S> {
             WARPS_PER_BLOCK as u64,
         );
 
-        let total = csr.rows + csr.nnz();
-        for seg in 0..n_segs {
-            let d_lo = seg * ITEMS_PER_SEGMENT;
-            let d_hi = ((seg + 1) * ITEMS_PER_SEGMENT).min(total);
-            let (mut row, mut nz) = self.diagonal_search(d_lo);
-            // Binary search cost: log2(rows) row_ptr probes.
-            probe.load_meta((usize::BITS - csr.rows.leading_zeros()) as u64, 4);
-
-            // Balanced issue: every segment occupies a full warp for its
-            // item count (one slot per merge item).
-            probe.fma(((d_hi - d_lo).div_ceil(WARP_SIZE) * WARP_SIZE) as u64);
-            // Segment-wide carry reduction.
-            probe.shfl(10);
-
-            let mut acc = S::acc_zero();
-            let mut item = d_lo;
-            while item < d_hi {
-                if row < csr.rows && nz == csr.row_ptr[row + 1] {
-                    // Close the row (merge consumes a row end-offset).
-                    probe.load_meta(1, 4);
-                    y[row] = spill(y[row], acc);
-                    probe.store_y(1, S::BYTES);
-                    acc = S::acc_zero();
-                    row += 1;
-                } else {
-                    let c = csr.col_idx[nz] as usize;
-                    probe.load_val(1, S::BYTES);
-                    probe.load_idx(1, 4);
-                    probe.load_x(c, S::BYTES);
-                    acc = S::acc_mul_add(acc, csr.vals[nz], x[c]);
-                    nz += 1;
-                }
-                item += 1;
-            }
-            // Carry the trailing partial row into y (the fix-up pass).
-            if row < csr.rows {
-                y[row] = spill(y[row], acc);
-                probe.store_y(1, S::BYTES);
+        // Sentinel row: a segment that never spills (impossible today, but
+        // cheap to guard) contributes nothing in the fix-up pass.
+        let mut carry: Vec<(u32, S::Acc)> = vec![(u32::MAX, S::acc_zero()); n_segs];
+        {
+            let y_s = SharedSlice::new(&mut y);
+            let carry_s = SharedSlice::new(&mut carry);
+            exec.run(n_segs, probe, |seg, p| {
+                self.segment_warp(x, &y_s, &carry_s, seg, p)
+            });
+        }
+        for &(row, c) in carry.iter() {
+            if row != u32::MAX {
+                y[row as usize] = spill(y[row as usize], c);
             }
         }
         y
+    }
+
+    /// Warp body: segment `seg`'s merge walk. The first spill goes to
+    /// `carry[seg]`; later spills write `y` directly.
+    fn segment_warp<P: Probe>(
+        &self,
+        x: &[S],
+        y: &SharedSlice<S>,
+        carry: &SharedSlice<(u32, S::Acc)>,
+        seg: usize,
+        probe: &mut P,
+    ) {
+        let csr = &self.csr;
+        let total = csr.rows + csr.nnz();
+        probe.warp_begin(seg);
+        let d_lo = seg * ITEMS_PER_SEGMENT;
+        let d_hi = ((seg + 1) * ITEMS_PER_SEGMENT).min(total);
+        let (mut row, mut nz) = self.diagonal_search(d_lo);
+        // Binary search cost: log2(rows) row_ptr probes.
+        probe.load_meta((usize::BITS - csr.rows.leading_zeros()) as u64, 4);
+
+        // Balanced issue: every segment occupies a full warp for its
+        // item count (one slot per merge item).
+        probe.fma(((d_hi - d_lo).div_ceil(WARP_SIZE) * WARP_SIZE) as u64);
+        // Segment-wide carry reduction.
+        probe.shfl(10);
+
+        let mut acc = S::acc_zero();
+        let mut first_spill = true;
+        let mut item = d_lo;
+        while item < d_hi {
+            if row < csr.rows && nz == csr.row_ptr[row + 1] {
+                // Close the row (merge consumes a row end-offset).
+                probe.load_meta(1, 4);
+                if first_spill {
+                    carry.write(seg, (row as u32, acc));
+                    first_spill = false;
+                } else {
+                    y.write(row, spill(S::zero(), acc));
+                }
+                probe.store_y(1, S::BYTES);
+                acc = S::acc_zero();
+                row += 1;
+            } else {
+                let c = csr.col_idx[nz] as usize;
+                probe.load_val(1, S::BYTES);
+                probe.load_idx(1, 4);
+                probe.load_x(c, S::BYTES);
+                acc = S::acc_mul_add(acc, csr.vals[nz], x[c]);
+                nz += 1;
+            }
+            item += 1;
+        }
+        // Carry the trailing partial row into y (the fix-up pass).
+        if row < csr.rows {
+            if first_spill {
+                carry.write(seg, (row as u32, acc));
+            } else {
+                y.write(row, spill(S::zero(), acc));
+            }
+            probe.store_y(1, S::BYTES);
+        }
+        probe.warp_end(seg);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Uniform dispatch over the baseline methods for the experiment drivers.
 
 use dasp_fp16::Scalar;
-use dasp_simt::Probe;
+use dasp_simt::{Executor, ShardableProbe};
 use dasp_sparse::Csr;
 
 use crate::{BsrSpmv, Csr5, CsrScalar, CsrVector, Hyb, LsrbCsr, MergeCsr, SellCSigma, TileSpmv};
@@ -69,31 +69,52 @@ impl<S: Scalar> Baseline<S> {
     /// probe counter delta for the run, mirroring the naming the DASP
     /// kernels use so baseline and DASP traces line up in one timeline.
     /// With a disabled tracer this is exactly `spmv`.
-    pub fn spmv_traced<P: Probe>(
+    pub fn spmv_traced<P: ShardableProbe>(
         &self,
         x: &[S],
         probe: &mut P,
         tracer: &dasp_trace::Tracer,
     ) -> Vec<S> {
+        self.spmv_traced_with(x, probe, tracer, &Executor::from_env())
+    }
+
+    /// [`Baseline::spmv_with`] wrapped in a `spmv.kernel.<name>` span.
+    /// Under the parallel executor the probe shards merge before the span
+    /// closes, so the span's counter delta is complete either way.
+    pub fn spmv_traced_with<P: ShardableProbe>(
+        &self,
+        x: &[S],
+        probe: &mut P,
+        tracer: &dasp_trace::Tracer,
+        exec: &Executor,
+    ) -> Vec<S> {
         let mut sp = tracer.span(&format!("spmv.kernel.{}", self.name()));
         let before = probe.stats_snapshot();
-        let y = self.spmv(x, probe);
+        let y = self.spmv_with(x, probe, exec);
         sp.set_stats(probe.stats_snapshot().delta(&before));
         y
     }
 
-    /// Computes `y = A x` with the wrapped method.
-    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+    /// Computes `y = A x` with the wrapped method on the process-default
+    /// executor.
+    pub fn spmv<P: ShardableProbe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        self.spmv_with(x, probe, &Executor::from_env())
+    }
+
+    /// Computes `y = A x` with the wrapped method under the given
+    /// executor. Every method's output and merged order-independent
+    /// counters are bit-identical across executors.
+    pub fn spmv_with<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
         match self {
-            Baseline::CsrScalar(m) => m.spmv(x, probe),
-            Baseline::CsrVector(m) => m.spmv(x, probe),
-            Baseline::Csr5(m) => m.spmv(x, probe),
-            Baseline::TileSpmv(m) => m.spmv(x, probe),
-            Baseline::LsrbCsr(m) => m.spmv(x, probe),
-            Baseline::Bsr(m) => m.spmv(x, probe),
-            Baseline::MergeCsr(m) => m.spmv(x, probe),
-            Baseline::Sell(m) => m.spmv(x, probe),
-            Baseline::Hyb(m) => m.spmv(x, probe),
+            Baseline::CsrScalar(m) => m.spmv_with(x, probe, exec),
+            Baseline::CsrVector(m) => m.spmv_with(x, probe, exec),
+            Baseline::Csr5(m) => m.spmv_with(x, probe, exec),
+            Baseline::TileSpmv(m) => m.spmv_with(x, probe, exec),
+            Baseline::LsrbCsr(m) => m.spmv_with(x, probe, exec),
+            Baseline::Bsr(m) => m.spmv_with(x, probe, exec),
+            Baseline::MergeCsr(m) => m.spmv_with(x, probe, exec),
+            Baseline::Sell(m) => m.spmv_with(x, probe, exec),
+            Baseline::Hyb(m) => m.spmv_with(x, probe, exec),
         }
     }
 }

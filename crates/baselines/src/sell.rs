@@ -12,7 +12,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::Probe;
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
@@ -119,9 +119,16 @@ impl<S: Scalar> SellCSigma<S> {
         self.chunk_width.len()
     }
 
-    /// Computes `y = A x`: one warp per chunk, one lane per row, no
-    /// reductions.
-    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+    /// Computes `y = A x` on the process-default executor.
+    pub fn spmv<P: ShardableProbe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        self.spmv_with(x, probe, &Executor::from_env())
+    }
+
+    /// Computes `y = A x` under the given executor: one warp per chunk, one
+    /// lane per row, no reductions. Chunks own disjoint rows (the sorting
+    /// permutation is a bijection), so the warp bodies parallelize
+    /// directly.
+    pub fn spmv_with<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![S::zero(); self.rows];
         if self.rows == 0 || self.nnz == 0 {
@@ -133,32 +140,39 @@ impl<S: Scalar> SellCSigma<S> {
             WARPS_PER_BLOCK as u64,
         );
 
-        for ch in 0..n_chunks {
-            probe.load_meta(2, 4); // chunk_ptr + width
-            let base = self.chunk_ptr[ch];
-            let width = self.chunk_width[ch];
-            let lanes = (self.rows - ch * CHUNK).min(CHUNK);
-            // Every lane runs the full chunk width (padding included) —
-            // SELL's issued-slot cost.
-            probe.fma((width * CHUNK) as u64);
-            probe.load_val((width * CHUNK) as u64, S::BYTES);
-            probe.load_idx((width * CHUNK) as u64, 4);
-            let mut acc = [S::acc_zero(); CHUNK];
-            for j in 0..width {
-                for (lane, a) in acc.iter_mut().enumerate().take(lanes) {
-                    let e = base + j * CHUNK + lane;
-                    let c = self.cids[e] as usize;
-                    probe.load_x(c, S::BYTES);
-                    *a = S::acc_mul_add(*a, self.vals[e], x[c]);
-                }
-            }
-            for (lane, a) in acc.iter().enumerate().take(lanes) {
-                let row = self.perm[ch * CHUNK + lane] as usize;
-                y[row] = S::from_acc(*a);
-                probe.store_y(1, S::BYTES);
+        let shared = SharedSlice::new(&mut y);
+        exec.run(n_chunks, probe, |ch, p| self.chunk_warp(x, &shared, ch, p));
+        drop(shared);
+        y
+    }
+
+    /// Warp body: chunk `ch`'s 32 lanes stream their rows column-major.
+    fn chunk_warp<P: Probe>(&self, x: &[S], y: &SharedSlice<S>, ch: usize, probe: &mut P) {
+        probe.warp_begin(ch);
+        probe.load_meta(2, 4); // chunk_ptr + width
+        let base = self.chunk_ptr[ch];
+        let width = self.chunk_width[ch];
+        let lanes = (self.rows - ch * CHUNK).min(CHUNK);
+        // Every lane runs the full chunk width (padding included) —
+        // SELL's issued-slot cost.
+        probe.fma((width * CHUNK) as u64);
+        probe.load_val((width * CHUNK) as u64, S::BYTES);
+        probe.load_idx((width * CHUNK) as u64, 4);
+        let mut acc = [S::acc_zero(); CHUNK];
+        for j in 0..width {
+            for (lane, a) in acc.iter_mut().enumerate().take(lanes) {
+                let e = base + j * CHUNK + lane;
+                let c = self.cids[e] as usize;
+                probe.load_x(c, S::BYTES);
+                *a = S::acc_mul_add(*a, self.vals[e], x[c]);
             }
         }
-        y
+        for (lane, a) in acc.iter().enumerate().take(lanes) {
+            let row = self.perm[ch * CHUNK + lane] as usize;
+            y.write(row, S::from_acc(*a));
+            probe.store_y(1, S::BYTES);
+        }
+        probe.warp_end(ch);
     }
 }
 

@@ -19,7 +19,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use dasp_fp16::Scalar;
-use dasp_simt::Probe;
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
@@ -118,8 +118,14 @@ impl<S: Scalar> TileSpmv<S> {
         self.nnz as f64 / self.tiles.len() as f64
     }
 
-    /// Computes `y = A x`: one warp per tile row of tiles.
-    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+    /// Computes `y = A x` on the process-default executor.
+    pub fn spmv<P: ShardableProbe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        self.spmv_with(x, probe, &Executor::from_env())
+    }
+
+    /// Computes `y = A x` under the given executor: one warp per tile row
+    /// of tiles, each owning a disjoint 16-row band of `y`.
+    pub fn spmv_with<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
         assert_eq!(x.len(), self.cols);
         let mut y = vec![S::zero(); self.rows];
         let n_tile_rows = self.tile_row_ptr.len() - 1;
@@ -131,51 +137,58 @@ impl<S: Scalar> TileSpmv<S> {
             WARPS_PER_BLOCK as u64,
         );
 
+        let shared = SharedSlice::new(&mut y);
+        exec.run(n_tile_rows, probe, |ti, p| {
+            self.tile_row_warp(x, &shared, ti, p)
+        });
+        drop(shared);
+        y
+    }
+
+    /// Warp body: sweep tile row `ti`'s tiles, accumulating the 16-row band
+    /// in registers.
+    fn tile_row_warp<P: Probe>(&self, x: &[S], y: &SharedSlice<S>, ti: usize, probe: &mut P) {
+        probe.warp_begin(ti);
+        probe.load_meta(2, 4); // tile_row_ptr
         let mut acc = [S::acc_zero(); TILE_DIM];
-        for ti in 0..n_tile_rows {
-            probe.load_meta(2, 4); // tile_row_ptr
-            for a in acc.iter_mut() {
-                *a = S::acc_zero();
-            }
-            for t in &self.tiles[self.tile_row_ptr[ti]..self.tile_row_ptr[ti + 1]] {
-                probe.load_meta(1, 4); // tile column id + format tag
-                match t.format {
-                    TileFormat::DenseBitmap => {
-                        probe.load_meta(1, 32); // 256-bit occupancy bitmap
-                        probe.load_val(t.elems.len() as u64, S::BYTES);
-                    }
-                    TileFormat::TileCsr => {
-                        probe.load_meta(TILE_DIM as u64 + 1, 1); // local row ptr (u8)
-                        probe.load_val(t.elems.len() as u64, S::BYTES);
-                        probe.load_idx(t.elems.len() as u64, 1); // 1-byte local cols
-                    }
+        for t in &self.tiles[self.tile_row_ptr[ti]..self.tile_row_ptr[ti + 1]] {
+            probe.load_meta(1, 4); // tile column id + format tag
+            match t.format {
+                TileFormat::DenseBitmap => {
+                    probe.load_meta(1, 32); // 256-bit occupancy bitmap
+                    probe.load_val(t.elems.len() as u64, S::BYTES);
                 }
-                // The x segment of the tile column is loaded wholesale and
-                // reused by the warp.
-                let xbase = t.col_tile as usize * TILE_DIM;
-                for lc in 0..TILE_DIM.min(self.cols - xbase) {
-                    probe.load_x(xbase + lc, S::BYTES);
-                }
-                // Tiles are 16 wide but warps are 32 wide: half the lanes
-                // idle through each sweep, and every tile pays a format-
-                // dispatch branch before its compute. Both show up as
-                // issued ALU slots.
-                probe.fma((2 * t.elems.len().div_ceil(32) * 32 + 32) as u64);
-                probe.shfl(4); // intra-tile row reduction
-                for &(lr, lc, v) in &t.elems {
-                    let c = xbase + lc as usize;
-                    acc[lr as usize] = S::acc_mul_add(acc[lr as usize], v, x[c]);
+                TileFormat::TileCsr => {
+                    probe.load_meta(TILE_DIM as u64 + 1, 1); // local row ptr (u8)
+                    probe.load_val(t.elems.len() as u64, S::BYTES);
+                    probe.load_idx(t.elems.len() as u64, 1); // 1-byte local cols
                 }
             }
-            for (lr, a) in acc.iter().enumerate() {
-                let r = ti * TILE_DIM + lr;
-                if r < self.rows {
-                    y[r] = S::from_acc(*a);
-                    probe.store_y(1, S::BYTES);
-                }
+            // The x segment of the tile column is loaded wholesale and
+            // reused by the warp.
+            let xbase = t.col_tile as usize * TILE_DIM;
+            for lc in 0..TILE_DIM.min(self.cols - xbase) {
+                probe.load_x(xbase + lc, S::BYTES);
+            }
+            // Tiles are 16 wide but warps are 32 wide: half the lanes
+            // idle through each sweep, and every tile pays a format-
+            // dispatch branch before its compute. Both show up as
+            // issued ALU slots.
+            probe.fma((2 * t.elems.len().div_ceil(32) * 32 + 32) as u64);
+            probe.shfl(4); // intra-tile row reduction
+            for &(lr, lc, v) in &t.elems {
+                let c = xbase + lc as usize;
+                acc[lr as usize] = S::acc_mul_add(acc[lr as usize], v, x[c]);
             }
         }
-        y
+        for (lr, a) in acc.iter().enumerate() {
+            let r = ti * TILE_DIM + lr;
+            if r < self.rows {
+                y.write(r, S::from_acc(*a));
+                probe.store_y(1, S::BYTES);
+            }
+        }
+        probe.warp_end(ti);
     }
 }
 

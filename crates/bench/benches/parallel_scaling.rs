@@ -1,12 +1,27 @@
-//! Host-side scaling: the multi-threaded `spmv_par` against the sequential
-//! simulator path, wall-clock. This benchmarks the *reproduction's* CPU
-//! performance (relevant for running large experiments and the solver
-//! examples), not the modeled GPU.
+//! Host-side scaling: the parallel executor against the sequential one,
+//! wall-clock, with instrumentation enabled. This benchmarks the
+//! *reproduction's* CPU performance (relevant for running large
+//! experiments and the solver examples), not the modeled GPU.
+//!
+//! Besides the Criterion timings, the bench asserts the executor
+//! contract on every workload — parallel `y` bit-identical to sequential
+//! and merged order-independent counters exactly equal — and prints the
+//! measured sequential/parallel speedup.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dasp_core::DaspMatrix;
 use dasp_matgen::dense_vector;
-use dasp_simt::NoProbe;
+use dasp_simt::{CountingProbe, Executor, NoProbe};
+
+/// Wall-clock of one instrumented run under `exec` (seconds).
+fn timed_run(d: &DaspMatrix<f64>, x: &[f64], exec: &Executor) -> (f64, Vec<f64>, CountingProbe) {
+    let mut probe = CountingProbe::a100();
+    let t0 = Instant::now();
+    let y = d.spmv_with(x, &mut probe, exec);
+    (t0.elapsed().as_secs_f64(), y, probe)
+}
 
 fn bench(c: &mut Criterion) {
     let mats = [
@@ -16,17 +31,51 @@ fn bench(c: &mut Criterion) {
             dasp_matgen::circuit_like(90_000, 12, 8000, 952),
         ),
     ];
+    let seq = Executor::seq();
+    let par = Executor::par();
     let mut g = c.benchmark_group("spmv_host");
     dasp_bench::configure(&mut g);
     g.measurement_time(std::time::Duration::from_millis(1500));
     for (name, csr) in &mats {
         let d = DaspMatrix::from_csr(csr);
         let x = dense_vector(csr.cols, 5);
+
+        // Executor contract, checked on the real workload: bit-identical
+        // output and exactly equal merged order-independent counters.
+        let (t_seq, y_seq, p_seq) = timed_run(&d, &x, &seq);
+        let (t_par, y_par, p_par) = timed_run(&d, &x, &par);
+        assert_eq!(y_seq, y_par, "{name}: parallel y must be bit-identical");
+        assert_eq!(
+            p_seq.stats().order_independent(),
+            p_par.stats().order_independent(),
+            "{name}: merged order-independent counters must match sequential"
+        );
+        println!(
+            "[parallel_scaling] {name}: instrumented seq {:8.2} ms, par {:8.2} ms -> {:.2}x speedup",
+            t_seq * 1e3,
+            t_par * 1e3,
+            t_seq / t_par
+        );
+
+        // Criterion series: uninstrumented (NoProbe) and instrumented
+        // (CountingProbe) under both executors.
         g.bench_with_input(BenchmarkId::new("sequential", name), &(), |b, _| {
-            b.iter(|| d.spmv(&x, &mut NoProbe))
+            b.iter(|| d.spmv_with(&x, &mut NoProbe, &seq))
         });
         g.bench_with_input(BenchmarkId::new("parallel", name), &(), |b, _| {
-            b.iter(|| d.spmv_par(&x))
+            b.iter(|| d.spmv_with(&x, &mut NoProbe, &par))
+        });
+        g.bench_with_input(BenchmarkId::new("sequential-probed", name), &(), |b, _| {
+            b.iter(|| {
+                let mut p = CountingProbe::a100();
+                d.spmv_with(&x, &mut p, &seq)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("parallel-probed", name), &(), |b, _| {
+            b.iter(|| {
+                let mut p = CountingProbe::a100();
+                d.spmv_with(&x, &mut p, &par)
+            })
         });
     }
     g.finish();

@@ -3,11 +3,18 @@
 //! ```text
 //! dasp-spmv MATRIX.mtx [--method dasp|csr5|tilespmv|lsrb-csr|cusparse-bsr|cusparse-csr|csr-scalar|merge-csr]
 //!           [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare]
-//!           [--trace OUT.json]
+//!           [--executor seq|par] [--threads N] [--trace OUT.json]
 //! ```
 //!
 //! `--compare` runs every method on the matrix and prints a ranking table
 //! instead of the single-method report.
+//!
+//! `--executor par` fans the simulated warps out over host threads
+//! (`--threads N` caps the count; default = available parallelism). The
+//! output vector and the order-independent counters are bit-identical to
+//! `seq`; only the x-cache hit/miss split becomes a per-shard
+//! approximation, so keep the default `seq` for paper figures. Without the
+//! flag the executor comes from `DASP_EXECUTOR`/`DASP_THREADS`.
 //!
 //! `--trace OUT.json` records preprocessing and kernel spans (with probe
 //! counter deltas) and writes them as Chrome Trace Event Format — open the
@@ -22,7 +29,8 @@ use std::process::ExitCode;
 
 use dasp_fp16::F16;
 use dasp_matgen::dense_vector;
-use dasp_perf::{a100, h800, measure_traced, DeviceModel, MethodKind};
+use dasp_perf::{a100, h800, measure_traced_with, DeviceModel, MethodKind};
+use dasp_simt::Executor;
 use dasp_sparse::mm::read_matrix_market;
 use dasp_sparse::{Coo, Csr};
 use dasp_trace::{chrome_trace_json, Tracer};
@@ -36,6 +44,8 @@ fn main() -> ExitCode {
     let mut verify = false;
     let mut compare = false;
     let mut trace_out: Option<String> = None;
+    let mut executor: Option<String> = None;
+    let mut threads: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -65,9 +75,23 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--executor" => match args.next() {
+                Some(e) if e == "seq" || e == "par" => executor = Some(e),
+                _ => {
+                    eprintln!("--executor requires seq or par");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--threads" => match args.next().and_then(|t| t.parse::<usize>().ok()) {
+                Some(t) if t > 0 => threads = Some(t),
+                _ => {
+                    eprintln!("--threads requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--trace OUT.json]"
+                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--executor seq|par] [--threads N] [--trace OUT.json]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -94,6 +118,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // --threads alone implies the parallel executor; with neither flag the
+    // DASP_EXECUTOR / DASP_THREADS environment picks (default seq).
+    let exec = match (executor.as_deref(), threads) {
+        (Some("par"), t) => Executor::par_with_threads(t),
+        (Some(_), _) => Executor::seq(),
+        (None, Some(t)) => Executor::par_with_threads(Some(t)),
+        (None, None) => Executor::from_env(),
+    };
 
     let file = match File::open(&path) {
         Ok(f) => f,
@@ -111,7 +143,7 @@ fn main() -> ExitCode {
     };
     let csr = coo.to_csr();
     println!(
-        "{}: {} x {}, {} nonzeros; method {}; device {}; {}",
+        "{}: {} x {}, {} nonzeros; method {}; device {}; {}; executor {}",
         path,
         csr.rows,
         csr.cols,
@@ -124,7 +156,8 @@ fn main() -> ExitCode {
             "fp32"
         } else {
             "fp64"
-        }
+        },
+        exec.name()
     );
 
     // Disabled unless --trace was given; a disabled tracer makes every
@@ -137,7 +170,12 @@ fn main() -> ExitCode {
 
     if compare {
         // Run the ranking at whichever precision the flags selected.
-        fn rank<S: dasp_fp16::Scalar>(csr: &Csr<S>, dev: &DeviceModel, tracer: &Tracer) {
+        fn rank<S: dasp_fp16::Scalar>(
+            csr: &Csr<S>,
+            dev: &DeviceModel,
+            tracer: &Tracer,
+            exec: &Executor,
+        ) {
             let x: Vec<S> = dense_vector(csr.cols, 42)
                 .iter()
                 .map(|&v| S::from_f64(v))
@@ -145,7 +183,7 @@ fn main() -> ExitCode {
             let mut rows: Vec<(MethodKind, f64, f64)> = MethodKind::all()
                 .iter()
                 .map(|&mk| {
-                    let m = measure_traced(mk, csr, &x, dev, tracer);
+                    let m = measure_traced_with(mk, csr, &x, dev, tracer, exec);
                     (mk, m.estimate.seconds, m.gflops)
                 })
                 .collect();
@@ -166,11 +204,11 @@ fn main() -> ExitCode {
             }
         }
         if fp16 {
-            rank::<F16>(&csr.cast(), &dev, &tracer);
+            rank::<F16>(&csr.cast(), &dev, &tracer, &exec);
         } else if fp32 {
-            rank::<f32>(&csr.cast(), &dev, &tracer);
+            rank::<f32>(&csr.cast(), &dev, &tracer, &exec);
         } else {
-            rank::<f64>(&csr, &dev, &tracer);
+            rank::<f64>(&csr, &dev, &tracer, &exec);
         }
         if let Some(out) = &trace_out {
             if let Err(e) = write_trace(out, &tracer) {
@@ -192,7 +230,10 @@ fn main() -> ExitCode {
         } else {
             None
         };
-        (measure_traced(method, &h, &x, &dev, &tracer), want)
+        (
+            measure_traced_with(method, &h, &x, &dev, &tracer, &exec),
+            want,
+        )
     } else if fp32 {
         let h: Csr<f32> = csr.cast();
         let x64 = dense_vector(h.cols, 42);
@@ -204,11 +245,17 @@ fn main() -> ExitCode {
         } else {
             None
         };
-        (measure_traced(method, &h, &x, &dev, &tracer), want)
+        (
+            measure_traced_with(method, &h, &x, &dev, &tracer, &exec),
+            want,
+        )
     } else {
         let x = dense_vector(csr.cols, 42);
         let want = verify.then(|| csr.spmv_reference(&x));
-        (measure_traced(method, &csr, &x, &dev, &tracer), want)
+        (
+            measure_traced_with(method, &csr, &x, &dev, &tracer, &exec),
+            want,
+        )
     };
 
     if let Some(want) = want {

@@ -12,14 +12,24 @@
 use dasp_fp16::Scalar;
 use dasp_simt::mma::{acc_zero, mma_m8n8k4};
 use dasp_simt::warp::{full_mask, per_lane, WARP_SIZE};
-use dasp_simt::{shfl_down_sync, shfl_sync, warp_reduce, Probe, SharedSlice};
+use dasp_simt::SharedSlice;
+use dasp_simt::{shfl_down_sync, shfl_sync, warp_reduce, Executor, Probe, ShardableProbe};
 
 use crate::consts::{BLOCK_ELEMS, GROUP_ELEMS};
 use crate::format::LongPart;
 use crate::kernels::{load_idx_lane, mma_idx};
 
-/// Runs the two-phase long-rows SpMV, scattering results into `y`.
-pub fn spmv_long<S: Scalar, P: Probe>(part: &LongPart<S>, x: &[S], y: &mut [S], probe: &mut P) {
+/// Runs the two-phase long-rows SpMV under the given executor, scattering
+/// results into `y`. Phase 1's group warps all complete (and, under a
+/// parallel executor, join) before phase 2 starts — the grid-wide barrier
+/// between the two kernel launches on the device.
+pub fn spmv_long_with<S: Scalar, P: ShardableProbe>(
+    part: &LongPart<S>,
+    x: &[S],
+    y: &mut [S],
+    probe: &mut P,
+    exec: &Executor,
+) {
     let n_groups = part.num_groups();
     if n_groups == 0 {
         return;
@@ -27,104 +37,111 @@ pub fn spmv_long<S: Scalar, P: Probe>(part: &LongPart<S>, x: &[S], y: &mut [S], 
     let mut warp_val: Vec<S::Acc> = vec![S::acc_zero(); n_groups];
     {
         let wv = SharedSlice::new(&mut warp_val);
-        spmv_long_phase1_range(part, x, &wv, 0, n_groups, probe);
+        exec.run(n_groups, probe, |g, p| long_phase1_warp(part, x, &wv, g, p));
     }
     let shared = SharedSlice::new(y);
-    spmv_long_phase2_range(part, &warp_val, &shared, 0, part.rows.len(), probe);
+    exec.run(part.rows.len(), probe, |lr, p| {
+        long_phase2_warp(part, &warp_val, &shared, lr, p)
+    });
 }
 
-/// Phase 1 over a group range: each warp computes one 64-element group's
-/// partial sum into `warp_val` (disjoint writes; multi-threaded path).
-pub fn spmv_long_phase1_range<S: Scalar, P: Probe>(
+/// [`spmv_long_with`] on the sequential executor: the deterministic
+/// measurement path, also used by unit tests.
+pub fn spmv_long<S: Scalar, P: ShardableProbe>(
+    part: &LongPart<S>,
+    x: &[S],
+    y: &mut [S],
+    probe: &mut P,
+) {
+    spmv_long_with(part, x, y, probe, &Executor::seq());
+}
+
+/// Phase-1 warp body: warp `g` computes one 64-element group's partial sum
+/// into `warp_val[g]` (disjoint across warps).
+pub fn long_phase1_warp<S: Scalar, P: Probe>(
     part: &LongPart<S>,
     x: &[S],
     warp_val: &SharedSlice<S::Acc>,
-    g_lo: usize,
-    g_hi: usize,
+    g: usize,
     probe: &mut P,
 ) {
     let mask = full_mask();
     let idx = mma_idx();
-    for g in g_lo..g_hi.min(part.num_groups()) {
-        probe.warp_begin(g);
-        let mut acc = acc_zero::<S>();
-        let mut offset_a = g * GROUP_ELEMS;
-        for _i in 0..2 {
-            let frag_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset_a + idx[l]]);
-            let cids = load_idx_lane(&part.cids, offset_a, &idx);
-            let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
-            probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
-            probe.load_idx(BLOCK_ELEMS as u64, 4);
-            for &c in &cids {
-                probe.load_x(c as usize, S::BYTES);
-            }
-            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
-            probe.mma();
-            offset_a += BLOCK_ELEMS;
+    probe.warp_begin(g);
+    let mut acc = acc_zero::<S>();
+    let mut offset_a = g * GROUP_ELEMS;
+    for _i in 0..2 {
+        let frag_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset_a + idx[l]]);
+        let cids = load_idx_lane(&part.cids, offset_a, &idx);
+        let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
+        probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+        probe.load_idx(BLOCK_ELEMS as u64, 4);
+        for &c in &cids {
+            probe.load_x(c as usize, S::BYTES);
         }
-        // Lines 10-14: collapse the eight diagonal partials into lane 0.
-        let mut y0: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][0]);
-        let mut y1: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][1]);
-        for delta in [9usize, 18] {
-            let d = shfl_down_sync(mask, y0, delta);
-            for l in 0..WARP_SIZE {
-                y0[l] = S::acc_add(y0[l], d[l]);
-            }
-            let d = shfl_down_sync(mask, y1, delta);
-            for l in 0..WARP_SIZE {
-                y1[l] = S::acc_add(y1[l], d[l]);
-            }
-        }
-        let b = shfl_sync(mask, y1, 4);
-        for l in 0..WARP_SIZE {
-            y0[l] = S::acc_add(y0[l], b[l]);
-        }
-        probe.shfl(5);
-        warp_val.write(g, y0[0]);
-        probe.store_y(1, S::ACC_BYTES);
-        probe.warp_end(g);
+        mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+        probe.mma();
+        offset_a += BLOCK_ELEMS;
     }
+    // Lines 10-14: collapse the eight diagonal partials into lane 0.
+    let mut y0: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][0]);
+    let mut y1: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][1]);
+    for delta in [9usize, 18] {
+        let d = shfl_down_sync(mask, y0, delta);
+        for l in 0..WARP_SIZE {
+            y0[l] = S::acc_add(y0[l], d[l]);
+        }
+        let d = shfl_down_sync(mask, y1, delta);
+        for l in 0..WARP_SIZE {
+            y1[l] = S::acc_add(y1[l], d[l]);
+        }
+    }
+    let b = shfl_sync(mask, y1, 4);
+    for l in 0..WARP_SIZE {
+        y0[l] = S::acc_add(y0[l], b[l]);
+    }
+    probe.shfl(5);
+    warp_val.write(g, y0[0]);
+    probe.store_y(1, S::ACC_BYTES);
+    probe.warp_end(g);
 }
 
-/// Phase 2 over a long-row range: one warp per row reduces its groups'
-/// partials from `warp_val` into `y` (multi-threaded path).
-pub fn spmv_long_phase2_range<S: Scalar, P: Probe>(
+/// Phase-2 warp body: warp `lr` reduces long row `lr`'s group partials
+/// from `warp_val` into `y` (each warp owns one output row).
+pub fn long_phase2_warp<S: Scalar, P: Probe>(
     part: &LongPart<S>,
     warp_val: &[S::Acc],
     y: &SharedSlice<S>,
-    r_lo: usize,
-    r_hi: usize,
+    lr: usize,
     probe: &mut P,
 ) {
     let mask = full_mask();
-    for lr in r_lo..r_hi.min(part.rows.len()) {
-        probe.warp_begin(lr);
-        let orig_row = part.rows[lr];
-        let lo = part.group_ptr[lr];
-        let hi = part.group_ptr[lr + 1];
-        probe.load_meta(2, 4); // groupPtr (int32 on device)
-        let row_warp_len = hi - lo;
-        // The strided read-back runs with a ragged tail: lanes past
-        // `row_warp_len % 32` sit idle on the last stride.
-        let tail = row_warp_len % WARP_SIZE;
-        if tail != 0 {
-            probe.divergence((WARP_SIZE - tail) as u64);
-        }
-        let mut thread_val: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
-        for (lane, tv) in thread_val.iter_mut().enumerate() {
-            let mut i = lane;
-            while i < row_warp_len {
-                *tv = S::acc_add(*tv, warp_val[lo + i]);
-                probe.load_meta(1, S::ACC_BYTES); // warpVal read-back
-                i += WARP_SIZE;
-            }
-        }
-        let reduced = warp_reduce(mask, thread_val, |a, b| S::acc_add(a, b));
-        probe.shfl(dasp_simt::shuffle::WARP_REDUCE_SHFLS);
-        y.write(orig_row as usize, S::from_acc(reduced[0]));
-        probe.store_y(1, S::BYTES);
-        probe.warp_end(lr);
+    probe.warp_begin(lr);
+    let orig_row = part.rows[lr];
+    let lo = part.group_ptr[lr];
+    let hi = part.group_ptr[lr + 1];
+    probe.load_meta(2, 4); // groupPtr (int32 on device)
+    let row_warp_len = hi - lo;
+    // The strided read-back runs with a ragged tail: lanes past
+    // `row_warp_len % 32` sit idle on the last stride.
+    let tail = row_warp_len % WARP_SIZE;
+    if tail != 0 {
+        probe.divergence((WARP_SIZE - tail) as u64);
     }
+    let mut thread_val: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
+    for (lane, tv) in thread_val.iter_mut().enumerate() {
+        let mut i = lane;
+        while i < row_warp_len {
+            *tv = S::acc_add(*tv, warp_val[lo + i]);
+            probe.load_meta(1, S::ACC_BYTES); // warpVal read-back
+            i += WARP_SIZE;
+        }
+    }
+    let reduced = warp_reduce(mask, thread_val, |a, b| S::acc_add(a, b));
+    probe.shfl(dasp_simt::shuffle::WARP_REDUCE_SHFLS);
+    y.write(orig_row as usize, S::from_acc(reduced[0]));
+    probe.store_y(1, S::BYTES);
+    probe.warp_end(lr);
 }
 
 #[cfg(test)]

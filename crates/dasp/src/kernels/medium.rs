@@ -10,17 +10,36 @@
 use dasp_fp16::Scalar;
 use dasp_simt::mma::{acc_zero, mma_m8n8k4};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{Probe, SharedSlice};
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 
 use crate::consts::{loop_num, BLOCK_ELEMS, MMA_M};
 use crate::format::MediumPart;
 use crate::kernels::{extract_diagonals, load_idx_lane, mma_idx};
 
-/// Runs the medium-rows SpMV, scattering results into `y`.
-pub fn spmv_medium<S: Scalar, P: Probe>(part: &MediumPart<S>, x: &[S], y: &mut [S], probe: &mut P) {
+/// Runs the medium-rows SpMV under the given executor, scattering results
+/// into `y`.
+pub fn spmv_medium_with<S: Scalar, P: ShardableProbe>(
+    part: &MediumPart<S>,
+    x: &[S],
+    y: &mut [S],
+    probe: &mut P,
+    exec: &Executor,
+) {
     let n_warps = medium_warps(part);
     let shared = SharedSlice::new(y);
-    spmv_medium_range(part, x, &shared, 0, n_warps, probe);
+    exec.run(n_warps, probe, |wid, p| {
+        medium_warp(part, x, &shared, wid, p)
+    });
+}
+
+/// [`spmv_medium_with`] on the sequential executor.
+pub fn spmv_medium<S: Scalar, P: ShardableProbe>(
+    part: &MediumPart<S>,
+    x: &[S],
+    y: &mut [S],
+    probe: &mut P,
+) {
+    spmv_medium_with(part, x, y, probe, &Executor::seq());
 }
 
 /// Number of warps the medium kernel launches for `part`.
@@ -31,81 +50,75 @@ pub fn medium_warps<S: Scalar>(part: &MediumPart<S>) -> usize {
     part.num_rowblocks().div_ceil(loop_num(part.rows.len()))
 }
 
-/// Warp-range variant used by the multi-threaded path.
-pub fn spmv_medium_range<S: Scalar, P: Probe>(
+/// Warp body: warp `wid` computes `LOOP_NUM` row-blocks (regular MMA part
+/// plus per-lane irregular tail) and writes its rows of `y`.
+pub fn medium_warp<S: Scalar, P: Probe>(
     part: &MediumPart<S>,
     x: &[S],
     y: &SharedSlice<S>,
-    w_lo: usize,
-    w_hi: usize,
+    wid: usize,
     probe: &mut P,
 ) {
     let n_rows = part.rows.len();
-    if n_rows == 0 {
-        return;
-    }
     let ln = loop_num(n_rows);
     let n_rowblocks = part.num_rowblocks();
-    let n_warps = n_rowblocks.div_ceil(ln);
     let idx = mma_idx();
 
-    for wid in w_lo..w_hi.min(n_warps) {
-        probe.warp_begin(wid);
-        let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
+    probe.warp_begin(wid);
+    let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
 
-        // Regular part: LOOP_NUM row-blocks through the MMA unit.
-        for i in 0..ln {
-            let bid = wid * ln + i;
-            if bid >= n_rowblocks {
-                break;
-            }
-            probe.load_meta(2, 4); // rowblockPtr (int32 on device)
-            let mut offset_a = part.rowblock_ptr[bid];
-            let nblocks = part.reg_blocks(bid);
-            let mut acc = acc_zero::<S>();
-            for _b in 0..nblocks {
-                let frag_a: [S; WARP_SIZE] = per_lane(|l| part.reg_val[offset_a + idx[l]]);
-                let cids = load_idx_lane(&part.reg_cid, offset_a, &idx);
-                let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
-                probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
-                probe.load_idx(BLOCK_ELEMS as u64, 4);
-                for &c in &cids {
-                    probe.load_x(c as usize, S::BYTES);
-                }
-                mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
-                probe.mma();
-                offset_a += BLOCK_ELEMS;
-            }
-            extract_diagonals::<S, P>(&acc, i, &mut res, probe);
+    // Regular part: LOOP_NUM row-blocks through the MMA unit.
+    for i in 0..ln {
+        let bid = wid * ln + i;
+        if bid >= n_rowblocks {
+            break;
         }
-
-        // Irregular part + write-back: one lane per row (Algorithm 3,
-        // lines 20-26). Lanes past the last row (or past LOOP_NUM*8 when
-        // LOOP_NUM < 4) are predicated off for this whole region.
-        let lane_cap = (ln * MMA_M).min(WARP_SIZE);
-        let rows_here = n_rows.saturating_sub(wid * ln * MMA_M).min(lane_cap);
-        if rows_here < WARP_SIZE {
-            probe.divergence((WARP_SIZE - rows_here) as u64);
-        }
-        for lane in 0..(ln * MMA_M).min(WARP_SIZE) {
-            let cur_row = wid * ln * MMA_M + lane;
-            if cur_row >= n_rows {
-                continue;
+        probe.load_meta(2, 4); // rowblockPtr (int32 on device)
+        let mut offset_a = part.rowblock_ptr[bid];
+        let nblocks = part.reg_blocks(bid);
+        let mut acc = acc_zero::<S>();
+        for _b in 0..nblocks {
+            let frag_a: [S; WARP_SIZE] = per_lane(|l| part.reg_val[offset_a + idx[l]]);
+            let cids = load_idx_lane(&part.reg_cid, offset_a, &idx);
+            let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
+            probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+            probe.load_idx(BLOCK_ELEMS as u64, 4);
+            for &c in &cids {
+                probe.load_x(c as usize, S::BYTES);
             }
-            probe.load_meta(2, 4); // irregPtr (int32 on device)
-            let mut v = res[lane];
-            for j in part.irreg_ptr[cur_row]..part.irreg_ptr[cur_row + 1] {
-                v = S::acc_mul_add(v, part.irreg_val[j], x[part.irreg_cid[j] as usize]);
-                probe.load_val(1, S::BYTES);
-                probe.load_idx(1, 4);
-                probe.load_x(part.irreg_cid[j] as usize, S::BYTES);
-                probe.fma(1);
-            }
-            y.write(part.rows[cur_row] as usize, S::from_acc(v));
-            probe.store_y(1, S::BYTES);
+            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+            probe.mma();
+            offset_a += BLOCK_ELEMS;
         }
-        probe.warp_end(wid);
+        extract_diagonals::<S, P>(&acc, i, &mut res, probe);
     }
+
+    // Irregular part + write-back: one lane per row (Algorithm 3,
+    // lines 20-26). Lanes past the last row (or past LOOP_NUM*8 when
+    // LOOP_NUM < 4) are predicated off for this whole region.
+    let lane_cap = (ln * MMA_M).min(WARP_SIZE);
+    let rows_here = n_rows.saturating_sub(wid * ln * MMA_M).min(lane_cap);
+    if rows_here < WARP_SIZE {
+        probe.divergence((WARP_SIZE - rows_here) as u64);
+    }
+    for lane in 0..(ln * MMA_M).min(WARP_SIZE) {
+        let cur_row = wid * ln * MMA_M + lane;
+        if cur_row >= n_rows {
+            continue;
+        }
+        probe.load_meta(2, 4); // irregPtr (int32 on device)
+        let mut v = res[lane];
+        for j in part.irreg_ptr[cur_row]..part.irreg_ptr[cur_row + 1] {
+            v = S::acc_mul_add(v, part.irreg_val[j], x[part.irreg_cid[j] as usize]);
+            probe.load_val(1, S::BYTES);
+            probe.load_idx(1, 4);
+            probe.load_x(part.irreg_cid[j] as usize, S::BYTES);
+            probe.fma(1);
+        }
+        y.write(part.rows[cur_row] as usize, S::from_acc(v));
+        probe.store_y(1, S::BYTES);
+    }
+    probe.warp_end(wid);
 }
 
 #[cfg(test)]

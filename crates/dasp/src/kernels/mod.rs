@@ -6,6 +6,13 @@
 //! are generic over [`dasp_fp16::Scalar`] (FP64 and FP16) and over
 //! [`dasp_simt::Probe`] for traffic accounting.
 //!
+//! Each kernel exists exactly once, as a *warp body* (`*_warp`) plus a
+//! `spmv_*_with` driver that runs the body under any
+//! [`dasp_simt::Executor`] — sequential for the deterministic measurement
+//! path, parallel for instrumented multi-threaded runs. The bare `spmv_*`
+//! entry points are the sequential-executor conveniences used by unit
+//! tests.
+//!
 //! Lane loops intentionally index multiple warp registers by `lane`; the
 //! range-loop lint is disabled to keep the lockstep reading.
 #![allow(clippy::needless_range_loop)]
@@ -18,11 +25,11 @@ mod short13;
 mod short22;
 mod short4;
 
-pub use long::{spmv_long, spmv_long_phase1_range, spmv_long_phase2_range};
-pub use medium::{medium_warps, spmv_medium, spmv_medium_range};
-pub use short1::{spmv_short1, spmv_short1_range};
-pub use short13::{spmv_short13, spmv_short13_range};
-pub use short22::{spmv_short22, spmv_short22_range};
-pub use short4::{spmv_short4, spmv_short4_range};
+pub use long::{long_phase1_warp, long_phase2_warp, spmv_long, spmv_long_with};
+pub use medium::{medium_warp, medium_warps, spmv_medium, spmv_medium_with};
+pub use short1::{short1_warp, short1_warps, spmv_short1, spmv_short1_with};
+pub use short13::{short13_warp, spmv_short13, spmv_short13_with};
+pub use short22::{short22_warp, spmv_short22, spmv_short22_with};
+pub use short4::{short4_warp, spmv_short4, spmv_short4_with};
 
 pub(crate) use helpers::{extract_diagonals, load_idx_lane, mma_idx};

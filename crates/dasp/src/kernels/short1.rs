@@ -4,53 +4,69 @@
 //! CUDA cores: one thread per row, a single multiply, no MMA involvement.
 
 use dasp_fp16::Scalar;
-use dasp_simt::{Probe, SharedSlice};
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 
 use crate::format::ShortPart;
 
-/// Runs the scalar singleton kernel, scattering results into `y`.
-pub fn spmv_short1<S: Scalar, P: Probe>(part: &ShortPart<S>, x: &[S], y: &mut [S], probe: &mut P) {
-    let shared = SharedSlice::new(y);
-    spmv_short1_range(part, x, &shared, 0, part.n1, probe);
+/// Number of warps the singleton kernel launches for `part` (one thread
+/// per leftover row, grouped into warps of 32).
+pub fn short1_warps<S: Scalar>(part: &ShortPart<S>) -> usize {
+    part.n1.div_ceil(dasp_simt::WARP_SIZE)
 }
 
-/// Element-range variant used by the multi-threaded path.
-pub fn spmv_short1_range<S: Scalar, P: Probe>(
+/// Runs the scalar singleton kernel under the given executor, scattering
+/// results into `y`.
+pub fn spmv_short1_with<S: Scalar, P: ShardableProbe>(
+    part: &ShortPart<S>,
+    x: &[S],
+    y: &mut [S],
+    probe: &mut P,
+    exec: &Executor,
+) {
+    let shared = SharedSlice::new(y);
+    exec.run(short1_warps(part), probe, |w, p| {
+        short1_warp(part, x, &shared, w, p)
+    });
+}
+
+/// [`spmv_short1_with`] on the sequential executor.
+pub fn spmv_short1<S: Scalar, P: ShardableProbe>(
+    part: &ShortPart<S>,
+    x: &[S],
+    y: &mut [S],
+    probe: &mut P,
+) {
+    spmv_short1_with(part, x, y, probe, &Executor::seq());
+}
+
+/// Warp body: warp `w`'s 32 threads each compute one singleton row's
+/// product.
+pub fn short1_warp<S: Scalar, P: Probe>(
     part: &ShortPart<S>,
     x: &[S],
     y: &SharedSlice<S>,
-    t_lo: usize,
-    t_hi: usize,
+    w: usize,
     probe: &mut P,
 ) {
     const WARP: usize = 32;
-    let t_hi = t_hi.min(part.n1);
-    // Threads group into warps of 32 by global index, so the per-warp
-    // hooks see the same warp boundaries the launch accounting assumes.
-    let mut t = t_lo;
-    while t < t_hi {
-        let warp = t / WARP;
-        let warp_end = ((warp + 1) * WARP).min(t_hi);
-        probe.warp_begin(warp);
-        // The kernel's last warp runs with n1 % 32 live threads.
-        let live = (warp + 1) * WARP;
-        if live > part.n1 {
-            probe.divergence((live - part.n1) as u64);
-        }
-        while t < warp_end {
-            let e = part.off1 + t;
-            let c = part.cids[e] as usize;
-            let v = S::mul_to_acc(part.vals[e], x[c]);
-            probe.load_val(1, S::BYTES);
-            probe.load_idx(1, 4);
-            probe.load_x(c, S::BYTES);
-            probe.fma(1);
-            y.write(part.perm1[t] as usize, S::from_acc(v));
-            probe.store_y(1, S::BYTES);
-            t += 1;
-        }
-        probe.warp_end(warp);
+    probe.warp_begin(w);
+    // The kernel's last warp runs with n1 % 32 live threads.
+    let live = (w + 1) * WARP;
+    if live > part.n1 {
+        probe.divergence((live - part.n1) as u64);
     }
+    for t in w * WARP..live.min(part.n1) {
+        let e = part.off1 + t;
+        let c = part.cids[e] as usize;
+        let v = S::mul_to_acc(part.vals[e], x[c]);
+        probe.load_val(1, S::BYTES);
+        probe.load_idx(1, 4);
+        probe.load_x(c, S::BYTES);
+        probe.fma(1);
+        y.write(part.perm1[t] as usize, S::from_acc(v));
+        probe.store_y(1, S::BYTES);
+    }
+    probe.warp_end(w);
 }
 
 #[cfg(test)]

@@ -10,87 +10,103 @@
 use dasp_fp16::Scalar;
 use dasp_simt::mma::{acc_zero, mma_m8n8k4};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{Probe, SharedSlice};
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 
 use crate::consts::BLOCK_ELEMS;
 use crate::format::{ShortPart, NO_ROW};
 use crate::kernels::{extract_diagonals, load_idx_lane, mma_idx};
 
-/// Runs the 1&3 short-rows SpMV, scattering results into `y`.
-pub fn spmv_short13<S: Scalar, P: Probe>(part: &ShortPart<S>, x: &[S], y: &mut [S], probe: &mut P) {
+/// Runs the 1&3 short-rows SpMV under the given executor, scattering
+/// results into `y`.
+pub fn spmv_short13_with<S: Scalar, P: ShardableProbe>(
+    part: &ShortPart<S>,
+    x: &[S],
+    y: &mut [S],
+    probe: &mut P,
+    exec: &Executor,
+) {
     let shared = SharedSlice::new(y);
-    spmv_short13_range(part, x, &shared, 0, part.n13_warps, probe);
+    exec.run(part.n13_warps, probe, |w, p| {
+        short13_warp(part, x, &shared, w, p)
+    });
 }
 
-/// Warp-range variant used by the multi-threaded path.
-pub fn spmv_short13_range<S: Scalar, P: Probe>(
+/// [`spmv_short13_with`] on the sequential executor.
+pub fn spmv_short13<S: Scalar, P: ShardableProbe>(
+    part: &ShortPart<S>,
+    x: &[S],
+    y: &mut [S],
+    probe: &mut P,
+) {
+    spmv_short13_with(part, x, y, probe, &Executor::seq());
+}
+
+/// Warp body: warp `w` computes two 8x4 blocks (four MMA passes) and
+/// writes its 32 permuted `y` slots.
+pub fn short13_warp<S: Scalar, P: Probe>(
     part: &ShortPart<S>,
     x: &[S],
     y: &SharedSlice<S>,
-    w_lo: usize,
-    w_hi: usize,
+    w: usize,
     probe: &mut P,
 ) {
     let idx = mma_idx();
+    probe.warp_begin(w);
+    let warp_base = w * 2 * BLOCK_ELEMS; // two blocks per warp
+    let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
+    let mut frag_a: [S; WARP_SIZE] = [S::zero(); WARP_SIZE];
+    let mut offset = warp_base;
 
-    for w in w_lo..w_hi.min(part.n13_warps) {
-        probe.warp_begin(w);
-        let warp_base = w * 2 * BLOCK_ELEMS; // two blocks per warp
-        let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
-        let mut frag_a: [S; WARP_SIZE] = [S::zero(); WARP_SIZE];
-        let mut offset = warp_base;
-
-        for i in 0..4usize {
-            let mut acc = acc_zero::<S>();
-            let cids = load_idx_lane(&part.cids, offset, &idx);
-            let frag_x: [S; WARP_SIZE];
-            if i & 1 == 0 {
-                // Even pass: load A and the x values of column 0 only.
-                frag_a = per_lane(|l| part.vals[offset + idx[l]]);
-                probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
-                probe.load_idx(BLOCK_ELEMS as u64, 4);
-                frag_x = per_lane(|l| {
-                    if l & 3 == 0 {
-                        probe.load_x(cids[l] as usize, S::BYTES);
-                        x[cids[l] as usize]
-                    } else {
-                        S::zero()
-                    }
-                });
-            } else {
-                // Odd pass: x values of columns 1..3; A stays in registers.
-                frag_x = per_lane(|l| {
-                    if l & 3 == 0 {
-                        S::zero()
-                    } else {
-                        probe.load_x(cids[l] as usize, S::BYTES);
-                        x[cids[l] as usize]
-                    }
-                });
-                offset += BLOCK_ELEMS; // advance to the next block
-            }
-            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
-            probe.mma();
-            extract_diagonals::<S, P>(&acc, i, &mut res, probe);
+    for i in 0..4usize {
+        let mut acc = acc_zero::<S>();
+        let cids = load_idx_lane(&part.cids, offset, &idx);
+        let frag_x: [S; WARP_SIZE];
+        if i & 1 == 0 {
+            // Even pass: load A and the x values of column 0 only.
+            frag_a = per_lane(|l| part.vals[offset + idx[l]]);
+            probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+            probe.load_idx(BLOCK_ELEMS as u64, 4);
+            frag_x = per_lane(|l| {
+                if l & 3 == 0 {
+                    probe.load_x(cids[l] as usize, S::BYTES);
+                    x[cids[l] as usize]
+                } else {
+                    S::zero()
+                }
+            });
+        } else {
+            // Odd pass: x values of columns 1..3; A stays in registers.
+            frag_x = per_lane(|l| {
+                if l & 3 == 0 {
+                    S::zero()
+                } else {
+                    probe.load_x(cids[l] as usize, S::BYTES);
+                    x[cids[l] as usize]
+                }
+            });
+            offset += BLOCK_ELEMS; // advance to the next block
         }
-
-        // Padding slots have no output row: those lanes are predicated off
-        // during write-back.
-        let mut inactive = 0u64;
-        for lane in 0..WARP_SIZE {
-            let row = part.perm13[w * WARP_SIZE + lane];
-            if row != NO_ROW {
-                y.write(row as usize, S::from_acc(res[lane]));
-                probe.store_y(1, S::BYTES);
-            } else {
-                inactive += 1;
-            }
-        }
-        if inactive > 0 {
-            probe.divergence(inactive);
-        }
-        probe.warp_end(w);
+        mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+        probe.mma();
+        extract_diagonals::<S, P>(&acc, i, &mut res, probe);
     }
+
+    // Padding slots have no output row: those lanes are predicated off
+    // during write-back.
+    let mut inactive = 0u64;
+    for lane in 0..WARP_SIZE {
+        let row = part.perm13[w * WARP_SIZE + lane];
+        if row != NO_ROW {
+            y.write(row as usize, S::from_acc(res[lane]));
+            probe.store_y(1, S::BYTES);
+        } else {
+            inactive += 1;
+        }
+    }
+    if inactive > 0 {
+        probe.divergence(inactive);
+    }
+    probe.warp_end(w);
 }
 
 #[cfg(test)]

@@ -8,64 +8,80 @@
 use dasp_fp16::Scalar;
 use dasp_simt::mma::{acc_zero, mma_m8n8k4};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{Probe, SharedSlice};
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 
 use crate::consts::BLOCK_ELEMS;
 use crate::format::{ShortPart, NO_ROW};
 use crate::kernels::{extract_diagonals, load_idx_lane, mma_idx};
 
-/// Runs the length-4 short-rows SpMV, scattering results into `y`.
-pub fn spmv_short4<S: Scalar, P: Probe>(part: &ShortPart<S>, x: &[S], y: &mut [S], probe: &mut P) {
+/// Runs the length-4 short-rows SpMV under the given executor, scattering
+/// results into `y`.
+pub fn spmv_short4_with<S: Scalar, P: ShardableProbe>(
+    part: &ShortPart<S>,
+    x: &[S],
+    y: &mut [S],
+    probe: &mut P,
+    exec: &Executor,
+) {
     let shared = SharedSlice::new(y);
-    spmv_short4_range(part, x, &shared, 0, part.n4_warps, probe);
+    exec.run(part.n4_warps, probe, |w, p| {
+        short4_warp(part, x, &shared, w, p)
+    });
 }
 
-/// Warp-range variant used by the multi-threaded path: computes warps
-/// `w_lo..w_hi`, writing through the disjoint-write view.
-pub fn spmv_short4_range<S: Scalar, P: Probe>(
+/// [`spmv_short4_with`] on the sequential executor.
+pub fn spmv_short4<S: Scalar, P: ShardableProbe>(
+    part: &ShortPart<S>,
+    x: &[S],
+    y: &mut [S],
+    probe: &mut P,
+) {
+    spmv_short4_with(part, x, y, probe, &Executor::seq());
+}
+
+/// Warp body: warp `w` computes four complete 8x4 blocks and writes its 32
+/// permuted `y` slots.
+pub fn short4_warp<S: Scalar, P: Probe>(
     part: &ShortPart<S>,
     x: &[S],
     y: &SharedSlice<S>,
-    w_lo: usize,
-    w_hi: usize,
+    w: usize,
     probe: &mut P,
 ) {
     let idx = mma_idx();
-    for w in w_lo..w_hi.min(part.n4_warps) {
-        probe.warp_begin(w);
-        let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
-        for i in 0..4usize {
-            let offset = part.off4 + (w * 4 + i) * BLOCK_ELEMS;
-            let mut acc = acc_zero::<S>();
-            let frag_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset + idx[l]]);
-            let cids = load_idx_lane(&part.cids, offset, &idx);
-            let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
-            probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
-            probe.load_idx(BLOCK_ELEMS as u64, 4);
-            for &c in &cids {
-                probe.load_x(c as usize, S::BYTES);
-            }
-            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
-            probe.mma();
-            extract_diagonals::<S, P>(&acc, i, &mut res, probe);
+    probe.warp_begin(w);
+    let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
+    for i in 0..4usize {
+        let offset = part.off4 + (w * 4 + i) * BLOCK_ELEMS;
+        let mut acc = acc_zero::<S>();
+        let frag_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset + idx[l]]);
+        let cids = load_idx_lane(&part.cids, offset, &idx);
+        let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
+        probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+        probe.load_idx(BLOCK_ELEMS as u64, 4);
+        for &c in &cids {
+            probe.load_x(c as usize, S::BYTES);
         }
-        // Padding slots have no output row: those lanes are predicated off
-        // during write-back.
-        let mut inactive = 0u64;
-        for lane in 0..WARP_SIZE {
-            let row = part.perm4[w * WARP_SIZE + lane];
-            if row != NO_ROW {
-                y.write(row as usize, S::from_acc(res[lane]));
-                probe.store_y(1, S::BYTES);
-            } else {
-                inactive += 1;
-            }
-        }
-        if inactive > 0 {
-            probe.divergence(inactive);
-        }
-        probe.warp_end(w);
+        mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+        probe.mma();
+        extract_diagonals::<S, P>(&acc, i, &mut res, probe);
     }
+    // Padding slots have no output row: those lanes are predicated off
+    // during write-back.
+    let mut inactive = 0u64;
+    for lane in 0..WARP_SIZE {
+        let row = part.perm4[w * WARP_SIZE + lane];
+        if row != NO_ROW {
+            y.write(row as usize, S::from_acc(res[lane]));
+            probe.store_y(1, S::BYTES);
+        } else {
+            inactive += 1;
+        }
+    }
+    if inactive > 0 {
+        probe.divergence(inactive);
+    }
+    probe.warp_end(w);
 }
 
 #[cfg(test)]
@@ -128,8 +144,9 @@ mod tests {
     }
 
     #[test]
-    fn range_split_covers_all_warps() {
-        // Running [0, k) and [k, n) separately must equal the full run.
+    fn warp_bodies_in_any_order_equal_the_full_run() {
+        // Executing each warp body exactly once — here in reverse order —
+        // must equal the in-order run: warps own disjoint y slots.
         let mut coo = Coo::<f64>::new(100, 64);
         for r in 0..100 {
             for k in 0..4 {
@@ -145,8 +162,9 @@ mod tests {
         let mut y_split = vec![0.0f64; 100];
         {
             let shared = SharedSlice::new(&mut y_split);
-            spmv_short4_range(&part, &x, &shared, 0, 1, &mut NoProbe);
-            spmv_short4_range(&part, &x, &shared, 1, part.n4_warps, &mut NoProbe);
+            for w in (0..part.n4_warps).rev() {
+                short4_warp(&part, &x, &shared, w, &mut NoProbe);
+            }
         }
         assert_eq!(y_full, y_split);
     }

@@ -3,53 +3,109 @@
 #![allow(clippy::needless_range_loop)]
 
 use dasp_fp16::Scalar;
-use dasp_simt::Probe;
+use dasp_simt::{Executor, NoProbe, ParExecutor, ShardableProbe, SharedSlice};
 use dasp_trace::Tracer;
 
 use crate::format::DaspMatrix;
 use crate::kernels::{
-    spmv_long, spmv_medium, spmv_short1, spmv_short13, spmv_short22, spmv_short4,
+    short1_warps, spmv_long_with, spmv_medium_with, spmv_short13_with, spmv_short1_with,
+    spmv_short22_with, spmv_short4_with,
 };
 
 impl<S: Scalar> DaspMatrix<S> {
     /// Computes `y = A x` with the DASP kernels, threading `probe` through
-    /// every memory access and arithmetic issue.
+    /// every memory access and arithmetic issue. Runs under the
+    /// process-default executor ([`Executor::from_env`]).
     ///
     /// `x.len()` must equal the matrix's column count. Rows with no
     /// nonzeros produce `0`. Results are rounded to storage precision, as
     /// the GPU kernels write `y` in the matrix's element type.
-    pub fn spmv<P: Probe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+    pub fn spmv<P: ShardableProbe>(&self, x: &[S], probe: &mut P) -> Vec<S> {
+        self.spmv_with(x, probe, &Executor::from_env())
+    }
+
+    /// [`DaspMatrix::spmv`] under an explicit executor.
+    pub fn spmv_with<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
         let mut y = vec![S::zero(); self.rows];
-        self.spmv_into(x, &mut y, probe);
+        self.spmv_into_with(x, &mut y, probe, exec);
         y
     }
 
     /// Computes `y = A x` into a caller-provided buffer (no allocation):
     /// the solver-loop API. `y` is fully overwritten; rows with no
     /// nonzeros are set to zero.
-    pub fn spmv_into<P: Probe>(&self, x: &[S], y: &mut [S], probe: &mut P) {
-        self.spmv_into_traced(x, y, probe, &Tracer::disabled());
+    pub fn spmv_into<P: ShardableProbe>(&self, x: &[S], y: &mut [S], probe: &mut P) {
+        self.spmv_into_with(x, y, probe, &Executor::from_env());
+    }
+
+    /// [`DaspMatrix::spmv_into`] under an explicit executor.
+    pub fn spmv_into_with<P: ShardableProbe>(
+        &self,
+        x: &[S],
+        y: &mut [S],
+        probe: &mut P,
+        exec: &Executor,
+    ) {
+        self.spmv_into_traced_with(x, y, probe, &Tracer::disabled(), exec);
     }
 
     /// [`DaspMatrix::spmv`] with spans: returns the result vector while
     /// recording a `spmv` root span with one child per kernel.
-    pub fn spmv_traced<P: Probe>(&self, x: &[S], probe: &mut P, tracer: &Tracer) -> Vec<S> {
+    pub fn spmv_traced<P: ShardableProbe>(
+        &self,
+        x: &[S],
+        probe: &mut P,
+        tracer: &Tracer,
+    ) -> Vec<S> {
+        self.spmv_traced_with(x, probe, tracer, &Executor::from_env())
+    }
+
+    /// [`DaspMatrix::spmv_traced`] under an explicit executor.
+    pub fn spmv_traced_with<P: ShardableProbe>(
+        &self,
+        x: &[S],
+        probe: &mut P,
+        tracer: &Tracer,
+        exec: &Executor,
+    ) -> Vec<S> {
         let mut y = vec![S::zero(); self.rows];
-        self.spmv_into_traced(x, &mut y, probe, tracer);
+        self.spmv_into_traced_with(x, &mut y, probe, tracer, exec);
         y
     }
 
-    /// [`DaspMatrix::spmv_into`] with spans. Records a `spmv` root span
-    /// and a `spmv.kernel.{long,medium,short13,short4,short22,short1}`
-    /// child per kernel that runs; each span carries the [`Probe`] counter
+    /// [`DaspMatrix::spmv_into_traced_with`] under the process-default
+    /// executor.
+    pub fn spmv_into_traced<P: ShardableProbe>(
+        &self,
+        x: &[S],
+        y: &mut [S],
+        probe: &mut P,
+        tracer: &Tracer,
+    ) {
+        self.spmv_into_traced_with(x, y, probe, tracer, &Executor::from_env());
+    }
+
+    /// [`DaspMatrix::spmv_into`] with spans, under an explicit executor —
+    /// the single dispatch every other SpMV entry point funnels through.
+    /// Records a `spmv` root span and a
+    /// `spmv.kernel.{long,medium,short13,short4,short22,short1}`
+    /// child per kernel that runs; each span carries the probe counter
     /// delta for exactly its region (diffed from
-    /// [`dasp_simt::Probe::stats_snapshot`]), so the children's deltas sum
-    /// to the root's. The shared short-category launch accounting is
-    /// recorded inside the `short13` span. With a disabled tracer every
-    /// span is inert and this *is* the plain `spmv_into` path — the probe
-    /// call sequence (and thus `y` and all counters) is identical either
-    /// way.
-    pub fn spmv_into_traced<P: Probe>(&self, x: &[S], y: &mut [S], probe: &mut P, tracer: &Tracer) {
+    /// [`dasp_simt::Probe::stats_snapshot`]; under a parallel executor the
+    /// shard merge completes inside each kernel, so the deltas still
+    /// attribute correctly), so the children's deltas sum to the root's.
+    /// The shared short-category launch accounting is recorded inside the
+    /// `short13` span. With a disabled tracer every span is inert and this
+    /// *is* the plain `spmv_into_with` path — the probe call sequence (and
+    /// thus `y` and all counters) is identical either way.
+    pub fn spmv_into_traced_with<P: ShardableProbe>(
+        &self,
+        x: &[S],
+        y: &mut [S],
+        probe: &mut P,
+        tracer: &Tracer,
+        exec: &Executor,
+    ) {
         assert_eq!(
             x.len(),
             self.cols,
@@ -70,12 +126,15 @@ impl<S: Scalar> DaspMatrix<S> {
         let run_before = probe.stats_snapshot();
         y.fill(S::zero());
         if self.nnz == 0 {
+            // Still close the root span with its (empty) counter delta:
+            // zero-nnz traces would otherwise carry no stats at all.
+            root.set_stats(probe.stats_snapshot().delta(&run_before));
             return;
         }
         // Launch accounting lives here: the paper runs one kernel per row
         // *category* (plus the dependent long-rows reduction pass), so the
         // four short sub-kernels share a single launch.
-        use crate::consts::{WARPS_PER_BLOCK, WARP_SIZE_LAUNCH};
+        use crate::consts::WARPS_PER_BLOCK;
         let wpb = WARPS_PER_BLOCK as u64;
         if self.long.num_groups() > 0 {
             let mut sp = root.child("spmv.kernel.long");
@@ -84,7 +143,7 @@ impl<S: Scalar> DaspMatrix<S> {
             // Algorithm 2 is one kernel: the warpVal reduction runs after a
             // grid-wide sync rather than as a second launch.
             probe.kernel_launch(self.long.num_groups().div_ceil(WARPS_PER_BLOCK) as u64, wpb);
-            spmv_long(&self.long, x, y, probe);
+            spmv_long_with(&self.long, x, y, probe, exec);
             sp.set_stats(probe.stats_snapshot().delta(&before));
         }
         if !self.medium.rows.is_empty() {
@@ -96,13 +155,13 @@ impl<S: Scalar> DaspMatrix<S> {
                 .num_rowblocks()
                 .div_ceil(crate::consts::loop_num(self.medium.rows.len()));
             probe.kernel_launch(warps.div_ceil(WARPS_PER_BLOCK) as u64, wpb);
-            spmv_medium(&self.medium, x, y, probe);
+            spmv_medium_with(&self.medium, x, y, probe, exec);
             sp.set_stats(probe.stats_snapshot().delta(&before));
         }
         let short_warps = self.short.n13_warps
             + self.short.n4_warps
             + self.short.n22_warps
-            + self.short.n1.div_ceil(WARP_SIZE_LAUNCH);
+            + short1_warps(&self.short);
         if short_warps > 0 {
             {
                 let mut sp = root.child("spmv.kernel.short13");
@@ -111,114 +170,93 @@ impl<S: Scalar> DaspMatrix<S> {
                 // One launch covers all four short sub-kernels; its
                 // block/warp counts land in this span's delta.
                 probe.kernel_launch(short_warps.div_ceil(WARPS_PER_BLOCK) as u64, wpb);
-                spmv_short13(&self.short, x, y, probe);
+                spmv_short13_with(&self.short, x, y, probe, exec);
                 sp.set_stats(probe.stats_snapshot().delta(&before));
             }
             {
                 let mut sp = root.child("spmv.kernel.short4");
                 sp.add_arg("warps", self.short.n4_warps);
                 let before = probe.stats_snapshot();
-                spmv_short4(&self.short, x, y, probe);
+                spmv_short4_with(&self.short, x, y, probe, exec);
                 sp.set_stats(probe.stats_snapshot().delta(&before));
             }
             {
                 let mut sp = root.child("spmv.kernel.short22");
                 sp.add_arg("warps", self.short.n22_warps);
                 let before = probe.stats_snapshot();
-                spmv_short22(&self.short, x, y, probe);
+                spmv_short22_with(&self.short, x, y, probe, exec);
                 sp.set_stats(probe.stats_snapshot().delta(&before));
             }
             {
                 let mut sp = root.child("spmv.kernel.short1");
                 sp.add_arg("rows", self.short.n1);
                 let before = probe.stats_snapshot();
-                spmv_short1(&self.short, x, y, probe);
+                spmv_short1_with(&self.short, x, y, probe, exec);
                 sp.set_stats(probe.stats_snapshot().delta(&before));
             }
         }
         root.set_stats(probe.stats_snapshot().delta(&run_before));
     }
 
-    /// Multi-threaded `y = A x` across CPU cores.
+    /// Multi-threaded `y = A x` across CPU cores: [`DaspMatrix::spmv_with`]
+    /// on the default [`ParExecutor`] with no instrumentation.
     ///
     /// Exploits the same independence the GPU does: every warp owns a
-    /// disjoint set of output rows (or a disjoint `warpVal` slot), so the
-    /// warp ranges of each category kernel fan out over threads through
-    /// [`dasp_simt::SharedSlice`]. Results are bit-identical to
-    /// [`DaspMatrix::spmv`]. No instrumentation (probing would serialize
-    /// the cache model); use the sequential path for measurements.
+    /// disjoint set of output rows (or a disjoint `warpVal` slot), so warp
+    /// bodies fan out over threads through [`dasp_simt::SharedSlice`].
+    /// Results are bit-identical to [`DaspMatrix::spmv`]. For
+    /// *instrumented* parallel runs, pass a probe to
+    /// [`DaspMatrix::spmv_with`] with [`Executor::par`] instead.
     pub fn spmv_par(&self, x: &[S]) -> Vec<S> {
-        use crate::kernels::{
-            medium_warps, spmv_long_phase1_range, spmv_long_phase2_range, spmv_medium_range,
-            spmv_short13_range, spmv_short1_range, spmv_short22_range, spmv_short4_range,
-        };
-        use dasp_simt::{for_each_warp_par, NoProbe, SharedSlice};
-
-        assert_eq!(
-            x.len(),
-            self.cols,
-            "x length {} != cols {}",
-            x.len(),
-            self.cols
-        );
-        let mut y = vec![S::zero(); self.rows];
-        if self.nnz == 0 {
-            return y;
-        }
-
-        // Long rows: phase 1 over groups, barrier, phase 2 over rows.
-        let n_groups = self.long.num_groups();
-        let mut warp_val: Vec<S::Acc> = vec![S::acc_zero(); n_groups];
-        if n_groups > 0 {
-            {
-                let wv = SharedSlice::new(&mut warp_val);
-                for_each_warp_par(n_groups, |g| {
-                    spmv_long_phase1_range(&self.long, x, &wv, g, g + 1, &mut NoProbe);
-                });
-            }
-            let shared = SharedSlice::new(&mut y);
-            for_each_warp_par(self.long.rows.len(), |r| {
-                spmv_long_phase2_range(&self.long, &warp_val, &shared, r, r + 1, &mut NoProbe);
-            });
-        }
-
-        // Medium and short categories: all warps are mutually independent.
-        {
-            let shared = SharedSlice::new(&mut y);
-            let n_medium = medium_warps(&self.medium);
-            for_each_warp_par(n_medium, |w| {
-                spmv_medium_range(&self.medium, x, &shared, w, w + 1, &mut NoProbe);
-            });
-            for_each_warp_par(self.short.n13_warps, |w| {
-                spmv_short13_range(&self.short, x, &shared, w, w + 1, &mut NoProbe);
-            });
-            for_each_warp_par(self.short.n4_warps, |w| {
-                spmv_short4_range(&self.short, x, &shared, w, w + 1, &mut NoProbe);
-            });
-            for_each_warp_par(self.short.n22_warps, |w| {
-                spmv_short22_range(&self.short, x, &shared, w, w + 1, &mut NoProbe);
-            });
-            // Singletons: chunk by warp-sized strides.
-            let n1_warps = self.short.n1.div_ceil(32);
-            for_each_warp_par(n1_warps, |w| {
-                spmv_short1_range(&self.short, x, &shared, w * 32, (w + 1) * 32, &mut NoProbe);
-            });
-        }
-        y
+        self.spmv_with(x, &mut NoProbe, &Executor::par())
     }
 
     /// Computes `Y = A X` for several right-hand sides (column-major:
     /// `xs[j]` is the j-th input vector). Each column runs the full kernel
-    /// pipeline; the converted format is reused across columns, which is
+    /// pipeline straight into its output column — no intermediate buffer
+    /// per column; the converted format is reused across columns, which is
     /// the batching story the paper's preprocessing amortization implies.
-    pub fn spmv_batch<P: Probe>(&self, xs: &[Vec<S>], probe: &mut P) -> Vec<Vec<S>> {
-        xs.iter().map(|x| self.spmv(x, probe)).collect()
+    pub fn spmv_batch<P: ShardableProbe>(&self, xs: &[Vec<S>], probe: &mut P) -> Vec<Vec<S>> {
+        let mut out: Vec<Vec<S>> = xs.iter().map(|_| vec![S::zero(); self.rows]).collect();
+        for (x, y) in xs.iter().zip(out.iter_mut()) {
+            self.spmv_into(x, y, probe);
+        }
+        out
+    }
+
+    /// [`DaspMatrix::spmv_batch`] with the *columns* fanned out over a
+    /// [`ParExecutor`] — one "warp" per right-hand side, each computing
+    /// its column sequentially into a disjoint output slot. Per-column
+    /// probe shards merge in column order, so order-independent counters
+    /// equal [`DaspMatrix::spmv_batch`]'s exactly.
+    ///
+    /// `par.seq_threshold()` applies to the *column* count here; use
+    /// [`ParExecutor::with_seq_threshold`]`(0)` to force threading even
+    /// for a handful of columns.
+    pub fn spmv_batch_par<P: ShardableProbe>(
+        &self,
+        xs: &[Vec<S>],
+        probe: &mut P,
+        par: &ParExecutor,
+    ) -> Vec<Vec<S>> {
+        // Slots start as empty (non-allocating) vectors: SharedSlice::write
+        // replaces without dropping, so the placeholder must own nothing.
+        let mut out: Vec<Vec<S>> = xs.iter().map(|_| Vec::new()).collect();
+        {
+            let slots = SharedSlice::new(&mut out);
+            par.run(xs.len(), probe, |j, p| {
+                let mut y = vec![S::zero(); self.rows];
+                self.spmv_into_with(&xs[j], &mut y, p, &Executor::seq());
+                slots.write(j, y);
+            });
+        }
+        out
     }
 
     /// Convenience wrapper taking and returning `f64` regardless of the
     /// storage precision (useful for solvers; conversion costs are not
     /// probed).
-    pub fn spmv_f64<P: Probe>(&self, x: &[f64], probe: &mut P) -> Vec<f64> {
+    pub fn spmv_f64<P: ShardableProbe>(&self, x: &[f64], probe: &mut P) -> Vec<f64> {
         let xs: Vec<S> = x.iter().map(|&v| S::from_f64(v)).collect();
         self.spmv(&xs, probe).iter().map(|v| v.to_f64()).collect()
     }
@@ -413,5 +451,47 @@ mod par_tests {
     fn parallel_handles_empty_matrix() {
         let d = DaspMatrix::from_csr(&Csr::<f64>::empty(5, 5));
         assert_eq!(d.spmv_par(&[0.0; 5]), vec![0.0; 5]);
+    }
+
+    #[test]
+    fn instrumented_parallel_counters_match_sequential() {
+        use dasp_simt::{CountingProbe, Executor};
+        let csr = mixed(11, 2_000, 1_500);
+        let d = DaspMatrix::from_csr(&csr);
+        let x = dasp_matgen::dense_vector(csr.cols, 3);
+        let mut seq_probe = CountingProbe::a100();
+        let seq = d.spmv_with(&x, &mut seq_probe, &Executor::seq());
+        let mut par_probe = CountingProbe::a100();
+        let par = d.spmv_with(&x, &mut par_probe, &Executor::par());
+        assert_eq!(seq, par);
+        assert_eq!(
+            seq_probe.stats().order_independent(),
+            par_probe.stats().order_independent()
+        );
+        assert_eq!(
+            par_probe.stats().x_hits + par_probe.stats().x_misses,
+            par_probe.stats().x_requests
+        );
+    }
+
+    #[test]
+    fn batch_par_fans_columns_and_merges_counters() {
+        use dasp_simt::{CountingProbe, ParExecutor};
+        let csr = mixed(5, 300, 400);
+        let d = DaspMatrix::from_csr(&csr);
+        let xs: Vec<Vec<f64>> = (0..4)
+            .map(|j| dasp_matgen::dense_vector(csr.cols, j))
+            .collect();
+        let mut seq_probe = CountingProbe::a100();
+        let batch = d.spmv_batch(&xs, &mut seq_probe);
+        let mut par_probe = CountingProbe::a100();
+        // threshold 0: thread even four columns.
+        let par = ParExecutor::new().with_seq_threshold(0);
+        let batch_par = d.spmv_batch_par(&xs, &mut par_probe, &par);
+        assert_eq!(batch, batch_par);
+        assert_eq!(
+            seq_probe.stats().order_independent(),
+            par_probe.stats().order_independent()
+        );
     }
 }

@@ -1,0 +1,156 @@
+//! The executor contract, end to end on the DASP pipeline: for any matrix
+//! and any precision, the parallel executor must produce (1) an output
+//! vector bit-identical to the sequential one and (2) merged
+//! order-independent counters exactly equal to the sequential run's.
+//!
+//! The parallel executor here is forced to actually shard (threshold 0,
+//! four threads) so small proptest matrices exercise the threaded path
+//! rather than the inline fallback.
+
+use dasp_core::DaspMatrix;
+use dasp_fp16::{Scalar, F16};
+use dasp_simt::{CountingProbe, Executor, ParExecutor};
+use dasp_sparse::{Coo, Csr};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A parallel executor that always threads, even on tiny grids.
+fn forced_par() -> Executor {
+    Executor::Par(
+        ParExecutor::new()
+            .with_threads(Some(4))
+            .with_seq_threshold(0),
+    )
+}
+
+/// Random matrix with a steerable short/medium/long row-length mix, so the
+/// proptest inputs cover every DASP category combination.
+fn random_matrix(
+    rows: usize,
+    cols: usize,
+    short_w: u32,
+    medium_w: u32,
+    long_w: u32,
+    seed: u64,
+) -> Csr<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::new(rows, cols);
+    let total = (short_w + medium_w + long_w).max(1);
+    for r in 0..rows {
+        let dice = rng.gen_range(0..total);
+        let len = if dice < short_w {
+            rng.gen_range(0..=4usize) // includes empty rows
+        } else if dice < short_w + medium_w {
+            rng.gen_range(5..=256usize)
+        } else {
+            rng.gen_range(257..=600usize)
+        };
+        let len = len.min(cols);
+        let mut cs: Vec<usize> = Vec::with_capacity(len);
+        while cs.len() < len {
+            let c = rng.gen_range(0..cols);
+            if !cs.contains(&c) {
+                cs.push(c);
+            }
+        }
+        for c in cs {
+            coo.push(r, c, rng.gen_range(-1.0..1.0));
+        }
+    }
+    coo.to_csr()
+}
+
+/// Runs the full DASP pipeline at precision `S` under both executors and
+/// asserts the contract.
+fn assert_parity<S: Scalar>(csr: &Csr<S>, seed: u64) {
+    let d = DaspMatrix::from_csr(csr);
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let x: Vec<S> = (0..csr.cols)
+        .map(|_| S::from_f64(rng.gen_range(-1.0..1.0)))
+        .collect();
+
+    let mut p_seq = CountingProbe::a100();
+    let y_seq = d.spmv_with(&x, &mut p_seq, &Executor::seq());
+    let mut p_par = CountingProbe::a100();
+    let y_par = d.spmv_with(&x, &mut p_par, &forced_par());
+
+    // (1) Bit-identical output.
+    let bits_seq: Vec<f64> = y_seq.iter().map(|v| v.to_f64()).collect();
+    let bits_par: Vec<f64> = y_par.iter().map(|v| v.to_f64()).collect();
+    for (i, (a, b)) in bits_seq.iter().zip(&bits_par).enumerate() {
+        assert_eq!(
+            a.to_bits(),
+            b.to_bits(),
+            "row {i}: seq {a} vs par {b} (not bit-identical)"
+        );
+    }
+    // (2) Exactly equal merged order-independent counters.
+    assert_eq!(
+        p_seq.stats().order_independent(),
+        p_par.stats().order_independent(),
+        "order-independent counters diverged"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn fp64_parallel_is_bit_identical(
+        rows in 1usize..150,
+        cols in 601usize..900,
+        short_w in 0u32..10,
+        medium_w in 0u32..10,
+        long_w in 0u32..4,
+        seed in any::<u64>(),
+    ) {
+        let csr = random_matrix(rows, cols, short_w, medium_w, long_w, seed);
+        assert_parity::<f64>(&csr, seed ^ 0x1111);
+    }
+
+    #[test]
+    fn fp32_parallel_is_bit_identical(
+        rows in 1usize..120,
+        short_w in 0u32..8,
+        medium_w in 0u32..8,
+        long_w in 0u32..3,
+        seed in any::<u64>(),
+    ) {
+        let csr = random_matrix(rows, 700, short_w, medium_w, long_w, seed);
+        let c32: Csr<f32> = csr.cast();
+        assert_parity::<f32>(&c32, seed ^ 0x2222);
+    }
+
+    #[test]
+    fn fp16_parallel_is_bit_identical(
+        rows in 1usize..100,
+        short_w in 0u32..8,
+        medium_w in 0u32..8,
+        long_w in 0u32..3,
+        seed in any::<u64>(),
+    ) {
+        let csr = random_matrix(rows, 650, short_w, medium_w, long_w, seed);
+        let c16: Csr<F16> = csr.cast();
+        assert_parity::<F16>(&c16, seed ^ 0x3333);
+    }
+}
+
+#[test]
+fn structured_corpus_parity() {
+    // Structured generators catch layouts the uniform mix cannot.
+    let mats: Vec<(&str, Csr<f64>)> = vec![
+        ("banded", dasp_matgen::banded(300, 12, 9, 1)),
+        ("stencil", dasp_matgen::stencil2d(20, 20, 5, 2)),
+        ("rmat", dasp_matgen::rmat(9, 6, 3)),
+        ("circuit", dasp_matgen::circuit_like(800, 3, 400, 4)),
+        ("rect", dasp_matgen::rectangular_long(10, 900, 300, 5)),
+        ("blocks", dasp_matgen::block_dense(128, 4, 2, 6)),
+        ("diag", dasp_matgen::diagonal_bands(500, &[0, 1, -1], 7)),
+        ("empty", Csr::empty(40, 40)),
+    ];
+    for (name, csr) in mats {
+        println!("structured corpus: {name}");
+        assert_parity::<f64>(&csr, 99);
+    }
+}

@@ -45,4 +45,7 @@ pub use device::{a100, h800, DeviceModel, Precision};
 pub use estimate::{estimate, Estimate};
 pub use metrics::{effective_bandwidth_gbs, gflops};
 pub use report::{geomean, speedup_summary, SpeedupSummary};
-pub use runner::{measure, measure_traced, record_measurement, Measurement, MethodKind};
+pub use runner::{
+    measure, measure_traced, measure_traced_with, measure_with, record_measurement, Measurement,
+    MethodKind,
+};

@@ -3,7 +3,7 @@
 use dasp_baselines::{Baseline, BsrSpmv};
 use dasp_core::DaspMatrix;
 use dasp_fp16::Scalar;
-use dasp_simt::{CountingProbe, KernelStats};
+use dasp_simt::{CountingProbe, Executor, KernelStats};
 use dasp_sparse::Csr;
 use dasp_trace::{Registry, Tracer};
 
@@ -153,12 +153,27 @@ fn package<S: Scalar>(
 /// Runs `method` on `csr` (input vector `x`) under a counting probe with
 /// `dev`'s L2 model and returns the measurement. Format conversion happens
 /// inside (it is not part of the estimated kernel time — preprocessing is
-/// measured separately, as in the paper's Fig. 13).
+/// measured separately, as in the paper's Fig. 13). The executor comes
+/// from the environment ([`Executor::from_env`]).
 pub fn measure<S: Scalar>(
     method: MethodKind,
     csr: &Csr<S>,
     x: &[S],
     dev: &DeviceModel,
+) -> Measurement {
+    measure_with(method, csr, x, dev, &Executor::from_env())
+}
+
+/// [`measure`] under an explicit executor. `y` and the order-independent
+/// counters are bit-identical across executors; only the x-cache hit/miss
+/// split (and thus the time estimate) is a per-shard approximation under
+/// the parallel executor — use the sequential executor for paper figures.
+pub fn measure_with<S: Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    x: &[S],
+    dev: &DeviceModel,
+    exec: &Executor,
 ) -> Measurement {
     if method == MethodKind::VendorBsr {
         // The paper evaluates BSR at block sizes 2/4/8 and reports the best.
@@ -166,7 +181,7 @@ pub fn measure<S: Scalar>(
             .into_iter()
             .map(|h| {
                 let mut p = CountingProbe::new(dev.l2_cache());
-                let y = h.spmv(x, &mut p);
+                let y = h.spmv_with(x, &mut p, exec);
                 package(method, csr, p.stats(), y, dev)
             })
             .min_by(|a, b| a.estimate.seconds.total_cmp(&b.estimate.seconds))
@@ -175,23 +190,21 @@ pub fn measure<S: Scalar>(
 
     let mut probe = CountingProbe::new(dev.l2_cache());
     let y = match method {
-        MethodKind::Dasp => DaspMatrix::from_csr(csr).spmv(x, &mut probe),
-        MethodKind::CsrScalar => dasp_baselines::CsrScalar::new(csr).spmv(x, &mut probe),
-        MethodKind::Csr5 => dasp_baselines::Csr5::new(csr).spmv(x, &mut probe),
-        MethodKind::TileSpmv => dasp_baselines::TileSpmv::new(csr).spmv(x, &mut probe),
-        MethodKind::LsrbCsr => dasp_baselines::LsrbCsr::new(csr).spmv(x, &mut probe),
-        MethodKind::VendorCsr => dasp_baselines::CsrVector::new(csr).spmv(x, &mut probe),
-        MethodKind::MergeCsr => dasp_baselines::MergeCsr::new(csr).spmv(x, &mut probe),
-        MethodKind::Sell => dasp_baselines::SellCSigma::new(csr).spmv(x, &mut probe),
-        MethodKind::Hyb => dasp_baselines::Hyb::new(csr).spmv(x, &mut probe),
+        MethodKind::Dasp => DaspMatrix::from_csr(csr).spmv_with(x, &mut probe, exec),
         MethodKind::VendorBsr => unreachable!("handled above"),
+        _ => {
+            let m = Baseline::build(method.name(), csr)
+                .expect("every non-DASP MethodKind maps to a Baseline");
+            m.spmv_with(x, &mut probe, exec)
+        }
     };
     package(method, csr, probe.stats(), y, dev)
 }
 
 /// [`measure`] with tracing: DASP runs record preprocessing and per-kernel
 /// spans, baselines record a `spmv.kernel.<name>` span. Counters and `y`
-/// are identical to the untraced path.
+/// are identical to the untraced path. The executor comes from the
+/// environment ([`Executor::from_env`]).
 pub fn measure_traced<S: Scalar>(
     method: MethodKind,
     csr: &Csr<S>,
@@ -199,11 +212,23 @@ pub fn measure_traced<S: Scalar>(
     dev: &DeviceModel,
     tracer: &Tracer,
 ) -> Measurement {
+    measure_traced_with(method, csr, x, dev, tracer, &Executor::from_env())
+}
+
+/// [`measure_traced`] under an explicit executor.
+pub fn measure_traced_with<S: Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    x: &[S],
+    dev: &DeviceModel,
+    tracer: &Tracer,
+    exec: &Executor,
+) -> Measurement {
     match method {
         MethodKind::Dasp => {
             let mut probe = CountingProbe::new(dev.l2_cache());
             let d = DaspMatrix::from_csr_traced(csr, tracer);
-            let y = d.spmv_traced(x, &mut probe, tracer);
+            let y = d.spmv_traced_with(x, &mut probe, tracer, exec);
             package(method, csr, probe.stats(), y, dev)
         }
         MethodKind::VendorBsr => {
@@ -214,7 +239,7 @@ pub fn measure_traced<S: Scalar>(
                 .map(|h| {
                     let mut p = CountingProbe::new(dev.l2_cache());
                     let mut sp = tracer.span("spmv.kernel.cusparse-bsr");
-                    let y = h.spmv(x, &mut p);
+                    let y = h.spmv_with(x, &mut p, exec);
                     sp.set_stats(p.stats());
                     package(method, csr, p.stats(), y, dev)
                 })
@@ -225,7 +250,7 @@ pub fn measure_traced<S: Scalar>(
             let m = Baseline::build(method.name(), csr)
                 .expect("every non-DASP MethodKind maps to a Baseline");
             let mut probe = CountingProbe::new(dev.l2_cache());
-            let y = m.spmv_traced(x, &mut probe, tracer);
+            let y = m.spmv_traced_with(x, &mut probe, tracer, exec);
             package(method, csr, probe.stats(), y, dev)
         }
     }

@@ -1,79 +1,14 @@
-//! Grid execution: iterating warps sequentially or across CPU threads.
+//! [`SharedSlice`]: the disjoint-write scatter target for parallel warps.
 //!
 //! A CUDA kernel launch is a set of independent thread blocks; DASP's
 //! kernels additionally make every *warp's* work independent (each warp owns
 //! a disjoint set of output rows, or a disjoint slot of a partial-sum
-//! array). The simulator exploits that:
-//!
-//! * [`for_each_warp`] runs warps in order on the calling thread, threading
-//!   a single [`Probe`] through — the deterministic,
-//!   instrumented path used for the experiments.
-//! * [`for_each_warp_par`] fans warps out over CPU threads with
-//!   `std::thread::scope`, for the fast uninstrumented path used by the
-//!   examples (iterative solvers call SpMV thousands of times).
-//!
-//! [`SharedSlice`] is the disjoint-write escape hatch parallel warps use to
-//! scatter into `y`: a `Sync` wrapper over a raw slice whose safety contract
-//! is that no two warps write the same element (true by construction for
-//! every kernel here; debug builds additionally check it).
-
-use crate::probe::Probe;
-
-/// Runs `f(warp_id, probe)` for every warp in `0..n_warps`, sequentially and
-/// in order. Deterministic: cache-model state inside the probe evolves in
-/// warp order.
-///
-/// Each warp's work is bracketed by [`Probe::warp_begin`] /
-/// [`Probe::warp_end`], so probes that track per-warp statistics (load
-/// imbalance, divergence) see warp boundaries without the kernels having
-/// to report them.
-pub fn for_each_warp<P, F>(n_warps: usize, probe: &mut P, mut f: F)
-where
-    P: Probe,
-    F: FnMut(usize, &mut P),
-{
-    for w in 0..n_warps {
-        probe.warp_begin(w);
-        f(w, probe);
-        probe.warp_end(w);
-    }
-}
-
-/// Runs `f(warp_id)` for every warp in `0..n_warps` across CPU threads.
-///
-/// Warps are distributed in contiguous chunks. The closure must only
-/// perform writes that are disjoint between warps (use [`SharedSlice`]).
-pub fn for_each_warp_par<F>(n_warps: usize, f: F)
-where
-    F: Fn(usize) + Sync,
-{
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(n_warps.max(1));
-    if threads <= 1 || n_warps < 64 {
-        for w in 0..n_warps {
-            f(w);
-        }
-        return;
-    }
-    let chunk = n_warps.div_ceil(threads);
-    std::thread::scope(|scope| {
-        for t in 0..threads {
-            let f = &f;
-            let lo = t * chunk;
-            let hi = ((t + 1) * chunk).min(n_warps);
-            if lo >= hi {
-                break;
-            }
-            scope.spawn(move || {
-                for w in lo..hi {
-                    f(w);
-                }
-            });
-        }
-    });
-}
+//! array). Kernels are written as warp bodies run by an executor (see
+//! [`crate::exec`]), and [`SharedSlice`] is the escape hatch those bodies
+//! use to scatter into `y` from multiple threads: a `Sync` wrapper over a
+//! raw slice whose safety contract is that no two warps write the same
+//! element (true by construction for every kernel here; debug builds
+//! additionally check it).
 
 /// A `Sync` view of a mutable slice that permits scattered writes from
 /// multiple threads under a *disjointness* contract.
@@ -151,47 +86,6 @@ impl<'a, T> SharedSlice<'a, T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::probe::{CountingProbe, NoProbe};
-    use crate::CacheModel;
-
-    #[test]
-    fn sequential_executor_visits_in_order() {
-        let mut seen = Vec::new();
-        let mut probe = NoProbe;
-        for_each_warp(5, &mut probe, |w, _| seen.push(w));
-        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
-    }
-
-    #[test]
-    fn sequential_executor_threads_probe() {
-        let mut probe = CountingProbe::new(CacheModel::new(1024, 64, 2));
-        for_each_warp(3, &mut probe, |_, p| p.fma(2));
-        assert_eq!(probe.stats().fma_ops, 6);
-    }
-
-    #[test]
-    fn parallel_executor_covers_every_warp_once() {
-        let n = 500;
-        let mut out = vec![0u32; n];
-        {
-            let shared = SharedSlice::new(&mut out);
-            for_each_warp_par(n, |w| shared.write(w, w as u32 + 1));
-        }
-        for (i, &v) in out.iter().enumerate() {
-            assert_eq!(v, i as u32 + 1);
-        }
-    }
-
-    #[test]
-    fn parallel_executor_small_counts_run_inline() {
-        let n = 7;
-        let mut out = vec![0u32; n];
-        {
-            let shared = SharedSlice::new(&mut out);
-            for_each_warp_par(n, |w| shared.write(w, 9));
-        }
-        assert!(out.iter().all(|&v| v == 9));
-    }
 
     #[test]
     #[should_panic(expected = "out of bounds")]

@@ -53,11 +53,15 @@
 //!   plus a tree `warp_reduce`.
 //! * [`mma`] — the `m8n8k4` MMA unit with the PTX fragment layout, and
 //!   pack/unpack helpers used by tests.
-//! * [`probe`] — the [`Probe`] trait, the zero-cost [`NoProbe`], and the
-//!   [`CountingProbe`] with an LRU cache model for x accesses.
+//! * [`probe`] — the [`Probe`] trait, the zero-cost [`NoProbe`], the
+//!   [`CountingProbe`] with an LRU cache model for x accesses, and
+//!   [`ShardableProbe`] for instrumented parallel runs.
 //! * [`cache`] — a set-associative LRU cache simulator.
-//! * [`grid`] — sequential and multi-threaded warp executors and the
-//!   [`grid::SharedSlice`] disjoint-write wrapper.
+//! * [`exec`] — the warp-program executors: [`SeqExecutor`],
+//!   [`ParExecutor`] (sharded probes, merged counters), and the
+//!   runtime-selectable [`Executor`].
+//! * [`grid`] — the [`grid::SharedSlice`] disjoint-write wrapper warp
+//!   bodies scatter through.
 
 #![warn(missing_docs)]
 // Lane loops index several warp registers at once (`out[lane]`,
@@ -66,6 +70,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod cache;
+pub mod exec;
 pub mod grid;
 pub mod mma;
 pub mod probe;
@@ -73,9 +78,10 @@ pub mod shuffle;
 pub mod warp;
 
 pub use cache::CacheModel;
-pub use grid::{for_each_warp, for_each_warp_par, SharedSlice};
+pub use exec::{Executor, ParExecutor, SeqExecutor, DEFAULT_SEQ_THRESHOLD};
+pub use grid::SharedSlice;
 pub use mma::{mma_m8n8k4, AccFrag};
-pub use probe::{CountingProbe, KernelStats, NoProbe, Probe};
+pub use probe::{CountingProbe, KernelStats, NoProbe, Probe, ShardableProbe};
 pub use shuffle::{
     all_sync, any_sync, ballot_sync, shfl_down_sync, shfl_sync, shfl_sync_var, shfl_up_sync,
     shfl_xor_sync, warp_reduce,

@@ -81,6 +81,24 @@ impl KernelStats {
         self.inactive_lanes += other.inactive_lanes;
     }
 
+    /// Returns a copy with the cache-dependent fields (`x_hits`,
+    /// `x_misses`, `bytes_x_miss`) zeroed, keeping only the counters whose
+    /// totals do not depend on the order warps execute in.
+    ///
+    /// Under a [`crate::ParExecutor`] every shard starts from a copy of the
+    /// parent cache, so hit/miss classifications are per-shard
+    /// approximations; every other field is a pure sum over warps and is
+    /// bit-equal to a sequential run after [`KernelStats::merge`]. Equality
+    /// assertions between executors compare these projections.
+    pub fn order_independent(&self) -> KernelStats {
+        KernelStats {
+            x_hits: 0,
+            x_misses: 0,
+            bytes_x_miss: 0,
+            ..*self
+        }
+    }
+
     /// Field-wise difference `self - earlier`: the traffic recorded between
     /// two [`Probe::stats_snapshot`] calls. Used by `dasp-trace` spans to
     /// attribute a run's flat totals to individual kernels and phases.
@@ -188,6 +206,23 @@ pub trait Probe {
     }
 }
 
+/// A probe that can be split into per-thread shards and merged back,
+/// enabling instrumented parallel execution under a
+/// [`crate::ParExecutor`].
+///
+/// The contract mirrors [`KernelStats::merge`]: a shard starts with *zero*
+/// counters (so merging never double-counts) but may copy warm auxiliary
+/// state — the [`CountingProbe`] shard inherits a copy of the parent's
+/// cache contents, which keeps order-independent counters exact while
+/// making cache hit-rates per-shard approximations (see
+/// [`KernelStats::order_independent`]).
+pub trait ShardableProbe: Probe + Send {
+    /// Creates a shard with zeroed counters for one executor thread.
+    fn fork_shard(&self) -> Self;
+    /// Folds a finished shard's counters back into `self`.
+    fn merge_shard(&mut self, shard: Self);
+}
+
 /// The zero-cost probe: every method is an empty inline body.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NoProbe;
@@ -211,6 +246,15 @@ impl Probe for NoProbe {
     fn fma(&mut self, _: u64) {}
     #[inline(always)]
     fn shfl(&mut self, _: u64) {}
+}
+
+impl ShardableProbe for NoProbe {
+    #[inline(always)]
+    fn fork_shard(&self) -> Self {
+        NoProbe
+    }
+    #[inline(always)]
+    fn merge_shard(&mut self, _shard: Self) {}
 }
 
 /// The counting probe: accumulates [`KernelStats`] and models `x` locality
@@ -300,6 +344,21 @@ impl Probe for CountingProbe {
     }
 }
 
+impl ShardableProbe for CountingProbe {
+    /// Zeroed counters, *warm* cache: the shard starts from a copy of the
+    /// parent's cache contents so its hit/miss classification approximates
+    /// the sequential run rather than restarting cold.
+    fn fork_shard(&self) -> Self {
+        CountingProbe {
+            stats: KernelStats::default(),
+            cache: self.cache.clone(),
+        }
+    }
+    fn merge_shard(&mut self, shard: Self) {
+        self.stats.merge(&shard.stats);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -373,6 +432,52 @@ mod tests {
         assert_eq!(a.mma_ops, 2);
         assert_eq!(a.fma_ops, 5);
         assert_eq!(a.launches, 1);
+    }
+
+    #[test]
+    fn fork_shard_zeroes_counters_but_keeps_cache_warm() {
+        let mut p = CountingProbe::new(CacheModel::new(1024, 64, 2));
+        p.load_x(0, 8); // warm the line holding x[0..8]
+        p.fma(10);
+        let mut shard = p.fork_shard();
+        assert_eq!(shard.stats(), KernelStats::default());
+        shard.load_x(1, 8); // same line: hits in the warm copy
+        let s = shard.stats();
+        assert_eq!(s.x_hits, 1);
+        assert_eq!(s.x_misses, 0);
+    }
+
+    #[test]
+    fn merge_shard_sums_counters_once() {
+        let mut p = CountingProbe::new(CacheModel::new(1024, 64, 2));
+        p.fma(3);
+        let mut shard = p.fork_shard();
+        shard.fma(4);
+        shard.mma();
+        p.merge_shard(shard);
+        let s = p.stats();
+        assert_eq!(s.fma_ops, 7);
+        assert_eq!(s.mma_ops, 1);
+    }
+
+    #[test]
+    fn order_independent_drops_only_cache_fields() {
+        let s = KernelStats {
+            bytes_val: 5,
+            x_requests: 9,
+            x_hits: 4,
+            x_misses: 5,
+            bytes_x_miss: 320,
+            fma_ops: 2,
+            ..Default::default()
+        };
+        let o = s.order_independent();
+        assert_eq!(o.bytes_val, 5);
+        assert_eq!(o.x_requests, 9);
+        assert_eq!(o.fma_ops, 2);
+        assert_eq!(o.x_hits, 0);
+        assert_eq!(o.x_misses, 0);
+        assert_eq!(o.bytes_x_miss, 0);
     }
 
     #[test]

@@ -3,7 +3,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use dasp_core::DaspMatrix;
-use dasp_simt::NoProbe;
+use dasp_simt::{Executor, NoProbe};
 use dasp_sparse::Csr;
 
 /// Anything that can apply `y = A x` in `f64`.
@@ -37,13 +37,17 @@ impl LinearOperator for DaspMatrix<f64> {
         self.cols
     }
     fn apply(&self, x: &[f64], y: &mut [f64]) {
-        if self.nnz > 100_000 {
-            // Multi-threaded kernels; bit-identical to the sequential path.
-            y.copy_from_slice(&self.spmv_par(x));
+        // Large systems fan the warps out over threads; the parallel
+        // executor is bit-identical to the sequential one, so the switch
+        // is purely a throughput decision. Either way the kernel writes
+        // straight into the caller's buffer — no intermediate allocation
+        // inside the solver loop.
+        let exec = if self.nnz > 100_000 {
+            Executor::par()
         } else {
-            // Small systems: write straight into the caller's buffer.
-            self.spmv_into(x, y, &mut NoProbe);
-        }
+            Executor::seq()
+        };
+        self.spmv_into_with(x, y, &mut NoProbe, &exec);
     }
 }
 

@@ -1,7 +1,7 @@
 //! Per-warp profiling: a [`Probe`] adapter that attributes work to
 //! individual warps via the simulator's `warp_begin`/`warp_end` hooks.
 
-use dasp_simt::{KernelStats, Probe};
+use dasp_simt::{KernelStats, Probe, ShardableProbe};
 
 use crate::registry::{Histogram, Registry};
 
@@ -208,6 +208,26 @@ impl<P: Probe> Probe for WarpProfiler<P> {
     }
 }
 
+impl<P: ShardableProbe + Send> ShardableProbe for WarpProfiler<P> {
+    /// A shard starts with an empty profile over a shard of the inner
+    /// probe.
+    fn fork_shard(&self) -> Self {
+        WarpProfiler::new(self.inner.fork_shard())
+    }
+
+    /// Appends the shard's warp tallies (flushing any unmatched open warp
+    /// first) and merges the inner probe's counters. Shards are merged in
+    /// chunk order by the executor, so the combined profile lists warps
+    /// grouped by shard, each group in execution order.
+    fn merge_shard(&mut self, mut shard: Self) {
+        if let Some(t) = shard.current.take() {
+            shard.profile.warps.push(t);
+        }
+        self.profile.warps.extend(shard.profile.warps);
+        self.inner.merge_shard(shard.inner);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,6 +276,62 @@ mod tests {
         p.load_val(7, 8); // no warp open
         assert_eq!(p.inner().stats().bytes_val, 56);
         assert!(p.profile().is_empty());
+    }
+
+    #[test]
+    fn shards_fork_empty_and_merge_in_order() {
+        let mut p = WarpProfiler::new(CountingProbe::new(CacheModel::new(1024, 64, 2)));
+        p.warp_begin(0);
+        p.load_val(5, 8);
+        p.warp_end(0);
+
+        let mut shard = p.fork_shard();
+        assert!(shard.profile().is_empty());
+        assert_eq!(shard.inner().stats(), Default::default());
+        shard.warp_begin(7);
+        shard.load_val(11, 8);
+        shard.warp_end(7);
+        // An unmatched open warp in the shard is flushed on merge.
+        shard.warp_begin(8);
+        shard.fma(2);
+
+        p.merge_shard(shard);
+        assert_eq!(p.profile().len(), 3);
+        assert_eq!(p.profile().warps[0].warp_id, 0);
+        assert_eq!(p.profile().warps[1].warp_id, 7);
+        assert_eq!(p.profile().warps[2].warp_id, 8);
+        let s = p.inner().stats();
+        assert_eq!(s.bytes_val, 16 * 8);
+        assert_eq!(s.fma_ops, 2);
+    }
+
+    #[test]
+    fn profiler_runs_under_both_executors() {
+        use dasp_simt::{Executor, ParExecutor};
+        let body = |w: usize, p: &mut WarpProfiler<CountingProbe>| {
+            p.warp_begin(w);
+            p.load_val(w as u64 + 1, 8);
+            p.fma(2);
+            p.warp_end(w);
+        };
+        let mut seq = WarpProfiler::new(CountingProbe::a100());
+        Executor::seq().run(100, &mut seq, body);
+        let mut par = WarpProfiler::new(CountingProbe::a100());
+        ParExecutor::new()
+            .with_threads(Some(4))
+            .with_seq_threshold(0)
+            .run(100, &mut par, body);
+        assert_eq!(par.profile().len(), 100);
+        // Same set of warps profiled, grouped by shard.
+        let mut seq_ids: Vec<_> = seq.profile().warps.iter().map(|w| w.warp_id).collect();
+        let mut par_ids: Vec<_> = par.profile().warps.iter().map(|w| w.warp_id).collect();
+        seq_ids.sort_unstable();
+        par_ids.sort_unstable();
+        assert_eq!(seq_ids, par_ids);
+        assert_eq!(
+            seq.inner().stats().order_independent(),
+            par.inner().stats().order_independent()
+        );
     }
 
     #[test]
