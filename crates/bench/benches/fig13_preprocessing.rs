@@ -6,15 +6,46 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dasp_baselines::{BsrSpmv, Csr5, LsrbCsr, TileSpmv};
 use dasp_bench::bench_matrices;
-use dasp_core::DaspMatrix;
+use dasp_core::{DaspMatrix, DaspParams, DaspPlan};
+use dasp_simt::Executor;
+use dasp_trace::Tracer;
 
 fn bench(c: &mut Criterion) {
     let mats = bench_matrices();
     let mut g = c.benchmark_group("fig13_preprocessing");
     dasp_bench::configure(&mut g);
+    let params = DaspParams::default();
+    let tracer = Tracer::disabled();
     for (name, csr) in &mats {
         g.bench_with_input(BenchmarkId::new("dasp", name), csr, |b, csr| {
             b.iter(|| DaspMatrix::from_csr(csr))
+        });
+        // The analysis/execute split: pattern-only analysis (seq and at 4
+        // threads), the O(nnz) value scatter, and the in-place refresh.
+        g.bench_with_input(BenchmarkId::new("dasp-analyze-seq", name), csr, |b, csr| {
+            b.iter(|| DaspPlan::analyze_traced_with(csr, params, &tracer, &Executor::seq()))
+        });
+        g.bench_with_input(
+            BenchmarkId::new("dasp-analyze-par4", name),
+            csr,
+            |b, csr| {
+                b.iter(|| {
+                    DaspPlan::analyze_traced_with(
+                        csr,
+                        params,
+                        &tracer,
+                        &Executor::par_with_threads(Some(4)),
+                    )
+                })
+            },
+        );
+        let plan = DaspPlan::analyze(csr, params);
+        g.bench_with_input(BenchmarkId::new("dasp-fill", name), csr, |b, csr| {
+            b.iter(|| plan.fill(csr))
+        });
+        let mut filled = plan.fill(csr);
+        g.bench_with_input(BenchmarkId::new("dasp-update", name), csr, |b, csr| {
+            b.iter(|| filled.update_values(&csr.vals).expect("same pattern"))
         });
         g.bench_with_input(BenchmarkId::new("csr5", name), csr, |b, csr| {
             b.iter(|| Csr5::new(csr))

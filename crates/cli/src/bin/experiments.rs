@@ -497,6 +497,22 @@ fn run_fig12(out: &std::path::Path) {
 fn run_fig13(out: &std::path::Path) {
     let f = fig13::run();
     println!("== Figure 13: preprocessing cost (CPU wall-clock) ==");
+    let fmt_row = |r: &fig13::Row| {
+        vec![
+            r.name.clone(),
+            r.nnz.to_string(),
+            f2(r.dasp_us),
+            f2(r.csr5_us),
+            f2(r.tilespmv_us),
+            f2(r.bsr_us),
+            f2(r.lsrb_us),
+            f2(r.analyze_seq_us),
+            f2(r.analyze_par4_us),
+            f2(r.fill_us),
+            f2(r.update_us),
+            r.break_even.map_or_else(|| "-".into(), |k| k.to_string()),
+        ]
+    };
     // Print a decile summary instead of every matrix.
     let n = f.rows.len();
     let pick: Vec<usize> = (0..10).map(|k| k * n.saturating_sub(1) / 9).collect();
@@ -508,40 +524,23 @@ fn run_fig13(out: &std::path::Path) {
         "tilespmv_us",
         "bsr_us",
         "lsrb_us",
+        "analyze_seq_us",
+        "analyze_par4_us",
+        "fill_us",
+        "update_us",
+        "break_even",
     ];
-    let rows: Vec<Vec<String>> = pick
-        .iter()
-        .map(|&i| {
-            let r = &f.rows[i];
-            vec![
-                r.name.clone(),
-                r.nnz.to_string(),
-                f2(r.dasp_us),
-                f2(r.csr5_us),
-                f2(r.tilespmv_us),
-                f2(r.bsr_us),
-                f2(r.lsrb_us),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = pick.iter().map(|&i| fmt_row(&f.rows[i])).collect();
     println!("{}", text_table(&header, &rows));
+    let (refresh_speedup, par_speedup) = f.summary_ratios();
+    println!(
+        "analysis/execute split: update_values is {refresh_speedup:.1}x faster than a full \
+         rebuild (geomean); 4-thread analysis is {par_speedup:.2}x faster than sequential"
+    );
     let _ = write_csv(
         out,
         "fig13_preprocessing.csv",
         &header,
-        &f.rows
-            .iter()
-            .map(|r| {
-                vec![
-                    r.name.clone(),
-                    r.nnz.to_string(),
-                    f2(r.dasp_us),
-                    f2(r.csr5_us),
-                    f2(r.tilespmv_us),
-                    f2(r.bsr_us),
-                    f2(r.lsrb_us),
-                ]
-            })
-            .collect::<Vec<_>>(),
+        &f.rows.iter().map(fmt_row).collect::<Vec<_>>(),
     );
 }

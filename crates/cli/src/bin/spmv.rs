@@ -4,10 +4,18 @@
 //! dasp-spmv MATRIX.mtx [--method dasp|csr5|tilespmv|lsrb-csr|cusparse-bsr|cusparse-csr|csr-scalar|merge-csr]
 //!           [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare]
 //!           [--executor seq|par] [--threads N] [--trace OUT.json]
+//!           [--refresh-values N]
 //! ```
 //!
 //! `--compare` runs every method on the matrix and prints a ranking table
 //! instead of the single-method report.
+//!
+//! `--refresh-values N` demonstrates the analysis/execute split: the
+//! matrix pattern is analyzed once into a reusable `DaspPlan`, values are
+//! scattered in (`fill`), then refreshed `N` times through the O(nnz)
+//! `update_values` path. The report shows how refresh time compares to a
+//! full `from_csr` rebuild and after how many value updates the one-off
+//! analysis breaks even.
 //!
 //! `--executor par` fans the simulated warps out over host threads
 //! (`--threads N` caps the count; default = available parallelism). The
@@ -26,7 +34,9 @@
 use std::fs::File;
 use std::io::BufReader;
 use std::process::ExitCode;
+use std::time::Instant;
 
+use dasp_core::{DaspMatrix, DaspParams, DaspPlan, PlanCache};
 use dasp_fp16::F16;
 use dasp_matgen::dense_vector;
 use dasp_perf::{a100, h800, measure_traced_with, DeviceModel, MethodKind};
@@ -46,6 +56,7 @@ fn main() -> ExitCode {
     let mut trace_out: Option<String> = None;
     let mut executor: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut refresh_values: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -89,9 +100,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--refresh-values" => match args.next().and_then(|t| t.parse::<usize>().ok()) {
+                Some(n) if n > 0 => refresh_values = Some(n),
+                _ => {
+                    eprintln!("--refresh-values requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--executor seq|par] [--threads N] [--trace OUT.json]"
+                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--executor seq|par] [--threads N] [--trace OUT.json] [--refresh-values N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -298,6 +316,15 @@ fn main() -> ExitCode {
         "instructions   : {} mma, {} fma, {} shfl, {} launches",
         s.mma_ops, s.fma_ops, s.shfl_ops, s.launches
     );
+    if let Some(n) = refresh_values {
+        if fp16 {
+            refresh_demo::<F16>(&csr.cast(), n, &tracer, &exec);
+        } else if fp32 {
+            refresh_demo::<f32>(&csr.cast(), n, &tracer, &exec);
+        } else {
+            refresh_demo::<f64>(&csr, n, &tracer, &exec);
+        }
+    }
     if let Some(out) = &trace_out {
         if let Err(e) = write_trace(out, &tracer) {
             eprintln!("cannot write trace {out}: {e}");
@@ -305,6 +332,62 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The `--refresh-values N` report: analysis vs. execute vs. full rebuild
+/// timings, N rounds of O(nnz) `update_values`, and the break-even count
+/// of value refreshes past which the one-off analysis has paid for itself.
+fn refresh_demo<S: dasp_fp16::Scalar>(csr: &Csr<S>, n: usize, tracer: &Tracer, exec: &Executor) {
+    let params = DaspParams::default();
+
+    let t0 = Instant::now();
+    let full = DaspMatrix::with_params_traced(csr, params, tracer);
+    let full_us = t0.elapsed().as_secs_f64() * 1e6;
+
+    let t0 = Instant::now();
+    let plan = DaspPlan::analyze_traced_with(csr, params, tracer, exec);
+    let analyze_us = t0.elapsed().as_secs_f64() * 1e6;
+    let t0 = Instant::now();
+    let mut filled = plan.fill_traced_with(csr, tracer, exec);
+    let fill_us = t0.elapsed().as_secs_f64() * 1e6;
+    assert_eq!(filled, full, "plan fill must equal the direct build");
+
+    let t0 = Instant::now();
+    for _ in 0..n {
+        filled
+            .update_values_traced_with(&csr.vals, tracer, exec)
+            .expect("same pattern");
+    }
+    let update_us = t0.elapsed().as_secs_f64() * 1e6 / n as f64;
+
+    // A second build through the cache hits the stored plan.
+    let cache = PlanCache::new();
+    let _ = DaspMatrix::with_params_cached(csr, params, &cache);
+    let _ = DaspMatrix::with_params_cached(csr, params, &cache);
+
+    println!("-- analysis/execute split ({} value refreshes) --", n);
+    println!("full rebuild   : {full_us:.1} us (from_csr: analysis + values fused)");
+    println!("analysis       : {analyze_us:.1} us (pattern only, reusable DaspPlan)");
+    println!("execute (fill) : {fill_us:.1} us (values scattered through the plan)");
+    println!(
+        "update_values  : {update_us:.1} us avg over {n} refreshes ({:.1}x faster than rebuild)",
+        full_us / update_us.max(1e-9)
+    );
+    let saved = full_us - update_us;
+    if saved > 0.0 {
+        let k = ((analyze_us + fill_us - update_us) / saved).ceil().max(1.0);
+        println!(
+            "break-even     : plan amortizes after {k:.0} value refresh{}",
+            if k > 1.0 { "es" } else { "" }
+        );
+    } else {
+        println!("break-even     : never (refresh is not faster than rebuild here)");
+    }
+    println!(
+        "plan cache     : {} hit / {} miss across 2 cached builds",
+        cache.hits(),
+        cache.misses()
+    );
 }
 
 /// Drains the tracer and writes its spans as Chrome Trace Event Format.

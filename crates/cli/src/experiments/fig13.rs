@@ -9,11 +9,20 @@
 //! absolute numbers are CPU-side. Paper shape: DASP's preprocessing is
 //! almost always cheaper than TileSpMV's and cuSPARSE-BSR's, and becomes
 //! costlier than CSR5's as matrices grow large.
+//!
+//! Extended with the analysis/execute split: per matrix we also time the
+//! pattern-only analysis ([`DaspPlan::analyze`], sequential and at 4
+//! threads), the value scatter ([`DaspPlan::fill`]) and the in-place
+//! O(nnz) refresh ([`DaspMatrix::update_values`]), and report the
+//! break-even number of value refreshes past which paying for a reusable
+//! plan beats rebuilding from scratch each time.
 
 use std::time::Instant;
 
 use dasp_baselines::{BsrSpmv, Csr5, LsrbCsr, TileSpmv};
-use dasp_core::DaspMatrix;
+use dasp_core::{DaspMatrix, DaspParams, DaspPlan};
+use dasp_simt::Executor;
+use dasp_trace::Tracer;
 
 use crate::experiments::common::full_corpus;
 
@@ -34,12 +43,51 @@ pub struct Row {
     pub bsr_us: f64,
     /// LSRB segment-descriptor build.
     pub lsrb_us: f64,
+    /// DASP pattern-only analysis, sequential executor.
+    pub analyze_seq_us: f64,
+    /// DASP pattern-only analysis, parallel executor at 4 threads.
+    pub analyze_par4_us: f64,
+    /// Value scatter through the plan (`DaspPlan::fill`).
+    pub fill_us: f64,
+    /// In-place O(nnz) value refresh (`DaspMatrix::update_values`).
+    pub update_us: f64,
+    /// Value refreshes after which analyze+fill+k*update beats k full
+    /// rebuilds (`ceil((analyze + fill - update) / (rebuild - update))`);
+    /// `None` when refreshing never wins.
+    pub break_even: Option<u64>,
 }
 
 /// The experiment result.
 pub struct Fig13 {
     /// One row per corpus matrix, ordered by nonzeros.
     pub rows: Vec<Row>,
+}
+
+impl Fig13 {
+    /// Corpus-wide geometric means of the two headline ratios:
+    /// `(rebuild / update, analyze_seq / analyze_par4)`. Rows with
+    /// degenerate timings (zero denominators) are skipped.
+    pub fn summary_ratios(&self) -> (f64, f64) {
+        let geomean = |vals: &[f64]| -> f64 {
+            if vals.is_empty() {
+                return 1.0;
+            }
+            (vals.iter().map(|v| v.ln()).sum::<f64>() / vals.len() as f64).exp()
+        };
+        let refresh: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.update_us > 0.0)
+            .map(|r| r.dasp_us / r.update_us)
+            .collect();
+        let par: Vec<f64> = self
+            .rows
+            .iter()
+            .filter(|r| r.analyze_par4_us > 0.0)
+            .map(|r| r.analyze_seq_us / r.analyze_par4_us)
+            .collect();
+        (geomean(&refresh), geomean(&par))
+    }
 }
 
 fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
@@ -50,6 +98,10 @@ fn time_us<T>(f: impl FnOnce() -> T) -> (T, f64) {
 
 /// Runs the experiment.
 pub fn run() -> Fig13 {
+    let params = DaspParams::default();
+    let tracer = Tracer::disabled();
+    let seq = Executor::seq();
+    let par4 = Executor::par_with_threads(Some(4));
     let mut rows = Vec::new();
     for named in full_corpus() {
         let csr = &named.matrix;
@@ -58,6 +110,26 @@ pub fn run() -> Fig13 {
         let (_t, tilespmv_us) = time_us(|| TileSpmv::new(csr));
         let (_b, bsr_us) = time_us(|| BsrSpmv::best_of(csr));
         let (_l, lsrb_us) = time_us(|| LsrbCsr::new(csr));
+        let (_p, analyze_seq_us) =
+            time_us(|| DaspPlan::analyze_traced_with(csr, params, &tracer, &seq));
+        let (plan, analyze_par4_us) =
+            time_us(|| DaspPlan::analyze_traced_with(csr, params, &tracer, &par4));
+        let (mut filled, fill_us) = time_us(|| plan.fill(csr));
+        // Average a few refreshes: a single O(nnz) scatter on small
+        // matrices is below timer resolution.
+        const REFRESHES: usize = 5;
+        let (_u, total_update) = time_us(|| {
+            for _ in 0..REFRESHES {
+                filled.update_values(&csr.vals).expect("same pattern");
+            }
+        });
+        let update_us = total_update / REFRESHES as f64;
+        let saved = dasp_us - update_us;
+        let break_even = (saved > 0.0).then(|| {
+            ((analyze_seq_us + fill_us - update_us) / saved)
+                .ceil()
+                .max(1.0) as u64
+        });
         rows.push(Row {
             name: named.name.clone(),
             nnz: csr.nnz(),
@@ -66,6 +138,11 @@ pub fn run() -> Fig13 {
             tilespmv_us,
             bsr_us,
             lsrb_us,
+            analyze_seq_us,
+            analyze_par4_us,
+            fill_us,
+            update_us,
+            break_even,
         });
     }
     rows.sort_by_key(|r| r.nnz);

@@ -9,7 +9,7 @@
 //! nnz/instruction load-imbalance histograms (`warp.<method>.*`) the
 //! simulator's `warp_begin`/`warp_end` hooks feed.
 
-use dasp_core::DaspMatrix;
+use dasp_core::{DaspParams, PlanCache};
 use dasp_matgen::{banded, circuit_like, dense_vector, rmat};
 use dasp_perf::{a100, measure_traced, record_measurement, MethodKind};
 use dasp_simt::CountingProbe;
@@ -53,6 +53,7 @@ pub fn run() -> MetricsDump {
     let dev = a100();
     let tracer = Tracer::new();
     let registry = Registry::new();
+    let plans = PlanCache::new();
     let matrices = sweep_matrices();
 
     for (name, csr) in &matrices {
@@ -62,8 +63,18 @@ pub fn run() -> MetricsDump {
             record_measurement(&m, &registry);
         }
         // Per-warp load distribution for DASP vs the scalar-CSR strawman —
-        // the contrast behind the paper's load-balance argument.
-        let dasp = DaspMatrix::from_csr(csr);
+        // the contrast behind the paper's load-balance argument. Built
+        // through the pattern-keyed plan cache (and once more, so each
+        // matrix contributes a hit), leaving traced `preprocess.fill`
+        // spans with their scatter-byte args and cache gauges behind.
+        let exec = dasp_simt::Executor::from_env();
+        let params = DaspParams::default();
+        let dasp = plans
+            .plan_for_traced_with(csr, params, &tracer, &exec)
+            .fill_traced_with(csr, &tracer, &exec);
+        let _ = plans
+            .plan_for_traced_with(csr, params, &tracer, &exec)
+            .fill_traced_with(csr, &tracer, &exec);
         let mut p = WarpProfiler::new(CountingProbe::new(dev.l2_cache()));
         let _ = dasp.spmv(&x, &mut p);
         p.profile()
@@ -82,6 +93,10 @@ pub fn run() -> MetricsDump {
         registry.counter_add(&format!("{pre}.rows_short"), cs.rows_short as u64);
         registry.counter_add(&format!("{pre}.rows_empty"), cs.rows_empty as u64);
     }
+
+    // Plan-cache effectiveness over the whole sweep (each matrix analyzed
+    // once, then hit once).
+    plans.export_metrics(&registry);
 
     let trace = tracer.take_trace();
     MetricsDump {
@@ -117,5 +132,10 @@ mod tests {
         }
         assert!(d.metrics_csv.contains("warp.dasp.nnz"));
         assert!(d.metrics_json.contains("dasp.categories.rmat12.fill_rate"));
+        // The sweep builds each matrix twice through the plan cache: one
+        // analysis miss, one hit, and traced fill spans for both.
+        assert!(d.metrics_json.contains("format.plan_cache.hits"));
+        assert!(d.metrics_json.contains("format.plan_cache.misses"));
+        assert!(d.trace_json.contains("preprocess.fill"));
     }
 }

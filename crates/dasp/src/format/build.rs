@@ -1,85 +1,205 @@
 //! CSR -> DASP conversion (the preprocessing step of paper Fig. 13).
+//!
+//! The build is an *analysis/execute* pipeline: a cheap sequential counting
+//! pass over `csr.row_ptr` fixes every element's destination slot, then the
+//! copy work fans out over the configured [`Executor`] in contiguous
+//! chunks. No stage stages elements in per-row `Vec`s — the part builders
+//! read straight from the borrowed CSR arrays — and every write is
+//! position-based through a [`SharedSlice`](dasp_simt::SharedSlice), so the
+//! output is bit-identical whichever executor runs it.
 
 use dasp_fp16::Scalar;
+use dasp_simt::{Executor, NoProbe, SharedSlice};
 use dasp_sparse::Csr;
-use dasp_trace::Tracer;
+use dasp_trace::{Span, Tracer};
 
 use crate::consts::DaspParams;
 use crate::format::{DaspMatrix, LongPart, MediumPart, ShortPart};
+
+/// Rows per categorize chunk: classifying a row is a two-load affair, so
+/// chunks must stay large for the fan-out to pay.
+const MIN_CHUNK_CATEGORIZE: usize = 4096;
+
+/// Splits `items` into contiguous chunks for `exec`, returning
+/// `(n_chunks, chunk_len)` (the last chunk may be short).
+///
+/// Sequential executors — and inputs too small to split `2 * min_chunk`
+/// ways — get a single chunk. Parallel executors get at most 8 chunks per
+/// thread (cheap dynamic balance without shredding the input) and no chunk
+/// smaller than `min_chunk`.
+pub(crate) fn chunk_plan(exec: &Executor, items: usize, min_chunk: usize) -> (usize, usize) {
+    let min_chunk = min_chunk.max(1);
+    if items == 0 {
+        return (0, 1);
+    }
+    if let Executor::Par(p) = exec {
+        if items >= 2 * min_chunk {
+            let threads = p
+                .threads()
+                .or_else(|| std::thread::available_parallelism().map(|n| n.get()).ok())
+                .unwrap_or(1);
+            let chunks = items.div_ceil(min_chunk).min(threads * 8).max(1);
+            let chunk = items.div_ceil(chunks);
+            return (items.div_ceil(chunk), chunk);
+        }
+    }
+    (1, items)
+}
+
+/// Runs `body(chunk_index)` for every chunk of a [`chunk_plan`].
+///
+/// The parallel branch re-arms the executor with a zero inline-fallback
+/// threshold: chunk counts are far below the warp-count threshold the
+/// kernels tune for, but each chunk here carries `min_chunk`-scale work.
+pub(crate) fn run_planned<F>(exec: &Executor, n_chunks: usize, body: F)
+where
+    F: Fn(usize) + Sync,
+{
+    match exec {
+        Executor::Par(p) if n_chunks > 1 => {
+            Executor::Par(p.with_seq_threshold(0)).run(n_chunks, &mut NoProbe, |c, _| body(c));
+        }
+        _ => {
+            for c in 0..n_chunks {
+                body(c);
+            }
+        }
+    }
+}
+
+/// Fans `body(lo, hi)` out over contiguous `items` ranges sized by
+/// [`chunk_plan`]. The workhorse of every build phase.
+pub(crate) fn run_chunks<F>(exec: &Executor, items: usize, min_chunk: usize, body: F)
+where
+    F: Fn(usize, usize) + Sync,
+{
+    let (n_chunks, chunk) = chunk_plan(exec, items, min_chunk);
+    run_planned(exec, n_chunks, |c| {
+        body(c * chunk, ((c + 1) * chunk).min(items))
+    });
+}
 
 /// Classifies rows and builds all three category parts.
 pub(crate) fn build<S: Scalar>(csr: &Csr<S>, params: DaspParams) -> DaspMatrix<S> {
     build_traced(csr, params, &Tracer::disabled())
 }
 
-/// [`build`] with each preprocessing phase wrapped in a span: a
-/// `preprocess` root with `preprocess.categorize`, `preprocess.sort`, and
-/// `preprocess.build.{long,medium,short}` children. With a disabled
-/// tracer the spans are inert and this *is* the plain build path.
+/// [`build`] with tracing, on the environment-selected executor.
 pub(crate) fn build_traced<S: Scalar>(
     csr: &Csr<S>,
     params: DaspParams,
     tracer: &Tracer,
+) -> DaspMatrix<S> {
+    build_traced_with(csr, params, tracer, &Executor::from_env())
+}
+
+/// [`build`] with each preprocessing phase wrapped in a span: a
+/// `preprocess` root with `preprocess.categorize`, `preprocess.sort`, and
+/// `preprocess.build.{long,medium,short}` children. With a disabled
+/// tracer the spans are inert and this *is* the plain build path.
+pub(crate) fn build_traced_with<S: Scalar>(
+    csr: &Csr<S>,
+    params: DaspParams,
+    tracer: &Tracer,
+    exec: &Executor,
 ) -> DaspMatrix<S> {
     assert!(
         params.max_len > 4,
         "MAX_LEN must exceed the short-row bound"
     );
     let root = tracer.span("preprocess");
+    build_under(csr, params, &root, exec)
+}
 
-    let mut long_rows: Vec<(u32, Vec<(u32, S)>)> = Vec::new();
-    let mut medium_rows: Vec<(u32, Vec<(u32, S)>)> = Vec::new();
-    let mut short_rows: Vec<(u32, Vec<(u32, S)>)> = Vec::new();
+/// Per-chunk categorize output: row ids by category, in row order.
+#[derive(Default)]
+struct Buckets {
+    long: Vec<u32>,
+    medium: Vec<u32>,
+    short: Vec<u32>,
+}
+
+/// The phase pipeline, recording its spans as children of `root` (which
+/// [`build_traced_with`] names `preprocess`; [`DaspPlan::analyze`] reuses
+/// this under its own root so analysis traces read identically).
+///
+/// [`DaspPlan::analyze`]: crate::format::DaspPlan::analyze
+pub(crate) fn build_under<S: Scalar>(
+    csr: &Csr<S>,
+    params: DaspParams,
+    root: &Span,
+    exec: &Executor,
+) -> DaspMatrix<S> {
+    // Categorize: each chunk classifies its row range into id buckets;
+    // concatenating buckets in chunk order reproduces the sequential
+    // row-order scan exactly.
+    let mut long_ids: Vec<u32> = Vec::new();
+    let mut medium_ids: Vec<u32> = Vec::new();
+    let mut short_ids: Vec<u32> = Vec::new();
     {
         let mut sp = root.child("preprocess.categorize");
-        for i in 0..csr.rows {
-            let len = csr.row_len(i);
-            if len == 0 {
-                continue; // empty rows belong to no category
-            }
-            let elems: Vec<(u32, S)> = csr.row(i).collect();
-            if len > params.max_len {
-                long_rows.push((i as u32, elems));
-            } else if len > 4 {
-                medium_rows.push((i as u32, elems));
-            } else {
-                short_rows.push((i as u32, elems));
-            }
+        let (n_chunks, chunk) = chunk_plan(exec, csr.rows, MIN_CHUNK_CATEGORIZE);
+        let mut buckets: Vec<Buckets> = (0..n_chunks).map(|_| Buckets::default()).collect();
+        {
+            let shared = SharedSlice::new(&mut buckets);
+            run_planned(exec, n_chunks, |c| {
+                let mut b = Buckets::default();
+                for i in c * chunk..((c + 1) * chunk).min(csr.rows) {
+                    let len = csr.row_len(i);
+                    if len == 0 {
+                        continue; // empty rows belong to no category
+                    }
+                    if len > params.max_len {
+                        b.long.push(i as u32);
+                    } else if len > 4 {
+                        b.medium.push(i as u32);
+                    } else {
+                        b.short.push(i as u32);
+                    }
+                }
+                shared.write(c, b);
+            });
         }
-        sp.add_arg("rows_long", long_rows.len());
-        sp.add_arg("rows_medium", medium_rows.len());
-        sp.add_arg("rows_short", short_rows.len());
+        for b in buckets {
+            long_ids.extend_from_slice(&b.long);
+            medium_ids.extend_from_slice(&b.medium);
+            short_ids.extend_from_slice(&b.short);
+        }
+        sp.add_arg("rows_long", long_ids.len());
+        sp.add_arg("rows_medium", medium_ids.len());
+        sp.add_arg("rows_short", short_ids.len());
     }
 
     {
         // Stable descending sort by length (paper §3.2: "sorted in a
         // stable descending order").
-        let _sp = root.child("preprocess.sort");
-        medium_rows.sort_by_key(|(_, e)| std::cmp::Reverse(e.len()));
+        let mut sp = root.child("preprocess.sort");
+        let before = medium_ids.clone();
+        medium_ids.sort_by_key(|&id| std::cmp::Reverse(csr.row_len(id as usize)));
+        let moved = before
+            .iter()
+            .zip(&medium_ids)
+            .filter(|(a, b)| a != b)
+            .count();
+        sp.add_arg("rows_sorted", medium_ids.len());
+        sp.add_arg("moved", moved);
     }
 
     let long = {
         let mut sp = root.child("preprocess.build.long");
-        let mut long = LongPart::empty();
-        for (r, elems) in &long_rows {
-            long.push_row(*r, elems);
-        }
+        let long = LongPart::build_csr(csr, &long_ids, exec);
         sp.add_arg("groups", long.num_groups());
         long
     };
     let medium = {
         let mut sp = root.child("preprocess.build.medium");
-        let medium = MediumPart::build(&medium_rows, params.threshold);
+        let medium = MediumPart::build_csr(csr, &medium_ids, params.threshold, exec);
         sp.add_arg("rowblocks", medium.num_rowblocks());
         medium
     };
     let short = {
         let mut sp = root.child("preprocess.build.short");
-        let short = if params.short_piecing {
-            ShortPart::build(short_rows)
-        } else {
-            ShortPart::build_padded_only(short_rows)
-        };
+        let short = ShortPart::build_csr(csr, &short_ids, params.short_piecing, exec);
         sp.add_arg("warps", short.n13_warps + short.n22_warps + short.n4_warps);
         short
     };
@@ -92,6 +212,7 @@ pub(crate) fn build_traced<S: Scalar>(
         medium,
         short,
         params,
+        plan: None,
     }
 }
 
@@ -123,6 +244,103 @@ mod tests {
             }
         }
         m.to_csr()
+    }
+
+    /// The pre-refactor build path: per-row element collects, append-based
+    /// part builders. The zero-copy path must reproduce it bit for bit.
+    fn reference_build(csr: &Csr<f64>, params: DaspParams) -> DaspMatrix<f64> {
+        let mut long_rows: Vec<(u32, Vec<(u32, f64)>)> = Vec::new();
+        let mut medium_rows: Vec<(u32, Vec<(u32, f64)>)> = Vec::new();
+        let mut short_rows: Vec<(u32, Vec<(u32, f64)>)> = Vec::new();
+        for i in 0..csr.rows {
+            let len = csr.row_len(i);
+            if len == 0 {
+                continue;
+            }
+            let elems: Vec<(u32, f64)> = csr.row(i).collect();
+            if len > params.max_len {
+                long_rows.push((i as u32, elems));
+            } else if len > 4 {
+                medium_rows.push((i as u32, elems));
+            } else {
+                short_rows.push((i as u32, elems));
+            }
+        }
+        medium_rows.sort_by_key(|(_, e)| std::cmp::Reverse(e.len()));
+        let mut long = LongPart::empty();
+        for (r, elems) in &long_rows {
+            long.push_row(*r, elems);
+        }
+        let medium = MediumPart::build(&medium_rows, params.threshold);
+        let short = if params.short_piecing {
+            ShortPart::build(short_rows)
+        } else {
+            ShortPart::build_padded_only(short_rows)
+        };
+        DaspMatrix {
+            rows: csr.rows,
+            cols: csr.cols,
+            nnz: csr.nnz(),
+            long,
+            medium,
+            short,
+            params,
+            plan: None,
+        }
+    }
+
+    #[test]
+    fn zero_copy_build_is_bit_identical_to_reference() {
+        let m = mixed();
+        for piecing in [true, false] {
+            let params = DaspParams {
+                short_piecing: piecing,
+                ..DaspParams::default()
+            };
+            let want = reference_build(&m, params);
+            let seq = build_traced_with(&m, params, &Tracer::disabled(), &Executor::seq());
+            let par = build_traced_with(
+                &m,
+                params,
+                &Tracer::disabled(),
+                &Executor::par_with_threads(Some(4)),
+            );
+            assert_eq!(seq, want);
+            assert_eq!(par, want);
+        }
+    }
+
+    #[test]
+    fn chunk_plan_shapes() {
+        let seq = Executor::seq();
+        let par = Executor::par_with_threads(Some(4));
+        // Sequential: always one chunk.
+        assert_eq!(chunk_plan(&seq, 10_000, 64), (1, 10_000));
+        // Empty: no chunks.
+        assert_eq!(chunk_plan(&par, 0, 64), (0, 1));
+        // Too small to split: one chunk.
+        assert_eq!(chunk_plan(&par, 100, 64), (1, 100));
+        // Splittable: chunks cover the input exactly, none below min.
+        let (n, chunk) = chunk_plan(&par, 10_000, 64);
+        assert!(n > 1);
+        assert!(chunk >= 64);
+        assert!((n - 1) * chunk < 10_000 && n * chunk >= 10_000);
+    }
+
+    #[test]
+    fn run_chunks_covers_every_item_once() {
+        let par = Executor::par_with_threads(Some(4));
+        let n = 5000;
+        let mut hits = vec![0u8; n];
+        {
+            let shared = SharedSlice::new(&mut hits);
+            run_chunks(&par, n, 16, |lo, hi| {
+                for i in lo..hi {
+                    shared.write(i, 1);
+                }
+            });
+        }
+        assert!(hits.iter().all(|&h| h == 1));
     }
 
     #[test]
@@ -159,6 +377,52 @@ mod tests {
             &d.medium.rows[1..],
             (3u32..20).collect::<Vec<_>>().as_slice()
         );
+    }
+
+    #[test]
+    fn sort_span_reports_rows_sorted_and_moved() {
+        let m = mixed();
+        let tracer = Tracer::new();
+        let _ = DaspMatrix::from_csr_traced(&m, &tracer);
+        let trace = tracer.take_trace();
+        let sort = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "preprocess.sort")
+            .expect("sort span recorded");
+        let arg = |key: &str| {
+            sort.args
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.clone())
+                .expect("sort span arg")
+        };
+        // 18 medium rows; row 2 (len 10, the longest) is already first in
+        // row order, so the stable sort keeps every row in place.
+        assert_eq!(arg("rows_sorted"), "18");
+        assert_eq!(arg("moved"), "0");
+    }
+
+    #[test]
+    fn sort_span_counts_moved_rows() {
+        // Two medium rows in ascending length order: both move.
+        let mut m = Coo::<f64>::new(2, 100);
+        for c in 0..5 {
+            m.push(0, c, 1.0);
+        }
+        for c in 0..90 {
+            m.push(1, c, 1.0);
+        }
+        let tracer = Tracer::new();
+        let _ = DaspMatrix::from_csr_traced(&m.to_csr(), &tracer);
+        let trace = tracer.take_trace();
+        let sort = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "preprocess.sort")
+            .expect("sort span recorded");
+        assert!(sort.args.contains(&("rows_sorted".into(), "2".into())));
+        assert!(sort.args.contains(&("moved".into(), "2".into())));
     }
 
     #[test]

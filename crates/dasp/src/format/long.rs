@@ -1,8 +1,11 @@
 //! Storage of the long-rows category (paper §3.2, yellow part of Fig. 5).
 
 use dasp_fp16::Scalar;
+use dasp_simt::{Executor, SharedSlice};
+use dasp_sparse::Csr;
 
 use crate::consts::GROUP_ELEMS;
+use crate::format::build::run_chunks;
 
 /// Long rows (`len > MAX_LEN`), each cut into zero-padded groups of
 /// [`GROUP_ELEMS`] (= 64) elements.
@@ -29,6 +32,10 @@ pub struct LongPart<S: Scalar> {
     pub nnz_orig: usize,
 }
 
+/// Rows per chunk when the emit phase runs on the parallel executor; each
+/// long row carries at least `MAX_LEN + 1` elements, so chunks stay heavy.
+const MIN_CHUNK_ROWS: usize = 4;
+
 impl<S: Scalar> LongPart<S> {
     /// An empty part.
     pub fn empty() -> Self {
@@ -46,7 +53,53 @@ impl<S: Scalar> LongPart<S> {
         *self.group_ptr.last().expect("group_ptr never empty")
     }
 
-    /// Appends one long row given its elements.
+    /// Builds the part from the long rows' ids: a sequential counting pass
+    /// over the row lengths fixes every row's group range, then row chunks
+    /// fan out over `exec` and copy column ids and values straight from the
+    /// CSR arrays into their precomputed (disjoint) destinations. No
+    /// per-row staging buffers; output is bit-identical for any executor.
+    pub(crate) fn build_csr(csr: &Csr<S>, ids: &[u32], exec: &Executor) -> Self {
+        let mut group_ptr = Vec::with_capacity(ids.len() + 1);
+        group_ptr.push(0usize);
+        let mut nnz_orig = 0usize;
+        for &id in ids {
+            let len = csr.row_len(id as usize);
+            debug_assert!(len > 0, "long rows are never empty");
+            nnz_orig += len;
+            let prev = *group_ptr.last().unwrap();
+            group_ptr.push(prev + len.div_ceil(GROUP_ELEMS));
+        }
+        let total = *group_ptr.last().unwrap() * GROUP_ELEMS;
+        let mut vals = vec![S::zero(); total];
+        let mut cids = vec![0u32; total];
+        {
+            let sv = SharedSlice::new(&mut vals);
+            let sc = SharedSlice::new(&mut cids);
+            run_chunks(exec, ids.len(), MIN_CHUNK_ROWS, |lo, hi| {
+                for (i, &id) in ids[lo..hi].iter().enumerate().map(|(k, id)| (lo + k, id)) {
+                    let id = id as usize;
+                    let start = csr.row_ptr[id];
+                    let base = group_ptr[i] * GROUP_ELEMS;
+                    for k in 0..csr.row_ptr[id + 1] - start {
+                        sc.write(base + k, csr.col_idx[start + k]);
+                        sv.write(base + k, csr.vals[start + k]);
+                    }
+                }
+            });
+        }
+        LongPart {
+            vals,
+            cids,
+            group_ptr,
+            rows: ids.to_vec(),
+            nnz_orig,
+        }
+    }
+
+    /// Appends one long row given its staged elements. Superseded by
+    /// [`LongPart::build_csr`] on the build path; kept as the append-based
+    /// reference for parity tests (and as a convenient fixture builder).
+    #[cfg(test)]
     pub(crate) fn push_row(&mut self, row: u32, elems: &[(u32, S)]) {
         debug_assert!(!elems.is_empty());
         self.rows.push(row);
@@ -67,12 +120,27 @@ impl<S: Scalar> LongPart<S> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dasp_sparse::Coo;
+
+    /// A matrix whose row `id` holds `len` elements `(c, c as f64)`.
+    fn csr_with(rows: usize, cols: usize, lens: &[(u32, usize)]) -> Csr<f64> {
+        let mut coo = Coo::new(rows, cols);
+        for &(id, len) in lens {
+            for c in 0..len {
+                coo.push(id as usize, c, c as f64);
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn seq() -> Executor {
+        Executor::seq()
+    }
 
     #[test]
     fn pads_to_group_multiples() {
-        let mut p = LongPart::<f64>::empty();
-        let elems: Vec<(u32, f64)> = (0..300).map(|i| (i, i as f64)).collect();
-        p.push_row(5, &elems);
+        let csr = csr_with(6, 300, &[(5, 300)]);
+        let p = LongPart::build_csr(&csr, &[5], &seq());
         // 300 elements -> 5 groups of 64 = 320 stored.
         assert_eq!(p.num_groups(), 5);
         assert_eq!(p.vals.len(), 320);
@@ -86,20 +154,43 @@ mod tests {
 
     #[test]
     fn exact_multiple_needs_no_padding() {
-        let mut p = LongPart::<f64>::empty();
-        let elems: Vec<(u32, f64)> = (0..320).map(|i| (i, 1.0)).collect();
-        p.push_row(0, &elems);
+        let csr = csr_with(1, 320, &[(0, 320)]);
+        let p = LongPart::build_csr(&csr, &[0], &seq());
         assert_eq!(p.vals.len(), 320);
         assert_eq!(p.num_groups(), 5);
     }
 
     #[test]
     fn multiple_rows_accumulate_groups() {
-        let mut p = LongPart::<f64>::empty();
-        p.push_row(1, &(0..257).map(|i| (i, 1.0)).collect::<Vec<_>>());
-        p.push_row(9, &(0..64).map(|i| (i, 1.0)).collect::<Vec<_>>());
+        let csr = csr_with(10, 300, &[(1, 257), (9, 64)]);
+        let p = LongPart::build_csr(&csr, &[1, 9], &seq());
         assert_eq!(p.group_ptr, vec![0, 5, 6]);
         assert_eq!(p.rows, vec![1, 9]);
         assert_eq!(p.vals.len(), 6 * 64);
+    }
+
+    #[test]
+    fn parallel_build_is_bit_identical() {
+        let lens: Vec<(u32, usize)> = (0..40)
+            .map(|i| (i, 257 + (i as usize * 37) % 300))
+            .collect();
+        let csr = csr_with(40, 600, &lens);
+        let ids: Vec<u32> = (0..40).collect();
+        let s = LongPart::build_csr(&csr, &ids, &Executor::seq());
+        let p = LongPart::build_csr(&csr, &ids, &Executor::par_with_threads(Some(4)));
+        assert_eq!(s, p);
+    }
+
+    #[test]
+    fn matches_append_based_reference() {
+        let lens: Vec<(u32, usize)> = vec![(2, 300), (3, 257), (7, 411)];
+        let csr = csr_with(8, 500, &lens);
+        let new = LongPart::build_csr(&csr, &[2, 3, 7], &seq());
+        let mut reference = LongPart::<f64>::empty();
+        for &(id, _) in &lens {
+            let elems: Vec<(u32, f64)> = csr.row(id as usize).collect();
+            reference.push_row(id, &elems);
+        }
+        assert_eq!(new, reference);
     }
 }

@@ -15,6 +15,7 @@
 mod build;
 mod long;
 mod medium;
+mod plan;
 mod reconstruct;
 mod serialize;
 mod short;
@@ -22,9 +23,12 @@ mod validate;
 
 pub use long::LongPart;
 pub use medium::MediumPart;
+pub use plan::{DaspPlan, PlanCache, RefreshError};
 pub use serialize::SerError;
 pub use short::{ShortPart, NO_ROW};
 pub use validate::FormatError;
+
+use std::sync::Arc;
 
 use dasp_fp16::Scalar;
 use dasp_sparse::Csr;
@@ -32,7 +36,11 @@ use dasp_sparse::Csr;
 use crate::consts::DaspParams;
 
 /// A sparse matrix converted to the DASP blocked format.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Equality compares the format content (dimensions, parameters, and the
+/// three category parts); whether a reusable [`DaspPlan`] happens to be
+/// attached does not change what the matrix *is*.
+#[derive(Debug, Clone)]
 pub struct DaspMatrix<S: Scalar> {
     /// Number of rows of the original matrix.
     pub rows: usize,
@@ -48,6 +56,22 @@ pub struct DaspMatrix<S: Scalar> {
     pub short: ShortPart<S>,
     /// Parameters the matrix was built with.
     pub params: DaspParams,
+    /// The analysis plan the matrix was filled from, when it was built via
+    /// [`DaspPlan::fill`] (or had one attached); powers
+    /// [`DaspMatrix::update_values`].
+    pub(crate) plan: Option<Arc<DaspPlan>>,
+}
+
+impl<S: Scalar> PartialEq for DaspMatrix<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self.nnz == other.nnz
+            && self.long == other.long
+            && self.medium == other.medium
+            && self.short == other.short
+            && self.params == other.params
+    }
 }
 
 impl<S: Scalar> DaspMatrix<S> {

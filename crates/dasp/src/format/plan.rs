@@ -1,0 +1,939 @@
+//! Analysis/execute split of the preprocessing step (paper Fig. 13).
+//!
+//! [`DaspPlan::analyze`] runs the *analysis* half of `from_csr` on the
+//! sparsity pattern alone: row categorization, the medium stable sort,
+//! every part's block geometry, and a slot -> nnz *gather map* recording
+//! where each CSR element lands in the format's four value arrays. The
+//! *execute* half is then [`DaspPlan::fill`] — allocate the value arrays
+//! and scatter — or, cheaper still, [`DaspMatrix::update_values`], an
+//! O(nnz) scatter into an existing matrix that touches no index structures.
+//! [`PlanCache`] keys plans by a hash of the pattern so repeated builds on
+//! the same structure (re-factorizations, time stepping) skip analysis
+//! entirely.
+//!
+//! The plan is derived by *position encoding*: analysis builds a synthetic
+//! `Csr<f64>` whose j-th value is `j + 1` (exact in f64 up to 2^53), runs
+//! the real zero-copy builder on it, and reads the resulting value arrays
+//! back — a nonzero value `v` in slot `s` means CSR element `v - 1` lands
+//! at `s`. Layout parity with [`DaspMatrix::from_csr`] therefore holds by
+//! construction: the plan *is* the builder's output. The map is stored in
+//! *gather* form (slot -> element), so deriving it, filling values, and
+//! refreshing them all stream the format arrays sequentially.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dasp_fp16::Scalar;
+use dasp_simt::{Executor, SharedSlice};
+use dasp_sparse::Csr;
+use dasp_trace::{Registry, Tracer};
+
+use crate::consts::{DaspParams, GROUP_ELEMS, MMA_K, MMA_M};
+use crate::format::build::{self, run_chunks};
+use crate::format::{DaspMatrix, LongPart, MediumPart, ShortPart};
+
+/// Scatter elements per chunk when a fill/update runs on the parallel
+/// executor: one random write per element, so chunks stay large.
+const MIN_CHUNK_SCATTER: usize = 8192;
+
+/// The reusable analysis product: everything `from_csr` derives from the
+/// sparsity pattern, and nothing it derives from the values.
+///
+/// A plan is scalar-free — the same plan fills f64, f32, and F16 matrices
+/// — and immutable; it is shared behind an [`Arc`] between the matrices
+/// filled from it and any [`PlanCache`] holding it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DaspPlan {
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    pub(crate) nnz: usize,
+    pub(crate) params: DaspParams,
+
+    // Long part pattern.
+    pub(crate) long_rows: Vec<u32>,
+    pub(crate) long_group_ptr: Vec<usize>,
+    pub(crate) long_cids: Vec<u32>,
+    pub(crate) long_nnz: usize,
+
+    // Medium part pattern (rows already in sorted order).
+    pub(crate) med_rows: Vec<u32>,
+    pub(crate) med_rowblock_ptr: Vec<usize>,
+    pub(crate) med_reg_cid: Vec<u32>,
+    pub(crate) med_irreg_cid: Vec<u32>,
+    pub(crate) med_irreg_ptr: Vec<usize>,
+    pub(crate) med_nnz: usize,
+
+    // Short part pattern.
+    pub(crate) short_cids: Vec<u32>,
+    pub(crate) n13_warps: usize,
+    pub(crate) n4_warps: usize,
+    pub(crate) n22_warps: usize,
+    pub(crate) n1: usize,
+    pub(crate) off4: usize,
+    pub(crate) off22: usize,
+    pub(crate) off1: usize,
+    pub(crate) perm13: Vec<u32>,
+    pub(crate) perm4: Vec<u32>,
+    pub(crate) perm22: Vec<u32>,
+    pub(crate) perm1: Vec<u32>,
+    pub(crate) short_nnz: usize,
+
+    /// Global value slot `s` is filled by CSR element `gather[s]`, or is
+    /// zero padding when `gather[s] == u32::MAX`; slots number the four
+    /// value arrays back to back:
+    /// `[long | medium reg | medium irreg | short]`. Gather form keeps
+    /// every fill/refresh write sequential.
+    pub(crate) gather: Vec<u32>,
+}
+
+/// The [`DaspPlan::gather`] marker for a padding slot (zero-filled, fed by
+/// no CSR element).
+const PADDING: u32 = u32::MAX;
+
+impl DaspPlan {
+    /// Analyzes a pattern on the environment-selected executor.
+    pub fn analyze<S: Scalar>(csr: &Csr<S>, params: DaspParams) -> Arc<Self> {
+        Self::analyze_traced_with(csr, params, &Tracer::disabled(), &Executor::from_env())
+    }
+
+    /// [`DaspPlan::analyze`] with the preprocessing phases recorded as
+    /// spans (`preprocess.categorize`, `preprocess.sort`,
+    /// `preprocess.build.{long,medium,short}`, plus a `preprocess.plan`
+    /// inversion child) under a `preprocess` root, on an explicit
+    /// executor.
+    pub fn analyze_traced_with<S: Scalar>(
+        csr: &Csr<S>,
+        params: DaspParams,
+        tracer: &Tracer,
+        exec: &Executor,
+    ) -> Arc<Self> {
+        assert!(
+            params.max_len > 4,
+            "MAX_LEN must exceed the short-row bound"
+        );
+        let root = tracer.span("preprocess");
+        let nnz = csr.nnz();
+        assert!(
+            (nnz as u64) < (1u64 << 53),
+            "position encoding requires nnz < 2^53"
+        );
+
+        // Position-encoded build: value j+1 marks CSR element j, so the
+        // builder's own output tells us where every element lands. Zero
+        // marks padding.
+        let pos = Csr::<f64> {
+            rows: csr.rows,
+            cols: csr.cols,
+            row_ptr: csr.row_ptr.clone(),
+            col_idx: csr.col_idx.clone(),
+            vals: (0..nnz).map(|j| (j + 1) as f64).collect(),
+        };
+        let m = build::build_under(&pos, params, &root, exec);
+
+        let long_len = m.long.vals.len();
+        let reg_len = m.medium.reg_val.len();
+        let irreg_len = m.medium.irreg_val.len();
+        let total = long_len + reg_len + irreg_len + m.short.vals.len();
+        assert!(total <= u32::MAX as usize, "slot count exceeds u32 range");
+
+        let mut gather = vec![PADDING; total];
+        {
+            let mut sp = root.child("preprocess.plan");
+            sp.add_arg("slots", total);
+            sp.add_arg("scatter_bytes", total * 4);
+            let sg = SharedSlice::new(&mut gather);
+            // Decode each array in place: position value v at slot s means
+            // CSR element v - 1 fills s; zeros stay padding. Sequential
+            // reads, sequential writes.
+            let decode = |arr: &[f64], base: usize| {
+                run_chunks(exec, arr.len(), MIN_CHUNK_SCATTER, |lo, hi| {
+                    for (k, &v) in arr[lo..hi].iter().enumerate() {
+                        if v != 0.0 {
+                            sg.write(base + lo + k, (v as u64 - 1) as u32);
+                        }
+                    }
+                });
+            };
+            decode(&m.long.vals, 0);
+            decode(&m.medium.reg_val, long_len);
+            decode(&m.medium.irreg_val, long_len + reg_len);
+            decode(&m.short.vals, long_len + reg_len + irreg_len);
+        }
+
+        let DaspMatrix {
+            long,
+            medium,
+            short,
+            ..
+        } = m;
+        Arc::new(DaspPlan {
+            rows: csr.rows,
+            cols: csr.cols,
+            nnz,
+            params,
+            long_rows: long.rows,
+            long_group_ptr: long.group_ptr,
+            long_cids: long.cids,
+            long_nnz: long.nnz_orig,
+            med_rows: medium.rows,
+            med_rowblock_ptr: medium.rowblock_ptr,
+            med_reg_cid: medium.reg_cid,
+            med_irreg_cid: medium.irreg_cid,
+            med_irreg_ptr: medium.irreg_ptr,
+            med_nnz: medium.nnz_orig,
+            short_cids: short.cids,
+            n13_warps: short.n13_warps,
+            n4_warps: short.n4_warps,
+            n22_warps: short.n22_warps,
+            n1: short.n1,
+            off4: short.off4,
+            off22: short.off22,
+            off1: short.off1,
+            perm13: short.perm13,
+            perm4: short.perm4,
+            perm22: short.perm22,
+            perm1: short.perm1,
+            short_nnz: short.nnz_orig,
+            gather,
+        })
+    }
+
+    /// Number of rows of the analyzed pattern.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns of the analyzed pattern.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored nonzeros of the analyzed pattern.
+    pub fn nnz(&self) -> usize {
+        self.nnz
+    }
+
+    /// Parameters the pattern was analyzed with.
+    pub fn params(&self) -> DaspParams {
+        self.params
+    }
+
+    /// Total value slots (including padding) a filled matrix holds.
+    pub fn total_slots(&self) -> usize {
+        self.long_cids.len()
+            + self.med_reg_cid.len()
+            + self.med_irreg_cid.len()
+            + self.short_cids.len()
+    }
+
+    /// Bytes of the plan's arrays (pattern + scatter map).
+    pub fn memory_bytes(&self) -> usize {
+        (self.long_rows.len()
+            + self.long_cids.len()
+            + self.med_rows.len()
+            + self.med_reg_cid.len()
+            + self.med_irreg_cid.len()
+            + self.perm13.len()
+            + self.perm4.len()
+            + self.perm22.len()
+            + self.perm1.len()
+            + self.gather.len())
+            * 4
+            + (self.long_group_ptr.len() + self.med_rowblock_ptr.len() + self.med_irreg_ptr.len())
+                * std::mem::size_of::<usize>()
+    }
+
+    /// Executes the plan: allocates the value arrays, scatters `csr.vals`
+    /// through the scatter map, and assembles the matrix around clones of
+    /// the plan's pattern arrays. Runs on the environment-selected
+    /// executor.
+    ///
+    /// Panics if `csr`'s dimensions or nonzero count disagree with the
+    /// analyzed pattern (column structure is trusted — use
+    /// [`PlanCache`] when patterns may vary).
+    pub fn fill<S: Scalar>(self: &Arc<Self>, csr: &Csr<S>) -> DaspMatrix<S> {
+        self.fill_traced_with(csr, &Tracer::disabled(), &Executor::from_env())
+    }
+
+    /// [`DaspPlan::fill`] recording a `preprocess.fill` span, on an
+    /// explicit executor.
+    pub fn fill_traced_with<S: Scalar>(
+        self: &Arc<Self>,
+        csr: &Csr<S>,
+        tracer: &Tracer,
+        exec: &Executor,
+    ) -> DaspMatrix<S> {
+        assert!(
+            csr.rows == self.rows && csr.cols == self.cols && csr.nnz() == self.nnz,
+            "fill pattern mismatch: plan is {}x{} with {} nnz, csr is {}x{} with {}",
+            self.rows,
+            self.cols,
+            self.nnz,
+            csr.rows,
+            csr.cols,
+            csr.nnz()
+        );
+        let mut sp = tracer.span("preprocess.fill");
+        sp.add_arg("nnz", self.nnz);
+        sp.add_arg(
+            "scatter_bytes",
+            scatter_bytes::<S>(self.gather.len(), self.nnz),
+        );
+
+        let mut long_vals = vec![S::zero(); self.long_cids.len()];
+        let mut reg_val = vec![S::zero(); self.med_reg_cid.len()];
+        let mut irreg_val = vec![S::zero(); self.med_irreg_cid.len()];
+        let mut short_vals = vec![S::zero(); self.short_cids.len()];
+        self.scatter_into(
+            &csr.vals,
+            &mut long_vals,
+            &mut reg_val,
+            &mut irreg_val,
+            &mut short_vals,
+            exec,
+        );
+
+        DaspMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            nnz: self.nnz,
+            long: LongPart {
+                vals: long_vals,
+                cids: self.long_cids.clone(),
+                group_ptr: self.long_group_ptr.clone(),
+                rows: self.long_rows.clone(),
+                nnz_orig: self.long_nnz,
+            },
+            medium: MediumPart {
+                reg_val,
+                reg_cid: self.med_reg_cid.clone(),
+                rowblock_ptr: self.med_rowblock_ptr.clone(),
+                irreg_val,
+                irreg_cid: self.med_irreg_cid.clone(),
+                irreg_ptr: self.med_irreg_ptr.clone(),
+                rows: self.med_rows.clone(),
+                nnz_orig: self.med_nnz,
+            },
+            short: ShortPart {
+                vals: short_vals,
+                cids: self.short_cids.clone(),
+                n13_warps: self.n13_warps,
+                n4_warps: self.n4_warps,
+                n22_warps: self.n22_warps,
+                n1: self.n1,
+                off4: self.off4,
+                off22: self.off22,
+                off1: self.off1,
+                perm13: self.perm13.clone(),
+                perm4: self.perm4.clone(),
+                perm22: self.perm22.clone(),
+                perm1: self.perm1.clone(),
+                nnz_orig: self.short_nnz,
+            },
+            params: self.params,
+            plan: Some(self.clone()),
+        }
+    }
+
+    /// Writes `src[gather[s]]` into every non-padding slot `s` of the four
+    /// value arrays. Padding slots are never written, so they keep
+    /// whatever the caller prefilled (zeros). Writes stream each array
+    /// front to back; only the `src` reads are indexed.
+    fn scatter_into<S: Scalar>(
+        &self,
+        src: &[S],
+        long: &mut [S],
+        reg: &mut [S],
+        irreg: &mut [S],
+        short: &mut [S],
+        exec: &Executor,
+    ) {
+        let mut base = 0usize;
+        for dst in [long, reg, irreg, short] {
+            let map = &self.gather[base..base + dst.len()];
+            base += dst.len();
+            let sd = SharedSlice::new(dst);
+            run_chunks(exec, map.len(), MIN_CHUNK_SCATTER, |lo, hi| {
+                for (k, &g) in map[lo..hi].iter().enumerate() {
+                    if g != PADDING {
+                        sd.write(lo + k, src[g as usize]);
+                    }
+                }
+            });
+        }
+    }
+
+    /// Checks that `m`'s index structures are exactly the ones this plan
+    /// would produce, so attaching the plan to `m` is sound.
+    pub(crate) fn matches_matrix<S: Scalar>(&self, m: &DaspMatrix<S>) -> Result<(), String> {
+        fn check(ok: bool, what: &str) -> Result<(), String> {
+            if ok {
+                Ok(())
+            } else {
+                Err(format!("plan does not match matrix: {what} differ"))
+            }
+        }
+        check(
+            self.rows == m.rows && self.cols == m.cols && self.nnz == m.nnz,
+            "dimensions",
+        )?;
+        check(self.params == m.params, "params")?;
+        check(
+            self.long_rows == m.long.rows
+                && self.long_group_ptr == m.long.group_ptr
+                && self.long_cids == m.long.cids
+                && self.long_nnz == m.long.nnz_orig,
+            "long part patterns",
+        )?;
+        check(
+            self.med_rows == m.medium.rows
+                && self.med_rowblock_ptr == m.medium.rowblock_ptr
+                && self.med_reg_cid == m.medium.reg_cid
+                && self.med_irreg_cid == m.medium.irreg_cid
+                && self.med_irreg_ptr == m.medium.irreg_ptr
+                && self.med_nnz == m.medium.nnz_orig,
+            "medium part patterns",
+        )?;
+        check(
+            self.short_cids == m.short.cids
+                && self.n13_warps == m.short.n13_warps
+                && self.n4_warps == m.short.n4_warps
+                && self.n22_warps == m.short.n22_warps
+                && self.n1 == m.short.n1
+                && self.off4 == m.short.off4
+                && self.off22 == m.short.off22
+                && self.off1 == m.short.off1
+                && self.perm13 == m.short.perm13
+                && self.perm4 == m.short.perm4
+                && self.perm22 == m.short.perm22
+                && self.perm1 == m.short.perm1
+                && self.short_nnz == m.short.nnz_orig,
+            "short part patterns",
+        )
+    }
+
+    /// Structural validity: pointer monotonicity, array-length consistency,
+    /// offset arithmetic, and a bijective in-bounds scatter map. Used after
+    /// deserialization.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        fn check(ok: bool, what: &str) -> Result<(), String> {
+            if ok {
+                Ok(())
+            } else {
+                Err(format!("invalid plan: {what}"))
+            }
+        }
+        let mono = |p: &[usize]| p.first() == Some(&0) && p.windows(2).all(|w| w[0] <= w[1]);
+
+        check(mono(&self.long_group_ptr), "long group_ptr not monotonic")?;
+        check(
+            self.long_group_ptr.len() == self.long_rows.len() + 1,
+            "long group_ptr length",
+        )?;
+        check(
+            self.long_cids.len() == self.long_group_ptr.last().unwrap() * GROUP_ELEMS,
+            "long cids length",
+        )?;
+
+        check(
+            mono(&self.med_rowblock_ptr),
+            "medium rowblock_ptr not monotonic",
+        )?;
+        check(mono(&self.med_irreg_ptr), "medium irreg_ptr not monotonic")?;
+        let n_blocks = self.med_rows.len().div_ceil(MMA_M);
+        check(
+            self.med_rowblock_ptr.len() == n_blocks + 1,
+            "medium rowblock_ptr length",
+        )?;
+        check(
+            self.med_irreg_ptr.len()
+                == if self.med_rows.is_empty() {
+                    1
+                } else {
+                    self.med_rows.len() + 1
+                },
+            "medium irreg_ptr length",
+        )?;
+        check(
+            self.med_reg_cid.len() == *self.med_rowblock_ptr.last().unwrap(),
+            "medium reg cids length",
+        )?;
+        check(
+            self.med_irreg_cid.len() == *self.med_irreg_ptr.last().unwrap(),
+            "medium irreg cids length",
+        )?;
+
+        check(self.perm13.len() == self.n13_warps * 32, "perm13 length")?;
+        check(self.perm4.len() == self.n4_warps * 32, "perm4 length")?;
+        check(self.perm22.len() == self.n22_warps * 32, "perm22 length")?;
+        check(self.perm1.len() == self.n1, "perm1 length")?;
+        check(
+            self.off4 == self.n13_warps * 2 * MMA_M * MMA_K,
+            "off4 arithmetic",
+        )?;
+        check(
+            self.off22 == self.off4 + self.n4_warps * 4 * MMA_M * MMA_K,
+            "off22 arithmetic",
+        )?;
+        check(
+            self.off1 == self.off22 + self.n22_warps * 2 * MMA_M * MMA_K,
+            "off1 arithmetic",
+        )?;
+        check(
+            self.short_cids.len() == self.off1 + self.n1,
+            "short cids length",
+        )?;
+
+        check(
+            self.long_nnz + self.med_nnz + self.short_nnz == self.nnz,
+            "category nnz partition",
+        )?;
+        check(self.gather.len() == self.total_slots(), "gather length")?;
+        let mut seen = vec![false; self.nnz];
+        for &g in &self.gather {
+            if g == PADDING {
+                continue;
+            }
+            let g = g as usize;
+            check(g < self.nnz, "gather element out of bounds")?;
+            check(!seen[g], "gather element duplicated")?;
+            seen[g] = true;
+        }
+        check(
+            seen.iter().all(|&b| b),
+            "gather does not cover every element",
+        )?;
+        Ok(())
+    }
+}
+
+/// Bytes an O(nnz) value refresh moves: the gather map streamed once plus
+/// a value read and write per element.
+fn scatter_bytes<S: Scalar>(map_len: usize, nnz: usize) -> usize {
+    map_len * 4 + nnz * 2 * std::mem::size_of::<S>()
+}
+
+/// Why a values-only refresh could not be applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RefreshError {
+    /// The matrix was built without a plan (plain `from_csr`); rebuild it
+    /// via [`DaspPlan::fill`] or attach a plan first.
+    NoPlan,
+    /// `new_vals` does not hold exactly one value per stored nonzero.
+    WrongLength {
+        /// Length supplied.
+        got: usize,
+        /// Length required (the matrix's nonzero count).
+        want: usize,
+    },
+    /// The plan's pattern disagrees with the matrix it was attached to.
+    Mismatch(String),
+}
+
+impl fmt::Display for RefreshError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RefreshError::NoPlan => write!(f, "matrix has no attached plan"),
+            RefreshError::WrongLength { got, want } => {
+                write!(f, "value slice has {got} entries, matrix stores {want}")
+            }
+            RefreshError::Mismatch(m) => write!(f, "{m}"),
+        }
+    }
+}
+
+impl std::error::Error for RefreshError {}
+
+impl<S: Scalar> DaspMatrix<S> {
+    /// The plan this matrix was filled from, if any.
+    pub fn plan(&self) -> Option<&Arc<DaspPlan>> {
+        self.plan.as_ref()
+    }
+
+    /// Replaces the matrix's values with `new_vals` (one value per stored
+    /// nonzero, in CSR element order) through the attached plan's scatter
+    /// map: O(nnz), touching no index structures. The result is
+    /// bit-identical to a full rebuild from a CSR with those values.
+    pub fn update_values(&mut self, new_vals: &[S]) -> Result<(), RefreshError> {
+        self.update_values_traced_with(new_vals, &Tracer::disabled(), &Executor::from_env())
+    }
+
+    /// [`DaspMatrix::update_values`] recording a `preprocess.update_values`
+    /// span, on an explicit executor.
+    pub fn update_values_traced_with(
+        &mut self,
+        new_vals: &[S],
+        tracer: &Tracer,
+        exec: &Executor,
+    ) -> Result<(), RefreshError> {
+        let plan = self.plan.clone().ok_or(RefreshError::NoPlan)?;
+        if new_vals.len() != self.nnz {
+            return Err(RefreshError::WrongLength {
+                got: new_vals.len(),
+                want: self.nnz,
+            });
+        }
+        let mut sp = tracer.span("preprocess.update_values");
+        sp.add_arg("nnz", self.nnz);
+        sp.add_arg(
+            "scatter_bytes",
+            scatter_bytes::<S>(plan.gather.len(), self.nnz),
+        );
+        plan.scatter_into(
+            new_vals,
+            &mut self.long.vals,
+            &mut self.medium.reg_val,
+            &mut self.medium.irreg_val,
+            &mut self.short.vals,
+            exec,
+        );
+        Ok(())
+    }
+
+    /// Attaches a plan to a matrix built without one (e.g. deserialized,
+    /// or from plain `from_csr`), enabling [`DaspMatrix::update_values`].
+    /// The plan's pattern must match the matrix's index structures exactly.
+    pub fn attach_plan(&mut self, plan: Arc<DaspPlan>) -> Result<(), RefreshError> {
+        plan.matches_matrix(self).map_err(RefreshError::Mismatch)?;
+        self.plan = Some(plan);
+        Ok(())
+    }
+
+    /// [`DaspMatrix::from_csr`] through a [`PlanCache`]: a cache hit skips
+    /// analysis and goes straight to the O(nnz) fill. The returned matrix
+    /// carries the plan, so [`DaspMatrix::update_values`] works on it.
+    pub fn from_csr_cached(csr: &Csr<S>, cache: &PlanCache) -> Self {
+        Self::with_params_cached(csr, DaspParams::default(), cache)
+    }
+
+    /// [`DaspMatrix::from_csr_cached`] with explicit parameters.
+    pub fn with_params_cached(csr: &Csr<S>, params: DaspParams, cache: &PlanCache) -> Self {
+        cache.plan_for(csr, params).fill(csr)
+    }
+}
+
+/// A small LRU cache of analysis plans keyed by sparsity pattern
+/// (FNV-1a over `row_ptr`, `col_idx`, dimensions, and [`DaspParams`]).
+///
+/// Thread-safe; lookups clone an [`Arc`], so hits are cheap and the cache
+/// never blocks fills.
+pub struct PlanCache {
+    cap: usize,
+    entries: Mutex<Vec<(u64, Arc<DaspPlan>)>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        PlanCache::new()
+    }
+}
+
+impl PlanCache {
+    /// A cache holding up to 8 plans.
+    pub fn new() -> Self {
+        PlanCache::with_capacity(8)
+    }
+
+    /// A cache holding up to `cap` plans (least recently used evicted).
+    pub fn with_capacity(cap: usize) -> Self {
+        PlanCache {
+            cap: cap.max(1),
+            entries: Mutex::new(Vec::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The plan for `csr`'s pattern under `params`, analyzing on a miss
+    /// (environment-selected executor).
+    pub fn plan_for<S: Scalar>(&self, csr: &Csr<S>, params: DaspParams) -> Arc<DaspPlan> {
+        self.plan_for_traced_with(csr, params, &Tracer::disabled(), &Executor::from_env())
+    }
+
+    /// [`PlanCache::plan_for`] with tracing and an explicit executor for
+    /// the miss path.
+    pub fn plan_for_traced_with<S: Scalar>(
+        &self,
+        csr: &Csr<S>,
+        params: DaspParams,
+        tracer: &Tracer,
+        exec: &Executor,
+    ) -> Arc<DaspPlan> {
+        let key = pattern_key(csr, params);
+        {
+            let mut entries = self.entries.lock().expect("plan cache lock");
+            let found = entries.iter().position(|(k, p)| {
+                *k == key
+                    && p.rows == csr.rows
+                    && p.cols == csr.cols
+                    && p.nnz == csr.nnz()
+                    && p.params == params
+            });
+            if let Some(i) = found {
+                let e = entries.remove(i);
+                let plan = e.1.clone();
+                entries.insert(0, e);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return plan;
+            }
+        }
+        let plan = DaspPlan::analyze_traced_with(csr, params, tracer, exec);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut entries = self.entries.lock().expect("plan cache lock");
+        entries.insert(0, (key, plan.clone()));
+        entries.truncate(self.cap);
+        plan
+    }
+
+    /// Lookups that found a cached plan.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that had to analyze.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Publishes `format.plan_cache.{hits,misses}` gauges.
+    pub fn export_metrics(&self, registry: &Registry) {
+        registry.gauge_set("format.plan_cache.hits", self.hits() as f64);
+        registry.gauge_set("format.plan_cache.misses", self.misses() as f64);
+    }
+}
+
+/// FNV-1a over the pattern, word-wise: dimensions and params first, then
+/// `row_ptr` as u64 words and `col_idx` packed two to a word.
+fn pattern_key<S: Scalar>(csr: &Csr<S>, params: DaspParams) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut word = |w: u64| {
+        h ^= w;
+        h = h.wrapping_mul(PRIME);
+    };
+    word(csr.rows as u64);
+    word(csr.cols as u64);
+    word(csr.nnz() as u64);
+    word(params.max_len as u64);
+    word(params.threshold.to_bits());
+    word(params.short_piecing as u64);
+    for &p in &csr.row_ptr {
+        word(p as u64);
+    }
+    let mut pairs = csr.col_idx.chunks_exact(2);
+    for pair in &mut pairs {
+        word((pair[0] as u64) << 32 | pair[1] as u64);
+    }
+    if let [last] = pairs.remainder() {
+        word(*last as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_sparse::Coo;
+
+    /// Rows in every category, with value `r*1000 + c` at `(r, c)`.
+    fn mixed(seed: u64) -> Csr<f64> {
+        let mut m = Coo::new(40, 400);
+        let v = |r: usize, c: usize| (r * 1000 + c) as f64 + seed as f64;
+        for c in 0..300 {
+            m.push(0, c, v(0, c));
+        }
+        for c in 0..10 {
+            m.push(2, c * 3, v(2, c * 3));
+        }
+        for r in 3..20 {
+            for c in 0..6 {
+                m.push(r, c * 7 + r, v(r, c * 7 + r));
+            }
+        }
+        for r in 20..40 {
+            let len = (r - 20) % 4 + 1;
+            for c in 0..len {
+                m.push(r, c * 11 + r, v(r, c * 11 + r));
+            }
+        }
+        m.to_csr()
+    }
+
+    #[test]
+    fn fill_matches_from_csr_bit_for_bit() {
+        let csr = mixed(0);
+        let plan = DaspPlan::analyze(&csr, DaspParams::default());
+        plan.validate().expect("analyzed plan validates");
+        let filled = plan.fill(&csr);
+        let direct = DaspMatrix::from_csr(&csr);
+        assert_eq!(filled, direct);
+        assert!(filled.plan().is_some());
+        assert!(direct.plan().is_none());
+    }
+
+    #[test]
+    fn parallel_analysis_is_bit_identical() {
+        let csr = mixed(0);
+        let seq = DaspPlan::analyze_traced_with(
+            &csr,
+            DaspParams::default(),
+            &Tracer::disabled(),
+            &Executor::seq(),
+        );
+        let par = DaspPlan::analyze_traced_with(
+            &csr,
+            DaspParams::default(),
+            &Tracer::disabled(),
+            &Executor::par_with_threads(Some(4)),
+        );
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn update_values_matches_full_rebuild() {
+        let base = mixed(0);
+        let plan = DaspPlan::analyze(&base, DaspParams::default());
+        let mut m = plan.fill(&base);
+        for seed in [7u64, 13, 29] {
+            let next = mixed(seed);
+            m.update_values(&next.vals).expect("refresh applies");
+            assert_eq!(m, DaspMatrix::from_csr(&next));
+        }
+    }
+
+    #[test]
+    fn update_values_error_paths() {
+        let csr = mixed(0);
+        let mut bare = DaspMatrix::from_csr(&csr);
+        assert_eq!(bare.update_values(&csr.vals), Err(RefreshError::NoPlan));
+
+        let plan = DaspPlan::analyze(&csr, DaspParams::default());
+        let mut m = plan.fill(&csr);
+        assert_eq!(
+            m.update_values(&csr.vals[..3]),
+            Err(RefreshError::WrongLength {
+                got: 3,
+                want: csr.nnz()
+            })
+        );
+
+        // attach_plan enables refresh on a plain-built matrix...
+        bare.attach_plan(plan.clone()).expect("pattern matches");
+        bare.update_values(&csr.vals).expect("refresh now applies");
+        // ...but rejects a plan for a different pattern.
+        let other = DaspPlan::analyze(&mixed_wider(), DaspParams::default());
+        let mut fresh = DaspMatrix::from_csr(&csr);
+        assert!(matches!(
+            fresh.attach_plan(other),
+            Err(RefreshError::Mismatch(_))
+        ));
+    }
+
+    fn mixed_wider() -> Csr<f64> {
+        let mut m = Coo::new(40, 400);
+        for c in 0..300 {
+            m.push(0, c, 1.0);
+        }
+        for c in 0..12 {
+            m.push(2, c * 3, 2.0);
+        }
+        for r in 3..20 {
+            for c in 0..6 {
+                m.push(r, c * 7 + r, 3.0);
+            }
+        }
+        m.to_csr()
+    }
+
+    #[test]
+    fn plan_cache_hits_and_returns_identical_matrix() {
+        let csr = mixed(0);
+        let cache = PlanCache::new();
+        let a = DaspMatrix::from_csr_cached(&csr, &cache);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+        let b = DaspMatrix::from_csr_cached(&csr, &cache);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(a, b);
+        assert!(Arc::ptr_eq(a.plan().unwrap(), b.plan().unwrap()));
+
+        // A different pattern is a miss, not a false hit.
+        let other = mixed_wider();
+        let _ = DaspMatrix::from_csr_cached(&other, &cache);
+        assert_eq!(cache.misses(), 2);
+
+        // Different params on the same pattern are a different plan.
+        let _ = DaspMatrix::with_params_cached(
+            &csr,
+            DaspParams {
+                max_len: 64,
+                ..DaspParams::default()
+            },
+            &cache,
+        );
+        assert_eq!(cache.misses(), 3);
+    }
+
+    #[test]
+    fn plan_cache_evicts_least_recently_used() {
+        let cache = PlanCache::with_capacity(1);
+        let a = mixed(0);
+        let b = mixed_wider();
+        let _ = DaspMatrix::from_csr_cached(&a, &cache);
+        let _ = DaspMatrix::from_csr_cached(&b, &cache);
+        // `a` was evicted by `b`; rebuilding it is a miss again.
+        let _ = DaspMatrix::from_csr_cached(&a, &cache);
+        assert_eq!(cache.misses(), 3);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn cache_exports_metrics() {
+        let cache = PlanCache::new();
+        let csr = mixed(0);
+        let _ = DaspMatrix::from_csr_cached(&csr, &cache);
+        let _ = DaspMatrix::from_csr_cached(&csr, &cache);
+        let registry = Registry::new();
+        cache.export_metrics(&registry);
+        assert_eq!(registry.gauge("format.plan_cache.hits"), Some(1.0));
+        assert_eq!(registry.gauge("format.plan_cache.misses"), Some(1.0));
+    }
+
+    #[test]
+    fn analysis_traces_the_standard_phases_plus_plan() {
+        let csr = mixed(0);
+        let tracer = Tracer::new();
+        let _ =
+            DaspPlan::analyze_traced_with(&csr, DaspParams::default(), &tracer, &Executor::seq());
+        let trace = tracer.take_trace();
+        for name in [
+            "preprocess",
+            "preprocess.categorize",
+            "preprocess.sort",
+            "preprocess.build.long",
+            "preprocess.build.medium",
+            "preprocess.build.short",
+            "preprocess.plan",
+        ] {
+            assert_eq!(
+                trace.spans.iter().filter(|s| s.name == name).count(),
+                1,
+                "span {name}"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_matrix_plans_and_fills() {
+        let csr = Csr::<f64>::empty(10, 10);
+        let plan = DaspPlan::analyze(&csr, DaspParams::default());
+        plan.validate().expect("empty plan validates");
+        assert_eq!(plan.total_slots(), 0);
+        let m = plan.fill(&csr);
+        assert_eq!(m, DaspMatrix::from_csr(&csr));
+    }
+}

@@ -2,28 +2,36 @@
 //!
 //! The paper's §4.4 argument — preprocessing amortizes over many SpMV
 //! calls — extends across *runs* if the converted format can be saved.
-//! This module writes a small versioned container (`DASPFMT1`):
+//! This module writes a small versioned container (`DASPFMT2`):
 //!
 //! ```text
-//! magic    8 bytes  "DASPFMT1"
+//! magic    8 bytes  "DASPFMT2"
 //! scalar   1 byte   storage width (2 = fp16, 4 = fp32, 8 = fp64)
 //! header   7 x u64  rows, cols, nnz, max_len, threshold (f64 bits),
 //!                   short_piecing, reserved
 //! arrays   length-prefixed little-endian arrays, fixed order
+//! plan     1 byte   0 = none, 1 = a `DASPPLN1` plan container follows
 //! ```
 //!
-//! Reading validates the magic, the scalar width against `S`, and runs the
-//! full structural [`DaspMatrix::validate`] before returning, so corrupted
-//! or truncated files are rejected rather than producing wrong results.
+//! Version 2 appends the optional [`DaspPlan`] trailer so an analysis
+//! plan ships alongside (or, via [`DaspPlan::write_to`], ahead of) the
+//! values; `DASPFMT1` containers (no trailer) still read. Reading
+//! validates the magic, the scalar width against `S`, and runs the full
+//! structural [`DaspMatrix::validate`] (and [`DaspPlan`] validation, plus
+//! the plan-matrix pattern match) before returning, so corrupted or
+//! truncated files are rejected rather than producing wrong results.
 
 use std::io::{Read, Write};
+use std::sync::Arc;
 
 use dasp_fp16::Scalar;
 
 use crate::consts::DaspParams;
-use crate::format::{DaspMatrix, FormatError, LongPart, MediumPart, ShortPart};
+use crate::format::{DaspMatrix, DaspPlan, FormatError, LongPart, MediumPart, ShortPart};
 
-const MAGIC: &[u8; 8] = b"DASPFMT1";
+const MAGIC_V1: &[u8; 8] = b"DASPFMT1";
+const MAGIC: &[u8; 8] = b"DASPFMT2";
+const PLAN_MAGIC: &[u8; 8] = b"DASPPLN1";
 
 /// An error while reading or writing a serialized format.
 #[derive(Debug)]
@@ -183,6 +191,14 @@ impl<S: Scalar> DaspMatrix<S> {
         write_u32s(w, &self.short.perm22)?;
         write_u32s(w, &self.short.perm1)?;
         write_u64(w, self.short.nnz_orig as u64)?;
+
+        match &self.plan {
+            Some(plan) => {
+                w.write_all(&[1])?;
+                plan.write_to(w)?;
+            }
+            None => w.write_all(&[0])?,
+        }
         Ok(())
     }
 
@@ -191,9 +207,11 @@ impl<S: Scalar> DaspMatrix<S> {
     pub fn read_from<R: Read>(r: &mut R) -> Result<Self, SerError> {
         let mut magic = [0u8; 8];
         r.read_exact(&mut magic)?;
-        if &magic != MAGIC {
-            return Err(SerError::Malformed("bad magic".into()));
-        }
+        let has_plan_trailer = match &magic {
+            m if m == MAGIC => true,
+            m if m == MAGIC_V1 => false, // v1: container ends at the arrays
+            _ => return Err(SerError::Malformed("bad magic".into())),
+        };
         let mut width = [0u8; 1];
         r.read_exact(&mut width)?;
         if width[0] as u64 != S::BYTES {
@@ -258,7 +276,7 @@ impl<S: Scalar> DaspMatrix<S> {
             nnz_orig: read_u64(r)? as usize,
         };
 
-        let m = DaspMatrix {
+        let mut m = DaspMatrix {
             rows,
             cols,
             nnz,
@@ -270,9 +288,132 @@ impl<S: Scalar> DaspMatrix<S> {
                 threshold,
                 short_piecing,
             },
+            plan: None,
         };
         m.validate().map_err(SerError::Invalid)?;
+        if has_plan_trailer {
+            let mut has_plan = [0u8; 1];
+            r.read_exact(&mut has_plan)?;
+            match has_plan[0] {
+                0 => {}
+                1 => {
+                    let plan = DaspPlan::read_from(r)?;
+                    m.attach_plan(plan)
+                        .map_err(|e| SerError::Malformed(e.to_string()))?;
+                }
+                b => {
+                    return Err(SerError::Malformed(format!("bad plan marker {b}")));
+                }
+            }
+        }
         Ok(m)
+    }
+}
+
+impl DaspPlan {
+    /// Writes the plan as a standalone `DASPPLN1` container (the same
+    /// bytes [`DaspMatrix::write_to`] appends when a plan is attached), so
+    /// a pattern analysis can be shipped ahead of any values.
+    pub fn write_to<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        w.write_all(PLAN_MAGIC)?;
+        write_u64(w, self.rows as u64)?;
+        write_u64(w, self.cols as u64)?;
+        write_u64(w, self.nnz as u64)?;
+        write_u64(w, self.params.max_len as u64)?;
+        write_u64(w, self.params.threshold.to_bits())?;
+        write_u64(w, self.params.short_piecing as u64)?;
+        write_u64(w, 0)?; // reserved
+
+        write_u32s(w, &self.long_rows)?;
+        write_usizes(w, &self.long_group_ptr)?;
+        write_u32s(w, &self.long_cids)?;
+        write_u64(w, self.long_nnz as u64)?;
+
+        write_u32s(w, &self.med_rows)?;
+        write_usizes(w, &self.med_rowblock_ptr)?;
+        write_u32s(w, &self.med_reg_cid)?;
+        write_u32s(w, &self.med_irreg_cid)?;
+        write_usizes(w, &self.med_irreg_ptr)?;
+        write_u64(w, self.med_nnz as u64)?;
+
+        write_u32s(w, &self.short_cids)?;
+        write_u64(w, self.n13_warps as u64)?;
+        write_u64(w, self.n4_warps as u64)?;
+        write_u64(w, self.n22_warps as u64)?;
+        write_u64(w, self.n1 as u64)?;
+        write_u64(w, self.off4 as u64)?;
+        write_u64(w, self.off22 as u64)?;
+        write_u64(w, self.off1 as u64)?;
+        write_u32s(w, &self.perm13)?;
+        write_u32s(w, &self.perm4)?;
+        write_u32s(w, &self.perm22)?;
+        write_u32s(w, &self.perm1)?;
+        write_u64(w, self.short_nnz as u64)?;
+
+        write_u32s(w, &self.gather)?;
+        Ok(())
+    }
+
+    /// Reads a `DASPPLN1` container, validating the plan's structure
+    /// (pointer monotonicity, offset arithmetic, bijective gather map)
+    /// before returning.
+    pub fn read_from<R: Read>(r: &mut R) -> Result<Arc<Self>, SerError> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != PLAN_MAGIC {
+            return Err(SerError::Malformed("bad plan magic".into()));
+        }
+        let rows = read_u64(r)? as usize;
+        let cols = read_u64(r)? as usize;
+        let nnz = read_u64(r)? as usize;
+        if rows > u32::MAX as usize || cols > u32::MAX as usize || nnz > 1 << 48 {
+            return Err(SerError::Malformed(format!(
+                "implausible plan header: rows {rows}, cols {cols}, nnz {nnz}"
+            )));
+        }
+        let max_len = read_u64(r)? as usize;
+        let threshold = f64::from_bits(read_u64(r)?);
+        let short_piecing = read_u64(r)? != 0;
+        let _reserved = read_u64(r)?;
+        // Same 64x fill bound as the matrix container.
+        let cap = (nnz as u64 + rows as u64 + 1024) * 64;
+
+        let plan = DaspPlan {
+            rows,
+            cols,
+            nnz,
+            params: DaspParams {
+                max_len,
+                threshold,
+                short_piecing,
+            },
+            long_rows: read_u32s(r, cap)?,
+            long_group_ptr: read_usizes(r, cap)?,
+            long_cids: read_u32s(r, cap)?,
+            long_nnz: read_u64(r)? as usize,
+            med_rows: read_u32s(r, cap)?,
+            med_rowblock_ptr: read_usizes(r, cap)?,
+            med_reg_cid: read_u32s(r, cap)?,
+            med_irreg_cid: read_u32s(r, cap)?,
+            med_irreg_ptr: read_usizes(r, cap)?,
+            med_nnz: read_u64(r)? as usize,
+            short_cids: read_u32s(r, cap)?,
+            n13_warps: read_u64(r)? as usize,
+            n4_warps: read_u64(r)? as usize,
+            n22_warps: read_u64(r)? as usize,
+            n1: read_u64(r)? as usize,
+            off4: read_u64(r)? as usize,
+            off22: read_u64(r)? as usize,
+            off1: read_u64(r)? as usize,
+            perm13: read_u32s(r, cap)?,
+            perm4: read_u32s(r, cap)?,
+            perm22: read_u32s(r, cap)?,
+            perm1: read_u32s(r, cap)?,
+            short_nnz: read_u64(r)? as usize,
+            gather: read_u32s(r, cap)?,
+        };
+        plan.validate().map_err(SerError::Malformed)?;
+        Ok(Arc::new(plan))
     }
 }
 
@@ -409,6 +550,91 @@ mod tests {
         buf[idx] ^= 0xff;
         let res = DaspMatrix::<f64>::read_from(&mut buf.as_slice());
         assert!(res.is_err(), "corrupted container must not decode cleanly");
+    }
+
+    #[test]
+    fn matrix_with_plan_round_trips_and_refreshes() {
+        let csr = sample();
+        let plan = DaspPlan::analyze(&csr, DaspParams::default());
+        let d = plan.fill(&csr);
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        let mut back: DaspMatrix<f64> = DaspMatrix::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(d, back);
+        let got = back.plan().expect("plan travels with the matrix");
+        assert_eq!(**got, *plan);
+        // The reloaded plan still powers an O(nnz) refresh.
+        let doubled: Vec<f64> = csr.vals.iter().map(|v| v * 2.0).collect();
+        back.update_values(&doubled).expect("refresh after reload");
+        let mut csr2 = csr.clone();
+        csr2.vals = doubled;
+        assert_eq!(back, DaspMatrix::from_csr(&csr2));
+    }
+
+    #[test]
+    fn plan_round_trips_standalone() {
+        let csr = sample();
+        let plan = DaspPlan::analyze(&csr, DaspParams::default());
+        let mut buf = Vec::new();
+        plan.write_to(&mut buf).unwrap();
+        let back = DaspPlan::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(*back, *plan);
+        // A shipped-ahead plan fills once the values arrive.
+        assert_eq!(back.fill(&csr), DaspMatrix::from_csr(&csr));
+    }
+
+    #[test]
+    fn v1_containers_without_plan_trailer_still_read() {
+        let d = DaspMatrix::from_csr(&sample());
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        // Rewrite as a v1 container: old magic, no plan marker byte.
+        buf[..8].copy_from_slice(b"DASPFMT1");
+        assert_eq!(buf.pop(), Some(0), "plan marker is the final byte");
+        let back: DaspMatrix<f64> = DaspMatrix::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(d, back);
+        assert!(back.plan().is_none());
+    }
+
+    #[test]
+    fn corrupted_plan_trailer_is_rejected() {
+        let csr = sample();
+        let d = DaspPlan::analyze(&csr, DaspParams::default()).fill(&csr);
+        let mut matrix_only = Vec::new();
+        DaspMatrix {
+            plan: None,
+            ..d.clone()
+        }
+        .write_to(&mut matrix_only)
+        .unwrap();
+        let mut buf = Vec::new();
+        d.write_to(&mut buf).unwrap();
+        // The last 4 bytes are the final gather entry; pointing it past
+        // the element range must trip the plan's gather validation.
+        let len = buf.len();
+        assert!(
+            len - 4 > matrix_only.len(),
+            "corruption lands in the trailer"
+        );
+        let saved: Vec<u8> = buf[len - 4..].to_vec();
+        buf[len - 4..].copy_from_slice(&(d.nnz as u32).to_le_bytes());
+        assert!(DaspMatrix::<f64>::read_from(&mut buf.as_slice()).is_err());
+        buf[len - 4..].copy_from_slice(&saved);
+        // Corrupting the plan magic (right after the marker byte) is
+        // rejected...
+        let end = matrix_only.len();
+        buf[end] ^= 0xff;
+        assert!(matches!(
+            DaspMatrix::<f64>::read_from(&mut buf.as_slice()).unwrap_err(),
+            SerError::Malformed(_)
+        ));
+        // ...and so is a bogus plan marker byte.
+        buf[end] ^= 0xff;
+        buf[end - 1] = 7;
+        assert!(matches!(
+            DaspMatrix::<f64>::read_from(&mut buf.as_slice()).unwrap_err(),
+            SerError::Malformed(_)
+        ));
     }
 
     #[test]

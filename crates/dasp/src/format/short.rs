@@ -2,8 +2,11 @@
 //! Fig. 5).
 
 use dasp_fp16::Scalar;
+use dasp_simt::{Executor, SharedSlice};
+use dasp_sparse::Csr;
 
 use crate::consts::{MMA_K, MMA_M};
+use crate::format::build::run_chunks;
 
 /// Sentinel in the permutation arrays marking a padding slot with no
 /// original row behind it.
@@ -60,8 +63,13 @@ pub struct ShortPart<S: Scalar> {
     pub nnz_orig: usize,
 }
 
-/// One short row queued for packing.
+/// One short row queued for packing (legacy staged representation).
+#[cfg(test)]
 type ShortRow<S> = (u32, Vec<(u32, S)>);
+
+/// Packed-row slots per chunk when an emit phase runs on the parallel
+/// executor (each slot copies at most 4 elements).
+const MIN_CHUNK_SLOTS: usize = 512;
 
 impl<S: Scalar> ShortPart<S> {
     /// An empty part.
@@ -92,20 +100,178 @@ impl<S: Scalar> ShortPart<S> {
             + self.n1
     }
 
-    /// Builds the part from the short rows, in original row order.
+    /// Builds the part from the short rows' ids (original row order).
+    ///
+    /// `piecing = false` is the ablation of paper §3.3.3: every row shorter
+    /// than 4 is zero-padded into the length-4 category instead of being
+    /// pieced, so a length-1 row occupies a whole 4-element slot (4x the
+    /// value traffic and x loads).
+    ///
+    /// A sequential classification pass over the row lengths splits the ids
+    /// into the four sub-categories and fixes the packed geometry; the
+    /// emit phases then fan real packed-row slots out over `exec` and copy
+    /// elements straight from the CSR arrays into their precomputed
+    /// (disjoint) destinations, while padding slots keep their prefilled
+    /// zeros. No per-row staging; output is bit-identical for any executor.
+    pub(crate) fn build_csr(csr: &Csr<S>, ids: &[u32], piecing: bool, exec: &Executor) -> Self {
+        // --- classification (row ids only; lengths come from row_ptr) -----
+        let mut r1: Vec<u32> = Vec::new();
+        let mut r2: Vec<u32> = Vec::new();
+        let mut r3: Vec<u32> = Vec::new();
+        let mut r4: Vec<u32> = Vec::new();
+        let mut nnz_orig = 0usize;
+        for &id in ids {
+            let len = csr.row_len(id as usize);
+            nnz_orig += len;
+            if !piecing {
+                debug_assert!((1..=MMA_K).contains(&len), "short row of length {len}");
+                r4.push(id);
+                continue;
+            }
+            match len {
+                1 => r1.push(id),
+                2 => r2.push(id),
+                3 => r3.push(id),
+                4 => r4.push(id),
+                l => panic!("short row of length {l}"),
+            }
+        }
+
+        // --- geometry ------------------------------------------------------
+        let pairs13 = r1.len().min(r3.len());
+        let (ones, singles) = r1.split_at(pairs13);
+        let (threes, leftover3) = r3.split_at(pairs13);
+        // A packed row per pair; warp granularity = 16 packed rows.
+        let n13_warps = pairs13.div_ceil(2 * MMA_M);
+        let packed13 = n13_warps * 2 * MMA_M;
+
+        // Pure length-4 slots: fours, then leftover threes (padded with one
+        // zero), then an odd leftover length-2 row (padded with two zeros;
+        // the paper leaves this case unspecified, padding keeps it in the
+        // MMA path). Each slot copies `row_len` real elements.
+        let mut fours: Vec<u32> = r4;
+        fours.extend_from_slice(leftover3);
+        let mut twos: &[u32] = &r2;
+        if twos.len() % 2 == 1 {
+            let (rest, odd) = twos.split_at(twos.len() - 1);
+            fours.push(odd[0]);
+            twos = rest;
+        }
+        let n4_warps = fours.len().div_ceil(4 * MMA_M);
+        let packed4 = n4_warps * 4 * MMA_M;
+
+        let pairs22 = twos.len() / 2;
+        let n22_warps = pairs22.div_ceil(2 * MMA_M);
+        let packed22 = n22_warps * 2 * MMA_M;
+
+        let n1 = singles.len();
+        let off4 = packed13 * MMA_K;
+        let off22 = off4 + packed4 * MMA_K;
+        let off1 = off22 + packed22 * MMA_K;
+        let total = off1 + n1;
+
+        // --- emit ----------------------------------------------------------
+        let mut vals = vec![S::zero(); total];
+        let mut cids = vec![0u32; total];
+        let mut perm13 = vec![NO_ROW; n13_warps * 32];
+        let mut perm4 = vec![NO_ROW; n4_warps * 32];
+        let mut perm22 = vec![NO_ROW; n22_warps * 32];
+        {
+            let sv = SharedSlice::new(&mut vals);
+            let sc = SharedSlice::new(&mut cids);
+            let copy_row = |id: u32, base: usize, take: usize| {
+                let start = csr.row_ptr[id as usize];
+                for k in 0..take {
+                    sc.write(base + k, csr.col_idx[start + k]);
+                    sv.write(base + k, csr.vals[start + k]);
+                }
+            };
+
+            // 1&3 pieced: packed row `slot` = [one | three0 three1 three2],
+            // living in block b = slot/8, local row r = slot%8, warp w = b/2,
+            // with the "1" piece extracted at iteration i0 = (b%2)*2.
+            let sp13 = SharedSlice::new(&mut perm13);
+            run_chunks(exec, pairs13, MIN_CHUNK_SLOTS, |lo, hi| {
+                for slot in lo..hi {
+                    let (b, r) = (slot / MMA_M, slot % MMA_M);
+                    let w = b / 2;
+                    let i0 = (b % 2) * 2;
+                    let base = slot * MMA_K;
+                    copy_row(ones[slot], base, 1);
+                    copy_row(threes[slot], base + 1, 3);
+                    sp13.write(w * 32 + i0 * MMA_M + r, ones[slot]);
+                    sp13.write(w * 32 + (i0 + 1) * MMA_M + r, threes[slot]);
+                }
+            });
+
+            // Pure length-4 (plus padded leftovers).
+            let sp4 = SharedSlice::new(&mut perm4);
+            run_chunks(exec, fours.len(), MIN_CHUNK_SLOTS, |lo, hi| {
+                for (k, &id) in fours[lo..hi].iter().enumerate() {
+                    let slot = lo + k;
+                    let (b, r) = (slot / MMA_M, slot % MMA_M);
+                    let (w, i) = (b / 4, b % 4);
+                    copy_row(id, off4 + slot * MMA_K, csr.row_len(id as usize));
+                    sp4.write(w * 32 + i * MMA_M + r, id);
+                }
+            });
+
+            // 2&2 pieced.
+            let sp22 = SharedSlice::new(&mut perm22);
+            run_chunks(exec, pairs22, MIN_CHUNK_SLOTS, |lo, hi| {
+                for slot in lo..hi {
+                    let (b, r) = (slot / MMA_M, slot % MMA_M);
+                    let w = b / 2;
+                    let i0 = (b % 2) * 2;
+                    let base = off22 + slot * MMA_K;
+                    copy_row(twos[2 * slot], base, 2);
+                    copy_row(twos[2 * slot + 1], base + 2, 2);
+                    sp22.write(w * 32 + i0 * MMA_M + r, twos[2 * slot]);
+                    sp22.write(w * 32 + (i0 + 1) * MMA_M + r, twos[2 * slot + 1]);
+                }
+            });
+
+            // Leftover singletons.
+            run_chunks(exec, n1, MIN_CHUNK_SLOTS, |lo, hi| {
+                for (k, &id) in singles[lo..hi].iter().enumerate() {
+                    copy_row(id, off1 + lo + k, 1);
+                }
+            });
+        }
+
+        ShortPart {
+            vals,
+            cids,
+            n13_warps,
+            n4_warps,
+            n22_warps,
+            n1,
+            off4,
+            off22,
+            off1,
+            perm13,
+            perm4,
+            perm22,
+            perm1: singles.to_vec(),
+            nnz_orig,
+        }
+    }
+
+    /// Builds the part from staged short rows, in original row order.
+    /// Superseded by [`ShortPart::build_csr`] on the build path; kept as
+    /// the append-based reference for parity tests.
+    #[cfg(test)]
     pub(crate) fn build(short_rows: Vec<ShortRow<S>>) -> Self {
         Self::build_with_piecing(short_rows, true)
     }
 
-    /// Builds the part without 1&3 / 2&2 piecing: every row shorter than 4
-    /// is zero-padded into the length-4 category instead. This is the
-    /// ablation of paper §3.3.3's claim that piecing "effectively reduces
-    /// the data transfer overhead" — without it, a length-1 row occupies a
-    /// whole 4-element slot (4x the value traffic and x loads).
-    pub fn build_padded_only(short_rows: Vec<ShortRow<S>>) -> Self {
+    /// The non-piecing (`build_csr(.., piecing = false, ..)`) reference.
+    #[cfg(test)]
+    pub(crate) fn build_padded_only(short_rows: Vec<ShortRow<S>>) -> Self {
         Self::build_with_piecing(short_rows, false)
     }
 
+    #[cfg(test)]
     fn build_with_piecing(short_rows: Vec<ShortRow<S>>, piecing: bool) -> Self {
         let mut part = ShortPart::empty();
         part.nnz_orig = short_rows.iter().map(|(_, e)| e.len()).sum();
@@ -233,11 +399,13 @@ impl<S: Scalar> ShortPart<S> {
         part
     }
 
+    #[cfg(test)]
     fn push_elem(&mut self, (c, v): (u32, S)) {
         self.cids.push(c);
         self.vals.push(v);
     }
 
+    #[cfg(test)]
     fn push_zeros(&mut self, n: usize) {
         for _ in 0..n {
             self.push_elem((0, S::zero()));
@@ -249,21 +417,34 @@ impl<S: Scalar> ShortPart<S> {
 mod tests {
     use super::*;
     use crate::consts::BLOCK_ELEMS;
+    use dasp_sparse::Coo;
 
-    fn row(id: u32, len: usize) -> ShortRow<f64> {
-        (
-            id,
-            (0..len as u32)
-                .map(|c| (c, (id * 10 + c + 1) as f64))
-                .collect(),
-        )
+    /// CSR equivalent of the staged fixtures: row `id` holds `len` elements
+    /// `(c, id*10 + c + 1)`.
+    fn csr_of(rows: &[(u32, usize)]) -> Csr<f64> {
+        let nrows = rows
+            .iter()
+            .map(|&(id, _)| id as usize + 1)
+            .max()
+            .unwrap_or(1);
+        let mut coo = Coo::new(nrows, MMA_K);
+        for &(id, len) in rows {
+            for c in 0..len as u32 {
+                coo.push(id as usize, c as usize, (id * 10 + c + 1) as f64);
+            }
+        }
+        coo.to_csr()
+    }
+
+    fn build(rows: &[(u32, usize)]) -> ShortPart<f64> {
+        let ids: Vec<u32> = rows.iter().map(|&(id, _)| id).collect();
+        ShortPart::build_csr(&csr_of(rows), &ids, true, &Executor::seq())
     }
 
     #[test]
     fn pairs_ones_with_threes() {
         // 3 singles + 2 threes -> 2 pairs, 1 leftover single.
-        let rows = vec![row(0, 1), row(1, 3), row(2, 1), row(3, 3), row(4, 1)];
-        let p = ShortPart::build(rows);
+        let p = build(&[(0, 1), (1, 3), (2, 1), (3, 3), (4, 1)]);
         assert_eq!(p.n13_warps, 1);
         assert_eq!(p.n1, 1);
         assert_eq!(p.perm1, vec![4]);
@@ -282,8 +463,7 @@ mod tests {
     #[test]
     fn leftover_threes_become_fours() {
         // 1 single, 3 threes: one 1&3 pair, two threes padded into fours.
-        let rows = vec![row(0, 1), row(1, 3), row(2, 3), row(3, 3)];
-        let p = ShortPart::build(rows);
+        let p = build(&[(0, 1), (1, 3), (2, 3), (3, 3)]);
         assert_eq!(p.n13_warps, 1);
         assert_eq!(p.n4_warps, 1);
         assert_eq!(p.n1, 0);
@@ -296,8 +476,7 @@ mod tests {
 
     #[test]
     fn twos_paired_and_odd_leftover_padded() {
-        let rows = vec![row(0, 2), row(1, 2), row(2, 2)];
-        let p = ShortPart::build(rows);
+        let p = build(&[(0, 2), (1, 2), (2, 2)]);
         // rows 0&1 pair in the 2&2 category; row 2 is the odd one out,
         // padded into the fours.
         assert_eq!(p.n22_warps, 1);
@@ -310,8 +489,8 @@ mod tests {
 
     #[test]
     fn pure_fours_fill_blocks() {
-        let rows: Vec<_> = (0..40).map(|i| row(i, 4)).collect();
-        let p = ShortPart::build(rows);
+        let rows: Vec<_> = (0..40).map(|i| (i, 4)).collect();
+        let p = build(&rows);
         // 40 fours -> 2 warps of 32 slots (second warp 8 rows + 24 pads).
         assert_eq!(p.n4_warps, 2);
         assert_eq!(p.vals.len(), 2 * 4 * BLOCK_ELEMS);
@@ -325,8 +504,7 @@ mod tests {
 
     #[test]
     fn padding_slots_are_zeroed() {
-        let rows = vec![row(7, 1), row(8, 3)];
-        let p = ShortPart::build(rows);
+        let p = build(&[(7, 1), (8, 3)]);
         // One pair; 15 packed-row pads of 4 zero elements each.
         assert_eq!(p.vals.len(), 16 * MMA_K);
         let nonzero = p.vals.iter().filter(|&&v| v != 0.0).count();
@@ -336,9 +514,36 @@ mod tests {
 
     #[test]
     fn empty_input_is_empty_part() {
-        let p = ShortPart::<f64>::build(Vec::new());
+        let empty = Coo::<f64>::new(1, 1).to_csr();
+        let p = ShortPart::<f64>::build_csr(&empty, &[], true, &Executor::seq());
         assert_eq!(p.num_rows(), 0);
         assert_eq!(p.vals.len(), 0);
         assert_eq!(p.n13_warps + p.n4_warps + p.n22_warps + p.n1, 0);
+    }
+
+    #[test]
+    fn matches_append_based_reference_and_parallel_run() {
+        // Every length 1..=4 in a scrambled interleaving, enough rows to
+        // exercise multi-warp packing, leftover threes, and the odd two.
+        let lens: Vec<(u32, usize)> = (0..120u32).map(|i| (i, 1 + (i as usize * 7) % 4)).collect();
+        let csr = csr_of(&lens);
+        let ids: Vec<u32> = lens.iter().map(|&(id, _)| id).collect();
+        let staged: Vec<ShortRow<f64>> = lens
+            .iter()
+            .map(|&(id, _)| (id, csr.row(id as usize).collect()))
+            .collect();
+
+        for piecing in [true, false] {
+            let new = ShortPart::build_csr(&csr, &ids, piecing, &Executor::seq());
+            let par =
+                ShortPart::build_csr(&csr, &ids, piecing, &Executor::par_with_threads(Some(4)));
+            let reference = if piecing {
+                ShortPart::build(staged.clone())
+            } else {
+                ShortPart::build_padded_only(staged.clone())
+            };
+            assert_eq!(new, reference);
+            assert_eq!(new, par);
+        }
     }
 }

@@ -49,4 +49,4 @@ pub mod kernels;
 mod spmv;
 
 pub use consts::DaspParams;
-pub use format::{CategoryStats, DaspMatrix};
+pub use format::{CategoryStats, DaspMatrix, DaspPlan, PlanCache, RefreshError};

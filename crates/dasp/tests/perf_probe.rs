@@ -1,0 +1,67 @@
+//! Ignored-by-default wall-clock probe of the analysis/execute split —
+//! the evidence behind the Fig. 13 break-even claim. Run with
+//!
+//! ```text
+//! cargo test --release -p dasp-core --test perf_probe -- --ignored --nocapture
+//! ```
+
+use std::time::Instant;
+
+use dasp_core::{DaspMatrix, DaspParams, DaspPlan};
+use dasp_simt::Executor;
+use dasp_sparse::{Coo, Csr};
+use dasp_trace::Tracer;
+
+/// A band-structured matrix: `n` rows, `k` distinct nonzeros per row.
+fn banded(n: usize, k: usize) -> Csr<f64> {
+    let mut coo = Coo::new(n, n);
+    for r in 0..n {
+        for j in 0..k {
+            coo.push(r, (r + j) % n, 1.0 + j as f64);
+        }
+    }
+    coo.to_csr()
+}
+
+fn ms<T>(f: impl FnOnce() -> T) -> (T, f64) {
+    let t0 = Instant::now();
+    let v = f();
+    (v, t0.elapsed().as_secs_f64() * 1e3)
+}
+
+#[test]
+#[ignore = "wall-clock probe; run with --ignored --nocapture"]
+fn analysis_execute_split_timings() {
+    let csr = banded(40_000, 40);
+    println!("nnz {}", csr.nnz());
+    let params = DaspParams::default();
+    let seq = Executor::seq();
+    let par4 = Executor::par_with_threads(Some(4));
+    for round in 0..3 {
+        let phases_of = |tracer: &Tracer| {
+            let trace = tracer.take_trace();
+            let mut phases = String::new();
+            for s in trace.roots() {
+                for c in trace.children(s.id) {
+                    phases.push_str(&format!("{}={}us ", c.name, c.dur_us));
+                }
+            }
+            phases
+        };
+        let tracer = Tracer::new();
+        let (_full, full_ms) = ms(|| DaspMatrix::from_csr(&csr));
+        let (plan, an_seq) = ms(|| DaspPlan::analyze_traced_with(&csr, params, &tracer, &seq));
+        let seq_phases = phases_of(&tracer);
+        let tracer = Tracer::new();
+        let (_p, an_par) = ms(|| DaspPlan::analyze_traced_with(&csr, params, &tracer, &par4));
+        let par_phases = phases_of(&tracer);
+        let (mut m, fill) = ms(|| plan.fill(&csr));
+        let (_u, upd) = ms(|| m.update_values(&csr.vals).unwrap());
+        println!(
+            "round {round}: from_csr {full_ms:.2}ms analyze(seq) {an_seq:.2}ms \
+             analyze(par4) {an_par:.2}ms fill {fill:.2}ms update {upd:.2}ms"
+        );
+        println!("  seq phases: {seq_phases}");
+        println!("  par phases: {par_phases}");
+    }
+}

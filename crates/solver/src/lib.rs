@@ -68,6 +68,10 @@ pub enum SolveError {
     Breakdown(&'static str),
     /// Dimension mismatch between operator and vectors.
     Shape(String),
+    /// The operator cannot perform the requested in-place mutation (e.g.
+    /// [`LinearOperator::refresh_values`] on an operator without a
+    /// reusable pattern plan).
+    Unsupported(&'static str),
 }
 
 impl std::fmt::Display for SolveError {
@@ -81,6 +85,7 @@ impl std::fmt::Display for SolveError {
             }
             SolveError::Breakdown(s) => write!(f, "recurrence breakdown: {s}"),
             SolveError::Shape(s) => write!(f, "shape mismatch: {s}"),
+            SolveError::Unsupported(s) => write!(f, "unsupported operation: {s}"),
         }
     }
 }

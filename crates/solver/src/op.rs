@@ -2,9 +2,11 @@
 
 #![allow(clippy::needless_range_loop)]
 
-use dasp_core::DaspMatrix;
+use dasp_core::{DaspMatrix, RefreshError};
 use dasp_simt::{Executor, NoProbe};
 use dasp_sparse::Csr;
+
+use crate::SolveError;
 
 /// Anything that can apply `y = A x` in `f64`.
 pub trait LinearOperator {
@@ -14,6 +16,20 @@ pub trait LinearOperator {
     fn cols(&self) -> usize;
     /// Computes `y = A x`. `x.len() == cols()`, `y.len() == rows()`.
     fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Replaces the operator's nonzero values in place, keeping the
+    /// sparsity pattern — the analysis/execute split's O(nnz) path for
+    /// parameter sweeps and time-stepping, where each re-solve changes
+    /// values but not structure. `new_vals` follows the operator's CSR
+    /// nonzero order.
+    ///
+    /// The default declines: combinators like [`Shifted`] hold a shared
+    /// reference and cannot mutate their base operator.
+    fn refresh_values(&mut self, _new_vals: &[f64]) -> Result<(), SolveError> {
+        Err(SolveError::Unsupported(
+            "operator does not support in-place value refresh",
+        ))
+    }
 }
 
 impl LinearOperator for Csr<f64> {
@@ -26,6 +42,17 @@ impl LinearOperator for Csr<f64> {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         let r = self.spmv_reference(x);
         y.copy_from_slice(&r);
+    }
+    fn refresh_values(&mut self, new_vals: &[f64]) -> Result<(), SolveError> {
+        if new_vals.len() != self.vals.len() {
+            return Err(SolveError::Shape(format!(
+                "refresh_values: got {} values, operator stores {}",
+                new_vals.len(),
+                self.vals.len()
+            )));
+        }
+        self.vals.copy_from_slice(new_vals);
+        Ok(())
     }
 }
 
@@ -48,6 +75,21 @@ impl LinearOperator for DaspMatrix<f64> {
             Executor::seq()
         };
         self.spmv_into_with(x, y, &mut NoProbe, &exec);
+    }
+    fn refresh_values(&mut self, new_vals: &[f64]) -> Result<(), SolveError> {
+        // O(nnz) scatter through the attached DaspPlan — requires the
+        // matrix to have been built via `DaspPlan::fill` (or
+        // `from_csr_cached`), which iterative re-solve loops should be.
+        self.update_values(new_vals).map_err(|e| match e {
+            RefreshError::NoPlan => SolveError::Unsupported(
+                "DASP matrix has no attached plan; build it via DaspPlan::fill \
+                 or DaspMatrix::from_csr_cached to enable value refresh",
+            ),
+            RefreshError::WrongLength { got, want } => SolveError::Shape(format!(
+                "refresh_values: got {got} values, operator stores {want}"
+            )),
+            RefreshError::Mismatch(s) => SolveError::Shape(s),
+        })
     }
 }
 
@@ -190,6 +232,50 @@ mod tests {
         let mut z = vec![0.0; 3];
         p.apply(&[2.0, 4.0, 8.0], &mut z);
         assert_eq!(z, vec![1.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn csr_refresh_changes_the_applied_values() {
+        let mut csr = small();
+        let x = vec![1.0, 1.0, 1.0];
+        let mut y = vec![0.0; 3];
+        let doubled: Vec<f64> = csr.vals.iter().map(|v| v * 2.0).collect();
+        csr.refresh_values(&doubled).expect("pattern unchanged");
+        csr.apply(&x, &mut y);
+        assert_eq!(y, vec![4.0, 8.0, 18.0]);
+        assert!(matches!(
+            csr.refresh_values(&[1.0]),
+            Err(SolveError::Shape(_))
+        ));
+    }
+
+    #[test]
+    fn dasp_refresh_requires_a_plan_and_matches_rebuild() {
+        let csr = small();
+        // Built directly: no plan, refresh is refused.
+        let mut bare = DaspMatrix::from_csr(&csr);
+        assert!(matches!(
+            bare.refresh_values(&csr.vals),
+            Err(SolveError::Unsupported(_))
+        ));
+
+        // Built through a plan: refresh applies and agrees with a rebuild.
+        let plan = dasp_core::DaspPlan::analyze(&csr, csr_params());
+        let mut planned = plan.fill(&csr);
+        let doubled: Vec<f64> = csr.vals.iter().map(|v| v * 2.0).collect();
+        planned.refresh_values(&doubled).expect("plan attached");
+        let x = vec![1.0, 1.0, 1.0];
+        let mut y = vec![0.0; 3];
+        planned.apply(&x, &mut y);
+        assert_eq!(y, vec![4.0, 8.0, 18.0]);
+        assert!(matches!(
+            planned.refresh_values(&[1.0]),
+            Err(SolveError::Shape(_))
+        ));
+    }
+
+    fn csr_params() -> dasp_core::DaspParams {
+        dasp_core::DaspParams::default()
     }
 
     #[test]

@@ -134,7 +134,7 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D, E, F, G, H, I, J, K, L);
 }
 
-/// `any::<T>()` and the [`Arbitrary`] trait behind it.
+/// `any::<T>()` and the [`Arbitrary`](arbitrary::Arbitrary) trait behind it.
 pub mod arbitrary {
     use rand::Rng;
 
@@ -175,7 +175,8 @@ pub mod arbitrary {
         }
     }
 
-    /// The strategy returned by [`any`].
+    /// The strategy returned by [`any`], generating from `T`'s `Arbitrary`
+    /// implementation.
     #[derive(Debug, Clone, Copy, Default)]
     pub struct Any<T>(std::marker::PhantomData<T>);
 
@@ -234,7 +235,7 @@ pub mod collection {
         }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`](vec()).
     #[derive(Debug, Clone)]
     pub struct VecStrategy<S> {
         elem: S,
