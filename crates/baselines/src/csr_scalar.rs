@@ -17,7 +17,7 @@
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
 use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
-use dasp_sparse::Csr;
+use dasp_sparse::{Csr, DenseMat, PANEL_WIDTH};
 
 use crate::WARPS_PER_BLOCK;
 
@@ -61,6 +61,97 @@ impl<S: Scalar> CsrScalar<S> {
         drop(shared);
         y
     }
+
+    /// Computes `Y = A B` for a panel of right-hand sides on the
+    /// process-default executor — the scalar reference SpMM the DASP SpMM
+    /// kernels are compared against.
+    pub fn spmm<P: ShardableProbe>(&self, b: &DenseMat<S>, probe: &mut P) -> DenseMat<S> {
+        self.spmm_with(b, probe, &Executor::from_env())
+    }
+
+    /// Computes `Y = A B` under the given executor. Traffic model mirrors
+    /// the SpMV kernel with the natural multi-RHS amortization: each A
+    /// value and column index loads once per panel sweep, then one FMA
+    /// and one B gather per live column, so per-RHS A traffic shrinks
+    /// with the width here too (the comparison isolates the MMA packing,
+    /// not the amortization itself).
+    pub fn spmm_with<P: ShardableProbe>(
+        &self,
+        b: &DenseMat<S>,
+        probe: &mut P,
+        exec: &Executor,
+    ) -> DenseMat<S> {
+        let csr = &self.csr;
+        assert_eq!(b.rows(), csr.cols, "B rows != matrix cols");
+        let mut y = DenseMat::zeros(csr.rows, b.cols());
+        if csr.rows == 0 || b.cols() == 0 {
+            return y;
+        }
+        let n_warps = csr.rows.div_ceil(WARP_SIZE);
+        let panels = b.num_panels();
+        probe.kernel_launch(
+            (n_warps.div_ceil(WARPS_PER_BLOCK) * panels) as u64,
+            WARPS_PER_BLOCK as u64,
+        );
+        let y_rows = csr.rows;
+        let shared = SharedSlice::new(y.data_mut());
+        exec.run(n_warps * panels, probe, |wid, p| {
+            csr_scalar_spmm_warp(csr, b, &shared, y_rows, n_warps, wid, p)
+        });
+        drop(shared);
+        y
+    }
+}
+
+/// SpMM warp body: warp `wid = panel * n_warps + w` reduces the band's
+/// rows against every live column of its panel.
+pub fn csr_scalar_spmm_warp<S: Scalar, P: Probe>(
+    csr: &Csr<S>,
+    b: &DenseMat<S>,
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    n_warps: usize,
+    wid: usize,
+    probe: &mut P,
+) {
+    let (panel, w) = (wid / n_warps, wid % n_warps);
+    let w_p = b.panel_width(panel);
+    let bp = b.panel(panel);
+    probe.warp_begin(wid);
+    let lo_row = w * WARP_SIZE;
+    let hi_row = ((w + 1) * WARP_SIZE).min(csr.rows);
+    let mut max_len = 0usize;
+    for i in lo_row..hi_row {
+        let len = csr.row_len(i);
+        max_len = max_len.max(len);
+        probe.load_meta(2, 4); // RowPtr[i], RowPtr[i+1]
+        let mut sum = [S::acc_zero(); PANEL_WIDTH];
+        for j in csr.row_ptr[i]..csr.row_ptr[i + 1] {
+            let c = csr.col_idx[j] as usize;
+            probe.load_val(1, S::BYTES);
+            probe.load_idx(1, 4);
+            for jj in 0..w_p {
+                probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
+                sum[jj] = S::acc_mul_add(sum[jj], csr.vals[j], bp[c * PANEL_WIDTH + jj]);
+                probe.fma(1);
+            }
+        }
+        for jj in 0..w_p {
+            y.write(
+                (panel * y_rows + i) * PANEL_WIDTH + jj,
+                S::from_acc(sum[jj]),
+            );
+        }
+        probe.store_y(w_p as u64, S::BYTES);
+    }
+    // Issued FMA slots for the divergence model: the per-element FMAs are
+    // counted above, so only the idle slots of shorter rows remain.
+    let issued = (WARP_SIZE * max_len * w_p) as u64;
+    let counted: u64 = (lo_row..hi_row)
+        .map(|i| (csr.row_len(i) * w_p) as u64)
+        .sum();
+    probe.fma(issued.saturating_sub(counted));
+    probe.warp_end(wid);
 }
 
 /// Warp body: warp `w`'s 32 threads each reduce one row of the band
@@ -149,5 +240,59 @@ mod tests {
         let csr = Csr::<f64>::empty(3, 3);
         let y = CsrScalar::new(&csr).spmv(&[0.0; 3], &mut NoProbe);
         assert_eq!(y, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn spmm_matches_columnwise_spmv_bitwise() {
+        let csr = sample();
+        let m = CsrScalar::new(&csr);
+        for width in [1usize, 3, 8, 11] {
+            let columns: Vec<Vec<f64>> = (0..width)
+                .map(|j| {
+                    (0..40)
+                        .map(|i| (i * (j + 1)) as f64 * 0.125 - 2.0)
+                        .collect()
+                })
+                .collect();
+            let b = DenseMat::from_columns(&columns);
+            let y = m.spmm(&b, &mut NoProbe);
+            assert_eq!((y.rows(), y.cols()), (40, width));
+            for (j, col) in columns.iter().enumerate() {
+                let want = m.spmv(col, &mut NoProbe);
+                let got = y.column(j);
+                for r in 0..40 {
+                    assert_eq!(
+                        got[r].to_bits(),
+                        want[r].to_bits(),
+                        "width {width} col {j} row {r}"
+                    );
+                }
+            }
+            let exact = crate::reference::spmm_exact(&csr, &b);
+            for (j, want) in exact.iter().enumerate() {
+                assert_matches(&y.column(j), want, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn spmm_amortizes_a_traffic_and_scales_fma_slots() {
+        let csr = sample();
+        let m = CsrScalar::new(&csr);
+        let x = vec![1.0f64; 40];
+        let mut p1 = CountingProbe::a100();
+        m.spmv(&x, &mut p1);
+        let s1 = p1.stats();
+
+        let b = DenseMat::from_columns(&vec![x.clone(); 8]);
+        let mut p8 = CountingProbe::a100();
+        m.spmm(&b, &mut p8);
+        let s8 = p8.stats();
+        // A streams once per 8-wide panel; FMA slots and B gathers scale
+        // with the width.
+        assert_eq!(s8.bytes_val, s1.bytes_val);
+        assert_eq!(s8.bytes_idx, s1.bytes_idx);
+        assert_eq!(s8.fma_ops, s1.fma_ops * 8);
+        assert_eq!(s8.x_requests, s1.x_requests * 8);
     }
 }

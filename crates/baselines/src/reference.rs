@@ -1,13 +1,21 @@
 //! Exact CPU ground truth and comparison helpers shared by the test suites.
 
 use dasp_fp16::Scalar;
-use dasp_sparse::Csr;
+use dasp_sparse::{Csr, DenseMat};
 
 /// Computes `y = A x` sequentially in `f64`, regardless of storage
 /// precision. Thin wrapper over [`Csr::spmv_reference`] kept here so all
 /// method crates name the same oracle.
 pub fn spmv_exact<S: Scalar>(csr: &Csr<S>, x: &[S]) -> Vec<f64> {
     csr.spmv_reference(x)
+}
+
+/// Computes `Y = A B` column by column against the [`spmv_exact`] oracle;
+/// `result[j]` is the exact `f64` product with column `j` of `b`.
+pub fn spmm_exact<S: Scalar>(csr: &Csr<S>, b: &DenseMat<S>) -> Vec<Vec<f64>> {
+    (0..b.cols())
+        .map(|j| spmv_exact(csr, &b.column(j)))
+        .collect()
 }
 
 /// Asserts `got` (storage precision) matches `want` (f64 oracle) within

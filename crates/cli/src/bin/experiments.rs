@@ -18,7 +18,7 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dasp_cli::experiments::{
-    ext_merge, fig01, fig02, fig09, fig10, fig11, fig12, fig13, metrics_dump, table1, table2,
+    ext2, ext_merge, fig01, fig02, fig09, fig10, fig11, fig12, fig13, metrics_dump, table1, table2,
 };
 use dasp_cli::output::{f2, f3, text_table, write_csv};
 use dasp_perf::MethodKind;
@@ -47,7 +47,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: dasp-experiments [--out DIR] [--metrics-out DIR] \
-                     [fig1|fig2|fig9|fig10|fig11|fig12|fig13|table1|table2|ext1|all]"
+                     [fig1|fig2|fig9|fig10|fig11|fig12|fig13|table1|table2|ext1|ext2|all]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -57,9 +57,9 @@ fn main() -> ExitCode {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
-    const KNOWN: [&str; 11] = [
+    const KNOWN: [&str; 12] = [
         "all", "table1", "table2", "fig1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "ext1",
+        "ext1", "ext2",
     ];
     for t in &targets {
         if !KNOWN.contains(&t.as_str()) {
@@ -99,6 +99,9 @@ fn main() -> ExitCode {
     }
     if want("ext1") {
         run_ext_merge(&out_dir);
+    }
+    if want("ext2") {
+        run_ext2(&out_dir);
     }
     if let Some(dir) = &metrics_out {
         if let Err(e) = run_metrics_dump(dir) {
@@ -171,6 +174,52 @@ fn run_ext_merge(out: &std::path::Path) {
                     f3(r.merge_gflops),
                     f3(r.sell_gflops),
                     f3(r.hyb_gflops),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn run_ext2(out: &std::path::Path) {
+    let f = ext2::run();
+    println!("== Extension 2: multi-RHS SpMM vs looped SpMV (A100 model) ==");
+    for s in &f.summaries {
+        println!(
+            "{}: geomean speedup {}x at width 8 (A+idx amortization {}x; \
+             speedup < 8x because B gathers, y stores and MMA issues scale with the width)",
+            s.precision,
+            f2(s.speedup_w8),
+            f2(s.amortization_w8)
+        );
+    }
+    println!();
+    let _ = write_csv(
+        out,
+        "ext2_spmm_amortization.csv",
+        &[
+            "matrix",
+            "nnz",
+            "precision",
+            "rhs_width",
+            "spmm_a_idx_bytes_per_rhs",
+            "looped_a_idx_bytes_per_rhs",
+            "spmm_gflops",
+            "looped_gflops",
+            "speedup",
+        ],
+        &f.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.nnz.to_string(),
+                    r.precision.to_string(),
+                    r.rhs_width.to_string(),
+                    f2(r.spmm_a_idx_per_rhs),
+                    f2(r.looped_a_idx_per_rhs),
+                    f3(r.spmm_gflops),
+                    f3(r.looped_gflops),
+                    f3(r.speedup),
                 ]
             })
             .collect::<Vec<_>>(),

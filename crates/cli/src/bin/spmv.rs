@@ -4,7 +4,7 @@
 //! dasp-spmv MATRIX.mtx [--method dasp|csr5|tilespmv|lsrb-csr|cusparse-bsr|cusparse-csr|csr-scalar|merge-csr]
 //!           [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare]
 //!           [--executor seq|par] [--threads N] [--trace OUT.json]
-//!           [--refresh-values N]
+//!           [--refresh-values N] [--rhs N]
 //! ```
 //!
 //! `--compare` runs every method on the matrix and prints a ranking table
@@ -16,6 +16,12 @@
 //! `update_values` path. The report shows how refresh time compares to a
 //! full `from_csr` rebuild and after how many value updates the one-off
 //! analysis breaks even.
+//!
+//! `--rhs N` batches N random right-hand sides and computes `Y = A X`
+//! with the multi-RHS SpMM kernels (methods `dasp` and `csr-scalar`),
+//! reporting the measured A-traffic amortization and estimated speedup
+//! against looping single-vector SpMV over the same columns. Widths that
+//! are multiples of 8 fill every MMA B-column.
 //!
 //! `--executor par` fans the simulated warps out over host threads
 //! (`--threads N` caps the count; default = available parallelism). The
@@ -57,6 +63,7 @@ fn main() -> ExitCode {
     let mut executor: Option<String> = None;
     let mut threads: Option<usize> = None;
     let mut refresh_values: Option<usize> = None;
+    let mut rhs: Option<usize> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -107,9 +114,16 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--rhs" => match args.next().and_then(|t| t.parse::<usize>().ok()) {
+                Some(n) if n > 0 => rhs = Some(n),
+                _ => {
+                    eprintln!("--rhs requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--executor seq|par] [--threads N] [--trace OUT.json] [--refresh-values N]"
+                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--executor seq|par] [--threads N] [--trace OUT.json] [--refresh-values N] [--rhs N]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -237,6 +251,28 @@ fn main() -> ExitCode {
         return ExitCode::SUCCESS;
     }
 
+    if let Some(width) = rhs {
+        if !matches!(method, MethodKind::Dasp | MethodKind::CsrScalar) {
+            eprintln!(
+                "--rhs needs an SpMM kernel; supported methods: dasp, csr-scalar (got {})",
+                method.name()
+            );
+            return ExitCode::FAILURE;
+        }
+        let ok = if fp16 {
+            rhs_report::<F16>(method, &csr.cast(), width, verify, &dev, &exec)
+        } else if fp32 {
+            rhs_report::<f32>(method, &csr.cast(), width, verify, &dev, &exec)
+        } else {
+            rhs_report::<f64>(method, &csr, width, verify, &dev, &exec)
+        };
+        return if ok {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
+
     let (m, want) = if fp16 {
         let h: Csr<F16> = csr.cast();
         let x64 = dense_vector(h.cols, 42);
@@ -332,6 +368,76 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// The `--rhs N` report: `Y = A X` for N random right-hand sides, SpMM vs
+/// looped SpMV, with the A-traffic amortization and estimated speedup.
+/// Returns false if `--verify` finds a mismatch.
+fn rhs_report<S: dasp_fp16::Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    width: usize,
+    verify: bool,
+    dev: &DeviceModel,
+    exec: &Executor,
+) -> bool {
+    use dasp_perf::{measure_looped_spmv_with, measure_spmm_with};
+    let columns: Vec<Vec<S>> = (0..width)
+        .map(|j| {
+            dense_vector(csr.cols, 42 + j as u64)
+                .iter()
+                .map(|&v| S::from_f64(v))
+                .collect()
+        })
+        .collect();
+    let b = dasp_sparse::DenseMat::from_columns(&columns);
+    let spmm = measure_spmm_with(method, csr, &b, dev, exec);
+    let looped = measure_looped_spmv_with(method, csr, &b, dev, exec);
+    println!("-- multi-RHS SpMM, {width} right-hand sides --");
+    println!(
+        "spmm           : {:.3} us, {:.2} gflops",
+        spmm.estimate.seconds * 1e6,
+        spmm.gflops
+    );
+    println!(
+        "looped spmv    : {:.3} us, {:.2} gflops",
+        looped.estimate.seconds * 1e6,
+        looped.gflops
+    );
+    println!(
+        "A+idx per RHS  : {:.0} B (spmm) vs {:.0} B (looped) -> {:.2}x amortized",
+        spmm.a_idx_bytes_per_rhs,
+        looped.a_idx_bytes_per_rhs,
+        looped.a_idx_bytes_per_rhs / spmm.a_idx_bytes_per_rhs.max(1.0)
+    );
+    println!(
+        "est. speedup   : {:.2}x",
+        looped.estimate.seconds / spmm.estimate.seconds
+    );
+    if verify {
+        let exact: Csr<f64> = csr.cast();
+        let rel = match S::BYTES {
+            2 => 0.05,
+            4 => 1e-4,
+            _ => 1e-9,
+        };
+        let mut bad = 0usize;
+        for (j, col) in columns.iter().enumerate() {
+            let x64: Vec<f64> = col.iter().map(|v| v.to_f64()).collect();
+            let want = exact.spmv_reference(&x64);
+            bad += spmm.y[j]
+                .iter()
+                .zip(&want)
+                .filter(|(&a, &b)| (a - b).abs() > rel * b.abs().max(1.0))
+                .count();
+        }
+        if bad > 0 {
+            eprintln!("VERIFY FAILED on {bad} entries across {width} columns");
+            return false;
+        }
+        println!("verify: OK ({width} columns x {} rows)", csr.rows);
+    }
+    true
 }
 
 /// The `--refresh-values N` report: analysis vs. execute vs. full rebuild

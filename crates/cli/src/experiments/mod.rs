@@ -2,6 +2,7 @@
 //! index for the mapping to the paper.
 
 pub mod common;
+pub mod ext2;
 pub mod ext_merge;
 pub mod fig01;
 pub mod fig02;

@@ -70,6 +70,43 @@ fn spmv_binary_fp16_and_h800() {
 }
 
 #[test]
+fn spmv_binary_rhs_reports_amortization() {
+    let dir = std::env::temp_dir().join("dasp_cli_bin_test_rhs");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("band.mtx");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "%%MatrixMarket matrix coordinate real general").unwrap();
+    writeln!(f, "48 48 144").unwrap();
+    for i in 0..48 {
+        writeln!(f, "{} {} 2.0", i + 1, i + 1).unwrap();
+        writeln!(f, "{} {} -0.5", i + 1, (i + 1) % 48 + 1).unwrap();
+        writeln!(f, "{} {} -0.25", i + 1, (i + 5) % 48 + 1).unwrap();
+    }
+    drop(f);
+    for method in ["dasp", "csr-scalar"] {
+        let out = bin("dasp-spmv")
+            .arg(path.to_str().unwrap())
+            .args(["--method", method, "--rhs", "8", "--verify"])
+            .output()
+            .expect("binary runs");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(out.status.success(), "{method}: {stdout}");
+        assert!(stdout.contains("8 right-hand sides"), "{method}: {stdout}");
+        assert!(stdout.contains("8.00x amortized"), "{method}: {stdout}");
+        assert!(stdout.contains("verify: OK"), "{method}: {stdout}");
+    }
+    // Methods without an SpMM kernel are rejected.
+    let out = bin("dasp-spmv")
+        .arg(path.to_str().unwrap())
+        .args(["--method", "csr5", "--rhs", "4"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("SpMM"), "{err}");
+}
+
+#[test]
 fn spmv_binary_rejects_bad_input() {
     let out = bin("dasp-spmv").arg("/nonexistent.mtx").output().unwrap();
     assert!(!out.status.success());

@@ -46,6 +46,7 @@
 pub mod consts;
 pub mod format;
 pub mod kernels;
+pub mod spmm;
 mod spmv;
 
 pub use consts::DaspParams;

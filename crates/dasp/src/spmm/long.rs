@@ -1,0 +1,175 @@
+//! Multi-RHS long-rows kernel.
+//!
+//! Same two-phase shape as SpMV (one warp per 64-element group, then one
+//! warp per long row), widened to a [`PANEL_WIDTH`]-column panel: phase 1
+//! loads each block's A values and indices **once**, issues one masked-A
+//! MMA per row-segment with all 8 B columns packed, and collapses the
+//! per-column partial sums with a `shfl_down 8, 16, 4` tree that
+//! reproduces SpMV's exact add association per column. The auxiliary
+//! `warpVal` array widens to one accumulator slot per (group, column).
+
+use dasp_fp16::Scalar;
+use dasp_simt::mma::{acc_zero, mma_m8n8k4, MMA_K, MMA_M};
+use dasp_simt::warp::{full_mask, per_lane, WARP_SIZE};
+use dasp_simt::SharedSlice;
+use dasp_simt::{shfl_down_sync, warp_reduce, Executor, Probe, ShardableProbe};
+use dasp_sparse::{DenseMat, PANEL_WIDTH};
+
+use crate::consts::{BLOCK_ELEMS, GROUP_ELEMS};
+use crate::format::LongPart;
+use crate::kernels::{load_idx_lane, mma_idx};
+
+/// Runs the two-phase long-rows SpMM under the given executor, scattering
+/// results into the panel-layout output slice `y` (`y_rows` rows). All
+/// phase-1 group warps — across every panel — complete before phase 2
+/// starts, as on the device.
+pub fn spmm_long_with<S: Scalar, P: ShardableProbe>(
+    part: &LongPart<S>,
+    b: &DenseMat<S>,
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    probe: &mut P,
+    exec: &Executor,
+) {
+    let n_groups = part.num_groups();
+    let panels = b.num_panels();
+    if n_groups == 0 || panels == 0 {
+        return;
+    }
+    let mut warp_val: Vec<S::Acc> = vec![S::acc_zero(); n_groups * panels * PANEL_WIDTH];
+    {
+        let wv = SharedSlice::new(&mut warp_val);
+        exec.run(n_groups * panels, probe, |wid, p| {
+            spmm_long_phase1_warp(part, b, &wv, wid, p)
+        });
+    }
+    exec.run(part.rows.len() * panels, probe, |wid, p| {
+        spmm_long_phase2_warp(part, b, &warp_val, y, y_rows, wid, p)
+    });
+}
+
+/// Phase-1 warp body: warp `wid = panel * n_groups + g` computes one
+/// group's partial sums for every live column of its panel.
+pub fn spmm_long_phase1_warp<S: Scalar, P: Probe>(
+    part: &LongPart<S>,
+    b: &DenseMat<S>,
+    warp_val: &SharedSlice<S::Acc>,
+    wid: usize,
+    probe: &mut P,
+) {
+    let n_groups = part.num_groups();
+    let (panel, g) = (wid / n_groups, wid % n_groups);
+    let mask = full_mask();
+    let idx = mma_idx();
+    probe.warp_begin(wid);
+    let w_p = b.panel_width(panel);
+    let bp = b.panel(panel);
+    let mut acc = acc_zero::<S>();
+    let mut offset_a = g * GROUP_ELEMS;
+    for _i in 0..2 {
+        // The block's A values and column ids load once for the whole
+        // panel — this is the 8x amortization over looped SpMV.
+        let block_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset_a + idx[l]]);
+        let cids = load_idx_lane(&part.cids, offset_a, &idx);
+        probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+        probe.load_idx(BLOCK_ELEMS as u64, 4);
+        for r in 0..MMA_M {
+            // Mask A to row-segment r; pack the segment's gathered B rows
+            // across all 8 fragment columns. Element (r, k) sits at lane
+            // r*4+k, so its column id is cids[r*4+k].
+            let frag_a: [S; WARP_SIZE] =
+                per_lane(|l| if l >> 2 == r { block_a[l] } else { S::zero() });
+            let frag_b: [S; WARP_SIZE] =
+                per_lane(|l| bp[cids[r * MMA_K + (l & 3)] as usize * PANEL_WIDTH + (l >> 2)]);
+            for k in 0..MMA_K {
+                let c = cids[r * MMA_K + k] as usize;
+                for jj in 0..w_p {
+                    probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
+                }
+            }
+            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_b);
+            probe.mma();
+        }
+        offset_a += BLOCK_ELEMS;
+    }
+    // Collapse the 8 row-segment partials per column. Column j of segment
+    // i lives at lane i*4 + (j>>1), register j&1: summing rows is a
+    // stride-4 lane tree, and shfl_down 8 / 16 / 4 lands the SpMV add
+    // association [(C0+C2)+(C4+C6)] + [(C1+C3)+(C5+C7)] at lane j>>1.
+    let mut y0: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][0]);
+    let mut y1: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][1]);
+    for delta in [8usize, 16, 4] {
+        let d = shfl_down_sync(mask, y0, delta);
+        for l in 0..WARP_SIZE {
+            y0[l] = S::acc_add(y0[l], d[l]);
+        }
+        let d = shfl_down_sync(mask, y1, delta);
+        for l in 0..WARP_SIZE {
+            y1[l] = S::acc_add(y1[l], d[l]);
+        }
+    }
+    probe.shfl(6);
+    let panels = b.num_panels();
+    for jj in 0..w_p {
+        let v = if jj & 1 == 0 {
+            y0[jj >> 1]
+        } else {
+            y1[jj >> 1]
+        };
+        warp_val.write((g * panels + panel) * PANEL_WIDTH + jj, v);
+    }
+    probe.store_y(w_p as u64, S::ACC_BYTES);
+    probe.warp_end(wid);
+}
+
+/// Phase-2 warp body: warp `wid = panel * n_rows + lr` reduces long row
+/// `lr`'s group partials per live column of its panel.
+pub fn spmm_long_phase2_warp<S: Scalar, P: Probe>(
+    part: &LongPart<S>,
+    b: &DenseMat<S>,
+    warp_val: &[S::Acc],
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    wid: usize,
+    probe: &mut P,
+) {
+    let n_rows = part.rows.len();
+    let (panel, lr) = (wid / n_rows, wid % n_rows);
+    let panels = b.num_panels();
+    let mask = full_mask();
+    probe.warp_begin(wid);
+    let orig_row = part.rows[lr] as usize;
+    let lo = part.group_ptr[lr];
+    let hi = part.group_ptr[lr + 1];
+    probe.load_meta(2, 4); // groupPtr (int32 on device)
+    let row_warp_len = hi - lo;
+    let tail = row_warp_len % WARP_SIZE;
+    if tail != 0 {
+        probe.divergence((WARP_SIZE - tail) as u64);
+    }
+    let w_p = b.panel_width(panel);
+    for jj in 0..w_p {
+        // Per column: the exact strided sum + tree reduction of SpMV's
+        // phase 2, reading the widened warpVal slots.
+        let mut thread_val: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
+        for (lane, tv) in thread_val.iter_mut().enumerate() {
+            let mut i = lane;
+            while i < row_warp_len {
+                *tv = S::acc_add(
+                    *tv,
+                    warp_val[((lo + i) * panels + panel) * PANEL_WIDTH + jj],
+                );
+                probe.load_meta(1, S::ACC_BYTES);
+                i += WARP_SIZE;
+            }
+        }
+        let reduced = warp_reduce(mask, thread_val, |a, b| S::acc_add(a, b));
+        probe.shfl(dasp_simt::shuffle::WARP_REDUCE_SHFLS);
+        y.write(
+            (panel * y_rows + orig_row) * PANEL_WIDTH + jj,
+            S::from_acc(reduced[0]),
+        );
+        probe.store_y(1, S::BYTES);
+    }
+    probe.warp_end(wid);
+}

@@ -1,0 +1,130 @@
+//! Multi-RHS medium-rows kernel.
+//!
+//! Warp shape follows SpMV — `LOOP_NUM` row-blocks per warp, regular
+//! blocks through the MMA unit, then a per-lane irregular tail — with each
+//! regular block loaded once per panel and issued as 8 masked-A MMAs, and
+//! the irregular tail's scalar values/indices likewise loaded once with
+//! the FMA fanned across the panel columns.
+
+use dasp_fp16::Scalar;
+use dasp_simt::mma::{acc_zero, mma_m8n8k4, MMA_K, MMA_M};
+use dasp_simt::warp::{per_lane, WARP_SIZE};
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_sparse::{DenseMat, PANEL_WIDTH};
+
+use crate::consts::{loop_num, BLOCK_ELEMS};
+use crate::format::MediumPart;
+use crate::kernels::medium_warps;
+use crate::kernels::{load_idx_lane, mma_idx};
+use crate::spmm::{extract_rows, PanelRes};
+
+/// Runs the medium-rows SpMM under the given executor, scattering results
+/// into the panel-layout output slice `y`.
+pub fn spmm_medium_with<S: Scalar, P: ShardableProbe>(
+    part: &MediumPart<S>,
+    b: &DenseMat<S>,
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    probe: &mut P,
+    exec: &Executor,
+) {
+    let n_warps = medium_warps(part);
+    let panels = b.num_panels();
+    exec.run(n_warps * panels, probe, |wid, p| {
+        spmm_medium_warp(part, b, y, y_rows, n_warps, wid, p)
+    });
+}
+
+/// Warp body: warp `wid = panel * n_warps + mw` computes `LOOP_NUM`
+/// row-blocks against every live column of its panel.
+pub fn spmm_medium_warp<S: Scalar, P: Probe>(
+    part: &MediumPart<S>,
+    b: &DenseMat<S>,
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    n_warps: usize,
+    wid: usize,
+    probe: &mut P,
+) {
+    let (panel, mw) = (wid / n_warps, wid % n_warps);
+    let n_rows = part.rows.len();
+    let ln = loop_num(n_rows);
+    let n_rowblocks = part.num_rowblocks();
+    let idx = mma_idx();
+    let w_p = b.panel_width(panel);
+    let bp = b.panel(panel);
+
+    probe.warp_begin(wid);
+    let mut res: PanelRes<S> = [[S::acc_zero(); PANEL_WIDTH]; WARP_SIZE];
+
+    for i in 0..ln {
+        let bid = mw * ln + i;
+        if bid >= n_rowblocks {
+            break;
+        }
+        probe.load_meta(2, 4); // rowblockPtr (int32 on device)
+        let mut offset_a = part.rowblock_ptr[bid];
+        let nblocks = part.reg_blocks(bid);
+        let mut acc = acc_zero::<S>();
+        for _b in 0..nblocks {
+            // A values + ids once per block per panel (the amortization);
+            // 8 masked-A issues cover the 8 row-segments x 8 columns.
+            let block_a: [S; WARP_SIZE] = per_lane(|l| part.reg_val[offset_a + idx[l]]);
+            let cids = load_idx_lane(&part.reg_cid, offset_a, &idx);
+            probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+            probe.load_idx(BLOCK_ELEMS as u64, 4);
+            for r in 0..MMA_M {
+                let frag_a: [S; WARP_SIZE] =
+                    per_lane(|l| if l >> 2 == r { block_a[l] } else { S::zero() });
+                let frag_b: [S; WARP_SIZE] =
+                    per_lane(|l| bp[cids[r * MMA_K + (l & 3)] as usize * PANEL_WIDTH + (l >> 2)]);
+                for k in 0..MMA_K {
+                    let c = cids[r * MMA_K + k] as usize;
+                    for jj in 0..w_p {
+                        probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
+                    }
+                }
+                mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_b);
+                probe.mma();
+            }
+            offset_a += BLOCK_ELEMS;
+        }
+        extract_rows::<S, P>(&acc, i, &mut res, probe);
+    }
+
+    // Irregular part + write-back: one lane per row, its scalar A
+    // element loaded once and FMA'd against every live column.
+    let lane_cap = (ln * MMA_M).min(WARP_SIZE);
+    let rows_here = n_rows.saturating_sub(mw * ln * MMA_M).min(lane_cap);
+    if rows_here < WARP_SIZE {
+        probe.divergence((WARP_SIZE - rows_here) as u64);
+    }
+    for lane in 0..lane_cap {
+        let cur_row = mw * ln * MMA_M + lane;
+        if cur_row >= n_rows {
+            continue;
+        }
+        probe.load_meta(2, 4); // irregPtr (int32 on device)
+        let mut v: [S::Acc; PANEL_WIDTH] = res[lane];
+        for e in part.irreg_ptr[cur_row]..part.irreg_ptr[cur_row + 1] {
+            let a = part.irreg_val[e];
+            let c = part.irreg_cid[e] as usize;
+            probe.load_val(1, S::BYTES);
+            probe.load_idx(1, 4);
+            for jj in 0..w_p {
+                v[jj] = S::acc_mul_add(v[jj], a, bp[c * PANEL_WIDTH + jj]);
+                probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
+                probe.fma(1);
+            }
+        }
+        let orow = part.rows[cur_row] as usize;
+        for jj in 0..w_p {
+            y.write(
+                (panel * y_rows + orow) * PANEL_WIDTH + jj,
+                S::from_acc(v[jj]),
+            );
+        }
+        probe.store_y(w_p as u64, S::BYTES);
+    }
+    probe.warp_end(wid);
+}

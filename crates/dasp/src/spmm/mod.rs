@@ -1,0 +1,247 @@
+//! SpMM: multi-RHS variants of the DASP kernels that fill all 8 MMA
+//! B-columns.
+//!
+//! SpMV by construction feeds `mma.m8n8k4` a single vector — 7 of the 8
+//! B-fragment columns are dead weight, and a batched matvec that loops
+//! single-vector SpMV re-streams every byte of A (values *and* column
+//! indices) once per right-hand side. These kernels instead take the RHS
+//! as a [`DenseMat`] column panel of width [`PANEL_WIDTH`] = `MMA_N` = 8
+//! and compute one panel per sweep over the format: **each A fragment and
+//! its index bytes are loaded once per 8 vectors instead of once per
+//! vector.** The [`DaspMatrix`] format is reused completely unchanged.
+//!
+//! # The masked-A segment scheme
+//!
+//! SpMV packs eight *different* row-segments' gathered `x` values into the
+//! B fragment and reads the eight inner products off the accumulator
+//! diagonal — possible only because each segment gets its own B column.
+//! With 8 live right-hand sides the B fragment is fully occupied by RHS
+//! columns (`B[k][j] = X_j[cid(r, k)]`), which is a *per-segment* gather:
+//! one MMA issue now computes one row-segment against all 8 vectors, so a
+//! block takes 8 issues per panel instead of 1 per vector — the **same**
+//! MMA count as looped SpMV, while A traffic drops 8x. Per segment `r` the
+//! A fragment is masked to row `r` (other rows zeroed), so all 8 issues
+//! can share one accumulator fragment: the cross-segment contributions are
+//! `0 * b` products, and adding `±0.0` to a running accumulator that
+//! starts at `+0.0` can never flip a bit under round-to-nearest (opposite
+//! -sign zero sums and exact cancellations both round to `+0.0`). That is
+//! what makes every output column of `spmm` **bit-identical** to the
+//! corresponding single-vector `spmv`: per output `C[r][j]` the FMA chain
+//! is the exact `k`-ordered sequence SpMV issues, interleaved only with
+//! bit-inert zero adds. (The one caveat: a non-finite A or B value would
+//! turn a masked `0 * b` into a NaN — the kernels, like the rest of this
+//! stack, assume finite inputs.)
+//!
+//! The piecing short kernels mask the **B side** per pass exactly like
+//! SpMV masks its `x` gather (length-1 piece first, then the length-3
+//! piece), so even the `a * 0` products of the piecing passes replicate
+//! SpMV's own sequence. The long kernel's partial-sum collapse reproduces
+//! SpMV's exact add association `[(C0+C2)+(C4+C6)] + [(C1+C3)+(C5+C7)]`
+//! per column with a `shfl_down 8, 16, 4` tree (SpMV's `9, 18, bcast-4`
+//! sequence is the single-column diagonal special case of the same tree).
+//!
+//! # Probe accounting
+//!
+//! Per 8-wide panel, `load_val`/`load_idx` fire **once per block** — the
+//! A-amortization the roofline estimate then shows — while `load_x`
+//! (B-side gathers, addressed through [`DenseMat::lin_index`] so the
+//! cache model sees the panel-contiguous layout), `fma`, and `mma` counts
+//! equal the looped-SpMV totals. Partial panels only gather and store
+//! their live columns; padding columns of the last panel are never read
+//! (their storage is zero) and never written.
+
+#![allow(clippy::needless_range_loop)]
+
+use dasp_fp16::Scalar;
+use dasp_simt::mma::{AccFrag, MMA_M};
+use dasp_simt::warp::WARP_SIZE;
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_sparse::{DenseMat, PANEL_WIDTH};
+use dasp_trace::Tracer;
+
+use crate::format::DaspMatrix;
+use crate::kernels::short1_warps;
+
+mod long;
+mod medium;
+mod short;
+
+pub use long::spmm_long_with;
+pub use medium::spmm_medium_with;
+pub use short::{spmm_short13_with, spmm_short1_with, spmm_short22_with, spmm_short4_with};
+
+/// Per-lane result registers for one warp: each of the 32 output slots
+/// holds its row's value for every panel column.
+pub(crate) type PanelRes<S> = [[<S as Scalar>::Acc; PANEL_WIDTH]; WARP_SIZE];
+
+/// Pulls row-segment `i`'s eight row results — all [`PANEL_WIDTH`] columns
+/// of each — out of the accumulator fragment into result slots
+/// `i*8..(i+1)*8`, mirroring the SpMV kernels' `extract_diagonals`.
+///
+/// `C[r][j]` lives at lane `r*4 + (j>>1)`, register `j&1`. The two
+/// variable-source shuffle *issues* counted here are the same pair SpMV
+/// spends per extraction: shuffles move whole registers, so the panel
+/// columns ride along in the register pair each lane already holds.
+#[inline]
+pub(crate) fn extract_rows<S: Scalar, P: Probe>(
+    acc: &AccFrag<S>,
+    i: usize,
+    res: &mut PanelRes<S>,
+    probe: &mut P,
+) {
+    for r in 0..MMA_M {
+        for j in 0..PANEL_WIDTH {
+            res[i * MMA_M + r][j] = acc[r * 4 + (j >> 1)][j & 1];
+        }
+    }
+    probe.shfl(2);
+}
+
+impl<S: Scalar> DaspMatrix<S> {
+    /// Computes `Y = A B` with the multi-RHS DASP kernels under the
+    /// process-default executor ([`Executor::from_env`]).
+    ///
+    /// `b.rows()` must equal the matrix's column count. Every column of
+    /// the result is bit-identical to [`DaspMatrix::spmv`] of the same
+    /// column of `b`.
+    pub fn spmm<P: ShardableProbe>(&self, b: &DenseMat<S>, probe: &mut P) -> DenseMat<S> {
+        self.spmm_with(b, probe, &Executor::from_env())
+    }
+
+    /// [`DaspMatrix::spmm`] under an explicit executor.
+    pub fn spmm_with<P: ShardableProbe>(
+        &self,
+        b: &DenseMat<S>,
+        probe: &mut P,
+        exec: &Executor,
+    ) -> DenseMat<S> {
+        let mut y = DenseMat::zeros(self.rows, b.cols());
+        self.spmm_into_traced_with(b, &mut y, probe, &Tracer::disabled(), exec);
+        y
+    }
+
+    /// [`DaspMatrix::spmm`] with spans: records a `spmm` root span (with
+    /// `rhs_width` and panel-count args) and one child per category
+    /// kernel.
+    pub fn spmm_traced<P: ShardableProbe>(
+        &self,
+        b: &DenseMat<S>,
+        probe: &mut P,
+        tracer: &Tracer,
+    ) -> DenseMat<S> {
+        let mut y = DenseMat::zeros(self.rows, b.cols());
+        self.spmm_into_traced_with(b, &mut y, probe, tracer, &Executor::from_env());
+        y
+    }
+
+    /// Computes `Y = A B` into a caller-provided panel matrix — the
+    /// single dispatch every other SpMM entry point funnels through.
+    ///
+    /// Records a `spmm` root span plus `spmm.{long,medium,short}`
+    /// children, each carrying its probe counter delta and an `rhs_width`
+    /// arg so traces can attribute bytes-per-vector (the four short
+    /// sub-kernels share one launch and one span, as in SpMV). Panels run
+    /// outermost: every category sweeps panel 0's warps, then panel 1's,
+    /// under whichever executor is selected — `ShardableProbe` merge
+    /// semantics are identical to the SpMV kernels'.
+    pub fn spmm_into_traced_with<P: ShardableProbe>(
+        &self,
+        b: &DenseMat<S>,
+        y: &mut DenseMat<S>,
+        probe: &mut P,
+        tracer: &Tracer,
+        exec: &Executor,
+    ) {
+        assert_eq!(
+            b.rows(),
+            self.cols,
+            "B has {} rows, matrix has {} cols",
+            b.rows(),
+            self.cols
+        );
+        assert_eq!(
+            (y.rows(), y.cols()),
+            (self.rows, b.cols()),
+            "Y is {}x{}, expected {}x{}",
+            y.rows(),
+            y.cols(),
+            self.rows,
+            b.cols()
+        );
+        let width = b.cols();
+        let panels = b.num_panels();
+        let mut root = tracer.span("spmm");
+        root.add_arg("rows", self.rows);
+        root.add_arg("nnz", self.nnz);
+        root.add_arg("rhs_width", width);
+        root.add_arg("panels", panels);
+        let run_before = probe.stats_snapshot();
+        y.fill_zero();
+        if self.nnz == 0 || width == 0 {
+            root.set_stats(probe.stats_snapshot().delta(&run_before));
+            return;
+        }
+        use crate::consts::WARPS_PER_BLOCK;
+        let wpb = WARPS_PER_BLOCK as u64;
+        let y_rows = self.rows;
+        let y_slice = SharedSlice::new(y.data_mut());
+        if self.long.num_groups() > 0 {
+            let mut sp = root.child("spmm.long");
+            sp.add_arg("groups", self.long.num_groups());
+            sp.add_arg("rhs_width", width);
+            let before = probe.stats_snapshot();
+            // One launch per category, grid-strided over panels: blocks
+            // scale with the panel count, warp traffic amortizes A.
+            probe.kernel_launch(
+                (self.long.num_groups().div_ceil(WARPS_PER_BLOCK) * panels) as u64,
+                wpb,
+            );
+            spmm_long_with(&self.long, b, &y_slice, y_rows, probe, exec);
+            sp.set_stats(probe.stats_snapshot().delta(&before));
+        }
+        if !self.medium.rows.is_empty() {
+            let mut sp = root.child("spmm.medium");
+            sp.add_arg("rowblocks", self.medium.num_rowblocks());
+            sp.add_arg("rhs_width", width);
+            let before = probe.stats_snapshot();
+            let warps = self
+                .medium
+                .num_rowblocks()
+                .div_ceil(crate::consts::loop_num(self.medium.rows.len()));
+            probe.kernel_launch((warps.div_ceil(WARPS_PER_BLOCK) * panels) as u64, wpb);
+            spmm_medium_with(&self.medium, b, &y_slice, y_rows, probe, exec);
+            sp.set_stats(probe.stats_snapshot().delta(&before));
+        }
+        let short_warps = self.short.n13_warps
+            + self.short.n4_warps
+            + self.short.n22_warps
+            + short1_warps(&self.short);
+        if short_warps > 0 {
+            let mut sp = root.child("spmm.short");
+            sp.add_arg("warps", short_warps);
+            sp.add_arg("rhs_width", width);
+            let before = probe.stats_snapshot();
+            probe.kernel_launch((short_warps.div_ceil(WARPS_PER_BLOCK) * panels) as u64, wpb);
+            spmm_short13_with(&self.short, b, &y_slice, y_rows, probe, exec);
+            spmm_short4_with(&self.short, b, &y_slice, y_rows, probe, exec);
+            spmm_short22_with(&self.short, b, &y_slice, y_rows, probe, exec);
+            spmm_short1_with(&self.short, b, &y_slice, y_rows, probe, exec);
+            sp.set_stats(probe.stats_snapshot().delta(&before));
+        }
+        root.set_stats(probe.stats_snapshot().delta(&run_before));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_simt::mma::MMA_N;
+
+    #[test]
+    fn panel_width_is_the_mma_b_width() {
+        // DenseMat lives in dasp-sparse, which cannot see the MMA shape;
+        // this crate owns both sides of the contract.
+        assert_eq!(PANEL_WIDTH, MMA_N);
+        assert_eq!(MMA_M, 8);
+    }
+}

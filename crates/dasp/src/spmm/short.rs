@@ -1,0 +1,315 @@
+//! Multi-RHS short-rows kernels (1&3 piecing, 2&2 piecing, pure-4s, and
+//! the scalar leftover singletons).
+//!
+//! The piecing kernels replicate SpMV's pass structure exactly: A loads
+//! once per block (per panel), and the **B side** is masked per pass —
+//! the length-1 piece's `k` position first, then the complementary
+//! positions — so each pass's masked products (including the `a * 0`
+//! fills SpMV itself issues) reproduce the single-vector sequence per
+//! column. Each pass widens to 8 masked-A MMA issues, one per
+//! row-segment, sharing the pass accumulator.
+
+use dasp_fp16::Scalar;
+use dasp_simt::mma::{acc_zero, mma_m8n8k4, MMA_K, MMA_M};
+use dasp_simt::warp::{per_lane, WARP_SIZE};
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_sparse::{DenseMat, PANEL_WIDTH};
+
+use crate::consts::BLOCK_ELEMS;
+use crate::format::{ShortPart, NO_ROW};
+use crate::kernels::{load_idx_lane, mma_idx, short1_warps};
+use crate::spmm::{extract_rows, PanelRes};
+
+/// Runs the 1&3 short-rows SpMM under the given executor.
+pub fn spmm_short13_with<S: Scalar, P: ShardableProbe>(
+    part: &ShortPart<S>,
+    b: &DenseMat<S>,
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    probe: &mut P,
+    exec: &Executor,
+) {
+    let panels = b.num_panels();
+    exec.run(part.n13_warps * panels, probe, |wid, p| {
+        pieced_warp(
+            part,
+            b,
+            y,
+            y_rows,
+            part.n13_warps,
+            wid,
+            Piecing::OneThree,
+            p,
+        )
+    });
+}
+
+/// Runs the 2&2 short-rows SpMM under the given executor.
+pub fn spmm_short22_with<S: Scalar, P: ShardableProbe>(
+    part: &ShortPart<S>,
+    b: &DenseMat<S>,
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    probe: &mut P,
+    exec: &Executor,
+) {
+    let panels = b.num_panels();
+    exec.run(part.n22_warps * panels, probe, |wid, p| {
+        pieced_warp(part, b, y, y_rows, part.n22_warps, wid, Piecing::TwoTwo, p)
+    });
+}
+
+/// Which piecing split a pass-masked warp computes.
+#[derive(Clone, Copy)]
+enum Piecing {
+    /// 1&3: even passes take block column 0, odd passes columns 1..3.
+    OneThree,
+    /// 2&2: even passes take block columns 0..1, odd passes columns 2..3.
+    TwoTwo,
+}
+
+impl Piecing {
+    #[inline]
+    fn active(self, pass: usize, k: usize) -> bool {
+        let even = pass & 1 == 0;
+        match self {
+            Piecing::OneThree => {
+                if even {
+                    k == 0
+                } else {
+                    k != 0
+                }
+            }
+            Piecing::TwoTwo => {
+                if even {
+                    k < 2
+                } else {
+                    k >= 2
+                }
+            }
+        }
+    }
+
+    #[inline]
+    fn base(self, part_off22: usize, w: usize) -> usize {
+        match self {
+            Piecing::OneThree => w * 2 * BLOCK_ELEMS,
+            Piecing::TwoTwo => part_off22 + w * 2 * BLOCK_ELEMS,
+        }
+    }
+}
+
+/// Shared warp body of the two piecing kernels: two 8x4 blocks in four
+/// pass-masked MMA sweeps, writing 32 permuted output slots per panel.
+#[allow(clippy::too_many_arguments)]
+fn pieced_warp<S: Scalar, P: Probe>(
+    part: &ShortPart<S>,
+    b: &DenseMat<S>,
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    n_warps: usize,
+    wid: usize,
+    piecing: Piecing,
+    probe: &mut P,
+) {
+    let (panel, w) = (wid / n_warps, wid % n_warps);
+    let idx = mma_idx();
+    probe.warp_begin(wid);
+    let w_p = b.panel_width(panel);
+    let bp = b.panel(panel);
+    let mut res: PanelRes<S> = [[S::acc_zero(); PANEL_WIDTH]; WARP_SIZE];
+    let mut block_a: [S; WARP_SIZE] = [S::zero(); WARP_SIZE];
+    let mut cids: [u32; WARP_SIZE] = [0; WARP_SIZE];
+    let mut offset = piecing.base(part.off22, w);
+
+    for i in 0..4usize {
+        let mut acc = acc_zero::<S>();
+        if i & 1 == 0 {
+            // Even pass: the block's A values and ids load once per
+            // panel and stay in registers for the odd pass.
+            block_a = per_lane(|l| part.vals[offset + idx[l]]);
+            cids = load_idx_lane(&part.cids, offset, &idx);
+            probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+            probe.load_idx(BLOCK_ELEMS as u64, 4);
+        }
+        for r in 0..MMA_M {
+            let frag_a: [S; WARP_SIZE] =
+                per_lane(|l| if l >> 2 == r { block_a[l] } else { S::zero() });
+            // B-side pass mask: only the pass's piece positions gather;
+            // the rest stay zero, exactly like SpMV's masked x fragment.
+            let frag_b: [S; WARP_SIZE] = per_lane(|l| {
+                let k = l & 3;
+                if piecing.active(i, k) {
+                    bp[cids[r * MMA_K + k] as usize * PANEL_WIDTH + (l >> 2)]
+                } else {
+                    S::zero()
+                }
+            });
+            for k in 0..MMA_K {
+                if piecing.active(i, k) {
+                    let c = cids[r * MMA_K + k] as usize;
+                    for jj in 0..w_p {
+                        probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
+                    }
+                }
+            }
+            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_b);
+            probe.mma();
+        }
+        if i & 1 == 1 {
+            offset += BLOCK_ELEMS;
+        }
+        extract_rows::<S, P>(&acc, i, &mut res, probe);
+    }
+
+    let perm = match piecing {
+        Piecing::OneThree => &part.perm13,
+        Piecing::TwoTwo => &part.perm22,
+    };
+    write_permuted(perm, w, &res, w_p, panel, y, y_rows, probe);
+    probe.warp_end(wid);
+}
+
+/// Runs the length-4 short-rows SpMM under the given executor.
+pub fn spmm_short4_with<S: Scalar, P: ShardableProbe>(
+    part: &ShortPart<S>,
+    b: &DenseMat<S>,
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    probe: &mut P,
+    exec: &Executor,
+) {
+    let panels = b.num_panels();
+    exec.run(part.n4_warps * panels, probe, |wid, p| {
+        spmm_short4_warp(part, b, y, y_rows, wid, p)
+    });
+}
+
+/// Warp body: warp `wid = panel * n4_warps + w` computes four complete
+/// 8x4 blocks against every live column of its panel.
+pub fn spmm_short4_warp<S: Scalar, P: Probe>(
+    part: &ShortPart<S>,
+    b: &DenseMat<S>,
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    wid: usize,
+    probe: &mut P,
+) {
+    let (panel, w) = (wid / part.n4_warps, wid % part.n4_warps);
+    let idx = mma_idx();
+    probe.warp_begin(wid);
+    let w_p = b.panel_width(panel);
+    let bp = b.panel(panel);
+    let mut res: PanelRes<S> = [[S::acc_zero(); PANEL_WIDTH]; WARP_SIZE];
+    for i in 0..4usize {
+        let offset = part.off4 + (w * 4 + i) * BLOCK_ELEMS;
+        let mut acc = acc_zero::<S>();
+        let block_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset + idx[l]]);
+        let cids = load_idx_lane(&part.cids, offset, &idx);
+        probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
+        probe.load_idx(BLOCK_ELEMS as u64, 4);
+        for r in 0..MMA_M {
+            let frag_a: [S; WARP_SIZE] =
+                per_lane(|l| if l >> 2 == r { block_a[l] } else { S::zero() });
+            let frag_b: [S; WARP_SIZE] =
+                per_lane(|l| bp[cids[r * MMA_K + (l & 3)] as usize * PANEL_WIDTH + (l >> 2)]);
+            for k in 0..MMA_K {
+                let c = cids[r * MMA_K + k] as usize;
+                for jj in 0..w_p {
+                    probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
+                }
+            }
+            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_b);
+            probe.mma();
+        }
+        extract_rows::<S, P>(&acc, i, &mut res, probe);
+    }
+    write_permuted(&part.perm4, w, &res, w_p, panel, y, y_rows, probe);
+    probe.warp_end(wid);
+}
+
+/// Runs the scalar singleton SpMM under the given executor.
+pub fn spmm_short1_with<S: Scalar, P: ShardableProbe>(
+    part: &ShortPart<S>,
+    b: &DenseMat<S>,
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    probe: &mut P,
+    exec: &Executor,
+) {
+    let panels = b.num_panels();
+    let n_warps = short1_warps(part);
+    exec.run(n_warps * panels, probe, |wid, p| {
+        spmm_short1_warp(part, b, y, y_rows, n_warps, wid, p)
+    });
+}
+
+/// Warp body: each of the warp's 32 threads computes one singleton row's
+/// products — the row's value and index load once, then one multiply per
+/// live column.
+pub fn spmm_short1_warp<S: Scalar, P: Probe>(
+    part: &ShortPart<S>,
+    b: &DenseMat<S>,
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    n_warps: usize,
+    wid: usize,
+    probe: &mut P,
+) {
+    let (panel, w) = (wid / n_warps, wid % n_warps);
+    probe.warp_begin(wid);
+    let w_p = b.panel_width(panel);
+    let bp = b.panel(panel);
+    let live = (w + 1) * WARP_SIZE;
+    if live > part.n1 {
+        probe.divergence((live - part.n1) as u64);
+    }
+    for t in w * WARP_SIZE..live.min(part.n1) {
+        let e = part.off1 + t;
+        let c = part.cids[e] as usize;
+        probe.load_val(1, S::BYTES);
+        probe.load_idx(1, 4);
+        let row = part.perm1[t] as usize;
+        for jj in 0..w_p {
+            let v = S::mul_to_acc(part.vals[e], bp[c * PANEL_WIDTH + jj]);
+            probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
+            probe.fma(1);
+            y.write((panel * y_rows + row) * PANEL_WIDTH + jj, S::from_acc(v));
+        }
+        probe.store_y(w_p as u64, S::BYTES);
+    }
+    probe.warp_end(wid);
+}
+
+/// Write-back shared by the three MMA short kernels: permuted slots with
+/// `NO_ROW` padding predicated off.
+#[allow(clippy::too_many_arguments)]
+fn write_permuted<S: Scalar, P: Probe>(
+    perm: &[u32],
+    w: usize,
+    res: &PanelRes<S>,
+    w_p: usize,
+    panel: usize,
+    y: &SharedSlice<S>,
+    y_rows: usize,
+    probe: &mut P,
+) {
+    let mut inactive = 0u64;
+    for lane in 0..WARP_SIZE {
+        let row = perm[w * WARP_SIZE + lane];
+        if row != NO_ROW {
+            for jj in 0..w_p {
+                y.write(
+                    (panel * y_rows + row as usize) * PANEL_WIDTH + jj,
+                    S::from_acc(res[lane][jj]),
+                );
+            }
+            probe.store_y(w_p as u64, S::BYTES);
+        } else {
+            inactive += 1;
+        }
+    }
+    if inactive > 0 {
+        probe.divergence(inactive);
+    }
+}

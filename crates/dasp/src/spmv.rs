@@ -212,11 +212,20 @@ impl<S: Scalar> DaspMatrix<S> {
     }
 
     /// Computes `Y = A X` for several right-hand sides (column-major:
-    /// `xs[j]` is the j-th input vector). Each column runs the full kernel
-    /// pipeline straight into its output column — no intermediate buffer
-    /// per column; the converted format is reused across columns, which is
-    /// the batching story the paper's preprocessing amortization implies.
+    /// `xs[j]` is the j-th input vector). Batches of two or more columns
+    /// route through the SpMM kernels ([`DaspMatrix::spmm`]): the columns
+    /// pack into [`dasp_sparse::DenseMat`] panels so each A fragment and
+    /// its index bytes stream once per 8 vectors instead of once per
+    /// vector. Every output column is bit-identical to the single-vector
+    /// [`DaspMatrix::spmv`] of that column, so callers observe the loop
+    /// semantics at panel traffic cost. Single-column (and empty) batches
+    /// fall back to the plain SpMV path.
     pub fn spmv_batch<P: ShardableProbe>(&self, xs: &[Vec<S>], probe: &mut P) -> Vec<Vec<S>> {
+        if xs.len() >= 2 {
+            let b = dasp_sparse::DenseMat::from_columns(xs);
+            let y = self.spmm(&b, probe);
+            return (0..xs.len()).map(|j| y.column(j)).collect();
+        }
         let mut out: Vec<Vec<S>> = xs.iter().map(|_| vec![S::zero(); self.rows]).collect();
         for (x, y) in xs.iter().zip(out.iter_mut()) {
             self.spmv_into(x, y, probe);
@@ -224,21 +233,28 @@ impl<S: Scalar> DaspMatrix<S> {
         out
     }
 
-    /// [`DaspMatrix::spmv_batch`] with the *columns* fanned out over a
-    /// [`ParExecutor`] — one "warp" per right-hand side, each computing
-    /// its column sequentially into a disjoint output slot. Per-column
-    /// probe shards merge in column order, so order-independent counters
-    /// equal [`DaspMatrix::spmv_batch`]'s exactly.
+    /// [`DaspMatrix::spmv_batch`] under an explicit [`ParExecutor`].
+    /// Batches of two or more columns run the SpMM kernels with the panel
+    /// *warps* fanned out over the executor's threads (probe shards merge
+    /// in chunk order, so order-independent counters equal
+    /// [`DaspMatrix::spmv_batch`]'s exactly and every output column stays
+    /// bit-identical to its single-vector SpMV). A single column fans out
+    /// the one column's own kernel warps.
     ///
-    /// `par.seq_threshold()` applies to the *column* count here; use
-    /// [`ParExecutor::with_seq_threshold`]`(0)` to force threading even
-    /// for a handful of columns.
+    /// `par.seq_threshold()` applies to the warp count of each kernel;
+    /// use [`ParExecutor::with_seq_threshold`]`(0)` to force threading
+    /// even for tiny grids.
     pub fn spmv_batch_par<P: ShardableProbe>(
         &self,
         xs: &[Vec<S>],
         probe: &mut P,
         par: &ParExecutor,
     ) -> Vec<Vec<S>> {
+        if xs.len() >= 2 {
+            let b = dasp_sparse::DenseMat::from_columns(xs);
+            let y = self.spmm_with(&b, probe, &Executor::Par(*par));
+            return (0..xs.len()).map(|j| y.column(j)).collect();
+        }
         // Slots start as empty (non-allocating) vectors: SharedSlice::write
         // replaces without dropping, so the placeholder must own nothing.
         let mut out: Vec<Vec<S>> = xs.iter().map(|_| Vec::new()).collect();

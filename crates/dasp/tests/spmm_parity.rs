@@ -1,0 +1,232 @@
+//! The SpMM contract, end to end: for any matrix, any precision, and any
+//! batch width, every column of `spmm(B)` must be **bit-identical** to
+//! `spmv` of the same column of B — the masked-A segment scheme only ever
+//! adds `±0.0` to the single-vector FMA chains — under both executors,
+//! with the padding columns of the last panel contributing nothing. On
+//! top of the value contract, the A-side traffic (`bytes_val +
+//! bytes_idx`) per right-hand side must strictly decrease as the width
+//! grows towards the 8-column panel.
+
+use dasp_core::DaspMatrix;
+use dasp_fp16::{Scalar, F16};
+use dasp_simt::{CountingProbe, Executor, NoProbe, ParExecutor};
+use dasp_sparse::{Coo, Csr, DenseMat, PANEL_WIDTH};
+use proptest::prelude::*;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A parallel executor that always threads, even on tiny grids.
+fn forced_par() -> Executor {
+    Executor::Par(
+        ParExecutor::new()
+            .with_threads(Some(4))
+            .with_seq_threshold(0),
+    )
+}
+
+/// Random matrix with a steerable short/medium/long row-length mix, so
+/// the inputs cover every DASP category combination.
+fn random_matrix(
+    rows: usize,
+    cols: usize,
+    short_w: u32,
+    medium_w: u32,
+    long_w: u32,
+    seed: u64,
+) -> Csr<f64> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut coo = Coo::new(rows, cols);
+    let total = (short_w + medium_w + long_w).max(1);
+    for r in 0..rows {
+        let dice = rng.gen_range(0..total);
+        let len = if dice < short_w {
+            rng.gen_range(0..=4usize) // includes empty rows
+        } else if dice < short_w + medium_w {
+            rng.gen_range(5..=256usize)
+        } else {
+            rng.gen_range(257..=600usize)
+        };
+        let len = len.min(cols);
+        let mut cs: Vec<usize> = Vec::with_capacity(len);
+        while cs.len() < len {
+            let c = rng.gen_range(0..cols);
+            if !cs.contains(&c) {
+                cs.push(c);
+            }
+        }
+        for c in cs {
+            coo.push(r, c, rng.gen_range(-1.0..1.0));
+        }
+    }
+    coo.to_csr()
+}
+
+/// Random width-`w` RHS panel at precision `S`.
+fn random_rhs<S: Scalar>(cols: usize, width: usize, seed: u64) -> DenseMat<S> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let columns: Vec<Vec<S>> = (0..width)
+        .map(|_| {
+            (0..cols)
+                .map(|_| S::from_f64(rng.gen_range(-1.0..1.0)))
+                .collect()
+        })
+        .collect();
+    DenseMat::from_columns(&columns)
+}
+
+/// Column-slicing parity at precision `S`: every column of the SpMM
+/// result equals the single-vector SpMV bit for bit, under the given
+/// executor.
+fn assert_column_slicing<S: Scalar>(csr: &Csr<S>, width: usize, seed: u64, exec: &Executor) {
+    let d = DaspMatrix::from_csr(csr);
+    let b = random_rhs::<S>(csr.cols, width, seed);
+    let y = d.spmm_with(&b, &mut NoProbe, exec);
+    assert_eq!((y.rows(), y.cols()), (csr.rows, width));
+    for j in 0..width {
+        let col_in = b.column(j);
+        let want = d.spmv_with(&col_in, &mut NoProbe, &Executor::seq());
+        let got = y.column(j);
+        for r in 0..csr.rows {
+            assert_eq!(
+                got[r].to_f64().to_bits(),
+                want[r].to_f64().to_bits(),
+                "width {width} column {j} row {r}: spmm {} != spmv {}",
+                got[r].to_f64(),
+                want[r].to_f64()
+            );
+        }
+    }
+    // Padding columns of the last panel contribute nothing: the output's
+    // padded slots are never written and stay exactly zero.
+    for (i, v) in y.data().iter().enumerate() {
+        let jj = i % PANEL_WIDTH;
+        let p = i / (y.rows().max(1) * PANEL_WIDTH);
+        if p * PANEL_WIDTH + jj >= width {
+            assert_eq!(v.to_f64().to_bits(), 0, "padding slot {i} was written");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The headline satellite: widths 1..=20 (partial panel, exact
+    /// panels, multiple panels), all three precisions, sequential
+    /// executor.
+    #[test]
+    fn spmm_columns_match_spmv_bitwise(
+        seed in 0u64..1000,
+        width in 1usize..=20,
+        short_w in 0u32..4,
+        medium_w in 0u32..4,
+        long_w in 0u32..2,
+    ) {
+        let csr = random_matrix(60, 90, short_w, medium_w, long_w, seed);
+        assert_column_slicing::<f64>(&csr, width, seed ^ 1, &Executor::seq());
+        assert_column_slicing::<f32>(&csr.cast(), width, seed ^ 2, &Executor::seq());
+        assert_column_slicing::<F16>(&csr.cast(), width, seed ^ 3, &Executor::seq());
+    }
+
+    /// Same contract under a forced-sharding parallel executor, plus
+    /// counter parity: merged order-independent counters equal the
+    /// sequential run's.
+    #[test]
+    fn spmm_parallel_matches_sequential(
+        seed in 0u64..1000,
+        width in 1usize..=12,
+    ) {
+        let csr = random_matrix(50, 70, 2, 2, 1, seed);
+        assert_column_slicing::<f64>(&csr, width, seed ^ 4, &forced_par());
+
+        let d = DaspMatrix::from_csr(&csr);
+        let b = random_rhs::<f64>(csr.cols, width, seed ^ 4);
+        let mut p_seq = CountingProbe::a100();
+        let y_seq = d.spmm_with(&b, &mut p_seq, &Executor::seq());
+        let mut p_par = CountingProbe::a100();
+        let y_par = d.spmm_with(&b, &mut p_par, &forced_par());
+        prop_assert_eq!(y_seq.data(), y_par.data());
+        prop_assert_eq!(
+            p_seq.stats().order_independent(),
+            p_par.stats().order_independent()
+        );
+    }
+}
+
+/// The tentpole's traffic claim, as a hard invariant: A-side bytes
+/// (values + indices) per right-hand side strictly decrease as the width
+/// grows 1 -> 8, while MMA issues and B-side gathers stay exactly at the
+/// looped-SpMV totals.
+#[test]
+fn a_traffic_per_rhs_strictly_decreases_to_panel_width() {
+    let csr = random_matrix(80, 120, 3, 3, 1, 7);
+    let d = DaspMatrix::from_csr(&csr);
+
+    let mut spmv_probe = CountingProbe::a100();
+    let x = random_rhs::<f64>(csr.cols, 1, 99).column(0);
+    d.spmv_with(&x, &mut spmv_probe, &Executor::seq());
+    let spmv_stats = spmv_probe.stats();
+
+    let mut last_per_rhs = f64::INFINITY;
+    for width in 1..=PANEL_WIDTH {
+        let b = random_rhs::<f64>(csr.cols, width, 99);
+        let mut probe = CountingProbe::a100();
+        d.spmm_with(&b, &mut probe, &Executor::seq());
+        let s = probe.stats();
+        // One panel sweep streams A exactly once, independent of width.
+        assert_eq!(s.bytes_val, spmv_stats.bytes_val, "width {width}");
+        assert_eq!(s.bytes_idx, spmv_stats.bytes_idx, "width {width}");
+        // MMA issues are per-panel constant: 8 masked-segment issues per
+        // block, whatever the live width — equal to looped SpMV at the
+        // full 8-column panel, paid in full by partial panels (as the
+        // hardware would). B gathers scale exactly with the live width.
+        assert_eq!(
+            s.mma_ops,
+            spmv_stats.mma_ops * PANEL_WIDTH as u64,
+            "width {width}"
+        );
+        assert_eq!(
+            s.x_requests,
+            spmv_stats.x_requests * width as u64,
+            "width {width}"
+        );
+        let per_rhs = (s.bytes_val + s.bytes_idx) as f64 / width as f64;
+        assert!(
+            per_rhs < last_per_rhs,
+            "A+idx bytes per RHS must strictly decrease: width {width} gives {per_rhs}, previous {last_per_rhs}"
+        );
+        last_per_rhs = per_rhs;
+    }
+}
+
+/// Multi-panel widths stream A once per panel: width 16 costs exactly
+/// twice the A bytes of width 8, still 8x better per RHS than looping.
+#[test]
+fn multi_panel_widths_stream_a_once_per_panel() {
+    let csr = random_matrix(60, 80, 3, 2, 1, 11);
+    let d = DaspMatrix::from_csr(&csr);
+    let stats_at = |width: usize| {
+        let b = random_rhs::<f64>(csr.cols, width, 5);
+        let mut probe = CountingProbe::a100();
+        d.spmm_with(&b, &mut probe, &Executor::seq());
+        probe.stats()
+    };
+    let s8 = stats_at(8);
+    let s16 = stats_at(16);
+    assert_eq!(s16.bytes_val, 2 * s8.bytes_val);
+    assert_eq!(s16.bytes_idx, 2 * s8.bytes_idx);
+    assert_eq!(s16.mma_ops, 2 * s8.mma_ops);
+}
+
+/// Degenerate shapes: zero-width B, empty matrix.
+#[test]
+fn degenerate_shapes() {
+    let csr = random_matrix(20, 30, 2, 1, 0, 3);
+    let d = DaspMatrix::from_csr(&csr);
+    let y = d.spmm_with(&DenseMat::zeros(30, 0), &mut NoProbe, &Executor::seq());
+    assert_eq!((y.rows(), y.cols()), (20, 0));
+
+    let empty = Coo::<f64>::new(4, 5).to_csr();
+    let de = DaspMatrix::from_csr(&empty);
+    let y = de.spmm_with(&random_rhs::<f64>(5, 3, 1), &mut NoProbe, &Executor::seq());
+    assert!(y.data().iter().all(|v| v.to_bits() == 0));
+}

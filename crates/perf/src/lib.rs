@@ -46,6 +46,7 @@ pub use estimate::{estimate, Estimate};
 pub use metrics::{effective_bandwidth_gbs, gflops};
 pub use report::{geomean, speedup_summary, SpeedupSummary};
 pub use runner::{
-    measure, measure_traced, measure_traced_with, measure_with, record_measurement, Measurement,
-    MethodKind,
+    measure, measure_looped_spmv, measure_looped_spmv_with, measure_spmm, measure_spmm_with,
+    measure_traced, measure_traced_with, measure_with, record_measurement, record_spmm_measurement,
+    Measurement, MethodKind, SpmmMeasurement,
 };

@@ -1,10 +1,10 @@
 //! One-stop measurement: run any method on a matrix and estimate its time.
 
-use dasp_baselines::{Baseline, BsrSpmv};
+use dasp_baselines::{Baseline, BsrSpmv, CsrScalar};
 use dasp_core::DaspMatrix;
 use dasp_fp16::Scalar;
 use dasp_simt::{CountingProbe, Executor, KernelStats};
-use dasp_sparse::Csr;
+use dasp_sparse::{Csr, DenseMat};
 use dasp_trace::{Registry, Tracer};
 
 use crate::device::{DeviceModel, Precision};
@@ -256,6 +256,140 @@ pub fn measure_traced_with<S: Scalar>(
     }
 }
 
+/// The outcome of measuring one multi-RHS product (`Y = A B`) on one
+/// matrix on one device — either a true SpMM sweep or the looped-SpMV
+/// baseline it is compared against.
+#[derive(Debug, Clone)]
+pub struct SpmmMeasurement {
+    /// Method measured.
+    pub method: MethodKind,
+    /// Number of right-hand sides (columns of B).
+    pub rhs_width: usize,
+    /// Whether this is the looped single-vector baseline (one full SpMV
+    /// per column) rather than a panel-at-a-time SpMM.
+    pub looped: bool,
+    /// Raw traffic/instruction counters, summed over the whole product.
+    pub stats: KernelStats,
+    /// Roofline estimate with attribution.
+    pub estimate: Estimate,
+    /// Throughput in GFlops (`2 nnz rhs_width / t`).
+    pub gflops: f64,
+    /// A-side traffic (values + column indices) divided by `rhs_width` —
+    /// the amortization headline: for SpMM this shrinks towards 1/8 of
+    /// the looped baseline's as the width approaches the panel.
+    pub a_idx_bytes_per_rhs: f64,
+    /// `Y` columns converted to f64, for verification.
+    pub y: Vec<Vec<f64>>,
+}
+
+fn package_spmm<S: Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    looped: bool,
+    stats: KernelStats,
+    y: Vec<Vec<f64>>,
+    dev: &DeviceModel,
+) -> SpmmMeasurement {
+    let width = y.len();
+    let est = estimate(&stats, dev, precision_of::<S>());
+    SpmmMeasurement {
+        method,
+        rhs_width: width,
+        looped,
+        a_idx_bytes_per_rhs: (stats.bytes_val + stats.bytes_idx) as f64 / (width.max(1)) as f64,
+        gflops: gflops(csr.nnz() * width, est.seconds),
+        estimate: est,
+        stats,
+        y,
+    }
+}
+
+/// Measures `Y = A B` with the panel-at-a-time SpMM kernels under a
+/// counting probe with `dev`'s L2 model. Supported methods: [`MethodKind::Dasp`]
+/// (the multi-RHS MMA kernels) and [`MethodKind::CsrScalar`] (the scalar
+/// reference SpMM). The executor comes from the environment.
+pub fn measure_spmm<S: Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    b: &DenseMat<S>,
+    dev: &DeviceModel,
+) -> SpmmMeasurement {
+    measure_spmm_with(method, csr, b, dev, &Executor::from_env())
+}
+
+/// [`measure_spmm`] under an explicit executor.
+pub fn measure_spmm_with<S: Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    b: &DenseMat<S>,
+    dev: &DeviceModel,
+    exec: &Executor,
+) -> SpmmMeasurement {
+    let mut probe = CountingProbe::new(dev.l2_cache());
+    let y = match method {
+        MethodKind::Dasp => DaspMatrix::from_csr(csr).spmm_with(b, &mut probe, exec),
+        MethodKind::CsrScalar => CsrScalar::new(csr).spmm_with(b, &mut probe, exec),
+        _ => panic!("no SpMM kernel for method {}", method.name()),
+    };
+    let cols = (0..b.cols())
+        .map(|j| y.column(j).iter().map(|v| v.to_f64()).collect())
+        .collect();
+    package_spmm(method, csr, false, probe.stats(), cols, dev)
+}
+
+/// Measures the looped-SpMV baseline for the same product: one full
+/// single-vector SpMV per column of `b`, counters summed across the loop
+/// (A and its indices re-stream once per column — the traffic SpMM
+/// amortizes away). Any [`MethodKind`] with an SpMV kernel works.
+pub fn measure_looped_spmv<S: Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    b: &DenseMat<S>,
+    dev: &DeviceModel,
+) -> SpmmMeasurement {
+    measure_looped_spmv_with(method, csr, b, dev, &Executor::from_env())
+}
+
+/// [`measure_looped_spmv`] under an explicit executor.
+pub fn measure_looped_spmv_with<S: Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    b: &DenseMat<S>,
+    dev: &DeviceModel,
+    exec: &Executor,
+) -> SpmmMeasurement {
+    let mut stats = KernelStats::default();
+    let mut cols = Vec::with_capacity(b.cols());
+    for j in 0..b.cols() {
+        // Fresh probe per column: consecutive kernels do not share an
+        // x-cache on hardware either (the vector changes every launch).
+        let m = measure_with(method, csr, &b.column(j), dev, exec);
+        stats.merge(&m.stats);
+        cols.push(m.y);
+    }
+    package_spmm(method, csr, true, stats, cols, dev)
+}
+
+/// Records one SpMM measurement into `registry` under
+/// `spmm.<method>.rhs<width>.*` (or `spmv-looped.<method>.rhs<width>.*`
+/// for the looped baseline) — the width rides in the metric name as a
+/// dimension, so a metrics dump lines the amortization curve up without
+/// joining against anything else. `a_idx_bytes_per_rhs` is the
+/// bytes-per-vector gauge the ext2 experiment plots.
+pub fn record_spmm_measurement(m: &SpmmMeasurement, registry: &Registry) {
+    let family = if m.looped { "spmv-looped" } else { "spmm" };
+    let p = format!("{family}.{}.rhs{}", m.method.name(), m.rhs_width);
+    let s = &m.stats;
+    registry.gauge_set(&format!("{p}.seconds"), m.estimate.seconds);
+    registry.gauge_set(&format!("{p}.gflops"), m.gflops);
+    registry.gauge_set(&format!("{p}.a_idx_bytes_per_rhs"), m.a_idx_bytes_per_rhs);
+    registry.counter_add(&format!("{p}.dram_bytes"), s.dram_bytes());
+    registry.counter_add(&format!("{p}.bytes_val"), s.bytes_val);
+    registry.counter_add(&format!("{p}.bytes_idx"), s.bytes_idx);
+    registry.counter_add(&format!("{p}.mma_ops"), s.mma_ops);
+    registry.counter_add(&format!("{p}.fma_ops"), s.fma_ops);
+}
+
 /// Records one measurement's headline metrics into `registry` under
 /// `spmv.<method>.*`: the x-cache hit rate gauge the paper's RANDOM
 /// ACCESS analysis turns on, plus time, throughput, and DRAM traffic.
@@ -319,6 +453,55 @@ mod tests {
         verify(&m, &blocked, &x);
         // Fill-adjusted traffic should be close to the nominal CSR volume.
         assert!(m.stats.bytes_val <= 2 * blocked.nnz() as u64 * 8);
+    }
+
+    #[test]
+    fn spmm_amortizes_a_traffic_and_beats_looped_spmv() {
+        let csr = dasp_matgen::banded(2000, 32, 24, 9);
+        let cols: Vec<Vec<f64>> = (0..8)
+            .map(|j| dasp_matgen::dense_vector(csr.cols, 10 + j))
+            .collect();
+        let b = DenseMat::from_columns(&cols);
+        let dev = a100();
+        let exec = Executor::seq();
+        let spmm = measure_spmm_with(MethodKind::Dasp, &csr, &b, &dev, &exec);
+        let looped = measure_looped_spmv_with(MethodKind::Dasp, &csr, &b, &dev, &exec);
+        // Same values, column for column, bit for bit.
+        assert_eq!(spmm.y, looped.y);
+        // A+index traffic amortizes 8x across the panel...
+        assert_eq!(spmm.stats.bytes_val * 8, looped.stats.bytes_val);
+        assert_eq!(spmm.stats.bytes_idx * 8, looped.stats.bytes_idx);
+        assert!(spmm.a_idx_bytes_per_rhs < looped.a_idx_bytes_per_rhs);
+        // ...which the roofline estimate must show.
+        assert!(
+            spmm.estimate.seconds < looped.estimate.seconds,
+            "spmm {} vs looped {}",
+            spmm.estimate.seconds,
+            looped.estimate.seconds
+        );
+        assert!(spmm.gflops > looped.gflops);
+    }
+
+    #[test]
+    fn spmm_metrics_carry_the_width_dimension() {
+        let csr = dasp_matgen::banded(300, 12, 8, 2);
+        let cols: Vec<Vec<f64>> = (0..4)
+            .map(|j| dasp_matgen::dense_vector(csr.cols, 20 + j))
+            .collect();
+        let b = DenseMat::from_columns(&cols);
+        let registry = dasp_trace::Registry::default();
+        let m = measure_spmm_with(MethodKind::Dasp, &csr, &b, &a100(), &Executor::seq());
+        record_spmm_measurement(&m, &registry);
+        let l = measure_looped_spmv_with(MethodKind::Dasp, &csr, &b, &a100(), &Executor::seq());
+        record_spmm_measurement(&l, &registry);
+        let spmm_per_rhs = registry
+            .gauge("spmm.dasp.rhs4.a_idx_bytes_per_rhs")
+            .expect("spmm gauge carries the width dimension");
+        let looped_per_rhs = registry
+            .gauge("spmv-looped.dasp.rhs4.a_idx_bytes_per_rhs")
+            .expect("looped gauge carries the width dimension");
+        assert!(spmm_per_rhs < looped_per_rhs);
+        assert!(registry.counter("spmm.dasp.rhs4.mma_ops").is_some());
     }
 
     #[test]

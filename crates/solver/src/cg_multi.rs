@@ -1,0 +1,259 @@
+//! Block conjugate gradients: many right-hand sides, one A-sweep per
+//! iteration.
+//!
+//! [`cg_multi`] runs `k` independent CG recurrences in lockstep, batching
+//! the per-iteration `A p` products through
+//! [`LinearOperator::apply_multi`] — with a DASP operator that is the
+//! SpMM path, so A and its index bytes stream once per 8 systems instead
+//! of once per system. The recurrences themselves are *not* coupled (no
+//! shared Krylov space): because `apply_multi` columns are bit-identical
+//! to lone `apply` calls, every system follows **exactly** the trajectory
+//! plain [`crate::cg`] would take, converges at the same iteration with a
+//! bit-identical solution, and a hard system cannot poison an easy one.
+//!
+//! Systems freeze as they finish (converge, break down, or hit the cap):
+//! their state stops updating, but their last direction vector keeps
+//! riding in the batch so the sweep shape stays fixed — the marginal cost
+//! of a frozen column is one B-panel gather, not an A re-stream.
+
+use crate::op::LinearOperator;
+use crate::{axpy, dot, norm, CgOptions, Solution, SolveError};
+
+/// One system's live state inside the lockstep loop.
+struct SystemState {
+    x: Vec<f64>,
+    r: Vec<f64>,
+    p: Vec<f64>,
+    rz: f64,
+    b_norm: f64,
+    history: Vec<f64>,
+    done: Option<Result<Solution, SolveError>>,
+}
+
+/// Solves `A x_j = b_j` for every right-hand side in `bs` with plain CG
+/// (starting from zero), batching the matrix products across systems.
+///
+/// Returns one [`Result`] per right-hand side, in order. Each entry is
+/// bit-identical to what `cg(a, &bs[j], opts)` returns — iterations,
+/// solution bits, history, and error classification included.
+pub fn cg_multi<Op: LinearOperator>(
+    a: &Op,
+    bs: &[Vec<f64>],
+    opts: CgOptions,
+) -> Vec<Result<Solution, SolveError>> {
+    let n = a.rows();
+    if a.cols() != n {
+        let err = || {
+            Err(SolveError::Shape(format!(
+                "CG needs a square operator, got {}x{}",
+                n,
+                a.cols()
+            )))
+        };
+        return bs.iter().map(|_| err()).collect();
+    }
+
+    let mut systems: Vec<SystemState> = bs
+        .iter()
+        .map(|b| {
+            let mut s = SystemState {
+                x: vec![0.0; n],
+                r: Vec::new(),
+                p: Vec::new(),
+                rz: 0.0,
+                b_norm: 0.0,
+                history: Vec::new(),
+                done: None,
+            };
+            if b.len() != n {
+                s.done = Some(Err(SolveError::Shape(format!(
+                    "b has length {}, operator has {n} rows",
+                    b.len()
+                ))));
+                // Placeholder column so the batch keeps its shape.
+                s.p = vec![0.0; n];
+                return s;
+            }
+            s.b_norm = norm(b);
+            if s.b_norm == 0.0 {
+                s.done = Some(Ok(Solution {
+                    x: vec![0.0; n],
+                    iterations: 0,
+                    rel_residual: 0.0,
+                    history: Vec::new(),
+                }));
+                s.p = vec![0.0; n];
+                return s;
+            }
+            // Plain CG from zero: r = b, z = r, p = z, rz = r.z — the
+            // same initialization (and FP order) as `cg`.
+            s.r = b.clone();
+            s.p = b.clone();
+            s.rz = dot(&s.r, &s.r);
+            s
+        })
+        .collect();
+
+    let mut aps = vec![vec![0.0; n]; systems.len()];
+    let ps: Vec<Vec<f64>> = systems.iter().map(|s| s.p.clone()).collect();
+    let mut ps = ps;
+
+    for k in 1..=opts.max_iters {
+        if systems.iter().all(|s| s.done.is_some()) {
+            break;
+        }
+        // One batched sweep computes every system's A p — frozen columns
+        // ride along so the panel shape (and the A amortization) is
+        // stable across iterations.
+        a.apply_multi(&ps, &mut aps);
+        for (i, s) in systems.iter_mut().enumerate() {
+            if s.done.is_some() {
+                continue;
+            }
+            let ap = &aps[i];
+            let pap = dot(&s.p, ap);
+            if pap <= 0.0 {
+                s.done = Some(Err(SolveError::Breakdown(
+                    "p^T A p <= 0 (operator not SPD?)",
+                )));
+                continue;
+            }
+            let alpha = s.rz / pap;
+            axpy(alpha, &s.p, &mut s.x);
+            axpy(-alpha, ap, &mut s.r);
+            let rel = norm(&s.r) / s.b_norm;
+            s.history.push(rel);
+            if rel <= opts.tol {
+                s.done = Some(Ok(Solution {
+                    x: std::mem::take(&mut s.x),
+                    iterations: k,
+                    rel_residual: rel,
+                    history: std::mem::take(&mut s.history),
+                }));
+                continue;
+            }
+            let rz_new = dot(&s.r, &s.r);
+            let beta = rz_new / s.rz;
+            s.rz = rz_new;
+            for j in 0..n {
+                s.p[j] = s.r[j] + beta * s.p[j];
+            }
+            ps[i].copy_from_slice(&s.p);
+        }
+    }
+
+    systems
+        .into_iter()
+        .map(|s| match s.done {
+            Some(res) => res,
+            None => {
+                let rel = *s.history.last().unwrap_or(&1.0);
+                Err(SolveError::MaxIterations {
+                    x: s.x,
+                    rel_residual: rel,
+                })
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cg;
+    use dasp_core::DaspMatrix;
+    use dasp_sparse::{Coo, Csr};
+
+    fn laplacian1d(n: usize) -> Csr<f64> {
+        let mut a = Coo::new(n, n);
+        for i in 0..n {
+            a.push(i, i, 2.0);
+            if i > 0 {
+                a.push(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                a.push(i, i + 1, -1.0);
+            }
+        }
+        a.to_csr()
+    }
+
+    #[test]
+    fn every_system_matches_solo_cg_bitwise() {
+        let n = 120;
+        let csr = laplacian1d(n);
+        let d = DaspMatrix::from_csr(&csr);
+        let bs: Vec<Vec<f64>> = (0..6)
+            .map(|j| (0..n).map(|i| ((i * (j + 3)) % 11) as f64 - 5.0).collect())
+            .collect();
+        let multi = cg_multi(&d, &bs, CgOptions::default());
+        assert_eq!(multi.len(), bs.len());
+        for (j, res) in multi.iter().enumerate() {
+            let solo = cg(&d, &bs[j], CgOptions::default()).expect("spd converges");
+            let got = res.as_ref().expect("spd converges");
+            assert_eq!(got.iterations, solo.iterations, "system {j}");
+            assert_eq!(got.history, solo.history, "system {j}");
+            for i in 0..n {
+                assert_eq!(
+                    got.x[i].to_bits(),
+                    solo.x[i].to_bits(),
+                    "system {j} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_fates_freeze_independently() {
+        // System 0: zero rhs (instant). System 1: normal. System 2: wrong
+        // length (shape error). All in one batch.
+        let n = 40;
+        let csr = laplacian1d(n);
+        let d = DaspMatrix::from_csr(&csr);
+        let bs = vec![
+            vec![0.0; n],
+            (0..n).map(|i| (i % 5) as f64 + 1.0).collect(),
+            vec![1.0; n + 1],
+        ];
+        let res = cg_multi(&d, &bs, CgOptions::default());
+        assert_eq!(res[0].as_ref().unwrap().iterations, 0);
+        assert!(res[1].as_ref().unwrap().rel_residual <= 1e-10);
+        assert!(matches!(res[2], Err(SolveError::Shape(_))));
+    }
+
+    #[test]
+    fn iteration_cap_reports_every_unfinished_system() {
+        let n = 300;
+        let csr = laplacian1d(n);
+        let bs = vec![vec![1.0; n], vec![2.0; n]];
+        let res = cg_multi(
+            &csr,
+            &bs,
+            CgOptions {
+                tol: 1e-14,
+                max_iters: 3,
+            },
+        );
+        for r in res {
+            match r {
+                Err(SolveError::MaxIterations { x, rel_residual }) => {
+                    assert_eq!(x.len(), n);
+                    assert!(rel_residual.is_finite() && rel_residual > 0.0);
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn non_square_operator_errors_every_slot() {
+        let mut a = Coo::<f64>::new(3, 4);
+        a.push(0, 0, 1.0);
+        let res = cg_multi(
+            &a.to_csr(),
+            &[vec![1.0; 3], vec![2.0; 3]],
+            CgOptions::default(),
+        );
+        assert!(res.iter().all(|r| matches!(r, Err(SolveError::Shape(_)))));
+    }
+}

@@ -10,6 +10,11 @@
 //!   simple wrappers ([`op::Shifted`], [`op::Scaled`]).
 //! * [`cg`] / [`cg_preconditioned`] — conjugate gradients for SPD
 //!   systems, optionally Jacobi preconditioned.
+//! * [`cg_multi()`] — block CG: many right-hand sides solved in lockstep,
+//!   batching every iteration's `A p` products through
+//!   [`LinearOperator::apply_multi`] (DASP's SpMM path — A streams once
+//!   per 8 systems), with each system's trajectory bit-identical to
+//!   [`cg`]'s.
 //! * [`bicgstab`] — BiCGSTAB for general nonsymmetric systems.
 //! * [`power_iteration`] — power iteration for the dominant eigenpair.
 //! * [`cg_metered`] / [`bicgstab_metered`] — the same solvers with
@@ -42,12 +47,14 @@
 
 mod bicgstab;
 mod cg;
+pub mod cg_multi;
 pub mod metrics;
 pub mod op;
 mod power;
 
 pub use bicgstab::{bicgstab, BiCgOptions};
 pub use cg::{cg, cg_preconditioned, CgOptions};
+pub use cg_multi::cg_multi;
 pub use metrics::{bicgstab_metered, cg_metered, Metered};
 pub use op::{JacobiPreconditioner, LinearOperator};
 pub use power::{power_iteration, PowerOptions, PowerResult};

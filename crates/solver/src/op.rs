@@ -4,7 +4,7 @@
 
 use dasp_core::{DaspMatrix, RefreshError};
 use dasp_simt::{Executor, NoProbe};
-use dasp_sparse::Csr;
+use dasp_sparse::{Csr, DenseMat};
 
 use crate::SolveError;
 
@@ -16,6 +16,22 @@ pub trait LinearOperator {
     fn cols(&self) -> usize;
     /// Computes `y = A x`. `x.len() == cols()`, `y.len() == rows()`.
     fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Computes `ys[j] = A xs[j]` for a batch of vectors. Every column of
+    /// the result must be **bit-identical** to a lone [`apply`] of the
+    /// same column — block solvers ([`crate::cg_multi()`]) rely on that to
+    /// converge in exactly the per-system trajectories.
+    ///
+    /// The default loops [`apply`]; operators with a multi-RHS kernel
+    /// (DASP's SpMM) override it to amortize A traffic across the batch.
+    ///
+    /// [`apply`]: LinearOperator::apply
+    fn apply_multi(&self, xs: &[Vec<f64>], ys: &mut [Vec<f64>]) {
+        assert_eq!(xs.len(), ys.len(), "batch width mismatch");
+        for (x, y) in xs.iter().zip(ys.iter_mut()) {
+            self.apply(x, y);
+        }
+    }
 
     /// Replaces the operator's nonzero values in place, keeping the
     /// sparsity pattern — the analysis/execute split's O(nnz) path for
@@ -76,6 +92,31 @@ impl LinearOperator for DaspMatrix<f64> {
         };
         self.spmv_into_with(x, y, &mut NoProbe, &exec);
     }
+    fn apply_multi(&self, xs: &[Vec<f64>], ys: &mut [Vec<f64>]) {
+        assert_eq!(xs.len(), ys.len(), "batch width mismatch");
+        if xs.len() < 2 {
+            for (x, y) in xs.iter().zip(ys.iter_mut()) {
+                self.apply(x, y);
+            }
+            return;
+        }
+        // Two or more right-hand sides go through the SpMM kernels: the
+        // batch packs into DenseMat panels so A and its indices stream
+        // once per 8 vectors. Each output column is bit-identical to
+        // `apply` of the same input column (the SpMM contract), so block
+        // solvers see exactly the single-system trajectories.
+        let b = DenseMat::from_columns(xs);
+        let exec = if self.nnz > 100_000 {
+            Executor::par()
+        } else {
+            Executor::seq()
+        };
+        let y = self.spmm_with(&b, &mut NoProbe, &exec);
+        for (j, out) in ys.iter_mut().enumerate() {
+            out.copy_from_slice(&y.column(j));
+        }
+    }
+
     fn refresh_values(&mut self, new_vals: &[f64]) -> Result<(), SolveError> {
         // O(nnz) scatter through the attached DaspPlan — requires the
         // matrix to have been built via `DaspPlan::fill` (or
@@ -198,6 +239,39 @@ mod tests {
         csr.apply(&x, &mut y1);
         d.apply(&x, &mut y2);
         assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn apply_multi_is_bitwise_columnwise_apply() {
+        // Large enough to exercise every DASP category a little.
+        let mut a = Coo::new(80, 80);
+        for r in 0..80usize {
+            for k in 0..(r % 9) {
+                a.push(r, (r * 3 + k * 7) % 80, (r + k) as f64 * 0.21 - 4.0);
+            }
+        }
+        let csr = a.to_csr();
+        let d = DaspMatrix::from_csr(&csr);
+        let xs: Vec<Vec<f64>> = (0..5)
+            .map(|j| (0..80).map(|i| ((i * (j + 2)) % 17) as f64 - 8.0).collect())
+            .collect();
+        let mut ys = vec![vec![0.0; 80]; 5];
+        d.apply_multi(&xs, &mut ys);
+        for (j, x) in xs.iter().enumerate() {
+            let mut solo = vec![0.0; 80];
+            d.apply(x, &mut solo);
+            for i in 0..80 {
+                assert_eq!(ys[j][i].to_bits(), solo[i].to_bits(), "col {j} row {i}");
+            }
+        }
+        // The default (looping) implementation agrees too.
+        let mut ys_csr = vec![vec![0.0; 80]; 5];
+        csr.apply_multi(&xs, &mut ys_csr);
+        for j in 0..5 {
+            for i in 0..80 {
+                assert!((ys_csr[j][i] - ys[j][i]).abs() < 1e-9);
+            }
+        }
     }
 
     #[test]

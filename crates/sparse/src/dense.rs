@@ -1,0 +1,229 @@
+//! Column-panel dense matrices: the right-hand-side / output type of the
+//! SpMM kernels.
+//!
+//! A [`DenseMat`] stores its columns in *panels* of [`PANEL_WIDTH`] = 8 —
+//! exactly the `N` dimension of the `mma.m8n8k4` tile — so one B fragment
+//! can pick up 8 right-hand sides at once. Within a panel the layout is
+//! row-major: element `(r, c)` of panel `p = c / 8` lives at
+//! `p * rows * 8 + r * 8 + (c % 8)`, which makes the 8 values a sparse
+//! kernel gathers for one matrix column id (`B[cid][j]` for `j` across the
+//! panel) contiguous in memory — one cache line instead of 8 strided
+//! vectors. The last panel is zero-padded to the full width; kernels that
+//! honour [`DenseMat::panel_width`] never read or write the padding, and
+//! the padding stays zero so a full-width gather of a padded column only
+//! ever contributes `a * 0` products.
+
+use dasp_fp16::Scalar;
+
+/// Columns per panel. Matches `dasp_simt::mma::MMA_N` (asserted by a test
+/// in `dasp-core`, which owns the MMA shape); 8 RHS columns fill the B
+/// fragment of one `mma.m8n8k4` issue.
+pub const PANEL_WIDTH: usize = 8;
+
+/// A dense `rows x cols` matrix stored as zero-padded column panels of
+/// width [`PANEL_WIDTH`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMat<S> {
+    rows: usize,
+    cols: usize,
+    data: Vec<S>,
+}
+
+impl<S: Scalar> DenseMat<S> {
+    /// An all-zero matrix (padding included).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let panels = cols.div_ceil(PANEL_WIDTH);
+        DenseMat {
+            rows,
+            cols,
+            data: vec![S::zero(); panels * rows * PANEL_WIDTH],
+        }
+    }
+
+    /// Packs column vectors into panel form. All columns must share one
+    /// length (the row count); an empty slice yields a `0 x 0` matrix.
+    pub fn from_columns(columns: &[Vec<S>]) -> Self {
+        let rows = columns.first().map_or(0, |c| c.len());
+        let mut m = DenseMat::zeros(rows, columns.len());
+        for (c, col) in columns.iter().enumerate() {
+            assert_eq!(
+                col.len(),
+                rows,
+                "column {c} has length {}, expected {rows}",
+                col.len()
+            );
+            for (r, &v) in col.iter().enumerate() {
+                m.set(r, c, v);
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of (logical, unpadded) columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of panels (`ceil(cols / PANEL_WIDTH)`).
+    pub fn num_panels(&self) -> usize {
+        self.cols.div_ceil(PANEL_WIDTH)
+    }
+
+    /// Live columns in panel `p`: `PANEL_WIDTH` for all but possibly the
+    /// last panel.
+    pub fn panel_width(&self, p: usize) -> usize {
+        debug_assert!(p < self.num_panels());
+        (self.cols - p * PANEL_WIDTH).min(PANEL_WIDTH)
+    }
+
+    /// The linear index of element `(r, panel-local column jj)` of panel
+    /// `p` in [`DenseMat::data`] — also the address the probe sees for a
+    /// B-side gather, so cache-model locality reflects the panel layout.
+    #[inline]
+    pub fn lin_index(&self, p: usize, r: usize, jj: usize) -> usize {
+        p * self.rows * PANEL_WIDTH + r * PANEL_WIDTH + jj
+    }
+
+    /// The storage slice of panel `p` (`rows * PANEL_WIDTH` elements,
+    /// row-major within the panel).
+    #[inline]
+    pub fn panel(&self, p: usize) -> &[S] {
+        let base = p * self.rows * PANEL_WIDTH;
+        &self.data[base..base + self.rows * PANEL_WIDTH]
+    }
+
+    /// Element `(r, c)`.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> S {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        self.data[self.lin_index(c / PANEL_WIDTH, r, c % PANEL_WIDTH)]
+    }
+
+    /// Sets element `(r, c)`.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: S) {
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
+        let i = self.lin_index(c / PANEL_WIDTH, r, c % PANEL_WIDTH);
+        self.data[i] = v;
+    }
+
+    /// Copies column `c` out as a plain vector.
+    pub fn column(&self, c: usize) -> Vec<S> {
+        assert!(
+            c < self.cols,
+            "column {c} out of bounds ({} cols)",
+            self.cols
+        );
+        (0..self.rows).map(|r| self.get(r, c)).collect()
+    }
+
+    /// The full backing store, padding included.
+    pub fn data(&self) -> &[S] {
+        &self.data
+    }
+
+    /// Mutable backing store: how kernels scatter through a
+    /// `SharedSlice`. Writing padding slots violates the zero-padding
+    /// invariant — kernels must honour [`DenseMat::panel_width`].
+    pub fn data_mut(&mut self) -> &mut [S] {
+        &mut self.data
+    }
+
+    /// Resets every element (padding included) to zero.
+    pub fn fill_zero(&mut self) {
+        self.data.fill(S::zero());
+    }
+
+    /// Bytes of backing store, padding included.
+    pub fn memory_bytes(&self) -> u64 {
+        self.data.len() as u64 * S::BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layout_places_panel_columns_contiguously() {
+        let mut m = DenseMat::<f64>::zeros(3, 10);
+        assert_eq!(m.num_panels(), 2);
+        assert_eq!(m.panel_width(0), 8);
+        assert_eq!(m.panel_width(1), 2);
+        for r in 0..3 {
+            for c in 0..10 {
+                m.set(r, c, (r * 100 + c) as f64);
+            }
+        }
+        // Row r of panel 0 is 8 consecutive elements.
+        let p0 = m.panel(0);
+        for r in 0..3 {
+            for jj in 0..8 {
+                assert_eq!(p0[r * PANEL_WIDTH + jj], (r * 100 + jj) as f64);
+            }
+        }
+        // Padding of the last panel stays zero.
+        let p1 = m.panel(1);
+        for r in 0..3 {
+            for jj in 2..8 {
+                assert_eq!(p1[r * PANEL_WIDTH + jj], 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn from_columns_round_trips() {
+        let cols: Vec<Vec<f64>> = (0..5)
+            .map(|c| (0..4).map(|r| (c * 10 + r) as f64).collect())
+            .collect();
+        let m = DenseMat::from_columns(&cols);
+        assert_eq!(m.rows(), 4);
+        assert_eq!(m.cols(), 5);
+        for (c, col) in cols.iter().enumerate() {
+            assert_eq!(&m.column(c), col);
+        }
+    }
+
+    #[test]
+    fn empty_and_exact_panel_shapes() {
+        let e = DenseMat::<f64>::from_columns(&[]);
+        assert_eq!((e.rows(), e.cols(), e.num_panels()), (0, 0, 0));
+        let m = DenseMat::<f64>::zeros(2, 16);
+        assert_eq!(m.num_panels(), 2);
+        assert_eq!(m.panel_width(1), 8);
+        assert_eq!(m.data().len(), 2 * 2 * 8);
+    }
+
+    #[test]
+    fn lin_index_matches_get() {
+        let mut m = DenseMat::<f32>::zeros(7, 11);
+        for r in 0..7 {
+            for c in 0..11 {
+                m.set(r, c, (r * 13 + c) as f32);
+            }
+        }
+        for r in 0..7 {
+            for c in 0..11 {
+                let (p, jj) = (c / PANEL_WIDTH, c % PANEL_WIDTH);
+                assert_eq!(m.data()[m.lin_index(p, r, jj)], m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "column 1 has length")]
+    fn mismatched_column_lengths_panic() {
+        DenseMat::<f64>::from_columns(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+}

@@ -10,9 +10,11 @@
 //! * [`Bsr`] — block sparse row with explicit zero fill-in, the format
 //!   behind the `cusparse?bsrmv()` baseline.
 //!
-//! plus Matrix Market I/O ([`mm`]) so real SuiteSparse files can be used in
-//! place of the synthetic corpus, and row-distribution statistics
-//! ([`stats`]) backing Fig. 12.
+//! plus the dense side of SpMM — [`DenseMat`], a column-panel dense matrix
+//! whose panels are exactly the MMA tile's 8-column B fragment — Matrix
+//! Market I/O ([`mm`]) so real SuiteSparse files can be used in place of
+//! the synthetic corpus, and row-distribution statistics ([`stats`])
+//! backing Fig. 12.
 //!
 //! All formats are generic over [`dasp_fp16::Scalar`], so the same structures
 //! serve the FP64 and FP16 experiments.
@@ -39,6 +41,7 @@ pub mod bsr;
 pub mod coo;
 pub mod csc;
 pub mod csr;
+pub mod dense;
 pub mod mm;
 pub mod stats;
 pub mod util;
@@ -47,4 +50,5 @@ pub use bsr::Bsr;
 pub use coo::Coo;
 pub use csc::Csc;
 pub use csr::Csr;
+pub use dense::{DenseMat, PANEL_WIDTH};
 pub use stats::RowStats;
