@@ -8,7 +8,7 @@
 //! paper's methodology of taking the best of block sizes 2, 4 and 8.
 
 use dasp_fp16::Scalar;
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::{Bsr, Csr};
 
 use crate::WARPS_PER_BLOCK;
@@ -82,6 +82,7 @@ impl<S: Scalar> BsrSpmv<S> {
         let b = &self.bsr;
         let bs = b.block_size;
         probe.warp_begin(bi);
+        probe.san_region("bsr");
         probe.load_meta(2, 4); // block row_ptr
         let mut acc = vec![S::acc_zero(); bs];
         for k in b.row_ptr[bi]..b.row_ptr[bi + 1] {
@@ -105,6 +106,7 @@ impl<S: Scalar> BsrSpmv<S> {
             let r = bi * bs + rr;
             if r < b.rows {
                 y.write(r, S::from_acc(*a));
+                probe.san_write(space::Y, r);
                 probe.store_y(1, S::BYTES);
             }
         }

@@ -22,7 +22,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::{acc_spill, WARPS_PER_BLOCK};
@@ -203,6 +203,7 @@ impl<S: Scalar> Csr5<S> {
         // The cross-tile accumulation the hardware kernel does with
         // atomics; unprobed (every spill was already counted as a store).
         for (t, &c) in carry.iter().enumerate() {
+            probe.san_read(space::AUX, t);
             let row = self.tile_first_row[t] as usize;
             y[row] = acc_spill(y[row], c);
         }
@@ -223,6 +224,7 @@ impl<S: Scalar> Csr5<S> {
         let words_per_tile = tile_nnz.div_ceil(64);
         let full_tiles = self.nnz / tile_nnz;
         probe.warp_begin(t);
+        probe.san_region("csr5");
         let base = t * tile_nnz;
         let end = (base + tile_nnz).min(self.nnz);
         let count = end - base;
@@ -255,9 +257,11 @@ impl<S: Scalar> Csr5<S> {
                 // Close the previous segment.
                 if first_spill {
                     carry.write(t, acc);
+                    probe.san_write(space::AUX, t);
                     first_spill = false;
                 } else {
                     y.write(segs[seg_idx] as usize, acc_spill(S::zero(), acc));
+                    probe.san_write(space::Y, segs[seg_idx] as usize);
                 }
                 probe.store_y(1, S::BYTES);
                 seg_idx += 1;
@@ -275,8 +279,10 @@ impl<S: Scalar> Csr5<S> {
         }
         if first_spill {
             carry.write(t, acc);
+            probe.san_write(space::AUX, t);
         } else {
             y.write(segs[seg_idx] as usize, acc_spill(S::zero(), acc));
+            probe.san_write(space::Y, segs[seg_idx] as usize);
         }
         probe.store_y(1, S::BYTES);
         probe.warp_end(t);

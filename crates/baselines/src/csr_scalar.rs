@@ -16,7 +16,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::{Csr, DenseMat, PANEL_WIDTH};
 
 use crate::WARPS_PER_BLOCK;
@@ -118,6 +118,7 @@ pub fn csr_scalar_spmm_warp<S: Scalar, P: Probe>(
     let w_p = b.panel_width(panel);
     let bp = b.panel(panel);
     probe.warp_begin(wid);
+    probe.san_region("csr-scalar.spmm");
     let lo_row = w * WARP_SIZE;
     let hi_row = ((w + 1) * WARP_SIZE).min(csr.rows);
     let mut max_len = 0usize;
@@ -141,6 +142,7 @@ pub fn csr_scalar_spmm_warp<S: Scalar, P: Probe>(
                 (panel * y_rows + i) * PANEL_WIDTH + jj,
                 S::from_acc(sum[jj]),
             );
+            probe.san_write(space::Y, (panel * y_rows + i) * PANEL_WIDTH + jj);
         }
         probe.store_y(w_p as u64, S::BYTES);
     }
@@ -164,6 +166,7 @@ pub fn csr_scalar_warp<S: Scalar, P: Probe>(
     probe: &mut P,
 ) {
     probe.warp_begin(w);
+    probe.san_region("csr-scalar");
     let lo_row = w * WARP_SIZE;
     let hi_row = ((w + 1) * WARP_SIZE).min(csr.rows);
     let mut max_len = 0usize;
@@ -180,6 +183,7 @@ pub fn csr_scalar_warp<S: Scalar, P: Probe>(
             sum = S::acc_mul_add(sum, csr.vals[j], x[c]);
         }
         y.write(i, S::from_acc(sum));
+        probe.san_write(space::Y, i);
         probe.store_y(1, S::BYTES);
     }
     // Issued FMA slots: every lane occupies the warp for the

@@ -11,7 +11,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
@@ -91,6 +91,7 @@ pub fn csr_vector_warp<S: Scalar, P: Probe>(
 ) {
     let rows_per_warp = WARP_SIZE / tpr;
     probe.warp_begin(w);
+    probe.san_region("csr-vector");
     for i in w * rows_per_warp..((w + 1) * rows_per_warp).min(csr.rows) {
         probe.load_meta(2, 4);
         let lo = csr.row_ptr[i];
@@ -116,6 +117,7 @@ pub fn csr_vector_warp<S: Scalar, P: Probe>(
         // Sub-warp tree reduction.
         probe.shfl(tpr.trailing_zeros() as u64);
         y.write(i, S::from_acc(sum));
+        probe.san_write(space::Y, i);
         probe.store_y(1, S::BYTES);
     }
     probe.warp_end(w);

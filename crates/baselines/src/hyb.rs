@@ -13,7 +13,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
@@ -162,6 +162,7 @@ impl<S: Scalar> Hyb<S> {
     /// over their 32-row band.
     fn ell_warp<P: Probe>(&self, x: &[S], y: &SharedSlice<S>, w: usize, probe: &mut P) {
         probe.warp_begin(w);
+        probe.san_region("hyb");
         let lo = w * WARP_SIZE;
         let hi = ((w + 1) * WARP_SIZE).min(self.rows);
         let mut acc = [S::acc_zero(); WARP_SIZE];
@@ -178,6 +179,7 @@ impl<S: Scalar> Hyb<S> {
         }
         for r in lo..hi {
             y.write(r, S::from_acc(acc[r - lo]));
+            probe.san_write(space::Y, r);
         }
         probe.warp_end(w);
     }

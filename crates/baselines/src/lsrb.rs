@@ -22,7 +22,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::{acc_spill as spill, WARPS_PER_BLOCK};
@@ -99,6 +99,7 @@ impl<S: Scalar> LsrbCsr<S> {
             });
         }
         for (s, &c) in carry.iter().enumerate() {
+            probe.san_read(space::AUX, s);
             let row = self.seg_first_row[s] as usize;
             y[row] = spill(y[row], c);
         }
@@ -117,6 +118,7 @@ impl<S: Scalar> LsrbCsr<S> {
     ) {
         let csr = &self.csr;
         probe.warp_begin(s);
+        probe.san_region("lsrb-csr");
         let lo = s * SEGMENT_NNZ;
         let hi = (lo + SEGMENT_NNZ).min(csr.nnz());
         probe.load_meta(1, 4); // segment descriptor
@@ -137,9 +139,11 @@ impl<S: Scalar> LsrbCsr<S> {
                 // close this row's contribution (carry if it spans)
                 if first_spill {
                     carry.write(s, acc);
+                    probe.san_write(space::AUX, s);
                     first_spill = false;
                 } else {
                     y.write(row, spill(S::zero(), acc));
+                    probe.san_write(space::Y, row);
                 }
                 probe.store_y(1, S::BYTES);
                 acc = S::acc_zero();
@@ -155,8 +159,10 @@ impl<S: Scalar> LsrbCsr<S> {
         }
         if first_spill {
             carry.write(s, acc);
+            probe.san_write(space::AUX, s);
         } else {
             y.write(row, spill(S::zero(), acc));
+            probe.san_write(space::Y, row);
         }
         probe.store_y(1, S::BYTES);
         probe.warp_end(s);

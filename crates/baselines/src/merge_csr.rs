@@ -11,7 +11,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::{acc_spill as spill, WARPS_PER_BLOCK};
@@ -97,8 +97,9 @@ impl<S: Scalar> MergeCsr<S> {
                 self.segment_warp(x, &y_s, &carry_s, seg, p)
             });
         }
-        for &(row, c) in carry.iter() {
+        for (seg, &(row, c)) in carry.iter().enumerate() {
             if row != u32::MAX {
+                probe.san_read(space::AUX, seg);
                 y[row as usize] = spill(y[row as usize], c);
             }
         }
@@ -118,6 +119,7 @@ impl<S: Scalar> MergeCsr<S> {
         let csr = &self.csr;
         let total = csr.rows + csr.nnz();
         probe.warp_begin(seg);
+        probe.san_region("merge-csr");
         let d_lo = seg * ITEMS_PER_SEGMENT;
         let d_hi = ((seg + 1) * ITEMS_PER_SEGMENT).min(total);
         let (mut row, mut nz) = self.diagonal_search(d_lo);
@@ -139,9 +141,11 @@ impl<S: Scalar> MergeCsr<S> {
                 probe.load_meta(1, 4);
                 if first_spill {
                     carry.write(seg, (row as u32, acc));
+                    probe.san_write(space::AUX, seg);
                     first_spill = false;
                 } else {
                     y.write(row, spill(S::zero(), acc));
+                    probe.san_write(space::Y, row);
                 }
                 probe.store_y(1, S::BYTES);
                 acc = S::acc_zero();
@@ -160,8 +164,10 @@ impl<S: Scalar> MergeCsr<S> {
         if row < csr.rows {
             if first_spill {
                 carry.write(seg, (row as u32, acc));
+                probe.san_write(space::AUX, seg);
             } else {
                 y.write(row, spill(S::zero(), acc));
+                probe.san_write(space::Y, row);
             }
             probe.store_y(1, S::BYTES);
         }

@@ -104,7 +104,22 @@ impl<S: Scalar> Baseline<S> {
     /// Computes `y = A x` with the wrapped method under the given
     /// executor. Every method's output and merged order-independent
     /// counters are bit-identical across executors.
+    ///
+    /// When `DASP_SANITIZE` is set the run transparently re-dispatches
+    /// through a [`dasp_sanitize::SanitizeProbe`] wrapping `probe` (the
+    /// output stays bit-identical); diagnostics publish under the
+    /// method's [`Baseline::name`].
     pub fn spmv_with<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
+        if dasp_sanitize::enabled() && !probe.sanitizing() {
+            let mut sp = dasp_sanitize::SanitizeProbe::forked(probe);
+            let y = self.spmv_with_impl(x, &mut sp, exec);
+            dasp_sanitize::fleet_finish(self.name(), sp, probe);
+            return y;
+        }
+        self.spmv_with_impl(x, probe, exec)
+    }
+
+    fn spmv_with_impl<P: ShardableProbe>(&self, x: &[S], probe: &mut P, exec: &Executor) -> Vec<S> {
         match self {
             Baseline::CsrScalar(m) => m.spmv_with(x, probe, exec),
             Baseline::CsrVector(m) => m.spmv_with(x, probe, exec),

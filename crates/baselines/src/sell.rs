@@ -12,7 +12,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
@@ -149,6 +149,7 @@ impl<S: Scalar> SellCSigma<S> {
     /// Warp body: chunk `ch`'s 32 lanes stream their rows column-major.
     fn chunk_warp<P: Probe>(&self, x: &[S], y: &SharedSlice<S>, ch: usize, probe: &mut P) {
         probe.warp_begin(ch);
+        probe.san_region("sell");
         probe.load_meta(2, 4); // chunk_ptr + width
         let base = self.chunk_ptr[ch];
         let width = self.chunk_width[ch];
@@ -170,6 +171,7 @@ impl<S: Scalar> SellCSigma<S> {
         for (lane, a) in acc.iter().enumerate().take(lanes) {
             let row = self.perm[ch * CHUNK + lane] as usize;
             y.write(row, S::from_acc(*a));
+            probe.san_write(space::Y, row);
             probe.store_y(1, S::BYTES);
         }
         probe.warp_end(ch);

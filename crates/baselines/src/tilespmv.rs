@@ -19,7 +19,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use dasp_fp16::Scalar;
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
@@ -149,6 +149,7 @@ impl<S: Scalar> TileSpmv<S> {
     /// in registers.
     fn tile_row_warp<P: Probe>(&self, x: &[S], y: &SharedSlice<S>, ti: usize, probe: &mut P) {
         probe.warp_begin(ti);
+        probe.san_region("tilespmv");
         probe.load_meta(2, 4); // tile_row_ptr
         let mut acc = [S::acc_zero(); TILE_DIM];
         for t in &self.tiles[self.tile_row_ptr[ti]..self.tile_row_ptr[ti + 1]] {
@@ -185,6 +186,7 @@ impl<S: Scalar> TileSpmv<S> {
             let r = ti * TILE_DIM + lr;
             if r < self.rows {
                 y.write(r, S::from_acc(*a));
+                probe.san_write(space::Y, r);
                 probe.store_y(1, S::BYTES);
             }
         }

@@ -5,6 +5,7 @@
 //!           [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare]
 //!           [--executor seq|par] [--threads N] [--trace OUT.json]
 //!           [--refresh-values N] [--rhs N]
+//!           [--sanitize] [--sanitize-out REPORT.json]
 //! ```
 //!
 //! `--compare` runs every method on the matrix and prints a ranking table
@@ -33,6 +34,13 @@
 //! `--trace OUT.json` records preprocessing and kernel spans (with probe
 //! counter deltas) and writes them as Chrome Trace Event Format — open the
 //! file in Perfetto or `chrome://tracing`.
+//!
+//! `--sanitize` runs every kernel under the compute sanitizer (racecheck,
+//! maskcheck, initcheck — see `dasp-sanitize`) in report mode, prints the
+//! fleet-wide diagnostic summary, and exits non-zero if any error-class
+//! diagnostic fired. `--sanitize-out REPORT.json` (implies `--sanitize`)
+//! additionally writes the structured report for CI artifacts. Output
+//! vectors are bit-identical with and without the flag.
 //!
 //! Prints the estimated kernel time, GFlops, effective bandwidth and the
 //! traffic counters for the chosen method on the simulated device.
@@ -64,6 +72,8 @@ fn main() -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut refresh_values: Option<usize> = None;
     let mut rhs: Option<usize> = None;
+    let mut sanitize = false;
+    let mut sanitize_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -121,9 +131,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--sanitize" => sanitize = true,
+            "--sanitize-out" => match args.next() {
+                Some(p) => {
+                    sanitize = true;
+                    sanitize_out = Some(p);
+                }
+                None => {
+                    eprintln!("--sanitize-out requires an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--executor seq|par] [--threads N] [--trace OUT.json] [--refresh-values N] [--rhs N]"
+                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--executor seq|par] [--threads N] [--trace OUT.json] [--refresh-values N] [--rhs N] [--sanitize] [--sanitize-out REPORT.json]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -150,6 +171,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if sanitize {
+        // Route every kernel entry through the sanitizer in *report* mode:
+        // abort mode (DASP_SANITIZE=1) would panic at the first error, and
+        // the CLI wants the complete fleet-wide report. Set before any
+        // kernel runs — the mode is read once and cached.
+        std::env::set_var("DASP_SANITIZE", "report");
+    }
     // --threads alone implies the parallel executor; with neither flag the
     // DASP_EXECUTOR / DASP_THREADS environment picks (default seq).
     let exec = match (executor.as_deref(), threads) {
@@ -248,6 +276,9 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+        if sanitize && !sanitize_summary(sanitize_out.as_deref()) {
+            return ExitCode::FAILURE;
+        }
         return ExitCode::SUCCESS;
     }
 
@@ -266,7 +297,8 @@ fn main() -> ExitCode {
         } else {
             rhs_report::<f64>(method, &csr, width, verify, &dev, &exec)
         };
-        return if ok {
+        let san_ok = !sanitize || sanitize_summary(sanitize_out.as_deref());
+        return if ok && san_ok {
             ExitCode::SUCCESS
         } else {
             ExitCode::FAILURE
@@ -367,7 +399,34 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    if sanitize && !sanitize_summary(sanitize_out.as_deref()) {
+        return ExitCode::FAILURE;
+    }
     ExitCode::SUCCESS
+}
+
+/// Prints the fleet-wide sanitizer report accumulated across every kernel
+/// entry of the run, mirrors its counters into a `dasp-trace` metrics
+/// registry (shown as one JSON line, the same shape the experiment
+/// drivers dump), and optionally writes the structured report for CI
+/// artifacts. Returns false if any error-class diagnostic fired.
+fn sanitize_summary(out: Option<&str>) -> bool {
+    let report = dasp_sanitize::global_report();
+    println!("{}", report.to_string().trim_end());
+    let registry = dasp_trace::Registry::new();
+    report.export_metrics(&registry);
+    println!(
+        "sanitize metrics: {}",
+        dasp_trace::registry_to_json(&registry)
+    );
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, report.to_json()) {
+            eprintln!("cannot write sanitize report {path}: {e}");
+            return false;
+        }
+        println!("sanitize report: {path}");
+    }
+    report.is_clean()
 }
 
 /// The `--rhs N` report: `Y = A X` for N random right-hand sides, SpMM vs

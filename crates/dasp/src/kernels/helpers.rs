@@ -3,9 +3,10 @@
 #![allow(clippy::needless_range_loop)]
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::AccFrag;
+use dasp_simt::checked;
+use dasp_simt::mma::{diag_position, AccFrag, MMA_M};
 use dasp_simt::warp::{full_mask, per_lane, WARP_SIZE};
-use dasp_simt::{shfl_sync_var, Probe};
+use dasp_simt::Probe;
 
 /// The per-lane element index used by every DASP kernel to address one 8x4
 /// block (paper Algorithms 2-4, `idx = (3 & laneid) + (laneid >> 2) * MMA_K`):
@@ -38,12 +39,20 @@ pub(crate) fn extract_diagonals<S: Scalar, P: Probe>(
     res: &mut [S::Acc; WARP_SIZE],
     probe: &mut P,
 ) {
+    // Initcheck: extraction consumes the eight diagonal accumulator slots.
+    for r in 0..MMA_M {
+        let (lane, reg) = diag_position(r);
+        probe.san_frag_read(lane, reg);
+    }
     let y0: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][0]);
     let y1: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][1]);
     let target: [i32; WARP_SIZE] = per_lane(|l| ((l as i32 - (i as i32) * 8) >> 1) * 9);
     let target4: [i32; WARP_SIZE] = per_lane(|l| target[l] + 4);
-    let t0 = shfl_sync_var(full_mask(), y0, &target);
-    let t1 = shfl_sync_var(full_mask(), y1, &target4);
+    // Only lanes i*8..(i+1)*8 consume their shuffled value; the negative
+    // targets on lower lanes are the paper's discarded-read pattern.
+    let used: u32 = 0xffu32 << (i * 8);
+    let t0 = checked::shfl_sync_var(probe, full_mask(), y0, &target, used);
+    let t1 = checked::shfl_sync_var(probe, full_mask(), y1, &target4, used);
     probe.shfl(2);
     for lane in 0..WARP_SIZE {
         if lane >> 3 == i {

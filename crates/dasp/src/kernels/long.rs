@@ -10,10 +10,9 @@
 //! strided loop and a tree `warpReduceSum`, writing the final `y` value.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4};
+use dasp_simt::mma::{acc_zero, diag_position, mma_m8n8k4, DIAG_SLOTS, MMA_M};
 use dasp_simt::warp::{full_mask, per_lane, WARP_SIZE};
-use dasp_simt::SharedSlice;
-use dasp_simt::{shfl_down_sync, shfl_sync, warp_reduce, Executor, Probe, ShardableProbe};
+use dasp_simt::{checked, space, Executor, Probe, ShardableProbe, SharedSlice};
 
 use crate::consts::{BLOCK_ELEMS, GROUP_ELEMS};
 use crate::format::LongPart;
@@ -68,7 +67,9 @@ pub fn long_phase1_warp<S: Scalar, P: Probe>(
     let mask = full_mask();
     let idx = mma_idx();
     probe.warp_begin(g);
+    probe.san_region("dasp.long.phase1");
     let mut acc = acc_zero::<S>();
+    probe.san_frag_clear();
     let mut offset_a = g * GROUP_ELEMS;
     for _i in 0..2 {
         let frag_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset_a + idx[l]]);
@@ -81,27 +82,33 @@ pub fn long_phase1_warp<S: Scalar, P: Probe>(
         }
         mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
         probe.mma();
+        probe.san_frag_mma(DIAG_SLOTS);
         offset_a += BLOCK_ELEMS;
     }
     // Lines 10-14: collapse the eight diagonal partials into lane 0.
+    for r in 0..MMA_M {
+        let (lane, reg) = diag_position(r);
+        probe.san_frag_read(lane, reg);
+    }
     let mut y0: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][0]);
     let mut y1: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][1]);
     for delta in [9usize, 18] {
-        let d = shfl_down_sync(mask, y0, delta);
+        let d = checked::shfl_down_sync(probe, mask, y0, delta);
         for l in 0..WARP_SIZE {
             y0[l] = S::acc_add(y0[l], d[l]);
         }
-        let d = shfl_down_sync(mask, y1, delta);
+        let d = checked::shfl_down_sync(probe, mask, y1, delta);
         for l in 0..WARP_SIZE {
             y1[l] = S::acc_add(y1[l], d[l]);
         }
     }
-    let b = shfl_sync(mask, y1, 4);
+    let b = checked::shfl_sync(probe, mask, y1, 4);
     for l in 0..WARP_SIZE {
         y0[l] = S::acc_add(y0[l], b[l]);
     }
     probe.shfl(5);
     warp_val.write(g, y0[0]);
+    probe.san_write(space::AUX, g);
     probe.store_y(1, S::ACC_BYTES);
     probe.warp_end(g);
 }
@@ -117,6 +124,7 @@ pub fn long_phase2_warp<S: Scalar, P: Probe>(
 ) {
     let mask = full_mask();
     probe.warp_begin(lr);
+    probe.san_region("dasp.long.phase2");
     let orig_row = part.rows[lr];
     let lo = part.group_ptr[lr];
     let hi = part.group_ptr[lr + 1];
@@ -133,13 +141,15 @@ pub fn long_phase2_warp<S: Scalar, P: Probe>(
         let mut i = lane;
         while i < row_warp_len {
             *tv = S::acc_add(*tv, warp_val[lo + i]);
+            probe.san_read(space::AUX, lo + i);
             probe.load_meta(1, S::ACC_BYTES); // warpVal read-back
             i += WARP_SIZE;
         }
     }
-    let reduced = warp_reduce(mask, thread_val, |a, b| S::acc_add(a, b));
+    let reduced = checked::warp_reduce(probe, mask, thread_val, |a, b| S::acc_add(a, b));
     probe.shfl(dasp_simt::shuffle::WARP_REDUCE_SHFLS);
     y.write(orig_row as usize, S::from_acc(reduced[0]));
+    probe.san_write(space::Y, orig_row as usize);
     probe.store_y(1, S::BYTES);
     probe.warp_end(lr);
 }

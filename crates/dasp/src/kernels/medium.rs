@@ -8,9 +8,9 @@
 //! with scalar FMAs and writes `y`.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4, DIAG_SLOTS};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 
 use crate::consts::{loop_num, BLOCK_ELEMS, MMA_M};
 use crate::format::MediumPart;
@@ -65,6 +65,7 @@ pub fn medium_warp<S: Scalar, P: Probe>(
     let idx = mma_idx();
 
     probe.warp_begin(wid);
+    probe.san_region("dasp.medium");
     let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
 
     // Regular part: LOOP_NUM row-blocks through the MMA unit.
@@ -77,6 +78,7 @@ pub fn medium_warp<S: Scalar, P: Probe>(
         let mut offset_a = part.rowblock_ptr[bid];
         let nblocks = part.reg_blocks(bid);
         let mut acc = acc_zero::<S>();
+        probe.san_frag_clear();
         for _b in 0..nblocks {
             let frag_a: [S; WARP_SIZE] = per_lane(|l| part.reg_val[offset_a + idx[l]]);
             let cids = load_idx_lane(&part.reg_cid, offset_a, &idx);
@@ -88,6 +90,7 @@ pub fn medium_warp<S: Scalar, P: Probe>(
             }
             mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
             probe.mma();
+            probe.san_frag_mma(DIAG_SLOTS);
             offset_a += BLOCK_ELEMS;
         }
         extract_diagonals::<S, P>(&acc, i, &mut res, probe);
@@ -116,6 +119,7 @@ pub fn medium_warp<S: Scalar, P: Probe>(
             probe.fma(1);
         }
         y.write(part.rows[cur_row] as usize, S::from_acc(v));
+        probe.san_write(space::Y, part.rows[cur_row] as usize);
         probe.store_y(1, S::BYTES);
     }
     probe.warp_end(wid);

@@ -4,7 +4,7 @@
 //! CUDA cores: one thread per row, a single multiply, no MMA involvement.
 
 use dasp_fp16::Scalar;
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 
 use crate::format::ShortPart;
 
@@ -50,6 +50,7 @@ pub fn short1_warp<S: Scalar, P: Probe>(
 ) {
     const WARP: usize = 32;
     probe.warp_begin(w);
+    probe.san_region("dasp.short1");
     // The kernel's last warp runs with n1 % 32 live threads.
     let live = (w + 1) * WARP;
     if live > part.n1 {
@@ -64,6 +65,7 @@ pub fn short1_warp<S: Scalar, P: Probe>(
         probe.load_x(c, S::BYTES);
         probe.fma(1);
         y.write(part.perm1[t] as usize, S::from_acc(v));
+        probe.san_write(space::Y, part.perm1[t] as usize);
         probe.store_y(1, S::BYTES);
     }
     probe.warp_end(w);

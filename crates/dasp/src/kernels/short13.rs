@@ -8,9 +8,9 @@
 //! exactly 32 `y` values.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4, DIAG_SLOTS};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 
 use crate::consts::BLOCK_ELEMS;
 use crate::format::{ShortPart, NO_ROW};
@@ -52,6 +52,7 @@ pub fn short13_warp<S: Scalar, P: Probe>(
 ) {
     let idx = mma_idx();
     probe.warp_begin(w);
+    probe.san_region("dasp.short13");
     let warp_base = w * 2 * BLOCK_ELEMS; // two blocks per warp
     let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
     let mut frag_a: [S; WARP_SIZE] = [S::zero(); WARP_SIZE];
@@ -59,6 +60,7 @@ pub fn short13_warp<S: Scalar, P: Probe>(
 
     for i in 0..4usize {
         let mut acc = acc_zero::<S>();
+        probe.san_frag_clear();
         let cids = load_idx_lane(&part.cids, offset, &idx);
         let frag_x: [S; WARP_SIZE];
         if i & 1 == 0 {
@@ -88,6 +90,7 @@ pub fn short13_warp<S: Scalar, P: Probe>(
         }
         mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
         probe.mma();
+        probe.san_frag_mma(DIAG_SLOTS);
         extract_diagonals::<S, P>(&acc, i, &mut res, probe);
     }
 
@@ -98,6 +101,7 @@ pub fn short13_warp<S: Scalar, P: Probe>(
         let row = part.perm13[w * WARP_SIZE + lane];
         if row != NO_ROW {
             y.write(row as usize, S::from_acc(res[lane]));
+            probe.san_write(space::Y, row as usize);
             probe.store_y(1, S::BYTES);
         } else {
             inactive += 1;

@@ -6,9 +6,9 @@
 //! same shuffle pair as the other short kernels.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4, DIAG_SLOTS};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 
 use crate::consts::BLOCK_ELEMS;
 use crate::format::{ShortPart, NO_ROW};
@@ -50,10 +50,12 @@ pub fn short4_warp<S: Scalar, P: Probe>(
 ) {
     let idx = mma_idx();
     probe.warp_begin(w);
+    probe.san_region("dasp.short4");
     let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
     for i in 0..4usize {
         let offset = part.off4 + (w * 4 + i) * BLOCK_ELEMS;
         let mut acc = acc_zero::<S>();
+        probe.san_frag_clear();
         let frag_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset + idx[l]]);
         let cids = load_idx_lane(&part.cids, offset, &idx);
         let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
@@ -64,6 +66,7 @@ pub fn short4_warp<S: Scalar, P: Probe>(
         }
         mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
         probe.mma();
+        probe.san_frag_mma(DIAG_SLOTS);
         extract_diagonals::<S, P>(&acc, i, &mut res, probe);
     }
     // Padding slots have no output row: those lanes are predicated off
@@ -73,6 +76,7 @@ pub fn short4_warp<S: Scalar, P: Probe>(
         let row = part.perm4[w * WARP_SIZE + lane];
         if row != NO_ROW {
             y.write(row as usize, S::from_acc(res[lane]));
+            probe.san_write(space::Y, row as usize);
             probe.store_y(1, S::BYTES);
         } else {
             inactive += 1;

@@ -9,10 +9,10 @@
 //! `warpVal` array widens to one accumulator slot per (group, column).
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4, MMA_K, MMA_M};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4, row_slots, MMA_K, MMA_M};
 use dasp_simt::warp::{full_mask, per_lane, WARP_SIZE};
 use dasp_simt::SharedSlice;
-use dasp_simt::{shfl_down_sync, warp_reduce, Executor, Probe, ShardableProbe};
+use dasp_simt::{checked, space, Executor, Probe, ShardableProbe};
 use dasp_sparse::{DenseMat, PANEL_WIDTH};
 
 use crate::consts::{BLOCK_ELEMS, GROUP_ELEMS};
@@ -62,9 +62,11 @@ pub fn spmm_long_phase1_warp<S: Scalar, P: Probe>(
     let mask = full_mask();
     let idx = mma_idx();
     probe.warp_begin(wid);
+    probe.san_region("spmm.long.phase1");
     let w_p = b.panel_width(panel);
     let bp = b.panel(panel);
     let mut acc = acc_zero::<S>();
+    probe.san_frag_clear();
     let mut offset_a = g * GROUP_ELEMS;
     for _i in 0..2 {
         // The block's A values and column ids load once for the whole
@@ -89,6 +91,7 @@ pub fn spmm_long_phase1_warp<S: Scalar, P: Probe>(
             }
             mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_b);
             probe.mma();
+            probe.san_frag_mma(row_slots(r));
         }
         offset_a += BLOCK_ELEMS;
     }
@@ -96,14 +99,18 @@ pub fn spmm_long_phase1_warp<S: Scalar, P: Probe>(
     // i lives at lane i*4 + (j>>1), register j&1: summing rows is a
     // stride-4 lane tree, and shfl_down 8 / 16 / 4 lands the SpMV add
     // association [(C0+C2)+(C4+C6)] + [(C1+C3)+(C5+C7)] at lane j>>1.
+    for lane in 0..WARP_SIZE {
+        probe.san_frag_read(lane, 0);
+        probe.san_frag_read(lane, 1);
+    }
     let mut y0: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][0]);
     let mut y1: [S::Acc; WARP_SIZE] = per_lane(|l| acc[l][1]);
     for delta in [8usize, 16, 4] {
-        let d = shfl_down_sync(mask, y0, delta);
+        let d = checked::shfl_down_sync(probe, mask, y0, delta);
         for l in 0..WARP_SIZE {
             y0[l] = S::acc_add(y0[l], d[l]);
         }
-        let d = shfl_down_sync(mask, y1, delta);
+        let d = checked::shfl_down_sync(probe, mask, y1, delta);
         for l in 0..WARP_SIZE {
             y1[l] = S::acc_add(y1[l], d[l]);
         }
@@ -117,6 +124,7 @@ pub fn spmm_long_phase1_warp<S: Scalar, P: Probe>(
             y1[jj >> 1]
         };
         warp_val.write((g * panels + panel) * PANEL_WIDTH + jj, v);
+        probe.san_write(space::AUX, (g * panels + panel) * PANEL_WIDTH + jj);
     }
     probe.store_y(w_p as u64, S::ACC_BYTES);
     probe.warp_end(wid);
@@ -138,6 +146,7 @@ pub fn spmm_long_phase2_warp<S: Scalar, P: Probe>(
     let panels = b.num_panels();
     let mask = full_mask();
     probe.warp_begin(wid);
+    probe.san_region("spmm.long.phase2");
     let orig_row = part.rows[lr] as usize;
     let lo = part.group_ptr[lr];
     let hi = part.group_ptr[lr + 1];
@@ -159,16 +168,18 @@ pub fn spmm_long_phase2_warp<S: Scalar, P: Probe>(
                     *tv,
                     warp_val[((lo + i) * panels + panel) * PANEL_WIDTH + jj],
                 );
+                probe.san_read(space::AUX, ((lo + i) * panels + panel) * PANEL_WIDTH + jj);
                 probe.load_meta(1, S::ACC_BYTES);
                 i += WARP_SIZE;
             }
         }
-        let reduced = warp_reduce(mask, thread_val, |a, b| S::acc_add(a, b));
+        let reduced = checked::warp_reduce(probe, mask, thread_val, |a, b| S::acc_add(a, b));
         probe.shfl(dasp_simt::shuffle::WARP_REDUCE_SHFLS);
         y.write(
             (panel * y_rows + orig_row) * PANEL_WIDTH + jj,
             S::from_acc(reduced[0]),
         );
+        probe.san_write(space::Y, (panel * y_rows + orig_row) * PANEL_WIDTH + jj);
         probe.store_y(1, S::BYTES);
     }
     probe.warp_end(wid);

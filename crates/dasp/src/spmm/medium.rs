@@ -7,9 +7,9 @@
 //! the FMA fanned across the panel columns.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4, MMA_K, MMA_M};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4, row_slots, MMA_K, MMA_M};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::{DenseMat, PANEL_WIDTH};
 
 use crate::consts::{loop_num, BLOCK_ELEMS};
@@ -55,6 +55,7 @@ pub fn spmm_medium_warp<S: Scalar, P: Probe>(
     let bp = b.panel(panel);
 
     probe.warp_begin(wid);
+    probe.san_region("spmm.medium");
     let mut res: PanelRes<S> = [[S::acc_zero(); PANEL_WIDTH]; WARP_SIZE];
 
     for i in 0..ln {
@@ -66,6 +67,7 @@ pub fn spmm_medium_warp<S: Scalar, P: Probe>(
         let mut offset_a = part.rowblock_ptr[bid];
         let nblocks = part.reg_blocks(bid);
         let mut acc = acc_zero::<S>();
+        probe.san_frag_clear();
         for _b in 0..nblocks {
             // A values + ids once per block per panel (the amortization);
             // 8 masked-A issues cover the 8 row-segments x 8 columns.
@@ -86,6 +88,7 @@ pub fn spmm_medium_warp<S: Scalar, P: Probe>(
                 }
                 mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_b);
                 probe.mma();
+                probe.san_frag_mma(row_slots(r));
             }
             offset_a += BLOCK_ELEMS;
         }
@@ -123,6 +126,7 @@ pub fn spmm_medium_warp<S: Scalar, P: Probe>(
                 (panel * y_rows + orow) * PANEL_WIDTH + jj,
                 S::from_acc(v[jj]),
             );
+            probe.san_write(space::Y, (panel * y_rows + orow) * PANEL_WIDTH + jj);
         }
         probe.store_y(w_p as u64, S::BYTES);
     }

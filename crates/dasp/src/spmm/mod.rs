@@ -91,6 +91,9 @@ pub(crate) fn extract_rows<S: Scalar, P: Probe>(
 ) {
     for r in 0..MMA_M {
         for j in 0..PANEL_WIDTH {
+            // Initcheck: every accumulator slot is consumed here (padding
+            // columns read the zero-initialized fragment).
+            probe.san_frag_read(r * 4 + (j >> 1), j & 1);
             res[i * MMA_M + r][j] = acc[r * 4 + (j >> 1)][j & 1];
         }
     }
@@ -144,7 +147,27 @@ impl<S: Scalar> DaspMatrix<S> {
     /// outermost: every category sweeps panel 0's warps, then panel 1's,
     /// under whichever executor is selected — `ShardableProbe` merge
     /// semantics are identical to the SpMV kernels'.
+    ///
+    /// Like SpMV, the run transparently re-dispatches through a
+    /// [`dasp_sanitize::SanitizeProbe`] when `DASP_SANITIZE` is set.
     pub fn spmm_into_traced_with<P: ShardableProbe>(
+        &self,
+        b: &DenseMat<S>,
+        y: &mut DenseMat<S>,
+        probe: &mut P,
+        tracer: &Tracer,
+        exec: &Executor,
+    ) {
+        if dasp_sanitize::enabled() && !probe.sanitizing() {
+            let mut sp = dasp_sanitize::SanitizeProbe::forked(probe);
+            self.spmm_into_traced_with_impl(b, y, &mut sp, tracer, exec);
+            dasp_sanitize::fleet_finish("spmm", sp, probe);
+        } else {
+            self.spmm_into_traced_with_impl(b, y, probe, tracer, exec);
+        }
+    }
+
+    fn spmm_into_traced_with_impl<P: ShardableProbe>(
         &self,
         b: &DenseMat<S>,
         y: &mut DenseMat<S>,

@@ -10,9 +10,9 @@
 //! row-segment, sharing the pass accumulator.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4, MMA_K, MMA_M};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4, row_slots, MMA_K, MMA_M};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
 use dasp_sparse::{DenseMat, PANEL_WIDTH};
 
 use crate::consts::BLOCK_ELEMS;
@@ -97,6 +97,14 @@ impl Piecing {
             Piecing::TwoTwo => part_off22 + w * 2 * BLOCK_ELEMS,
         }
     }
+
+    #[inline]
+    fn region(self) -> &'static str {
+        match self {
+            Piecing::OneThree => "spmm.short13",
+            Piecing::TwoTwo => "spmm.short22",
+        }
+    }
 }
 
 /// Shared warp body of the two piecing kernels: two 8x4 blocks in four
@@ -115,6 +123,7 @@ fn pieced_warp<S: Scalar, P: Probe>(
     let (panel, w) = (wid / n_warps, wid % n_warps);
     let idx = mma_idx();
     probe.warp_begin(wid);
+    probe.san_region(piecing.region());
     let w_p = b.panel_width(panel);
     let bp = b.panel(panel);
     let mut res: PanelRes<S> = [[S::acc_zero(); PANEL_WIDTH]; WARP_SIZE];
@@ -124,6 +133,7 @@ fn pieced_warp<S: Scalar, P: Probe>(
 
     for i in 0..4usize {
         let mut acc = acc_zero::<S>();
+        probe.san_frag_clear();
         if i & 1 == 0 {
             // Even pass: the block's A values and ids load once per
             // panel and stay in registers for the odd pass.
@@ -155,6 +165,7 @@ fn pieced_warp<S: Scalar, P: Probe>(
             }
             mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_b);
             probe.mma();
+            probe.san_frag_mma(row_slots(r));
         }
         if i & 1 == 1 {
             offset += BLOCK_ELEMS;
@@ -198,12 +209,14 @@ pub fn spmm_short4_warp<S: Scalar, P: Probe>(
     let (panel, w) = (wid / part.n4_warps, wid % part.n4_warps);
     let idx = mma_idx();
     probe.warp_begin(wid);
+    probe.san_region("spmm.short4");
     let w_p = b.panel_width(panel);
     let bp = b.panel(panel);
     let mut res: PanelRes<S> = [[S::acc_zero(); PANEL_WIDTH]; WARP_SIZE];
     for i in 0..4usize {
         let offset = part.off4 + (w * 4 + i) * BLOCK_ELEMS;
         let mut acc = acc_zero::<S>();
+        probe.san_frag_clear();
         let block_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset + idx[l]]);
         let cids = load_idx_lane(&part.cids, offset, &idx);
         probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
@@ -221,6 +234,7 @@ pub fn spmm_short4_warp<S: Scalar, P: Probe>(
             }
             mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_b);
             probe.mma();
+            probe.san_frag_mma(row_slots(r));
         }
         extract_rows::<S, P>(&acc, i, &mut res, probe);
     }
@@ -258,6 +272,7 @@ pub fn spmm_short1_warp<S: Scalar, P: Probe>(
 ) {
     let (panel, w) = (wid / n_warps, wid % n_warps);
     probe.warp_begin(wid);
+    probe.san_region("spmm.short1");
     let w_p = b.panel_width(panel);
     let bp = b.panel(panel);
     let live = (w + 1) * WARP_SIZE;
@@ -275,6 +290,7 @@ pub fn spmm_short1_warp<S: Scalar, P: Probe>(
             probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
             probe.fma(1);
             y.write((panel * y_rows + row) * PANEL_WIDTH + jj, S::from_acc(v));
+            probe.san_write(space::Y, (panel * y_rows + row) * PANEL_WIDTH + jj);
         }
         probe.store_y(w_p as u64, S::BYTES);
     }
@@ -303,6 +319,7 @@ fn write_permuted<S: Scalar, P: Probe>(
                     (panel * y_rows + row as usize) * PANEL_WIDTH + jj,
                     S::from_acc(res[lane][jj]),
                 );
+                probe.san_write(space::Y, (panel * y_rows + row as usize) * PANEL_WIDTH + jj);
             }
             probe.store_y(w_p as u64, S::BYTES);
         } else {

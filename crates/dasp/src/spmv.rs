@@ -98,7 +98,32 @@ impl<S: Scalar> DaspMatrix<S> {
     /// `short13` span. With a disabled tracer every span is inert and this
     /// *is* the plain `spmv_into_with` path — the probe call sequence (and
     /// thus `y` and all counters) is identical either way.
+    ///
+    /// When fleet-wide sanitizing is on (`DASP_SANITIZE`, see
+    /// [`dasp_sanitize::enabled`]) the run is transparently re-dispatched
+    /// through a [`dasp_sanitize::SanitizeProbe`] wrapping `probe`: `y` is
+    /// bit-identical, order-independent counters merge back exactly, and
+    /// any diagnostics are published to the global
+    /// [`dasp_sanitize::SanitizeReport`] (aborting afterwards in `abort`
+    /// mode). A probe that is already sanitizing is never double-wrapped.
     pub fn spmv_into_traced_with<P: ShardableProbe>(
+        &self,
+        x: &[S],
+        y: &mut [S],
+        probe: &mut P,
+        tracer: &Tracer,
+        exec: &Executor,
+    ) {
+        if dasp_sanitize::enabled() && !probe.sanitizing() {
+            let mut sp = dasp_sanitize::SanitizeProbe::forked(probe);
+            self.spmv_into_traced_with_impl(x, y, &mut sp, tracer, exec);
+            dasp_sanitize::fleet_finish("spmv", sp, probe);
+        } else {
+            self.spmv_into_traced_with_impl(x, y, probe, tracer, exec);
+        }
+    }
+
+    fn spmv_into_traced_with_impl<P: ShardableProbe>(
         &self,
         x: &[S],
         y: &mut [S],

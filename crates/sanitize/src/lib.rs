@@ -1,0 +1,158 @@
+//! dasp-sanitize: a compute-sanitizer for the DASP SIMT simulator.
+//!
+//! Three checkers, modeled on NVIDIA's `compute-sanitizer` tools, run
+//! against every kernel in the workspace without forking any kernel body:
+//!
+//! * **racecheck** — element-granularity shadow write sets over every
+//!   [`dasp_simt::SharedSlice`] scatter target, catching cross-warp
+//!   write-write overlap and same-warp double writes within a launch;
+//! * **maskcheck** — the [`dasp_simt::checked`] shuffle variants report
+//!   out-of-mask source reads (release builds included), distinguishing
+//!   reads whose values are consumed (errors) from reads discarded by a
+//!   subsequent predicate (informational — the paper's extraction
+//!   shuffles do this by design);
+//! * **initcheck** — poison tracking over MMA accumulator fragment slots
+//!   and never-written auxiliary elements (e.g. the long kernel's
+//!   `warpVal` staging array, the segmented baselines' carries).
+//!
+//! Everything hangs off [`SanitizeProbe`], a wrapper implementing
+//! [`dasp_simt::Probe`] + [`dasp_simt::ShardableProbe`] so diagnostics
+//! merge across `ParExecutor` shards exactly like `KernelStats` do.
+//! Findings aggregate into a [`SanitizeReport`] (per-kernel counts,
+//! first-N offending sites, JSON export, `dasp-trace` metrics export).
+//!
+//! # Fleet mode: `DASP_SANITIZE`
+//!
+//! Setting `DASP_SANITIZE=1` (or `abort`) makes every SpMV/SpMM/baseline
+//! entry point wrap its probe in a [`SanitizeProbe`] transparently; any
+//! error-class diagnostic panics with the report, so `DASP_SANITIZE=1
+//! cargo test` fails on the first detected bug. `DASP_SANITIZE=report`
+//! collects into the process-global report (see [`global_report`])
+//! without aborting — the mode the `dasp-spmv --sanitize` flag uses.
+//!
+//! Sanitizing never perturbs results: the wrapper forwards every
+//! counting method to the wrapped probe, so `y` is bit-identical with
+//! and without the sanitizer. The one observable difference in fleet
+//! mode is the `CountingProbe` cache model: the wrap runs on a forked
+//! shard (warm cache copy) whose post-run cache state is discarded at
+//! merge, so hit/miss classifications across *repeated* runs are
+//! per-run approximations — order-independent counters stay exact.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod probe;
+mod report;
+
+pub use probe::SanitizeProbe;
+pub use report::{Diagnostic, SanCounts, SanitizeReport, MAX_SITES};
+
+use std::sync::{Mutex, OnceLock};
+
+use dasp_simt::ShardableProbe;
+
+/// How the fleet-wide sanitizer behaves, from `DASP_SANITIZE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SanitizeMode {
+    /// Unset / `0` / `off`: entry points run unwrapped (zero overhead).
+    Off,
+    /// `report`: wrap, collect into the global report, never panic.
+    Report,
+    /// `1`, `true`, `abort`, ...: wrap and panic on any error-class
+    /// diagnostic, so test suites fail loudly.
+    Abort,
+}
+
+fn parse_mode(v: Option<&str>) -> SanitizeMode {
+    match v.map(str::trim) {
+        None | Some("") | Some("0") | Some("off") | Some("false") => SanitizeMode::Off,
+        Some("report") => SanitizeMode::Report,
+        _ => SanitizeMode::Abort,
+    }
+}
+
+/// The process-wide sanitize mode, read from `DASP_SANITIZE` once (the
+/// same caching discipline as [`dasp_simt::Executor::from_env`]).
+pub fn mode() -> SanitizeMode {
+    static MODE: OnceLock<SanitizeMode> = OnceLock::new();
+    *MODE.get_or_init(|| parse_mode(std::env::var("DASP_SANITIZE").ok().as_deref()))
+}
+
+/// True when entry points should fleet-wrap their probes.
+pub fn enabled() -> bool {
+    mode() != SanitizeMode::Off
+}
+
+fn global() -> &'static Mutex<SanitizeReport> {
+    static GLOBAL: OnceLock<Mutex<SanitizeReport>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Mutex::new(SanitizeReport::new()))
+}
+
+/// Merges a report into the process-global accumulator (what
+/// [`global_report`] snapshots and `dasp-spmv --sanitize` prints).
+pub fn publish(report: &SanitizeReport) {
+    global().lock().unwrap().merge(report);
+}
+
+/// Snapshot of everything published so far in this process.
+pub fn global_report() -> SanitizeReport {
+    global().lock().unwrap().clone()
+}
+
+/// Clears the process-global report (test isolation).
+pub fn reset_global() {
+    *global().lock().unwrap() = SanitizeReport::new();
+}
+
+/// Finishes a fleet-wrapped run: merges the sanitizer's forked shard back
+/// into the caller's probe, publishes the findings globally, and — in
+/// [`SanitizeMode::Abort`] — panics with the report if any error-class
+/// diagnostic fired. `entry` names the wrapped entry point for the panic
+/// message.
+pub fn fleet_finish<P: ShardableProbe>(
+    entry: &'static str,
+    sanitizer: SanitizeProbe<P>,
+    parent: &mut P,
+) {
+    let (inner, report) = sanitizer.into_parts();
+    parent.merge_shard(inner);
+    let clean = report.is_clean();
+    publish(&report);
+    if !clean && mode() == SanitizeMode::Abort {
+        panic!("DASP_SANITIZE caught diagnostics in `{entry}`:\n{report}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_simt::{space, NoProbe, Probe};
+
+    #[test]
+    fn mode_parsing() {
+        assert_eq!(parse_mode(None), SanitizeMode::Off);
+        assert_eq!(parse_mode(Some("")), SanitizeMode::Off);
+        assert_eq!(parse_mode(Some("0")), SanitizeMode::Off);
+        assert_eq!(parse_mode(Some("off")), SanitizeMode::Off);
+        assert_eq!(parse_mode(Some("report")), SanitizeMode::Report);
+        assert_eq!(parse_mode(Some("1")), SanitizeMode::Abort);
+        assert_eq!(parse_mode(Some("true")), SanitizeMode::Abort);
+        assert_eq!(parse_mode(Some("abort")), SanitizeMode::Abort);
+    }
+
+    #[test]
+    fn publish_accumulates_globally() {
+        // Serialized against other tests by the global lock itself; use a
+        // distinctive region so concurrent publishes don't confuse us.
+        let mut r = SanitizeReport::new();
+        let mut p = SanitizeProbe::new(NoProbe);
+        p.warp_begin(0);
+        p.san_region("lib-test-region");
+        p.san_write(space::Y, 0);
+        p.san_write(space::Y, 0);
+        r.merge(p.report());
+        publish(&r);
+        let g = global_report();
+        assert!(g.per_region["lib-test-region"].double_writes >= 1);
+    }
+}

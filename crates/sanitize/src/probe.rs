@@ -1,0 +1,493 @@
+//! [`SanitizeProbe`]: the probe wrapper that implements all three
+//! checkers on top of the `san_*` hooks.
+
+use std::collections::{HashMap, HashSet};
+
+use dasp_simt::{KernelStats, Probe, ShardableProbe, ShflEvent};
+
+use crate::report::{Diagnostic, SanitizeReport};
+
+/// Who wrote a scatter-space element, for race attribution.
+#[derive(Debug, Clone, Copy)]
+struct WriteRec {
+    warp: Option<usize>,
+    region: &'static str,
+    /// True when the record was folded in from a finished shard. A shard
+    /// write colliding with a *non*-merged parent record rewrote a
+    /// pre-fork (pre-barrier) value — legal; colliding with a merged one
+    /// means two sibling shards wrote the element concurrently — a race.
+    merged: bool,
+}
+
+/// A sanitizing wrapper around any probe.
+///
+/// Forwards every counting method to the inner probe unchanged (so `y`
+/// and all order-independent counters are bit-identical with or without
+/// the wrapper) while implementing the sanitizer hooks:
+///
+/// * **racecheck** — a shadow write map keyed `(space, index)` records
+///   which warp wrote each scatter element. A second write within one
+///   launch is a double-write (same warp) or cross-warp race (different
+///   warp). [`Probe::kernel_launch`] opens a new epoch: launches are
+///   device-synchronizing, so a later kernel legitimately rewrites
+///   earlier output.
+/// * **maskcheck** — [`Probe::san_shfl`] events from the
+///   [`dasp_simt::checked`] shuffle variants become diagnostics;
+///   out-of-mask reads whose values are consumed are errors, discarded
+///   ones informational.
+/// * **initcheck** — a 64-bit poison mask over the warp's MMA
+///   accumulator fragment (32 lanes x 2 registers) plus never-written
+///   detection for scatter-space reads.
+///
+/// Implements [`ShardableProbe`]: a shard starts with the parent's write
+/// map as a read-only *inherited* epoch (writes before an `Executor::run`
+/// happened before the grid-wide barrier the run's join models) and an
+/// empty shadow map of its own; merging folds the shard's writes back,
+/// flagging any cross-shard overlap as a race.
+#[derive(Debug)]
+pub struct SanitizeProbe<P> {
+    inner: P,
+    region: &'static str,
+    warp: Option<usize>,
+    /// This epoch's writes (own shard only).
+    writes: HashMap<(u32, usize), WriteRec>,
+    /// Pre-fork / pre-barrier writes: readable, overwritable, never racy.
+    inherited: HashSet<(u32, usize)>,
+    /// Defined-slot mask over the current warp's accumulator fragment
+    /// (bit `lane*2 + reg` set = slot holds a real value; clear =
+    /// poisoned).
+    frag: u64,
+    report: SanitizeReport,
+}
+
+impl<P> SanitizeProbe<P> {
+    /// Wraps `inner` with empty shadow state.
+    pub fn new(inner: P) -> SanitizeProbe<P> {
+        SanitizeProbe {
+            inner,
+            region: "?",
+            warp: None,
+            writes: HashMap::new(),
+            inherited: HashSet::new(),
+            frag: 0,
+            report: SanitizeReport::new(),
+        }
+    }
+
+    /// Wraps a zeroed shard of `parent` — the fleet-wrap entry used by
+    /// the `DASP_SANITIZE` path, so the parent probe's own counters are
+    /// not disturbed until [`crate::fleet_finish`] merges the shard back.
+    pub fn forked(parent: &P) -> SanitizeProbe<P>
+    where
+        P: ShardableProbe,
+    {
+        SanitizeProbe::new(parent.fork_shard())
+    }
+
+    /// The findings so far.
+    pub fn report(&self) -> &SanitizeReport {
+        &self.report
+    }
+
+    /// Read access to the wrapped probe.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps into the inner probe and the accumulated report.
+    pub fn into_parts(self) -> (P, SanitizeReport) {
+        (self.inner, self.report)
+    }
+}
+
+impl<P: Probe> Probe for SanitizeProbe<P> {
+    fn kernel_launch(&mut self, blocks: u64, warps_per_block: u64) {
+        self.inner.kernel_launch(blocks, warps_per_block);
+        // A launch is a device-wide sync: racecheck scope is per-launch,
+        // so the shadow epoch resets (matching compute-sanitizer).
+        self.writes.clear();
+        self.inherited.clear();
+    }
+    fn load_val(&mut self, elems: u64, bytes_per: u64) {
+        self.inner.load_val(elems, bytes_per);
+    }
+    fn load_idx(&mut self, elems: u64, bytes_per: u64) {
+        self.inner.load_idx(elems, bytes_per);
+    }
+    fn load_meta(&mut self, elems: u64, bytes_per: u64) {
+        self.inner.load_meta(elems, bytes_per);
+    }
+    fn store_y(&mut self, elems: u64, bytes_per: u64) {
+        self.inner.store_y(elems, bytes_per);
+    }
+    fn load_x(&mut self, index: usize, bytes_per: u64) {
+        self.inner.load_x(index, bytes_per);
+    }
+    fn mma(&mut self) {
+        self.inner.mma();
+    }
+    fn fma(&mut self, n: u64) {
+        self.inner.fma(n);
+    }
+    fn shfl(&mut self, n: u64) {
+        self.inner.shfl(n);
+    }
+    fn warp_begin(&mut self, warp_id: usize) {
+        self.inner.warp_begin(warp_id);
+        self.warp = Some(warp_id);
+        self.frag = 0;
+    }
+    fn warp_end(&mut self, warp_id: usize) {
+        self.inner.warp_end(warp_id);
+        self.warp = None;
+    }
+    fn divergence(&mut self, inactive: u64) {
+        self.inner.divergence(inactive);
+    }
+    fn stats_snapshot(&self) -> KernelStats {
+        self.inner.stats_snapshot()
+    }
+
+    fn sanitizing(&self) -> bool {
+        true
+    }
+    fn san_region(&mut self, region: &'static str) {
+        self.region = region;
+        // Register the region even if it never produces a diagnostic: a
+        // clean report then still lists every kernel that was checked,
+        // which is what makes "clean" evidence of coverage.
+        self.report.per_region.entry(region).or_default();
+    }
+    fn san_write(&mut self, space: u32, index: usize) {
+        use std::collections::hash_map::Entry;
+        match self.writes.entry((space, index)) {
+            Entry::Occupied(e) => {
+                let prev = *e.get();
+                let d = if prev.warp.is_some() && prev.warp == self.warp {
+                    Diagnostic::DoubleWrite {
+                        region: self.region,
+                        space,
+                        index,
+                        warp: self.warp,
+                    }
+                } else {
+                    Diagnostic::CrossWarpRace {
+                        region: self.region,
+                        other_region: prev.region,
+                        space,
+                        index,
+                        warp: self.warp,
+                        other_warp: prev.warp,
+                    }
+                };
+                self.report.record(d);
+            }
+            Entry::Vacant(v) => {
+                v.insert(WriteRec {
+                    warp: self.warp,
+                    region: self.region,
+                    merged: false,
+                });
+            }
+        }
+    }
+    fn san_read(&mut self, space: u32, index: usize) {
+        let key = (space, index);
+        if !self.writes.contains_key(&key) && !self.inherited.contains(&key) {
+            self.report.record(Diagnostic::UninitRead {
+                region: self.region,
+                space,
+                index,
+                warp: self.warp,
+            });
+        }
+    }
+    fn san_shfl(&mut self, event: &ShflEvent) {
+        let d = if event.used_lanes != 0 {
+            Diagnostic::ShflOobUsed {
+                region: self.region,
+                warp: self.warp,
+                op: event.op,
+                mask: event.mask,
+                lanes: event.used_lanes,
+            }
+        } else {
+            Diagnostic::ShflOobDiscarded {
+                region: self.region,
+                warp: self.warp,
+                op: event.op,
+                mask: event.mask,
+                lanes: event.oob_lanes,
+            }
+        };
+        self.report.record(d);
+    }
+    fn san_frag_clear(&mut self) {
+        // An explicit acc_zero writes every C register: all slots defined.
+        self.frag = u64::MAX;
+    }
+    fn san_frag_mma(&mut self, touched: u64) {
+        self.frag |= touched;
+    }
+    fn san_frag_read(&mut self, lane: usize, reg: usize) {
+        let bit = lane * 2 + reg;
+        if bit < 64 && self.frag & (1u64 << bit) == 0 {
+            self.report.record(Diagnostic::UninitFragRead {
+                region: self.region,
+                warp: self.warp,
+                lane,
+                reg,
+            });
+        }
+    }
+}
+
+impl<P: ShardableProbe> ShardableProbe for SanitizeProbe<P> {
+    fn fork_shard(&self) -> Self {
+        // The parent's whole write history (its own epoch plus whatever it
+        // inherited) becomes the shard's read-only pre-barrier epoch:
+        // reads of it are initialized, rewrites of it are legal, and only
+        // overlap between sibling shards' fresh writes is a race.
+        let mut inherited = self.inherited.clone();
+        inherited.extend(self.writes.keys().copied());
+        SanitizeProbe {
+            inner: self.inner.fork_shard(),
+            region: self.region,
+            warp: None,
+            writes: HashMap::new(),
+            inherited,
+            frag: 0,
+            report: SanitizeReport::new(),
+        }
+    }
+
+    fn merge_shard(&mut self, shard: Self) {
+        let SanitizeProbe {
+            inner,
+            writes,
+            report,
+            ..
+        } = shard;
+        self.inner.merge_shard(inner);
+        self.report.merge(&report);
+        for (key, rec) in writes {
+            match self.writes.get(&key) {
+                Some(prev) if prev.merged => {
+                    // Two sibling shards wrote the same element
+                    // concurrently within this run.
+                    self.report.record(Diagnostic::CrossWarpRace {
+                        region: rec.region,
+                        other_region: prev.region,
+                        space: key.0,
+                        index: key.1,
+                        warp: rec.warp,
+                        other_warp: prev.warp,
+                    });
+                }
+                _ => {
+                    // Fresh element, or a legal post-barrier rewrite of a
+                    // value the parent wrote before forking this run's
+                    // shards. Either way the shard's write is now the
+                    // element's current owner.
+                    self.writes.insert(
+                        key,
+                        WriteRec {
+                            merged: true,
+                            ..rec
+                        },
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dasp_simt::{space, NoProbe, ShflOp};
+
+    #[test]
+    fn clean_warp_reports_nothing() {
+        let mut p = SanitizeProbe::new(NoProbe);
+        p.kernel_launch(1, 1);
+        p.warp_begin(0);
+        p.san_region("k");
+        p.san_write(space::Y, 0);
+        p.san_write(space::Y, 1);
+        p.warp_end(0);
+        assert!(p.report().is_clean());
+        assert_eq!(p.report().counts, Default::default());
+    }
+
+    #[test]
+    fn double_write_same_warp() {
+        let mut p = SanitizeProbe::new(NoProbe);
+        p.warp_begin(3);
+        p.san_region("k");
+        p.san_write(space::Y, 9);
+        p.san_write(space::Y, 9);
+        assert_eq!(p.report().counts.double_writes, 1);
+        assert!(matches!(
+            p.report().sites[0],
+            Diagnostic::DoubleWrite {
+                index: 9,
+                warp: Some(3),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn cross_warp_race_sequential() {
+        let mut p = SanitizeProbe::new(NoProbe);
+        p.warp_begin(0);
+        p.san_write(space::Y, 5);
+        p.warp_end(0);
+        p.warp_begin(1);
+        p.san_write(space::Y, 5);
+        p.warp_end(1);
+        assert_eq!(p.report().counts.races, 1);
+    }
+
+    #[test]
+    fn spaces_do_not_alias() {
+        let mut p = SanitizeProbe::new(NoProbe);
+        p.warp_begin(0);
+        p.san_write(space::Y, 5);
+        p.san_write(space::AUX, 5);
+        assert!(p.report().is_clean());
+    }
+
+    #[test]
+    fn launch_opens_a_new_epoch() {
+        let mut p = SanitizeProbe::new(NoProbe);
+        p.kernel_launch(1, 1);
+        p.warp_begin(0);
+        p.san_write(space::Y, 2);
+        p.warp_end(0);
+        p.kernel_launch(1, 1);
+        p.warp_begin(0);
+        p.san_write(space::Y, 2); // legal: new launch rewrites old output
+        p.warp_end(0);
+        assert!(p.report().is_clean());
+    }
+
+    #[test]
+    fn cross_shard_overlap_is_a_race() {
+        let root = SanitizeProbe::new(NoProbe);
+        let mut a = root.fork_shard();
+        let mut b = root.fork_shard();
+        a.warp_begin(0);
+        a.san_write(space::Y, 7);
+        a.warp_end(0);
+        b.warp_begin(1);
+        b.san_write(space::Y, 7);
+        b.warp_end(1);
+        let mut root = root;
+        root.merge_shard(a);
+        root.merge_shard(b);
+        assert_eq!(root.report().counts.races, 1);
+    }
+
+    #[test]
+    fn shards_read_inherited_writes() {
+        let mut root = SanitizeProbe::new(NoProbe);
+        root.warp_begin(0);
+        root.san_write(space::AUX, 4);
+        root.warp_end(0);
+        let mut shard = root.fork_shard();
+        shard.warp_begin(9);
+        shard.san_region("phase2");
+        shard.san_read(space::AUX, 4); // written pre-fork: initialized
+        shard.san_write(space::AUX, 4); // rewrite post-barrier: legal
+        shard.warp_end(9);
+        root.merge_shard(shard);
+        assert!(root.report().is_clean());
+    }
+
+    #[test]
+    fn uninit_read_fires() {
+        let mut p = SanitizeProbe::new(NoProbe);
+        p.warp_begin(0);
+        p.san_region("k");
+        p.san_read(space::AUX, 11);
+        assert_eq!(p.report().counts.uninit_reads, 1);
+    }
+
+    #[test]
+    fn frag_poison_tracking() {
+        let mut p = SanitizeProbe::new(NoProbe);
+        p.warp_begin(0);
+        // No acc_zero: the fragment is poisoned; an MMA defines only the
+        // slots it touches (the masked-A / masked-B pattern).
+        p.san_frag_mma(0b10); // slot (lane 0, reg 1) touched
+        p.san_frag_read(0, 1); // fine
+        p.san_frag_read(0, 0); // poisoned
+        assert_eq!(p.report().counts.uninit_frag_reads, 1);
+        assert!(matches!(
+            p.report().sites[0],
+            Diagnostic::UninitFragRead {
+                lane: 0,
+                reg: 0,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn acc_zero_defines_every_slot() {
+        let mut p = SanitizeProbe::new(NoProbe);
+        p.warp_begin(0);
+        p.san_frag_clear();
+        for lane in 0..32 {
+            p.san_frag_read(lane, 0);
+            p.san_frag_read(lane, 1);
+        }
+        assert!(p.report().is_clean());
+    }
+
+    #[test]
+    fn warp_begin_poisons_the_fragment() {
+        let mut p = SanitizeProbe::new(NoProbe);
+        p.warp_begin(0);
+        p.san_frag_mma(u64::MAX);
+        p.warp_end(0);
+        p.warp_begin(1);
+        p.san_frag_read(3, 0); // previous warp's fragment is gone
+        assert_eq!(p.report().counts.uninit_frag_reads, 1);
+    }
+
+    #[test]
+    fn shfl_events_split_by_use() {
+        let mut p = SanitizeProbe::new(NoProbe);
+        p.warp_begin(0);
+        p.san_shfl(&ShflEvent {
+            op: ShflOp::Down,
+            mask: 0xff,
+            oob_lanes: 0x80,
+            used_lanes: 0x80,
+        });
+        p.san_shfl(&ShflEvent {
+            op: ShflOp::SyncVar,
+            mask: 0xffff,
+            oob_lanes: 0xff00,
+            used_lanes: 0,
+        });
+        assert_eq!(p.report().counts.shfl_oob_used, 1);
+        assert_eq!(p.report().counts.shfl_oob_discarded, 1);
+        assert!(!p.report().is_clean());
+    }
+
+    #[test]
+    fn counters_pass_through_to_inner() {
+        use dasp_simt::CountingProbe;
+        let mut plain = CountingProbe::a100();
+        plain.fma(5);
+        plain.load_x(0, 8);
+        let mut wrapped = SanitizeProbe::new(CountingProbe::a100());
+        wrapped.fma(5);
+        wrapped.load_x(0, 8);
+        assert_eq!(plain.stats(), wrapped.stats_snapshot());
+    }
+}

@@ -1,0 +1,585 @@
+//! Structured sanitizer output: [`Diagnostic`] sites, [`SanCounts`], and
+//! the aggregated [`SanitizeReport`].
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use dasp_simt::ShflOp;
+
+/// One offending site found by a checker.
+///
+/// `region` strings come from [`dasp_simt::Probe::san_region`] and name
+/// the kernel (e.g. `"dasp.long.phase1"`, `"csr5"`); `warp` is the
+/// simulator warp id active when the diagnostic fired (`None` for
+/// host-side epilogue reads and shard-merge detections, which happen
+/// outside any warp).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Diagnostic {
+    /// Racecheck: two different warps wrote the same element of the same
+    /// scatter space within one launch.
+    CrossWarpRace {
+        /// Kernel region of the later write.
+        region: &'static str,
+        /// Kernel region of the earlier write.
+        other_region: &'static str,
+        /// Scatter space (see [`dasp_simt::space`]).
+        space: u32,
+        /// Element index within the space.
+        index: usize,
+        /// Warp issuing the later write.
+        warp: Option<usize>,
+        /// Warp that wrote first.
+        other_warp: Option<usize>,
+    },
+    /// Racecheck: one warp wrote the same element twice in one launch.
+    DoubleWrite {
+        /// Kernel region of the writes.
+        region: &'static str,
+        /// Scatter space.
+        space: u32,
+        /// Element index within the space.
+        index: usize,
+        /// The writing warp.
+        warp: Option<usize>,
+    },
+    /// Maskcheck: a shuffle read an out-of-mask source lane and the
+    /// kernel consumed the result.
+    ShflOobUsed {
+        /// Kernel region of the issue.
+        region: &'static str,
+        /// The issuing warp.
+        warp: Option<usize>,
+        /// The shuffle instruction.
+        op: ShflOp,
+        /// The active mask the instruction was issued with.
+        mask: u32,
+        /// Lanes whose out-of-mask read was consumed.
+        lanes: u32,
+    },
+    /// Maskcheck (informational): out-of-mask source reads whose results
+    /// a subsequent predicate discards — the hardware-UB pattern the
+    /// paper's extraction shuffles rely on. Never an error.
+    ShflOobDiscarded {
+        /// Kernel region of the issue.
+        region: &'static str,
+        /// The issuing warp.
+        warp: Option<usize>,
+        /// The shuffle instruction.
+        op: ShflOp,
+        /// The active mask the instruction was issued with.
+        mask: u32,
+        /// Lanes whose out-of-mask read was discarded.
+        lanes: u32,
+    },
+    /// Initcheck: an accumulator fragment slot was consumed without any
+    /// MMA touching it since the last clear.
+    UninitFragRead {
+        /// Kernel region of the read.
+        region: &'static str,
+        /// The reading warp.
+        warp: Option<usize>,
+        /// Fragment lane of the poisoned slot.
+        lane: usize,
+        /// Fragment register (0 or 1) of the poisoned slot.
+        reg: usize,
+    },
+    /// Initcheck: a scatter-space element was read that no write in the
+    /// launch (or inherited pre-barrier epoch) produced.
+    UninitRead {
+        /// Kernel region of the read.
+        region: &'static str,
+        /// Scatter space.
+        space: u32,
+        /// Element index within the space.
+        index: usize,
+        /// The reading warp.
+        warp: Option<usize>,
+    },
+}
+
+impl Diagnostic {
+    /// True for diagnostics that indicate a real bug; false for the
+    /// informational [`Diagnostic::ShflOobDiscarded`] class.
+    pub fn is_error(&self) -> bool {
+        !matches!(self, Diagnostic::ShflOobDiscarded { .. })
+    }
+
+    /// The kernel region the diagnostic is attributed to.
+    pub fn region(&self) -> &'static str {
+        match self {
+            Diagnostic::CrossWarpRace { region, .. }
+            | Diagnostic::DoubleWrite { region, .. }
+            | Diagnostic::ShflOobUsed { region, .. }
+            | Diagnostic::ShflOobDiscarded { region, .. }
+            | Diagnostic::UninitFragRead { region, .. }
+            | Diagnostic::UninitRead { region, .. } => region,
+        }
+    }
+
+    /// Short machine-readable kind tag (JSON `kind` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Diagnostic::CrossWarpRace { .. } => "race",
+            Diagnostic::DoubleWrite { .. } => "double_write",
+            Diagnostic::ShflOobUsed { .. } => "shfl_oob_used",
+            Diagnostic::ShflOobDiscarded { .. } => "shfl_oob_discarded",
+            Diagnostic::UninitFragRead { .. } => "uninit_frag_read",
+            Diagnostic::UninitRead { .. } => "uninit_read",
+        }
+    }
+
+    fn to_json(self) -> String {
+        fn warp(w: Option<usize>) -> String {
+            match w {
+                Some(w) => w.to_string(),
+                None => "null".to_string(),
+            }
+        }
+        match self {
+            Diagnostic::CrossWarpRace {
+                region,
+                other_region,
+                space,
+                index,
+                warp: w,
+                other_warp,
+            } => format!(
+                "{{\"kind\":\"race\",\"region\":\"{region}\",\"other_region\":\"{other_region}\",\
+                 \"space\":{space},\"index\":{index},\"warp\":{},\"other_warp\":{}}}",
+                warp(w),
+                warp(other_warp)
+            ),
+            Diagnostic::DoubleWrite {
+                region,
+                space,
+                index,
+                warp: w,
+            } => format!(
+                "{{\"kind\":\"double_write\",\"region\":\"{region}\",\"space\":{space},\
+                 \"index\":{index},\"warp\":{}}}",
+                warp(w)
+            ),
+            Diagnostic::ShflOobUsed {
+                region,
+                warp: w,
+                op,
+                mask,
+                lanes,
+            }
+            | Diagnostic::ShflOobDiscarded {
+                region,
+                warp: w,
+                op,
+                mask,
+                lanes,
+            } => format!(
+                "{{\"kind\":\"{}\",\"region\":\"{region}\",\"op\":\"{}\",\"mask\":{mask},\
+                 \"lanes\":{lanes},\"warp\":{}}}",
+                self.kind(),
+                op.name(),
+                warp(w)
+            ),
+            Diagnostic::UninitFragRead {
+                region,
+                warp: w,
+                lane,
+                reg,
+            } => format!(
+                "{{\"kind\":\"uninit_frag_read\",\"region\":\"{region}\",\"lane\":{lane},\
+                 \"reg\":{reg},\"warp\":{}}}",
+                warp(w)
+            ),
+            Diagnostic::UninitRead {
+                region,
+                space,
+                index,
+                warp: w,
+            } => format!(
+                "{{\"kind\":\"uninit_read\",\"region\":\"{region}\",\"space\":{space},\
+                 \"index\":{index},\"warp\":{}}}",
+                warp(w)
+            ),
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::CrossWarpRace {
+                region,
+                other_region,
+                space,
+                index,
+                warp,
+                other_warp,
+            } => write!(
+                f,
+                "RACE in {region}: warp {warp:?} and warp {other_warp:?} ({other_region}) both \
+                 wrote space {space} index {index}"
+            ),
+            Diagnostic::DoubleWrite {
+                region,
+                space,
+                index,
+                warp,
+            } => write!(
+                f,
+                "DOUBLE WRITE in {region}: warp {warp:?} wrote space {space} index {index} twice"
+            ),
+            Diagnostic::ShflOobUsed {
+                region,
+                warp,
+                op,
+                mask,
+                lanes,
+            } => write!(
+                f,
+                "SHFL OOB in {region}: warp {warp:?} {} consumed out-of-mask reads on lanes \
+                 {lanes:#010x} (mask {mask:#010x})",
+                op.name()
+            ),
+            Diagnostic::ShflOobDiscarded {
+                region,
+                warp,
+                op,
+                mask,
+                lanes,
+            } => write!(
+                f,
+                "shfl oob (discarded) in {region}: warp {warp:?} {} lanes {lanes:#010x} \
+                 (mask {mask:#010x})",
+                op.name()
+            ),
+            Diagnostic::UninitFragRead {
+                region,
+                warp,
+                lane,
+                reg,
+            } => write!(
+                f,
+                "UNINIT FRAG READ in {region}: warp {warp:?} consumed accumulator slot \
+                 (lane {lane}, reg {reg}) no MMA touched"
+            ),
+            Diagnostic::UninitRead {
+                region,
+                space,
+                index,
+                warp,
+            } => write!(
+                f,
+                "UNINIT READ in {region}: warp {warp:?} read space {space} index {index} \
+                 which was never written"
+            ),
+        }
+    }
+}
+
+/// Per-checker diagnostic counts (full totals — unlike the site list,
+/// counts are never truncated).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SanCounts {
+    /// Cross-warp write-write races.
+    pub races: u64,
+    /// Same-warp double writes.
+    pub double_writes: u64,
+    /// Out-of-mask shuffle reads whose values were consumed.
+    pub shfl_oob_used: u64,
+    /// Out-of-mask shuffle reads discarded by predicates (informational).
+    pub shfl_oob_discarded: u64,
+    /// Reads of never-touched accumulator fragment slots.
+    pub uninit_frag_reads: u64,
+    /// Reads of never-written scatter-space elements.
+    pub uninit_reads: u64,
+}
+
+impl SanCounts {
+    /// Total error-class diagnostics (everything but discarded OOB).
+    pub fn errors(&self) -> u64 {
+        self.races
+            + self.double_writes
+            + self.shfl_oob_used
+            + self.uninit_frag_reads
+            + self.uninit_reads
+    }
+
+    /// Sums another count record into this one.
+    pub fn merge(&mut self, other: &SanCounts) {
+        self.races += other.races;
+        self.double_writes += other.double_writes;
+        self.shfl_oob_used += other.shfl_oob_used;
+        self.shfl_oob_discarded += other.shfl_oob_discarded;
+        self.uninit_frag_reads += other.uninit_frag_reads;
+        self.uninit_reads += other.uninit_reads;
+    }
+
+    fn bump(&mut self, d: &Diagnostic) {
+        match d {
+            Diagnostic::CrossWarpRace { .. } => self.races += 1,
+            Diagnostic::DoubleWrite { .. } => self.double_writes += 1,
+            Diagnostic::ShflOobUsed { .. } => self.shfl_oob_used += 1,
+            Diagnostic::ShflOobDiscarded { .. } => self.shfl_oob_discarded += 1,
+            Diagnostic::UninitFragRead { .. } => self.uninit_frag_reads += 1,
+            Diagnostic::UninitRead { .. } => self.uninit_reads += 1,
+        }
+    }
+}
+
+/// Maximum number of detailed offending sites a report retains (counts
+/// keep accumulating past the cap, compute-sanitizer style).
+pub const MAX_SITES: usize = 32;
+
+/// Aggregated sanitizer findings: totals, per-kernel-region breakdown,
+/// and the first [`MAX_SITES`] offending sites.
+#[derive(Debug, Clone, Default)]
+pub struct SanitizeReport {
+    /// Whole-run totals.
+    pub counts: SanCounts,
+    /// Totals broken down by kernel region.
+    pub per_region: BTreeMap<&'static str, SanCounts>,
+    /// The first [`MAX_SITES`] diagnostics, in detection order.
+    pub sites: Vec<Diagnostic>,
+    /// Diagnostics beyond the site cap (counted, not retained).
+    pub dropped_sites: u64,
+}
+
+impl SanitizeReport {
+    /// A report with nothing recorded.
+    pub fn new() -> SanitizeReport {
+        SanitizeReport::default()
+    }
+
+    /// True when no error-class diagnostic was recorded (discarded OOB
+    /// shuffle reads are informational and do not dirty a run).
+    pub fn is_clean(&self) -> bool {
+        self.counts.errors() == 0
+    }
+
+    /// Records one diagnostic: bumps totals and the per-region breakdown,
+    /// and retains the site if under the cap.
+    pub fn record(&mut self, d: Diagnostic) {
+        self.counts.bump(&d);
+        self.per_region.entry(d.region()).or_default().bump(&d);
+        if self.sites.len() < MAX_SITES {
+            self.sites.push(d);
+        } else {
+            self.dropped_sites += 1;
+        }
+    }
+
+    /// Folds another report into this one (shard/launch merge).
+    pub fn merge(&mut self, other: &SanitizeReport) {
+        self.counts.merge(&other.counts);
+        for (region, c) in &other.per_region {
+            self.per_region.entry(region).or_default().merge(c);
+        }
+        for d in &other.sites {
+            if self.sites.len() < MAX_SITES {
+                self.sites.push(*d);
+            } else {
+                self.dropped_sites += 1;
+            }
+        }
+        self.dropped_sites += other.dropped_sites;
+    }
+
+    /// Serializes the report as a JSON object (counts, per-region
+    /// breakdown, sites) for CI artifacts and the `--sanitize-out` flag.
+    pub fn to_json(&self) -> String {
+        fn counts_json(c: &SanCounts) -> String {
+            format!(
+                "{{\"races\":{},\"double_writes\":{},\"shfl_oob_used\":{},\
+                 \"shfl_oob_discarded\":{},\"uninit_frag_reads\":{},\"uninit_reads\":{}}}",
+                c.races,
+                c.double_writes,
+                c.shfl_oob_used,
+                c.shfl_oob_discarded,
+                c.uninit_frag_reads,
+                c.uninit_reads
+            )
+        }
+        let regions: Vec<String> = self
+            .per_region
+            .iter()
+            .map(|(r, c)| format!("\"{r}\":{}", counts_json(c)))
+            .collect();
+        let sites: Vec<String> = self.sites.iter().map(|d| d.to_json()).collect();
+        format!(
+            "{{\"clean\":{},\"errors\":{},\"counts\":{},\"per_region\":{{{}}},\
+             \"sites\":[{}],\"dropped_sites\":{}}}",
+            self.is_clean(),
+            self.counts.errors(),
+            counts_json(&self.counts),
+            regions.join(","),
+            sites.join(","),
+            self.dropped_sites
+        )
+    }
+
+    /// Publishes the counts into a `dasp-trace` metrics registry under
+    /// `sanitize.*` counter names.
+    pub fn export_metrics(&self, registry: &dasp_trace::Registry) {
+        registry.counter_add("sanitize.races", self.counts.races);
+        registry.counter_add("sanitize.double_writes", self.counts.double_writes);
+        registry.counter_add("sanitize.shfl_oob_used", self.counts.shfl_oob_used);
+        registry.counter_add(
+            "sanitize.shfl_oob_discarded",
+            self.counts.shfl_oob_discarded,
+        );
+        registry.counter_add("sanitize.uninit_frag_reads", self.counts.uninit_frag_reads);
+        registry.counter_add("sanitize.uninit_reads", self.counts.uninit_reads);
+        registry.counter_add("sanitize.errors", self.counts.errors());
+    }
+}
+
+impl fmt::Display for SanitizeReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_clean() && self.counts.shfl_oob_discarded == 0 {
+            let regions: Vec<&str> = self.per_region.keys().copied().collect();
+            return if regions.is_empty() {
+                write!(f, "sanitize: clean (0 diagnostics)")
+            } else {
+                write!(
+                    f,
+                    "sanitize: clean (0 diagnostics across {} checked region(s): {})",
+                    regions.len(),
+                    regions.join(", ")
+                )
+            };
+        }
+        writeln!(
+            f,
+            "sanitize: {} error(s) — {} race, {} double-write, {} shfl-oob-used, \
+             {} uninit-frag, {} uninit-read ({} discarded-oob informational)",
+            self.counts.errors(),
+            self.counts.races,
+            self.counts.double_writes,
+            self.counts.shfl_oob_used,
+            self.counts.uninit_frag_reads,
+            self.counts.uninit_reads,
+            self.counts.shfl_oob_discarded
+        )?;
+        for (region, c) in &self.per_region {
+            writeln!(
+                f,
+                "  {region}: {} error(s), {} informational",
+                c.errors(),
+                c.shfl_oob_discarded
+            )?;
+        }
+        for d in &self.sites {
+            writeln!(f, "  {d}")?;
+        }
+        if self.dropped_sites > 0 {
+            writeln!(
+                f,
+                "  ... and {} more site(s) not retained",
+                self.dropped_sites
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn race() -> Diagnostic {
+        Diagnostic::CrossWarpRace {
+            region: "a",
+            other_region: "b",
+            space: 0,
+            index: 7,
+            warp: Some(1),
+            other_warp: Some(2),
+        }
+    }
+
+    #[test]
+    fn record_bumps_totals_and_regions() {
+        let mut r = SanitizeReport::new();
+        r.record(race());
+        r.record(Diagnostic::ShflOobDiscarded {
+            region: "a",
+            warp: None,
+            op: ShflOp::SyncVar,
+            mask: u32::MAX,
+            lanes: 3,
+        });
+        assert_eq!(r.counts.races, 1);
+        assert_eq!(r.counts.shfl_oob_discarded, 1);
+        assert_eq!(r.counts.errors(), 1);
+        assert!(!r.is_clean());
+        assert_eq!(r.per_region["a"].races, 1);
+        assert_eq!(r.sites.len(), 2);
+    }
+
+    #[test]
+    fn discarded_oob_alone_is_clean() {
+        let mut r = SanitizeReport::new();
+        r.record(Diagnostic::ShflOobDiscarded {
+            region: "x",
+            warp: Some(0),
+            op: ShflOp::SyncVar,
+            mask: 1,
+            lanes: 2,
+        });
+        assert!(r.is_clean());
+    }
+
+    #[test]
+    fn site_cap_drops_but_keeps_counting() {
+        let mut r = SanitizeReport::new();
+        for _ in 0..(MAX_SITES + 5) {
+            r.record(race());
+        }
+        assert_eq!(r.sites.len(), MAX_SITES);
+        assert_eq!(r.dropped_sites, 5);
+        assert_eq!(r.counts.races, (MAX_SITES + 5) as u64);
+    }
+
+    #[test]
+    fn merge_sums_counts_and_regions() {
+        let mut a = SanitizeReport::new();
+        a.record(race());
+        let mut b = SanitizeReport::new();
+        b.record(race());
+        b.record(Diagnostic::UninitRead {
+            region: "c",
+            space: 1,
+            index: 0,
+            warp: None,
+        });
+        a.merge(&b);
+        assert_eq!(a.counts.races, 2);
+        assert_eq!(a.counts.uninit_reads, 1);
+        assert_eq!(a.per_region["a"].races, 2);
+        assert_eq!(a.per_region["c"].uninit_reads, 1);
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let mut r = SanitizeReport::new();
+        r.record(race());
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"clean\":false"));
+        assert!(j.contains("\"races\":1"));
+        assert!(j.contains("\"kind\":\"race\""));
+        // Balanced braces (hand-rolled JSON sanity).
+        let open = j.matches('{').count();
+        let close = j.matches('}').count();
+        assert_eq!(open, close);
+    }
+
+    #[test]
+    fn metrics_export_lands_in_registry() {
+        let reg = dasp_trace::Registry::new();
+        let mut r = SanitizeReport::new();
+        r.record(race());
+        r.export_metrics(&reg);
+        assert_eq!(reg.counter("sanitize.races"), Some(1));
+        assert_eq!(reg.counter("sanitize.errors"), Some(1));
+    }
+}

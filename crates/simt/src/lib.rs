@@ -81,9 +81,9 @@ pub use cache::CacheModel;
 pub use exec::{Executor, ParExecutor, SeqExecutor, DEFAULT_SEQ_THRESHOLD};
 pub use grid::SharedSlice;
 pub use mma::{mma_m8n8k4, AccFrag};
-pub use probe::{CountingProbe, KernelStats, NoProbe, Probe, ShardableProbe};
+pub use probe::{space, CountingProbe, KernelStats, NoProbe, Probe, ShardableProbe};
 pub use shuffle::{
-    all_sync, any_sync, ballot_sync, shfl_down_sync, shfl_sync, shfl_sync_var, shfl_up_sync,
-    shfl_xor_sync, warp_reduce,
+    all_sync, any_sync, ballot_sync, checked, shfl_down_sync, shfl_sync, shfl_sync_var,
+    shfl_up_sync, shfl_xor_sync, warp_reduce, ShflEvent, ShflOp,
 };
 pub use warp::{full_mask, lane_ids, lanes, WARP_SIZE};

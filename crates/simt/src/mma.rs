@@ -107,6 +107,30 @@ pub const fn diag_position(i: usize) -> (usize, usize) {
     (i * 4 + i / 2, i & 1)
 }
 
+/// Accumulator-slot bitmask (bit `lane*2 + reg`) covering the eight
+/// diagonal positions `C[i][i]` — the slots the SpMV row-segment scheme
+/// deposits real results in. Kernels pass this to
+/// [`crate::Probe::san_frag_mma`] so initcheck knows which fragment slots
+/// an MMA defined.
+pub const DIAG_SLOTS: u64 = {
+    let mut m = 0u64;
+    let mut i = 0;
+    while i < MMA_M {
+        let (lane, reg) = diag_position(i);
+        m |= 1u64 << (lane * 2 + reg);
+        i += 1;
+    }
+    m
+};
+
+/// Accumulator-slot bitmask covering all eight columns of row `r` of `C`
+/// (`C[r][j]` lives at lane `r*4 + (j>>1)`, register `j&1`): the slots a
+/// masked-A SpMM segment issue defines.
+#[inline]
+pub const fn row_slots(r: usize) -> u64 {
+    0xffu64 << (r * 8)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -172,6 +196,33 @@ mod tests {
             for j in 0..MMA_N {
                 assert_eq!(got[i][j], 2.0 * want[i][j]);
             }
+        }
+    }
+
+    #[test]
+    fn slot_masks_match_the_layout() {
+        // DIAG_SLOTS covers exactly the eight diag_position slots.
+        let mut want = 0u64;
+        for i in 0..MMA_M {
+            let (lane, reg) = diag_position(i);
+            want |= 1 << (lane * 2 + reg);
+        }
+        assert_eq!(DIAG_SLOTS, want);
+        assert_eq!(DIAG_SLOTS.count_ones(), 8);
+        // row_slots(r) covers C[r][0..8] = lanes r*4..r*4+4, both regs.
+        for r in 0..MMA_M {
+            let mut want = 0u64;
+            for j in 0..MMA_N {
+                let lane = r * 4 + (j >> 1);
+                let reg = j & 1;
+                want |= 1 << (lane * 2 + reg);
+            }
+            assert_eq!(row_slots(r), want, "row {r}");
+        }
+        // Every diagonal slot is in its own row's slot set.
+        for r in 0..MMA_M {
+            let (lane, reg) = diag_position(r);
+            assert_ne!(row_slots(r) & (1 << (lane * 2 + reg)), 0);
         }
     }
 

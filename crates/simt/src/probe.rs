@@ -11,6 +11,22 @@
 //!   drivers that regenerate the paper's figures.
 
 use crate::cache::CacheModel;
+use crate::shuffle::ShflEvent;
+
+/// Scatter-space identifiers for the sanitizer write/read hooks
+/// ([`Probe::san_write`] / [`Probe::san_read`]).
+///
+/// Each constant names one logical output array a kernel scatters into
+/// through a [`crate::SharedSlice`]. Racecheck keys its shadow write sets
+/// by `(space, index)`, so two kernels writing index 7 of *different*
+/// arrays never alias.
+pub mod space {
+    /// The result vector/panel `y`.
+    pub const Y: u32 = 0;
+    /// Auxiliary partial arrays: `warpVal` of the long kernel, the
+    /// per-segment/tile carry arrays of the segmented baselines.
+    pub const AUX: u32 = 1;
+}
 
 /// Traffic and instruction counters for one kernel (or a sum of kernels).
 ///
@@ -204,6 +220,65 @@ pub trait Probe {
     fn stats_snapshot(&self) -> KernelStats {
         KernelStats::default()
     }
+
+    // --- Sanitizer hooks (default no-ops; implemented by the
+    // --- `dasp-sanitize` crate's `SanitizeProbe`) -----------------------
+
+    /// True when this probe is a sanitizer. Gates the checked shuffle
+    /// variants in [`crate::shuffle::checked`]: when `true`, out-of-mask
+    /// source reads are *reported* through [`Probe::san_shfl`] (release
+    /// builds included); when `false`, they fall back to the historical
+    /// `debug_assert!` and the hardware's keep-own-value semantics.
+    #[inline(always)]
+    fn sanitizing(&self) -> bool {
+        false
+    }
+
+    /// Names the kernel region the warp is executing, for diagnostic
+    /// attribution. Kernels call this right after [`Probe::warp_begin`].
+    #[inline(always)]
+    fn san_region(&mut self, _region: &'static str) {}
+
+    /// Records one element write into scatter space `space` (see
+    /// [`space`]) at element `index`. Racecheck flags a second write to
+    /// the same `(space, index)` within one launch: same warp →
+    /// double-write, different warp → cross-warp race.
+    #[inline(always)]
+    fn san_write(&mut self, _space: u32, _index: usize) {}
+
+    /// Records one element read from scatter space `space` at `index`
+    /// that the kernel expects an earlier-in-launch (or pre-barrier)
+    /// write to have produced. Initcheck flags reads of never-written
+    /// slots.
+    #[inline(always)]
+    fn san_read(&mut self, _space: u32, _index: usize) {}
+
+    /// Reports the mask-check outcome of one shuffle/vote issue (only
+    /// called by the [`crate::shuffle::checked`] variants, and only when
+    /// an out-of-mask source read occurred).
+    #[inline(always)]
+    fn san_shfl(&mut self, _event: &ShflEvent) {}
+
+    /// Marks the warp's MMA accumulator fragment as explicitly
+    /// zero-initialized: every slot becomes *defined* (an `acc_zero` is a
+    /// real write of the C registers). The fragment starts each warp
+    /// poisoned — [`Probe::warp_begin`] is the poison point — so a read
+    /// before any clear or MMA is flagged.
+    #[inline(always)]
+    fn san_frag_clear(&mut self) {}
+
+    /// Records which accumulator slots received real contributions from
+    /// an MMA issue. Bit `lane*2 + reg` of `touched` covers fragment
+    /// register `reg` of `lane` (64 bits = 32 lanes x 2 accumulator
+    /// registers).
+    #[inline(always)]
+    fn san_frag_mma(&mut self, _touched: u64) {}
+
+    /// Records consumption of accumulator slot (`lane`, `reg`) into an
+    /// output value. Initcheck flags the read if no MMA since the last
+    /// [`Probe::san_frag_clear`] touched that slot.
+    #[inline(always)]
+    fn san_frag_read(&mut self, _lane: usize, _reg: usize) {}
 }
 
 /// A probe that can be split into per-thread shards and merged back,

@@ -344,6 +344,380 @@ pub fn all_sync(mask: u32, pred: [bool; WARP_SIZE]) -> bool {
     ballot_sync(mask, pred) == mask
 }
 
+/// Which shuffle/vote instruction a [`ShflEvent`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ShflOp {
+    /// `shfl_sync` (single-source broadcast).
+    Sync,
+    /// `shfl_sync_var` (per-lane source operand).
+    SyncVar,
+    /// `shfl_down_sync`.
+    Down,
+    /// `shfl_up_sync`.
+    Up,
+    /// `shfl_xor_sync`.
+    Xor,
+    /// `ballot_sync` (vote).
+    Ballot,
+}
+
+impl ShflOp {
+    /// Instruction mnemonic for diagnostics.
+    pub fn name(self) -> &'static str {
+        match self {
+            ShflOp::Sync => "shfl_sync",
+            ShflOp::SyncVar => "shfl_sync_var",
+            ShflOp::Down => "shfl_down_sync",
+            ShflOp::Up => "shfl_up_sync",
+            ShflOp::Xor => "shfl_xor_sync",
+            ShflOp::Ballot => "ballot_sync",
+        }
+    }
+}
+
+/// The mask-check outcome of one shuffle/vote issue, reported through
+/// [`crate::Probe::san_shfl`] by the [`checked`] variants whenever at least
+/// one lane read a source lane outside the active mask.
+///
+/// On hardware an out-of-mask source read is undefined behaviour; the
+/// simulator resolves it as keep-own-value. `used_lanes` distinguishes the
+/// two severities: an out-of-mask read whose result the kernel consumes is
+/// a real bug, while one discarded by a subsequent predicate (the paper's
+/// Algorithms 3/4 compute negative shuffle targets on lanes whose results
+/// are never used) is benign and only reported informationally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShflEvent {
+    /// The instruction that produced the event.
+    pub op: ShflOp,
+    /// The active-lane mask the instruction was issued with.
+    pub mask: u32,
+    /// Lanes that read a source lane outside `mask` (bit per lane).
+    pub oob_lanes: u32,
+    /// Subset of `oob_lanes` whose shuffled value the kernel consumes.
+    pub used_lanes: u32,
+}
+
+/// Checked shuffle/vote variants: identical lane semantics to the plain
+/// functions, but out-of-mask source reads are *reported* instead of
+/// (only) debug-asserted.
+///
+/// Each variant takes a [`crate::Probe`]. When [`crate::Probe::sanitizing`]
+/// is true, a non-zero out-of-mask lane set is delivered as a
+/// [`ShflEvent`] through [`crate::Probe::san_shfl`] — in `--release`
+/// builds too, which is what the plain functions' `debug_assert!`s cannot
+/// do. When the probe is not sanitizing, an out-of-mask read whose value
+/// would be consumed trips the same `debug_assert!` as the plain path, and
+/// release builds keep the hardware's UB-as-keep-own-value semantics at
+/// full speed (the mask bookkeeping is dead code the optimizer removes).
+///
+/// The variants deliberately do **not** bump [`crate::Probe::shfl`]
+/// counters: kernels keep their existing issue accounting, so migrating a
+/// kernel to the checked calls changes no statistics.
+pub mod checked {
+    use super::*;
+    use crate::probe::Probe;
+
+    /// Delivers (or asserts on) a non-empty out-of-mask lane set.
+    #[inline]
+    fn report<P: Probe>(probe: &mut P, op: ShflOp, mask: u32, oob: u32, used: u32) {
+        if oob == 0 {
+            return;
+        }
+        if probe.sanitizing() {
+            probe.san_shfl(&ShflEvent {
+                op,
+                mask,
+                oob_lanes: oob,
+                used_lanes: used,
+            });
+        } else {
+            debug_assert!(
+                used == 0,
+                "{} reads out-of-mask lanes {:#010x} (mask {:#010x}) whose values are used",
+                op.name(),
+                oob,
+                mask
+            );
+        }
+    }
+
+    /// Checked [`shfl_sync`](super::shfl_sync): broadcast from `src_lane`.
+    /// An out-of-mask source is read by *every* active lane.
+    #[inline]
+    pub fn shfl_sync<T: Copy, P: Probe>(
+        probe: &mut P,
+        mask: u32,
+        var: [T; WARP_SIZE],
+        src_lane: usize,
+    ) -> [T; WARP_SIZE] {
+        let src = src_lane % WARP_SIZE;
+        let oob = if in_mask(mask, src) { 0 } else { mask };
+        report(probe, ShflOp::Sync, mask, oob, oob);
+        let mut out = var;
+        for (lane, o) in out.iter_mut().enumerate() {
+            if in_mask(mask, lane) {
+                *o = var[src];
+            }
+        }
+        out
+    }
+
+    /// Checked [`shfl_sync_var`](super::shfl_sync_var). `used` names the
+    /// lanes whose shuffled values the kernel consumes afterwards: an
+    /// out-of-mask read on a used lane is an error, on any other lane it
+    /// is reported as discarded (benign).
+    #[inline]
+    pub fn shfl_sync_var<T: Copy, P: Probe>(
+        probe: &mut P,
+        mask: u32,
+        var: [T; WARP_SIZE],
+        src: &[i32; WARP_SIZE],
+        used: u32,
+    ) -> [T; WARP_SIZE] {
+        let mut out = var;
+        let mut oob = 0u32;
+        for (lane, o) in out.iter_mut().enumerate() {
+            if in_mask(mask, lane) {
+                let s = src[lane].rem_euclid(WARP_SIZE as i32) as usize;
+                if !in_mask(mask, s) {
+                    oob |= 1 << lane;
+                }
+                *o = var[s];
+            }
+        }
+        report(probe, ShflOp::SyncVar, mask, oob, oob & used);
+        out
+    }
+
+    /// Checked [`shfl_down_sync`](super::shfl_down_sync). In-range reads
+    /// from inactive lanes are reported; lanes shifted past the warp end
+    /// keep their own value (defined behaviour, not reported).
+    #[inline]
+    pub fn shfl_down_sync<T: Copy, P: Probe>(
+        probe: &mut P,
+        mask: u32,
+        var: [T; WARP_SIZE],
+        delta: usize,
+    ) -> [T; WARP_SIZE] {
+        let mut out = var;
+        let mut oob = 0u32;
+        for (lane, o) in out.iter_mut().enumerate() {
+            if in_mask(mask, lane) {
+                let src = lane + delta;
+                if src < WARP_SIZE {
+                    if !in_mask(mask, src) {
+                        oob |= 1 << lane;
+                    }
+                    *o = var[src];
+                }
+            }
+        }
+        report(probe, ShflOp::Down, mask, oob, oob);
+        out
+    }
+
+    /// Checked [`shfl_up_sync`](super::shfl_up_sync).
+    #[inline]
+    pub fn shfl_up_sync<T: Copy, P: Probe>(
+        probe: &mut P,
+        mask: u32,
+        var: [T; WARP_SIZE],
+        delta: usize,
+    ) -> [T; WARP_SIZE] {
+        let mut out = var;
+        let mut oob = 0u32;
+        for lane in (0..WARP_SIZE).rev() {
+            if in_mask(mask, lane) && lane >= delta {
+                let src = lane - delta;
+                if !in_mask(mask, src) {
+                    oob |= 1 << lane;
+                }
+                out[lane] = var[src];
+            }
+        }
+        report(probe, ShflOp::Up, mask, oob, oob);
+        out
+    }
+
+    /// Checked [`shfl_xor_sync`](super::shfl_xor_sync).
+    #[inline]
+    pub fn shfl_xor_sync<T: Copy, P: Probe>(
+        probe: &mut P,
+        mask: u32,
+        var: [T; WARP_SIZE],
+        lane_mask: usize,
+    ) -> [T; WARP_SIZE] {
+        let mut out = var;
+        let mut oob = 0u32;
+        for (lane, o) in out.iter_mut().enumerate() {
+            if in_mask(mask, lane) {
+                let src = lane ^ lane_mask;
+                if src < WARP_SIZE {
+                    if !in_mask(mask, src) {
+                        oob |= 1 << lane;
+                    }
+                    *o = var[src];
+                }
+            }
+        }
+        report(probe, ShflOp::Xor, mask, oob, oob);
+        out
+    }
+
+    /// Checked [`ballot_sync`](super::ballot_sync). The result never
+    /// includes out-of-mask lanes (defined behaviour), but a true
+    /// predicate on an inactive lane usually means a diverged lane's vote
+    /// is being silently dropped — reported as a discarded (benign)
+    /// event, never asserted.
+    #[inline]
+    pub fn ballot_sync<P: Probe>(probe: &mut P, mask: u32, pred: [bool; WARP_SIZE]) -> u32 {
+        let mut dropped = 0u32;
+        for (lane, &p) in pred.iter().enumerate() {
+            if p && !in_mask(mask, lane) {
+                dropped |= 1 << lane;
+            }
+        }
+        report(probe, ShflOp::Ballot, mask, dropped, 0);
+        super::ballot_sync(mask, pred)
+    }
+
+    /// Checked [`warp_reduce`](super::warp_reduce): the same 5-step
+    /// shuffle-down tree, with each step's mask check reported.
+    #[inline]
+    pub fn warp_reduce<T: Copy, F: Fn(T, T) -> T, P: Probe>(
+        probe: &mut P,
+        mask: u32,
+        mut var: [T; WARP_SIZE],
+        combine: F,
+    ) -> [T; WARP_SIZE] {
+        let mut offset = WARP_SIZE / 2;
+        while offset > 0 {
+            let shifted = shfl_down_sync(probe, mask, var, offset);
+            for lane in 0..WARP_SIZE {
+                if in_mask(mask, lane) {
+                    var[lane] = combine(var[lane], shifted[lane]);
+                }
+            }
+            offset /= 2;
+        }
+        var
+    }
+}
+
+#[cfg(test)]
+mod checked_tests {
+    use super::*;
+    use crate::probe::{NoProbe, Probe};
+    use crate::warp::{full_mask, per_lane};
+
+    /// Minimal sanitizing probe that records shuffle events.
+    #[derive(Default)]
+    struct Recorder(Vec<ShflEvent>);
+
+    impl Probe for Recorder {
+        fn kernel_launch(&mut self, _: u64, _: u64) {}
+        fn load_val(&mut self, _: u64, _: u64) {}
+        fn load_idx(&mut self, _: u64, _: u64) {}
+        fn load_meta(&mut self, _: u64, _: u64) {}
+        fn store_y(&mut self, _: u64, _: u64) {}
+        fn load_x(&mut self, _: usize, _: u64) {}
+        fn mma(&mut self) {}
+        fn fma(&mut self, _: u64) {}
+        fn shfl(&mut self, _: u64) {}
+        fn sanitizing(&self) -> bool {
+            true
+        }
+        fn san_shfl(&mut self, event: &ShflEvent) {
+            self.0.push(*event);
+        }
+    }
+
+    #[test]
+    fn checked_variants_match_plain_semantics() {
+        let v = per_lane(|l| l as i64);
+        let m = full_mask();
+        let mut p = NoProbe;
+        assert_eq!(checked::shfl_sync(&mut p, m, v, 7), shfl_sync(m, v, 7));
+        assert_eq!(
+            checked::shfl_down_sync(&mut p, m, v, 9),
+            shfl_down_sync(m, v, 9)
+        );
+        assert_eq!(
+            checked::shfl_up_sync(&mut p, m, v, 4),
+            shfl_up_sync(m, v, 4)
+        );
+        assert_eq!(
+            checked::shfl_xor_sync(&mut p, m, v, 16),
+            shfl_xor_sync(m, v, 16)
+        );
+        let src: [i32; WARP_SIZE] = core::array::from_fn(|l| (31 - l) as i32);
+        assert_eq!(
+            checked::shfl_sync_var(&mut p, m, v, &src, m),
+            shfl_sync_var(m, v, &src)
+        );
+        let pred = per_lane(|l| l % 3 == 0);
+        assert_eq!(checked::ballot_sync(&mut p, m, pred), ballot_sync(m, pred));
+        assert_eq!(
+            checked::warp_reduce(&mut p, m, v, |a, b| a + b),
+            warp_reduce(m, v, |a, b| a + b)
+        );
+    }
+
+    // This test is the release-mode regression for the promoted mask
+    // checks: it runs under `cargo test --release` (where the plain
+    // functions' debug_assert!s compile away) and must still observe the
+    // diagnostic.
+    #[test]
+    fn out_of_mask_read_fires_even_in_release() {
+        let v = per_lane(|l| l as i64);
+        let mut rec = Recorder::default();
+        // Lanes 0..8 active; lane 7 reads lane 7+1=8, which is inactive.
+        let out = checked::shfl_down_sync(&mut rec, 0xff, v, 1);
+        assert_eq!(rec.0.len(), 1);
+        let ev = rec.0[0];
+        assert_eq!(ev.op, ShflOp::Down);
+        assert_eq!(ev.oob_lanes, 1 << 7);
+        assert_eq!(ev.used_lanes, 1 << 7);
+        // UB-as-keep-own-value semantics preserved: lane 7 read lane 8's
+        // value (the simulator's defined resolution).
+        assert_eq!(out[7], 8);
+    }
+
+    #[test]
+    fn discarded_var_sources_are_benign() {
+        let v = per_lane(|l| l as i64);
+        let mut rec = Recorder::default();
+        // Lanes 0..16 active; lanes 8..16 read lanes 16..24 (inactive) but
+        // their results are not in the used set.
+        let src: [i32; WARP_SIZE] = core::array::from_fn(|l| (l + 8) as i32);
+        let _ = checked::shfl_sync_var(&mut rec, 0xffff, v, &src, 0x00ff);
+        assert_eq!(rec.0.len(), 1);
+        let ev = rec.0[0];
+        assert_eq!(ev.op, ShflOp::SyncVar);
+        assert_eq!(ev.oob_lanes, 0xff00);
+        assert_eq!(ev.used_lanes, 0, "discarded reads must not count as used");
+    }
+
+    #[test]
+    fn broadcast_from_inactive_lane_flags_all_active_lanes() {
+        let v = per_lane(|l| l as i64);
+        let mut rec = Recorder::default();
+        let _ = checked::shfl_sync(&mut rec, 0x0f, v, 20);
+        assert_eq!(rec.0.len(), 1);
+        assert_eq!(rec.0[0].oob_lanes, 0x0f);
+        assert_eq!(rec.0[0].used_lanes, 0x0f);
+    }
+
+    #[test]
+    fn in_mask_shuffles_report_nothing() {
+        let v = per_lane(|l| l as i64);
+        let mut rec = Recorder::default();
+        let _ = checked::warp_reduce(&mut rec, full_mask(), v, |a, b| a + b);
+        let _ = checked::shfl_sync(&mut rec, full_mask(), v, 3);
+        assert!(rec.0.is_empty());
+    }
+}
+
 #[cfg(test)]
 mod vote_tests {
     use super::*;
@@ -362,6 +736,41 @@ mod vote_tests {
     fn ballot_respects_active_mask() {
         let pred = [true; WARP_SIZE];
         assert_eq!(ballot_sync(0x0000_00ff, pred), 0xff);
+    }
+
+    #[test]
+    fn ballot_never_sets_bits_outside_mask() {
+        // All-true predicates on every lane: only masked lanes may vote,
+        // regardless of the mask's shape.
+        let pred = [true; WARP_SIZE];
+        for mask in [
+            0x0000_0001,
+            0x8000_0000,
+            0x0f0f_0f0f,
+            0xffff_0000,
+            0x5555_5555,
+        ] {
+            let got = ballot_sync(mask, pred);
+            assert_eq!(got, mask, "mask {mask:#010x}");
+            assert_eq!(got & !mask, 0, "out-of-mask bit set for {mask:#010x}");
+        }
+        // Mixed predicates: the result is exactly the intersection.
+        let pred = per_lane(|l| l % 2 == 0);
+        let got = ballot_sync(0x0000_ffff, pred);
+        assert_eq!(got, 0x0000_5555);
+    }
+
+    #[test]
+    fn ballot_with_empty_mask_is_zero() {
+        // Full divergence: no lane participates, so no predicate — however
+        // emphatic — contributes a bit.
+        assert_eq!(ballot_sync(0, [true; WARP_SIZE]), 0);
+        assert_eq!(ballot_sync(0, [false; WARP_SIZE]), 0);
+        assert!(!any_sync(0, [true; WARP_SIZE]));
+        // Degenerate but consistent: ballot(0) == mask(0), so all_sync
+        // over an empty mask is vacuously true (CUDA leaves this UB; the
+        // simulator pins the vacuous-truth reading).
+        assert!(all_sync(0, [false; WARP_SIZE]));
     }
 
     #[test]

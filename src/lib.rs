@@ -6,6 +6,8 @@ pub use dasp_core as dasp;
 pub use dasp_fp16 as fp16;
 pub use dasp_matgen as matgen;
 pub use dasp_perf as perf;
+pub use dasp_sanitize as sanitize;
 pub use dasp_simt as simt;
 pub use dasp_solver as solver;
 pub use dasp_sparse as sparse;
+pub use dasp_trace as trace;
