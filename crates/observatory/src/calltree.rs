@@ -1,0 +1,306 @@
+//! Call-tree profiling over `dasp-trace` spans.
+//!
+//! A raw [`Trace`] is a flat list of span records; answering "where did
+//! the time go" needs them folded into a tree keyed by *name path* (the
+//! chain of span names from the root), aggregating every dynamic
+//! occurrence of the same path into one node with call counts and
+//! inclusive/exclusive microseconds. Exclusive time is inclusive time
+//! minus the inclusive time of direct children — the quantity a hot-spot
+//! table should rank by, since a root span is "hot" inclusively even when
+//! all its time sits in leaves.
+
+use std::collections::{BTreeMap, HashMap};
+
+use dasp_trace::{SpanRecord, Trace};
+
+/// One aggregated node of the call tree: all dynamic spans that share the
+/// same name path, summed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CallNode {
+    /// Name path from the root, e.g. `["spmv", "spmv.kernel.long"]`.
+    pub path: Vec<String>,
+    /// Number of dynamic spans aggregated into this node.
+    pub calls: u64,
+    /// Total wall microseconds including children.
+    pub incl_us: u64,
+    /// Total wall microseconds excluding direct children (saturated at 0:
+    /// clock granularity can make children sum past their parent).
+    pub excl_us: u64,
+}
+
+impl CallNode {
+    /// Depth of the node (1 for roots).
+    pub fn depth(&self) -> usize {
+        self.path.len()
+    }
+
+    /// The node's own name (last path component).
+    pub fn name(&self) -> &str {
+        self.path.last().map(String::as_str).unwrap_or("")
+    }
+}
+
+/// A call tree aggregated from one or more traces.
+#[derive(Debug, Clone, Default)]
+pub struct CallTree {
+    /// Aggregated nodes keyed by name path; `BTreeMap` keeps iteration
+    /// (and thus every export) deterministic.
+    nodes: BTreeMap<Vec<String>, CallNode>,
+}
+
+/// Maximum name-path depth retained; deeper spans fold into their
+/// ancestor at this depth. Real DASP traces are 2–3 deep, so this only
+/// guards against degenerate inputs.
+const MAX_DEPTH: usize = 32;
+
+impl CallTree {
+    /// Builds a call tree from a trace. Spans whose parent id is missing
+    /// from the trace (possible when `take_trace` ran while spans were
+    /// open) are treated as roots; parent cycles are broken at
+    /// `MAX_DEPTH`.
+    pub fn from_trace(trace: &Trace) -> CallTree {
+        let mut tree = CallTree::default();
+        tree.add_trace(trace);
+        tree
+    }
+
+    /// Folds another trace into this tree (the suite runner calls this
+    /// once per workload so one tree spans the whole run).
+    pub fn add_trace(&mut self, trace: &Trace) {
+        let by_id: HashMap<u64, &SpanRecord> = trace.spans.iter().map(|s| (s.id, s)).collect();
+        // Inclusive time of direct children, per parent id, for the
+        // exclusive-time subtraction.
+        let mut child_us: HashMap<u64, u64> = HashMap::new();
+        for s in &trace.spans {
+            if let Some(pid) = s.parent {
+                if by_id.contains_key(&pid) {
+                    *child_us.entry(pid).or_default() += s.dur_us;
+                }
+            }
+        }
+        for s in &trace.spans {
+            let path = name_path(s, &by_id);
+            let excl = s
+                .dur_us
+                .saturating_sub(child_us.get(&s.id).copied().unwrap_or(0));
+            let node = self.nodes.entry(path.clone()).or_insert_with(|| CallNode {
+                path,
+                calls: 0,
+                incl_us: 0,
+                excl_us: 0,
+            });
+            node.calls += 1;
+            node.incl_us += s.dur_us;
+            node.excl_us += excl;
+        }
+    }
+
+    /// All nodes in deterministic (path-lexicographic) order.
+    pub fn nodes(&self) -> impl Iterator<Item = &CallNode> {
+        self.nodes.values()
+    }
+
+    /// Whether the tree has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Total exclusive microseconds across all nodes (equals the sum of
+    /// root inclusive times, up to clock granularity).
+    pub fn total_excl_us(&self) -> u64 {
+        self.nodes.values().map(|n| n.excl_us).sum()
+    }
+
+    /// The `n` hottest nodes by exclusive time, ties broken by path so
+    /// the ranking is deterministic.
+    pub fn hot(&self, n: usize) -> Vec<&CallNode> {
+        let mut all: Vec<&CallNode> = self.nodes.values().collect();
+        all.sort_by(|a, b| b.excl_us.cmp(&a.excl_us).then_with(|| a.path.cmp(&b.path)));
+        all.truncate(n);
+        all
+    }
+
+    /// Renders the top-`n` hot-region table: rank, exclusive/inclusive
+    /// time, share of total exclusive time, call count, and the indented
+    /// name path.
+    pub fn render_hot_table(&self, n: usize) -> String {
+        let total = self.total_excl_us().max(1) as f64;
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>4}  {:>10}  {:>10}  {:>6}  {:>7}  region\n",
+            "#", "excl_us", "incl_us", "excl%", "calls"
+        ));
+        for (i, node) in self.hot(n).iter().enumerate() {
+            out.push_str(&format!(
+                "{:>4}  {:>10}  {:>10}  {:>5.1}%  {:>7}  {}{}\n",
+                i + 1,
+                node.excl_us,
+                node.incl_us,
+                100.0 * node.excl_us as f64 / total,
+                node.calls,
+                "  ".repeat(node.depth().saturating_sub(1)),
+                node.name()
+            ));
+        }
+        out
+    }
+
+    /// Collapsed-stack (flamegraph) export: one `a;b;c <excl_us>` line
+    /// per node with non-zero exclusive time, sorted, suitable for
+    /// `flamegraph.pl` / speedscope. Frame names have `;` and spaces
+    /// sanitized since both are structural in the format.
+    pub fn collapsed_stacks(&self) -> String {
+        let mut out = String::new();
+        for node in self.nodes.values() {
+            if node.excl_us == 0 {
+                continue;
+            }
+            let frames: Vec<String> = node
+                .path
+                .iter()
+                .map(|f| f.replace(';', ":").replace(' ', "_"))
+                .collect();
+            out.push_str(&format!("{} {}\n", frames.join(";"), node.excl_us));
+        }
+        out
+    }
+}
+
+/// The chain of names from the root to `s`, walking parent links. Missing
+/// parents terminate the walk (the span acts as a root); walks longer
+/// than [`MAX_DEPTH`] — only possible with a corrupt parent cycle — are
+/// truncated from the root side.
+fn name_path(s: &SpanRecord, by_id: &HashMap<u64, &SpanRecord>) -> Vec<String> {
+    let mut rev = vec![s.name.clone()];
+    let mut cur = s.parent;
+    while let Some(pid) = cur {
+        if rev.len() >= MAX_DEPTH {
+            break;
+        }
+        match by_id.get(&pid) {
+            Some(p) => {
+                rev.push(p.name.clone());
+                cur = p.parent;
+            }
+            None => break,
+        }
+    }
+    rev.reverse();
+    rev
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: Option<u64>, name: &str, start: u64, dur: u64) -> SpanRecord {
+        SpanRecord {
+            id,
+            parent,
+            name: name.to_string(),
+            start_us: start,
+            dur_us: dur,
+            tid: 1,
+            stats: None,
+            args: Vec::new(),
+        }
+    }
+
+    fn sample_trace() -> Trace {
+        // root (100us) -> kernel.a (60us), kernel.b (25us)
+        // second root occurrence (40us) -> kernel.a (30us)
+        let mut t = Trace::default();
+        t.spans.push(rec(1, Some(0), "kernel.a", 0, 60));
+        t.spans.push(rec(2, Some(0), "kernel.b", 60, 25));
+        t.spans.push(rec(0, None, "root", 0, 100));
+        t.spans.push(rec(4, Some(3), "kernel.a", 100, 30));
+        t.spans.push(rec(3, None, "root", 100, 40));
+        t
+    }
+
+    #[test]
+    fn aggregates_by_name_path_with_exclusive_times() {
+        let tree = CallTree::from_trace(&sample_trace());
+        let nodes: Vec<&CallNode> = tree.nodes().collect();
+        assert_eq!(nodes.len(), 3);
+
+        let root = nodes.iter().find(|n| n.path == ["root"]).unwrap();
+        assert_eq!(root.calls, 2);
+        assert_eq!(root.incl_us, 140);
+        // Exclusive: (100 - 85) + (40 - 30).
+        assert_eq!(root.excl_us, 25);
+
+        let a = nodes
+            .iter()
+            .find(|n| n.path == ["root", "kernel.a"])
+            .unwrap();
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.incl_us, 90);
+        assert_eq!(a.excl_us, 90);
+
+        // Total exclusive equals total root-inclusive time.
+        assert_eq!(tree.total_excl_us(), 140);
+    }
+
+    #[test]
+    fn hot_ranks_by_exclusive_time() {
+        let tree = CallTree::from_trace(&sample_trace());
+        let hot = tree.hot(2);
+        assert_eq!(hot[0].path, ["root", "kernel.a"]);
+        assert_eq!(hot[1].path, ["root"]);
+        let table = tree.render_hot_table(3);
+        assert!(table.contains("kernel.a"), "{table}");
+        assert!(table.contains("excl_us"), "{table}");
+    }
+
+    #[test]
+    fn exclusive_time_saturates_when_children_overrun() {
+        // Child reports 12us inside a 10us parent (clock granularity).
+        let mut t = Trace::default();
+        t.spans.push(rec(1, Some(0), "child", 0, 12));
+        t.spans.push(rec(0, None, "parent", 0, 10));
+        let tree = CallTree::from_trace(&t);
+        let parent = tree.nodes().find(|n| n.path == ["parent"]).unwrap();
+        assert_eq!(parent.excl_us, 0);
+    }
+
+    #[test]
+    fn orphans_become_roots_and_cycles_terminate() {
+        let mut t = Trace::default();
+        t.spans.push(rec(7, Some(99), "orphan", 0, 5));
+        // A two-node parent cycle; the walk must not hang.
+        t.spans.push(rec(10, Some(11), "cyc.a", 0, 3));
+        t.spans.push(rec(11, Some(10), "cyc.b", 0, 3));
+        let tree = CallTree::from_trace(&t);
+        assert!(tree.nodes().any(|n| n.path == ["orphan"]));
+        assert!(tree.nodes().all(|n| n.path.len() <= MAX_DEPTH));
+    }
+
+    #[test]
+    fn collapsed_stacks_are_sorted_and_sanitized() {
+        let mut t = Trace::default();
+        t.spans.push(rec(100, None, "a b;c", 0, 7));
+        let mut t2 = sample_trace();
+        t2.spans.append(&mut t.spans);
+        let tree = CallTree::from_trace(&t2);
+        let folded = tree.collapsed_stacks();
+        assert!(folded.contains("a_b:c 7\n"), "{folded}");
+        assert!(folded.contains("root;kernel.a 90\n"), "{folded}");
+        // Zero-exclusive nodes are omitted; every line ends in a count.
+        for line in folded.lines() {
+            let (_, count) = line.rsplit_once(' ').unwrap();
+            assert!(count.parse::<u64>().unwrap() > 0, "{line}");
+        }
+        // Deterministic: building again yields identical bytes.
+        assert_eq!(folded, CallTree::from_trace(&t2).collapsed_stacks());
+    }
+
+    #[test]
+    fn add_trace_merges_across_workloads() {
+        let mut tree = CallTree::from_trace(&sample_trace());
+        tree.add_trace(&sample_trace());
+        let root = tree.nodes().find(|n| n.path == ["root"]).unwrap();
+        assert_eq!(root.calls, 4);
+        assert_eq!(root.incl_us, 280);
+    }
+}

@@ -325,9 +325,29 @@ pub fn measure_spmm_with<S: Scalar>(
     dev: &DeviceModel,
     exec: &Executor,
 ) -> SpmmMeasurement {
+    measure_spmm_traced_with(method, csr, b, dev, &Tracer::disabled(), exec)
+}
+
+/// [`measure_spmm`] with tracing under an explicit executor: the DASP path
+/// records the `spmm` root span with its per-category children (each
+/// carrying an `rhs_width` arg); the scalar reference records nothing
+/// extra. Counters and `Y` are identical to the untraced path.
+pub fn measure_spmm_traced_with<S: Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    b: &DenseMat<S>,
+    dev: &DeviceModel,
+    tracer: &Tracer,
+    exec: &Executor,
+) -> SpmmMeasurement {
     let mut probe = CountingProbe::new(dev.l2_cache());
     let y = match method {
-        MethodKind::Dasp => DaspMatrix::from_csr(csr).spmm_with(b, &mut probe, exec),
+        MethodKind::Dasp => {
+            let d = DaspMatrix::from_csr_traced(csr, tracer);
+            let mut y = DenseMat::zeros(csr.rows, b.cols());
+            d.spmm_into_traced_with(b, &mut y, &mut probe, tracer, exec);
+            y
+        }
         MethodKind::CsrScalar => CsrScalar::new(csr).spmm_with(b, &mut probe, exec),
         _ => panic!("no SpMM kernel for method {}", method.name()),
     };

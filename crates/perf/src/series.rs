@@ -1,0 +1,158 @@
+//! Wall-clock measurement series: repeated timings reduced to robust
+//! location/spread statistics (median + MAD).
+//!
+//! The roofline [`estimate`](crate::estimate::estimate) is deterministic —
+//! two runs of the same build produce bit-identical modeled times — but
+//! the *wall clock* of the simulator itself (the quantity ROADMAP item 2's
+//! interpreter work optimizes) is noisy: allocator state, CPU frequency,
+//! and co-tenants all move it. A [`WallSeries`] holds every sample of one
+//! repeated measurement so downstream consumers (the observatory's
+//! `BENCH_*.json` snapshots and `dasp-bench diff`) can reason about the
+//! noise instead of a single point: the median resists outliers and the
+//! median absolute deviation (MAD) gives a robust noise floor for
+//! regression bands.
+
+use std::time::Instant;
+
+/// One repeated wall-clock measurement: every sample, in microseconds, in
+/// capture order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct WallSeries {
+    /// The raw samples in microseconds, capture order preserved.
+    pub samples_us: Vec<f64>,
+}
+
+impl WallSeries {
+    /// Times `reps` calls of `f`, one sample per call, after one untimed
+    /// warmup call. The warmup absorbs one-time costs the series should
+    /// not attribute to the workload (lazy allocator growth, page faults,
+    /// branch-predictor cold start) — without it the first sample is
+    /// routinely several times the median and drags both the median and
+    /// the MAD of short series.
+    pub fn capture<F: FnMut()>(reps: usize, mut f: F) -> WallSeries {
+        f();
+        let mut samples_us = Vec::with_capacity(reps);
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            f();
+            samples_us.push(t0.elapsed().as_secs_f64() * 1e6);
+        }
+        WallSeries { samples_us }
+    }
+
+    /// Wraps pre-recorded samples (microseconds).
+    pub fn from_samples(samples_us: Vec<f64>) -> WallSeries {
+        WallSeries { samples_us }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples_us.len()
+    }
+
+    /// Whether the series holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples_us.is_empty()
+    }
+
+    /// Median sample in microseconds (0 when empty).
+    pub fn median_us(&self) -> f64 {
+        median(&self.samples_us)
+    }
+
+    /// Median absolute deviation from the median, in microseconds (0 when
+    /// empty). Unscaled — this is the raw MAD, not the
+    /// 1.4826-normal-consistent estimator; regression bands multiply it by
+    /// their own factor.
+    pub fn mad_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        let m = self.median_us();
+        let dev: Vec<f64> = self.samples_us.iter().map(|&v| (v - m).abs()).collect();
+        median(&dev)
+    }
+
+    /// Smallest sample in microseconds (0 when empty).
+    pub fn min_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.samples_us
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Largest sample in microseconds (0 when empty).
+    pub fn max_us(&self) -> f64 {
+        if self.samples_us.is_empty() {
+            return 0.0;
+        }
+        self.samples_us
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+}
+
+/// Median of a slice (0 when empty); the even-length median averages the
+/// two central elements.
+pub fn median(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let mid = sorted.len() / 2;
+    if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        0.5 * (sorted[mid - 1] + sorted[mid])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_odd_even_and_empty() {
+        assert_eq!(median(&[]), 0.0);
+        assert_eq!(median(&[3.0]), 3.0);
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+    }
+
+    #[test]
+    fn mad_is_robust_to_one_outlier() {
+        // Median 10, deviations {0,1,1,2,90} -> MAD 1: the outlier moves
+        // the mean-based spread wildly but barely touches the MAD.
+        let s = WallSeries::from_samples(vec![9.0, 10.0, 10.0, 11.0, 100.0]);
+        assert_eq!(s.median_us(), 10.0);
+        assert_eq!(s.mad_us(), 1.0);
+        assert_eq!(s.min_us(), 9.0);
+        assert_eq!(s.max_us(), 100.0);
+    }
+
+    #[test]
+    fn capture_counts_and_orders_samples() {
+        let mut calls = 0;
+        let s = WallSeries::capture(4, || calls += 1);
+        // 4 timed + 1 warmup.
+        assert_eq!(calls, 5);
+        assert_eq!(s.len(), 4);
+        assert!(s.samples_us.iter().all(|&v| v >= 0.0));
+        assert!(s.median_us() >= 0.0);
+    }
+
+    #[test]
+    fn empty_series_is_all_zero() {
+        let s = WallSeries::default();
+        assert!(s.is_empty());
+        assert_eq!(s.median_us(), 0.0);
+        assert_eq!(s.mad_us(), 0.0);
+        assert_eq!(s.min_us(), 0.0);
+        assert_eq!(s.max_us(), 0.0);
+    }
+}

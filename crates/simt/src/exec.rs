@@ -150,14 +150,20 @@ impl ParExecutor {
         std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .drain(..)
-                .map(|(lo, hi, mut shard)| {
+                .enumerate()
+                .map(|(t, (lo, hi, mut shard))| {
                     let body = &body;
-                    scope.spawn(move || {
-                        for w in lo..hi {
-                            body(w, &mut shard);
-                        }
-                        shard
-                    })
+                    // Named threads so trace exports can group shard spans
+                    // under `dasp-shard-N` tracks instead of anonymous tids.
+                    std::thread::Builder::new()
+                        .name(format!("dasp-shard-{t}"))
+                        .spawn_scoped(scope, move || {
+                            for w in lo..hi {
+                                body(w, &mut shard);
+                            }
+                            shard
+                        })
+                        .expect("spawn executor shard thread")
                 })
                 .collect();
             // Join and merge in chunk order: deterministic merge sequence.
@@ -331,6 +337,29 @@ mod tests {
             e.run(9, &mut NoProbe, |w, _| shared.write(w, 1));
         }
         assert!(out.iter().all(|&v| v == 1));
+    }
+
+    #[test]
+    fn parallel_worker_threads_are_named() {
+        use std::sync::Mutex;
+        let names = Mutex::new(Vec::new());
+        let mut probe = NoProbe;
+        ParExecutor::new()
+            .with_threads(Some(2))
+            .with_seq_threshold(0)
+            .run(8, &mut probe, |_, _| {
+                let name = std::thread::current()
+                    .name()
+                    .unwrap_or_default()
+                    .to_string();
+                names.lock().unwrap().push(name);
+            });
+        let names = names.into_inner().unwrap();
+        assert_eq!(names.len(), 8);
+        assert!(
+            names.iter().all(|n| n.starts_with("dasp-shard-")),
+            "unnamed shard threads: {names:?}"
+        );
     }
 
     #[test]

@@ -35,12 +35,35 @@ pub(crate) fn stats_fields(s: &KernelStats) -> [(&'static str, u64); 16] {
 /// object form): one `"ph": "X"` complete event per span, with the span's
 /// [`KernelStats`] delta and string args flattened into the event `args`.
 ///
+/// Non-empty traces open with `"ph": "M"` metadata events — a
+/// `process_name` for the process and one `thread_name`/`thread_sort_index`
+/// pair per logical thread appearing in the trace — so spans recorded on
+/// executor shard threads (spawned as `dasp-shard-N`) group under named
+/// tracks in trace viewers instead of anonymous tids. Tids are listed in
+/// ascending order, keeping the export deterministic for a given trace.
+///
 /// The output opens directly in Perfetto or `chrome://tracing`. Span ids
 /// and parents are preserved under `args.span_id` / `args.parent_id` so
 /// the hierarchy survives even in viewers that only use ts/dur nesting.
 pub fn chrome_trace_json(trace: &Trace) -> String {
     let mut out = String::from("{\"traceEvents\":[");
     let mut first = true;
+    if !trace.spans.is_empty() {
+        out.push_str(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"dasp\"}}",
+        );
+        first = false;
+        let tids: std::collections::BTreeSet<u64> = trace.spans.iter().map(|s| s.tid).collect();
+        for tid in tids {
+            out.push_str(&format!(
+                ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":\"{}\"}}}}\
+                 ,{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"sort_index\":{tid}}}}}",
+                escape(&crate::span::thread_name(tid)),
+            ));
+        }
+    }
     for s in &trace.spans {
         if !first {
             out.push(',');
@@ -74,7 +97,13 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
 
 /// Serializes a [`Registry`] snapshot to a JSON object keyed by metric
 /// name. Counters become integers, gauges numbers, histograms objects
-/// with `bounds`/`counts`/`count`/`sum`/`min`/`max`/`mean`.
+/// with `bounds`/`counts`/`count`/`sum`/`min`/`max`/`mean` plus the
+/// estimated `p50`/`p90`/`p99` quantiles
+/// ([`Histogram::quantile`](crate::registry::Histogram::quantile)).
+///
+/// The export is byte-stable: identical registry contents produce
+/// identical bytes regardless of metric registration order (snapshots are
+/// name-ordered), so consecutive dumps diff cleanly.
 pub fn registry_to_json(registry: &Registry) -> String {
     let mut out = String::from("{");
     let mut first = true;
@@ -96,14 +125,18 @@ pub fn registry_to_json(registry: &Registry) -> String {
                 let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
                 out.push_str(&format!(
                     "{{\"type\":\"histogram\",\"bounds\":[{}],\"counts\":[{}],\
-                     \"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{}}}",
+                     \"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\
+                     \"p50\":{},\"p90\":{},\"p99\":{}}}",
                     bounds.join(","),
                     counts.join(","),
                     h.count,
                     fmt_f64(h.sum),
                     fmt_f64(if h.count == 0 { 0.0 } else { h.min }),
                     fmt_f64(if h.count == 0 { 0.0 } else { h.max }),
-                    fmt_f64(h.mean())
+                    fmt_f64(h.mean()),
+                    fmt_f64(h.quantile(0.50)),
+                    fmt_f64(h.quantile(0.90)),
+                    fmt_f64(h.quantile(0.99))
                 ));
             }
         }
@@ -125,7 +158,9 @@ fn csv_field(s: &str) -> String {
 /// Serializes a [`Registry`] snapshot to CSV with header
 /// `metric,type,value,detail`. Counter/gauge rows carry the value;
 /// histogram rows carry the observation count in `value` and a
-/// `bound<=B:N`-per-bucket summary plus sum/min/max/mean in `detail`.
+/// `bound<=B:N`-per-bucket summary plus sum/min/max/mean and the
+/// p50/p90/p99 quantile estimates in `detail`. Like the JSON export, the
+/// bytes depend only on registry contents, never on registration order.
 pub fn registry_to_csv(registry: &Registry) -> String {
     let mut out = String::from("metric,type,value,detail\n");
     for (name, value) in registry.snapshot() {
@@ -154,6 +189,9 @@ pub fn registry_to_csv(registry: &Registry) -> String {
                     fmt_f64(if h.count == 0 { 0.0 } else { h.max })
                 ));
                 detail.push(format!("mean:{}", fmt_f64(h.mean())));
+                detail.push(format!("p50:{}", fmt_f64(h.quantile(0.50))));
+                detail.push(format!("p90:{}", fmt_f64(h.quantile(0.90))));
+                detail.push(format!("p99:{}", fmt_f64(h.quantile(0.99))));
                 out.push_str(&format!(
                     "{},histogram,{},{}\n",
                     csv_field(&name),
@@ -217,6 +255,56 @@ mod tests {
         assert!(json.contains("\"type\":\"gauge\",\"value\":0.875"));
         assert!(json.contains("\"type\":\"histogram\""));
         assert!(json.contains("\"counts\":[0,1,0]"));
+        // Quantiles surface next to the classic summary stats; a
+        // single-observation histogram pins all of them to the value.
+        assert!(json.contains("\"p50\":12,\"p90\":12,\"p99\":12"));
+    }
+
+    #[test]
+    fn registry_exports_are_byte_stable_across_registration_order() {
+        let fill = |names: &[&str]| {
+            let r = Registry::new();
+            for n in names {
+                match *n {
+                    "c" => r.counter_add("spmv.runs", 1),
+                    "g" => r.gauge_set("spmv.gflops", 2.5),
+                    _ => r.observe("warp.nnz", 3.0, &[4.0]),
+                }
+            }
+            r
+        };
+        let a = fill(&["c", "g", "h"]);
+        let b = fill(&["h", "c", "g"]);
+        assert_eq!(registry_to_json(&a), registry_to_json(&b));
+        assert_eq!(registry_to_csv(&a), registry_to_csv(&b));
+    }
+
+    #[test]
+    fn chrome_trace_names_process_and_threads() {
+        // A span recorded on an explicitly named thread must surface that
+        // name in a thread_name metadata event — the same path that names
+        // the executor's dasp-shard-N workers.
+        let tracer = Tracer::new();
+        std::thread::Builder::new()
+            .name("dasp-shard-test".to_string())
+            .spawn({
+                let tracer = tracer.clone();
+                move || drop(tracer.span("shard.work"))
+            })
+            .expect("spawn named thread")
+            .join()
+            .expect("join named thread");
+        drop(tracer.span("main.work"));
+        let json = chrome_trace_json(&tracer.take_trace());
+        validate_json(&json).expect("trace with metadata must be valid JSON");
+        assert!(json.contains("\"ph\":\"M\""));
+        assert!(json.contains("\"name\":\"process_name\""));
+        assert!(json.contains("\"args\":{\"name\":\"dasp\"}"));
+        assert!(json.contains("\"name\":\"thread_name\""));
+        assert!(json.contains("\"name\":\"dasp-shard-test\""));
+        assert!(json.contains("\"name\":\"thread_sort_index\""));
+        // Metadata precedes the first complete event.
+        assert!(json.find("\"ph\":\"M\"").unwrap() < json.find("\"ph\":\"X\"").unwrap());
     }
 
     #[test]

@@ -75,6 +75,44 @@ impl Histogram {
             self.max / m
         }
     }
+
+    /// Estimated `q`-quantile (`q` in `[0, 1]`, clamped) from the bucket
+    /// counts, with linear interpolation inside the selected bucket.
+    ///
+    /// The bucket edges are clamped to the observed `min`/`max`, so a
+    /// histogram whose observations all landed in one bucket interpolates
+    /// between the true extremes rather than the nominal bounds, and the
+    /// overflow bucket is bounded above by `max` instead of infinity.
+    /// Returns 0 when empty. Exact for the quantities the observatory
+    /// snapshots care about (p50/p90/p99 of narrow distributions); an
+    /// approximation in general, as for any bucketed histogram.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if c > 0 && cum as f64 >= target {
+                let lower = if i == 0 {
+                    self.min
+                } else {
+                    self.bounds[i - 1].max(self.min)
+                };
+                let upper = if i < self.bounds.len() {
+                    self.bounds[i].min(self.max)
+                } else {
+                    self.max
+                };
+                let lower = lower.min(upper);
+                let frac = ((target - prev as f64) / c as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * frac;
+            }
+        }
+        self.max
+    }
 }
 
 /// A snapshot of one metric's value.
@@ -176,6 +214,12 @@ impl Registry {
     }
 
     /// Name-ordered snapshot of every metric.
+    ///
+    /// Ordering is a guarantee, not an accident of storage: snapshots of
+    /// registries holding identical metrics are identical element for
+    /// element regardless of the order the metrics were first touched in,
+    /// so the JSON/CSV exports built on this are byte-stable and diff
+    /// cleanly between runs.
     pub fn snapshot(&self) -> Vec<(String, MetricValue)> {
         self.metrics
             .lock()
@@ -277,6 +321,61 @@ mod tests {
         r.counter_add("aaa", 1);
         let names: Vec<String> = r.snapshot().into_iter().map(|(n, _)| n).collect();
         assert_eq!(names, vec!["aaa", "zzz"]);
+    }
+
+    #[test]
+    fn snapshots_are_insertion_order_independent() {
+        // Identical metrics registered in opposite orders must produce
+        // identical snapshots — the property the byte-stable exports and
+        // the observatory's snapshot diffs rest on.
+        let a = Registry::new();
+        a.counter_add("spmv.runs", 3);
+        a.gauge_set("spmv.gflops", 1.25);
+        a.observe("warp.nnz", 7.0, &[4.0, 16.0]);
+        let b = Registry::new();
+        b.observe("warp.nnz", 7.0, &[4.0, 16.0]);
+        b.gauge_set("spmv.gflops", 1.25);
+        b.counter_add("spmv.runs", 3);
+        assert_eq!(a.snapshot(), b.snapshot());
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets() {
+        let mut h = Histogram::new(&[10.0, 100.0, 1000.0]);
+        for v in [1.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        // p0 collapses to min, p100 to max.
+        assert_eq!(h.quantile(0.0), 1.0);
+        assert_eq!(h.quantile(1.0), 500.0);
+        // p50 lands at the end of the first bucket (2 of 4 observations
+        // are <= 10, and the bucket's upper edge is its nominal bound).
+        assert!((h.quantile(0.5) - 10.0).abs() < 1e-9);
+        // p75 exhausts the second bucket.
+        assert!((h.quantile(0.75) - 100.0).abs() < 1e-9);
+        // Quantiles are monotone in q.
+        let qs: Vec<f64> = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0]
+            .iter()
+            .map(|&q| h.quantile(q))
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let empty = Histogram::new(&[1.0]);
+        assert_eq!(empty.quantile(0.5), 0.0);
+        // A single observation: every quantile is that observation.
+        let mut one = Histogram::new(&[10.0, 100.0]);
+        one.observe(42.0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 42.0, "q = {q}");
+        }
+        // All mass in the overflow bucket clamps to [min, max].
+        let mut over = Histogram::new(&[1.0]);
+        over.observe(200.0);
+        over.observe(400.0);
+        assert!(over.quantile(0.5) >= 200.0 && over.quantile(0.5) <= 400.0);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! Hierarchical RAII spans.
 
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Instant;
 
 use dasp_simt::KernelStats;
@@ -46,8 +47,38 @@ pub struct Tracer {
 thread_local! {
     static TID: u64 = {
         static NEXT_TID: AtomicU64 = AtomicU64::new(1);
-        NEXT_TID.fetch_add(1, Ordering::Relaxed)
+        let tid = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+        // Capture the OS thread's name the first time it records a span,
+        // so exports can emit named-thread metadata. Executor shard
+        // threads are spawned named (`dasp-shard-N`); unnamed threads fall
+        // back to a stable per-tid label.
+        let name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{tid}"));
+        thread_names()
+            .lock()
+            .expect("thread-name lock")
+            .insert(tid, name);
+        tid
     };
+}
+
+fn thread_names() -> &'static Mutex<BTreeMap<u64, String>> {
+    static NAMES: OnceLock<Mutex<BTreeMap<u64, String>>> = OnceLock::new();
+    NAMES.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+/// The name registered for logical thread `tid` — the OS thread name at
+/// the time that thread first recorded a span, or `thread-<tid>` if it had
+/// none (or never recorded one).
+pub(crate) fn thread_name(tid: u64) -> String {
+    thread_names()
+        .lock()
+        .expect("thread-name lock")
+        .get(&tid)
+        .cloned()
+        .unwrap_or_else(|| format!("thread-{tid}"))
 }
 
 fn current_tid() -> u64 {
