@@ -8,7 +8,7 @@
 //! paper's methodology of taking the best of block sizes 2, 4 and 8.
 
 use dasp_fp16::Scalar;
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, XBatch};
 use dasp_sparse::{Bsr, Csr};
 
 use crate::WARPS_PER_BLOCK;
@@ -85,6 +85,7 @@ impl<S: Scalar> BsrSpmv<S> {
         probe.san_region("bsr");
         probe.load_meta(2, 4); // block row_ptr
         let mut acc = vec![S::acc_zero(); bs];
+        let mut xb = XBatch::new(S::BYTES);
         for k in b.row_ptr[bi]..b.row_ptr[bi + 1] {
             let bc = b.col_idx[k] as usize;
             probe.load_idx(1, 4);
@@ -95,13 +96,14 @@ impl<S: Scalar> BsrSpmv<S> {
                 if c >= b.cols {
                     continue;
                 }
-                probe.load_x(c, S::BYTES);
+                xb.push(probe, c);
                 for (rr, a) in acc.iter_mut().enumerate() {
                     let v = b.blocks[k * bs * bs + rr * bs + cc];
                     *a = S::acc_mul_add(*a, v, x[c]);
                 }
             }
         }
+        xb.flush(probe);
         for (rr, a) in acc.iter().enumerate() {
             let r = bi * bs + rr;
             if r < b.rows {

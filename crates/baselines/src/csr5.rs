@@ -22,7 +22,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, XBatch};
 use dasp_sparse::Csr;
 
 use crate::{acc_spill, WARPS_PER_BLOCK};
@@ -251,6 +251,7 @@ impl<S: Scalar> Csr5<S> {
         let mut seg_idx = 0usize;
         let mut acc = S::acc_zero();
         let mut first_spill = true;
+        let mut xb = XBatch::new(S::BYTES);
         for p in 0..count {
             let g = base + p;
             if p > 0 && self.flag(t, p, words_per_tile) {
@@ -274,7 +275,7 @@ impl<S: Scalar> Csr5<S> {
                 g
             };
             let c = self.cids_t[phys] as usize;
-            probe.load_x(c, S::BYTES);
+            xb.push(probe, c);
             acc = S::acc_mul_add(acc, self.vals_t[phys], x[c]);
         }
         if first_spill {
@@ -284,6 +285,7 @@ impl<S: Scalar> Csr5<S> {
             y.write(segs[seg_idx] as usize, acc_spill(S::zero(), acc));
             probe.san_write(space::Y, segs[seg_idx] as usize);
         }
+        xb.flush(probe);
         probe.store_y(1, S::BYTES);
         probe.warp_end(t);
     }

@@ -16,7 +16,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, XBatch};
 use dasp_sparse::{Csr, DenseMat, PANEL_WIDTH};
 
 use crate::WARPS_PER_BLOCK;
@@ -122,6 +122,7 @@ pub fn csr_scalar_spmm_warp<S: Scalar, P: Probe>(
     let lo_row = w * WARP_SIZE;
     let hi_row = ((w + 1) * WARP_SIZE).min(csr.rows);
     let mut max_len = 0usize;
+    let mut xb = XBatch::new(S::BYTES);
     for i in lo_row..hi_row {
         let len = csr.row_len(i);
         max_len = max_len.max(len);
@@ -129,14 +130,16 @@ pub fn csr_scalar_spmm_warp<S: Scalar, P: Probe>(
         let mut sum = [S::acc_zero(); PANEL_WIDTH];
         for j in csr.row_ptr[i]..csr.row_ptr[i + 1] {
             let c = csr.col_idx[j] as usize;
-            probe.load_val(1, S::BYTES);
-            probe.load_idx(1, 4);
             for jj in 0..w_p {
-                probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
+                // B accesses stream through the warp-scoped batch in the
+                // same element-then-jj order as before.
+                xb.push(probe, b.lin_index(panel, c, jj));
                 sum[jj] = S::acc_mul_add(sum[jj], csr.vals[j], bp[c * PANEL_WIDTH + jj]);
-                probe.fma(1);
             }
         }
+        probe.load_val(len as u64, S::BYTES);
+        probe.load_idx(len as u64, 4);
+        probe.fma((len * w_p) as u64);
         for jj in 0..w_p {
             y.write(
                 (panel * y_rows + i) * PANEL_WIDTH + jj,
@@ -146,6 +149,7 @@ pub fn csr_scalar_spmm_warp<S: Scalar, P: Probe>(
         }
         probe.store_y(w_p as u64, S::BYTES);
     }
+    xb.flush(probe);
     // Issued FMA slots for the divergence model: the per-element FMAs are
     // counted above, so only the idle slots of shorter rows remain.
     let issued = (WARP_SIZE * max_len * w_p) as u64;
@@ -170,6 +174,10 @@ pub fn csr_scalar_warp<S: Scalar, P: Probe>(
     let lo_row = w * WARP_SIZE;
     let hi_row = ((w + 1) * WARP_SIZE).min(csr.rows);
     let mut max_len = 0usize;
+    // Warp-scoped batch: x accesses stream across the whole 32-row band
+    // in issue order, flushing once per full warp of indices. Grouping
+    // never reorders, so classification is identical to per-row flushes.
+    let mut xb = XBatch::new(S::BYTES);
     for i in lo_row..hi_row {
         let len = csr.row_len(i);
         max_len = max_len.max(len);
@@ -177,15 +185,16 @@ pub fn csr_scalar_warp<S: Scalar, P: Probe>(
         let mut sum = S::acc_zero();
         for j in csr.row_ptr[i]..csr.row_ptr[i + 1] {
             let c = csr.col_idx[j] as usize;
-            probe.load_val(1, S::BYTES);
-            probe.load_idx(1, 4);
-            probe.load_x(c, S::BYTES);
+            xb.push(probe, c);
             sum = S::acc_mul_add(sum, csr.vals[j], x[c]);
         }
+        probe.load_val(len as u64, S::BYTES);
+        probe.load_idx(len as u64, 4);
         y.write(i, S::from_acc(sum));
         probe.san_write(space::Y, i);
         probe.store_y(1, S::BYTES);
     }
+    xb.flush(probe);
     // Issued FMA slots: every lane occupies the warp for the
     // longest row's duration (divergence).
     probe.fma((WARP_SIZE * max_len) as u64);

@@ -11,7 +11,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, XBatch};
 use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
@@ -92,6 +92,10 @@ pub fn csr_vector_warp<S: Scalar, P: Probe>(
     let rows_per_warp = WARP_SIZE / tpr;
     probe.warp_begin(w);
     probe.san_region("csr-vector");
+    // Warp-scoped batch: x indices stream across all of the warp's rows in
+    // issue order; grouping never reorders, so cache classification is
+    // identical to per-row flushes while call counts drop ~tpr-fold.
+    let mut xb = XBatch::new(S::BYTES);
     for i in w * rows_per_warp..((w + 1) * rows_per_warp).min(csr.rows) {
         probe.load_meta(2, 4);
         let lo = csr.row_ptr[i];
@@ -100,11 +104,11 @@ pub fn csr_vector_warp<S: Scalar, P: Probe>(
         let mut sum = S::acc_zero();
         for j in lo..hi {
             let c = csr.col_idx[j] as usize;
-            probe.load_val(1, S::BYTES);
-            probe.load_idx(1, 4);
-            probe.load_x(c, S::BYTES);
+            xb.push(probe, c);
             sum = S::acc_mul_add(sum, csr.vals[j], x[c]);
         }
+        probe.load_val(len as u64, S::BYTES);
+        probe.load_idx(len as u64, 4);
         // Issued slots: the sub-warp rounds the row up to a multiple of
         // its width (idle lanes on the last pass).
         probe.fma((len.div_ceil(tpr) * tpr) as u64);
@@ -120,6 +124,7 @@ pub fn csr_vector_warp<S: Scalar, P: Probe>(
         probe.san_write(space::Y, i);
         probe.store_y(1, S::BYTES);
     }
+    xb.flush(probe);
     probe.warp_end(w);
 }
 

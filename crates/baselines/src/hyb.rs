@@ -13,7 +13,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, XBatch};
 use dasp_sparse::Csr;
 
 use crate::WARPS_PER_BLOCK;
@@ -143,10 +143,11 @@ impl<S: Scalar> Hyb<S> {
                 warps.div_ceil(WARPS_PER_BLOCK) as u64,
                 WARPS_PER_BLOCK as u64,
             );
+            let mut xb = XBatch::new(S::BYTES);
             for &(r, c, v) in &self.coo {
                 probe.load_val(1, S::BYTES);
                 probe.load_idx(2, 4); // row AND column index per element
-                probe.load_x(c as usize, S::BYTES);
+                xb.push(probe, c as usize);
                 probe.fma(1);
                 // atomic add: modeled as a y read-modify-write
                 probe.store_y(2, S::BYTES);
@@ -154,6 +155,7 @@ impl<S: Scalar> Hyb<S> {
                 let cur = S::acc_from_f64(y[r].to_f64());
                 y[r] = S::from_acc(S::acc_mul_add(cur, v, x[c as usize]));
             }
+            xb.flush(probe);
         }
         y
     }
@@ -167,15 +169,21 @@ impl<S: Scalar> Hyb<S> {
         let hi = ((w + 1) * WARP_SIZE).min(self.rows);
         let mut acc = [S::acc_zero(); WARP_SIZE];
         for j in 0..self.k {
+            // One batched x access per slab column (active lanes in lane
+            // order).
+            let mut xi = [0usize; WARP_SIZE];
+            let mut nx = 0;
             for r in lo..hi {
                 let e = j * self.rows + r;
                 let v = self.ell_vals[e];
                 if v != S::zero() || self.ell_cids[e] != 0 {
                     let c = self.ell_cids[e] as usize;
-                    probe.load_x(c, S::BYTES);
+                    xi[nx] = c;
+                    nx += 1;
                     acc[r - lo] = S::acc_mul_add(acc[r - lo], v, x[c]);
                 }
             }
+            probe.load_x_warp(&xi[..nx], S::BYTES);
         }
         for r in lo..hi {
             y.write(r, S::from_acc(acc[r - lo]));

@@ -22,7 +22,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, XBatch};
 use dasp_sparse::Csr;
 
 use crate::{acc_spill as spill, WARPS_PER_BLOCK};
@@ -134,6 +134,7 @@ impl<S: Scalar> LsrbCsr<S> {
         // crossing is one metadata read.
         let mut acc = S::acc_zero();
         let mut first_spill = true;
+        let mut xb = XBatch::new(S::BYTES);
         for g in lo..hi {
             while csr.row_ptr[row + 1] <= g {
                 // close this row's contribution (carry if it spans)
@@ -154,9 +155,10 @@ impl<S: Scalar> LsrbCsr<S> {
             // 1.5x effective-coalescing penalty on the streamed arrays.
             probe.load_val(3, S::BYTES / 2);
             probe.load_idx(3, 2);
-            probe.load_x(c, S::BYTES);
+            xb.push(probe, c);
             acc = S::acc_mul_add(acc, csr.vals[g], x[c]);
         }
+        xb.flush(probe);
         if first_spill {
             carry.write(s, acc);
             probe.san_write(space::AUX, s);

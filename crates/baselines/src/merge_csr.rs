@@ -11,7 +11,7 @@
 
 use dasp_fp16::Scalar;
 use dasp_simt::warp::WARP_SIZE;
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, XBatch};
 use dasp_sparse::Csr;
 
 use crate::{acc_spill as spill, WARPS_PER_BLOCK};
@@ -134,6 +134,7 @@ impl<S: Scalar> MergeCsr<S> {
 
         let mut acc = S::acc_zero();
         let mut first_spill = true;
+        let mut xb = XBatch::new(S::BYTES);
         let mut item = d_lo;
         while item < d_hi {
             if row < csr.rows && nz == csr.row_ptr[row + 1] {
@@ -154,12 +155,13 @@ impl<S: Scalar> MergeCsr<S> {
                 let c = csr.col_idx[nz] as usize;
                 probe.load_val(1, S::BYTES);
                 probe.load_idx(1, 4);
-                probe.load_x(c, S::BYTES);
+                xb.push(probe, c);
                 acc = S::acc_mul_add(acc, csr.vals[nz], x[c]);
                 nz += 1;
             }
             item += 1;
         }
+        xb.flush(probe);
         // Carry the trailing partial row into y (the fix-up pass).
         if row < csr.rows {
             if first_spill {

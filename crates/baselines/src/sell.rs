@@ -161,12 +161,15 @@ impl<S: Scalar> SellCSigma<S> {
         probe.load_idx((width * CHUNK) as u64, 4);
         let mut acc = [S::acc_zero(); CHUNK];
         for j in 0..width {
+            // One batched x access per chunk column (lane order).
+            let mut xi = [0usize; CHUNK];
             for (lane, a) in acc.iter_mut().enumerate().take(lanes) {
                 let e = base + j * CHUNK + lane;
                 let c = self.cids[e] as usize;
-                probe.load_x(c, S::BYTES);
+                xi[lane] = c;
                 *a = S::acc_mul_add(*a, self.vals[e], x[c]);
             }
+            probe.load_x_warp(&xi[..lanes], S::BYTES);
         }
         for (lane, a) in acc.iter().enumerate().take(lanes) {
             let row = self.perm[ch * CHUNK + lane] as usize;

@@ -62,26 +62,59 @@ impl<S: Scalar> TileSpmv<S> {
     /// Converts CSR to the tiled format (the preprocessing of Fig. 13).
     pub fn new(csr: &Csr<S>) -> Self {
         let n_tile_rows = csr.rows.div_ceil(TILE_DIM);
+        let n_tile_cols = csr.cols.div_ceil(TILE_DIM);
         let mut tile_row_ptr = vec![0usize; n_tile_rows + 1];
         let mut tiles: Vec<Tile<S>> = Vec::new();
 
+        // Reusable per-tile-row scratch: a count-then-scatter over the
+        // touched tile columns (counts reset only where touched), so one
+        // tile row costs two streaming passes and no per-group allocation
+        // churn.
+        let mut count = vec![0usize; n_tile_cols];
+        let mut offs = vec![0usize; n_tile_cols];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut elems_buf: Vec<TileElem<S>> = Vec::new();
+
         for ti in 0..n_tile_rows {
-            // Gather this tile row's elements grouped by tile column.
-            let mut groups: Vec<(u32, Vec<TileElem<S>>)> = Vec::new();
-            for r in ti * TILE_DIM..((ti + 1) * TILE_DIM).min(csr.rows) {
-                for (c, v) in csr.row(r) {
-                    let tc = c / TILE_DIM as u32;
-                    let lr = (r - ti * TILE_DIM) as u8;
-                    let lc = (c as usize % TILE_DIM) as u8;
-                    match groups.binary_search_by_key(&tc, |g| g.0) {
-                        Ok(k) => groups[k].1.push((lr, lc, v)),
-                        Err(k) => groups.insert(k, (tc, vec![(lr, lc, v)])),
+            let (rlo, rhi) = (ti * TILE_DIM, ((ti + 1) * TILE_DIM).min(csr.rows));
+            touched.clear();
+            for r in rlo..rhi {
+                for (c, _) in csr.row(r) {
+                    let tc = c as usize / TILE_DIM;
+                    if count[tc] == 0 {
+                        touched.push(tc as u32);
                     }
+                    count[tc] += 1;
                 }
             }
-            for (tc, mut elems) in groups {
-                elems.sort_by_key(|&(lr, lc, _)| (lr, lc));
-                let format = if elems.len() * 4 >= TILE_DIM * TILE_DIM {
+            touched.sort_unstable();
+            let mut total = 0;
+            for &tc in &touched {
+                offs[tc as usize] = total;
+                total += count[tc as usize];
+            }
+            elems_buf.clear();
+            elems_buf.resize(total, (0u8, 0u8, S::zero()));
+            for r in rlo..rhi {
+                let lr = (r - rlo) as u8;
+                for (c, v) in csr.row(r) {
+                    let tc = c as usize / TILE_DIM;
+                    let lc = (c as usize % TILE_DIM) as u8;
+                    elems_buf[offs[tc]] = (lr, lc, v);
+                    offs[tc] += 1;
+                }
+            }
+            let mut base = 0;
+            for &tc in &touched {
+                let n = count[tc as usize];
+                count[tc as usize] = 0;
+                let group = &mut elems_buf[base..base + n];
+                base += n;
+                // Rows stream in ascending order so the scatter is already
+                // lr-major; the sort only fixes lc order within a row when
+                // the source CSR has unsorted columns (near-free otherwise).
+                group.sort_by_key(|&(lr, lc, _)| (lr, lc));
+                let format = if n * 4 >= TILE_DIM * TILE_DIM {
                     TileFormat::DenseBitmap
                 } else {
                     TileFormat::TileCsr
@@ -89,7 +122,7 @@ impl<S: Scalar> TileSpmv<S> {
                 tiles.push(Tile {
                     col_tile: tc,
                     format,
-                    elems,
+                    elems: group.to_vec(),
                 });
             }
             tile_row_ptr[ti + 1] = tiles.len();
@@ -168,9 +201,12 @@ impl<S: Scalar> TileSpmv<S> {
             // The x segment of the tile column is loaded wholesale and
             // reused by the warp.
             let xbase = t.col_tile as usize * TILE_DIM;
-            for lc in 0..TILE_DIM.min(self.cols - xbase) {
-                probe.load_x(xbase + lc, S::BYTES);
+            let mut xi = [0usize; TILE_DIM];
+            let nx = TILE_DIM.min(self.cols - xbase);
+            for (lc, xi_e) in xi[..nx].iter_mut().enumerate() {
+                *xi_e = xbase + lc;
             }
+            probe.load_x_warp(&xi[..nx], S::BYTES);
             // Tiles are 16 wide but warps are 32 wide: half the lanes
             // idle through each sweep, and every tile pays a format-
             // dispatch branch before its compute. Both show up as

@@ -3,7 +3,8 @@
 //! ```text
 //! dasp-bench record [--out PATH] [--quick] [--reps N] [--device a100|h800]
 //!                   [--executor seq|par] [--threads N] [--no-spmm]
-//!                   [--top N] [--flamegraph OUT.folded] [--trace OUT.json]
+//!                   [--top N] [--no-interp] [--flamegraph OUT.folded]
+//!                   [--trace OUT.json]
 //! dasp-bench diff OLD.json NEW.json [--threshold PCT] [--mad-factor F]
 //!                   [--drift-floor PCT] [--modeled-threshold PCT]
 //!                   [--json OUT] [--soft]
@@ -13,8 +14,10 @@
 //! methods plus the SpMM widths 1 and 8 — and writes a versioned
 //! `BENCH_<seq>.json` snapshot (the next free sequence number in the
 //! current directory unless `--out` names a file). It prints the suite
-//! summary table and the top-N hot-region table from the call-tree
-//! profile; `--flamegraph` additionally writes collapsed stacks for
+//! summary table, the top-N hot-region table from the call-tree
+//! profile, and the interpreter-throughput microbench (warp-ops/sec per
+//! DASP kernel with the probe-hook overhead share — skip it with
+//! `--no-interp`); `--flamegraph` additionally writes collapsed stacks for
 //! `flamegraph.pl`/speedscope and `--trace` the Chrome Trace Event file.
 //! `--quick` selects the scaled-down CI matrices (the profile the
 //! committed trajectory uses).
@@ -37,7 +40,8 @@ use std::process::ExitCode;
 use dasp_bench::suite_matrices;
 use dasp_observatory::suite::{device_by_name, render_suite_table};
 use dasp_observatory::{
-    diff_snapshots, next_seq, run_suite, snapshot_path, BenchSnapshot, DiffConfig, SuiteConfig,
+    diff_snapshots, next_seq, render_interp_table, run_interp_bench, run_suite, snapshot_path,
+    BenchSnapshot, DiffConfig, SuiteConfig,
 };
 use dasp_simt::Executor;
 use dasp_trace::chrome_trace_json;
@@ -67,6 +71,7 @@ fn record(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut spmm = true;
     let mut top = 10usize;
+    let mut interp = true;
     let mut flamegraph: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
 
@@ -94,6 +99,7 @@ fn record(mut args: impl Iterator<Item = String>) -> ExitCode {
                 _ => return usage("--threads requires a positive integer"),
             },
             "--no-spmm" => spmm = false,
+            "--no-interp" => interp = false,
             "--top" => match args.next().and_then(|v| v.parse::<usize>().ok()) {
                 Some(n) => top = n,
                 _ => return usage("--top requires an integer"),
@@ -162,6 +168,14 @@ fn record(mut args: impl Iterator<Item = String>) -> ExitCode {
     if top > 0 {
         println!("\nhot regions (exclusive time, traced runs):");
         print!("{}", outcome.calltree.render_hot_table(top));
+        if interp {
+            // The "interpreter overhead" row: probe-hook share of the
+            // instrumented wall per kernel, so regressions in the batched
+            // probe discipline show up by name right under the hot table.
+            eprintln!("running interpreter-throughput microbench...");
+            let records = run_interp_bench(reps.min(15));
+            print!("{}", render_interp_table(&records));
+        }
     }
     println!("\nwrote {}", path.display());
     ExitCode::SUCCESS

@@ -6,25 +6,63 @@ use dasp_fp16::Scalar;
 use dasp_simt::checked;
 use dasp_simt::mma::{diag_position, AccFrag, MMA_M};
 use dasp_simt::warp::{full_mask, per_lane, WARP_SIZE};
-use dasp_simt::Probe;
+use dasp_simt::{space, Probe, SharedSlice};
 
-/// The per-lane element index used by every DASP kernel to address one 8x4
-/// block (paper Algorithms 2-4, `idx = (3 & laneid) + (laneid >> 2) * MMA_K`):
-/// lane `t` owns block element `(row = t >> 2, k = t & 3)` of the intra-block
-/// row-major layout.
+use crate::format::NO_ROW;
+
+/// Contiguous whole-block load: the paper's per-lane block index
+/// `idx = (3 & laneid) + (laneid >> 2) * MMA_K` is the identity permutation
+/// (`(3 & t) + (t >> 2) * 4 == t`), so lane `t`'s block element is
+/// `src[offset + t]` and a coalesced 8×4 block load is one 32-element
+/// slice copy the compiler vectorizes.
 #[inline]
-pub(crate) fn mma_idx() -> [usize; WARP_SIZE] {
-    per_lane(|lane| (3 & lane) + (lane >> 2) * 4)
+pub(crate) fn load_block<T: Copy>(src: &[T], offset: usize) -> [T; WARP_SIZE] {
+    src[offset..offset + WARP_SIZE]
+        .try_into()
+        .expect("block slice is WARP_SIZE long")
 }
 
-/// Loads each lane's column id from `cids[offset + idx[lane]]`.
+/// Gathers each lane's `x[cids[lane]]` for one block, issuing a single
+/// batched probe access (lane order, so cache classification is
+/// bit-identical to 32 per-element `load_x` calls).
 #[inline]
-pub(crate) fn load_idx_lane(
-    cids: &[u32],
-    offset: usize,
-    idx: &[usize; WARP_SIZE],
-) -> [u32; WARP_SIZE] {
-    per_lane(|lane| cids[offset + idx[lane]])
+pub(crate) fn gather_x<S: Scalar, P: Probe>(
+    x: &[S],
+    cids: &[u32; WARP_SIZE],
+    probe: &mut P,
+) -> [S; WARP_SIZE] {
+    let xi: [usize; WARP_SIZE] = per_lane(|l| cids[l] as usize);
+    probe.load_x_warp(&xi, S::BYTES);
+    per_lane(|l| x[xi[l]])
+}
+
+/// Permuted warp write-back shared by the short kernels: each lane whose
+/// permutation slot names a real row (`!= NO_ROW`) writes its result to
+/// `y[perm[lane]]`; padding lanes are predicated off and counted as one
+/// divergent region. The shadow-write probe and the store-traffic bump
+/// are issued once for the whole warp.
+#[inline]
+pub(crate) fn write_permuted<S: Scalar, P: Probe>(
+    perm: &[u32],
+    res: &[S::Acc; WARP_SIZE],
+    y: &SharedSlice<S>,
+    probe: &mut P,
+) {
+    let mut writes = [0usize; WARP_SIZE];
+    let mut nw = 0;
+    for (lane, &row) in perm.iter().enumerate() {
+        if row != NO_ROW {
+            y.write(row as usize, S::from_acc(res[lane]));
+            writes[nw] = row as usize;
+            nw += 1;
+        }
+    }
+    probe.san_write_warp(space::Y, &writes[..nw]);
+    probe.store_y(nw as u64, S::BYTES);
+    let inactive = (perm.len() - nw) as u64;
+    if inactive > 0 {
+        probe.divergence(inactive);
+    }
 }
 
 /// The diagonal extraction of Algorithms 3 and 4 (lines 13-18 / 15-20):
@@ -69,10 +107,12 @@ mod tests {
 
     #[test]
     fn mma_idx_covers_one_block_row_major() {
-        let idx = mma_idx();
+        // The paper's per-lane block index is the identity permutation —
+        // the invariant that lets [`load_block`] be a contiguous copy.
+        let idx: [usize; WARP_SIZE] = per_lane(|lane| (3 & lane) + (lane >> 2) * 4);
         let mut seen = [false; 32];
         for (lane, &i) in idx.iter().enumerate() {
-            assert_eq!(i, (lane >> 2) * 4 + (lane & 3));
+            assert_eq!(i, lane);
             seen[i] = true;
         }
         assert!(seen.iter().all(|&s| s));

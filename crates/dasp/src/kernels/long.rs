@@ -10,13 +10,15 @@
 //! strided loop and a tree `warpReduceSum`, writing the final `y` value.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, diag_position, mma_m8n8k4, DIAG_SLOTS, MMA_M};
+use dasp_simt::mma::{acc_zero, diag_position, mma_m8n8k4_diag, DIAG_SLOTS, MMA_M};
 use dasp_simt::warp::{full_mask, per_lane, WARP_SIZE};
 use dasp_simt::{checked, space, Executor, Probe, ShardableProbe, SharedSlice};
 
+use dasp_simt::WarpScratch;
+
 use crate::consts::{BLOCK_ELEMS, GROUP_ELEMS};
 use crate::format::LongPart;
-use crate::kernels::{load_idx_lane, mma_idx};
+use crate::kernels::{gather_x, load_block};
 
 /// Runs the two-phase long-rows SpMV under the given executor, scattering
 /// results into `y`. Phase 1's group warps all complete (and, under a
@@ -33,7 +35,9 @@ pub fn spmv_long_with<S: Scalar, P: ShardableProbe>(
     if n_groups == 0 {
         return;
     }
-    let mut warp_val: Vec<S::Acc> = vec![S::acc_zero(); n_groups];
+    // Arena-leased per-launch scratch: capacity is recycled across
+    // launches instead of allocated fresh (the lease drops at return).
+    let mut warp_val = WarpScratch::lease(n_groups, S::acc_zero());
     {
         let wv = SharedSlice::new(&mut warp_val);
         exec.run(n_groups, probe, |g, p| long_phase1_warp(part, x, &wv, g, p));
@@ -65,22 +69,18 @@ pub fn long_phase1_warp<S: Scalar, P: Probe>(
     probe: &mut P,
 ) {
     let mask = full_mask();
-    let idx = mma_idx();
     probe.warp_begin(g);
     probe.san_region("dasp.long.phase1");
     let mut acc = acc_zero::<S>();
     probe.san_frag_clear();
     let mut offset_a = g * GROUP_ELEMS;
     for _i in 0..2 {
-        let frag_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset_a + idx[l]]);
-        let cids = load_idx_lane(&part.cids, offset_a, &idx);
-        let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
+        let frag_a: [S; WARP_SIZE] = load_block(&part.vals, offset_a);
+        let cids = load_block(&part.cids, offset_a);
         probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
         probe.load_idx(BLOCK_ELEMS as u64, 4);
-        for &c in &cids {
-            probe.load_x(c as usize, S::BYTES);
-        }
-        mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+        let frag_x = gather_x(x, &cids, probe);
+        mma_m8n8k4_diag::<S>(&mut acc, &frag_a, &frag_x);
         probe.mma();
         probe.san_frag_mma(DIAG_SLOTS);
         offset_a += BLOCK_ELEMS;
@@ -136,15 +136,23 @@ pub fn long_phase2_warp<S: Scalar, P: Probe>(
     if tail != 0 {
         probe.divergence((WARP_SIZE - tail) as u64);
     }
+    // Stride-major sweep (iteration `s`: lanes read `lo + s*32 + lane`,
+    // the coalesced order the device issues): one batched shadow probe
+    // and one meta-traffic bump per 32-element stride instead of 32.
     let mut thread_val: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
-    for (lane, tv) in thread_val.iter_mut().enumerate() {
-        let mut i = lane;
-        while i < row_warp_len {
-            *tv = S::acc_add(*tv, warp_val[lo + i]);
-            probe.san_read(space::AUX, lo + i);
-            probe.load_meta(1, S::ACC_BYTES); // warpVal read-back
-            i += WARP_SIZE;
+    let mut base = 0;
+    let mut stride_idx = [0usize; WARP_SIZE];
+    while base < row_warp_len {
+        let n = (row_warp_len - base).min(WARP_SIZE);
+        for (lane, si) in stride_idx[..n].iter_mut().enumerate() {
+            *si = lo + base + lane;
         }
+        for lane in 0..n {
+            thread_val[lane] = S::acc_add(thread_val[lane], warp_val[stride_idx[lane]]);
+        }
+        probe.san_read_warp(space::AUX, &stride_idx[..n]);
+        probe.load_meta(n as u64, S::ACC_BYTES); // warpVal read-back
+        base += WARP_SIZE;
     }
     let reduced = checked::warp_reduce(probe, mask, thread_val, |a, b| S::acc_add(a, b));
     probe.shfl(dasp_simt::shuffle::WARP_REDUCE_SHFLS);

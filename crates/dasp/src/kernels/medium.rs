@@ -8,13 +8,13 @@
 //! with scalar FMAs and writes `y`.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4, DIAG_SLOTS};
-use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4_diag, DIAG_SLOTS};
+use dasp_simt::warp::WARP_SIZE;
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, XBatch};
 
 use crate::consts::{loop_num, BLOCK_ELEMS, MMA_M};
 use crate::format::MediumPart;
-use crate::kernels::{extract_diagonals, load_idx_lane, mma_idx};
+use crate::kernels::{extract_diagonals, gather_x, load_block};
 
 /// Runs the medium-rows SpMV under the given executor, scattering results
 /// into `y`.
@@ -62,7 +62,6 @@ pub fn medium_warp<S: Scalar, P: Probe>(
     let n_rows = part.rows.len();
     let ln = loop_num(n_rows);
     let n_rowblocks = part.num_rowblocks();
-    let idx = mma_idx();
 
     probe.warp_begin(wid);
     probe.san_region("dasp.medium");
@@ -80,15 +79,12 @@ pub fn medium_warp<S: Scalar, P: Probe>(
         let mut acc = acc_zero::<S>();
         probe.san_frag_clear();
         for _b in 0..nblocks {
-            let frag_a: [S; WARP_SIZE] = per_lane(|l| part.reg_val[offset_a + idx[l]]);
-            let cids = load_idx_lane(&part.reg_cid, offset_a, &idx);
-            let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
+            let frag_a: [S; WARP_SIZE] = load_block(&part.reg_val, offset_a);
+            let cids = load_block(&part.reg_cid, offset_a);
             probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
             probe.load_idx(BLOCK_ELEMS as u64, 4);
-            for &c in &cids {
-                probe.load_x(c as usize, S::BYTES);
-            }
-            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+            let frag_x = gather_x(x, &cids, probe);
+            mma_m8n8k4_diag::<S>(&mut acc, &frag_a, &frag_x);
             probe.mma();
             probe.san_frag_mma(DIAG_SLOTS);
             offset_a += BLOCK_ELEMS;
@@ -104,6 +100,12 @@ pub fn medium_warp<S: Scalar, P: Probe>(
     if rows_here < WARP_SIZE {
         probe.divergence((WARP_SIZE - rows_here) as u64);
     }
+    // Per-row counters are batched (one probe call per row, not per
+    // element) and x accesses stream through an XBatch whose flush
+    // boundaries are observationally equivalent to per-element calls.
+    let mut xb = XBatch::new(S::BYTES);
+    let mut writes = [0usize; WARP_SIZE];
+    let mut n_writes = 0;
     for lane in 0..(ln * MMA_M).min(WARP_SIZE) {
         let cur_row = wid * ln * MMA_M + lane;
         if cur_row >= n_rows {
@@ -111,17 +113,22 @@ pub fn medium_warp<S: Scalar, P: Probe>(
         }
         probe.load_meta(2, 4); // irregPtr (int32 on device)
         let mut v = res[lane];
-        for j in part.irreg_ptr[cur_row]..part.irreg_ptr[cur_row + 1] {
+        let (jlo, jhi) = (part.irreg_ptr[cur_row], part.irreg_ptr[cur_row + 1]);
+        for j in jlo..jhi {
             v = S::acc_mul_add(v, part.irreg_val[j], x[part.irreg_cid[j] as usize]);
-            probe.load_val(1, S::BYTES);
-            probe.load_idx(1, 4);
-            probe.load_x(part.irreg_cid[j] as usize, S::BYTES);
-            probe.fma(1);
+            xb.push(probe, part.irreg_cid[j] as usize);
         }
+        let elems = (jhi - jlo) as u64;
+        probe.load_val(elems, S::BYTES);
+        probe.load_idx(elems, 4);
+        probe.fma(elems);
         y.write(part.rows[cur_row] as usize, S::from_acc(v));
-        probe.san_write(space::Y, part.rows[cur_row] as usize);
+        writes[n_writes] = part.rows[cur_row] as usize;
+        n_writes += 1;
         probe.store_y(1, S::BYTES);
     }
+    xb.flush(probe);
+    probe.san_write_warp(space::Y, &writes[..n_writes]);
     probe.warp_end(wid);
 }
 

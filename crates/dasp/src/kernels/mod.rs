@@ -32,4 +32,4 @@ pub use short13::{short13_warp, spmv_short13, spmv_short13_with};
 pub use short22::{short22_warp, spmv_short22, spmv_short22_with};
 pub use short4::{short4_warp, spmv_short4, spmv_short4_with};
 
-pub(crate) use helpers::{extract_diagonals, load_idx_lane, mma_idx};
+pub(crate) use helpers::{extract_diagonals, gather_x, load_block, write_permuted};

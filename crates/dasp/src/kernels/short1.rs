@@ -56,18 +56,27 @@ pub fn short1_warp<S: Scalar, P: Probe>(
     if live > part.n1 {
         probe.divergence((live - part.n1) as u64);
     }
-    for t in w * WARP..live.min(part.n1) {
-        let e = part.off1 + t;
-        let c = part.cids[e] as usize;
-        let v = S::mul_to_acc(part.vals[e], x[c]);
-        probe.load_val(1, S::BYTES);
-        probe.load_idx(1, 4);
-        probe.load_x(c, S::BYTES);
-        probe.fma(1);
-        y.write(part.perm1[t] as usize, S::from_acc(v));
-        probe.san_write(space::Y, part.perm1[t] as usize);
-        probe.store_y(1, S::BYTES);
+    let (lo, hi) = (w * WARP, live.min(part.n1));
+    let n = hi - lo;
+    // One coalesced access per array for the whole warp: the lane math
+    // runs over stack arrays the compiler vectorizes, and each probe
+    // boundary is crossed once instead of per thread.
+    let mut xi = [0usize; WARP];
+    let mut writes = [0usize; WARP];
+    for (lane, t) in (lo..hi).enumerate() {
+        xi[lane] = part.cids[part.off1 + t] as usize;
+        writes[lane] = part.perm1[t] as usize;
     }
+    probe.load_val(n as u64, S::BYTES);
+    probe.load_idx(n as u64, 4);
+    probe.load_x_warp(&xi[..n], S::BYTES);
+    probe.fma(n as u64);
+    for (lane, t) in (lo..hi).enumerate() {
+        let v = S::mul_to_acc(part.vals[part.off1 + t], x[xi[lane]]);
+        y.write(writes[lane], S::from_acc(v));
+    }
+    probe.san_write_warp(space::Y, &writes[..n]);
+    probe.store_y(n as u64, S::BYTES);
     probe.warp_end(w);
 }
 

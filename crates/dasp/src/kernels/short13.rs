@@ -8,13 +8,13 @@
 //! exactly 32 `y` values.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4, DIAG_SLOTS};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4_diag, DIAG_SLOTS};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 
 use crate::consts::BLOCK_ELEMS;
-use crate::format::{ShortPart, NO_ROW};
-use crate::kernels::{extract_diagonals, load_idx_lane, mma_idx};
+use crate::format::ShortPart;
+use crate::kernels::{extract_diagonals, load_block, write_permuted};
 
 /// Runs the 1&3 short-rows SpMV under the given executor, scattering
 /// results into `y`.
@@ -50,7 +50,6 @@ pub fn short13_warp<S: Scalar, P: Probe>(
     w: usize,
     probe: &mut P,
 ) {
-    let idx = mma_idx();
     probe.warp_begin(w);
     probe.san_region("dasp.short13");
     let warp_base = w * 2 * BLOCK_ELEMS; // two blocks per warp
@@ -61,34 +60,37 @@ pub fn short13_warp<S: Scalar, P: Probe>(
     for i in 0..4usize {
         let mut acc = acc_zero::<S>();
         probe.san_frag_clear();
-        let cids = load_idx_lane(&part.cids, offset, &idx);
-        let frag_x: [S; WARP_SIZE];
-        if i & 1 == 0 {
-            // Even pass: load A and the x values of column 0 only.
-            frag_a = per_lane(|l| part.vals[offset + idx[l]]);
+        let cids = load_block(&part.cids, offset);
+        let even = i & 1 == 0;
+        if even {
+            // Even pass: load A; only column 0's x values participate
+            // (the length-1 piece of every packed row).
+            frag_a = load_block(&part.vals, offset);
             probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
             probe.load_idx(BLOCK_ELEMS as u64, 4);
-            frag_x = per_lane(|l| {
-                if l & 3 == 0 {
-                    probe.load_x(cids[l] as usize, S::BYTES);
-                    x[cids[l] as usize]
-                } else {
-                    S::zero()
-                }
-            });
-        } else {
-            // Odd pass: x values of columns 1..3; A stays in registers.
-            frag_x = per_lane(|l| {
-                if l & 3 == 0 {
-                    S::zero()
-                } else {
-                    probe.load_x(cids[l] as usize, S::BYTES);
-                    x[cids[l] as usize]
-                }
-            });
+        }
+        // Masked coalesced x gather: the pass's active lanes in lane
+        // order, one batched access for the whole block.
+        let mut xi = [0usize; WARP_SIZE];
+        let mut nx = 0;
+        for (l, &c) in cids.iter().enumerate() {
+            if (l & 3 == 0) == even {
+                xi[nx] = c as usize;
+                nx += 1;
+            }
+        }
+        probe.load_x_warp(&xi[..nx], S::BYTES);
+        let frag_x: [S; WARP_SIZE] = per_lane(|l| {
+            if (l & 3 == 0) == even {
+                x[cids[l] as usize]
+            } else {
+                S::zero()
+            }
+        });
+        if !even {
             offset += BLOCK_ELEMS; // advance to the next block
         }
-        mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+        mma_m8n8k4_diag::<S>(&mut acc, &frag_a, &frag_x);
         probe.mma();
         probe.san_frag_mma(DIAG_SLOTS);
         extract_diagonals::<S, P>(&acc, i, &mut res, probe);
@@ -96,20 +98,12 @@ pub fn short13_warp<S: Scalar, P: Probe>(
 
     // Padding slots have no output row: those lanes are predicated off
     // during write-back.
-    let mut inactive = 0u64;
-    for lane in 0..WARP_SIZE {
-        let row = part.perm13[w * WARP_SIZE + lane];
-        if row != NO_ROW {
-            y.write(row as usize, S::from_acc(res[lane]));
-            probe.san_write(space::Y, row as usize);
-            probe.store_y(1, S::BYTES);
-        } else {
-            inactive += 1;
-        }
-    }
-    if inactive > 0 {
-        probe.divergence(inactive);
-    }
+    write_permuted::<S, P>(
+        &part.perm13[w * WARP_SIZE..(w + 1) * WARP_SIZE],
+        &res,
+        y,
+        probe,
+    );
     probe.warp_end(w);
 }
 

@@ -6,13 +6,13 @@
 //! same shuffle pair as the other short kernels.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4, DIAG_SLOTS};
-use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4_diag, DIAG_SLOTS};
+use dasp_simt::warp::WARP_SIZE;
+use dasp_simt::{Executor, Probe, ShardableProbe, SharedSlice};
 
 use crate::consts::BLOCK_ELEMS;
-use crate::format::{ShortPart, NO_ROW};
-use crate::kernels::{extract_diagonals, load_idx_lane, mma_idx};
+use crate::format::ShortPart;
+use crate::kernels::{extract_diagonals, gather_x, load_block, write_permuted};
 
 /// Runs the length-4 short-rows SpMV under the given executor, scattering
 /// results into `y`.
@@ -48,7 +48,6 @@ pub fn short4_warp<S: Scalar, P: Probe>(
     w: usize,
     probe: &mut P,
 ) {
-    let idx = mma_idx();
     probe.warp_begin(w);
     probe.san_region("dasp.short4");
     let mut res: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
@@ -56,35 +55,24 @@ pub fn short4_warp<S: Scalar, P: Probe>(
         let offset = part.off4 + (w * 4 + i) * BLOCK_ELEMS;
         let mut acc = acc_zero::<S>();
         probe.san_frag_clear();
-        let frag_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset + idx[l]]);
-        let cids = load_idx_lane(&part.cids, offset, &idx);
-        let frag_x: [S; WARP_SIZE] = per_lane(|l| x[cids[l] as usize]);
+        let frag_a: [S; WARP_SIZE] = load_block(&part.vals, offset);
+        let cids = load_block(&part.cids, offset);
         probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
         probe.load_idx(BLOCK_ELEMS as u64, 4);
-        for &c in &cids {
-            probe.load_x(c as usize, S::BYTES);
-        }
-        mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_x);
+        let frag_x = gather_x(x, &cids, probe);
+        mma_m8n8k4_diag::<S>(&mut acc, &frag_a, &frag_x);
         probe.mma();
         probe.san_frag_mma(DIAG_SLOTS);
         extract_diagonals::<S, P>(&acc, i, &mut res, probe);
     }
     // Padding slots have no output row: those lanes are predicated off
     // during write-back.
-    let mut inactive = 0u64;
-    for lane in 0..WARP_SIZE {
-        let row = part.perm4[w * WARP_SIZE + lane];
-        if row != NO_ROW {
-            y.write(row as usize, S::from_acc(res[lane]));
-            probe.san_write(space::Y, row as usize);
-            probe.store_y(1, S::BYTES);
-        } else {
-            inactive += 1;
-        }
-    }
-    if inactive > 0 {
-        probe.divergence(inactive);
-    }
+    write_permuted::<S, P>(
+        &part.perm4[w * WARP_SIZE..(w + 1) * WARP_SIZE],
+        &res,
+        y,
+        probe,
+    );
     probe.warp_end(w);
 }
 

@@ -9,15 +9,17 @@
 //! `warpVal` array widens to one accumulator slot per (group, column).
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4, row_slots, MMA_K, MMA_M};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4_row_segment, row_slots, MMA_K, MMA_M};
 use dasp_simt::warp::{full_mask, per_lane, WARP_SIZE};
 use dasp_simt::SharedSlice;
 use dasp_simt::{checked, space, Executor, Probe, ShardableProbe};
 use dasp_sparse::{DenseMat, PANEL_WIDTH};
 
+use dasp_simt::WarpScratch;
+
 use crate::consts::{BLOCK_ELEMS, GROUP_ELEMS};
 use crate::format::LongPart;
-use crate::kernels::{load_idx_lane, mma_idx};
+use crate::kernels::load_block;
 
 /// Runs the two-phase long-rows SpMM under the given executor, scattering
 /// results into the panel-layout output slice `y` (`y_rows` rows). All
@@ -36,7 +38,8 @@ pub fn spmm_long_with<S: Scalar, P: ShardableProbe>(
     if n_groups == 0 || panels == 0 {
         return;
     }
-    let mut warp_val: Vec<S::Acc> = vec![S::acc_zero(); n_groups * panels * PANEL_WIDTH];
+    // Arena-leased per-launch scratch (recycled capacity across launches).
+    let mut warp_val = WarpScratch::lease(n_groups * panels * PANEL_WIDTH, S::acc_zero());
     {
         let wv = SharedSlice::new(&mut warp_val);
         exec.run(n_groups * panels, probe, |wid, p| {
@@ -60,7 +63,6 @@ pub fn spmm_long_phase1_warp<S: Scalar, P: Probe>(
     let n_groups = part.num_groups();
     let (panel, g) = (wid / n_groups, wid % n_groups);
     let mask = full_mask();
-    let idx = mma_idx();
     probe.warp_begin(wid);
     probe.san_region("spmm.long.phase1");
     let w_p = b.panel_width(panel);
@@ -71,25 +73,30 @@ pub fn spmm_long_phase1_warp<S: Scalar, P: Probe>(
     for _i in 0..2 {
         // The block's A values and column ids load once for the whole
         // panel — this is the 8x amortization over looped SpMV.
-        let block_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset_a + idx[l]]);
-        let cids = load_idx_lane(&part.cids, offset_a, &idx);
+        let block_a: [S; WARP_SIZE] = load_block(&part.vals, offset_a);
+        let cids = load_block(&part.cids, offset_a);
         probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
         probe.load_idx(BLOCK_ELEMS as u64, 4);
         for r in 0..MMA_M {
-            // Mask A to row-segment r; pack the segment's gathered B rows
-            // across all 8 fragment columns. Element (r, k) sits at lane
-            // r*4+k, so its column id is cids[r*4+k].
-            let frag_a: [S; WARP_SIZE] =
-                per_lane(|l| if l >> 2 == r { block_a[l] } else { S::zero() });
+            // Pack row-segment r's gathered B rows across all 8 fragment
+            // columns. Element (r, k) sits at lane r*4+k, so its column id
+            // is cids[r*4+k]. The A-side row mask happens inside the
+            // row-segment MMA variant, which skips the inert 0*b adds.
             let frag_b: [S; WARP_SIZE] =
                 per_lane(|l| bp[cids[r * MMA_K + (l & 3)] as usize * PANEL_WIDTH + (l >> 2)]);
+            // One batched B access per row-segment, covering all 4*w_p
+            // gathered elements in the old k-then-jj emission order.
+            let mut xi = [0usize; WARP_SIZE];
+            let mut nx = 0;
             for k in 0..MMA_K {
                 let c = cids[r * MMA_K + k] as usize;
                 for jj in 0..w_p {
-                    probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
+                    xi[nx] = b.lin_index(panel, c, jj);
+                    nx += 1;
                 }
             }
-            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_b);
+            probe.load_x_warp(&xi[..nx], S::BYTES);
+            mma_m8n8k4_row_segment::<S>(&mut acc, &block_a, &frag_b, r);
             probe.mma();
             probe.san_frag_mma(row_slots(r));
         }
@@ -117,6 +124,7 @@ pub fn spmm_long_phase1_warp<S: Scalar, P: Probe>(
     }
     probe.shfl(6);
     let panels = b.num_panels();
+    let mut writes = [0usize; PANEL_WIDTH];
     for jj in 0..w_p {
         let v = if jj & 1 == 0 {
             y0[jj >> 1]
@@ -124,8 +132,9 @@ pub fn spmm_long_phase1_warp<S: Scalar, P: Probe>(
             y1[jj >> 1]
         };
         warp_val.write((g * panels + panel) * PANEL_WIDTH + jj, v);
-        probe.san_write(space::AUX, (g * panels + panel) * PANEL_WIDTH + jj);
+        writes[jj] = (g * panels + panel) * PANEL_WIDTH + jj;
     }
+    probe.san_write_warp(space::AUX, &writes[..w_p]);
     probe.store_y(w_p as u64, S::ACC_BYTES);
     probe.warp_end(wid);
 }
@@ -157,21 +166,26 @@ pub fn spmm_long_phase2_warp<S: Scalar, P: Probe>(
         probe.divergence((WARP_SIZE - tail) as u64);
     }
     let w_p = b.panel_width(panel);
+    let mut writes = [0usize; PANEL_WIDTH];
     for jj in 0..w_p {
         // Per column: the exact strided sum + tree reduction of SpMV's
-        // phase 2, reading the widened warpVal slots.
+        // phase 2, reading the widened warpVal slots. The strided loop
+        // runs stride-major (device coalescing order): each pass adds
+        // one warpVal slot per lane and issues one batched shadow read.
         let mut thread_val: [S::Acc; WARP_SIZE] = [S::acc_zero(); WARP_SIZE];
-        for (lane, tv) in thread_val.iter_mut().enumerate() {
-            let mut i = lane;
-            while i < row_warp_len {
-                *tv = S::acc_add(
-                    *tv,
-                    warp_val[((lo + i) * panels + panel) * PANEL_WIDTH + jj],
-                );
-                probe.san_read(space::AUX, ((lo + i) * panels + panel) * PANEL_WIDTH + jj);
-                probe.load_meta(1, S::ACC_BYTES);
-                i += WARP_SIZE;
+        let mut stride_idx = [0usize; WARP_SIZE];
+        let mut base = 0;
+        while base < row_warp_len {
+            let n = (row_warp_len - base).min(WARP_SIZE);
+            for (lane, si) in stride_idx[..n].iter_mut().enumerate() {
+                *si = ((lo + base + lane) * panels + panel) * PANEL_WIDTH + jj;
             }
+            for lane in 0..n {
+                thread_val[lane] = S::acc_add(thread_val[lane], warp_val[stride_idx[lane]]);
+            }
+            probe.san_read_warp(space::AUX, &stride_idx[..n]);
+            probe.load_meta(n as u64, S::ACC_BYTES);
+            base += WARP_SIZE;
         }
         let reduced = checked::warp_reduce(probe, mask, thread_val, |a, b| S::acc_add(a, b));
         probe.shfl(dasp_simt::shuffle::WARP_REDUCE_SHFLS);
@@ -179,8 +193,9 @@ pub fn spmm_long_phase2_warp<S: Scalar, P: Probe>(
             (panel * y_rows + orig_row) * PANEL_WIDTH + jj,
             S::from_acc(reduced[0]),
         );
-        probe.san_write(space::Y, (panel * y_rows + orig_row) * PANEL_WIDTH + jj);
-        probe.store_y(1, S::BYTES);
+        writes[jj] = (panel * y_rows + orig_row) * PANEL_WIDTH + jj;
     }
+    probe.san_write_warp(space::Y, &writes[..w_p]);
+    probe.store_y(w_p as u64, S::BYTES);
     probe.warp_end(wid);
 }

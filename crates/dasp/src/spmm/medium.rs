@@ -7,15 +7,15 @@
 //! the FMA fanned across the panel columns.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4, row_slots, MMA_K, MMA_M};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4_row_segment, row_slots, MMA_K, MMA_M};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, XBatch};
 use dasp_sparse::{DenseMat, PANEL_WIDTH};
 
 use crate::consts::{loop_num, BLOCK_ELEMS};
 use crate::format::MediumPart;
+use crate::kernels::load_block;
 use crate::kernels::medium_warps;
-use crate::kernels::{load_idx_lane, mma_idx};
 use crate::spmm::{extract_rows, PanelRes};
 
 /// Runs the medium-rows SpMM under the given executor, scattering results
@@ -50,7 +50,6 @@ pub fn spmm_medium_warp<S: Scalar, P: Probe>(
     let n_rows = part.rows.len();
     let ln = loop_num(n_rows);
     let n_rowblocks = part.num_rowblocks();
-    let idx = mma_idx();
     let w_p = b.panel_width(panel);
     let bp = b.panel(panel);
 
@@ -71,22 +70,25 @@ pub fn spmm_medium_warp<S: Scalar, P: Probe>(
         for _b in 0..nblocks {
             // A values + ids once per block per panel (the amortization);
             // 8 masked-A issues cover the 8 row-segments x 8 columns.
-            let block_a: [S; WARP_SIZE] = per_lane(|l| part.reg_val[offset_a + idx[l]]);
-            let cids = load_idx_lane(&part.reg_cid, offset_a, &idx);
+            let block_a: [S; WARP_SIZE] = load_block(&part.reg_val, offset_a);
+            let cids = load_block(&part.reg_cid, offset_a);
             probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
             probe.load_idx(BLOCK_ELEMS as u64, 4);
             for r in 0..MMA_M {
-                let frag_a: [S; WARP_SIZE] =
-                    per_lane(|l| if l >> 2 == r { block_a[l] } else { S::zero() });
                 let frag_b: [S; WARP_SIZE] =
                     per_lane(|l| bp[cids[r * MMA_K + (l & 3)] as usize * PANEL_WIDTH + (l >> 2)]);
+                // One batched B access per row-segment (k-then-jj order).
+                let mut xi = [0usize; WARP_SIZE];
+                let mut nx = 0;
                 for k in 0..MMA_K {
                     let c = cids[r * MMA_K + k] as usize;
                     for jj in 0..w_p {
-                        probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
+                        xi[nx] = b.lin_index(panel, c, jj);
+                        nx += 1;
                     }
                 }
-                mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_b);
+                probe.load_x_warp(&xi[..nx], S::BYTES);
+                mma_m8n8k4_row_segment::<S>(&mut acc, &block_a, &frag_b, r);
                 probe.mma();
                 probe.san_frag_mma(row_slots(r));
             }
@@ -102,6 +104,10 @@ pub fn spmm_medium_warp<S: Scalar, P: Probe>(
     if rows_here < WARP_SIZE {
         probe.divergence((WARP_SIZE - rows_here) as u64);
     }
+    // B accesses of the whole irregular tail stream through one batch in
+    // the same lane-then-element-then-jj order the per-element calls used,
+    // so classification is identical with ~w_p*rows fewer probe calls.
+    let mut xb = XBatch::new(S::BYTES);
     for lane in 0..lane_cap {
         let cur_row = mw * ln * MMA_M + lane;
         if cur_row >= n_rows {
@@ -109,26 +115,31 @@ pub fn spmm_medium_warp<S: Scalar, P: Probe>(
         }
         probe.load_meta(2, 4); // irregPtr (int32 on device)
         let mut v: [S::Acc; PANEL_WIDTH] = res[lane];
-        for e in part.irreg_ptr[cur_row]..part.irreg_ptr[cur_row + 1] {
+        let (jlo, jhi) = (part.irreg_ptr[cur_row], part.irreg_ptr[cur_row + 1]);
+        for e in jlo..jhi {
             let a = part.irreg_val[e];
             let c = part.irreg_cid[e] as usize;
-            probe.load_val(1, S::BYTES);
-            probe.load_idx(1, 4);
             for jj in 0..w_p {
                 v[jj] = S::acc_mul_add(v[jj], a, bp[c * PANEL_WIDTH + jj]);
-                probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
-                probe.fma(1);
+                xb.push(probe, b.lin_index(panel, c, jj));
             }
         }
+        let elems = (jhi - jlo) as u64;
+        probe.load_val(elems, S::BYTES);
+        probe.load_idx(elems, 4);
+        probe.fma(elems * w_p as u64);
         let orow = part.rows[cur_row] as usize;
+        let mut writes = [0usize; PANEL_WIDTH];
         for jj in 0..w_p {
             y.write(
                 (panel * y_rows + orow) * PANEL_WIDTH + jj,
                 S::from_acc(v[jj]),
             );
-            probe.san_write(space::Y, (panel * y_rows + orow) * PANEL_WIDTH + jj);
+            writes[jj] = (panel * y_rows + orow) * PANEL_WIDTH + jj;
         }
+        probe.san_write_warp(space::Y, &writes[..w_p]);
         probe.store_y(w_p as u64, S::BYTES);
     }
+    xb.flush(probe);
     probe.warp_end(wid);
 }

@@ -10,14 +10,14 @@
 //! row-segment, sharing the pass accumulator.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4, row_slots, MMA_K, MMA_M};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4_row_segment, row_slots, MMA_K, MMA_M};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, XBatch};
 use dasp_sparse::{DenseMat, PANEL_WIDTH};
 
 use crate::consts::BLOCK_ELEMS;
 use crate::format::{ShortPart, NO_ROW};
-use crate::kernels::{load_idx_lane, mma_idx, short1_warps};
+use crate::kernels::{load_block, short1_warps};
 use crate::spmm::{extract_rows, PanelRes};
 
 /// Runs the 1&3 short-rows SpMM under the given executor.
@@ -121,7 +121,6 @@ fn pieced_warp<S: Scalar, P: Probe>(
     probe: &mut P,
 ) {
     let (panel, w) = (wid / n_warps, wid % n_warps);
-    let idx = mma_idx();
     probe.warp_begin(wid);
     probe.san_region(piecing.region());
     let w_p = b.panel_width(panel);
@@ -137,14 +136,12 @@ fn pieced_warp<S: Scalar, P: Probe>(
         if i & 1 == 0 {
             // Even pass: the block's A values and ids load once per
             // panel and stay in registers for the odd pass.
-            block_a = per_lane(|l| part.vals[offset + idx[l]]);
-            cids = load_idx_lane(&part.cids, offset, &idx);
+            block_a = load_block(&part.vals, offset);
+            cids = load_block(&part.cids, offset);
             probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
             probe.load_idx(BLOCK_ELEMS as u64, 4);
         }
         for r in 0..MMA_M {
-            let frag_a: [S; WARP_SIZE] =
-                per_lane(|l| if l >> 2 == r { block_a[l] } else { S::zero() });
             // B-side pass mask: only the pass's piece positions gather;
             // the rest stay zero, exactly like SpMV's masked x fragment.
             let frag_b: [S; WARP_SIZE] = per_lane(|l| {
@@ -155,15 +152,23 @@ fn pieced_warp<S: Scalar, P: Probe>(
                     S::zero()
                 }
             });
+            // One batched B access per row-segment over the pass's
+            // active k positions (k-then-jj order).
+            let mut xi = [0usize; WARP_SIZE];
+            let mut nx = 0;
             for k in 0..MMA_K {
                 if piecing.active(i, k) {
                     let c = cids[r * MMA_K + k] as usize;
                     for jj in 0..w_p {
-                        probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
+                        xi[nx] = b.lin_index(panel, c, jj);
+                        nx += 1;
                     }
                 }
             }
-            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_b);
+            probe.load_x_warp(&xi[..nx], S::BYTES);
+            // Row-segment issue: A masked to row r (the mask and the other
+            // rows' inert 0*b adds are skipped — see the variant's docs).
+            mma_m8n8k4_row_segment::<S>(&mut acc, &block_a, &frag_b, r);
             probe.mma();
             probe.san_frag_mma(row_slots(r));
         }
@@ -207,7 +212,6 @@ pub fn spmm_short4_warp<S: Scalar, P: Probe>(
     probe: &mut P,
 ) {
     let (panel, w) = (wid / part.n4_warps, wid % part.n4_warps);
-    let idx = mma_idx();
     probe.warp_begin(wid);
     probe.san_region("spmm.short4");
     let w_p = b.panel_width(panel);
@@ -217,22 +221,25 @@ pub fn spmm_short4_warp<S: Scalar, P: Probe>(
         let offset = part.off4 + (w * 4 + i) * BLOCK_ELEMS;
         let mut acc = acc_zero::<S>();
         probe.san_frag_clear();
-        let block_a: [S; WARP_SIZE] = per_lane(|l| part.vals[offset + idx[l]]);
-        let cids = load_idx_lane(&part.cids, offset, &idx);
+        let block_a: [S; WARP_SIZE] = load_block(&part.vals, offset);
+        let cids = load_block(&part.cids, offset);
         probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
         probe.load_idx(BLOCK_ELEMS as u64, 4);
         for r in 0..MMA_M {
-            let frag_a: [S; WARP_SIZE] =
-                per_lane(|l| if l >> 2 == r { block_a[l] } else { S::zero() });
             let frag_b: [S; WARP_SIZE] =
                 per_lane(|l| bp[cids[r * MMA_K + (l & 3)] as usize * PANEL_WIDTH + (l >> 2)]);
+            // One batched B access per row-segment (k-then-jj order).
+            let mut xi = [0usize; WARP_SIZE];
+            let mut nx = 0;
             for k in 0..MMA_K {
                 let c = cids[r * MMA_K + k] as usize;
                 for jj in 0..w_p {
-                    probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
+                    xi[nx] = b.lin_index(panel, c, jj);
+                    nx += 1;
                 }
             }
-            mma_m8n8k4::<S>(&mut acc, &frag_a, &frag_b);
+            probe.load_x_warp(&xi[..nx], S::BYTES);
+            mma_m8n8k4_row_segment::<S>(&mut acc, &block_a, &frag_b, r);
             probe.mma();
             probe.san_frag_mma(row_slots(r));
         }
@@ -279,21 +286,27 @@ pub fn spmm_short1_warp<S: Scalar, P: Probe>(
     if live > part.n1 {
         probe.divergence((live - part.n1) as u64);
     }
+    // One warp-scoped batch for all singleton rows: B accesses stream in
+    // the same t-then-jj order the per-row calls used.
+    let mut xb = XBatch::new(S::BYTES);
     for t in w * WARP_SIZE..live.min(part.n1) {
         let e = part.off1 + t;
         let c = part.cids[e] as usize;
         probe.load_val(1, S::BYTES);
         probe.load_idx(1, 4);
         let row = part.perm1[t] as usize;
+        let mut writes = [0usize; PANEL_WIDTH];
         for jj in 0..w_p {
             let v = S::mul_to_acc(part.vals[e], bp[c * PANEL_WIDTH + jj]);
-            probe.load_x(b.lin_index(panel, c, jj), S::BYTES);
-            probe.fma(1);
+            xb.push(probe, b.lin_index(panel, c, jj));
             y.write((panel * y_rows + row) * PANEL_WIDTH + jj, S::from_acc(v));
-            probe.san_write(space::Y, (panel * y_rows + row) * PANEL_WIDTH + jj);
+            writes[jj] = (panel * y_rows + row) * PANEL_WIDTH + jj;
         }
+        probe.fma(w_p as u64);
+        probe.san_write_warp(space::Y, &writes[..w_p]);
         probe.store_y(w_p as u64, S::BYTES);
     }
+    xb.flush(probe);
     probe.warp_end(wid);
 }
 
@@ -310,6 +323,9 @@ fn write_permuted<S: Scalar, P: Probe>(
     y_rows: usize,
     probe: &mut P,
 ) {
+    // Shadow writes and store traffic batch once for the whole warp.
+    let mut writes = [0usize; WARP_SIZE * PANEL_WIDTH];
+    let mut nw = 0;
     let mut inactive = 0u64;
     for lane in 0..WARP_SIZE {
         let row = perm[w * WARP_SIZE + lane];
@@ -319,13 +335,15 @@ fn write_permuted<S: Scalar, P: Probe>(
                     (panel * y_rows + row as usize) * PANEL_WIDTH + jj,
                     S::from_acc(res[lane][jj]),
                 );
-                probe.san_write(space::Y, (panel * y_rows + row as usize) * PANEL_WIDTH + jj);
+                writes[nw] = (panel * y_rows + row as usize) * PANEL_WIDTH + jj;
+                nw += 1;
             }
-            probe.store_y(w_p as u64, S::BYTES);
         } else {
             inactive += 1;
         }
     }
+    probe.san_write_warp(space::Y, &writes[..nw]);
+    probe.store_y(nw as u64, S::BYTES);
     if inactive > 0 {
         probe.divergence(inactive);
     }

@@ -1,0 +1,214 @@
+//! Interpreter-throughput microbench: warp-ops/sec per DASP kernel.
+//!
+//! The SIMT interpreter's cost has two parts — the lane math itself and
+//! the probe hooks threaded through it. This microbench isolates each
+//! DASP kernel on a synthetic matrix that dispatches *only* that kernel
+//! and times the run twice: under [`NoProbe`] (pure lane math) and under
+//! [`CountingProbe`] (lane math + the full accounting boundary). The
+//! difference is the interpreter-overhead share the batched-probe
+//! refactor drives down, reported per kernel as simulated warps per
+//! wall-clock second and surfaced by `dasp-bench record` as the
+//! "interpreter overhead" row under the call-tree hot table.
+
+use dasp_core::DaspMatrix;
+use dasp_simt::{CountingProbe, Executor, NoProbe};
+use dasp_sparse::{Coo, Csr};
+
+/// One kernel's interpreter-throughput measurement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterpRecord {
+    /// Kernel name (`long`, `medium`, `short4`, `short13`, `short22`,
+    /// `short1`).
+    pub kernel: String,
+    /// Simulated warps per SpMV launch sweep (from the counting run).
+    pub warps: u64,
+    /// Timed repetitions per probe variant.
+    pub reps: u64,
+    /// Best-of-reps wall time under [`NoProbe`], microseconds.
+    pub noprobe_us: f64,
+    /// Best-of-reps wall time under [`CountingProbe`], microseconds.
+    pub counting_us: f64,
+}
+
+impl InterpRecord {
+    /// Simulated warps per second, pure lane math.
+    pub fn warps_per_sec_noprobe(&self) -> f64 {
+        self.warps as f64 / (self.noprobe_us.max(1e-3) * 1e-6)
+    }
+
+    /// Simulated warps per second with the counting probe attached.
+    pub fn warps_per_sec_counting(&self) -> f64 {
+        self.warps as f64 / (self.counting_us.max(1e-3) * 1e-6)
+    }
+
+    /// Share of the instrumented run spent in probe hooks rather than
+    /// lane math (0..=1; clamped, since noise can make the instrumented
+    /// run measure faster on tiny kernels).
+    pub fn probe_share(&self) -> f64 {
+        ((self.counting_us - self.noprobe_us) / self.counting_us.max(1e-3)).clamp(0.0, 1.0)
+    }
+}
+
+/// Aggregate probe-hook share across records: total probe time over
+/// total instrumented time (0..=1), the single number the hot-table row
+/// reports.
+pub fn probe_overhead_share(records: &[InterpRecord]) -> f64 {
+    let total_counting: f64 = records.iter().map(|r| r.counting_us).sum();
+    let total_noprobe: f64 = records.iter().map(|r| r.noprobe_us).sum();
+    if total_counting <= 0.0 {
+        return 0.0;
+    }
+    ((total_counting - total_noprobe) / total_counting).clamp(0.0, 1.0)
+}
+
+/// A matrix whose rows all have the given repeating length pattern, with
+/// deterministic column scatter — each entry in `lens` produces rows of
+/// exactly that many nonzeros, steering the DASP planner to one kernel.
+fn patterned(rows: usize, cols: usize, lens: &[usize]) -> Csr<f64> {
+    let mut coo = Coo::new(rows, cols);
+    for r in 0..rows {
+        let len = lens[r % lens.len()];
+        for k in 0..len {
+            // Strided scatter keeps the x gathers non-trivial for the
+            // cache model without needing a RNG.
+            let c = (r * 37 + k * 101) % cols;
+            coo.push(r, c, 0.25 + ((r + k) % 13) as f64 * 0.0625);
+        }
+    }
+    coo.to_csr()
+}
+
+/// The per-kernel synthetic matrices, all ~65k nonzeros so the per-warp
+/// throughput numbers are comparable across kernels.
+fn kernel_matrices() -> Vec<(&'static str, Csr<f64>)> {
+    vec![
+        ("long", patterned(64, 4096, &[1024])),
+        ("medium", patterned(1024, 4096, &[64])),
+        ("short4", patterned(16384, 4096, &[4])),
+        ("short13", patterned(32768, 4096, &[1, 3])),
+        ("short22", patterned(32768, 4096, &[2])),
+        ("short1", patterned(65536, 4096, &[1])),
+    ]
+}
+
+/// Runs the microbench: for each kernel-isolating matrix, `reps` timed
+/// SpMV sweeps under `NoProbe` and under `CountingProbe` (best-of-reps,
+/// one untimed warmup each), on the sequential executor so the numbers
+/// measure interpreter throughput rather than thread scheduling.
+pub fn run_interp_bench(reps: usize) -> Vec<InterpRecord> {
+    let exec = Executor::seq();
+    let reps = reps.max(1);
+    kernel_matrices()
+        .into_iter()
+        .map(|(name, csr)| {
+            let d = DaspMatrix::from_csr(&csr);
+            let x: Vec<f64> = (0..csr.cols)
+                .map(|i| 0.5 + (i % 7) as f64 * 0.125)
+                .collect();
+
+            let _ = d.spmv_with(&x, &mut NoProbe, &exec);
+            let mut noprobe_us = f64::INFINITY;
+            for _ in 0..reps {
+                let t0 = std::time::Instant::now();
+                let _ = d.spmv_with(&x, &mut NoProbe, &exec);
+                noprobe_us = noprobe_us.min(t0.elapsed().as_secs_f64() * 1e6);
+            }
+
+            let mut warmup = CountingProbe::a100();
+            let _ = d.spmv_with(&x, &mut warmup, &exec);
+            let mut counting_us = f64::INFINITY;
+            let mut warps = 0;
+            for _ in 0..reps {
+                let mut probe = CountingProbe::a100();
+                let t0 = std::time::Instant::now();
+                let _ = d.spmv_with(&x, &mut probe, &exec);
+                counting_us = counting_us.min(t0.elapsed().as_secs_f64() * 1e6);
+                warps = probe.stats().warps;
+            }
+
+            InterpRecord {
+                kernel: name.to_string(),
+                warps,
+                reps: reps as u64,
+                noprobe_us,
+                counting_us,
+            }
+        })
+        .collect()
+}
+
+/// Renders the per-kernel throughput table plus the aggregate
+/// "interpreter overhead" row appended under the call-tree hot table.
+pub fn render_interp_table(records: &[InterpRecord]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:>8}  {:>8}  {:>12}  {:>12}  {:>12}  {:>7}\n",
+        "kernel", "warps", "noprobe_us", "counting_us", "warps/s", "probe%"
+    ));
+    for r in records {
+        out.push_str(&format!(
+            "{:>8}  {:>8}  {:>12.1}  {:>12.1}  {:>12.0}  {:>6.1}%\n",
+            r.kernel,
+            r.warps,
+            r.noprobe_us,
+            r.counting_us,
+            r.warps_per_sec_counting(),
+            100.0 * r.probe_share()
+        ));
+    }
+    out.push_str(&format!(
+        "   —  interpreter overhead: probe hooks {:.1}% of instrumented wall \
+         (lane math {:.1}%), best-of-{} microbench\n",
+        100.0 * probe_overhead_share(records),
+        100.0 * (1.0 - probe_overhead_share(records)),
+        records.first().map_or(0, |r| r.reps),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn patterned_matrices_have_expected_row_lengths() {
+        let m = patterned(100, 512, &[1, 3]);
+        for r in 0..100 {
+            let want = if r % 2 == 0 { 1 } else { 3 };
+            assert_eq!(m.row_len(r), want, "row {r}");
+        }
+    }
+
+    #[test]
+    fn records_carry_positive_throughput() {
+        // One reps keeps this a smoke test; the numbers only need to be
+        // well-formed, not stable.
+        let recs = run_interp_bench(1);
+        assert_eq!(recs.len(), 6);
+        for r in &recs {
+            assert!(r.warps > 0, "{}: no warps simulated", r.kernel);
+            assert!(r.warps_per_sec_counting() > 0.0);
+            assert!((0.0..=1.0).contains(&r.probe_share()));
+        }
+        let table = render_interp_table(&recs);
+        assert!(table.contains("interpreter overhead"), "{table}");
+        assert!(table.contains("short13"), "{table}");
+        assert!((0.0..=1.0).contains(&probe_overhead_share(&recs)));
+    }
+
+    #[test]
+    fn overhead_share_aggregates_and_clamps() {
+        let rec = |n: f64, c: f64| InterpRecord {
+            kernel: "k".into(),
+            warps: 10,
+            reps: 1,
+            noprobe_us: n,
+            counting_us: c,
+        };
+        // 25 total noprobe vs 50 total counting → 50% in hooks.
+        assert!((probe_overhead_share(&[rec(10.0, 20.0), rec(15.0, 30.0)]) - 0.5).abs() < 1e-12);
+        // Noise: instrumented faster than bare clamps to zero.
+        assert_eq!(probe_overhead_share(&[rec(30.0, 20.0)]), 0.0);
+        assert_eq!(probe_overhead_share(&[]), 0.0);
+    }
+}

@@ -17,6 +17,9 @@
 //!   schema committed at the repo root to form a perf trajectory, and a
 //!   noise-aware regression comparator over two snapshots (median ± MAD
 //!   bands) with a human table and a machine-readable verdict.
+//! * [`interp`] — an interpreter-throughput microbench (warp-ops/sec per
+//!   DASP kernel, probe hooks vs. lane math) feeding the "interpreter
+//!   overhead" row under the `dasp-bench` hot table.
 //!
 //! Like the rest of the workspace this crate has no external
 //! dependencies; the [`json`] module carries the small parser that reads
@@ -27,12 +30,14 @@
 
 pub mod calltree;
 pub mod diff;
+pub mod interp;
 pub mod json;
 pub mod snapshot;
 pub mod suite;
 
 pub use calltree::CallTree;
 pub use diff::{diff_snapshots, DiffConfig, DiffReport, DiffRow, Verdict};
+pub use interp::{probe_overhead_share, render_interp_table, run_interp_bench, InterpRecord};
 pub use json::Json;
 pub use snapshot::{
     next_seq, snapshot_path, BenchSnapshot, Modeled, OpsCounters, TrafficCounters, WallStats,

@@ -1,16 +1,27 @@
 //! [`SanitizeProbe`]: the probe wrapper that implements all three
 //! checkers on top of the `san_*` hooks.
 
-use std::collections::{HashMap, HashSet};
-
 use dasp_simt::{KernelStats, Probe, ShardableProbe, ShflEvent};
 
 use crate::report::{Diagnostic, SanitizeReport};
 
-/// Who wrote a scatter-space element, for race attribution.
+/// Slot sentinel for "written outside any warp".
+const NO_WARP: usize = usize::MAX;
+
+/// Shadow state of one scatter-space element in the dense epoch map.
+///
+/// Epoch tagging replaces clearing: a slot is *live* only when its epoch
+/// field equals the probe's current epoch, so [`Probe::kernel_launch`]
+/// invalidates the whole map by bumping one counter instead of walking it.
 #[derive(Debug, Clone, Copy)]
-struct WriteRec {
-    warp: Option<usize>,
+struct Slot {
+    /// Epoch of the last own-shard write (0 = never: epochs start at 1).
+    write_epoch: u32,
+    /// Epoch in which the element carries a readable pre-fork /
+    /// pre-barrier value (0 = none).
+    inherit_epoch: u32,
+    /// Writing warp, or [`NO_WARP`].
+    warp: usize,
     region: &'static str,
     /// True when the record was folded in from a finished shard. A shard
     /// write colliding with a *non*-merged parent record rewrote a
@@ -19,18 +30,29 @@ struct WriteRec {
     merged: bool,
 }
 
+const EMPTY_SLOT: Slot = Slot {
+    write_epoch: 0,
+    inherit_epoch: 0,
+    warp: NO_WARP,
+    region: "?",
+    merged: false,
+};
+
 /// A sanitizing wrapper around any probe.
 ///
 /// Forwards every counting method to the inner probe unchanged (so `y`
 /// and all order-independent counters are bit-identical with or without
 /// the wrapper) while implementing the sanitizer hooks:
 ///
-/// * **racecheck** — a shadow write map keyed `(space, index)` records
-///   which warp wrote each scatter element. A second write within one
+/// * **racecheck** — a dense per-space shadow map records which warp
+///   wrote each scatter element this epoch. A second write within one
 ///   launch is a double-write (same warp) or cross-warp race (different
 ///   warp). [`Probe::kernel_launch`] opens a new epoch: launches are
 ///   device-synchronizing, so a later kernel legitimately rewrites
-///   earlier output.
+///   earlier output. Slots are epoch-tagged, so opening an epoch is a
+///   counter bump, and a shadow probe is an array index — no hashing.
+///   The batched `san_*_warp` hooks classify a whole coalesced warp
+///   access against the map in one pass.
 /// * **maskcheck** — [`Probe::san_shfl`] events from the
 ///   [`dasp_simt::checked`] shuffle variants become diagnostics;
 ///   out-of-mask reads whose values are consumed are errors, discarded
@@ -49,15 +71,58 @@ pub struct SanitizeProbe<P> {
     inner: P,
     region: &'static str,
     warp: Option<usize>,
-    /// This epoch's writes (own shard only).
-    writes: HashMap<(u32, usize), WriteRec>,
-    /// Pre-fork / pre-barrier writes: readable, overwritable, never racy.
-    inherited: HashSet<(u32, usize)>,
+    /// The racecheck epoch. Starts at 1 so zeroed slots are never live.
+    epoch: u32,
+    /// Dense shadow maps indexed by [`dasp_simt::space`] id, grown on
+    /// first write to each index.
+    maps: Vec<Vec<Slot>>,
     /// Defined-slot mask over the current warp's accumulator fragment
     /// (bit `lane*2 + reg` set = slot holds a real value; clear =
     /// poisoned).
     frag: u64,
     report: SanitizeReport,
+}
+
+/// The slot-classification core shared by the scalar and warp-batched
+/// write hooks (free function so callers can hold disjoint field
+/// borrows of the maps and the report).
+#[inline]
+fn classify_write(
+    slot: &mut Slot,
+    report: &mut SanitizeReport,
+    epoch: u32,
+    warp: Option<usize>,
+    region: &'static str,
+    space: u32,
+    index: usize,
+) {
+    if slot.write_epoch == epoch {
+        // Second write this epoch: the first writer keeps the record.
+        let prev_warp = (slot.warp != NO_WARP).then_some(slot.warp);
+        let d = if prev_warp.is_some() && prev_warp == warp {
+            Diagnostic::DoubleWrite {
+                region,
+                space,
+                index,
+                warp,
+            }
+        } else {
+            Diagnostic::CrossWarpRace {
+                region,
+                other_region: slot.region,
+                space,
+                index,
+                warp,
+                other_warp: prev_warp,
+            }
+        };
+        report.record(d);
+    } else {
+        slot.write_epoch = epoch;
+        slot.warp = warp.unwrap_or(NO_WARP);
+        slot.region = region;
+        slot.merged = false;
+    }
 }
 
 impl<P> SanitizeProbe<P> {
@@ -67,11 +132,25 @@ impl<P> SanitizeProbe<P> {
             inner,
             region: "?",
             warp: None,
-            writes: HashMap::new(),
-            inherited: HashSet::new(),
+            epoch: 1,
+            maps: Vec::new(),
             frag: 0,
             report: SanitizeReport::new(),
         }
+    }
+
+    /// The shadow map for `space`, grown to cover `max_index`.
+    #[inline]
+    fn map_for(&mut self, space: u32, max_index: usize) -> &mut Vec<Slot> {
+        let s = space as usize;
+        if s >= self.maps.len() {
+            self.maps.resize(s + 1, Vec::new());
+        }
+        let map = &mut self.maps[s];
+        if max_index >= map.len() {
+            map.resize(max_index + 1, EMPTY_SLOT);
+        }
+        map
     }
 
     /// Wraps a zeroed shard of `parent` — the fleet-wrap entry used by
@@ -104,9 +183,9 @@ impl<P: Probe> Probe for SanitizeProbe<P> {
     fn kernel_launch(&mut self, blocks: u64, warps_per_block: u64) {
         self.inner.kernel_launch(blocks, warps_per_block);
         // A launch is a device-wide sync: racecheck scope is per-launch,
-        // so the shadow epoch resets (matching compute-sanitizer).
-        self.writes.clear();
-        self.inherited.clear();
+        // so the shadow epoch advances (matching compute-sanitizer).
+        // Every slot tagged with an older epoch is dead without a walk.
+        self.epoch += 1;
     }
     fn load_val(&mut self, elems: u64, bytes_per: u64) {
         self.inner.load_val(elems, bytes_per);
@@ -122,6 +201,14 @@ impl<P: Probe> Probe for SanitizeProbe<P> {
     }
     fn load_x(&mut self, index: usize, bytes_per: u64) {
         self.inner.load_x(index, bytes_per);
+    }
+    fn load_x_warp(&mut self, indices: &[usize], bytes_per: u64) {
+        // Forward batched: the inner counting probe keeps its coalesced
+        // cache-classification fast path under sanitizing.
+        self.inner.load_x_warp(indices, bytes_per);
+    }
+    fn divergence_warp(&mut self, inactive: &[u64]) {
+        self.inner.divergence_warp(inactive);
     }
     fn mma(&mut self) {
         self.inner.mma();
@@ -159,47 +246,64 @@ impl<P: Probe> Probe for SanitizeProbe<P> {
         self.report.per_region.entry(region).or_default();
     }
     fn san_write(&mut self, space: u32, index: usize) {
-        use std::collections::hash_map::Entry;
-        match self.writes.entry((space, index)) {
-            Entry::Occupied(e) => {
-                let prev = *e.get();
-                let d = if prev.warp.is_some() && prev.warp == self.warp {
-                    Diagnostic::DoubleWrite {
-                        region: self.region,
-                        space,
-                        index,
-                        warp: self.warp,
-                    }
-                } else {
-                    Diagnostic::CrossWarpRace {
-                        region: self.region,
-                        other_region: prev.region,
-                        space,
-                        index,
-                        warp: self.warp,
-                        other_warp: prev.warp,
-                    }
-                };
-                self.report.record(d);
-            }
-            Entry::Vacant(v) => {
-                v.insert(WriteRec {
-                    warp: self.warp,
-                    region: self.region,
-                    merged: false,
-                });
-            }
+        let (epoch, warp, region) = (self.epoch, self.warp, self.region);
+        self.map_for(space, index);
+        let slot = &mut self.maps[space as usize][index];
+        classify_write(slot, &mut self.report, epoch, warp, region, space, index);
+    }
+    fn san_write_warp(&mut self, space: u32, indices: &[usize]) {
+        // One map probe per warp access: grow once to the batch maximum,
+        // then classify every lane by direct index with the epoch, warp
+        // and region loads hoisted out of the loop.
+        let Some(&max) = indices.iter().max() else {
+            return;
+        };
+        let (epoch, warp, region) = (self.epoch, self.warp, self.region);
+        self.map_for(space, max);
+        let map = &mut self.maps[space as usize];
+        for &index in indices {
+            classify_write(
+                &mut map[index],
+                &mut self.report,
+                epoch,
+                warp,
+                region,
+                space,
+                index,
+            );
         }
     }
     fn san_read(&mut self, space: u32, index: usize) {
-        let key = (space, index);
-        if !self.writes.contains_key(&key) && !self.inherited.contains(&key) {
+        let live = self
+            .maps
+            .get(space as usize)
+            .and_then(|m| m.get(index))
+            .is_some_and(|s| s.write_epoch == self.epoch || s.inherit_epoch == self.epoch);
+        if !live {
             self.report.record(Diagnostic::UninitRead {
                 region: self.region,
                 space,
                 index,
                 warp: self.warp,
             });
+        }
+    }
+    fn san_read_warp(&mut self, space: u32, indices: &[usize]) {
+        let epoch = self.epoch;
+        let empty: &[Slot] = &[];
+        let map = self.maps.get(space as usize).map_or(empty, Vec::as_slice);
+        for &index in indices {
+            let live = map
+                .get(index)
+                .is_some_and(|s| s.write_epoch == epoch || s.inherit_epoch == epoch);
+            if !live {
+                self.report.record(Diagnostic::UninitRead {
+                    region: self.region,
+                    space,
+                    index,
+                    warp: self.warp,
+                });
+            }
         }
     }
     fn san_shfl(&mut self, event: &ShflEvent) {
@@ -247,15 +351,31 @@ impl<P: ShardableProbe> ShardableProbe for SanitizeProbe<P> {
         // The parent's whole write history (its own epoch plus whatever it
         // inherited) becomes the shard's read-only pre-barrier epoch:
         // reads of it are initialized, rewrites of it are legal, and only
-        // overlap between sibling shards' fresh writes is a race.
-        let mut inherited = self.inherited.clone();
-        inherited.extend(self.writes.keys().copied());
+        // overlap between sibling shards' fresh writes is a race. A dense
+        // scan converts both live epochs into the shard's inherit tag.
+        let epoch = self.epoch;
+        let maps = self
+            .maps
+            .iter()
+            .map(|map| {
+                map.iter()
+                    .map(|s| Slot {
+                        inherit_epoch: if s.write_epoch == epoch || s.inherit_epoch == epoch {
+                            epoch
+                        } else {
+                            0
+                        },
+                        ..EMPTY_SLOT
+                    })
+                    .collect()
+            })
+            .collect();
         SanitizeProbe {
             inner: self.inner.fork_shard(),
             region: self.region,
             warp: None,
-            writes: HashMap::new(),
-            inherited,
+            epoch,
+            maps,
             frag: 0,
             report: SanitizeReport::new(),
         }
@@ -264,38 +384,45 @@ impl<P: ShardableProbe> ShardableProbe for SanitizeProbe<P> {
     fn merge_shard(&mut self, shard: Self) {
         let SanitizeProbe {
             inner,
-            writes,
+            epoch: shard_epoch,
+            maps,
             report,
             ..
         } = shard;
         self.inner.merge_shard(inner);
         self.report.merge(&report);
-        for (key, rec) in writes {
-            match self.writes.get(&key) {
-                Some(prev) if prev.merged => {
+        // Fold the shard's fresh writes back with one dense scan per
+        // space. Executors never launch inside a run, so the shard's
+        // epoch equals ours; the double check keeps a stale shard from a
+        // different epoch inert rather than corrupting the map.
+        let epoch = self.epoch;
+        for (space, shard_map) in maps.into_iter().enumerate() {
+            for (index, rec) in shard_map.into_iter().enumerate() {
+                if rec.write_epoch != shard_epoch {
+                    continue;
+                }
+                self.map_for(space as u32, index);
+                let slot = &mut self.maps[space][index];
+                if slot.write_epoch == epoch && slot.merged {
                     // Two sibling shards wrote the same element
                     // concurrently within this run.
                     self.report.record(Diagnostic::CrossWarpRace {
                         region: rec.region,
-                        other_region: prev.region,
-                        space: key.0,
-                        index: key.1,
-                        warp: rec.warp,
-                        other_warp: prev.warp,
+                        other_region: slot.region,
+                        space: space as u32,
+                        index,
+                        warp: (rec.warp != NO_WARP).then_some(rec.warp),
+                        other_warp: (slot.warp != NO_WARP).then_some(slot.warp),
                     });
-                }
-                _ => {
+                } else {
                     // Fresh element, or a legal post-barrier rewrite of a
                     // value the parent wrote before forking this run's
                     // shards. Either way the shard's write is now the
                     // element's current owner.
-                    self.writes.insert(
-                        key,
-                        WriteRec {
-                            merged: true,
-                            ..rec
-                        },
-                    );
+                    slot.write_epoch = epoch;
+                    slot.warp = rec.warp;
+                    slot.region = rec.region;
+                    slot.merged = true;
                 }
             }
         }
@@ -404,6 +531,33 @@ mod tests {
         shard.warp_end(9);
         root.merge_shard(shard);
         assert!(root.report().is_clean());
+    }
+
+    #[test]
+    fn batched_san_hooks_match_per_element() {
+        let mut scalar = SanitizeProbe::new(NoProbe);
+        let mut batched = SanitizeProbe::new(NoProbe);
+        for p in [&mut scalar, &mut batched] {
+            p.kernel_launch(1, 1);
+            p.warp_begin(2);
+            p.san_region("k");
+        }
+        // Duplicate index (double write), fresh indices, then reads of a
+        // written and an unwritten element.
+        let writes = [3usize, 9, 3, 40];
+        let reads = [3usize, 7];
+        for &i in &writes {
+            scalar.san_write(space::Y, i);
+        }
+        for &i in &reads {
+            scalar.san_read(space::Y, i);
+        }
+        batched.san_write_warp(space::Y, &writes);
+        batched.san_read_warp(space::Y, &reads);
+        assert_eq!(scalar.report().counts, batched.report().counts);
+        assert_eq!(scalar.report().counts.double_writes, 1);
+        assert_eq!(scalar.report().counts.uninit_reads, 1);
+        assert_eq!(scalar.report().sites.len(), batched.report().sites.len());
     }
 
     #[test]

@@ -6,18 +6,90 @@
 //! matrix arrays themselves are streamed exactly once, so only `x` benefits
 //! from modelling.
 
+/// Strength-reduced `% sets` for the hot set-index computation.
+///
+/// `sets` is *not* a power of two for the real L2 geometries (the A100
+/// model has 20480 sets), so the index cannot be a mask. Lemire's fastmod
+/// replaces the runtime division with two multiplies: for a 32-bit divisor
+/// `d` and 32-bit operand `n`, with `m = floor(2^64 / d) + 1`,
+/// `n % d == ((m·n mod 2^64) · d) >> 64`. Line numbers above 2^32 (or
+/// divisors above 2^32) fall back to the exact `%`, so the mapping is
+/// bit-identical to the plain remainder for every input.
+#[derive(Debug, Clone, Copy)]
+struct FastMod {
+    d: u64,
+    m: u64,
+}
+
+impl FastMod {
+    fn new(d: u64) -> Self {
+        debug_assert!(d > 0);
+        // `d == 1` would need m = 2^64; it takes the exact-`%` path
+        // (m == 0) instead, like divisors above 2^32.
+        let m = if d > 1 && d <= u32::MAX as u64 {
+            (u64::MAX / d) + 1
+        } else {
+            0
+        };
+        FastMod { d, m }
+    }
+
+    #[inline(always)]
+    fn rem(self, n: u64) -> usize {
+        if self.m != 0 && n <= u32::MAX as u64 {
+            let low = self.m.wrapping_mul(n);
+            ((low as u128 * self.d as u128) >> 64) as usize
+        } else {
+            (n % self.d) as usize
+        }
+    }
+}
+
+/// Retired tag arrays retained per thread for [`CacheModel::new`] reuse.
+/// The L2 geometries carry multi-megabyte tag arrays; two covers the
+/// common churn (one live model plus one between measurements), with
+/// headroom for fork chains.
+const CACHE_POOL_CAP: usize = 4;
+
+thread_local! {
+    /// Retired cache bodies by geometry: `(line_bytes, sets, ways, tags,
+    /// final tick)`. Reusing one skips both the allocation and the
+    /// O(capacity) tag fill — the stale entries are invalidated by the
+    /// epoch watermark instead (see [`CacheModel::reset`]).
+    #[allow(clippy::type_complexity)]
+    static CACHE_POOL: std::cell::RefCell<Vec<(u64, u64, usize, Vec<(u64, u64)>, u64)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
 /// A set-associative cache with LRU replacement.
 ///
 /// Addresses are byte addresses; the cache tracks tags only (no data), which
 /// is all the traffic model needs.
+///
+/// Construction, [`CacheModel::reset`], and drop are all O(1) amortized:
+/// instead of filling the multi-megabyte tag array with an "empty"
+/// pattern, the model keeps an *epoch watermark* — a slot whose last-use
+/// tick is at or below the watermark is treated as empty regardless of
+/// its tag — and retired tag arrays park in a per-thread pool keyed by
+/// geometry, so back-to-back instrumented runs stop paying an allocate +
+/// fill per [`crate::probe::CountingProbe`]. Hit/miss classification
+/// depends only on the *relative* order of last-use ticks, so a reused
+/// model is bit-identical to a cold one.
 #[derive(Debug, Clone)]
 pub struct CacheModel {
     line_bytes: u64,
-    sets: usize,
+    /// `log2(line_bytes)`: the line number is a shift, not a division.
+    line_shift: u32,
+    /// Strength-reduced `% sets` (the set count itself lives in `set_mod.d`).
+    set_mod: FastMod,
     ways: usize,
-    /// `tags[set * ways + way]` = (tag, last-use tick); `u64::MAX` tag = empty.
+    /// `tags[set * ways + way]` = (tag, last-use tick). A slot is live
+    /// only when its tick is above `epoch_base`.
     tags: Vec<(u64, u64)>,
     tick: u64,
+    /// Slots with last-use at or below this watermark are empty. Bumped
+    /// to `tick` by [`CacheModel::reset`] and on pool reuse.
+    epoch_base: u64,
     hits: u64,
     misses: u64,
 }
@@ -26,6 +98,10 @@ impl CacheModel {
     /// Creates a cache of `capacity_bytes` split into `ways`-associative sets
     /// of `line_bytes` lines. Capacity is rounded down to a whole number of
     /// sets; a minimum of one set is kept.
+    ///
+    /// Reuses a retired tag array of the same geometry from the calling
+    /// thread's pool when one is available (epoch-invalidated, so the
+    /// new model starts observably empty); allocates cold otherwise.
     pub fn new(capacity_bytes: u64, line_bytes: u64, ways: usize) -> Self {
         assert!(
             line_bytes.is_power_of_two(),
@@ -33,12 +109,24 @@ impl CacheModel {
         );
         assert!(ways > 0);
         let sets = ((capacity_bytes / line_bytes) as usize / ways).max(1);
+        let pooled = CACHE_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            pool.iter()
+                .position(|&(lb, s, w, ..)| lb == line_bytes && s == sets as u64 && w == ways)
+                .map(|i| pool.swap_remove(i))
+        });
+        let (tags, tick) = match pooled {
+            Some((.., tags, tick)) => (tags, tick),
+            None => (vec![(u64::MAX, 0); sets * ways], 0),
+        };
         CacheModel {
             line_bytes,
-            sets,
+            line_shift: line_bytes.trailing_zeros(),
+            set_mod: FastMod::new(sets as u64),
             ways,
-            tags: vec![(u64::MAX, 0); sets * ways],
-            tick: 0,
+            tags,
+            tick,
+            epoch_base: tick,
             hits: 0,
             misses: 0,
         }
@@ -59,28 +147,72 @@ impl CacheModel {
         self.line_bytes
     }
 
+    /// The line number `addr` falls into. Two byte addresses with equal
+    /// line numbers are guaranteed to classify identically back-to-back;
+    /// batched probes use this to group a warp access into same-line runs
+    /// for [`CacheModel::access_run`].
+    #[inline(always)]
+    pub fn line_of(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
     /// Accesses `addr`; returns `true` on hit. Misses install the line.
+    #[inline]
     pub fn access(&mut self, addr: u64) -> bool {
-        self.tick += 1;
-        let line = addr / self.line_bytes;
-        let set = (line as usize) % self.sets;
+        self.access_run(addr, 1)
+    }
+
+    /// Accesses the same line `count` times in a row (one coalesced warp
+    /// access's same-line run): the first access classifies against the
+    /// cache, the remaining `count - 1` are guaranteed hits. Returns
+    /// whether the *first* access hit. End state (tag array, tick,
+    /// hit/miss totals) is bit-identical to calling
+    /// [`CacheModel::access`] `count` times with addresses on `addr`'s
+    /// line.
+    pub fn access_run(&mut self, addr: u64, count: u64) -> bool {
+        debug_assert!(count > 0);
+        let line = addr >> self.line_shift;
+        let set = self.set_mod.rem(line);
         let base = set * self.ways;
         let slots = &mut self.tags[base..base + self.ways];
+        // A per-element loop would bump the tick once per access; the run
+        // leaves the line's last-use at the final tick either way.
+        self.tick += count;
 
-        for slot in slots.iter_mut() {
-            if slot.0 == line {
-                slot.1 = self.tick;
-                self.hits += 1;
-                return true;
+        // LRU semantics do not depend on slot order within a set (lookup
+        // scans every way; eviction takes the minimum last-use, and ties
+        // exist only among identical empty slots), so hits promote the
+        // line to way 0. Warp runs revisit the same few lines, making the
+        // first-slot probe almost always sufficient.
+        let mut way = usize::MAX;
+        for (w, slot) in slots.iter().enumerate() {
+            if slot.0 == line && slot.1 > self.epoch_base {
+                way = w;
+                break;
             }
         }
-        // Miss: evict the LRU way.
+        if way != usize::MAX {
+            slots[way].1 = self.tick;
+            slots.swap(0, way);
+            self.hits += count;
+            return true;
+        }
+        // Miss: evict the LRU way, then the rest of the run hits the
+        // freshly installed line. Empty slots (last-use at or below the
+        // epoch watermark) are by construction older than every live
+        // slot, so the minimum fills empties first — and which empty is
+        // chosen never affects classification, since empties carry no
+        // live line.
         self.misses += 1;
+        self.hits += count - 1;
         let victim = slots
-            .iter_mut()
-            .min_by_key(|(_, last)| *last)
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, (_, last))| *last)
+            .map(|(w, _)| w)
             .expect("ways > 0");
-        *victim = (line, self.tick);
+        slots[victim] = (line, self.tick);
+        slots.swap(0, victim);
         false
     }
 
@@ -94,12 +226,67 @@ impl CacheModel {
         self.misses
     }
 
-    /// Clears contents and statistics.
+    /// Clears contents and statistics. O(1): the epoch watermark advances
+    /// to the current tick, turning every live slot empty without
+    /// touching the tag array.
     pub fn reset(&mut self) {
-        self.tags.fill((u64::MAX, 0));
-        self.tick = 0;
+        self.epoch_base = self.tick;
         self.hits = 0;
         self.misses = 0;
+    }
+
+    /// A copy of this cache whose tag array comes from the calling
+    /// thread's retired-cache pool instead of a fresh allocation.
+    /// Executor shards fork one cache per launch; with pooling the
+    /// multi-megabyte tag copy is an amortized `memcpy` instead of an
+    /// allocate + copy + free per launch.
+    pub fn fork(&self) -> CacheModel {
+        let pooled = CACHE_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            pool.iter()
+                .position(|&(lb, s, w, ..)| {
+                    lb == self.line_bytes && s == self.set_mod.d && w == self.ways
+                })
+                .map(|i| pool.swap_remove(i).3)
+        });
+        let mut tags = pooled.unwrap_or_else(|| Vec::with_capacity(self.tags.len()));
+        tags.clear();
+        tags.extend_from_slice(&self.tags);
+        CacheModel {
+            line_bytes: self.line_bytes,
+            line_shift: self.line_shift,
+            set_mod: self.set_mod,
+            ways: self.ways,
+            tags,
+            tick: self.tick,
+            epoch_base: self.epoch_base,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Consumes the cache. Kept for API continuity: dropping now parks
+    /// the tag array in the thread's retired-cache pool automatically.
+    pub fn recycle(self) {
+        drop(self);
+    }
+}
+
+impl Drop for CacheModel {
+    /// Parks the tag array (with its final tick, so a reuser's epoch
+    /// watermark invalidates every stale entry) in the thread's pool,
+    /// bounded at [`CACHE_POOL_CAP`] retired bodies.
+    fn drop(&mut self) {
+        let tags = std::mem::take(&mut self.tags);
+        if tags.capacity() == 0 {
+            return;
+        }
+        CACHE_POOL.with(|p| {
+            let mut pool = p.borrow_mut();
+            if pool.len() < CACHE_POOL_CAP {
+                pool.push((self.line_bytes, self.set_mod.d, self.ways, tags, self.tick));
+            }
+        });
     }
 }
 
@@ -158,6 +345,120 @@ mod tests {
             }
         }
         assert_eq!(c.misses(), misses_after_warm);
+    }
+
+    /// Reference model with the pre-batching per-element semantics:
+    /// runtime `/` and `%`, no hit promotion, one tick per access.
+    struct RefCache {
+        line_bytes: u64,
+        sets: usize,
+        ways: usize,
+        tags: Vec<(u64, u64)>,
+        tick: u64,
+        hits: u64,
+        misses: u64,
+    }
+
+    impl RefCache {
+        fn new(capacity: u64, line: u64, ways: usize) -> Self {
+            let sets = ((capacity / line) as usize / ways).max(1);
+            RefCache {
+                line_bytes: line,
+                sets,
+                ways,
+                tags: vec![(u64::MAX, 0); sets * ways],
+                tick: 0,
+                hits: 0,
+                misses: 0,
+            }
+        }
+
+        fn access(&mut self, addr: u64) -> bool {
+            self.tick += 1;
+            let line = addr / self.line_bytes;
+            let set = (line as usize) % self.sets;
+            let slots = &mut self.tags[set * self.ways..(set + 1) * self.ways];
+            for slot in slots.iter_mut() {
+                if slot.0 == line {
+                    slot.1 = self.tick;
+                    self.hits += 1;
+                    return true;
+                }
+            }
+            self.misses += 1;
+            *slots.iter_mut().min_by_key(|(_, last)| *last).unwrap() = (line, self.tick);
+            false
+        }
+    }
+
+    #[test]
+    fn fast_path_matches_reference_model() {
+        // Non-power-of-two set count (3 sets) exercises the fastmod path;
+        // a pseudo-random address stream with reuse exercises hits,
+        // misses, evictions, and hit promotion.
+        let mut fast = CacheModel::new(3 * 2 * 64, 64, 2);
+        let mut reference = RefCache::new(3 * 2 * 64, 64, 2);
+        let mut state = 0x9e3779b97f4a7c15u64;
+        for _ in 0..10_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let addr = (state >> 33) % (64 * 64); // 64 lines over 3 sets
+            assert_eq!(fast.access(addr), reference.access(addr));
+        }
+        assert_eq!(fast.hits(), reference.hits);
+        assert_eq!(fast.misses(), reference.misses);
+    }
+
+    #[test]
+    fn access_run_equals_repeated_access() {
+        // Interleave runs with single accesses on both caches; a run of n
+        // on one line must leave identical observable state to n repeats.
+        let mut a = CacheModel::new(1024, 64, 4);
+        let mut b = CacheModel::new(1024, 64, 4);
+        let pattern: &[(u64, u64)] = &[(0, 3), (64, 1), (0, 2), (4096, 32), (64, 5), (0, 1)];
+        for &(addr, n) in pattern {
+            let first = a.access_run(addr, n);
+            let mut want_first = None;
+            for k in 0..n {
+                let h = b.access(addr + k % 8); // same line, varied offsets
+                want_first.get_or_insert(h);
+            }
+            assert_eq!(Some(first), want_first, "addr {addr} run {n}");
+            assert_eq!(a.hits(), b.hits());
+            assert_eq!(a.misses(), b.misses());
+        }
+    }
+
+    #[test]
+    fn fastmod_matches_exact_remainder() {
+        for d in [1u64, 2, 3, 7, 20480, 409_600, u32::MAX as u64] {
+            let fm = FastMod::new(d);
+            for n in [0u64, 1, 2, d, d + 1, 12345, u32::MAX as u64, u64::MAX] {
+                assert_eq!(fm.rem(n), (n % d) as usize, "n={n} d={d}");
+            }
+        }
+    }
+
+    #[test]
+    fn pooled_reuse_is_observably_fresh() {
+        // Warm a model, retire it, build the same geometry again: the
+        // reused body (epoch-invalidated, not re-filled) must classify
+        // exactly like a cold cache — and like a per-element reference.
+        let trace: Vec<u64> = (0..2000u64)
+            .map(|i| (i.wrapping_mul(2654435761) >> 8) % (1 << 16))
+            .collect();
+        let cold_outcome: Vec<bool> = {
+            let mut cold = CacheModel::new(4096, 64, 4);
+            trace.iter().map(|&a| cold.access(a)).collect()
+        };
+        for round in 0..3 {
+            // Same geometry: after the first round this hits the pool.
+            let mut c = CacheModel::new(4096, 64, 4);
+            let outcome: Vec<bool> = trace.iter().map(|&a| c.access(a)).collect();
+            assert_eq!(outcome, cold_outcome, "round {round}");
+            assert_eq!(c.hits(), cold_outcome.iter().filter(|&&h| h).count() as u64);
+        }
     }
 
     #[test]

@@ -24,6 +24,23 @@
 //! [`Executor::from_env`] reading `DASP_EXECUTOR` / `DASP_THREADS` so the
 //! whole stack (tests included) can be flipped to the parallel path without
 //! code changes.
+//!
+//! # Scratch-arena lifetime
+//!
+//! Kernels lease per-launch working buffers from the thread-local
+//! [`WarpScratch`](crate::WarpScratch) arena rather than allocating fresh.
+//! The arena is per OS thread, which lines up with both executors: under
+//! [`SeqExecutor`] every warp body runs on the calling thread and leases
+//! recycle through that thread's pool; under [`ParExecutor`] each
+//! `dasp-shard-N` worker leases from its own pool, so no lease ever
+//! crosses a thread. Leases must be taken and dropped *inside* one
+//! launch (typically a whole-launch buffer leased before the `run` call
+//! on the sequential path, or per-warp buffers leased inside the body on
+//! either path) — a `ScratchLease` is not `Send` and cannot be captured
+//! by the parallel body by value. Probe shards recycle their cache tag
+//! arrays the same way: [`ShardableProbe::merge_shard`] returns the
+//! shard's tag buffer to the merging thread's pool, so repeated parallel
+//! launches stop allocating after warm-up.
 
 use std::sync::OnceLock;
 

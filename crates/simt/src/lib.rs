@@ -62,6 +62,8 @@
 //!   runtime-selectable [`Executor`].
 //! * [`grid`] — the [`grid::SharedSlice`] disjoint-write wrapper warp
 //!   bodies scatter through.
+//! * [`scratch`] — the per-thread [`WarpScratch`] arena executors and
+//!   kernels lease per-launch buffers from.
 
 #![warn(missing_docs)]
 // Lane loops index several warp registers at once (`out[lane]`,
@@ -74,6 +76,7 @@ pub mod exec;
 pub mod grid;
 pub mod mma;
 pub mod probe;
+pub mod scratch;
 pub mod shuffle;
 pub mod warp;
 
@@ -81,7 +84,8 @@ pub use cache::CacheModel;
 pub use exec::{Executor, ParExecutor, SeqExecutor, DEFAULT_SEQ_THRESHOLD};
 pub use grid::SharedSlice;
 pub use mma::{mma_m8n8k4, AccFrag};
-pub use probe::{space, CountingProbe, KernelStats, NoProbe, Probe, ShardableProbe};
+pub use probe::{space, CountingProbe, KernelStats, NoProbe, Probe, ShardableProbe, XBatch};
+pub use scratch::{ScratchLease, WarpScratch};
 pub use shuffle::{
     all_sync, any_sync, ballot_sync, checked, shfl_down_sync, shfl_sync, shfl_sync_var,
     shfl_up_sync, shfl_xor_sync, warp_reduce, ShflEvent, ShflOp,

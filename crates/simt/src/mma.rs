@@ -62,16 +62,98 @@ pub fn mma_m8n8k4<S: Scalar>(
         a[lane >> 2][lane & 3] = frag_a[lane];
         b[lane & 3][lane >> 2] = frag_b[lane];
     }
-    for (lane, regs) in acc.iter_mut().enumerate() {
-        let row = lane >> 2;
-        for (reg, slot) in regs.iter_mut().enumerate() {
-            let col = 2 * (lane & 3) + reg;
-            let mut v = *slot;
-            for k in 0..MMA_K {
-                v = S::acc_mul_add(v, a[row][k], b[k][col]);
-            }
-            *slot = v;
+    // Whole-row update: `C[row][col]` lives at lane `row*4 + (col>>1)`,
+    // register `col & 1`, so a row of C is the four lanes `row*4..row*4+4`
+    // flattened. Accumulating k-ascending per slot keeps the rounding chain
+    // identical to a per-slot scalar loop, while the inner 8-wide column
+    // loop (one broadcast `a[row][k]` times a contiguous `b[k][..]` row)
+    // auto-vectorizes.
+    for row in 0..MMA_M {
+        let lanes = row * 4;
+        let mut c_row = [S::acc_zero(); MMA_N];
+        for col in 0..MMA_N {
+            c_row[col] = acc[lanes + (col >> 1)][col & 1];
         }
+        for k in 0..MMA_K {
+            let av = a[row][k];
+            for col in 0..MMA_N {
+                c_row[col] = S::acc_mul_add(c_row[col], av, b[k][col]);
+            }
+        }
+        for col in 0..MMA_N {
+            acc[lanes + (col >> 1)][col & 1] = c_row[col];
+        }
+    }
+}
+
+/// Diagonal-only `mma.m8n8k4`: updates exactly the eight [`DIAG_SLOTS`]
+/// positions `C[i][i]`, leaving every other accumulator slot untouched.
+///
+/// This is the interpreter shortcut for the SpMV diagonal trick: each MMA
+/// issue deposits its eight row-segment dot products on the diagonal, and
+/// the kernels declare exactly that via `san_frag_mma(DIAG_SLOTS)` — the
+/// off-diagonal slots are never read (the sanitizer's initcheck enforces
+/// it), so the 224 FMAs that would compute them are dead work. The eight
+/// computed chains are the same k-ascending `acc_mul_add` sequences
+/// [`mma_m8n8k4`] runs for those slots, so the diagonal is **bit-identical**
+/// to the full issue. `A[i][k]` and `B[k][i]` both live at lane `i*4 + k`,
+/// which is what makes the diagonal a per-lane product sum.
+///
+/// One modeling caveat (shared with the masked-A SpMM scheme, see the
+/// `dasp-core` SpMM module docs): a non-finite A or B element would, on
+/// hardware, contaminate off-diagonal slots too. This stack assumes finite
+/// inputs; the sanitizer's slot contract is the guard.
+#[inline]
+pub fn mma_m8n8k4_diag<S: Scalar>(
+    acc: &mut AccFrag<S>,
+    frag_a: &[S; WARP_SIZE],
+    frag_b: &[S; WARP_SIZE],
+) {
+    for i in 0..MMA_M {
+        let (lane, reg) = diag_position(i);
+        let mut c = acc[lane][reg];
+        for k in 0..MMA_K {
+            c = S::acc_mul_add(c, frag_a[i * 4 + k], frag_b[i * 4 + k]);
+        }
+        acc[lane][reg] = c;
+    }
+}
+
+/// Row-segment `mma.m8n8k4`: updates exactly row `r` of `C` — the
+/// [`row_slots`]`(r)` positions — as if `A` were masked to row `r` and the
+/// full issue run.
+///
+/// This is the interpreter shortcut for the masked-A SpMM segment scheme:
+/// the kernels build `frag_a` by zeroing every row but `r`, so rows other
+/// than `r` only ever receive `0 * b` products — bit-inert on an
+/// accumulator that started at `+0.0` (adding `±0.0` can never flip a
+/// bit under round-to-nearest; see the `dasp-core` SpMM module docs for
+/// the full argument, including the finite-inputs caveat). Callers pass
+/// the **unmasked** block fragment plus `r`; only the `A[r][k]` lanes
+/// (`r*4 + k`) are read, so the mask itself is also skipped. Row `r`'s
+/// eight chains are the same k-ascending sequences [`mma_m8n8k4`] runs
+/// for those slots — bit-identical.
+#[inline]
+pub fn mma_m8n8k4_row_segment<S: Scalar>(
+    acc: &mut AccFrag<S>,
+    frag_a: &[S; WARP_SIZE],
+    frag_b: &[S; WARP_SIZE],
+    r: usize,
+) {
+    let lanes = r * 4;
+    let mut c_row = [S::acc_zero(); MMA_N];
+    for col in 0..MMA_N {
+        c_row[col] = acc[lanes + (col >> 1)][col & 1];
+    }
+    for k in 0..MMA_K {
+        // A[r][k] sits at lane r*4+k; B[k][col] at lane col*4+k.
+        let av = frag_a[lanes + k];
+        for col in 0..MMA_N {
+            c_row[col] = S::acc_mul_add(c_row[col], av, frag_b[col * 4 + k]);
+        }
+    }
+    for col in 0..MMA_N {
+        acc[lanes + (col >> 1)][col & 1] = c_row[col];
     }
 }
 
@@ -310,6 +392,96 @@ mod tests {
         mma_m8n8k4::<F16>(&mut acc, &pack_a(&a1), &pack_b(&b1));
         let c = unpack_c::<F16>(&acc);
         assert!(c.iter().flatten().all(|&v| v == 2049.0f32));
+    }
+
+    #[test]
+    fn diag_variant_matches_full_mma_bitwise() {
+        for seed in 0..32 {
+            let a = pack_a(&arbitrary_a(seed));
+            let b = pack_b(&arbitrary_b(seed));
+            // Start both accumulators from the same non-trivial state.
+            let mut full = acc_zero::<f64>();
+            for lane in 0..WARP_SIZE {
+                full[lane][0] = (lane as f64) * 0.125;
+                full[lane][1] = -(lane as f64) * 0.25 - 1.0;
+            }
+            let mut diag = full;
+            mma_m8n8k4::<f64>(&mut full, &a, &b);
+            mma_m8n8k4_diag::<f64>(&mut diag, &a, &b);
+            for i in 0..MMA_M {
+                let (lane, reg) = diag_position(i);
+                assert_eq!(
+                    full[lane][reg].to_bits(),
+                    diag[lane][reg].to_bits(),
+                    "seed {seed} diag {i}"
+                );
+            }
+            // ...and the variant touched nothing else.
+            for lane in 0..WARP_SIZE {
+                for reg in 0..2 {
+                    if DIAG_SLOTS & (1 << (lane * 2 + reg)) != 0 {
+                        continue;
+                    }
+                    let want = if reg == 0 {
+                        (lane as f64) * 0.125
+                    } else {
+                        -(lane as f64) * 0.25 - 1.0
+                    };
+                    assert_eq!(diag[lane][reg], want, "lane {lane} reg {reg}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_segment_variant_matches_masked_full_mma_bitwise() {
+        // The SpMM contract: row_segment(acc, block_a, b, r) on the unmasked
+        // block must reproduce a full MMA with A masked to row r, on every
+        // slot — the other rows' inert 0*b adds included.
+        for seed in 0..16 {
+            let a = pack_a(&arbitrary_a(seed));
+            let b = pack_b(&arbitrary_b(seed));
+            let mut full = acc_zero::<f64>();
+            let mut seg = acc_zero::<f64>();
+            for r in 0..MMA_M {
+                let masked: [f64; WARP_SIZE] =
+                    core::array::from_fn(|l| if l >> 2 == r { a[l] } else { 0.0 });
+                mma_m8n8k4::<f64>(&mut full, &masked, &b);
+                mma_m8n8k4_row_segment::<f64>(&mut seg, &a, &b, r);
+            }
+            for lane in 0..WARP_SIZE {
+                for reg in 0..2 {
+                    assert_eq!(
+                        full[lane][reg].to_bits(),
+                        seg[lane][reg].to_bits(),
+                        "seed {seed} lane {lane} reg {reg}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn row_segment_updates_only_its_row() {
+        let a = pack_a(&arbitrary_a(3));
+        let b = pack_b(&arbitrary_b(3));
+        for r in 0..MMA_M {
+            let mut acc = acc_zero::<f64>();
+            for lane in 0..WARP_SIZE {
+                acc[lane][0] = 1000.0 + lane as f64;
+                acc[lane][1] = 2000.0 + lane as f64;
+            }
+            let before = acc;
+            mma_m8n8k4_row_segment::<f64>(&mut acc, &a, &b, r);
+            for lane in 0..WARP_SIZE {
+                for reg in 0..2 {
+                    let in_row = row_slots(r) & (1 << (lane * 2 + reg)) != 0;
+                    if !in_row {
+                        assert_eq!(acc[lane][reg], before[lane][reg], "lane {lane} reg {reg}");
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -188,10 +188,62 @@ pub trait Probe {
     fn load_x(&mut self, index: usize, bytes_per: u64);
     /// Records one warp-wide MMA issue.
     fn mma(&mut self);
-    /// Records `n` scalar FMA issues.
+    /// Records `n` scalar FMA issues (already batched: one call accounts a
+    /// whole warp's or row's lane math).
     fn fma(&mut self, n: u64);
-    /// Records `n` warp shuffle issues.
+    /// Records `n` warp shuffle issues (batched like [`Probe::fma`]).
     fn shfl(&mut self, n: u64);
+
+    // --- Batched warp-granular hooks (defaults decompose into the
+    // --- per-element hooks above, so every probe keeps working; hot
+    // --- probes override them to pay one dispatch per warp access) -----
+
+    /// Records one coalesced warp access: `indices.len()` element loads
+    /// of the dense vector `x` issued together by the lanes of one warp,
+    /// **in lane order**. Semantically identical to calling
+    /// [`Probe::load_x`] once per element — the default does exactly
+    /// that — so any flush boundary a kernel chooses is observationally
+    /// equivalent. [`CountingProbe`] overrides it to classify each
+    /// consecutive same-line run with a single cache probe.
+    #[inline]
+    fn load_x_warp(&mut self, indices: &[usize], bytes_per: u64) {
+        for &i in indices {
+            self.load_x(i, bytes_per);
+        }
+    }
+
+    /// Records one warp's batch of element writes into scatter space
+    /// `space`, in lane order: identical to [`Probe::san_write`] per
+    /// element. Sanitizers override it to probe their shadow epoch map
+    /// once per warp access.
+    #[inline]
+    fn san_write_warp(&mut self, space: u32, indices: &[usize]) {
+        for &i in indices {
+            self.san_write(space, i);
+        }
+    }
+
+    /// Records one warp's batch of element reads from scatter space
+    /// `space`, in lane order: identical to [`Probe::san_read`] per
+    /// element.
+    #[inline]
+    fn san_read_warp(&mut self, space: u32, indices: &[usize]) {
+        for &i in indices {
+            self.san_read(space, i);
+        }
+    }
+
+    /// Records a batch of warp-level divergent regions in one call:
+    /// `inactive[r]` is region `r`'s predicated-off lane count.
+    /// Identical to one [`Probe::divergence`] call per slice element
+    /// (zero entries count as fully active regions, exactly as a zero
+    /// argument to `divergence` does).
+    #[inline]
+    fn divergence_warp(&mut self, inactive: &[u64]) {
+        for &i in inactive {
+            self.divergence(i);
+        }
+    }
 
     // --- Observability hooks (default no-ops, so existing probes and the
     // --- zero-cost path are unaffected) ---------------------------------
@@ -281,6 +333,57 @@ pub trait Probe {
     fn san_frag_read(&mut self, _lane: usize, _reg: usize) {}
 }
 
+/// Accumulates up to one warp's worth ([`crate::warp::WARP_SIZE`]) of
+/// `x`-element indices and flushes them as a single
+/// [`Probe::load_x_warp`] call.
+///
+/// Kernels whose `x` accesses are data-dependent (per-row loops of the
+/// baselines, irregular tails) push indices in issue order and flush at
+/// the end of the warp body; the batch auto-flushes when full, so the
+/// probe sees the same element sequence chunked at warp granularity.
+/// Since `load_x_warp` is defined as per-element-equivalent, flush
+/// boundaries never change the observed statistics.
+#[derive(Debug)]
+pub struct XBatch {
+    buf: [usize; crate::warp::WARP_SIZE],
+    len: usize,
+    bytes_per: u64,
+}
+
+impl XBatch {
+    /// An empty batch for elements of `bytes_per` bytes.
+    #[inline]
+    pub fn new(bytes_per: u64) -> XBatch {
+        XBatch {
+            buf: [0; crate::warp::WARP_SIZE],
+            len: 0,
+            bytes_per,
+        }
+    }
+
+    /// Appends one element index, flushing first when the batch holds a
+    /// full warp.
+    #[inline]
+    pub fn push<P: Probe>(&mut self, probe: &mut P, index: usize) {
+        self.buf[self.len] = index;
+        self.len += 1;
+        if self.len == crate::warp::WARP_SIZE {
+            self.flush(probe);
+        }
+    }
+
+    /// Emits any buffered indices as one batched probe call. Call at the
+    /// end of the warp body (or before a `warp_end`) so accesses
+    /// attribute to the warp that issued them.
+    #[inline]
+    pub fn flush<P: Probe>(&mut self, probe: &mut P) {
+        if self.len > 0 {
+            probe.load_x_warp(&self.buf[..self.len], self.bytes_per);
+            self.len = 0;
+        }
+    }
+}
+
 /// A probe that can be split into per-thread shards and merged back,
 /// enabling instrumented parallel execution under a
 /// [`crate::ParExecutor`].
@@ -321,6 +424,14 @@ impl Probe for NoProbe {
     fn fma(&mut self, _: u64) {}
     #[inline(always)]
     fn shfl(&mut self, _: u64) {}
+    #[inline(always)]
+    fn load_x_warp(&mut self, _: &[usize], _: u64) {}
+    #[inline(always)]
+    fn san_write_warp(&mut self, _: u32, _: &[usize]) {}
+    #[inline(always)]
+    fn san_read_warp(&mut self, _: u32, _: &[usize]) {}
+    #[inline(always)]
+    fn divergence_warp(&mut self, _: &[u64]) {}
 }
 
 impl ShardableProbe for NoProbe {
@@ -399,6 +510,33 @@ impl Probe for CountingProbe {
             self.stats.bytes_x_miss += self.cache.line_bytes();
         }
     }
+    /// Classifies each consecutive same-line run of the warp access with
+    /// one cache probe. Grouping is strictly *runs*, never a sort or a
+    /// unique-line pass: under LRU, two touches of line A separated by a
+    /// touch of line B are not equivalent to two adjacent touches, so
+    /// only adjacency-preserving grouping is bit-identical to the
+    /// per-element path.
+    fn load_x_warp(&mut self, indices: &[usize], bytes_per: u64) {
+        self.stats.x_requests += indices.len() as u64;
+        let mut i = 0;
+        while i < indices.len() {
+            let addr = indices[i] as u64 * bytes_per;
+            let line = self.cache.line_of(addr);
+            let mut j = i + 1;
+            while j < indices.len() && self.cache.line_of(indices[j] as u64 * bytes_per) == line {
+                j += 1;
+            }
+            let run = (j - i) as u64;
+            if self.cache.access_run(addr, run) {
+                self.stats.x_hits += run;
+            } else {
+                self.stats.x_hits += run - 1;
+                self.stats.x_misses += 1;
+                self.stats.bytes_x_miss += self.cache.line_bytes();
+            }
+            i = j;
+        }
+    }
     fn mma(&mut self) {
         self.stats.mma_ops += 1;
     }
@@ -414,6 +552,14 @@ impl Probe for CountingProbe {
             self.stats.inactive_lanes += inactive;
         }
     }
+    fn divergence_warp(&mut self, inactive: &[u64]) {
+        for &i in inactive {
+            if i > 0 {
+                self.stats.divergent_regions += 1;
+                self.stats.inactive_lanes += i;
+            }
+        }
+    }
     fn stats_snapshot(&self) -> KernelStats {
         self.stats
     }
@@ -422,15 +568,19 @@ impl Probe for CountingProbe {
 impl ShardableProbe for CountingProbe {
     /// Zeroed counters, *warm* cache: the shard starts from a copy of the
     /// parent's cache contents so its hit/miss classification approximates
-    /// the sequential run rather than restarting cold.
+    /// the sequential run rather than restarting cold. The copy's tag
+    /// array comes from the forking thread's retired-cache pool (see
+    /// [`CacheModel::fork`]), so back-to-back launches reuse the same
+    /// allocations.
     fn fork_shard(&self) -> Self {
         CountingProbe {
             stats: KernelStats::default(),
-            cache: self.cache.clone(),
+            cache: self.cache.fork(),
         }
     }
     fn merge_shard(&mut self, shard: Self) {
         self.stats.merge(&shard.stats);
+        shard.cache.recycle();
     }
 }
 
@@ -553,6 +703,87 @@ mod tests {
         assert_eq!(o.x_hits, 0);
         assert_eq!(o.x_misses, 0);
         assert_eq!(o.bytes_x_miss, 0);
+    }
+
+    #[test]
+    fn batched_load_x_matches_per_element_exactly() {
+        // Same index stream, batched vs scalar, including a pattern that
+        // revisits a line after touching another (the case where naive
+        // unique-line grouping would diverge from LRU).
+        let streams: &[&[usize]] = &[
+            &[0, 1, 2, 3, 4, 5, 6, 7],        // one line
+            &[0, 100, 0, 100, 0],             // alternating lines
+            &[0, 1, 100, 0, 31, 200, 200, 0], // runs + revisits
+            &[7],                             // single element
+        ];
+        for &stream in streams {
+            let mut batched = CountingProbe::new(CacheModel::new(256, 64, 1));
+            let mut scalar = CountingProbe::new(CacheModel::new(256, 64, 1));
+            batched.load_x_warp(stream, 8);
+            for &i in stream {
+                scalar.load_x(i, 8);
+            }
+            assert_eq!(batched.stats(), scalar.stats(), "stream {stream:?}");
+        }
+    }
+
+    #[test]
+    fn xbatch_flush_boundaries_are_invisible() {
+        let indices: Vec<usize> = (0..100).map(|i| (i * 37) % 256).collect();
+        let mut via_batch = CountingProbe::a100();
+        let mut b = XBatch::new(8);
+        for &i in &indices {
+            b.push(&mut via_batch, i);
+        }
+        b.flush(&mut via_batch);
+        let mut scalar = CountingProbe::a100();
+        for &i in &indices {
+            scalar.load_x(i, 8);
+        }
+        assert_eq!(via_batch.stats(), scalar.stats());
+    }
+
+    #[test]
+    fn divergence_warp_counts_only_nonzero_regions() {
+        let mut p = CountingProbe::a100();
+        p.divergence_warp(&[0, 3, 0, 5]);
+        let s = p.stats();
+        assert_eq!(s.divergent_regions, 2);
+        assert_eq!(s.inactive_lanes, 8);
+    }
+
+    #[test]
+    fn default_batched_hooks_decompose_to_per_element() {
+        // A probe that only implements the per-element hooks must see the
+        // identical call sequence through the defaults.
+        struct LogProbe(Vec<(u32, usize)>);
+        impl Probe for LogProbe {
+            fn kernel_launch(&mut self, _: u64, _: u64) {}
+            fn load_val(&mut self, _: u64, _: u64) {}
+            fn load_idx(&mut self, _: u64, _: u64) {}
+            fn load_meta(&mut self, _: u64, _: u64) {}
+            fn store_y(&mut self, _: u64, _: u64) {}
+            fn load_x(&mut self, index: usize, _: u64) {
+                self.0.push((100, index));
+            }
+            fn mma(&mut self) {}
+            fn fma(&mut self, _: u64) {}
+            fn shfl(&mut self, _: u64) {}
+            fn san_write(&mut self, space: u32, index: usize) {
+                self.0.push((space, index));
+            }
+            fn san_read(&mut self, space: u32, index: usize) {
+                self.0.push((10 + space, index));
+            }
+        }
+        let mut p = LogProbe(Vec::new());
+        p.load_x_warp(&[5, 6], 8);
+        p.san_write_warp(space::Y, &[1, 2]);
+        p.san_read_warp(space::AUX, &[3]);
+        assert_eq!(
+            p.0,
+            vec![(100, 5), (100, 6), (space::Y, 1), (space::Y, 2), (11, 3)]
+        );
     }
 
     #[test]

@@ -24,21 +24,80 @@ fn in_mask(mask: u32, lane: usize) -> bool {
     mask & (1u32 << lane) != 0
 }
 
+/// How a shuffle variant disposes of out-of-mask source reads — the only
+/// place the plain and [`checked`] variants differ. The lane movement
+/// itself exists once, in [`shfl_with`].
+trait MaskPolicy {
+    /// Receives the instruction's out-of-mask read set (`oob` has one bit
+    /// per active lane that read an inactive source; possibly zero).
+    fn resolve(&mut self, op: ShflOp, mask: u32, oob: u32);
+}
+
+/// Plain-variant policy: out-of-mask reads trip a debug assertion;
+/// release builds keep the hardware's keep-own-value resolution at full
+/// speed (the bookkeeping is dead code the optimizer removes).
+struct AssertOob;
+
+impl MaskPolicy for AssertOob {
+    #[inline(always)]
+    fn resolve(&mut self, op: ShflOp, mask: u32, oob: u32) {
+        debug_assert!(
+            oob == 0,
+            "{} reads out-of-mask source lanes (reading lanes {:#010x}, mask {:#010x})",
+            op.name(),
+            oob,
+            mask
+        );
+        let _ = (op, mask, oob);
+    }
+}
+
+/// Policy of the plain [`shfl_sync_var`]: out-of-mask reads are expected
+/// (the paper's kernels compute negative shuffle targets on lanes whose
+/// results are discarded), so nothing is checked. The [`checked`] variant
+/// exists for callers that can name the consumed lanes.
+struct IgnoreOob;
+
+impl MaskPolicy for IgnoreOob {
+    #[inline(always)]
+    fn resolve(&mut self, _: ShflOp, _: u32, _: u32) {}
+}
+
+/// The generic shuffle implementation every variant wraps: each active
+/// lane gathers `var[src_of(lane)]` (`None` keeps its own value — the
+/// *defined* resolution for down/up/xor shifts past the warp edge);
+/// inactive lanes keep their input. Out-of-mask sources resolve as
+/// keep-read (the simulator's pinned stand-in for hardware UB) and are
+/// handed to `policy`.
+#[inline(always)]
+fn shfl_with<T: Copy, M: MaskPolicy>(
+    op: ShflOp,
+    mask: u32,
+    var: [T; WARP_SIZE],
+    mut policy: M,
+    src_of: impl Fn(usize) -> Option<usize>,
+) -> [T; WARP_SIZE] {
+    let mut out = var;
+    let mut oob = 0u32;
+    for lane in 0..WARP_SIZE {
+        if in_mask(mask, lane) {
+            if let Some(src) = src_of(lane) {
+                if !in_mask(mask, src) {
+                    oob |= 1 << lane;
+                }
+                out[lane] = var[src];
+            }
+        }
+    }
+    policy.resolve(op, mask, oob);
+    out
+}
+
 /// `__shfl_sync`: broadcast from `src_lane` (mod 32) to all lanes in `mask`.
 #[inline]
 pub fn shfl_sync<T: Copy>(mask: u32, var: [T; WARP_SIZE], src_lane: usize) -> [T; WARP_SIZE] {
     let src = src_lane % WARP_SIZE;
-    debug_assert!(
-        in_mask(mask, src),
-        "shfl_sync reads lane {src} which is outside the mask {mask:#010x}"
-    );
-    let mut out = var;
-    for (lane, o) in out.iter_mut().enumerate() {
-        if in_mask(mask, lane) {
-            *o = var[src];
-        }
-    }
-    out
+    shfl_with(ShflOp::Sync, mask, var, AssertOob, |_| Some(src))
 }
 
 /// `__shfl_sync` with a *per-lane* source operand, as CUDA allows: lane `i`
@@ -53,72 +112,58 @@ pub fn shfl_sync_var<T: Copy>(
     var: [T; WARP_SIZE],
     src: &[i32; WARP_SIZE],
 ) -> [T; WARP_SIZE] {
-    let mut out = var;
-    for (lane, o) in out.iter_mut().enumerate() {
-        if in_mask(mask, lane) {
-            let s = src[lane].rem_euclid(WARP_SIZE as i32) as usize;
-            *o = var[s];
-        }
-    }
-    out
+    shfl_with(ShflOp::SyncVar, mask, var, IgnoreOob, |lane| {
+        Some(src[lane].rem_euclid(WARP_SIZE as i32) as usize)
+    })
 }
 
 /// `__shfl_down_sync`: lane `i` reads lane `i + delta`; out-of-range lanes
 /// keep their own value.
 #[inline]
 pub fn shfl_down_sync<T: Copy>(mask: u32, var: [T; WARP_SIZE], delta: usize) -> [T; WARP_SIZE] {
-    let mut out = var;
-    for (lane, o) in out.iter_mut().enumerate() {
-        if in_mask(mask, lane) {
-            let src = lane + delta;
-            if src < WARP_SIZE {
-                debug_assert!(
-                    in_mask(mask, src),
-                    "shfl_down_sync lane {lane} reads inactive lane {src}"
-                );
-                *o = var[src];
-            }
-        }
-    }
-    out
+    shfl_with(ShflOp::Down, mask, var, AssertOob, |lane| {
+        (lane + delta < WARP_SIZE).then_some(lane + delta)
+    })
 }
 
 /// `__shfl_up_sync`: lane `i` reads lane `i - delta`; lanes `< delta` keep
 /// their own value.
 #[inline]
 pub fn shfl_up_sync<T: Copy>(mask: u32, var: [T; WARP_SIZE], delta: usize) -> [T; WARP_SIZE] {
-    let mut out = var;
-    for lane in (0..WARP_SIZE).rev() {
-        if in_mask(mask, lane) && lane >= delta {
-            let src = lane - delta;
-            debug_assert!(
-                in_mask(mask, src),
-                "shfl_up_sync lane {lane} reads inactive lane {src}"
-            );
-            out[lane] = var[src];
-        }
-    }
-    out
+    shfl_with(ShflOp::Up, mask, var, AssertOob, |lane| {
+        lane.checked_sub(delta)
+    })
 }
 
 /// `__shfl_xor_sync`: lane `i` reads lane `i ^ lane_mask` (the butterfly
 /// pattern used by tree reductions).
 #[inline]
 pub fn shfl_xor_sync<T: Copy>(mask: u32, var: [T; WARP_SIZE], lane_mask: usize) -> [T; WARP_SIZE] {
-    let mut out = var;
-    for (lane, o) in out.iter_mut().enumerate() {
-        if in_mask(mask, lane) {
-            let src = lane ^ lane_mask;
-            if src < WARP_SIZE {
-                debug_assert!(
-                    in_mask(mask, src),
-                    "shfl_xor_sync lane {lane} reads inactive lane {src}"
-                );
-                *o = var[src];
+    shfl_with(ShflOp::Xor, mask, var, AssertOob, |lane| {
+        (lane ^ lane_mask < WARP_SIZE).then_some(lane ^ lane_mask)
+    })
+}
+
+/// The shared body of the plain and checked [`warp_reduce`]s: the 5-step
+/// shuffle-down tree over whichever shuffle `step` supplies.
+#[inline(always)]
+fn warp_reduce_with<T: Copy, F: Fn(T, T) -> T>(
+    mask: u32,
+    mut var: [T; WARP_SIZE],
+    combine: F,
+    mut step: impl FnMut([T; WARP_SIZE], usize) -> [T; WARP_SIZE],
+) -> [T; WARP_SIZE] {
+    let mut offset = WARP_SIZE / 2;
+    while offset > 0 {
+        let shifted = step(var, offset);
+        for lane in 0..WARP_SIZE {
+            if in_mask(mask, lane) {
+                var[lane] = combine(var[lane], shifted[lane]);
             }
         }
+        offset /= 2;
     }
-    out
+    var
 }
 
 /// The classic 5-step shuffle-down tree reduction (`warpReduceSum` in the
@@ -130,20 +175,10 @@ pub fn shfl_xor_sync<T: Copy>(mask: u32, var: [T; WARP_SIZE], lane_mask: usize) 
 #[inline]
 pub fn warp_reduce<T: Copy, F: Fn(T, T) -> T>(
     mask: u32,
-    mut var: [T; WARP_SIZE],
+    var: [T; WARP_SIZE],
     combine: F,
 ) -> [T; WARP_SIZE] {
-    let mut offset = WARP_SIZE / 2;
-    while offset > 0 {
-        let shifted = shfl_down_sync(mask, var, offset);
-        for lane in 0..WARP_SIZE {
-            if in_mask(mask, lane) {
-                var[lane] = combine(var[lane], shifted[lane]);
-            }
-        }
-        offset /= 2;
-    }
-    var
+    warp_reduce_with(mask, var, combine, |v, o| shfl_down_sync(mask, v, o))
 }
 
 /// Number of shuffle instructions issued by one [`warp_reduce`] call.
@@ -417,27 +452,55 @@ pub mod checked {
     use super::*;
     use crate::probe::Probe;
 
-    /// Delivers (or asserts on) a non-empty out-of-mask lane set.
-    #[inline]
-    fn report<P: Probe>(probe: &mut P, op: ShflOp, mask: u32, oob: u32, used: u32) {
-        if oob == 0 {
-            return;
-        }
-        if probe.sanitizing() {
-            probe.san_shfl(&ShflEvent {
-                op,
-                mask,
-                oob_lanes: oob,
-                used_lanes: used,
-            });
-        } else {
-            debug_assert!(
-                used == 0,
-                "{} reads out-of-mask lanes {:#010x} (mask {:#010x}) whose values are used",
-                op.name(),
-                oob,
-                mask
-            );
+    /// Which lanes' shuffled values the kernel consumes — determines the
+    /// `used` subset a reported event carries.
+    enum Used {
+        /// Every reading lane consumes its value (down/up/xor/broadcast).
+        Reads,
+        /// Only the given lane set is consumed (`shfl_sync_var` callers
+        /// name it); out-of-mask reads elsewhere are benign.
+        Only(u32),
+        /// No out-of-mask value is ever consumed (ballot drops votes).
+        None,
+    }
+
+    /// The checked variants' mask policy: a non-empty out-of-mask set is
+    /// delivered as a [`ShflEvent`] through [`Probe::san_shfl`] when the
+    /// probe is sanitizing (release builds included); otherwise a
+    /// *consumed* out-of-mask read trips the same `debug_assert!` as the
+    /// plain path.
+    struct ReportOob<'p, P> {
+        probe: &'p mut P,
+        used: Used,
+    }
+
+    impl<P: Probe> MaskPolicy for ReportOob<'_, P> {
+        #[inline]
+        fn resolve(&mut self, op: ShflOp, mask: u32, oob: u32) {
+            if oob == 0 {
+                return;
+            }
+            let used = match self.used {
+                Used::Reads => oob,
+                Used::Only(u) => oob & u,
+                Used::None => 0,
+            };
+            if self.probe.sanitizing() {
+                self.probe.san_shfl(&ShflEvent {
+                    op,
+                    mask,
+                    oob_lanes: oob,
+                    used_lanes: used,
+                });
+            } else {
+                debug_assert!(
+                    used == 0,
+                    "{} reads out-of-mask lanes {:#010x} (mask {:#010x}) whose values are used",
+                    op.name(),
+                    oob,
+                    mask
+                );
+            }
         }
     }
 
@@ -451,15 +514,11 @@ pub mod checked {
         src_lane: usize,
     ) -> [T; WARP_SIZE] {
         let src = src_lane % WARP_SIZE;
-        let oob = if in_mask(mask, src) { 0 } else { mask };
-        report(probe, ShflOp::Sync, mask, oob, oob);
-        let mut out = var;
-        for (lane, o) in out.iter_mut().enumerate() {
-            if in_mask(mask, lane) {
-                *o = var[src];
-            }
-        }
-        out
+        let policy = ReportOob {
+            probe,
+            used: Used::Reads,
+        };
+        shfl_with(ShflOp::Sync, mask, var, policy, |_| Some(src))
     }
 
     /// Checked [`shfl_sync_var`](super::shfl_sync_var). `used` names the
@@ -474,19 +533,13 @@ pub mod checked {
         src: &[i32; WARP_SIZE],
         used: u32,
     ) -> [T; WARP_SIZE] {
-        let mut out = var;
-        let mut oob = 0u32;
-        for (lane, o) in out.iter_mut().enumerate() {
-            if in_mask(mask, lane) {
-                let s = src[lane].rem_euclid(WARP_SIZE as i32) as usize;
-                if !in_mask(mask, s) {
-                    oob |= 1 << lane;
-                }
-                *o = var[s];
-            }
-        }
-        report(probe, ShflOp::SyncVar, mask, oob, oob & used);
-        out
+        let policy = ReportOob {
+            probe,
+            used: Used::Only(used),
+        };
+        shfl_with(ShflOp::SyncVar, mask, var, policy, |lane| {
+            Some(src[lane].rem_euclid(WARP_SIZE as i32) as usize)
+        })
     }
 
     /// Checked [`shfl_down_sync`](super::shfl_down_sync). In-range reads
@@ -499,21 +552,13 @@ pub mod checked {
         var: [T; WARP_SIZE],
         delta: usize,
     ) -> [T; WARP_SIZE] {
-        let mut out = var;
-        let mut oob = 0u32;
-        for (lane, o) in out.iter_mut().enumerate() {
-            if in_mask(mask, lane) {
-                let src = lane + delta;
-                if src < WARP_SIZE {
-                    if !in_mask(mask, src) {
-                        oob |= 1 << lane;
-                    }
-                    *o = var[src];
-                }
-            }
-        }
-        report(probe, ShflOp::Down, mask, oob, oob);
-        out
+        let policy = ReportOob {
+            probe,
+            used: Used::Reads,
+        };
+        shfl_with(ShflOp::Down, mask, var, policy, |lane| {
+            (lane + delta < WARP_SIZE).then_some(lane + delta)
+        })
     }
 
     /// Checked [`shfl_up_sync`](super::shfl_up_sync).
@@ -524,19 +569,13 @@ pub mod checked {
         var: [T; WARP_SIZE],
         delta: usize,
     ) -> [T; WARP_SIZE] {
-        let mut out = var;
-        let mut oob = 0u32;
-        for lane in (0..WARP_SIZE).rev() {
-            if in_mask(mask, lane) && lane >= delta {
-                let src = lane - delta;
-                if !in_mask(mask, src) {
-                    oob |= 1 << lane;
-                }
-                out[lane] = var[src];
-            }
-        }
-        report(probe, ShflOp::Up, mask, oob, oob);
-        out
+        let policy = ReportOob {
+            probe,
+            used: Used::Reads,
+        };
+        shfl_with(ShflOp::Up, mask, var, policy, |lane| {
+            lane.checked_sub(delta)
+        })
     }
 
     /// Checked [`shfl_xor_sync`](super::shfl_xor_sync).
@@ -547,21 +586,13 @@ pub mod checked {
         var: [T; WARP_SIZE],
         lane_mask: usize,
     ) -> [T; WARP_SIZE] {
-        let mut out = var;
-        let mut oob = 0u32;
-        for (lane, o) in out.iter_mut().enumerate() {
-            if in_mask(mask, lane) {
-                let src = lane ^ lane_mask;
-                if src < WARP_SIZE {
-                    if !in_mask(mask, src) {
-                        oob |= 1 << lane;
-                    }
-                    *o = var[src];
-                }
-            }
-        }
-        report(probe, ShflOp::Xor, mask, oob, oob);
-        out
+        let policy = ReportOob {
+            probe,
+            used: Used::Reads,
+        };
+        shfl_with(ShflOp::Xor, mask, var, policy, |lane| {
+            (lane ^ lane_mask < WARP_SIZE).then_some(lane ^ lane_mask)
+        })
     }
 
     /// Checked [`ballot_sync`](super::ballot_sync). The result never
@@ -577,7 +608,11 @@ pub mod checked {
                 dropped |= 1 << lane;
             }
         }
-        report(probe, ShflOp::Ballot, mask, dropped, 0);
+        ReportOob {
+            probe,
+            used: Used::None,
+        }
+        .resolve(ShflOp::Ballot, mask, dropped);
         super::ballot_sync(mask, pred)
     }
 
@@ -587,20 +622,10 @@ pub mod checked {
     pub fn warp_reduce<T: Copy, F: Fn(T, T) -> T, P: Probe>(
         probe: &mut P,
         mask: u32,
-        mut var: [T; WARP_SIZE],
+        var: [T; WARP_SIZE],
         combine: F,
     ) -> [T; WARP_SIZE] {
-        let mut offset = WARP_SIZE / 2;
-        while offset > 0 {
-            let shifted = shfl_down_sync(probe, mask, var, offset);
-            for lane in 0..WARP_SIZE {
-                if in_mask(mask, lane) {
-                    var[lane] = combine(var[lane], shifted[lane]);
-                }
-            }
-            offset /= 2;
-        }
-        var
+        warp_reduce_with(mask, var, combine, |v, o| shfl_down_sync(probe, mask, v, o))
     }
 }
 

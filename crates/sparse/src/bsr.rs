@@ -42,34 +42,42 @@ impl<S: Scalar> Bsr<S> {
         let mb = csr.rows.div_ceil(bs);
         let nb = csr.cols.div_ceil(bs);
 
-        // Pass 1: which block columns are occupied in each block row.
+        // Pass 1: which block columns are occupied in each block row. A
+        // stamp array dedups while the columns stream by (no per-block-row
+        // allocation); each block row's slice then sorts in place, so
+        // col_idx ends up sorted-unique per block row.
         let mut row_ptr = vec![0usize; mb + 1];
-        let mut block_cols: Vec<Vec<u32>> = vec![Vec::new(); mb];
+        let mut col_idx: Vec<u32> = Vec::new();
+        let mut stamp = vec![u32::MAX; nb];
         for bi in 0..mb {
-            let mut cols: Vec<u32> = Vec::new();
+            let base = col_idx.len();
             for r in bi * bs..((bi + 1) * bs).min(csr.rows) {
                 for j in csr.row_ptr[r]..csr.row_ptr[r + 1] {
-                    cols.push(csr.col_idx[j] / bs as u32);
+                    let bc = csr.col_idx[j] / bs as u32;
+                    if stamp[bc as usize] != bi as u32 {
+                        stamp[bc as usize] = bi as u32;
+                        col_idx.push(bc);
+                    }
                 }
             }
-            cols.sort_unstable();
-            cols.dedup();
-            row_ptr[bi + 1] = row_ptr[bi] + cols.len();
-            block_cols[bi] = cols;
+            // Sorted-column CSR usually yields the block columns already
+            // in order; only sort when a block row actually interleaves.
+            if !col_idx[base..].is_sorted() {
+                col_idx[base..].sort_unstable();
+            }
+            row_ptr[bi + 1] = col_idx.len();
         }
 
         // Pass 2: fill dense blocks.
         let nblocks = row_ptr[mb];
-        let mut col_idx = Vec::with_capacity(nblocks);
         let mut blocks = vec![S::zero(); nblocks * bs * bs];
         for bi in 0..mb {
-            let base = row_ptr[bi];
-            col_idx.extend_from_slice(&block_cols[bi]);
+            let (base, end) = (row_ptr[bi], row_ptr[bi + 1]);
             for r in bi * bs..((bi + 1) * bs).min(csr.rows) {
                 for j in csr.row_ptr[r]..csr.row_ptr[r + 1] {
                     let bc = csr.col_idx[j] / bs as u32;
                     // binary search within this block-row's column list
-                    let k = block_cols[bi]
+                    let k = col_idx[base..end]
                         .binary_search(&bc)
                         .expect("pass-1 recorded it");
                     let blk = base + k;

@@ -158,6 +158,14 @@ impl<P: Probe> Probe for WarpProfiler<P> {
         }
         self.inner.load_x(index, bytes_per);
     }
+    fn load_x_warp(&mut self, indices: &[usize], bytes_per: u64) {
+        // Forward batched so the inner probe keeps its warp-granular fast
+        // path under tracing; the tally is the same as per-element.
+        if let Some(t) = &mut self.current {
+            t.x_requests += indices.len() as u64;
+        }
+        self.inner.load_x_warp(indices, bytes_per);
+    }
     fn mma(&mut self) {
         if let Some(t) = &mut self.current {
             t.instructions += 1;
@@ -202,6 +210,17 @@ impl<P: Probe> Probe for WarpProfiler<P> {
             }
         }
         self.inner.divergence(inactive);
+    }
+    fn divergence_warp(&mut self, inactive: &[u64]) {
+        if let Some(t) = &mut self.current {
+            for &n in inactive {
+                if n > 0 {
+                    t.divergent_regions += 1;
+                    t.inactive_lanes += n;
+                }
+            }
+        }
+        self.inner.divergence_warp(inactive);
     }
     fn stats_snapshot(&self) -> KernelStats {
         self.inner.stats_snapshot()
@@ -268,6 +287,22 @@ mod tests {
         assert_eq!(profile.warps[1].instructions, 5);
         // Imbalance: mean nnz 20, max 30.
         assert!((profile.nnz_imbalance() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batched_hooks_tally_and_forward() {
+        let mut p = WarpProfiler::new(CountingProbe::new(CacheModel::new(1024, 64, 2)));
+        p.warp_begin(0);
+        p.load_x_warp(&[0, 1, 2, 100], 8);
+        p.divergence_warp(&[0, 3, 0, 2]);
+        p.warp_end(0);
+        let (inner, profile) = p.into_parts();
+        assert_eq!(inner.stats().x_requests, 4);
+        assert_eq!(inner.stats().divergent_regions, 2);
+        assert_eq!(inner.stats().inactive_lanes, 5);
+        assert_eq!(profile.warps[0].x_requests, 4);
+        assert_eq!(profile.warps[0].divergent_regions, 2);
+        assert_eq!(profile.warps[0].inactive_lanes, 5);
     }
 
     #[test]
