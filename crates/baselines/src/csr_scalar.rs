@@ -134,18 +134,16 @@ pub fn csr_scalar_spmm_warp<S: Scalar, P: Probe>(
                 // B accesses stream through the warp-scoped batch in the
                 // same element-then-jj order as before.
                 xb.push(probe, b.lin_index(panel, c, jj));
-                sum[jj] = S::acc_mul_add(sum[jj], csr.vals[j], bp[c * PANEL_WIDTH + jj]);
+                sum[jj] = S::acc_mul_add(sum[jj], csr.vals[j], bp[c * w_p + jj]);
             }
         }
         probe.load_val(len as u64, S::BYTES);
         probe.load_idx(len as u64, 4);
         probe.fma((len * w_p) as u64);
         for jj in 0..w_p {
-            y.write(
-                (panel * y_rows + i) * PANEL_WIDTH + jj,
-                S::from_acc(sum[jj]),
-            );
-            probe.san_write(space::Y, (panel * y_rows + i) * PANEL_WIDTH + jj);
+            let idx = panel * y_rows * PANEL_WIDTH + i * w_p + jj;
+            y.write(idx, S::from_acc(sum[jj]));
+            probe.san_write(space::Y, idx);
         }
         probe.store_y(w_p as u64, S::BYTES);
     }

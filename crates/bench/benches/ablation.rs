@@ -36,7 +36,7 @@ fn bench(c: &mut Criterion) {
             DaspParams {
                 max_len: 256,
                 threshold: th,
-                short_piecing: true,
+                ..DaspParams::default()
             },
         );
         println!("[ablation]   threshold {th:5.3} -> {:8.2} us", t * 1e6);
@@ -51,8 +51,7 @@ fn bench(c: &mut Criterion) {
             &skew,
             DaspParams {
                 max_len: ml,
-                threshold: 0.75,
-                short_piecing: true,
+                ..DaspParams::default()
             },
         );
         println!("[ablation]   max_len {ml:5} -> {:8.2} us", t * 1e6);
@@ -89,7 +88,7 @@ fn bench(c: &mut Criterion) {
                         DaspParams {
                             max_len: 256,
                             threshold: th,
-                            short_piecing: true,
+                            ..DaspParams::default()
                         },
                     )
                 })
@@ -106,8 +105,7 @@ fn bench(c: &mut Criterion) {
                         &skew,
                         DaspParams {
                             max_len: ml,
-                            threshold: 0.75,
-                            short_piecing: true,
+                            ..DaspParams::default()
                         },
                     )
                 })

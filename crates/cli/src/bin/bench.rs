@@ -11,7 +11,8 @@
 //! ```
 //!
 //! `record` runs the benchmark suite — every matrix class × all ten SpMV
-//! methods plus the SpMM widths 1 and 8 — and writes a versioned
+//! methods plus the SpMM widths 1, 8, 32 and 128 (the wide ones exercise
+//! the A-resident panel sweep) — and writes a versioned
 //! `BENCH_<seq>.json` snapshot (the next free sequence number in the
 //! current directory unless `--out` names a file). It prints the suite
 //! summary table, the top-N hot-region table from the call-tree
@@ -134,7 +135,11 @@ fn record(mut args: impl Iterator<Item = String>) -> ExitCode {
         device,
         executor: exec,
         quick,
-        spmm_widths: if spmm { vec![1, 8] } else { Vec::new() },
+        spmm_widths: if spmm {
+            vec![1, 8, 32, 128]
+        } else {
+            Vec::new()
+        },
         seq,
         progress: true,
     };

@@ -18,7 +18,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dasp_cli::experiments::{
-    ext2, ext_merge, fig01, fig02, fig09, fig10, fig11, fig12, fig13, metrics_dump, table1, table2,
+    ext2, ext3, ext_merge, fig01, fig02, fig09, fig10, fig11, fig12, fig13, metrics_dump, table1,
+    table2,
 };
 use dasp_cli::output::{f2, f3, text_table, write_csv};
 use dasp_perf::MethodKind;
@@ -47,7 +48,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: dasp-experiments [--out DIR] [--metrics-out DIR] \
-                     [fig1|fig2|fig9|fig10|fig11|fig12|fig13|table1|table2|ext1|ext2|all]"
+                     [fig1|fig2|fig9|fig10|fig11|fig12|fig13|table1|table2|ext1|ext2|ext3|all]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -57,9 +58,9 @@ fn main() -> ExitCode {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
-    const KNOWN: [&str; 12] = [
+    const KNOWN: [&str; 13] = [
         "all", "table1", "table2", "fig1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "ext1", "ext2",
+        "ext1", "ext2", "ext3",
     ];
     for t in &targets {
         if !KNOWN.contains(&t.as_str()) {
@@ -102,6 +103,9 @@ fn main() -> ExitCode {
     }
     if want("ext2") {
         run_ext2(&out_dir);
+    }
+    if want("ext3") {
+        run_ext3(&out_dir);
     }
     if let Some(dir) = &metrics_out {
         if let Err(e) = run_metrics_dump(dir) {
@@ -220,6 +224,65 @@ fn run_ext2(out: &std::path::Path) {
                     f3(r.spmm_gflops),
                     f3(r.looped_gflops),
                     f3(r.speedup),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn run_ext3(out: &std::path::Path) {
+    let f = ext3::run();
+    println!("== Extension 3: large-N SpMM on RMAT, A-resident tiling (A100 model) ==");
+    for s in &f.summaries {
+        println!(
+            "N={:>3}: geomean {}x vs looped SpMM-8, {}x vs CSR-scalar \
+             (max |fill delta| under reorder: {} — provably 0)",
+            s.rhs_width,
+            f2(s.speedup_vs_looped8),
+            f2(s.speedup_vs_csr),
+            s.max_fill_delta
+        );
+    }
+    println!();
+    let _ = write_csv(
+        out,
+        "ext3_large_n_spmm.csv",
+        &[
+            "matrix",
+            "precision",
+            "rows",
+            "nnz",
+            "rhs_width",
+            "tiled_gflops",
+            "looped8_gflops",
+            "csr_scalar_gflops",
+            "speedup_vs_looped8",
+            "speedup_vs_csr_scalar",
+            "tiled_a_idx_bytes_per_rhs",
+            "looped8_a_idx_bytes_per_rhs",
+            "fill_rate",
+            "fill_rate_reorder",
+            "x_miss_delta_bytes",
+        ],
+        &f.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.precision.to_string(),
+                    r.rows.to_string(),
+                    r.nnz.to_string(),
+                    r.rhs_width.to_string(),
+                    f3(r.tiled_gflops),
+                    f3(r.looped8_gflops),
+                    f3(r.csr_gflops),
+                    f3(r.speedup_vs_looped8),
+                    f3(r.speedup_vs_csr),
+                    f2(r.tiled_a_idx_per_rhs),
+                    f2(r.looped8_a_idx_per_rhs),
+                    format!("{:.6}", r.fill_rate),
+                    format!("{:.6}", r.fill_rate_reorder),
+                    r.x_miss_delta.to_string(),
                 ]
             })
             .collect::<Vec<_>>(),

@@ -4,7 +4,7 @@
 //! dasp-spmv MATRIX.mtx [--method dasp|csr5|tilespmv|lsrb-csr|cusparse-bsr|cusparse-csr|csr-scalar|merge-csr]
 //!           [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare]
 //!           [--executor seq|par] [--threads N] [--trace OUT.json]
-//!           [--refresh-values N] [--rhs N]
+//!           [--refresh-values N] [--rhs N] [--reorder]
 //!           [--sanitize] [--sanitize-out REPORT.json]
 //! ```
 //!
@@ -20,9 +20,18 @@
 //!
 //! `--rhs N` batches N random right-hand sides and computes `Y = A X`
 //! with the multi-RHS SpMM kernels (methods `dasp` and `csr-scalar`),
-//! reporting the measured A-traffic amortization and estimated speedup
-//! against looping single-vector SpMV over the same columns. Widths that
-//! are multiples of 8 fill every MMA B-column.
+//! reporting the measured A-traffic amortization, the per-panel DRAM
+//! split, and the estimated speedup against looping single-vector SpMV
+//! over the same columns. Any width N >= 1 works: columns pack into
+//! ceil(N/8) panels (the last stored masked, not padded) and the
+//! A-resident sweep streams each A block once for all of them.
+//!
+//! `--reorder` turns on the plan-level row-similarity reordering pass:
+//! medium rows of equal length are tie-broken by a minhash signature of
+//! their column sets, bucketing overlapping rows into the same 8-row
+//! blocks for x-locality. Results are bit-identical with and without the
+//! flag (the format geometry depends only on the sorted length
+//! sequence).
 //!
 //! `--executor par` fans the simulated warps out over host threads
 //! (`--threads N` caps the count; default = available parallelism). The
@@ -72,6 +81,7 @@ fn main() -> ExitCode {
     let mut threads: Option<usize> = None;
     let mut refresh_values: Option<usize> = None;
     let mut rhs: Option<usize> = None;
+    let mut reorder = false;
     let mut sanitize = false;
     let mut sanitize_out: Option<String> = None;
 
@@ -131,6 +141,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--reorder" => reorder = true,
             "--sanitize" => sanitize = true,
             "--sanitize-out" => match args.next() {
                 Some(p) => {
@@ -144,7 +155,7 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--executor seq|par] [--threads N] [--trace OUT.json] [--refresh-values N] [--rhs N] [--sanitize] [--sanitize-out REPORT.json]"
+                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--executor seq|par] [--threads N] [--trace OUT.json] [--refresh-values N] [--rhs N] [--reorder] [--sanitize] [--sanitize-out REPORT.json]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -290,12 +301,16 @@ fn main() -> ExitCode {
             );
             return ExitCode::FAILURE;
         }
+        let params = DaspParams {
+            reorder,
+            ..DaspParams::default()
+        };
         let ok = if fp16 {
-            rhs_report::<F16>(method, &csr.cast(), width, verify, &dev, &exec)
+            rhs_report::<F16>(method, &csr.cast(), width, params, verify, &dev, &exec)
         } else if fp32 {
-            rhs_report::<f32>(method, &csr.cast(), width, verify, &dev, &exec)
+            rhs_report::<f32>(method, &csr.cast(), width, params, verify, &dev, &exec)
         } else {
-            rhs_report::<f64>(method, &csr, width, verify, &dev, &exec)
+            rhs_report::<f64>(method, &csr, width, params, verify, &dev, &exec)
         };
         let san_ok = !sanitize || sanitize_summary(sanitize_out.as_deref());
         return if ok && san_ok {
@@ -432,15 +447,18 @@ fn sanitize_summary(out: Option<&str>) -> bool {
 /// The `--rhs N` report: `Y = A X` for N random right-hand sides, SpMM vs
 /// looped SpMV, with the A-traffic amortization and estimated speedup.
 /// Returns false if `--verify` finds a mismatch.
+#[allow(clippy::too_many_arguments)]
 fn rhs_report<S: dasp_fp16::Scalar>(
     method: MethodKind,
     csr: &Csr<S>,
     width: usize,
+    params: DaspParams,
     verify: bool,
     dev: &DeviceModel,
     exec: &Executor,
 ) -> bool {
-    use dasp_perf::{measure_looped_spmv_with, measure_spmm_with};
+    use dasp_perf::{measure_looped_spmv_with, measure_spmm_params_traced_with};
+    use dasp_trace::Tracer;
     let columns: Vec<Vec<S>> = (0..width)
         .map(|j| {
             dense_vector(csr.cols, 42 + j as u64)
@@ -450,9 +468,14 @@ fn rhs_report<S: dasp_fp16::Scalar>(
         })
         .collect();
     let b = dasp_sparse::DenseMat::from_columns(&columns);
-    let spmm = measure_spmm_with(method, csr, &b, dev, exec);
+    let spmm =
+        measure_spmm_params_traced_with(method, csr, &b, params, dev, &Tracer::disabled(), exec);
     let looped = measure_looped_spmv_with(method, csr, &b, dev, exec);
-    println!("-- multi-RHS SpMM, {width} right-hand sides --");
+    println!(
+        "-- multi-RHS SpMM, {width} right-hand sides ({} panels{}) --",
+        b.num_panels(),
+        if params.reorder { ", reordered" } else { "" }
+    );
     println!(
         "spmm           : {:.3} us, {:.2} gflops",
         spmm.estimate.seconds * 1e6,
@@ -473,6 +496,23 @@ fn rhs_report<S: dasp_fp16::Scalar>(
         "est. speedup   : {:.2}x",
         looped.estimate.seconds / spmm.estimate.seconds
     );
+    if let Some(pt) = &spmm.panel_traffic {
+        println!(
+            "panel split    : shared {} B dram (val {} B, idx {} B)",
+            pt.shared.dram_bytes(),
+            pt.shared.bytes_val,
+            pt.shared.bytes_idx
+        );
+        for (k, bin) in pt.panels.iter().enumerate() {
+            println!(
+                "  panel {k:>3}    : {} B dram (val {} B, idx {} B, x-miss {} B)",
+                bin.dram_bytes(),
+                bin.bytes_val,
+                bin.bytes_idx,
+                bin.bytes_x_miss
+            );
+        }
+    }
     if verify {
         let exact: Csr<f64> = csr.cast();
         let rel = match S::BYTES {

@@ -102,6 +102,7 @@ fn main() -> ExitCode {
                     max_len,
                     threshold,
                     short_piecing,
+                    ..DaspParams::default()
                 };
                 results.push((params, modeled_time(&csr, params, &dev)));
             }

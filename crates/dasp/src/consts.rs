@@ -30,6 +30,14 @@ pub struct DaspParams {
     /// or zero-padded straight into length-4 blocks (the ablation of
     /// §3.3.3's data-transfer claim). Paper behaviour: `true`.
     pub short_piecing: bool,
+    /// Whether the medium stable sort breaks length ties by a minhash
+    /// row-similarity signature (Acc-SpMM-style), packing rows with
+    /// overlapping column sets into the same 8-row blocks so their MMA
+    /// windows gather overlapping x/B lines. Off by default; the plan
+    /// carries the flag, and results stay bit-identical either way (the
+    /// format's geometry depends only on the sorted length sequence, so
+    /// `fill_rate` is provably unchanged — this is an x-locality pass).
+    pub reorder: bool,
 }
 
 impl Default for DaspParams {
@@ -38,6 +46,7 @@ impl Default for DaspParams {
             max_len: 256,
             threshold: 0.75,
             short_piecing: true,
+            reorder: false,
         }
     }
 }

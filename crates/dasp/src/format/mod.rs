@@ -17,6 +17,7 @@ mod long;
 mod medium;
 mod plan;
 mod reconstruct;
+mod reorder;
 mod serialize;
 mod short;
 mod validate;

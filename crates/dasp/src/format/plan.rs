@@ -721,6 +721,7 @@ fn pattern_key<S: Scalar>(csr: &Csr<S>, params: DaspParams) -> u64 {
     word(params.max_len as u64);
     word(params.threshold.to_bits());
     word(params.short_piecing as u64);
+    word(params.reorder as u64);
     for &p in &csr.row_ptr {
         word(p as u64);
     }

@@ -1,0 +1,89 @@
+//! Row-similarity signatures for the medium-part reorder pass.
+//!
+//! When [`DaspParams::reorder`] is on, the medium stable sort breaks
+//! length ties by a minhash signature of each row's column set
+//! (Acc-SpMM-style greedy bucketing): rows whose column sets overlap hash
+//! to nearby signatures and land in the same 8-row block, so the block's
+//! 8x4 MMA windows gather overlapping x/B cache lines. The pass is
+//! *structure-neutral* by construction — [`MediumPart::build_csr`]'s
+//! geometry (window regularity, padding, `fill_rate`) depends only on the
+//! sorted row-*length* sequence, which a tie-break cannot change — and
+//! *value-neutral*: each row's own FMA chain is untouched, so `y` stays
+//! bit-identical and only the x-locality of the traffic model moves.
+//!
+//! Determinism matters more than hash quality here: the signature is a
+//! fixed-seed splitmix64 minhash, so the same pattern always produces the
+//! same plan (the plan cache and `DASPPLN` containers rely on it).
+//!
+//! [`DaspParams::reorder`]: crate::consts::DaspParams::reorder
+//! [`MediumPart::build_csr`]: crate::format::MediumPart
+
+/// Number of independent minhash functions folded into the signature.
+/// Four 16-bit lanes: the leading lane does the coarse bucketing, the
+/// rest refine ordering inside a bucket.
+const HASHES: usize = 4;
+
+/// Fixed seeds for the minhash lanes (odd splitmix64 stream offsets).
+const SEEDS: [u64; HASHES] = [
+    0x9e37_79b9_7f4a_7c15,
+    0xbf58_476d_1ce4_e5b9,
+    0x94d0_49bb_1331_11eb,
+    0x2545_f491_4f6c_dd1d,
+];
+
+/// splitmix64 finalizer: a cheap, well-mixed 64-bit permutation.
+#[inline]
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Minhash signature of a row's column set: for each of the [`HASHES`]
+/// seeded hash functions, the minimum hash over the columns, folded to 16
+/// bits and packed most-significant-lane-first. Sorting equal-length rows
+/// by this key places rows sharing their minimum-hashed column (a Jaccard
+/// similarity proxy) adjacently.
+pub(crate) fn signature(cols: &[u32]) -> u64 {
+    let mut sig = 0u64;
+    for (i, seed) in SEEDS.iter().enumerate() {
+        let mut min = u64::MAX;
+        for &c in cols {
+            let h = mix((c as u64).wrapping_add(*seed));
+            if h < min {
+                min = h;
+            }
+        }
+        // Fold to 16 bits (top bits of a mixed hash are uniform).
+        sig |= (min >> 48) << (16 * (HASHES - 1 - i));
+    }
+    sig
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn signature_is_deterministic_and_order_independent() {
+        let a = signature(&[3, 17, 99, 250]);
+        let b = signature(&[250, 99, 17, 3]);
+        assert_eq!(a, b, "set signature ignores column order");
+        assert_eq!(a, signature(&[3, 17, 99, 250]), "fixed seeds, fixed sig");
+    }
+
+    #[test]
+    fn identical_sets_share_signatures_disjoint_sets_rarely_do() {
+        let base: Vec<u32> = (0..20).map(|i| i * 7 + 3).collect();
+        assert_eq!(signature(&base), signature(&base));
+        // A heavily overlapping set usually keeps the leading lane; a
+        // disjoint set differs with overwhelming probability.
+        let disjoint: Vec<u32> = (0..20).map(|i| i * 13 + 100_000).collect();
+        assert_ne!(signature(&base), signature(&disjoint));
+    }
+
+    #[test]
+    fn empty_set_has_a_fixed_signature() {
+        assert_eq!(signature(&[]), signature(&[]));
+    }
+}

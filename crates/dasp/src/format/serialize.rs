@@ -33,6 +33,19 @@ const MAGIC_V1: &[u8; 8] = b"DASPFMT1";
 const MAGIC: &[u8; 8] = b"DASPFMT2";
 const PLAN_MAGIC: &[u8; 8] = b"DASPPLN1";
 
+/// Bit 0 of the header flags word (the former reserved field): the
+/// medium rows were tie-broken by the row-similarity reorder pass.
+const FLAG_REORDER: u64 = 1;
+
+/// Packs the boolean params that ride in the header flags word.
+fn param_flags(p: &DaspParams) -> u64 {
+    if p.reorder {
+        FLAG_REORDER
+    } else {
+        0
+    }
+}
+
 /// An error while reading or writing a serialized format.
 #[derive(Debug)]
 pub enum SerError {
@@ -160,7 +173,10 @@ impl<S: Scalar> DaspMatrix<S> {
         write_u64(w, self.params.max_len as u64)?;
         write_u64(w, self.params.threshold.to_bits())?;
         write_u64(w, self.params.short_piecing as u64)?;
-        write_u64(w, 0)?; // reserved
+        // The former reserved word carries the flags bitset; bit 0 is the
+        // reorder pass. Old readers ignored it, old writers wrote 0, so
+        // reorder-off containers are byte-identical across versions.
+        write_u64(w, param_flags(&self.params))?;
 
         write_scalars(w, &self.long.vals)?;
         write_u32s(w, &self.long.cids)?;
@@ -234,7 +250,7 @@ impl<S: Scalar> DaspMatrix<S> {
         let max_len = read_u64(r)? as usize;
         let threshold = f64::from_bits(read_u64(r)?);
         let short_piecing = read_u64(r)? != 0;
-        let _reserved = read_u64(r)?;
+        let flags = read_u64(r)?;
         // Sanity cap for array lengths. The format's zero fill is bounded
         // by 64x for any legal parameterization (a 64-element long-row
         // group can hold as few as `max_len + 1 >= 6` nonzeros, a regular
@@ -287,6 +303,7 @@ impl<S: Scalar> DaspMatrix<S> {
                 max_len,
                 threshold,
                 short_piecing,
+                reorder: flags & FLAG_REORDER != 0,
             },
             plan: None,
         };
@@ -322,7 +339,7 @@ impl DaspPlan {
         write_u64(w, self.params.max_len as u64)?;
         write_u64(w, self.params.threshold.to_bits())?;
         write_u64(w, self.params.short_piecing as u64)?;
-        write_u64(w, 0)?; // reserved
+        write_u64(w, param_flags(&self.params))?; // flags (was reserved)
 
         write_u32s(w, &self.long_rows)?;
         write_usizes(w, &self.long_group_ptr)?;
@@ -374,7 +391,7 @@ impl DaspPlan {
         let max_len = read_u64(r)? as usize;
         let threshold = f64::from_bits(read_u64(r)?);
         let short_piecing = read_u64(r)? != 0;
-        let _reserved = read_u64(r)?;
+        let flags = read_u64(r)?;
         // Same 64x fill bound as the matrix container.
         let cap = (nnz as u64 + rows as u64 + 1024) * 64;
 
@@ -386,6 +403,7 @@ impl DaspPlan {
                 max_len,
                 threshold,
                 short_piecing,
+                reorder: flags & FLAG_REORDER != 0,
             },
             long_rows: read_u32s(r, cap)?,
             long_group_ptr: read_usizes(r, cap)?,
@@ -469,6 +487,7 @@ mod tests {
                 max_len: 5,
                 threshold: 0.1,
                 short_piecing: false,
+                ..crate::consts::DaspParams::default()
             },
         );
         let mut buf = Vec::new();

@@ -1,15 +1,18 @@
 //! Multi-RHS medium-rows kernel.
 //!
 //! Warp shape follows SpMV — `LOOP_NUM` row-blocks per warp, regular
-//! blocks through the MMA unit, then a per-lane irregular tail — with each
-//! regular block loaded once per panel and issued as 8 masked-A MMAs, and
-//! the irregular tail's scalar values/indices likewise loaded once with
-//! the FMA fanned across the panel columns.
+//! blocks through the MMA unit, then a per-lane irregular tail — with an
+//! **A-resident panel sweep**: each regular block's A fragment and column
+//! indices load once and stay in registers while the warp issues the 8
+//! masked-A MMAs for *every* RHS panel, so A+index traffic amortizes over
+//! the whole RHS width instead of one 8-column panel. The irregular
+//! tail's scalar values/indices likewise load once per element with the
+//! FMA fanned across every panel's live columns.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4_row_segment, row_slots, MMA_K, MMA_M};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4_row_segment, row_slots, AccFrag, MMA_K, MMA_M};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, XBatch};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, WarpScratch, XBatch};
 use dasp_sparse::{DenseMat, PANEL_WIDTH};
 
 use crate::consts::{loop_num, BLOCK_ELEMS};
@@ -29,117 +32,149 @@ pub fn spmm_medium_with<S: Scalar, P: ShardableProbe>(
     exec: &Executor,
 ) {
     let n_warps = medium_warps(part);
-    let panels = b.num_panels();
-    exec.run(n_warps * panels, probe, |wid, p| {
-        spmm_medium_warp(part, b, y, y_rows, n_warps, wid, p)
+    exec.run(n_warps, probe, |mw, p| {
+        spmm_medium_warp(part, b, y, y_rows, mw, p)
     });
 }
 
-/// Warp body: warp `wid = panel * n_warps + mw` computes `LOOP_NUM`
-/// row-blocks against every live column of its panel.
+/// Warp body: warp `mw` computes `LOOP_NUM` row-blocks, sweeping every
+/// RHS panel per A block while the fragment is register-resident.
 pub fn spmm_medium_warp<S: Scalar, P: Probe>(
     part: &MediumPart<S>,
     b: &DenseMat<S>,
     y: &SharedSlice<S>,
     y_rows: usize,
-    n_warps: usize,
-    wid: usize,
+    mw: usize,
     probe: &mut P,
 ) {
-    let (panel, mw) = (wid / n_warps, wid % n_warps);
     let n_rows = part.rows.len();
     let ln = loop_num(n_rows);
     let n_rowblocks = part.num_rowblocks();
-    let w_p = b.panel_width(panel);
-    let bp = b.panel(panel);
+    let panels = b.num_panels();
+    let total_cols = b.cols();
 
-    probe.warp_begin(wid);
+    probe.warp_begin(mw);
     probe.san_region("spmm.medium");
-    let mut res: PanelRes<S> = [[S::acc_zero(); PANEL_WIDTH]; WARP_SIZE];
+    let mut res =
+        WarpScratch::lease::<PanelRes<S>>(panels, [[S::acc_zero(); PANEL_WIDTH]; WARP_SIZE]);
+    let mut accs = WarpScratch::lease::<AccFrag<S>>(panels, acc_zero::<S>());
 
     for i in 0..ln {
         let bid = mw * ln + i;
         if bid >= n_rowblocks {
             break;
         }
+        probe.panel(None);
         probe.load_meta(2, 4); // rowblockPtr (int32 on device)
         let mut offset_a = part.rowblock_ptr[bid];
         let nblocks = part.reg_blocks(bid);
-        let mut acc = acc_zero::<S>();
+        for acc in accs.iter_mut() {
+            *acc = acc_zero::<S>();
+        }
         probe.san_frag_clear();
         for _b in 0..nblocks {
-            // A values + ids once per block per panel (the amortization);
-            // 8 masked-A issues cover the 8 row-segments x 8 columns.
+            // A values + ids once per block for *all* panels — the
+            // amortization. 8 masked-A issues per panel cover the 8
+            // row-segments x up-to-8 columns.
+            probe.panel(None);
             let block_a: [S; WARP_SIZE] = load_block(&part.reg_val, offset_a);
             let cids = load_block(&part.reg_cid, offset_a);
             probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
             probe.load_idx(BLOCK_ELEMS as u64, 4);
-            for r in 0..MMA_M {
-                let frag_b: [S; WARP_SIZE] =
-                    per_lane(|l| bp[cids[r * MMA_K + (l & 3)] as usize * PANEL_WIDTH + (l >> 2)]);
-                // One batched B access per row-segment (k-then-jj order).
-                let mut xi = [0usize; WARP_SIZE];
-                let mut nx = 0;
-                for k in 0..MMA_K {
-                    let c = cids[r * MMA_K + k] as usize;
-                    for jj in 0..w_p {
-                        xi[nx] = b.lin_index(panel, c, jj);
-                        nx += 1;
+            for panel in 0..panels {
+                probe.panel(Some(panel));
+                let w_p = b.panel_width(panel);
+                let bp = b.panel(panel);
+                for r in 0..MMA_M {
+                    // Dead fragment columns of a partial panel gather an
+                    // explicit zero (the panel stores no padding).
+                    let frag_b: [S; WARP_SIZE] = per_lane(|l| {
+                        let jj = l >> 2;
+                        if jj < w_p {
+                            bp[cids[r * MMA_K + (l & 3)] as usize * w_p + jj]
+                        } else {
+                            S::zero()
+                        }
+                    });
+                    // One batched B access per row-segment (k-then-jj order).
+                    let mut xi = [0usize; WARP_SIZE];
+                    let mut nx = 0;
+                    for k in 0..MMA_K {
+                        let c = cids[r * MMA_K + k] as usize;
+                        for jj in 0..w_p {
+                            xi[nx] = b.lin_index(panel, c, jj);
+                            nx += 1;
+                        }
                     }
+                    probe.load_x_warp(&xi[..nx], S::BYTES);
+                    mma_m8n8k4_row_segment::<S>(&mut accs[panel], &block_a, &frag_b, r);
+                    probe.mma();
+                    probe.san_frag_mma(row_slots(r));
                 }
-                probe.load_x_warp(&xi[..nx], S::BYTES);
-                mma_m8n8k4_row_segment::<S>(&mut acc, &block_a, &frag_b, r);
-                probe.mma();
-                probe.san_frag_mma(row_slots(r));
             }
             offset_a += BLOCK_ELEMS;
         }
-        extract_rows::<S, P>(&acc, i, &mut res, probe);
+        for (panel, acc) in accs.iter().enumerate() {
+            extract_rows::<S, P>(acc, i, &mut res[panel], probe);
+        }
     }
 
     // Irregular part + write-back: one lane per row, its scalar A
-    // element loaded once and FMA'd against every live column.
+    // element loaded once and FMA'd against every live column of every
+    // panel.
     let lane_cap = (ln * MMA_M).min(WARP_SIZE);
     let rows_here = n_rows.saturating_sub(mw * ln * MMA_M).min(lane_cap);
     if rows_here < WARP_SIZE {
         probe.divergence((WARP_SIZE - rows_here) as u64);
     }
     // B accesses of the whole irregular tail stream through one batch in
-    // the same lane-then-element-then-jj order the per-element calls used,
-    // so classification is identical with ~w_p*rows fewer probe calls.
+    // lane-then-element-then-panel-then-jj order: consecutive panels of
+    // one element issue back to back, which is what the A-resident sweep
+    // buys the cache model.
     let mut xb = XBatch::new(S::BYTES);
+    let mut v = WarpScratch::lease::<[S::Acc; PANEL_WIDTH]>(panels, [S::acc_zero(); PANEL_WIDTH]);
     for lane in 0..lane_cap {
         let cur_row = mw * ln * MMA_M + lane;
         if cur_row >= n_rows {
             continue;
         }
+        probe.panel(None);
         probe.load_meta(2, 4); // irregPtr (int32 on device)
-        let mut v: [S::Acc; PANEL_WIDTH] = res[lane];
+        for (panel, vp) in v.iter_mut().enumerate() {
+            *vp = res[panel][lane];
+        }
         let (jlo, jhi) = (part.irreg_ptr[cur_row], part.irreg_ptr[cur_row + 1]);
         for e in jlo..jhi {
             let a = part.irreg_val[e];
             let c = part.irreg_cid[e] as usize;
-            for jj in 0..w_p {
-                v[jj] = S::acc_mul_add(v[jj], a, bp[c * PANEL_WIDTH + jj]);
-                xb.push(probe, b.lin_index(panel, c, jj));
+            for panel in 0..panels {
+                probe.panel(Some(panel));
+                let w_p = b.panel_width(panel);
+                let bp = b.panel(panel);
+                for jj in 0..w_p {
+                    v[panel][jj] = S::acc_mul_add(v[panel][jj], a, bp[c * w_p + jj]);
+                    xb.push(probe, b.lin_index(panel, c, jj));
+                }
             }
         }
+        probe.panel(None);
         let elems = (jhi - jlo) as u64;
         probe.load_val(elems, S::BYTES);
         probe.load_idx(elems, 4);
-        probe.fma(elems * w_p as u64);
+        probe.fma(elems * total_cols as u64);
         let orow = part.rows[cur_row] as usize;
         let mut writes = [0usize; PANEL_WIDTH];
-        for jj in 0..w_p {
-            y.write(
-                (panel * y_rows + orow) * PANEL_WIDTH + jj,
-                S::from_acc(v[jj]),
-            );
-            writes[jj] = (panel * y_rows + orow) * PANEL_WIDTH + jj;
+        for panel in 0..panels {
+            let w_p = b.panel_width(panel);
+            for jj in 0..w_p {
+                let idx = panel * y_rows * PANEL_WIDTH + orow * w_p + jj;
+                y.write(idx, S::from_acc(v[panel][jj]));
+                writes[jj] = idx;
+            }
+            probe.san_write_warp(space::Y, &writes[..w_p]);
+            probe.store_y(w_p as u64, S::BYTES);
         }
-        probe.san_write_warp(space::Y, &writes[..w_p]);
-        probe.store_y(w_p as u64, S::BYTES);
     }
     xb.flush(probe);
-    probe.warp_end(wid);
+    probe.warp_end(mw);
 }

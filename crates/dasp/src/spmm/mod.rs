@@ -5,10 +5,14 @@
 //! B-fragment columns are dead weight, and a batched matvec that loops
 //! single-vector SpMV re-streams every byte of A (values *and* column
 //! indices) once per right-hand side. These kernels instead take the RHS
-//! as a [`DenseMat`] column panel of width [`PANEL_WIDTH`] = `MMA_N` = 8
-//! and compute one panel per sweep over the format: **each A fragment and
-//! its index bytes are loaded once per 8 vectors instead of once per
-//! vector.** The [`DaspMatrix`] format is reused completely unchanged.
+//! as a [`DenseMat`] of column panels of width [`PANEL_WIDTH`] = `MMA_N`
+//! = 8 and run an **A-resident panel sweep**: per 8×4 block, the A
+//! fragment and its column indices load once and stay register-resident
+//! while the warp issues the masked-A MMAs for *every* RHS panel, so
+//! **each A fragment and its index bytes are loaded once per N vectors
+//! instead of once per vector** — the amortization scales with the full
+//! RHS width, not one panel. The [`DaspMatrix`] format is reused
+//! completely unchanged.
 //!
 //! # The masked-A segment scheme
 //!
@@ -42,13 +46,17 @@
 //!
 //! # Probe accounting
 //!
-//! Per 8-wide panel, `load_val`/`load_idx` fire **once per block** — the
-//! A-amortization the roofline estimate then shows — while `load_x`
-//! (B-side gathers, addressed through [`DenseMat::lin_index`] so the
-//! cache model sees the panel-contiguous layout), `fma`, and `mma` counts
-//! equal the looped-SpMV totals. Partial panels only gather and store
-//! their live columns; padding columns of the last panel are never read
-//! (their storage is zero) and never written.
+//! `load_val`/`load_idx` fire **once per block per sweep** — however many
+//! panels the RHS has; that is the A-amortization the roofline estimate
+//! then shows — while `load_x` (B-side gathers, addressed through
+//! [`DenseMat::lin_index`] so the cache model sees the panel-contiguous
+//! layout), `fma`, and `mma` counts equal the looped-SpMV totals. The
+//! kernels hint [`dasp_simt::Probe::panel`] around their loads, so a
+//! counting probe can split `dram`/`val`/`idx` bytes into a shared
+//! (A-resident) bin and per-panel bins. Partial panels only gather and
+//! store their live columns; the last panel stores no padding at all
+//! (its stride is its live width), and the dead B-fragment columns of a
+//! partial panel read an explicit zero.
 
 #![allow(clippy::needless_range_loop)]
 
@@ -144,9 +152,10 @@ impl<S: Scalar> DaspMatrix<S> {
     /// children, each carrying its probe counter delta and an `rhs_width`
     /// arg so traces can attribute bytes-per-vector (the four short
     /// sub-kernels share one launch and one span, as in SpMV). Panels run
-    /// outermost: every category sweeps panel 0's warps, then panel 1's,
-    /// under whichever executor is selected — `ShardableProbe` merge
-    /// semantics are identical to the SpMV kernels'.
+    /// **innermost**: each warp holds its A block register-resident and
+    /// sweeps every RHS panel before advancing, under whichever executor
+    /// is selected — `ShardableProbe` merge semantics are identical to
+    /// the SpMV kernels'.
     ///
     /// Like SpMV, the run transparently re-dispatches through a
     /// [`dasp_sanitize::SanitizeProbe`] when `DASP_SANITIZE` is set.
@@ -213,12 +222,10 @@ impl<S: Scalar> DaspMatrix<S> {
             sp.add_arg("groups", self.long.num_groups());
             sp.add_arg("rhs_width", width);
             let before = probe.stats_snapshot();
-            // One launch per category, grid-strided over panels: blocks
-            // scale with the panel count, warp traffic amortizes A.
-            probe.kernel_launch(
-                (self.long.num_groups().div_ceil(WARPS_PER_BLOCK) * panels) as u64,
-                wpb,
-            );
+            // One launch per category: each warp sweeps every panel with
+            // its A block register-resident, so the grid does not scale
+            // with the panel count.
+            probe.kernel_launch(self.long.num_groups().div_ceil(WARPS_PER_BLOCK) as u64, wpb);
             spmm_long_with(&self.long, b, &y_slice, y_rows, probe, exec);
             sp.set_stats(probe.stats_snapshot().delta(&before));
         }
@@ -231,7 +238,7 @@ impl<S: Scalar> DaspMatrix<S> {
                 .medium
                 .num_rowblocks()
                 .div_ceil(crate::consts::loop_num(self.medium.rows.len()));
-            probe.kernel_launch((warps.div_ceil(WARPS_PER_BLOCK) * panels) as u64, wpb);
+            probe.kernel_launch(warps.div_ceil(WARPS_PER_BLOCK) as u64, wpb);
             spmm_medium_with(&self.medium, b, &y_slice, y_rows, probe, exec);
             sp.set_stats(probe.stats_snapshot().delta(&before));
         }
@@ -244,7 +251,7 @@ impl<S: Scalar> DaspMatrix<S> {
             sp.add_arg("warps", short_warps);
             sp.add_arg("rhs_width", width);
             let before = probe.stats_snapshot();
-            probe.kernel_launch((short_warps.div_ceil(WARPS_PER_BLOCK) * panels) as u64, wpb);
+            probe.kernel_launch(short_warps.div_ceil(WARPS_PER_BLOCK) as u64, wpb);
             spmm_short13_with(&self.short, b, &y_slice, y_rows, probe, exec);
             spmm_short4_with(&self.short, b, &y_slice, y_rows, probe, exec);
             spmm_short22_with(&self.short, b, &y_slice, y_rows, probe, exec);

@@ -2,17 +2,18 @@
 //! the scalar leftover singletons).
 //!
 //! The piecing kernels replicate SpMV's pass structure exactly: A loads
-//! once per block (per panel), and the **B side** is masked per pass —
-//! the length-1 piece's `k` position first, then the complementary
-//! positions — so each pass's masked products (including the `a * 0`
-//! fills SpMV itself issues) reproduce the single-vector sequence per
-//! column. Each pass widens to 8 masked-A MMA issues, one per
-//! row-segment, sharing the pass accumulator.
+//! once per block — held register-resident across **every RHS panel** —
+//! and the B side is masked per pass (the length-1 piece's `k` position
+//! first, then the complementary positions), so each pass's masked
+//! products (including the `a * 0` fills SpMV itself issues) reproduce
+//! the single-vector sequence per column. Each pass widens to 8 masked-A
+//! MMA issues per panel, one per row-segment, sharing the pass's
+//! per-panel accumulator.
 
 use dasp_fp16::Scalar;
-use dasp_simt::mma::{acc_zero, mma_m8n8k4_row_segment, row_slots, MMA_K, MMA_M};
+use dasp_simt::mma::{acc_zero, mma_m8n8k4_row_segment, row_slots, AccFrag, MMA_K, MMA_M};
 use dasp_simt::warp::{per_lane, WARP_SIZE};
-use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, XBatch};
+use dasp_simt::{space, Executor, Probe, ShardableProbe, SharedSlice, WarpScratch, XBatch};
 use dasp_sparse::{DenseMat, PANEL_WIDTH};
 
 use crate::consts::BLOCK_ELEMS;
@@ -29,18 +30,8 @@ pub fn spmm_short13_with<S: Scalar, P: ShardableProbe>(
     probe: &mut P,
     exec: &Executor,
 ) {
-    let panels = b.num_panels();
-    exec.run(part.n13_warps * panels, probe, |wid, p| {
-        pieced_warp(
-            part,
-            b,
-            y,
-            y_rows,
-            part.n13_warps,
-            wid,
-            Piecing::OneThree,
-            p,
-        )
+    exec.run(part.n13_warps, probe, |w, p| {
+        pieced_warp(part, b, y, y_rows, w, Piecing::OneThree, p)
     });
 }
 
@@ -53,9 +44,8 @@ pub fn spmm_short22_with<S: Scalar, P: ShardableProbe>(
     probe: &mut P,
     exec: &Executor,
 ) {
-    let panels = b.num_panels();
-    exec.run(part.n22_warps * panels, probe, |wid, p| {
-        pieced_warp(part, b, y, y_rows, part.n22_warps, wid, Piecing::TwoTwo, p)
+    exec.run(part.n22_warps, probe, |w, p| {
+        pieced_warp(part, b, y, y_rows, w, Piecing::TwoTwo, p)
     });
 }
 
@@ -108,82 +98,106 @@ impl Piecing {
 }
 
 /// Shared warp body of the two piecing kernels: two 8x4 blocks in four
-/// pass-masked MMA sweeps, writing 32 permuted output slots per panel.
-#[allow(clippy::too_many_arguments)]
+/// pass-masked MMA sweeps over every RHS panel, writing 32 permuted
+/// output slots per panel.
 fn pieced_warp<S: Scalar, P: Probe>(
     part: &ShortPart<S>,
     b: &DenseMat<S>,
     y: &SharedSlice<S>,
     y_rows: usize,
-    n_warps: usize,
-    wid: usize,
+    w: usize,
     piecing: Piecing,
     probe: &mut P,
 ) {
-    let (panel, w) = (wid / n_warps, wid % n_warps);
-    probe.warp_begin(wid);
+    let panels = b.num_panels();
+    probe.warp_begin(w);
     probe.san_region(piecing.region());
-    let w_p = b.panel_width(panel);
-    let bp = b.panel(panel);
-    let mut res: PanelRes<S> = [[S::acc_zero(); PANEL_WIDTH]; WARP_SIZE];
+    let mut res =
+        WarpScratch::lease::<PanelRes<S>>(panels, [[S::acc_zero(); PANEL_WIDTH]; WARP_SIZE]);
+    let mut accs = WarpScratch::lease::<AccFrag<S>>(panels, acc_zero::<S>());
     let mut block_a: [S; WARP_SIZE] = [S::zero(); WARP_SIZE];
     let mut cids: [u32; WARP_SIZE] = [0; WARP_SIZE];
     let mut offset = piecing.base(part.off22, w);
 
     for i in 0..4usize {
-        let mut acc = acc_zero::<S>();
+        for acc in accs.iter_mut() {
+            *acc = acc_zero::<S>();
+        }
         probe.san_frag_clear();
         if i & 1 == 0 {
-            // Even pass: the block's A values and ids load once per
-            // panel and stay in registers for the odd pass.
+            // Even pass: the block's A values and ids load once — for
+            // every panel — and stay in registers for the odd pass.
+            probe.panel(None);
             block_a = load_block(&part.vals, offset);
             cids = load_block(&part.cids, offset);
             probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
             probe.load_idx(BLOCK_ELEMS as u64, 4);
         }
-        for r in 0..MMA_M {
-            // B-side pass mask: only the pass's piece positions gather;
-            // the rest stay zero, exactly like SpMV's masked x fragment.
-            let frag_b: [S; WARP_SIZE] = per_lane(|l| {
-                let k = l & 3;
-                if piecing.active(i, k) {
-                    bp[cids[r * MMA_K + k] as usize * PANEL_WIDTH + (l >> 2)]
-                } else {
-                    S::zero()
-                }
-            });
-            // One batched B access per row-segment over the pass's
-            // active k positions (k-then-jj order).
-            let mut xi = [0usize; WARP_SIZE];
-            let mut nx = 0;
-            for k in 0..MMA_K {
-                if piecing.active(i, k) {
-                    let c = cids[r * MMA_K + k] as usize;
-                    for jj in 0..w_p {
-                        xi[nx] = b.lin_index(panel, c, jj);
-                        nx += 1;
+        for panel in 0..panels {
+            probe.panel(Some(panel));
+            let w_p = b.panel_width(panel);
+            let bp = b.panel(panel);
+            for r in 0..MMA_M {
+                // B-side pass mask: only the pass's piece positions
+                // gather; the rest stay zero, exactly like SpMV's masked
+                // x fragment. Dead fragment columns of a partial panel
+                // also stay zero (the panel stores no padding).
+                let frag_b: [S; WARP_SIZE] = per_lane(|l| {
+                    let (k, jj) = (l & 3, l >> 2);
+                    if piecing.active(i, k) && jj < w_p {
+                        bp[cids[r * MMA_K + k] as usize * w_p + jj]
+                    } else {
+                        S::zero()
+                    }
+                });
+                // One batched B access per row-segment over the pass's
+                // active k positions (k-then-jj order).
+                let mut xi = [0usize; WARP_SIZE];
+                let mut nx = 0;
+                for k in 0..MMA_K {
+                    if piecing.active(i, k) {
+                        let c = cids[r * MMA_K + k] as usize;
+                        for jj in 0..w_p {
+                            xi[nx] = b.lin_index(panel, c, jj);
+                            nx += 1;
+                        }
                     }
                 }
+                probe.load_x_warp(&xi[..nx], S::BYTES);
+                // Row-segment issue: A masked to row r (the mask and the
+                // other rows' inert 0*b adds are skipped — see the
+                // variant's docs).
+                mma_m8n8k4_row_segment::<S>(&mut accs[panel], &block_a, &frag_b, r);
+                probe.mma();
+                probe.san_frag_mma(row_slots(r));
             }
-            probe.load_x_warp(&xi[..nx], S::BYTES);
-            // Row-segment issue: A masked to row r (the mask and the other
-            // rows' inert 0*b adds are skipped — see the variant's docs).
-            mma_m8n8k4_row_segment::<S>(&mut acc, &block_a, &frag_b, r);
-            probe.mma();
-            probe.san_frag_mma(row_slots(r));
         }
         if i & 1 == 1 {
             offset += BLOCK_ELEMS;
         }
-        extract_rows::<S, P>(&acc, i, &mut res, probe);
+        for (panel, acc) in accs.iter().enumerate() {
+            extract_rows::<S, P>(acc, i, &mut res[panel], probe);
+        }
     }
 
+    probe.panel(None);
     let perm = match piecing {
         Piecing::OneThree => &part.perm13,
         Piecing::TwoTwo => &part.perm22,
     };
-    write_permuted(perm, w, &res, w_p, panel, y, y_rows, probe);
-    probe.warp_end(wid);
+    for (panel, res_p) in res.iter().enumerate() {
+        write_permuted(
+            perm,
+            w,
+            res_p,
+            b.panel_width(panel),
+            panel,
+            y,
+            y_rows,
+            probe,
+        );
+    }
+    probe.warp_end(w);
 }
 
 /// Runs the length-4 short-rows SpMM under the given executor.
@@ -195,58 +209,85 @@ pub fn spmm_short4_with<S: Scalar, P: ShardableProbe>(
     probe: &mut P,
     exec: &Executor,
 ) {
-    let panels = b.num_panels();
-    exec.run(part.n4_warps * panels, probe, |wid, p| {
-        spmm_short4_warp(part, b, y, y_rows, wid, p)
+    exec.run(part.n4_warps, probe, |w, p| {
+        spmm_short4_warp(part, b, y, y_rows, w, p)
     });
 }
 
-/// Warp body: warp `wid = panel * n4_warps + w` computes four complete
-/// 8x4 blocks against every live column of its panel.
+/// Warp body: warp `w` computes four complete 8x4 blocks against every
+/// live column of every RHS panel, each block's A loaded exactly once.
 pub fn spmm_short4_warp<S: Scalar, P: Probe>(
     part: &ShortPart<S>,
     b: &DenseMat<S>,
     y: &SharedSlice<S>,
     y_rows: usize,
-    wid: usize,
+    w: usize,
     probe: &mut P,
 ) {
-    let (panel, w) = (wid / part.n4_warps, wid % part.n4_warps);
-    probe.warp_begin(wid);
+    let panels = b.num_panels();
+    probe.warp_begin(w);
     probe.san_region("spmm.short4");
-    let w_p = b.panel_width(panel);
-    let bp = b.panel(panel);
-    let mut res: PanelRes<S> = [[S::acc_zero(); PANEL_WIDTH]; WARP_SIZE];
+    let mut res =
+        WarpScratch::lease::<PanelRes<S>>(panels, [[S::acc_zero(); PANEL_WIDTH]; WARP_SIZE]);
+    let mut accs = WarpScratch::lease::<AccFrag<S>>(panels, acc_zero::<S>());
     for i in 0..4usize {
         let offset = part.off4 + (w * 4 + i) * BLOCK_ELEMS;
-        let mut acc = acc_zero::<S>();
+        for acc in accs.iter_mut() {
+            *acc = acc_zero::<S>();
+        }
         probe.san_frag_clear();
+        probe.panel(None);
         let block_a: [S; WARP_SIZE] = load_block(&part.vals, offset);
         let cids = load_block(&part.cids, offset);
         probe.load_val(BLOCK_ELEMS as u64, S::BYTES);
         probe.load_idx(BLOCK_ELEMS as u64, 4);
-        for r in 0..MMA_M {
-            let frag_b: [S; WARP_SIZE] =
-                per_lane(|l| bp[cids[r * MMA_K + (l & 3)] as usize * PANEL_WIDTH + (l >> 2)]);
-            // One batched B access per row-segment (k-then-jj order).
-            let mut xi = [0usize; WARP_SIZE];
-            let mut nx = 0;
-            for k in 0..MMA_K {
-                let c = cids[r * MMA_K + k] as usize;
-                for jj in 0..w_p {
-                    xi[nx] = b.lin_index(panel, c, jj);
-                    nx += 1;
+        for panel in 0..panels {
+            probe.panel(Some(panel));
+            let w_p = b.panel_width(panel);
+            let bp = b.panel(panel);
+            for r in 0..MMA_M {
+                let frag_b: [S; WARP_SIZE] = per_lane(|l| {
+                    let jj = l >> 2;
+                    if jj < w_p {
+                        bp[cids[r * MMA_K + (l & 3)] as usize * w_p + jj]
+                    } else {
+                        S::zero()
+                    }
+                });
+                // One batched B access per row-segment (k-then-jj order).
+                let mut xi = [0usize; WARP_SIZE];
+                let mut nx = 0;
+                for k in 0..MMA_K {
+                    let c = cids[r * MMA_K + k] as usize;
+                    for jj in 0..w_p {
+                        xi[nx] = b.lin_index(panel, c, jj);
+                        nx += 1;
+                    }
                 }
+                probe.load_x_warp(&xi[..nx], S::BYTES);
+                mma_m8n8k4_row_segment::<S>(&mut accs[panel], &block_a, &frag_b, r);
+                probe.mma();
+                probe.san_frag_mma(row_slots(r));
             }
-            probe.load_x_warp(&xi[..nx], S::BYTES);
-            mma_m8n8k4_row_segment::<S>(&mut acc, &block_a, &frag_b, r);
-            probe.mma();
-            probe.san_frag_mma(row_slots(r));
         }
-        extract_rows::<S, P>(&acc, i, &mut res, probe);
+        for (panel, acc) in accs.iter().enumerate() {
+            extract_rows::<S, P>(acc, i, &mut res[panel], probe);
+        }
     }
-    write_permuted(&part.perm4, w, &res, w_p, panel, y, y_rows, probe);
-    probe.warp_end(wid);
+    probe.panel(None);
+    for (panel, res_p) in res.iter().enumerate() {
+        write_permuted(
+            &part.perm4,
+            w,
+            res_p,
+            b.panel_width(panel),
+            panel,
+            y,
+            y_rows,
+            probe,
+        );
+    }
+    probe.warp_end(w);
 }
 
 /// Runs the scalar singleton SpMM under the given executor.
@@ -258,56 +299,60 @@ pub fn spmm_short1_with<S: Scalar, P: ShardableProbe>(
     probe: &mut P,
     exec: &Executor,
 ) {
-    let panels = b.num_panels();
     let n_warps = short1_warps(part);
-    exec.run(n_warps * panels, probe, |wid, p| {
-        spmm_short1_warp(part, b, y, y_rows, n_warps, wid, p)
+    exec.run(n_warps, probe, |w, p| {
+        spmm_short1_warp(part, b, y, y_rows, w, p)
     });
 }
 
 /// Warp body: each of the warp's 32 threads computes one singleton row's
 /// products — the row's value and index load once, then one multiply per
-/// live column.
+/// live column of every RHS panel.
 pub fn spmm_short1_warp<S: Scalar, P: Probe>(
     part: &ShortPart<S>,
     b: &DenseMat<S>,
     y: &SharedSlice<S>,
     y_rows: usize,
-    n_warps: usize,
-    wid: usize,
+    w: usize,
     probe: &mut P,
 ) {
-    let (panel, w) = (wid / n_warps, wid % n_warps);
-    probe.warp_begin(wid);
+    let panels = b.num_panels();
+    probe.warp_begin(w);
     probe.san_region("spmm.short1");
-    let w_p = b.panel_width(panel);
-    let bp = b.panel(panel);
     let live = (w + 1) * WARP_SIZE;
     if live > part.n1 {
         probe.divergence((live - part.n1) as u64);
     }
     // One warp-scoped batch for all singleton rows: B accesses stream in
-    // the same t-then-jj order the per-row calls used.
+    // t-then-panel-then-jj order — every panel of one element back to
+    // back, as the A-resident sweep issues them.
     let mut xb = XBatch::new(S::BYTES);
     for t in w * WARP_SIZE..live.min(part.n1) {
         let e = part.off1 + t;
         let c = part.cids[e] as usize;
+        probe.panel(None);
         probe.load_val(1, S::BYTES);
         probe.load_idx(1, 4);
         let row = part.perm1[t] as usize;
         let mut writes = [0usize; PANEL_WIDTH];
-        for jj in 0..w_p {
-            let v = S::mul_to_acc(part.vals[e], bp[c * PANEL_WIDTH + jj]);
-            xb.push(probe, b.lin_index(panel, c, jj));
-            y.write((panel * y_rows + row) * PANEL_WIDTH + jj, S::from_acc(v));
-            writes[jj] = (panel * y_rows + row) * PANEL_WIDTH + jj;
+        for panel in 0..panels {
+            probe.panel(Some(panel));
+            let w_p = b.panel_width(panel);
+            let bp = b.panel(panel);
+            for jj in 0..w_p {
+                let v = S::mul_to_acc(part.vals[e], bp[c * w_p + jj]);
+                xb.push(probe, b.lin_index(panel, c, jj));
+                let idx = panel * y_rows * PANEL_WIDTH + row * w_p + jj;
+                y.write(idx, S::from_acc(v));
+                writes[jj] = idx;
+            }
+            probe.fma(w_p as u64);
+            probe.san_write_warp(space::Y, &writes[..w_p]);
+            probe.store_y(w_p as u64, S::BYTES);
         }
-        probe.fma(w_p as u64);
-        probe.san_write_warp(space::Y, &writes[..w_p]);
-        probe.store_y(w_p as u64, S::BYTES);
     }
     xb.flush(probe);
-    probe.warp_end(wid);
+    probe.warp_end(w);
 }
 
 /// Write-back shared by the three MMA short kernels: permuted slots with
@@ -331,11 +376,9 @@ fn write_permuted<S: Scalar, P: Probe>(
         let row = perm[w * WARP_SIZE + lane];
         if row != NO_ROW {
             for jj in 0..w_p {
-                y.write(
-                    (panel * y_rows + row as usize) * PANEL_WIDTH + jj,
-                    S::from_acc(res[lane][jj]),
-                );
-                writes[nw] = (panel * y_rows + row as usize) * PANEL_WIDTH + jj;
+                let idx = panel * y_rows * PANEL_WIDTH + row as usize * w_p + jj;
+                y.write(idx, S::from_acc(res[lane][jj]));
+                writes[nw] = idx;
                 nw += 1;
             }
         } else {

@@ -238,13 +238,15 @@ impl<S: Scalar> DaspMatrix<S> {
 
     /// Computes `Y = A X` for several right-hand sides (column-major:
     /// `xs[j]` is the j-th input vector). Batches of two or more columns
-    /// route through the SpMM kernels ([`DaspMatrix::spmm`]): the columns
-    /// pack into [`dasp_sparse::DenseMat`] panels so each A fragment and
-    /// its index bytes stream once per 8 vectors instead of once per
-    /// vector. Every output column is bit-identical to the single-vector
-    /// [`DaspMatrix::spmv`] of that column, so callers observe the loop
-    /// semantics at panel traffic cost. Single-column (and empty) batches
-    /// fall back to the plain SpMV path.
+    /// — any count, there is no width cap — route through the SpMM
+    /// kernels ([`DaspMatrix::spmm`]): the columns pack into
+    /// [`dasp_sparse::DenseMat`] panels of up to 8 and the A-resident
+    /// sweep streams each A fragment and its index bytes **once for the
+    /// whole batch**, however many panels that is. Every output column
+    /// is bit-identical to the single-vector [`DaspMatrix::spmv`] of
+    /// that column, so callers observe the loop semantics at panel
+    /// traffic cost. Single-column (and empty) batches fall back to the
+    /// plain SpMV path.
     pub fn spmv_batch<P: ShardableProbe>(&self, xs: &[Vec<S>], probe: &mut P) -> Vec<Vec<S>> {
         if xs.len() >= 2 {
             let b = dasp_sparse::DenseMat::from_columns(xs);
@@ -486,6 +488,27 @@ mod par_tests {
         for (j, x) in xs.iter().enumerate() {
             assert_eq!(batch[j], d.spmv(x, &mut NoProbe), "column {j}");
         }
+    }
+
+    #[test]
+    fn large_batch_spans_many_panels_and_streams_a_once() {
+        use dasp_simt::CountingProbe;
+        let csr = mixed(6, 200, 250);
+        let d = DaspMatrix::from_csr(&csr);
+        // 27 columns -> 4 panels, the last masked to width 3.
+        let xs: Vec<Vec<f64>> = (0..27)
+            .map(|j| dasp_matgen::dense_vector(csr.cols, 100 + j))
+            .collect();
+        let mut probe = CountingProbe::a100();
+        let batch = d.spmv_batch(&xs, &mut probe);
+        for (j, x) in xs.iter().enumerate() {
+            assert_eq!(batch[j], d.spmv(x, &mut NoProbe), "column {j}");
+        }
+        let mut one = CountingProbe::a100();
+        d.spmv(&xs[0], &mut one);
+        // The whole 27-column batch pays the single-vector A traffic.
+        assert_eq!(probe.stats().bytes_val, one.stats().bytes_val);
+        assert_eq!(probe.stats().bytes_idx, one.stats().bytes_idx);
     }
 
     #[test]

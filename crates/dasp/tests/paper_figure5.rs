@@ -44,8 +44,7 @@ fn figure5_like() -> Csr<f64> {
 fn params() -> DaspParams {
     DaspParams {
         max_len: 8,
-        threshold: 0.75,
-        short_piecing: true,
+        ..DaspParams::default()
     }
 }
 

@@ -127,7 +127,7 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let csr = random_matrix(rows, 200, 3, 3, 1, seed);
-        let params = DaspParams { max_len, threshold: 0.75, short_piecing: piecing };
+        let params = DaspParams { max_len, short_piecing: piecing, ..DaspParams::default() };
         check_at::<f64>(&csr, params, seed);
     }
 

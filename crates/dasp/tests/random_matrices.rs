@@ -83,7 +83,7 @@ proptest! {
         max_len in 8usize..64,
     ) {
         let csr = random_matrix(rows, 200, 3, 3, 1, seed);
-        let d = DaspMatrix::with_params(&csr, DaspParams { max_len, threshold: 0.75, short_piecing: true });
+        let d = DaspMatrix::with_params(&csr, DaspParams { max_len, ..DaspParams::default() });
         let mut rng = SmallRng::seed_from_u64(seed);
         let x: Vec<f64> = (0..200).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let got = d.spmv(&x, &mut NoProbe);
@@ -99,7 +99,7 @@ proptest! {
         threshold in 0.1f64..1.0,
     ) {
         let csr = random_matrix(60, 700, 2, 6, 1, seed);
-        let d = DaspMatrix::with_params(&csr, DaspParams { max_len: 256, threshold, short_piecing: true });
+        let d = DaspMatrix::with_params(&csr, DaspParams { max_len: 256, threshold, ..DaspParams::default() });
         let mut rng = SmallRng::seed_from_u64(!seed);
         let x: Vec<f64> = (0..700).map(|_| rng.gen_range(-1.0..1.0)).collect();
         let got = d.spmv(&x, &mut NoProbe);

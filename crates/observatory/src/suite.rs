@@ -52,7 +52,7 @@ impl Default for SuiteConfig {
             device: "a100".to_string(),
             executor: Executor::seq(),
             quick: false,
-            spmm_widths: vec![1, 8],
+            spmm_widths: vec![1, 8, 32, 128],
             seq: 1,
             progress: false,
         }

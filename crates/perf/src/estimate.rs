@@ -16,7 +16,7 @@ pub struct Estimate {
     /// Total estimated kernel time, seconds.
     pub seconds: f64,
     /// RANDOM ACCESS: serving the gathers of `x` (DRAM line fills for
-    /// misses, L2 bandwidth for hits).
+    /// misses, L2 sector bandwidth for the request stream).
     pub t_random: f64,
     /// COMPUTE: the inner products — MMA issues on the tensor cores,
     /// scalar FMAs on the CUDA cores, plus warp shuffles.
@@ -55,12 +55,15 @@ pub fn estimate(stats: &KernelStats, dev: &DeviceModel, precision: Precision) ->
     let bw = dev.mem_bw_gbs * 1e9;
     let l2_bw = dev.l2_bw_gbs * 1e9;
 
-    // RANDOM ACCESS: x gathers. Misses fetch whole lines from DRAM; hits
-    // are served at L2 bandwidth. A scattered gather consumes a full L2
-    // sector (32 B) per request regardless of element width, so hits are
-    // priced at sector granularity.
-    const SECTOR_BYTES: f64 = 32.0;
-    let t_random = stats.bytes_x_miss as f64 / bw + stats.x_hits as f64 * SECTOR_BYTES / l2_bw;
+    // RANDOM ACCESS: x gathers. Misses fetch whole lines from DRAM; the
+    // request stream itself consumes L2 bandwidth in 32 B sectors. The
+    // probe counts sectors with warp-local coalescing
+    // ([`dasp_simt::KernelStats::x_sectors`]): a scattered SpMV gather
+    // pays one sector per element — exactly the old per-hit charge —
+    // while a contiguous SpMM panel-row load pays only the sectors the
+    // run spans, as the hardware coalescer would.
+    let t_random =
+        stats.bytes_x_miss as f64 / bw + (stats.x_sectors * dasp_simt::SECTOR_BYTES) as f64 / l2_bw;
 
     // COMPUTE: tensor-core MMAs + CUDA-core FMAs + shuffles.
     let t_mma = stats.mma_ops as f64 * MMA_FLOPS / dev.tc_flops(precision);
@@ -98,6 +101,7 @@ mod tests {
             x_hits: 900_000,
             x_misses: 100_000,
             bytes_x_miss: 12_800_000,
+            x_sectors: 1_000_000,
             mma_ops: 0,
             fma_ops: 1_000_000,
             shfl_ops: 10_000,
@@ -167,12 +171,14 @@ mod tests {
         let hit_heavy = KernelStats {
             x_requests: 1_000_000,
             x_hits: 1_000_000,
+            x_sectors: 1_000_000,
             ..Default::default()
         };
         let miss_heavy = KernelStats {
             x_requests: 1_000_000,
             x_misses: 1_000_000,
             bytes_x_miss: 128_000_000,
+            x_sectors: 1_000_000,
             ..Default::default()
         };
         let eh = estimate(&hit_heavy, &dev, Precision::Fp64);

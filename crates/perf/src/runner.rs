@@ -3,7 +3,7 @@
 use dasp_baselines::{Baseline, BsrSpmv, CsrScalar};
 use dasp_core::DaspMatrix;
 use dasp_fp16::Scalar;
-use dasp_simt::{CountingProbe, Executor, KernelStats};
+use dasp_simt::{CountingProbe, Executor, KernelStats, PanelTraffic};
 use dasp_sparse::{Csr, DenseMat};
 use dasp_trace::{Registry, Tracer};
 
@@ -278,6 +278,12 @@ pub struct SpmmMeasurement {
     /// the amortization headline: for SpMM this shrinks towards 1/8 of
     /// the looped baseline's as the width approaches the panel.
     pub a_idx_bytes_per_rhs: f64,
+    /// Per-panel DRAM split (`dram/val/idx` per RHS panel plus the shared
+    /// A-side bin), when the kernel emitted panel hints. `None` for the
+    /// looped baseline and non-hinting kernels. The shared bin holding
+    /// all of `bytes_val`/`bytes_idx` *is* the amortization made visible:
+    /// A-side traffic belongs to no single panel.
+    pub panel_traffic: Option<PanelTraffic>,
     /// `Y` columns converted to f64, for verification.
     pub y: Vec<Vec<f64>>,
 }
@@ -287,6 +293,7 @@ fn package_spmm<S: Scalar>(
     csr: &Csr<S>,
     looped: bool,
     stats: KernelStats,
+    panel_traffic: Option<PanelTraffic>,
     y: Vec<Vec<f64>>,
     dev: &DeviceModel,
 ) -> SpmmMeasurement {
@@ -300,6 +307,7 @@ fn package_spmm<S: Scalar>(
         gflops: gflops(csr.nnz() * width, est.seconds),
         estimate: est,
         stats,
+        panel_traffic,
         y,
     }
 }
@@ -340,10 +348,35 @@ pub fn measure_spmm_traced_with<S: Scalar>(
     tracer: &Tracer,
     exec: &Executor,
 ) -> SpmmMeasurement {
+    measure_spmm_params_traced_with(
+        method,
+        csr,
+        b,
+        dasp_core::DaspParams::default(),
+        dev,
+        tracer,
+        exec,
+    )
+}
+
+/// [`measure_spmm_traced_with`] with explicit [`dasp_core::DaspParams`]
+/// for the DASP build — the hook the `--reorder` CLI flag and the ext3
+/// reorder ablation use (`params.reorder` toggles the row-similarity
+/// pass; `y` is bit-identical either way, only x-locality moves).
+/// Non-DASP methods ignore the params.
+pub fn measure_spmm_params_traced_with<S: Scalar>(
+    method: MethodKind,
+    csr: &Csr<S>,
+    b: &DenseMat<S>,
+    params: dasp_core::DaspParams,
+    dev: &DeviceModel,
+    tracer: &Tracer,
+    exec: &Executor,
+) -> SpmmMeasurement {
     let mut probe = CountingProbe::new(dev.l2_cache());
     let y = match method {
         MethodKind::Dasp => {
-            let d = DaspMatrix::from_csr_traced(csr, tracer);
+            let d = DaspMatrix::with_params_traced(csr, params, tracer);
             let mut y = DenseMat::zeros(csr.rows, b.cols());
             d.spmm_into_traced_with(b, &mut y, &mut probe, tracer, exec);
             y
@@ -354,7 +387,8 @@ pub fn measure_spmm_traced_with<S: Scalar>(
     let cols = (0..b.cols())
         .map(|j| y.column(j).iter().map(|v| v.to_f64()).collect())
         .collect();
-    package_spmm(method, csr, false, probe.stats(), cols, dev)
+    let panel_traffic = probe.panel_traffic().cloned();
+    package_spmm(method, csr, false, probe.stats(), panel_traffic, cols, dev)
 }
 
 /// Measures the looped-SpMV baseline for the same product: one full
@@ -387,7 +421,7 @@ pub fn measure_looped_spmv_with<S: Scalar>(
         stats.merge(&m.stats);
         cols.push(m.y);
     }
-    package_spmm(method, csr, true, stats, cols, dev)
+    package_spmm(method, csr, true, stats, None, cols, dev)
 }
 
 /// Records one SpMM measurement into `registry` under
@@ -408,6 +442,21 @@ pub fn record_spmm_measurement(m: &SpmmMeasurement, registry: &Registry) {
     registry.counter_add(&format!("{p}.bytes_idx"), s.bytes_idx);
     registry.counter_add(&format!("{p}.mma_ops"), s.mma_ops);
     registry.counter_add(&format!("{p}.fma_ops"), s.fma_ops);
+    if let Some(pt) = &m.panel_traffic {
+        // The per-panel dram/val/idx split: `shared` is the A-side
+        // traffic amortized across every panel, `panel<k>` the B/x miss
+        // fills attributable to RHS panel k alone.
+        registry.counter_add(&format!("{p}.shared.dram_bytes"), pt.shared.dram_bytes());
+        registry.counter_add(&format!("{p}.shared.bytes_val"), pt.shared.bytes_val);
+        registry.counter_add(&format!("{p}.shared.bytes_idx"), pt.shared.bytes_idx);
+        for (k, bin) in pt.panels.iter().enumerate() {
+            let pp = format!("{p}.panel{k}");
+            registry.counter_add(&format!("{pp}.dram_bytes"), bin.dram_bytes());
+            registry.counter_add(&format!("{pp}.bytes_val"), bin.bytes_val);
+            registry.counter_add(&format!("{pp}.bytes_idx"), bin.bytes_idx);
+            registry.counter_add(&format!("{pp}.bytes_x_miss"), bin.bytes_x_miss);
+        }
+    }
 }
 
 /// Records one measurement's headline metrics into `registry` under
@@ -522,6 +571,43 @@ mod tests {
             .expect("looped gauge carries the width dimension");
         assert!(spmm_per_rhs < looped_per_rhs);
         assert!(registry.counter("spmm.dasp.rhs4.mma_ops").is_some());
+    }
+
+    #[test]
+    fn spmm_panel_split_attributes_traffic_per_panel() {
+        let csr = dasp_matgen::banded(600, 20, 14, 6);
+        let cols: Vec<Vec<f64>> = (0..20)
+            .map(|j| dasp_matgen::dense_vector(csr.cols, 30 + j))
+            .collect();
+        let b = DenseMat::from_columns(&cols);
+        let dev = a100();
+        let m = measure_spmm_with(MethodKind::Dasp, &csr, &b, &dev, &Executor::seq());
+        let pt = m
+            .panel_traffic
+            .as_ref()
+            .expect("DASP SpMM emits panel hints");
+        // Three panels for 20 RHS (8 + 8 + 4 masked).
+        assert_eq!(pt.panels.len(), 3);
+        // All A-side traffic is shared: it loads once for every panel.
+        assert_eq!(pt.shared.bytes_val, m.stats.bytes_val);
+        assert_eq!(pt.shared.bytes_idx, m.stats.bytes_idx);
+        assert!(pt.panels.iter().all(|bin| bin.bytes_val == 0));
+        // The split tiles the totals exactly.
+        let split_x: u64 =
+            pt.shared.bytes_x_miss + pt.panels.iter().map(|bin| bin.bytes_x_miss).sum::<u64>();
+        assert_eq!(split_x, m.stats.bytes_x_miss);
+        // Looped baselines never hint: no split.
+        let l = measure_looped_spmv_with(MethodKind::Dasp, &csr, &b, &dev, &Executor::seq());
+        assert!(l.panel_traffic.is_none());
+        // The registry carries the per-panel counters.
+        let registry = dasp_trace::Registry::default();
+        record_spmm_measurement(&m, &registry);
+        assert!(registry
+            .counter("spmm.dasp.rhs20.shared.bytes_val")
+            .is_some());
+        assert!(registry
+            .counter("spmm.dasp.rhs20.panel2.bytes_x_miss")
+            .is_some());
     }
 
     #[test]

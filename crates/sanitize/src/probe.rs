@@ -231,6 +231,9 @@ impl<P: Probe> Probe for SanitizeProbe<P> {
     fn divergence(&mut self, inactive: u64) {
         self.inner.divergence(inactive);
     }
+    fn panel(&mut self, panel: Option<usize>) {
+        self.inner.panel(panel);
+    }
     fn stats_snapshot(&self) -> KernelStats {
         self.inner.stats_snapshot()
     }

@@ -275,7 +275,7 @@ impl CacheModel {
 impl Drop for CacheModel {
     /// Parks the tag array (with its final tick, so a reuser's epoch
     /// watermark invalidates every stale entry) in the thread's pool,
-    /// bounded at [`CACHE_POOL_CAP`] retired bodies.
+    /// bounded at `CACHE_POOL_CAP` retired bodies.
     fn drop(&mut self) {
         let tags = std::mem::take(&mut self.tags);
         if tags.capacity() == 0 {

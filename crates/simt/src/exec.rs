@@ -315,7 +315,11 @@ mod tests {
     #[test]
     fn parallel_merge_matches_sequential_counters() {
         let n = 300;
+        // Real kernels open every warp body with `warp_begin`; the
+        // warp-local x-sector run state depends on it, so the synthetic
+        // body follows the same contract.
         let body = |w: usize, p: &mut CountingProbe| {
+            p.warp_begin(w);
             p.fma((w % 7) as u64 + 1);
             p.load_val(w as u64, 8);
             p.load_x(w * 3 % 64, 8);

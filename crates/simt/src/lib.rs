@@ -84,7 +84,10 @@ pub use cache::CacheModel;
 pub use exec::{Executor, ParExecutor, SeqExecutor, DEFAULT_SEQ_THRESHOLD};
 pub use grid::SharedSlice;
 pub use mma::{mma_m8n8k4, AccFrag};
-pub use probe::{space, CountingProbe, KernelStats, NoProbe, Probe, ShardableProbe, XBatch};
+pub use probe::{
+    space, CountingProbe, KernelStats, NoProbe, PanelTraffic, Probe, ShardableProbe, TrafficBin,
+    XBatch, SECTOR_BYTES,
+};
 pub use scratch::{ScratchLease, WarpScratch};
 pub use shuffle::{
     all_sync, any_sync, ballot_sync, checked, shfl_down_sync, shfl_sync, shfl_sync_var,

@@ -28,6 +28,11 @@ pub mod space {
     pub const AUX: u32 = 1;
 }
 
+/// The L2 sector size: the granularity one gather request consumes L2
+/// bandwidth at, whatever the element width (NVIDIA L2 lines are split
+/// into 32-byte sectors).
+pub const SECTOR_BYTES: u64 = 32;
+
 /// Traffic and instruction counters for one kernel (or a sum of kernels).
 ///
 /// Byte counts are *DRAM-side*: the matrix arrays (`val`, `idx`, `meta`,
@@ -52,6 +57,14 @@ pub struct KernelStats {
     pub x_misses: u64,
     /// DRAM bytes fetched by `x` misses (line granularity).
     pub bytes_x_miss: u64,
+    /// 32-byte L2 sectors consumed serving the `x`/`B` gathers: the
+    /// hardware unit of L2 bandwidth. Consecutive same-sector touches by
+    /// one warp coalesce into a single sector access (the memory
+    /// coalescer's merge), so a scattered SpMV gather pays one sector
+    /// per element while a contiguous SpMM panel-row run pays only the
+    /// sectors it spans. Determined by the access pattern alone — cache
+    /// state never affects it — so it is order-independent.
+    pub x_sectors: u64,
     /// Warp-wide `mma.m8n8k4` issues.
     pub mma_ops: u64,
     /// Scalar fused multiply-add issues (lane-level).
@@ -87,6 +100,7 @@ impl KernelStats {
         self.x_hits += other.x_hits;
         self.x_misses += other.x_misses;
         self.bytes_x_miss += other.bytes_x_miss;
+        self.x_sectors += other.x_sectors;
         self.mma_ops += other.mma_ops;
         self.fma_ops += other.fma_ops;
         self.shfl_ops += other.shfl_ops;
@@ -130,6 +144,7 @@ impl KernelStats {
             x_hits: self.x_hits.saturating_sub(earlier.x_hits),
             x_misses: self.x_misses.saturating_sub(earlier.x_misses),
             bytes_x_miss: self.bytes_x_miss.saturating_sub(earlier.bytes_x_miss),
+            x_sectors: self.x_sectors.saturating_sub(earlier.x_sectors),
             mma_ops: self.mma_ops.saturating_sub(earlier.mma_ops),
             fma_ops: self.fma_ops.saturating_sub(earlier.fma_ops),
             shfl_ops: self.shfl_ops.saturating_sub(earlier.shfl_ops),
@@ -140,6 +155,79 @@ impl KernelStats {
                 .divergent_regions
                 .saturating_sub(earlier.divergent_regions),
             inactive_lanes: self.inactive_lanes.saturating_sub(earlier.inactive_lanes),
+        }
+    }
+}
+
+/// One attribution bin of the per-panel traffic split: the counters whose
+/// panel attribution the SpMM kernels hint through [`Probe::panel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TrafficBin {
+    /// Bytes of matrix value arrays read under this attribution.
+    pub bytes_val: u64,
+    /// Bytes of column-index arrays read under this attribution.
+    pub bytes_idx: u64,
+    /// DRAM bytes fetched by `x`/B-gather misses under this attribution.
+    pub bytes_x_miss: u64,
+}
+
+impl TrafficBin {
+    /// Total DRAM bytes in this bin.
+    pub fn dram_bytes(&self) -> u64 {
+        self.bytes_val + self.bytes_idx + self.bytes_x_miss
+    }
+
+    fn merge(&mut self, other: &TrafficBin) {
+        self.bytes_val += other.bytes_val;
+        self.bytes_idx += other.bytes_idx;
+        self.bytes_x_miss += other.bytes_x_miss;
+    }
+}
+
+/// Per-panel split of an SpMM run's `dram`/`val`/`idx` traffic.
+///
+/// The A-resident SpMM kernels hint [`Probe::panel`] with `None` before
+/// their shared loads (the A values and column indices that are loaded
+/// once and swept across every B panel) and `Some(p)` before panel `p`'s
+/// B-side gathers, so the split makes the amortization directly visible:
+/// `shared` holds the traffic paid once per sweep, `panels[p]` the traffic
+/// each extra right-hand-side panel adds. Totals are unchanged — this is
+/// pure attribution on top of [`KernelStats`]. The split stays empty
+/// (`None` on [`CountingProbe::panel_traffic`]) for kernels that never
+/// hint, e.g. all SpMV paths.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PanelTraffic {
+    /// Traffic issued while no panel was current: loads shared by every
+    /// panel of the sweep.
+    pub shared: TrafficBin,
+    /// Traffic attributed to each RHS panel.
+    pub panels: Vec<TrafficBin>,
+}
+
+impl PanelTraffic {
+    /// The bin a hint state attributes to.
+    fn bin_mut(&mut self, cur: Option<usize>) -> &mut TrafficBin {
+        match cur {
+            None => &mut self.shared,
+            Some(p) => {
+                if self.panels.len() <= p {
+                    self.panels.resize(p + 1, TrafficBin::default());
+                }
+                &mut self.panels[p]
+            }
+        }
+    }
+
+    /// Merges another split into this one (shard merge): elementwise sums,
+    /// the panel list resized to the longer of the two.
+    pub fn merge(&mut self, other: &PanelTraffic) {
+        self.shared.merge(&other.shared);
+        if self.panels.len() < other.panels.len() {
+            self.panels
+                .resize(other.panels.len(), TrafficBin::default());
+        }
+        for (mine, theirs) in self.panels.iter_mut().zip(&other.panels) {
+            mine.merge(theirs);
         }
     }
 }
@@ -247,6 +335,16 @@ pub trait Probe {
 
     // --- Observability hooks (default no-ops, so existing probes and the
     // --- zero-cost path are unaffected) ---------------------------------
+
+    /// Hints which RHS panel subsequent traffic belongs to. The SpMM
+    /// kernels call `panel(None)` before loads shared across their panel
+    /// sweep (the A-resident value/index streams) and `panel(Some(p))`
+    /// before panel `p`'s B-side gathers; counting probes may attribute
+    /// traffic into a [`PanelTraffic`] split. Purely an attribution hint:
+    /// no counter total changes, and kernels without panels (all SpMV
+    /// paths) never call it. Wrapper probes must forward it.
+    #[inline(always)]
+    fn panel(&mut self, _panel: Option<usize>) {}
 
     /// Marks the start of one warp's work. Kernels call this once per
     /// simulated warp so per-warp profilers (load imbalance, divergence
@@ -449,6 +547,18 @@ impl ShardableProbe for NoProbe {
 pub struct CountingProbe {
     stats: KernelStats,
     cache: CacheModel,
+    /// Per-panel attribution split, allocated lazily on the first
+    /// [`Probe::panel`] hint (stays `None` for SpMV-style runs).
+    panel_traffic: Option<PanelTraffic>,
+    /// The panel subsequent traffic attributes to (`None` = shared bin).
+    cur_panel: Option<usize>,
+    /// Sector of the current warp's previous `x` touch (`u64::MAX` =
+    /// none): consecutive same-sector touches coalesce into one
+    /// [`KernelStats::x_sectors`] access. Reset at `warp_begin` so the
+    /// count is a pure per-warp function of the access pattern —
+    /// identical under every executor and for the per-element
+    /// decomposition of a batched call.
+    prev_sector: u64,
 }
 
 impl CountingProbe {
@@ -457,6 +567,20 @@ impl CountingProbe {
         CountingProbe {
             stats: KernelStats::default(),
             cache,
+            panel_traffic: None,
+            cur_panel: None,
+            prev_sector: u64::MAX,
+        }
+    }
+
+    /// Charges the sector of one `x` touch, coalescing consecutive
+    /// same-sector touches of the current warp into a single access.
+    #[inline]
+    fn touch_sector(&mut self, addr: u64) {
+        let sector = addr / SECTOR_BYTES;
+        if sector != self.prev_sector {
+            self.stats.x_sectors += 1;
+            self.prev_sector = sector;
         }
     }
 
@@ -475,10 +599,19 @@ impl CountingProbe {
         self.stats
     }
 
-    /// Clears statistics and cache contents.
+    /// Returns the per-panel traffic split, if any kernel hinted panels
+    /// through [`Probe::panel`] (the SpMM kernels do; SpMV never does).
+    pub fn panel_traffic(&self) -> Option<&PanelTraffic> {
+        self.panel_traffic.as_ref()
+    }
+
+    /// Clears statistics, cache contents and the panel split.
     pub fn reset(&mut self) {
         self.stats = KernelStats::default();
         self.cache.reset();
+        self.panel_traffic = None;
+        self.cur_panel = None;
+        self.prev_sector = u64::MAX;
     }
 }
 
@@ -489,10 +622,18 @@ impl Probe for CountingProbe {
         self.stats.warps += blocks * warps_per_block;
     }
     fn load_val(&mut self, elems: u64, bytes_per: u64) {
-        self.stats.bytes_val += elems * bytes_per;
+        let b = elems * bytes_per;
+        self.stats.bytes_val += b;
+        if let Some(pt) = &mut self.panel_traffic {
+            pt.bin_mut(self.cur_panel).bytes_val += b;
+        }
     }
     fn load_idx(&mut self, elems: u64, bytes_per: u64) {
-        self.stats.bytes_idx += elems * bytes_per;
+        let b = elems * bytes_per;
+        self.stats.bytes_idx += b;
+        if let Some(pt) = &mut self.panel_traffic {
+            pt.bin_mut(self.cur_panel).bytes_idx += b;
+        }
     }
     fn load_meta(&mut self, elems: u64, bytes_per: u64) {
         self.stats.bytes_meta += elems * bytes_per;
@@ -503,11 +644,16 @@ impl Probe for CountingProbe {
     fn load_x(&mut self, index: usize, bytes_per: u64) {
         self.stats.x_requests += 1;
         let addr = index as u64 * bytes_per;
+        self.touch_sector(addr);
         if self.cache.access(addr) {
             self.stats.x_hits += 1;
         } else {
             self.stats.x_misses += 1;
-            self.stats.bytes_x_miss += self.cache.line_bytes();
+            let line = self.cache.line_bytes();
+            self.stats.bytes_x_miss += line;
+            if let Some(pt) = &mut self.panel_traffic {
+                pt.bin_mut(self.cur_panel).bytes_x_miss += line;
+            }
         }
     }
     /// Classifies each consecutive same-line run of the warp access with
@@ -518,6 +664,9 @@ impl Probe for CountingProbe {
     /// per-element path.
     fn load_x_warp(&mut self, indices: &[usize], bytes_per: u64) {
         self.stats.x_requests += indices.len() as u64;
+        for &ix in indices {
+            self.touch_sector(ix as u64 * bytes_per);
+        }
         let mut i = 0;
         while i < indices.len() {
             let addr = indices[i] as u64 * bytes_per;
@@ -532,7 +681,11 @@ impl Probe for CountingProbe {
             } else {
                 self.stats.x_hits += run - 1;
                 self.stats.x_misses += 1;
-                self.stats.bytes_x_miss += self.cache.line_bytes();
+                let line = self.cache.line_bytes();
+                self.stats.bytes_x_miss += line;
+                if let Some(pt) = &mut self.panel_traffic {
+                    pt.bin_mut(self.cur_panel).bytes_x_miss += line;
+                }
             }
             i = j;
         }
@@ -545,6 +698,16 @@ impl Probe for CountingProbe {
     }
     fn shfl(&mut self, n: u64) {
         self.stats.shfl_ops += n;
+    }
+    fn warp_begin(&mut self, _warp_id: usize) {
+        self.prev_sector = u64::MAX;
+    }
+    fn panel(&mut self, panel: Option<usize>) {
+        self.cur_panel = panel;
+        let pt = self.panel_traffic.get_or_insert_with(PanelTraffic::default);
+        // Materialize the bin even if the panel ends up contributing no
+        // split-tracked traffic, so reports see every swept panel.
+        pt.bin_mut(panel);
     }
     fn divergence(&mut self, inactive: u64) {
         if inactive > 0 {
@@ -576,10 +739,18 @@ impl ShardableProbe for CountingProbe {
         CountingProbe {
             stats: KernelStats::default(),
             cache: self.cache.fork(),
+            panel_traffic: None,
+            cur_panel: None,
+            prev_sector: u64::MAX,
         }
     }
     fn merge_shard(&mut self, shard: Self) {
         self.stats.merge(&shard.stats);
+        if let Some(theirs) = &shard.panel_traffic {
+            self.panel_traffic
+                .get_or_insert_with(PanelTraffic::default)
+                .merge(theirs);
+        }
         shard.cache.recycle();
     }
 }
@@ -784,6 +955,57 @@ mod tests {
             p.0,
             vec![(100, 5), (100, 6), (space::Y, 1), (space::Y, 2), (11, 3)]
         );
+    }
+
+    #[test]
+    fn panel_hints_split_traffic_without_changing_totals() {
+        let mut p = CountingProbe::new(CacheModel::new(1024, 64, 2));
+        // No hint yet: SpMV-style runs leave the split unallocated.
+        p.load_val(10, 8);
+        assert!(p.panel_traffic().is_none());
+
+        p.panel(None);
+        p.load_val(32, 8); // shared A values
+        p.load_idx(32, 4); // shared A indices
+        p.panel(Some(0));
+        p.load_x(0, 8); // panel 0 B gather: miss
+        p.panel(Some(1));
+        p.load_x(1000, 8); // panel 1 B gather: miss
+        p.load_x(1000, 8); // hit: no split bytes
+        p.panel(None);
+
+        let s = p.stats();
+        assert_eq!(s.bytes_val, 80 + 256);
+        assert_eq!(s.bytes_idx, 128);
+        assert_eq!(s.bytes_x_miss, 128);
+
+        let pt = p.panel_traffic().unwrap();
+        // The pre-hint load_val stays out of the split entirely.
+        assert_eq!(pt.shared.bytes_val, 256);
+        assert_eq!(pt.shared.bytes_idx, 128);
+        assert_eq!(pt.shared.bytes_x_miss, 0);
+        assert_eq!(pt.panels.len(), 2);
+        assert_eq!(pt.panels[0].bytes_x_miss, 64);
+        assert_eq!(pt.panels[1].bytes_x_miss, 64);
+        assert_eq!(pt.panels[0].bytes_val, 0);
+    }
+
+    #[test]
+    fn panel_split_merges_across_shards() {
+        let mut p = CountingProbe::new(CacheModel::new(1024, 64, 2));
+        p.panel(None);
+        p.load_val(1, 8);
+        let mut shard = p.fork_shard();
+        assert!(shard.panel_traffic().is_none());
+        shard.panel(Some(2));
+        shard.load_idx(1, 4);
+        p.merge_shard(shard);
+        let pt = p.panel_traffic().unwrap();
+        assert_eq!(pt.shared.bytes_val, 8);
+        assert_eq!(pt.panels.len(), 3);
+        assert_eq!(pt.panels[2].bytes_idx, 4);
+        // Bins hinted but untouched still materialize.
+        assert_eq!(pt.panels[0], TrafficBin::default());
     }
 
     #[test]

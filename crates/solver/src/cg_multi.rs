@@ -204,6 +204,31 @@ mod tests {
     }
 
     #[test]
+    fn wide_batches_span_multiple_panels_bitwise() {
+        // 17 systems -> three SpMM panels, the last masked to width 1;
+        // the block iteration must still track solo CG bit for bit.
+        let n = 80;
+        let csr = laplacian1d(n);
+        let d = DaspMatrix::from_csr(&csr);
+        let bs: Vec<Vec<f64>> = (0..17)
+            .map(|j| (0..n).map(|i| ((i * (j + 2)) % 13) as f64 - 6.0).collect())
+            .collect();
+        let multi = cg_multi(&d, &bs, CgOptions::default());
+        for (j, res) in multi.iter().enumerate() {
+            let solo = cg(&d, &bs[j], CgOptions::default()).expect("spd converges");
+            let got = res.as_ref().expect("spd converges");
+            assert_eq!(got.iterations, solo.iterations, "system {j}");
+            for i in 0..n {
+                assert_eq!(
+                    got.x[i].to_bits(),
+                    solo.x[i].to_bits(),
+                    "system {j} row {i}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn mixed_fates_freeze_independently() {
         // System 0: zero rhs (instant). System 1: normal. System 2: wrong
         // length (shape error). All in one batch.

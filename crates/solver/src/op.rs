@@ -100,11 +100,12 @@ impl LinearOperator for DaspMatrix<f64> {
             }
             return;
         }
-        // Two or more right-hand sides go through the SpMM kernels: the
-        // batch packs into DenseMat panels so A and its indices stream
-        // once per 8 vectors. Each output column is bit-identical to
-        // `apply` of the same input column (the SpMM contract), so block
-        // solvers see exactly the single-system trajectories.
+        // Two or more right-hand sides — any batch width — go through
+        // the SpMM kernels: the batch packs into DenseMat panels and the
+        // A-resident sweep streams A and its indices once for the whole
+        // batch. Each output column is bit-identical to `apply` of the
+        // same input column (the SpMM contract), so block solvers see
+        // exactly the single-system trajectories.
         let b = DenseMat::from_columns(xs);
         let exec = if self.nnz > 100_000 {
             Executor::par()

@@ -5,13 +5,18 @@
 //! exactly the `N` dimension of the `mma.m8n8k4` tile — so one B fragment
 //! can pick up 8 right-hand sides at once. Within a panel the layout is
 //! row-major: element `(r, c)` of panel `p = c / 8` lives at
-//! `p * rows * 8 + r * 8 + (c % 8)`, which makes the 8 values a sparse
-//! kernel gathers for one matrix column id (`B[cid][j]` for `j` across the
-//! panel) contiguous in memory — one cache line instead of 8 strided
-//! vectors. The last panel is zero-padded to the full width; kernels that
-//! honour [`DenseMat::panel_width`] never read or write the padding, and
-//! the padding stays zero so a full-width gather of a padded column only
-//! ever contributes `a * 0` products.
+//! `p * rows * 8 + r * stride(p) + (c % 8)`, which makes the values a
+//! sparse kernel gathers for one matrix column id (`B[cid][j]` for `j`
+//! across the panel) contiguous in memory — one cache line instead of 8
+//! strided vectors.
+//!
+//! The last panel is **masked, not padded**: its row stride is its live
+//! column count ([`DenseMat::panel_width`]), so a `rows x cols` matrix
+//! stores exactly `rows * cols` elements and a partial panel neither
+//! allocates nor streams dead columns. Kernels must gather only
+//! `panel_width` columns per row (substituting an explicit zero for the
+//! dead B-fragment columns of a partial panel) and address elements
+//! through [`DenseMat::lin_index`].
 
 use dasp_fp16::Scalar;
 
@@ -20,8 +25,8 @@ use dasp_fp16::Scalar;
 /// fragment of one `mma.m8n8k4` issue.
 pub const PANEL_WIDTH: usize = 8;
 
-/// A dense `rows x cols` matrix stored as zero-padded column panels of
-/// width [`PANEL_WIDTH`].
+/// A dense `rows x cols` matrix stored as column panels of width
+/// [`PANEL_WIDTH`], the last panel masked to the leftover column count.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DenseMat<S> {
     rows: usize,
@@ -30,13 +35,13 @@ pub struct DenseMat<S> {
 }
 
 impl<S: Scalar> DenseMat<S> {
-    /// An all-zero matrix (padding included).
+    /// An all-zero matrix. Exactly `rows * cols` elements are stored: the
+    /// last panel is masked to its live width, not zero-padded.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        let panels = cols.div_ceil(PANEL_WIDTH);
         DenseMat {
             rows,
             cols,
-            data: vec![S::zero(); panels * rows * PANEL_WIDTH],
+            data: vec![S::zero(); rows * cols],
         }
     }
 
@@ -64,7 +69,7 @@ impl<S: Scalar> DenseMat<S> {
         self.rows
     }
 
-    /// Number of (logical, unpadded) columns.
+    /// Number of (logical) columns.
     pub fn cols(&self) -> usize {
         self.cols
     }
@@ -75,7 +80,8 @@ impl<S: Scalar> DenseMat<S> {
     }
 
     /// Live columns in panel `p`: `PANEL_WIDTH` for all but possibly the
-    /// last panel.
+    /// last panel. Also panel `p`'s row stride — a partial last panel
+    /// packs only its live columns.
     pub fn panel_width(&self, p: usize) -> usize {
         debug_assert!(p < self.num_panels());
         (self.cols - p * PANEL_WIDTH).min(PANEL_WIDTH)
@@ -84,17 +90,19 @@ impl<S: Scalar> DenseMat<S> {
     /// The linear index of element `(r, panel-local column jj)` of panel
     /// `p` in [`DenseMat::data`] — also the address the probe sees for a
     /// B-side gather, so cache-model locality reflects the panel layout.
+    /// Every panel before `p` is full width; panel `p` itself strides by
+    /// its own live width.
     #[inline]
     pub fn lin_index(&self, p: usize, r: usize, jj: usize) -> usize {
-        p * self.rows * PANEL_WIDTH + r * PANEL_WIDTH + jj
+        p * self.rows * PANEL_WIDTH + r * self.panel_width(p) + jj
     }
 
-    /// The storage slice of panel `p` (`rows * PANEL_WIDTH` elements,
+    /// The storage slice of panel `p` (`rows * panel_width(p)` elements,
     /// row-major within the panel).
     #[inline]
     pub fn panel(&self, p: usize) -> &[S] {
         let base = p * self.rows * PANEL_WIDTH;
-        &self.data[base..base + self.rows * PANEL_WIDTH]
+        &self.data[base..base + self.rows * self.panel_width(p)]
     }
 
     /// Element `(r, c)`.
@@ -128,24 +136,24 @@ impl<S: Scalar> DenseMat<S> {
         (0..self.rows).map(|r| self.get(r, c)).collect()
     }
 
-    /// The full backing store, padding included.
+    /// The full backing store (exactly `rows * cols` elements).
     pub fn data(&self) -> &[S] {
         &self.data
     }
 
     /// Mutable backing store: how kernels scatter through a
-    /// `SharedSlice`. Writing padding slots violates the zero-padding
-    /// invariant — kernels must honour [`DenseMat::panel_width`].
+    /// `SharedSlice`. Kernels must honour [`DenseMat::panel_width`] as
+    /// the last panel's stride.
     pub fn data_mut(&mut self) -> &mut [S] {
         &mut self.data
     }
 
-    /// Resets every element (padding included) to zero.
+    /// Resets every element to zero.
     pub fn fill_zero(&mut self) {
         self.data.fill(S::zero());
     }
 
-    /// Bytes of backing store, padding included.
+    /// Bytes of backing store — exact, no padding.
     pub fn memory_bytes(&self) -> u64 {
         self.data.len() as u64 * S::BYTES
     }
@@ -173,12 +181,23 @@ mod tests {
                 assert_eq!(p0[r * PANEL_WIDTH + jj], (r * 100 + jj) as f64);
             }
         }
-        // Padding of the last panel stays zero.
+        // The masked last panel strides by its live width: row r is 2
+        // consecutive elements, no padding between rows.
         let p1 = m.panel(1);
+        assert_eq!(p1.len(), 3 * 2);
         for r in 0..3 {
-            for jj in 2..8 {
-                assert_eq!(p1[r * PANEL_WIDTH + jj], 0.0);
+            for jj in 0..2 {
+                assert_eq!(p1[r * 2 + jj], (r * 100 + 8 + jj) as f64);
             }
+        }
+    }
+
+    #[test]
+    fn storage_is_exact_no_padding() {
+        for (rows, cols) in [(3usize, 10usize), (7, 1), (5, 8), (4, 17), (2, 0)] {
+            let m = DenseMat::<f64>::zeros(rows, cols);
+            assert_eq!(m.data().len(), rows * cols, "{rows}x{cols}");
+            assert_eq!(m.memory_bytes(), (rows * cols * 8) as u64);
         }
     }
 

@@ -184,6 +184,9 @@ impl<P: Probe> Probe for WarpProfiler<P> {
         }
         self.inner.shfl(n);
     }
+    fn panel(&mut self, panel: Option<usize>) {
+        self.inner.panel(panel);
+    }
     fn warp_begin(&mut self, warp_id: usize) {
         // An unmatched previous warp (kernel bug) is flushed rather than
         // silently dropped.

@@ -56,7 +56,7 @@ fn inspect(name: &str, csr: &Csr<f64>) {
             DaspParams {
                 max_len: 256,
                 threshold: th,
-                short_piecing: true,
+                ..DaspParams::default()
             },
         );
         let total = dt.medium.reg_val.len() + dt.medium.irreg_val.len();

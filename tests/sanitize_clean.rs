@@ -1,5 +1,6 @@
 //! The sanitizer's fleet-wide clean contract: every kernel in the stack —
-//! all six DASP SpMV kernels, the SpMM panel kernels at widths 1–8, all
+//! all six DASP SpMV kernels, the SpMM panel kernels at widths 1–8 and
+//! multi-panel widths (masked last panel included), all
 //! nine baselines, and the plan fill / value-refresh paths — must produce
 //! **zero diagnostics** under [`SanitizeProbe`], on both executors, and
 //! the sanitized output must be **bit-identical** to the unsanitized run
@@ -100,13 +101,14 @@ fn dasp_spmv_is_clean_and_bit_identical() {
 }
 
 /// The SpMM panel kernels stay clean at every RHS width 1..=8 (full
-/// panel, partial panels, and the width-1 degenerate case), with the
-/// sanitized panel bit-identical to the plain run.
+/// panel, partial panels, and the width-1 degenerate case) and at
+/// multi-panel widths (20 and 33: interior panels plus a masked last
+/// panel), with the sanitized panels bit-identical to the plain run.
 #[test]
 fn dasp_spmm_all_widths_are_clean() {
     let csr = composite_matrix();
     let d = DaspMatrix::from_csr(&csr);
-    for width in 1..=8usize {
+    for width in (1..=8usize).chain([20, 33]) {
         let columns: Vec<Vec<f64>> = (0..width)
             .map(|j| dense_x(csr.cols, 100 + j as u64))
             .collect();
