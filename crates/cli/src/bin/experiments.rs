@@ -18,8 +18,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 use dasp_cli::experiments::{
-    ext2, ext3, ext_merge, fig01, fig02, fig09, fig10, fig11, fig12, fig13, metrics_dump, table1,
-    table2,
+    ext2, ext3, ext4, ext_merge, fig01, fig02, fig09, fig10, fig11, fig12, fig13, metrics_dump,
+    table1, table2,
 };
 use dasp_cli::output::{f2, f3, text_table, write_csv};
 use dasp_perf::MethodKind;
@@ -48,7 +48,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "usage: dasp-experiments [--out DIR] [--metrics-out DIR] \
-                     [fig1|fig2|fig9|fig10|fig11|fig12|fig13|table1|table2|ext1|ext2|ext3|all]"
+                     [fig1|fig2|fig9|fig10|fig11|fig12|fig13|table1|table2|ext1|ext2|ext3|ext4|all]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -58,9 +58,9 @@ fn main() -> ExitCode {
     if targets.is_empty() {
         targets.push("all".to_string());
     }
-    const KNOWN: [&str; 13] = [
+    const KNOWN: [&str; 14] = [
         "all", "table1", "table2", "fig1", "fig2", "fig9", "fig10", "fig11", "fig12", "fig13",
-        "ext1", "ext2", "ext3",
+        "ext1", "ext2", "ext3", "ext4",
     ];
     for t in &targets {
         if !KNOWN.contains(&t.as_str()) {
@@ -106,6 +106,9 @@ fn main() -> ExitCode {
     }
     if want("ext3") {
         run_ext3(&out_dir);
+    }
+    if want("ext4") {
+        run_ext4(&out_dir);
     }
     if let Some(dir) = &metrics_out {
         if let Err(e) = run_metrics_dump(dir) {
@@ -283,6 +286,69 @@ fn run_ext3(out: &std::path::Path) {
                     format!("{:.6}", r.fill_rate),
                     format!("{:.6}", r.fill_rate_reorder),
                     r.x_miss_delta.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+}
+
+fn run_ext4(out: &std::path::Path) {
+    let f = ext4::run();
+    println!(
+        "== Extension 4: dasp-serve request coalescing under load \
+         (A100 model, {} us window) ==",
+        ext4::BATCH_WINDOW.as_micros()
+    );
+    for s in &f.summaries {
+        println!(
+            "{} x{:>2} clients: geomean modeled-throughput speedup {}x from coalescing",
+            s.executor,
+            s.clients,
+            f2(s.speedup)
+        );
+    }
+    println!(
+        "bit-identity mismatches across all cells: {} (must be 0)",
+        f.mismatches
+    );
+    println!();
+    let _ = write_csv(
+        out,
+        "ext4_serve_latency.csv",
+        &[
+            "matrix",
+            "rows",
+            "nnz",
+            "executor",
+            "coalesce",
+            "clients",
+            "requests",
+            "mismatches",
+            "p50_us",
+            "p99_us",
+            "mean_batch_width",
+            "batches",
+            "modeled_busy_ms",
+            "modeled_throughput_rps",
+        ],
+        &f.rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.rows.to_string(),
+                    r.nnz.to_string(),
+                    r.executor.to_string(),
+                    r.coalesce.to_string(),
+                    r.clients.to_string(),
+                    r.requests.to_string(),
+                    r.mismatches.to_string(),
+                    f2(r.p50_us),
+                    f2(r.p99_us),
+                    f2(r.mean_batch_width),
+                    r.batches.to_string(),
+                    f3(r.modeled_busy_ms),
+                    f2(r.modeled_throughput_rps),
                 ]
             })
             .collect::<Vec<_>>(),

@@ -4,6 +4,7 @@
 pub mod common;
 pub mod ext2;
 pub mod ext3;
+pub mod ext4;
 pub mod ext_merge;
 pub mod fig01;
 pub mod fig02;

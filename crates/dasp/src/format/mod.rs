@@ -24,7 +24,7 @@ mod validate;
 
 pub use long::LongPart;
 pub use medium::MediumPart;
-pub use plan::{DaspPlan, PlanCache, RefreshError};
+pub use plan::{DaspPlan, PlanCache, RefreshError, DEFAULT_PLAN_CACHE_CAP};
 pub use serialize::SerError;
 pub use short::{ShortPart, NO_ROW};
 pub use validate::FormatError;

@@ -623,6 +623,7 @@ pub struct PlanCache {
     entries: Mutex<Vec<(u64, Arc<DaspPlan>)>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl Default for PlanCache {
@@ -631,10 +632,36 @@ impl Default for PlanCache {
     }
 }
 
+/// The capacity [`PlanCache::new`] and [`PlanCache::from_env`] fall back
+/// to when `DASP_PLAN_CACHE_CAP` is unset or unparsable.
+pub const DEFAULT_PLAN_CACHE_CAP: usize = 8;
+
+fn parse_cache_cap(v: Option<&str>) -> usize {
+    v.and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&c| c > 0)
+        .unwrap_or(DEFAULT_PLAN_CACHE_CAP)
+}
+
 impl PlanCache {
-    /// A cache holding up to 8 plans.
+    /// A cache holding up to [`DEFAULT_PLAN_CACHE_CAP`] plans.
     pub fn new() -> Self {
-        PlanCache::with_capacity(8)
+        PlanCache::with_capacity(DEFAULT_PLAN_CACHE_CAP)
+    }
+
+    /// A cache sized by the `DASP_PLAN_CACHE_CAP` environment variable
+    /// (positive integer; anything else falls back to
+    /// [`DEFAULT_PLAN_CACHE_CAP`]). A resident-matrix server keeping one
+    /// plan per hot matrix wants this at least as large as its working
+    /// set — an undersized cache silently re-analyzes on every miss, which
+    /// the [`PlanCache::evictions`] counter makes visible.
+    pub fn from_env() -> Self {
+        PlanCache::with_capacity(Self::env_capacity())
+    }
+
+    /// The capacity `DASP_PLAN_CACHE_CAP` currently selects (the
+    /// [`PlanCache::from_env`] size), without building a cache.
+    pub fn env_capacity() -> usize {
+        parse_cache_cap(std::env::var("DASP_PLAN_CACHE_CAP").ok().as_deref())
     }
 
     /// A cache holding up to `cap` plans (least recently used evicted).
@@ -644,7 +671,13 @@ impl PlanCache {
             entries: Mutex::new(Vec::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// The configured capacity (plans retained before LRU eviction).
+    pub fn capacity(&self) -> usize {
+        self.cap
     }
 
     /// The plan for `csr`'s pattern under `params`, analyzing on a miss
@@ -684,7 +717,11 @@ impl PlanCache {
         self.misses.fetch_add(1, Ordering::Relaxed);
         let mut entries = self.entries.lock().expect("plan cache lock");
         entries.insert(0, (key, plan.clone()));
-        entries.truncate(self.cap);
+        let evicted = entries.len().saturating_sub(self.cap);
+        if evicted > 0 {
+            entries.truncate(self.cap);
+            self.evictions.fetch_add(evicted as u64, Ordering::Relaxed);
+        }
         plan
     }
 
@@ -698,10 +735,18 @@ impl PlanCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Publishes `format.plan_cache.{hits,misses}` gauges.
+    /// Plans dropped by LRU eviction — nonzero means the capacity is
+    /// below the live pattern working set and misses are re-analyzing
+    /// structures the cache has already paid for.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Publishes `format.plan_cache.{hits,misses,evictions}` gauges.
     pub fn export_metrics(&self, registry: &Registry) {
         registry.gauge_set("format.plan_cache.hits", self.hits() as f64);
         registry.gauge_set("format.plan_cache.misses", self.misses() as f64);
+        registry.gauge_set("format.plan_cache.evictions", self.evictions() as f64);
     }
 }
 
@@ -885,23 +930,45 @@ mod tests {
         let a = mixed(0);
         let b = mixed_wider();
         let _ = DaspMatrix::from_csr_cached(&a, &cache);
+        assert_eq!(cache.evictions(), 0);
         let _ = DaspMatrix::from_csr_cached(&b, &cache);
         // `a` was evicted by `b`; rebuilding it is a miss again.
         let _ = DaspMatrix::from_csr_cached(&a, &cache);
         assert_eq!(cache.misses(), 3);
         assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.evictions(), 2);
     }
 
     #[test]
     fn cache_exports_metrics() {
-        let cache = PlanCache::new();
+        let cache = PlanCache::with_capacity(1);
         let csr = mixed(0);
         let _ = DaspMatrix::from_csr_cached(&csr, &cache);
         let _ = DaspMatrix::from_csr_cached(&csr, &cache);
+        let _ = DaspMatrix::from_csr_cached(&mixed_wider(), &cache);
         let registry = Registry::new();
         cache.export_metrics(&registry);
         assert_eq!(registry.gauge("format.plan_cache.hits"), Some(1.0));
-        assert_eq!(registry.gauge("format.plan_cache.misses"), Some(1.0));
+        assert_eq!(registry.gauge("format.plan_cache.misses"), Some(2.0));
+        assert_eq!(registry.gauge("format.plan_cache.evictions"), Some(1.0));
+    }
+
+    #[test]
+    fn cache_capacity_parses_env_values() {
+        assert_eq!(parse_cache_cap(None), DEFAULT_PLAN_CACHE_CAP);
+        assert_eq!(parse_cache_cap(Some("")), DEFAULT_PLAN_CACHE_CAP);
+        assert_eq!(
+            parse_cache_cap(Some("not a number")),
+            DEFAULT_PLAN_CACHE_CAP
+        );
+        assert_eq!(parse_cache_cap(Some("0")), DEFAULT_PLAN_CACHE_CAP);
+        assert_eq!(parse_cache_cap(Some("17")), 17);
+        assert_eq!(parse_cache_cap(Some(" 3 ")), 3);
+        // from_env in an unconfigured process falls back to the default.
+        if std::env::var("DASP_PLAN_CACHE_CAP").is_err() {
+            assert_eq!(PlanCache::from_env().capacity(), DEFAULT_PLAN_CACHE_CAP);
+        }
+        assert_eq!(PlanCache::with_capacity(5).capacity(), 5);
     }
 
     #[test]

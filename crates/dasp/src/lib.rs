@@ -50,4 +50,6 @@ pub mod spmm;
 mod spmv;
 
 pub use consts::DaspParams;
-pub use format::{CategoryStats, DaspMatrix, DaspPlan, PlanCache, RefreshError};
+pub use format::{
+    CategoryStats, DaspMatrix, DaspPlan, PlanCache, RefreshError, DEFAULT_PLAN_CACHE_CAP,
+};

@@ -296,6 +296,40 @@ impl<S: Scalar> DaspMatrix<S> {
         out
     }
 
+    /// [`DaspMatrix::spmv_batch`] into caller-owned scratch: the hot-path
+    /// variant for request servers and solver loops that run many batches
+    /// through one pair of long-lived buffers. `b` and `y` are reshaped
+    /// in place ([`dasp_sparse::DenseMat::reset`]) — after warm-up no
+    /// panel storage is allocated per call, only grown when a batch
+    /// exceeds every previous width. On return `y` holds the product;
+    /// column `j` of `y` is bit-identical to `spmv(xs[j])`.
+    ///
+    /// Width >= 2 routes through the SpMM panel sweep exactly as
+    /// [`DaspMatrix::spmv_batch`]; a single column runs the plain SpMV
+    /// kernels writing straight into `y`'s (degenerate, stride-1) panel
+    /// storage, so solo requests keep their single-vector counter
+    /// profile.
+    pub fn spmv_batch_into_traced_with<P: ShardableProbe>(
+        &self,
+        xs: &[&[S]],
+        b: &mut dasp_sparse::DenseMat<S>,
+        y: &mut dasp_sparse::DenseMat<S>,
+        probe: &mut P,
+        tracer: &Tracer,
+        exec: &Executor,
+    ) {
+        y.reset(self.rows, xs.len());
+        if xs.len() == 1 {
+            self.spmv_into_traced_with(xs[0], y.data_mut(), probe, tracer, exec);
+            return;
+        }
+        b.reset(self.cols, xs.len());
+        for (j, x) in xs.iter().enumerate() {
+            b.set_column(j, x);
+        }
+        self.spmm_into_traced_with(b, y, probe, tracer, exec);
+    }
+
     /// Convenience wrapper taking and returning `f64` regardless of the
     /// storage precision (useful for solvers; conversion costs are not
     /// probed).
@@ -509,6 +543,75 @@ mod par_tests {
         // The whole 27-column batch pays the single-vector A traffic.
         assert_eq!(probe.stats().bytes_val, one.stats().bytes_val);
         assert_eq!(probe.stats().bytes_idx, one.stats().bytes_idx);
+    }
+
+    #[test]
+    fn batch_into_reuses_scratch_and_matches_spmv() {
+        use dasp_simt::Executor;
+        use dasp_sparse::DenseMat;
+        use dasp_trace::Tracer;
+        let csr = mixed(5, 300, 400);
+        let d = DaspMatrix::from_csr(&csr);
+        let mut b = DenseMat::<f64>::zeros(0, 0);
+        let mut y = DenseMat::<f64>::zeros(0, 0);
+        let tracer = Tracer::disabled();
+        // Widths 7, then 3, then 1, through the same scratch pair; the
+        // first call sizes the buffers, later (smaller) calls must not
+        // reallocate.
+        let mut ptrs = (std::ptr::null(), std::ptr::null());
+        for (i, w) in [7usize, 3, 1].into_iter().enumerate() {
+            let xs: Vec<Vec<f64>> = (0..w)
+                .map(|j| dasp_matgen::dense_vector(csr.cols, 40 + (i * 8 + j) as u64))
+                .collect();
+            let refs: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            d.spmv_batch_into_traced_with(
+                &refs,
+                &mut b,
+                &mut y,
+                &mut NoProbe,
+                &tracer,
+                &Executor::seq(),
+            );
+            assert_eq!((y.rows(), y.cols()), (d.rows, w));
+            for (j, x) in xs.iter().enumerate() {
+                assert_eq!(y.column(j), d.spmv(x, &mut NoProbe), "width {w} col {j}");
+            }
+            if i == 0 {
+                ptrs = (b.data().as_ptr(), y.data().as_ptr());
+            } else {
+                assert_eq!(ptrs.0, b.data().as_ptr(), "b realloc at width {w}");
+                assert_eq!(ptrs.1, y.data().as_ptr(), "y realloc at width {w}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_into_matches_spmv_batch_across_executors() {
+        use dasp_simt::Executor;
+        use dasp_sparse::DenseMat;
+        use dasp_trace::Tracer;
+        let csr = mixed(7, 500, 600);
+        let d = DaspMatrix::from_csr(&csr);
+        let xs: Vec<Vec<f64>> = (0..5)
+            .map(|j| dasp_matgen::dense_vector(csr.cols, j))
+            .collect();
+        let want = d.spmv_batch(&xs, &mut NoProbe);
+        for exec in [Executor::seq(), Executor::par()] {
+            let refs: Vec<&[f64]> = xs.iter().map(|v| v.as_slice()).collect();
+            let mut b = DenseMat::zeros(0, 0);
+            let mut y = DenseMat::zeros(0, 0);
+            d.spmv_batch_into_traced_with(
+                &refs,
+                &mut b,
+                &mut y,
+                &mut NoProbe,
+                &Tracer::disabled(),
+                &exec,
+            );
+            for (j, w) in want.iter().enumerate() {
+                assert_eq!(&y.column(j), w, "{} col {j}", exec.name());
+            }
+        }
     }
 
     #[test]

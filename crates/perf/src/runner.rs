@@ -118,7 +118,12 @@ pub struct Measurement {
     pub y: Vec<f64>,
 }
 
-fn precision_of<S: Scalar>() -> Precision {
+/// The [`Precision`] tier a scalar type's estimates are priced at,
+/// keyed by storage width (2 bytes -> FP16, 4 -> FP32, else FP64) — the
+/// mapping every measurement in this crate uses, exported so external
+/// callers (e.g. a serving layer doing its own [`estimate`] accounting)
+/// price work identically.
+pub fn precision_of<S: Scalar>() -> Precision {
     match S::BYTES {
         2 => Precision::Fp16,
         4 => Precision::Fp32,

@@ -1,0 +1,163 @@
+//! A closed-loop load generator for the serving layer.
+//!
+//! Each simulated client is a thread that keeps exactly one request in
+//! flight: submit an SpMV, block on the reply, verify it, repeat. Offered
+//! load therefore scales with the client count, and coalescing opportunity
+//! emerges naturally from concurrency instead of being scripted — which is
+//! how the `ext4` experiment measures the latency/throughput trade.
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use dasp_fp16::Scalar;
+use dasp_trace::Registry;
+
+use crate::metrics;
+use crate::request::Reply;
+use crate::server::Server;
+
+/// One simulated client: a tenant hammering one matrix with a rotation
+/// of input vectors.
+#[derive(Debug, Clone)]
+pub struct ClientSpec<S: Scalar> {
+    /// Tenant name (becomes a per-tenant metric series).
+    pub tenant: String,
+    /// Resident matrix to target.
+    pub matrix: String,
+    /// Input vectors, issued round-robin.
+    pub xs: Vec<Vec<S>>,
+    /// Expected replies matching `xs` (typically direct `spmv` results);
+    /// when present every reply is compared **bit-exactly**.
+    pub expected: Option<Vec<Vec<S>>>,
+}
+
+/// Load-run shape.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadSpec {
+    /// Requests each client issues (closed loop: one in flight per
+    /// client).
+    pub requests_per_client: usize,
+}
+
+/// What a load run measured, distilled from the server's registry.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests that completed with a reply.
+    pub requests: usize,
+    /// Requests that errored (rejected, failed, or dropped).
+    pub failures: usize,
+    /// Replies that were not bit-identical to the expected vector.
+    pub mismatches: usize,
+    /// Wall-clock duration of the run, seconds.
+    pub wall_seconds: f64,
+    /// Median end-to-end latency, microseconds.
+    pub p50_latency_us: f64,
+    /// 99th-percentile end-to-end latency, microseconds.
+    pub p99_latency_us: f64,
+    /// Mean coalesced batch width over the run.
+    pub mean_batch_width: f64,
+    /// Dispatched batches.
+    pub batches: usize,
+    /// Total modeled GPU busy time, seconds (0 when the server runs
+    /// without a device model).
+    pub modeled_busy_seconds: f64,
+    /// Completed requests per modeled GPU second — the throughput the
+    /// `ext4` experiment compares across coalescing arms. 0 when no
+    /// device model is configured.
+    pub modeled_throughput_rps: f64,
+}
+
+/// Runs `spec.requests_per_client` closed-loop SpMV requests from every
+/// client in `clients` concurrently, then distills the server's registry
+/// into a [`LoadReport`].
+///
+/// The report reads *cumulative* registry state; to measure one
+/// configuration cleanly, run against a freshly started [`Server`].
+pub fn run_closed_loop<S: Scalar>(
+    server: &Server<S>,
+    clients: &[ClientSpec<S>],
+    spec: LoadSpec,
+) -> LoadReport {
+    let started = Instant::now();
+    let mut joins = Vec::with_capacity(clients.len());
+    for c in clients {
+        let handle = server.handle();
+        let c = c.clone();
+        let n = spec.requests_per_client;
+        joins.push(
+            std::thread::Builder::new()
+                .name(format!("dasp-serve-client-{}", c.tenant))
+                .spawn(move || {
+                    let mut ok = 0usize;
+                    let mut failures = 0usize;
+                    let mut mismatches = 0usize;
+                    for i in 0..n {
+                        let x = c.xs[i % c.xs.len()].clone();
+                        let reply = handle.spmv(&c.tenant, &c.matrix, x).and_then(|t| t.wait());
+                        match reply {
+                            Ok(Reply::Vector(y)) => {
+                                ok += 1;
+                                if let Some(exp) = &c.expected {
+                                    if y != exp[i % exp.len()] {
+                                        mismatches += 1;
+                                    }
+                                }
+                            }
+                            Ok(_) => failures += 1,
+                            Err(_) => failures += 1,
+                        }
+                    }
+                    (ok, failures, mismatches)
+                })
+                .expect("spawn load client"),
+        );
+    }
+
+    let mut requests = 0usize;
+    let mut failures = 0usize;
+    let mut mismatches = 0usize;
+    for j in joins {
+        let (ok, fail, mis) = j.join().expect("load client panicked");
+        requests += ok;
+        failures += fail;
+        mismatches += mis;
+    }
+    let wall_seconds = started.elapsed().as_secs_f64();
+    distill(
+        server.registry(),
+        requests,
+        failures,
+        mismatches,
+        wall_seconds,
+    )
+}
+
+fn distill(
+    registry: &Arc<Registry>,
+    requests: usize,
+    failures: usize,
+    mismatches: usize,
+    wall_seconds: f64,
+) -> LoadReport {
+    let lat = registry.histogram(metrics::LATENCY_US);
+    let width = registry.histogram(metrics::BATCH_WIDTH);
+    let modeled = registry.histogram(metrics::MODELED_BATCH_US);
+    let modeled_busy_seconds = modeled.as_ref().map(|h| h.sum * 1e-6).unwrap_or(0.0);
+    let modeled_throughput_rps = if modeled_busy_seconds > 0.0 {
+        requests as f64 / modeled_busy_seconds
+    } else {
+        0.0
+    };
+    LoadReport {
+        requests,
+        failures,
+        mismatches,
+        wall_seconds,
+        p50_latency_us: lat.as_ref().map(|h| h.quantile(0.5)).unwrap_or(0.0),
+        p99_latency_us: lat.as_ref().map(|h| h.quantile(0.99)).unwrap_or(0.0),
+        mean_batch_width: width.as_ref().map(|h| h.mean()).unwrap_or(0.0),
+        batches: width.as_ref().map(|h| h.count as usize).unwrap_or(0),
+        modeled_busy_seconds,
+        modeled_throughput_rps,
+    }
+}

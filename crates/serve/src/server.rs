@@ -1,0 +1,788 @@
+//! The server: dispatcher thread, per-matrix FIFO queues with
+//! coalescing, and the worker pool.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use dasp_core::{DaspMatrix, DaspParams, PlanCache};
+use dasp_fp16::Scalar;
+use dasp_perf::{estimate, precision_of};
+use dasp_simt::{CountingProbe, Executor, NoProbe, ShardableProbe};
+use dasp_solver::{power_iteration, LinearOperator, PowerOptions};
+use dasp_sparse::{Csr, DenseMat};
+use dasp_trace::{Registry, Trace, Tracer};
+
+use crate::config::ServeConfig;
+use crate::metrics;
+use crate::request::{RejectReason, Reply, ServeError, Ticket, Work};
+
+/// A resident matrix registered with the server.
+struct Slot<S: Scalar> {
+    rows: usize,
+    cols: usize,
+    nnz: usize,
+    /// Locked only by the (single) worker executing this matrix's current
+    /// job — the dispatcher's one-inflight-per-matrix rule means the lock
+    /// is never contended, it just proves exclusivity to the borrow
+    /// checker across the refresh path.
+    matrix: Mutex<DaspMatrix<S>>,
+}
+
+/// State shared by the handle, dispatcher, and workers.
+struct Inner<S: Scalar> {
+    registry: Arc<Registry>,
+    plan_cache: PlanCache,
+    slots: Mutex<HashMap<String, Arc<Slot<S>>>>,
+    traces: Mutex<Vec<Trace>>,
+    config: ServeConfig,
+}
+
+impl<S: Scalar> Inner<S> {
+    fn slot(&self, name: &str) -> Option<Arc<Slot<S>>> {
+        self.slots.lock().expect("slots lock").get(name).cloned()
+    }
+}
+
+/// One queued request.
+struct Envelope<S: Scalar> {
+    tenant: String,
+    matrix: String,
+    work: Work<S>,
+    reply: mpsc::Sender<Reply<S>>,
+    submitted: Instant,
+}
+
+/// Dispatcher inbox messages.
+enum Msg<S: Scalar> {
+    Req(Envelope<S>),
+    Done { matrix: String },
+    Flush,
+    Shutdown,
+}
+
+/// One dispatched batch, bound for a worker.
+struct Job<S: Scalar> {
+    matrix: String,
+    slot: Arc<Slot<S>>,
+    batch: Vec<Envelope<S>>,
+}
+
+/// What [`Server::register`] reports about the freshly resident matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterInfo {
+    /// Rows of the registered matrix.
+    pub rows: usize,
+    /// Columns of the registered matrix.
+    pub cols: usize,
+    /// Stored nonzeros.
+    pub nnz: usize,
+    /// Whether a matrix previously registered under the same name was
+    /// replaced.
+    pub replaced: bool,
+}
+
+/// Everything the server hands back when it drains and stops: the metric
+/// registry (counters, latency histograms, queue stats) and, when
+/// [`ServeConfig::traced`] was set, each worker's collected trace.
+#[derive(Debug)]
+pub struct ShutdownReport {
+    /// The server's metric registry.
+    pub registry: Arc<Registry>,
+    /// Per-worker traces (empty unless [`ServeConfig::traced`]).
+    pub traces: Vec<Trace>,
+}
+
+/// A cheap, cloneable submission handle. Safe to share across client
+/// threads; each request gets its own reply channel ([`Ticket`]).
+pub struct ServerHandle<S: Scalar> {
+    tx: mpsc::Sender<Msg<S>>,
+    closed: Arc<AtomicBool>,
+}
+
+impl<S: Scalar> Clone for ServerHandle<S> {
+    fn clone(&self) -> Self {
+        ServerHandle {
+            tx: self.tx.clone(),
+            closed: self.closed.clone(),
+        }
+    }
+}
+
+impl<S: Scalar> ServerHandle<S> {
+    /// Submits one unit of work against a resident matrix.
+    pub fn submit(
+        &self,
+        tenant: &str,
+        matrix: &str,
+        work: Work<S>,
+    ) -> Result<Ticket<S>, ServeError> {
+        if self.closed.load(Ordering::Acquire) {
+            return Err(ServeError::Closed);
+        }
+        let (reply, rx) = mpsc::channel();
+        let env = Envelope {
+            tenant: tenant.to_string(),
+            matrix: matrix.to_string(),
+            work,
+            reply,
+            submitted: Instant::now(),
+        };
+        self.tx
+            .send(Msg::Req(env))
+            .map_err(|_| ServeError::Closed)?;
+        Ok(Ticket { rx })
+    }
+
+    /// Submits `y = A x`. Concurrent `spmv` calls against the same matrix
+    /// coalesce into one panel batch; the reply is bit-identical either
+    /// way.
+    pub fn spmv(&self, tenant: &str, matrix: &str, x: Vec<S>) -> Result<Ticket<S>, ServeError> {
+        self.submit(tenant, matrix, Work::Spmv { x })
+    }
+
+    /// Submits a multi-vector `Y = A B` at the caller's own width.
+    pub fn spmm(
+        &self,
+        tenant: &str,
+        matrix: &str,
+        columns: Vec<Vec<S>>,
+    ) -> Result<Ticket<S>, ServeError> {
+        self.submit(tenant, matrix, Work::Spmm { columns })
+    }
+
+    /// Submits an in-place value refresh (CSR nonzero order). Acts as an
+    /// ordering barrier in the matrix's FIFO: requests submitted before it
+    /// see the old values, requests after it see the new.
+    pub fn refresh(
+        &self,
+        tenant: &str,
+        matrix: &str,
+        values: Vec<S>,
+    ) -> Result<Ticket<S>, ServeError> {
+        self.submit(tenant, matrix, Work::Refresh { values })
+    }
+
+    /// Submits a power-iteration (PageRank-style) dominant-eigenpair
+    /// solve on the resident matrix, computed in f64.
+    pub fn pagerank(
+        &self,
+        tenant: &str,
+        matrix: &str,
+        opts: PowerOptions,
+    ) -> Result<Ticket<S>, ServeError> {
+        self.submit(tenant, matrix, Work::PageRank { opts })
+    }
+}
+
+/// The serving engine: owns the dispatcher and worker threads, the
+/// resident-matrix table, and the metric registry. See the crate docs for
+/// the architecture.
+pub struct Server<S: Scalar> {
+    inner: Arc<Inner<S>>,
+    tx: mpsc::Sender<Msg<S>>,
+    closed: Arc<AtomicBool>,
+    dispatcher: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl<S: Scalar> Server<S> {
+    /// Starts the dispatcher and worker threads.
+    pub fn start(config: ServeConfig) -> Server<S> {
+        let config = config.normalized();
+        let registry = Arc::new(Registry::new());
+        let plan_cache = config.build_plan_cache();
+        let inner = Arc::new(Inner {
+            registry,
+            plan_cache,
+            slots: Mutex::new(HashMap::new()),
+            traces: Mutex::new(Vec::new()),
+            config,
+        });
+
+        let (tx, rx) = mpsc::channel::<Msg<S>>();
+        let (job_tx, job_rx) = mpsc::channel::<Job<S>>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+
+        let workers = (0..inner.config.workers)
+            .map(|i| {
+                let inner = inner.clone();
+                let job_rx = job_rx.clone();
+                let done = tx.clone();
+                std::thread::Builder::new()
+                    .name(format!("dasp-serve-worker-{i}"))
+                    .spawn(move || worker_loop(inner, job_rx, done))
+                    .expect("spawn worker")
+            })
+            .collect();
+        let dispatcher = {
+            let inner = inner.clone();
+            std::thread::Builder::new()
+                .name("dasp-serve-dispatcher".to_string())
+                .spawn(move || dispatcher_loop(inner, rx, job_tx))
+                .expect("spawn dispatcher")
+        };
+
+        Server {
+            inner,
+            tx,
+            closed: Arc::new(AtomicBool::new(false)),
+            dispatcher: Some(dispatcher),
+            workers,
+        }
+    }
+
+    /// Builds `csr` into the resident DASP format (through the shared
+    /// plan cache, so same-pattern registrations skip analysis) and makes
+    /// it addressable under `name`.
+    pub fn register(&self, name: &str, csr: &Csr<S>) -> RegisterInfo {
+        self.register_with_params(name, csr, DaspParams::default())
+    }
+
+    /// [`Server::register`] with explicit format parameters.
+    pub fn register_with_params(
+        &self,
+        name: &str,
+        csr: &Csr<S>,
+        params: DaspParams,
+    ) -> RegisterInfo {
+        let m = DaspMatrix::with_params_cached(csr, params, &self.inner.plan_cache);
+        let info = RegisterInfo {
+            rows: m.rows,
+            cols: m.cols,
+            nnz: m.nnz,
+            replaced: false,
+        };
+        let slot = Arc::new(Slot {
+            rows: m.rows,
+            cols: m.cols,
+            nnz: m.nnz,
+            matrix: Mutex::new(m),
+        });
+        let replaced = self
+            .inner
+            .slots
+            .lock()
+            .expect("slots lock")
+            .insert(name.to_string(), slot)
+            .is_some();
+        self.inner
+            .registry
+            .counter_add(metrics::MATRICES_REGISTERED, 1);
+        self.inner.plan_cache.export_metrics(&self.inner.registry);
+        RegisterInfo { replaced, ..info }
+    }
+
+    /// A cloneable submission handle.
+    pub fn handle(&self) -> ServerHandle<S> {
+        ServerHandle {
+            tx: self.tx.clone(),
+            closed: self.closed.clone(),
+        }
+    }
+
+    /// The server's metric registry (live; snapshot at any time).
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.inner.registry
+    }
+
+    /// Asks the dispatcher to flush all partial batches now rather than
+    /// waiting out the batching window.
+    pub fn flush(&self) {
+        let _ = self.tx.send(Msg::Flush);
+    }
+
+    /// Stops admitting work, drains every queue (pending requests still
+    /// execute and reply), joins all threads, and returns the final
+    /// metrics and traces.
+    pub fn shutdown(self) -> ShutdownReport {
+        let Server {
+            inner,
+            tx,
+            closed,
+            mut dispatcher,
+            workers,
+        } = self;
+        closed.store(true, Ordering::Release);
+        let _ = tx.send(Msg::Shutdown);
+        drop(tx);
+        if let Some(d) = dispatcher.take() {
+            let _ = d.join();
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        inner.plan_cache.export_metrics(&inner.registry);
+        let traces = std::mem::take(&mut *inner.traces.lock().expect("traces lock"));
+        ShutdownReport {
+            registry: inner.registry.clone(),
+            traces,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatcher
+// ---------------------------------------------------------------------------
+
+struct MatrixQueue<S: Scalar> {
+    pending: VecDeque<Envelope<S>>,
+    inflight: bool,
+}
+
+impl<S: Scalar> Default for MatrixQueue<S> {
+    fn default() -> Self {
+        MatrixQueue {
+            pending: VecDeque::new(),
+            inflight: false,
+        }
+    }
+}
+
+fn dispatcher_loop<S: Scalar>(
+    inner: Arc<Inner<S>>,
+    rx: mpsc::Receiver<Msg<S>>,
+    job_tx: mpsc::Sender<Job<S>>,
+) {
+    let mut queues: HashMap<String, MatrixQueue<S>> = HashMap::new();
+    let wait_bounds = metrics::latency_bounds();
+    let mut draining = false;
+    let mut peak_depth = 0usize;
+
+    loop {
+        if draining && queues.values().all(|q| q.pending.is_empty() && !q.inflight) {
+            break;
+        }
+
+        // Wait for the next message — bounded by the earliest batching-
+        // window deadline among coalescing queue heads, so partial batches
+        // flush on time even when no new messages arrive.
+        let msg = if draining {
+            // Drain mode flushes everything eagerly; only Done messages
+            // (and late requests, rejected below) arrive here.
+            match rx.recv() {
+                Ok(m) => Some(m),
+                Err(_) => break,
+            }
+        } else {
+            match next_deadline(&queues, &inner.config) {
+                None => rx.recv().ok(),
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if deadline <= now {
+                        rx.try_recv().ok()
+                    } else {
+                        match rx.recv_timeout(deadline - now) {
+                            Ok(m) => Some(m),
+                            Err(mpsc::RecvTimeoutError::Timeout) => None,
+                            Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                        }
+                    }
+                }
+            }
+        };
+
+        let mut force = false;
+        match msg {
+            None => {} // window deadline: fall through to the flush pass
+            Some(Msg::Req(env)) => {
+                if draining {
+                    reject(&inner, env, RejectReason::ShuttingDown);
+                } else {
+                    admit(&inner, &mut queues, env);
+                }
+            }
+            Some(Msg::Done { matrix }) => {
+                if let Some(q) = queues.get_mut(&matrix) {
+                    q.inflight = false;
+                }
+            }
+            Some(Msg::Flush) => force = true,
+            Some(Msg::Shutdown) => draining = true,
+        }
+
+        let now = Instant::now();
+        for (name, q) in queues.iter_mut() {
+            try_flush(
+                &inner,
+                name,
+                q,
+                &job_tx,
+                now,
+                force || draining,
+                &wait_bounds,
+            );
+        }
+
+        let depth: usize = queues.values().map(|q| q.pending.len()).sum();
+        peak_depth = peak_depth.max(depth);
+        inner.registry.gauge_set(metrics::QUEUE_DEPTH, depth as f64);
+        inner
+            .registry
+            .gauge_set(metrics::QUEUE_DEPTH_PEAK, peak_depth as f64);
+    }
+    // Dropping job_tx here ends the worker loops.
+}
+
+/// The earliest instant at which some queue's partial batch must flush,
+/// if any queue is actually waiting on the window.
+fn next_deadline<S: Scalar>(
+    queues: &HashMap<String, MatrixQueue<S>>,
+    config: &ServeConfig,
+) -> Option<Instant> {
+    queues
+        .values()
+        .filter(|q| !q.inflight && !q.pending.is_empty())
+        .filter(|q| config.coalesce && matches!(q.pending[0].work, Work::Spmv { .. }))
+        .map(|q| q.pending[0].submitted + config.batch_window)
+        .min()
+}
+
+fn admit<S: Scalar>(
+    inner: &Inner<S>,
+    queues: &mut HashMap<String, MatrixQueue<S>>,
+    env: Envelope<S>,
+) {
+    let Some(slot) = inner.slot(&env.matrix) else {
+        reject(inner, env, RejectReason::UnknownMatrix);
+        return;
+    };
+    if let Err(detail) = validate(&env.work, &slot) {
+        reject(inner, env, RejectReason::BadShape { detail });
+        return;
+    }
+    let q = queues.entry(env.matrix.clone()).or_default();
+    if q.pending.len() >= inner.config.queue_cap {
+        let reason = RejectReason::QueueFull {
+            depth: q.pending.len(),
+            cap: inner.config.queue_cap,
+        };
+        reject(inner, env, reason);
+        return;
+    }
+    inner.registry.counter_add(metrics::ACCEPTED, 1);
+    inner
+        .registry
+        .counter_add(&metrics::tenant_requests(&env.tenant), 1);
+    q.pending.push_back(env);
+}
+
+/// Shape-checks a request against its target so workers never see
+/// malformed work (validation failures reject at admission instead of
+/// panicking a worker thread).
+fn validate<S: Scalar>(work: &Work<S>, slot: &Slot<S>) -> Result<(), String> {
+    match work {
+        Work::Spmv { x } => {
+            if x.len() != slot.cols {
+                return Err(format!(
+                    "x has {} elements, matrix has {} columns",
+                    x.len(),
+                    slot.cols
+                ));
+            }
+        }
+        Work::Spmm { columns } => {
+            for (j, c) in columns.iter().enumerate() {
+                if c.len() != slot.cols {
+                    return Err(format!(
+                        "column {j} has {} elements, matrix has {} columns",
+                        c.len(),
+                        slot.cols
+                    ));
+                }
+            }
+        }
+        Work::Refresh { values } => {
+            if values.len() != slot.nnz {
+                return Err(format!(
+                    "refresh carries {} values, matrix has {} nonzeros",
+                    values.len(),
+                    slot.nnz
+                ));
+            }
+        }
+        Work::PageRank { .. } => {
+            if slot.rows != slot.cols {
+                return Err(format!(
+                    "power iteration needs a square matrix, got {}x{}",
+                    slot.rows, slot.cols
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn reject<S: Scalar>(inner: &Inner<S>, env: Envelope<S>, reason: RejectReason) {
+    inner.registry.counter_add(metrics::REJECTED, 1);
+    let _ = env.reply.send(Reply::Rejected(reason));
+}
+
+/// Decides whether (and how wide) to dispatch from one matrix queue.
+fn try_flush<S: Scalar>(
+    inner: &Inner<S>,
+    name: &str,
+    q: &mut MatrixQueue<S>,
+    job_tx: &mpsc::Sender<Job<S>>,
+    now: Instant,
+    force: bool,
+    wait_bounds: &[f64],
+) {
+    // One job per matrix in flight: the per-matrix FIFO guarantee that
+    // makes refresh an ordering barrier.
+    while !q.inflight && !q.pending.is_empty() {
+        let head_is_spmv = matches!(q.pending[0].work, Work::Spmv { .. });
+        let width = if !head_is_spmv || !inner.config.coalesce {
+            inner.registry.counter_add(metrics::FLUSH_SOLO, 1);
+            1
+        } else {
+            let run = q
+                .pending
+                .iter()
+                .take_while(|e| matches!(e.work, Work::Spmv { .. }))
+                .count();
+            let width = run.min(inner.config.max_batch);
+            let full = width >= inner.config.max_batch;
+            let barrier = run < q.pending.len();
+            let due = now.duration_since(q.pending[0].submitted) >= inner.config.batch_window;
+            if !(full || barrier || due || force) {
+                return; // keep waiting for the batch to fill
+            }
+            let cause = if full {
+                metrics::FLUSH_FULL
+            } else if barrier {
+                metrics::FLUSH_BARRIER
+            } else if due {
+                metrics::FLUSH_WINDOW
+            } else {
+                metrics::FLUSH_DRAIN
+            };
+            inner.registry.counter_add(cause, 1);
+            width
+        };
+
+        let batch: Vec<Envelope<S>> = q.pending.drain(..width).collect();
+        for env in &batch {
+            let waited = now.duration_since(env.submitted).as_secs_f64() * 1e6;
+            inner
+                .registry
+                .observe(metrics::QUEUE_WAIT_US, waited, wait_bounds);
+        }
+        let slot = inner.slot(name).expect("slot validated at admission");
+        q.inflight = true;
+        let _ = job_tx.send(Job {
+            matrix: name.to_string(),
+            slot,
+            batch,
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Workers
+// ---------------------------------------------------------------------------
+
+/// Per-worker reusable state: the panel/output scratch (allocated once,
+/// reused across every coalesced batch), the tracer, and cached histogram
+/// bounds.
+struct Scratch<S: Scalar> {
+    b: DenseMat<S>,
+    y: DenseMat<S>,
+    tracer: Tracer,
+    lat_bounds: Vec<f64>,
+    modeled_bounds: Vec<f64>,
+    width_bounds: Vec<f64>,
+}
+
+impl<S: Scalar> Scratch<S> {
+    fn new(traced: bool) -> Self {
+        Scratch {
+            b: DenseMat::zeros(0, 0),
+            y: DenseMat::zeros(0, 0),
+            tracer: if traced {
+                Tracer::new()
+            } else {
+                Tracer::disabled()
+            },
+            lat_bounds: metrics::latency_bounds(),
+            modeled_bounds: metrics::modeled_bounds(),
+            width_bounds: metrics::width_bounds(),
+        }
+    }
+}
+
+fn worker_loop<S: Scalar>(
+    inner: Arc<Inner<S>>,
+    job_rx: Arc<Mutex<mpsc::Receiver<Job<S>>>>,
+    done: mpsc::Sender<Msg<S>>,
+) {
+    let mut scratch = Scratch::new(inner.config.traced);
+    loop {
+        let job = {
+            let rx = job_rx.lock().expect("job rx lock");
+            rx.recv()
+        };
+        let Ok(job) = job else { break };
+        let matrix = job.matrix.clone();
+        execute_job(&inner, &mut scratch, job);
+        let _ = done.send(Msg::Done { matrix });
+    }
+    if inner.config.traced {
+        inner
+            .traces
+            .lock()
+            .expect("traces lock")
+            .push(scratch.tracer.take_trace());
+    }
+}
+
+fn execute_job<S: Scalar>(inner: &Inner<S>, scratch: &mut Scratch<S>, job: Job<S>) {
+    let width = job.batch.len();
+    inner
+        .registry
+        .observe(metrics::BATCH_WIDTH, width as f64, &scratch.width_bounds);
+    let mut span = scratch.tracer.span("serve.batch");
+    span.add_arg("matrix", &job.matrix);
+    span.add_arg("kind", job.batch[0].work.kind());
+    span.add_arg("width", width);
+
+    let mut m = job.slot.matrix.lock().expect("matrix lock");
+    match &inner.config.model {
+        Some(dev) => {
+            let mut probe = CountingProbe::new(dev.l2_cache());
+            run_batch(inner, scratch, &mut m, job.batch, &mut probe);
+            let est = estimate(&probe.stats(), dev, precision_of::<S>());
+            inner.registry.observe(
+                metrics::MODELED_BATCH_US,
+                est.seconds * 1e6,
+                &scratch.modeled_bounds,
+            );
+        }
+        None => {
+            let mut probe = NoProbe;
+            run_batch(inner, scratch, &mut m, job.batch, &mut probe);
+        }
+    }
+}
+
+fn run_batch<S: Scalar, P: ShardableProbe>(
+    inner: &Inner<S>,
+    scratch: &mut Scratch<S>,
+    m: &mut DaspMatrix<S>,
+    batch: Vec<Envelope<S>>,
+    probe: &mut P,
+) {
+    let exec = inner.config.executor;
+    let coalesced = batch.len() > 1 || matches!(batch[0].work, Work::Spmv { .. });
+    if coalesced {
+        // A batch wider than 1 is SpMV-only by construction.
+        let xs: Vec<&[S]> = batch
+            .iter()
+            .map(|e| match &e.work {
+                Work::Spmv { x } => x.as_slice(),
+                _ => unreachable!("coalesced batches contain only SpMV requests"),
+            })
+            .collect();
+        m.spmv_batch_into_traced_with(
+            &xs,
+            &mut scratch.b,
+            &mut scratch.y,
+            probe,
+            &scratch.tracer,
+            &exec,
+        );
+        for (j, env) in batch.into_iter().enumerate() {
+            let y = scratch.y.column(j);
+            finish(inner, env, Reply::Vector(y), &scratch.lat_bounds);
+        }
+        return;
+    }
+
+    let env = batch.into_iter().next().expect("non-empty batch");
+    match &env.work {
+        Work::Spmv { .. } => unreachable!("handled by the coalesced path"),
+        Work::Spmm { columns } => {
+            let k = columns.len();
+            scratch.b.reset(m.cols, k);
+            for (j, c) in columns.iter().enumerate() {
+                scratch.b.set_column(j, c);
+            }
+            scratch.y.reset(m.rows, k);
+            m.spmm_into_traced_with(&scratch.b, &mut scratch.y, probe, &scratch.tracer, &exec);
+            let ys: Vec<Vec<S>> = (0..k).map(|j| scratch.y.column(j)).collect();
+            finish(inner, env, Reply::Columns(ys), &scratch.lat_bounds);
+        }
+        Work::Refresh { values } => {
+            let reply = match m.update_values_traced_with(values, &scratch.tracer, &exec) {
+                Ok(()) => {
+                    inner.registry.counter_add(metrics::REFRESHES, 1);
+                    Reply::Refreshed
+                }
+                Err(e) => Reply::Failed(e.to_string()),
+            };
+            finish(inner, env, reply, &scratch.lat_bounds);
+        }
+        Work::PageRank { opts } => {
+            let op = ProbedF64Op {
+                m,
+                probe: RefCell::new(probe),
+                exec,
+            };
+            let reply = match power_iteration(&op, *opts) {
+                Ok(r) => Reply::Eigen(r),
+                Err(e) => Reply::Failed(e.to_string()),
+            };
+            finish(inner, env, reply, &scratch.lat_bounds);
+        }
+    }
+}
+
+/// Records the request's end-to-end latency and outcome, then replies.
+fn finish<S: Scalar>(inner: &Inner<S>, env: Envelope<S>, reply: Reply<S>, lat_bounds: &[f64]) {
+    let lat_us = env.submitted.elapsed().as_secs_f64() * 1e6;
+    inner
+        .registry
+        .observe(metrics::LATENCY_US, lat_us, lat_bounds);
+    inner
+        .registry
+        .observe(&metrics::tenant_latency_us(&env.tenant), lat_us, lat_bounds);
+    let outcome = if matches!(reply, Reply::Failed(_)) {
+        metrics::FAILED
+    } else {
+        metrics::COMPLETED
+    };
+    inner.registry.counter_add(outcome, 1);
+    let _ = env.reply.send(reply);
+}
+
+/// [`LinearOperator`] adapter for the PageRank path: applies the resident
+/// `DaspMatrix<S>` in f64 by converting through [`Scalar::from_f64`] /
+/// [`Scalar::to_f64`], threading the worker's probe through the shared
+/// `apply(&self, ..)` interface via a `RefCell`.
+struct ProbedF64Op<'a, S: Scalar, P: ShardableProbe> {
+    m: &'a DaspMatrix<S>,
+    probe: RefCell<&'a mut P>,
+    exec: Executor,
+}
+
+impl<S: Scalar, P: ShardableProbe> LinearOperator for ProbedF64Op<'_, S, P> {
+    fn rows(&self) -> usize {
+        self.m.rows
+    }
+
+    fn cols(&self) -> usize {
+        self.m.cols
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        let xs: Vec<S> = x.iter().map(|&v| S::from_f64(v)).collect();
+        let mut probe = self.probe.borrow_mut();
+        let ys = self.m.spmv_with(&xs, &mut **probe, &self.exec);
+        for (o, v) in y.iter_mut().zip(ys) {
+            *o = v.to_f64();
+        }
+    }
+}

@@ -1,0 +1,405 @@
+//! Integration tests for the serving layer: coalesced-vs-solo
+//! bit-identity across precisions and executors, partial-panel flushes,
+//! refresh ordering, admission control, graceful drain, and metrics.
+
+use std::time::Duration;
+
+use dasp_core::DaspMatrix;
+use dasp_fp16::{Scalar, F16};
+use dasp_serve::{
+    metrics, run_closed_loop, ClientSpec, LoadSpec, RejectReason, Reply, ServeConfig, ServeError,
+    Server,
+};
+use dasp_simt::{Executor, NoProbe};
+use dasp_solver::{power_iteration, PowerOptions};
+use dasp_sparse::Csr;
+
+/// A server configured for deterministic tests: one worker, a batching
+/// window long enough that nothing flushes until we say so.
+fn held_config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        batch_window: Duration::from_secs(10),
+        executor: Executor::seq(),
+        ..ServeConfig::default()
+    }
+}
+
+fn cast_vec<S: Scalar>(v: &[f64]) -> Vec<S> {
+    v.iter().map(|&x| S::from_f64(x)).collect()
+}
+
+/// Coalesced replies must be byte-for-byte what a direct solo `spmv`
+/// computes — under concurrency, for every precision and executor.
+fn coalesced_matches_direct<S: Scalar>(exec: Executor) {
+    let csr: Csr<S> = dasp_matgen::uniform_random(160, 120, 7, 42).cast();
+    let d = DaspMatrix::from_csr(&csr);
+    let xs: Vec<Vec<S>> = (0..8)
+        .map(|j| cast_vec(&dasp_matgen::dense_vector(csr.cols, j)))
+        .collect();
+    let expected: Vec<Vec<S>> = xs.iter().map(|x| d.spmv(x, &mut NoProbe)).collect();
+
+    let server = Server::<S>::start(ServeConfig {
+        workers: 2,
+        batch_window: Duration::from_micros(100),
+        executor: exec,
+        ..ServeConfig::default()
+    });
+    server.register("m", &csr);
+    let clients: Vec<ClientSpec<S>> = (0..4)
+        .map(|c| ClientSpec {
+            tenant: format!("tenant-{c}"),
+            matrix: "m".to_string(),
+            xs: xs.clone(),
+            expected: Some(expected.clone()),
+        })
+        .collect();
+    let report = run_closed_loop(
+        &server,
+        &clients,
+        LoadSpec {
+            requests_per_client: 24,
+        },
+    );
+    assert_eq!(report.requests, 96);
+    assert_eq!(report.failures, 0);
+    assert_eq!(
+        report.mismatches, 0,
+        "coalesced replies must be bit-identical to direct spmv"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn coalesced_bit_identity_f64() {
+    coalesced_matches_direct::<f64>(Executor::seq());
+    coalesced_matches_direct::<f64>(Executor::par());
+}
+
+#[test]
+fn coalesced_bit_identity_f32() {
+    coalesced_matches_direct::<f32>(Executor::seq());
+    coalesced_matches_direct::<f32>(Executor::par());
+}
+
+#[test]
+fn coalesced_bit_identity_f16() {
+    coalesced_matches_direct::<F16>(Executor::seq());
+    coalesced_matches_direct::<F16>(Executor::par());
+}
+
+/// Every partial width 1..=7 coalesces into exactly one batch of that
+/// width when flushed, and each reply is still bit-identical.
+#[test]
+fn partial_panels_flush_at_their_width() {
+    let csr = dasp_matgen::banded(96, 4, 5, 11);
+    let d = DaspMatrix::from_csr(&csr);
+    let xs: Vec<Vec<f64>> = (0..7)
+        .map(|j| dasp_matgen::dense_vector(csr.cols, 50 + j))
+        .collect();
+    let expected: Vec<Vec<f64>> = xs.iter().map(|x| d.spmv(x, &mut NoProbe)).collect();
+
+    for k in 1..=7usize {
+        let server = Server::<f64>::start(held_config());
+        server.register("m", &csr);
+        let h = server.handle();
+        // All k submissions enqueue ahead of the flush (same-thread sends
+        // are FIFO), so the window never expires and the batch is exactly
+        // k wide.
+        let tickets: Vec<_> = (0..k)
+            .map(|j| h.spmv("t", "m", xs[j].clone()).unwrap())
+            .collect();
+        server.flush();
+        for (j, t) in tickets.into_iter().enumerate() {
+            assert_eq!(
+                t.wait_vector().unwrap(),
+                expected[j],
+                "width {k} column {j}"
+            );
+        }
+        let w = server
+            .registry()
+            .histogram(metrics::BATCH_WIDTH)
+            .expect("batch width histogram");
+        assert_eq!(w.count, 1, "width {k} should dispatch exactly one batch");
+        assert_eq!(w.max, k as f64, "batch should be exactly {k} wide");
+        server.shutdown();
+    }
+}
+
+/// A refresh is an ordering barrier: SpMVs submitted before it see the
+/// old values, SpMVs after it see the new — bit-exactly.
+#[test]
+fn refresh_orders_against_inflight_spmv() {
+    let csr = dasp_matgen::banded(128, 3, 6, 7);
+    let mut csr_new = csr.clone();
+    for v in csr_new.vals.iter_mut() {
+        *v *= 2.0;
+    }
+    let d_old = DaspMatrix::from_csr(&csr);
+    let d_new = DaspMatrix::from_csr(&csr_new);
+    let x = dasp_matgen::dense_vector(csr.cols, 3);
+    let before_expected = d_old.spmv(&x, &mut NoProbe);
+    let after_expected = d_new.spmv(&x, &mut NoProbe);
+    assert_ne!(before_expected, after_expected);
+
+    let server = Server::<f64>::start(held_config());
+    server.register("m", &csr);
+    let h = server.handle();
+    let t_before = h.spmv("t", "m", x.clone()).unwrap();
+    let t_refresh = h.refresh("t", "m", csr_new.vals.clone()).unwrap();
+    let t_after = h.spmv("t", "m", x.clone()).unwrap();
+    // No explicit flush: the refresh queued behind the first SpMV is a
+    // barrier, which unblocks the whole chain.
+    assert_eq!(t_before.wait_vector().unwrap(), before_expected);
+    assert!(matches!(t_refresh.wait().unwrap(), Reply::Refreshed));
+    assert_eq!(t_after.wait_vector().unwrap(), after_expected);
+
+    let report = server.shutdown();
+    assert_eq!(report.registry.counter(metrics::REFRESHES), Some(1));
+    assert_eq!(
+        report.registry.counter(metrics::FLUSH_BARRIER),
+        Some(1),
+        "the pre-refresh spmv should have flushed on the barrier"
+    );
+}
+
+/// SpMM requests dispatch solo at the caller's width; every output
+/// column is bit-identical to the matching single-vector SpMV.
+#[test]
+fn spmm_requests_match_columnwise_spmv() {
+    let csr = dasp_matgen::uniform_random(100, 90, 5, 9);
+    let d = DaspMatrix::from_csr(&csr);
+    let columns: Vec<Vec<f64>> = (0..5)
+        .map(|j| dasp_matgen::dense_vector(csr.cols, 70 + j))
+        .collect();
+    let expected: Vec<Vec<f64>> = columns.iter().map(|c| d.spmv(c, &mut NoProbe)).collect();
+
+    let server = Server::<f64>::start(held_config());
+    server.register("m", &csr);
+    let got = server
+        .handle()
+        .spmm("t", "m", columns)
+        .unwrap()
+        .wait_columns()
+        .unwrap();
+    assert_eq!(got, expected);
+    server.shutdown();
+}
+
+/// PageRank requests reproduce the direct power iteration exactly
+/// (f64 resident matrix, identity conversions, bit-identical kernels).
+#[test]
+fn pagerank_matches_direct_power_iteration() {
+    let csr = dasp_matgen::stencil2d(12, 12, 5, 5);
+    let d = DaspMatrix::from_csr(&csr);
+    let opts = PowerOptions {
+        tol: 1e-10,
+        max_iters: 2_000,
+    };
+    let direct = power_iteration(&d, opts).unwrap();
+
+    let server = Server::<f64>::start(held_config());
+    server.register("m", &csr);
+    let reply = server
+        .handle()
+        .pagerank("t", "m", opts)
+        .unwrap()
+        .wait()
+        .unwrap();
+    let Reply::Eigen(served) = reply else {
+        panic!("expected an eigen reply");
+    };
+    assert_eq!(served.eigenvalue.to_bits(), direct.eigenvalue.to_bits());
+    assert_eq!(served.eigenvector, direct.eigenvector);
+    assert_eq!(served.iterations, direct.iterations);
+    server.shutdown();
+}
+
+/// Admission control: unknown matrices, shape mismatches, and queue
+/// overflow reject deterministically without executing.
+#[test]
+fn admission_rejects_bad_requests() {
+    let csr = dasp_matgen::banded(64, 2, 4, 1);
+    let server = Server::<f64>::start(ServeConfig {
+        queue_cap: 1,
+        ..held_config()
+    });
+    server.register("m", &csr);
+    let h = server.handle();
+
+    let unknown = h.spmv("t", "nope", vec![0.0; 64]).unwrap().wait();
+    assert_eq!(
+        unknown,
+        Err(ServeError::Rejected(RejectReason::UnknownMatrix))
+    );
+
+    let short = h.spmv("t", "m", vec![0.0; 3]).unwrap().wait();
+    assert!(
+        matches!(
+            short,
+            Err(ServeError::Rejected(RejectReason::BadShape { .. }))
+        ),
+        "got {short:?}"
+    );
+
+    let bad_refresh = h.refresh("t", "m", vec![1.0; 2]).unwrap().wait();
+    assert!(matches!(
+        bad_refresh,
+        Err(ServeError::Rejected(RejectReason::BadShape { .. }))
+    ));
+
+    // queue_cap 1 and a held window: the first queues, the second bounces.
+    let x = dasp_matgen::dense_vector(csr.cols, 2);
+    let first = h.spmv("t", "m", x.clone()).unwrap();
+    let second = h.spmv("t", "m", x.clone()).unwrap().wait();
+    assert!(
+        matches!(
+            second,
+            Err(ServeError::Rejected(RejectReason::QueueFull {
+                depth: 1,
+                cap: 1
+            }))
+        ),
+        "got {second:?}"
+    );
+    server.flush();
+    first.wait_vector().unwrap();
+
+    let report = server.shutdown();
+    assert_eq!(report.registry.counter(metrics::REJECTED), Some(4));
+    assert_eq!(report.registry.counter(metrics::COMPLETED), Some(1));
+}
+
+/// Shutdown drains: every request accepted before shutdown still
+/// executes and replies; the handle then refuses new work.
+#[test]
+fn shutdown_drains_accepted_requests() {
+    let csr = dasp_matgen::uniform_random(80, 80, 4, 33);
+    let d = DaspMatrix::from_csr(&csr);
+    let xs: Vec<Vec<f64>> = (0..12)
+        .map(|j| dasp_matgen::dense_vector(csr.cols, j))
+        .collect();
+    let expected: Vec<Vec<f64>> = xs.iter().map(|x| d.spmv(x, &mut NoProbe)).collect();
+
+    let server = Server::<f64>::start(held_config());
+    server.register("m", &csr);
+    let h = server.handle();
+    let tickets: Vec<_> = xs
+        .iter()
+        .map(|x| h.spmv("t", "m", x.clone()).unwrap())
+        .collect();
+    let report = server.shutdown();
+    for (j, t) in tickets.into_iter().enumerate() {
+        assert_eq!(t.wait_vector().unwrap(), expected[j], "drained request {j}");
+    }
+    assert_eq!(report.registry.counter(metrics::COMPLETED), Some(12));
+    assert_eq!(
+        h.spmv("t", "m", xs[0].clone()).unwrap_err(),
+        ServeError::Closed
+    );
+}
+
+/// The serve config's plan-cache capacity is honored and evictions are
+/// published through the server's registry.
+#[test]
+fn plan_cache_capacity_and_eviction_metric() {
+    let a = dasp_matgen::banded(60, 2, 3, 1);
+    let b = dasp_matgen::uniform_random(70, 70, 4, 2);
+    let server = Server::<f64>::start(ServeConfig {
+        plan_cache_cap: Some(1),
+        ..held_config()
+    });
+    server.register("a", &a);
+    assert_eq!(
+        server.registry().gauge("format.plan_cache.evictions"),
+        Some(0.0)
+    );
+    server.register("b", &b);
+    assert_eq!(
+        server.registry().gauge("format.plan_cache.evictions"),
+        Some(1.0),
+        "registering a second pattern must evict from a capacity-1 cache"
+    );
+    // Same pattern again: a cache hit, no analysis, no eviction.
+    let info = server.register("b2", &b);
+    assert_eq!(info.nnz, b.vals.len());
+    assert_eq!(server.registry().gauge("format.plan_cache.hits"), Some(1.0));
+    server.shutdown();
+}
+
+/// Per-tenant counters and latency histograms appear under the tenant's
+/// own metric names.
+#[test]
+fn per_tenant_metrics_are_recorded() {
+    let csr = dasp_matgen::banded(48, 2, 3, 4);
+    let server = Server::<f64>::start(ServeConfig {
+        batch_window: Duration::from_micros(50),
+        ..ServeConfig::default()
+    });
+    server.register("m", &csr);
+    let h = server.handle();
+    let x = dasp_matgen::dense_vector(csr.cols, 0);
+    for _ in 0..3 {
+        h.spmv("alice", "m", x.clone())
+            .unwrap()
+            .wait_vector()
+            .unwrap();
+    }
+    h.spmv("bob", "m", x.clone())
+        .unwrap()
+        .wait_vector()
+        .unwrap();
+
+    let report = server.shutdown();
+    assert_eq!(
+        report.registry.counter(&metrics::tenant_requests("alice")),
+        Some(3)
+    );
+    assert_eq!(
+        report.registry.counter(&metrics::tenant_requests("bob")),
+        Some(1)
+    );
+    let alice = report
+        .registry
+        .histogram(&metrics::tenant_latency_us("alice"))
+        .expect("alice latency histogram");
+    assert_eq!(alice.count, 3);
+    assert_eq!(report.registry.counter(metrics::ACCEPTED), Some(4));
+}
+
+/// With a device model configured, every batch records a modeled time,
+/// and tracing collects `serve.batch` spans.
+#[test]
+fn modeled_time_and_traces_are_collected() {
+    let csr = dasp_matgen::banded(72, 3, 4, 6);
+    let server = Server::<f64>::start(ServeConfig {
+        model: Some(dasp_perf::a100()),
+        traced: true,
+        ..held_config()
+    });
+    server.register("m", &csr);
+    let h = server.handle();
+    let x = dasp_matgen::dense_vector(csr.cols, 1);
+    let t0 = h.spmv("t", "m", x.clone()).unwrap();
+    let t1 = h.spmv("t", "m", x).unwrap();
+    server.flush();
+    t0.wait_vector().unwrap();
+    t1.wait_vector().unwrap();
+
+    let report = server.shutdown();
+    let modeled = report
+        .registry
+        .histogram(metrics::MODELED_BATCH_US)
+        .expect("modeled batch histogram");
+    assert_eq!(modeled.count, 1, "two spmvs should coalesce into one batch");
+    assert!(modeled.sum > 0.0);
+    let spans: Vec<_> = report
+        .traces
+        .iter()
+        .flat_map(|t| t.spans.iter())
+        .filter(|s| s.name == "serve.batch")
+        .collect();
+    assert_eq!(spans.len(), 1);
+    assert!(spans[0].args.iter().any(|(k, v)| k == "width" && v == "2"));
+}

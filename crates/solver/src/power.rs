@@ -22,7 +22,7 @@ impl Default for PowerOptions {
 }
 
 /// The dominant eigenpair estimate.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PowerResult {
     /// Rayleigh-quotient estimate of the dominant eigenvalue.
     pub eigenvalue: f64,

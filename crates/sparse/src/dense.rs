@@ -153,6 +153,36 @@ impl<S: Scalar> DenseMat<S> {
         self.data.fill(S::zero());
     }
 
+    /// Reshapes to `rows x cols` with every element zero, **reusing the
+    /// backing allocation** whenever the new shape fits the existing
+    /// capacity — the scratch-buffer path for callers (batch servers,
+    /// solver loops) that run many differently-shaped products through
+    /// one long-lived buffer instead of allocating a fresh matrix per
+    /// call.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, S::zero());
+    }
+
+    /// Overwrites column `c` from a plain vector (`col.len()` must equal
+    /// the row count): the panel-packing inverse of [`DenseMat::column`].
+    pub fn set_column(&mut self, c: usize, col: &[S]) {
+        assert_eq!(
+            col.len(),
+            self.rows,
+            "column {c} has length {}, expected {}",
+            col.len(),
+            self.rows
+        );
+        let (p, jj) = (c / PANEL_WIDTH, c % PANEL_WIDTH);
+        for (r, &v) in col.iter().enumerate() {
+            let i = self.lin_index(p, r, jj);
+            self.data[i] = v;
+        }
+    }
+
     /// Bytes of backing store — exact, no padding.
     pub fn memory_bytes(&self) -> u64 {
         self.data.len() as u64 * S::BYTES
@@ -244,5 +274,43 @@ mod tests {
     #[should_panic(expected = "column 1 has length")]
     fn mismatched_column_lengths_panic() {
         DenseMat::<f64>::from_columns(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn reset_reuses_the_allocation_and_zeroes() {
+        let mut m = DenseMat::<f64>::zeros(16, 12);
+        for r in 0..16 {
+            for c in 0..12 {
+                m.set(r, c, 1.0 + (r * c) as f64);
+            }
+        }
+        let ptr = m.data().as_ptr();
+        // Shrink: same allocation, all zero, new shape.
+        m.reset(5, 7);
+        assert_eq!(ptr, m.data().as_ptr(), "shrinking reset must not realloc");
+        assert_eq!((m.rows(), m.cols()), (5, 7));
+        assert!(m.data().iter().all(|&v| v == 0.0));
+        // Grow back within the original capacity: still the same buffer.
+        m.reset(16, 12);
+        assert_eq!(ptr, m.data().as_ptr(), "regrowth within capacity reuses");
+        assert!(m.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn set_column_round_trips_and_masks_panels() {
+        let mut m = DenseMat::<f64>::zeros(4, 11);
+        let cols: Vec<Vec<f64>> = (0..11)
+            .map(|c| (0..4).map(|r| (c * 100 + r) as f64).collect())
+            .collect();
+        for (c, col) in cols.iter().enumerate() {
+            m.set_column(c, col);
+        }
+        assert_eq!(m, DenseMat::from_columns(&cols));
+    }
+
+    #[test]
+    #[should_panic(expected = "column 0 has length")]
+    fn set_column_checks_length() {
+        DenseMat::<f64>::zeros(4, 2).set_column(0, &[1.0; 3]);
     }
 }

@@ -48,6 +48,6 @@ mod warp_profile;
 
 pub use export::{chrome_trace_json, registry_to_csv, registry_to_json};
 pub use json::validate_json;
-pub use registry::{Histogram, MetricValue, Registry};
+pub use registry::{log_bounds, Histogram, MetricValue, Registry};
 pub use span::{Span, SpanRecord, Trace, Tracer};
 pub use warp_profile::{WarpProfile, WarpProfiler, WarpTally};

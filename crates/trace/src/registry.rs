@@ -115,6 +115,31 @@ impl Histogram {
     }
 }
 
+/// Logarithmically spaced histogram bounds: `per_decade` bucket edges per
+/// power of ten from `lo` up to and including the first edge `>= hi`.
+/// The standard bounds for latency histograms, whose interesting range
+/// spans several orders of magnitude (a p99 readout with linearly spaced
+/// buckets either starves the tail or smears the head).
+///
+/// # Panics
+/// If `lo` or `hi` is not positive and finite, `lo >= hi`, or
+/// `per_decade` is zero.
+pub fn log_bounds(lo: f64, hi: f64, per_decade: usize) -> Vec<f64> {
+    assert!(
+        lo > 0.0 && hi.is_finite() && lo < hi,
+        "log_bounds needs 0 < lo < hi, got {lo}..{hi}"
+    );
+    assert!(per_decade > 0, "log_bounds needs per_decade > 0");
+    let step = 10f64.powf(1.0 / per_decade as f64);
+    let mut bounds = vec![lo];
+    // Multiply up from lo so edges are reproducible regardless of hi.
+    while *bounds.last().expect("non-empty") < hi {
+        let next = bounds.last().expect("non-empty") * step;
+        bounds.push(next);
+    }
+    bounds
+}
+
 /// A snapshot of one metric's value.
 #[derive(Debug, Clone, PartialEq)]
 pub enum MetricValue {
@@ -267,6 +292,27 @@ impl Registry {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn log_bounds_are_ascending_and_cover_the_range() {
+        let b = log_bounds(1.0, 1e6, 3);
+        assert_eq!(b[0], 1.0);
+        assert!(b.windows(2).all(|w| w[0] < w[1]), "strictly ascending");
+        assert!(*b.last().unwrap() >= 1e6);
+        // 3 per decade over 6 decades: 19 edges (18 steps + the start),
+        // possibly one more from float rounding at the top edge.
+        assert!(b.len() >= 19 && b.len() <= 20, "len {}", b.len());
+        // Histogram::new accepts them directly.
+        let mut h = Histogram::new(&b);
+        h.observe(123.0);
+        assert_eq!(h.count, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "log_bounds needs 0 < lo < hi")]
+    fn log_bounds_rejects_bad_range() {
+        log_bounds(10.0, 1.0, 3);
+    }
 
     #[test]
     fn counters_accumulate_and_gauges_overwrite() {
