@@ -6,6 +6,7 @@
 //!           [--executor seq|par] [--threads N] [--trace OUT.json]
 //!           [--refresh-values N] [--rhs N] [--reorder]
 //!           [--sanitize] [--sanitize-out REPORT.json]
+//!           [--verify-plan] [--verify-plan-out REPORT.json]
 //! ```
 //!
 //! `--compare` runs every method on the matrix and prints a ranking table
@@ -51,6 +52,14 @@
 //! additionally writes the structured report for CI artifacts. Output
 //! vectors are bit-identical with and without the flag.
 //!
+//! `--verify-plan` is a standalone mode: it converts the matrix at the
+//! selected precision, runs the static verifier (`dasp-verify`) — the
+//! structural plan/format validator plus the abstract warp-program
+//! interpretation — prints the report, and exits non-zero on any
+//! violation without executing a single SpMV. `--verify-plan-out
+//! REPORT.json` (implies `--verify-plan`) writes the structured report
+//! for CI artifacts. `--reorder` and the precision flags apply.
+//!
 //! Prints the estimated kernel time, GFlops, effective bandwidth and the
 //! traffic counters for the chosen method on the simulated device.
 
@@ -84,6 +93,8 @@ fn main() -> ExitCode {
     let mut reorder = false;
     let mut sanitize = false;
     let mut sanitize_out: Option<String> = None;
+    let mut verify_plan = false;
+    let mut verify_plan_out: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -153,9 +164,20 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--verify-plan" => verify_plan = true,
+            "--verify-plan-out" => match args.next() {
+                Some(p) => {
+                    verify_plan = true;
+                    verify_plan_out = Some(p);
+                }
+                None => {
+                    eprintln!("--verify-plan-out requires an output path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--executor seq|par] [--threads N] [--trace OUT.json] [--refresh-values N] [--rhs N] [--reorder] [--sanitize] [--sanitize-out REPORT.json]"
+                    "usage: dasp-spmv MATRIX.mtx [--method NAME] [--device a100|h800] [--fp16] [--fp32] [--verify] [--compare] [--executor seq|par] [--threads N] [--trace OUT.json] [--refresh-values N] [--rhs N] [--reorder] [--sanitize] [--sanitize-out REPORT.json] [--verify-plan] [--verify-plan-out REPORT.json]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -238,6 +260,51 @@ fn main() -> ExitCode {
     } else {
         Tracer::disabled()
     };
+
+    if verify_plan {
+        // Standalone mode: convert at the selected precision, statically
+        // verify the plan + format and abstractly interpret the kernels,
+        // then exit. No SpMV runs; the exit code is the verdict.
+        fn run_verify<S: dasp_fp16::Scalar>(
+            csr: &Csr<S>,
+            params: DaspParams,
+            out: Option<&str>,
+        ) -> bool {
+            let m = DaspMatrix::with_params(csr, params);
+            let report = dasp_verify::verify_full(&m);
+            println!("{}", report.to_string().trim_end());
+            let registry = dasp_trace::Registry::new();
+            report.export_metrics(&registry);
+            println!(
+                "verify metrics: {}",
+                dasp_trace::registry_to_json(&registry)
+            );
+            if let Some(path) = out {
+                if let Err(e) = std::fs::write(path, report.to_json()) {
+                    eprintln!("cannot write verify report {path}: {e}");
+                    return false;
+                }
+                println!("verify report: {path}");
+            }
+            report.is_clean()
+        }
+        let params = DaspParams {
+            reorder,
+            ..DaspParams::default()
+        };
+        let clean = if fp16 {
+            run_verify::<F16>(&csr.cast(), params, verify_plan_out.as_deref())
+        } else if fp32 {
+            run_verify::<f32>(&csr.cast(), params, verify_plan_out.as_deref())
+        } else {
+            run_verify::<f64>(&csr, params, verify_plan_out.as_deref())
+        };
+        return if clean {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
 
     if compare {
         // Run the ranking at whichever precision the flags selected.

@@ -192,3 +192,45 @@ fn unknown_experiment_target_is_rejected() {
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("unknown experiment"), "{err}");
 }
+
+#[test]
+fn spmv_binary_verify_plan_mode() {
+    let dir = std::env::temp_dir().join("dasp_cli_verify_plan_test");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("m.mtx");
+    let mut f = std::fs::File::create(&path).unwrap();
+    writeln!(f, "%%MatrixMarket matrix coordinate real general").unwrap();
+    writeln!(f, "8 8 12").unwrap();
+    for (r, c, v) in [
+        (1, 1, 2.0),
+        (1, 2, -1.0),
+        (1, 3, 0.5),
+        (1, 4, 1.0),
+        (1, 5, -0.5),
+        (2, 2, 3.0),
+        (2, 3, 1.0),
+        (3, 3, 1.5),
+        (4, 4, 2.0),
+        (5, 5, 1.0),
+        (6, 6, 4.0),
+        (7, 7, -2.0),
+    ] {
+        writeln!(f, "{r} {c} {v}").unwrap();
+    }
+    drop(f);
+
+    let report = dir.join("verify.json");
+    let out = bin("dasp-spmv")
+        .arg(path.to_str().unwrap())
+        .args(["--verify-plan-out", report.to_str().unwrap(), "--fp32"])
+        .output()
+        .expect("binary runs");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(out.status.success(), "{stdout}");
+    assert!(stdout.contains("verify: clean"), "{stdout}");
+    assert!(stdout.contains("verify metrics:"), "{stdout}");
+    // Standalone mode: no SpMV report follows the verdict.
+    assert!(!stdout.contains("estimated time"), "{stdout}");
+    let json = std::fs::read_to_string(&report).unwrap();
+    assert!(json.contains("\"clean\":true"), "{json}");
+}

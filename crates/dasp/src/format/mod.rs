@@ -24,7 +24,9 @@ mod validate;
 
 pub use long::LongPart;
 pub use medium::MediumPart;
-pub use plan::{DaspPlan, PlanCache, RefreshError, DEFAULT_PLAN_CACHE_CAP};
+pub use plan::{
+    DaspPlan, PlanCache, PlanView, RefreshError, DEFAULT_PLAN_CACHE_CAP, GATHER_PADDING,
+};
 pub use serialize::SerError;
 pub use short::{ShortPart, NO_ROW};
 pub use validate::FormatError;

@@ -89,7 +89,76 @@ pub struct DaspPlan {
 
 /// The [`DaspPlan::gather`] marker for a padding slot (zero-filled, fed by
 /// no CSR element).
-const PADDING: u32 = u32::MAX;
+pub const GATHER_PADDING: u32 = u32::MAX;
+
+/// Internal alias; the public name is [`GATHER_PADDING`].
+const PADDING: u32 = GATHER_PADDING;
+
+/// A read-only borrow of every pattern array in a [`DaspPlan`].
+///
+/// The plan's fields are crate-private (the analysis pipeline owns their
+/// invariants), but external structural analysis — the `dasp-verify`
+/// crate's exhaustive validator — needs to inspect all of them. The view
+/// exposes exactly the serialized `DASPPLN1` surface, nothing more.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanView<'a> {
+    /// Analyzed pattern rows.
+    pub rows: usize,
+    /// Analyzed pattern columns.
+    pub cols: usize,
+    /// Analyzed pattern nonzeros.
+    pub nnz: usize,
+    /// Parameters the pattern was analyzed with.
+    pub params: DaspParams,
+    /// Long-category original row ids.
+    pub long_rows: &'a [u32],
+    /// Long-category group pointer (first group of each row).
+    pub long_group_ptr: &'a [usize],
+    /// Long-category padded column ids.
+    pub long_cids: &'a [u32],
+    /// Long-category original nonzero count.
+    pub long_nnz: usize,
+    /// Medium-category row ids in sorted order.
+    pub med_rows: &'a [u32],
+    /// Medium-category row-block pointer.
+    pub med_rowblock_ptr: &'a [usize],
+    /// Medium-category regular-block column ids.
+    pub med_reg_cid: &'a [u32],
+    /// Medium-category irregular column ids.
+    pub med_irreg_cid: &'a [u32],
+    /// Medium-category irregular per-row pointer.
+    pub med_irreg_ptr: &'a [usize],
+    /// Medium-category original nonzero count.
+    pub med_nnz: usize,
+    /// Short-category packed column ids.
+    pub short_cids: &'a [u32],
+    /// Warps in the 1&3 sub-category.
+    pub n13_warps: usize,
+    /// Warps in the length-4 sub-category.
+    pub n4_warps: usize,
+    /// Warps in the 2&2 sub-category.
+    pub n22_warps: usize,
+    /// Leftover singleton rows.
+    pub n1: usize,
+    /// Element offset of the length-4 blocks.
+    pub off4: usize,
+    /// Element offset of the 2&2 blocks.
+    pub off22: usize,
+    /// Element offset of the singletons.
+    pub off1: usize,
+    /// 1&3 y-slot to original-row permutation.
+    pub perm13: &'a [u32],
+    /// Length-4 permutation.
+    pub perm4: &'a [u32],
+    /// 2&2 permutation.
+    pub perm22: &'a [u32],
+    /// Singleton permutation.
+    pub perm1: &'a [u32],
+    /// Short-category original nonzero count.
+    pub short_nnz: usize,
+    /// Slot -> CSR-element gather map ([`GATHER_PADDING`] = padding slot).
+    pub gather: &'a [u32],
+}
 
 impl DaspPlan {
     /// Analyzes a pattern on the environment-selected executor.
@@ -217,6 +286,41 @@ impl DaspPlan {
     /// Parameters the pattern was analyzed with.
     pub fn params(&self) -> DaspParams {
         self.params
+    }
+
+    /// A read-only [`PlanView`] over every pattern array, for external
+    /// structural analysis (the `dasp-verify` crate).
+    pub fn view(&self) -> PlanView<'_> {
+        PlanView {
+            rows: self.rows,
+            cols: self.cols,
+            nnz: self.nnz,
+            params: self.params,
+            long_rows: &self.long_rows,
+            long_group_ptr: &self.long_group_ptr,
+            long_cids: &self.long_cids,
+            long_nnz: self.long_nnz,
+            med_rows: &self.med_rows,
+            med_rowblock_ptr: &self.med_rowblock_ptr,
+            med_reg_cid: &self.med_reg_cid,
+            med_irreg_cid: &self.med_irreg_cid,
+            med_irreg_ptr: &self.med_irreg_ptr,
+            med_nnz: self.med_nnz,
+            short_cids: &self.short_cids,
+            n13_warps: self.n13_warps,
+            n4_warps: self.n4_warps,
+            n22_warps: self.n22_warps,
+            n1: self.n1,
+            off4: self.off4,
+            off22: self.off22,
+            off1: self.off1,
+            perm13: &self.perm13,
+            perm4: &self.perm4,
+            perm22: &self.perm22,
+            perm1: &self.perm1,
+            short_nnz: self.short_nnz,
+            gather: &self.gather,
+        }
     }
 
     /// Total value slots (including padding) a filled matrix holds.
@@ -432,7 +536,8 @@ impl DaspPlan {
             "long group_ptr length",
         )?;
         check(
-            self.long_cids.len() == self.long_group_ptr.last().unwrap() * GROUP_ELEMS,
+            Some(self.long_cids.len())
+                == self.long_group_ptr.last().unwrap().checked_mul(GROUP_ELEMS),
             "long cids length",
         )?;
 
@@ -464,44 +569,73 @@ impl DaspPlan {
             "medium irreg cids length",
         )?;
 
-        check(self.perm13.len() == self.n13_warps * 32, "perm13 length")?;
-        check(self.perm4.len() == self.n4_warps * 32, "perm4 length")?;
-        check(self.perm22.len() == self.n22_warps * 32, "perm22 length")?;
+        check(
+            Some(self.perm13.len()) == self.n13_warps.checked_mul(32),
+            "perm13 length",
+        )?;
+        check(
+            Some(self.perm4.len()) == self.n4_warps.checked_mul(32),
+            "perm4 length",
+        )?;
+        check(
+            Some(self.perm22.len()) == self.n22_warps.checked_mul(32),
+            "perm22 length",
+        )?;
         check(self.perm1.len() == self.n1, "perm1 length")?;
         check(
-            self.off4 == self.n13_warps * 2 * MMA_M * MMA_K,
+            Some(self.off4) == self.n13_warps.checked_mul(2 * MMA_M * MMA_K),
             "off4 arithmetic",
         )?;
         check(
-            self.off22 == self.off4 + self.n4_warps * 4 * MMA_M * MMA_K,
+            Some(self.off22)
+                == self
+                    .n4_warps
+                    .checked_mul(4 * MMA_M * MMA_K)
+                    .and_then(|e| e.checked_add(self.off4)),
             "off22 arithmetic",
         )?;
         check(
-            self.off1 == self.off22 + self.n22_warps * 2 * MMA_M * MMA_K,
+            Some(self.off1)
+                == self
+                    .n22_warps
+                    .checked_mul(2 * MMA_M * MMA_K)
+                    .and_then(|e| e.checked_add(self.off22)),
             "off1 arithmetic",
         )?;
         check(
-            self.short_cids.len() == self.off1 + self.n1,
+            Some(self.short_cids.len()) == self.off1.checked_add(self.n1),
             "short cids length",
         )?;
 
         check(
-            self.long_nnz + self.med_nnz + self.short_nnz == self.nnz,
+            self.long_nnz
+                .checked_add(self.med_nnz)
+                .and_then(|s| s.checked_add(self.short_nnz))
+                == Some(self.nnz),
             "category nnz partition",
         )?;
         check(self.gather.len() == self.total_slots(), "gather length")?;
-        let mut seen = vec![false; self.nnz];
+        // A bijection onto nnz needs at least nnz non-padding slots, so a
+        // corrupt header with nnz >> gather.len() can be rejected before
+        // allocating the seen-bitmap (nnz may be anything the deserializer's
+        // plausibility cap allows, up to 2^48).
+        check(self.nnz <= self.gather.len(), "nnz exceeds total slots")?;
+        let mut seen = vec![0u64; self.nnz.div_ceil(64)];
         for &g in &self.gather {
             if g == PADDING {
                 continue;
             }
             let g = g as usize;
             check(g < self.nnz, "gather element out of bounds")?;
-            check(!seen[g], "gather element duplicated")?;
-            seen[g] = true;
+            check(
+                seen[g / 64] & (1 << (g % 64)) == 0,
+                "gather element duplicated",
+            )?;
+            seen[g / 64] |= 1 << (g % 64);
         }
+        let covered: u64 = seen.iter().map(|w| u64::from(w.count_ones())).sum();
         check(
-            seen.iter().all(|&b| b),
+            covered == self.nnz as u64,
             "gather does not cover every element",
         )?;
         Ok(())

@@ -105,6 +105,12 @@ fn read_len<R: Read>(r: &mut R, cap: u64) -> Result<usize, SerError> {
     Ok(n as usize)
 }
 
+/// Pre-allocation clamp for length-prefixed arrays. A corrupt length prefix
+/// inside the sanity cap could still demand gigabytes up front; growing by
+/// push past this bound trades a few reallocations on huge (legitimate)
+/// arrays for corruption never reserving more than ~8 MiB speculatively.
+const PREALLOC_CLAMP: usize = 1 << 20;
+
 fn write_usizes<W: Write>(w: &mut W, v: &[usize]) -> std::io::Result<()> {
     write_u64(w, v.len() as u64)?;
     for &x in v {
@@ -115,7 +121,7 @@ fn write_usizes<W: Write>(w: &mut W, v: &[usize]) -> std::io::Result<()> {
 
 fn read_usizes<R: Read>(r: &mut R, cap: u64) -> Result<Vec<usize>, SerError> {
     let n = read_len(r, cap)?;
-    let mut out = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(n.min(PREALLOC_CLAMP));
     for _ in 0..n {
         out.push(read_u64(r)? as usize);
     }
@@ -132,7 +138,7 @@ fn write_u32s<W: Write>(w: &mut W, v: &[u32]) -> std::io::Result<()> {
 
 fn read_u32s<R: Read>(r: &mut R, cap: u64) -> Result<Vec<u32>, SerError> {
     let n = read_len(r, cap)?;
-    let mut out = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(n.min(PREALLOC_CLAMP));
     let mut b = [0u8; 4];
     for _ in 0..n {
         r.read_exact(&mut b)?;
@@ -153,7 +159,7 @@ fn write_scalars<S: Scalar, W: Write>(w: &mut W, v: &[S]) -> std::io::Result<()>
 
 fn read_scalars<S: Scalar, R: Read>(r: &mut R, cap: u64) -> Result<Vec<S>, SerError> {
     let n = read_len(r, cap)?;
-    let mut out = Vec::with_capacity(n);
+    let mut out = Vec::with_capacity(n.min(PREALLOC_CLAMP));
     let mut b = [0u8; 8];
     for _ in 0..n {
         r.read_exact(&mut b)?;

@@ -148,27 +148,30 @@ impl<S: Scalar> DaspMatrix<S> {
 
     fn validate_short(&self) -> Result<(), FormatError> {
         let s = &self.short;
-        let elems_13 = s.n13_warps * 2 * BLOCK_ELEMS;
-        let elems_4 = s.n4_warps * 4 * BLOCK_ELEMS;
-        let elems_22 = s.n22_warps * 2 * BLOCK_ELEMS;
-        if s.off4 != elems_13 {
+        // Checked arithmetic throughout: warp counts come straight from a
+        // (possibly corrupt) deserialized header, and this must reject —
+        // not overflow — under `-C overflow-checks=on`.
+        let elems_13 = s.n13_warps.checked_mul(2 * BLOCK_ELEMS);
+        let elems_4 = s.n4_warps.checked_mul(4 * BLOCK_ELEMS);
+        let elems_22 = s.n22_warps.checked_mul(2 * BLOCK_ELEMS);
+        if Some(s.off4) != elems_13 {
             return err("short: off4 != end of 1&3 region");
         }
-        if s.off22 != elems_13 + elems_4 {
+        if Some(s.off22) != elems_4.and_then(|e| e.checked_add(s.off4)) {
             return err("short: off22 != end of len-4 region");
         }
-        if s.off1 != elems_13 + elems_4 + elems_22 {
+        if Some(s.off1) != elems_22.and_then(|e| e.checked_add(s.off22)) {
             return err("short: off1 != end of 2&2 region");
         }
-        if s.vals.len() != s.off1 + s.n1 {
+        if Some(s.vals.len()) != s.off1.checked_add(s.n1) {
             return err("short: vals length != regions + singles");
         }
         if s.cids.len() != s.vals.len() {
             return err("short: cids/vals length mismatch");
         }
-        if s.perm13.len() != s.n13_warps * 32
-            || s.perm4.len() != s.n4_warps * 32
-            || s.perm22.len() != s.n22_warps * 32
+        if Some(s.perm13.len()) != s.n13_warps.checked_mul(32)
+            || Some(s.perm4.len()) != s.n4_warps.checked_mul(32)
+            || Some(s.perm22.len()) != s.n22_warps.checked_mul(32)
             || s.perm1.len() != s.n1
         {
             return err("short: perm array sizes inconsistent with warp counts");
@@ -191,15 +194,18 @@ impl<S: Scalar> DaspMatrix<S> {
     /// Every original row appears in exactly one category slot (or none,
     /// for empty rows).
     fn validate_row_partition(&self) -> Result<(), FormatError> {
-        let mut seen = vec![false; self.rows];
+        // A bitmap rather than `vec![false; rows]`: `rows` is header data
+        // and may be anything up to the deserializer's plausibility cap, so
+        // keep the transient allocation 8x smaller.
+        let mut seen = vec![0u64; self.rows.div_ceil(64)];
         let mut mark = |r: u32| -> Result<(), FormatError> {
             let i = r as usize;
-            if seen[i] {
+            if seen[i / 64] & (1 << (i % 64)) != 0 {
                 return Err(FormatError(format!(
                     "row {i} assigned to two category slots"
                 )));
             }
-            seen[i] = true;
+            seen[i / 64] |= 1 << (i % 64);
             Ok(())
         };
         for &r in &self.long.rows {

@@ -1,0 +1,95 @@
+//! Corrupt-blob robustness: no truncation or single-byte flip of a
+//! serialized `DASPFMT2` blob (with its `DASPPLN1` plan trailer) may
+//! panic the reader. Every outcome is either a typed [`SerError`] or an
+//! `Ok` matrix that still passes full validation — a flip that lands in
+//! a value byte legitimately decodes, but it must never smuggle in a
+//! structurally broken matrix.
+
+use dasp_core::consts::DaspParams;
+use dasp_core::format::{DaspMatrix, SerError};
+use dasp_core::DaspPlan;
+use dasp_sparse::Coo;
+
+/// A small matrix exercising all three categories plus the plan trailer.
+fn blob() -> Vec<u8> {
+    let mut coo = Coo::new(24, 80);
+    // One long row (> max_len 8), a few medium rows, and short rows of
+    // every piecing length.
+    let lens = [70usize, 6, 6, 5, 1, 3, 1, 3, 4, 4, 2, 2, 2, 2, 1, 0];
+    for (r, &len) in lens.iter().enumerate() {
+        for c in 0..len {
+            coo.push(r, c, (r * 7 + c) as f64 * 0.25 - 3.0);
+        }
+    }
+    let csr = coo.to_csr();
+    let params = DaspParams {
+        max_len: 8,
+        ..DaspParams::default()
+    };
+    let m = DaspPlan::analyze(&csr, params).fill(&csr);
+    let mut buf = Vec::new();
+    m.write_to(&mut buf).unwrap();
+    buf
+}
+
+/// Decode must not panic; an `Ok` result must still be fully valid.
+fn decode_is_sound(bytes: &[u8]) -> Result<(), String> {
+    match DaspMatrix::<f64>::read_from(&mut &bytes[..]) {
+        Ok(m) => m
+            .validate()
+            .map_err(|e| format!("decoded Ok but invalid: {e}")),
+        Err(SerError::Io(_) | SerError::Malformed(_)) => Ok(()),
+        Err(SerError::WrongScalar { .. } | SerError::Invalid(_)) => Ok(()),
+    }
+}
+
+#[test]
+fn pristine_blob_round_trips() {
+    let bytes = blob();
+    assert!(decode_is_sound(&bytes).is_ok());
+    let m = DaspMatrix::<f64>::read_from(&mut &bytes[..]).unwrap();
+    assert!(m.plan().is_some(), "plan trailer must ride along");
+}
+
+#[test]
+fn every_truncation_yields_typed_error() {
+    let bytes = blob();
+    for cut in 0..bytes.len() {
+        decode_is_sound(&bytes[..cut])
+            .unwrap_or_else(|e| panic!("truncation at {cut}/{}: {e}", bytes.len()));
+        // A strict prefix can never decode to a full matrix + plan: the
+        // reader must notice the missing tail, not silently succeed.
+        assert!(
+            DaspMatrix::<f64>::read_from(&mut &bytes[..cut]).is_err(),
+            "truncation at {cut}/{} decoded Ok",
+            bytes.len()
+        );
+    }
+}
+
+#[test]
+fn every_single_byte_flip_is_sound() {
+    let bytes = blob();
+    let mut flipped = bytes.clone();
+    for i in 0..bytes.len() {
+        for bit in [0x01u8, 0x80] {
+            flipped[i] ^= bit;
+            decode_is_sound(&flipped)
+                .unwrap_or_else(|e| panic!("flip of bit {bit:#04x} at byte {i}: {e}"));
+            flipped[i] = bytes[i];
+        }
+    }
+}
+
+#[test]
+fn garbage_and_empty_inputs_are_rejected() {
+    assert!(DaspMatrix::<f64>::read_from(&mut &[][..]).is_err());
+    let garbage: Vec<u8> = (0..256u32).map(|i| (i * 37 % 251) as u8).collect();
+    assert!(DaspMatrix::<f64>::read_from(&mut garbage.as_slice()).is_err());
+    // A huge claimed length must be rejected without a matching
+    // allocation attempt (the reader clamps preallocation).
+    let mut huge = blob();
+    let n = huge.len();
+    huge[n - 9..n - 1].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(decode_is_sound(&huge).is_ok());
+}

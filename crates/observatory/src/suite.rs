@@ -113,8 +113,16 @@ pub fn run_suite(cfg: &SuiteConfig, matrices: &[(&str, Csr<f64>)]) -> SuiteOutco
         .unwrap_or_else(|| panic!("unknown device model {:?}", cfg.device));
     let tracer = Tracer::new();
 
+    // Resident matrices for the verify.plan_check rows, built outside the
+    // timed region: the row times static verification alone, not the
+    // format conversion.
+    let built: Vec<dasp_core::DaspMatrix<f64>> = matrices
+        .iter()
+        .map(|(_, csr)| dasp_core::DaspMatrix::from_csr(csr))
+        .collect();
+
     let mut units: Vec<Unit> = Vec::new();
-    for (mat_name, csr) in matrices {
+    for ((mat_name, csr), dm) in matrices.iter().zip(&built) {
         let nnz = csr.nnz() as u64;
         let x = dense_vector(csr.cols, 42);
         for method in MethodKind::all() {
@@ -162,6 +170,25 @@ pub fn run_suite(cfg: &SuiteConfig, matrices: &[(&str, Csr<f64>)]) -> SuiteOutco
                 });
             }
         }
+
+        // How long admission-time static verification (`dasp-verify`)
+        // takes on this matrix. No kernel runs, so the modeled columns
+        // and counters are all zero; only the wall series is meaningful.
+        units.push(Unit {
+            id: format!("verify.plan_check/{mat_name}"),
+            nnz,
+            run: Box::new(move || {
+                let report = dasp_verify::verify_full(dm);
+                assert!(report.is_clean(), "suite matrix must verify: {report}");
+            }),
+            traced: Box::new(move |_| {
+                (
+                    Modeled::default(),
+                    TrafficCounters::default(),
+                    OpsCounters::default(),
+                )
+            }),
+        });
     }
     units.sort_by(|a, b| a.id.cmp(&b.id));
 
@@ -298,14 +325,20 @@ mod tests {
     fn tiny_suite_produces_a_valid_sorted_snapshot() {
         let out = run_suite(&tiny_config(), &tiny_matrices());
         let snap = &out.snapshot;
-        // 10 SpMV methods + 2 SpMM methods at width 1.
-        assert_eq!(snap.workloads.len(), 12);
+        // 10 SpMV methods + 2 SpMM methods at width 1 + 1 verify row.
+        assert_eq!(snap.workloads.len(), 13);
         assert!(snap.workloads.windows(2).all(|p| p[0].id < p[1].id));
         assert_eq!(snap.profile, "quick");
         assert_eq!(snap.executor, "seq");
         for w in &snap.workloads {
             assert_eq!(w.wall.reps, 2, "{}", w.id);
             assert!(w.wall.median_us > 0.0, "{}", w.id);
+            if w.id.starts_with("verify.plan_check/") {
+                // Wall-only row: no kernel ran, every modeled column is 0.
+                assert_eq!(w.modeled, Modeled::default(), "{}", w.id);
+                assert_eq!(w.traffic, TrafficCounters::default(), "{}", w.id);
+                continue;
+            }
             assert!(w.modeled.us > 0.0, "{}", w.id);
             assert!(w.traffic.dram_bytes > 0, "{}", w.id);
             let share_sum = w.modeled.random_share + w.modeled.compute_share + w.modeled.misc_share;
@@ -313,12 +346,13 @@ mod tests {
         }
         assert!(snap.workload("spmv/banded/dasp").is_some());
         assert!(snap.workload("spmm/banded/dasp/rhs1").is_some());
+        assert!(snap.workload("verify.plan_check/banded").is_some());
 
         // The snapshot serializes to valid JSON and round-trips.
         let json = snap.to_json();
         assert!(dasp_trace::validate_json(&json).is_ok());
         let back = BenchSnapshot::from_json(&json).unwrap();
-        assert_eq!(back.workloads.len(), 12);
+        assert_eq!(back.workloads.len(), 13);
 
         // The traced runs produced a non-trivial profile with the DASP
         // kernel spans in it.

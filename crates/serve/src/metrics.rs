@@ -30,6 +30,8 @@ pub const FAILED: &str = "serve.requests.failed";
 pub const REFRESHES: &str = "serve.refreshes";
 /// Matrices registered over the server's lifetime.
 pub const MATRICES_REGISTERED: &str = "serve.matrices.registered";
+/// Registrations refused at admission by static plan verification.
+pub const MATRICES_REJECTED: &str = "serve.matrices.rejected";
 
 /// Flushes that dispatched a full `max_batch`-wide batch.
 pub const FLUSH_FULL: &str = "serve.flush.full";

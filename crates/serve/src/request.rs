@@ -65,6 +65,13 @@ pub enum RejectReason {
     },
     /// The server is draining; no new work is admitted.
     ShuttingDown,
+    /// Static verification rejected the matrix at admission: its plan or
+    /// converted format breaks a kernel invariant, so making it resident
+    /// could corrupt results or fault a worker.
+    InvalidPlan {
+        /// The verifier's summary (violation counts by invariant).
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for RejectReason {
@@ -76,6 +83,7 @@ impl std::fmt::Display for RejectReason {
             RejectReason::UnknownMatrix => write!(f, "unknown matrix"),
             RejectReason::BadShape { detail } => write!(f, "bad shape: {detail}"),
             RejectReason::ShuttingDown => write!(f, "server shutting down"),
+            RejectReason::InvalidPlan { detail } => write!(f, "invalid plan: {detail}"),
         }
     }
 }

@@ -250,6 +250,56 @@ impl<S: Scalar> Server<S> {
         params: DaspParams,
     ) -> RegisterInfo {
         let m = DaspMatrix::with_params_cached(csr, params, &self.inner.plan_cache);
+        self.make_resident(name, m)
+    }
+
+    /// Registers an already-converted matrix, but only after it passes
+    /// static verification ([`dasp_verify::verify_full`]): a matrix whose
+    /// plan breaks a kernel invariant is refused with
+    /// [`RejectReason::InvalidPlan`] *before* it becomes resident, so a
+    /// corrupt registration can never corrupt results or fault a worker.
+    /// Matrices built by [`Server::register`] come from the in-process
+    /// converter and skip this gate; this path is for matrices that
+    /// arrive pre-built (e.g. deserialized from untrusted bytes).
+    pub fn register_matrix(
+        &self,
+        name: &str,
+        m: DaspMatrix<S>,
+    ) -> Result<RegisterInfo, ServeError> {
+        let report = dasp_verify::verify_full(&m);
+        if !report.is_clean() {
+            self.inner
+                .registry
+                .counter_add(metrics::MATRICES_REJECTED, 1);
+            return Err(ServeError::Rejected(RejectReason::InvalidPlan {
+                detail: report.summary(),
+            }));
+        }
+        Ok(self.make_resident(name, m))
+    }
+
+    /// Reads a `DASPFMT2` blob and admits it through the same
+    /// verification gate as [`Server::register_matrix`]. Decode errors
+    /// (truncation, corruption, wrong scalar width) surface as
+    /// [`RejectReason::InvalidPlan`] too — the bytes never panic the
+    /// server or reach residency.
+    pub fn register_serialized(
+        &self,
+        name: &str,
+        bytes: &mut impl std::io::Read,
+    ) -> Result<RegisterInfo, ServeError> {
+        let m = DaspMatrix::<S>::read_from(bytes).map_err(|e| {
+            self.inner
+                .registry
+                .counter_add(metrics::MATRICES_REJECTED, 1);
+            ServeError::Rejected(RejectReason::InvalidPlan {
+                detail: format!("decode failed: {e}"),
+            })
+        })?;
+        self.register_matrix(name, m)
+    }
+
+    fn make_resident(&self, name: &str, m: DaspMatrix<S>) -> RegisterInfo {
         let info = RegisterInfo {
             rows: m.rows,
             cols: m.cols,

@@ -403,3 +403,67 @@ fn modeled_time_and_traces_are_collected() {
     assert_eq!(spans.len(), 1);
     assert!(spans[0].args.iter().any(|(k, v)| k == "width" && v == "2"));
 }
+
+/// Static verification gates admission: a corrupted matrix is refused
+/// with `InvalidPlan` before residency, corrupt bytes are refused at
+/// decode, and the dispatcher/workers keep serving other matrices
+/// throughout.
+#[test]
+fn registration_rejects_invalid_plans_and_keeps_serving() {
+    let good = dasp_matgen::banded(64, 2, 4, 1);
+    let server = Server::<f64>::start(held_config());
+    server.register("good", &good);
+
+    // A structurally broken matrix: its nnz no longer partitions across
+    // the categories.
+    let mut broken = DaspMatrix::from_csr(&dasp_matgen::banded(32, 1, 3, 2));
+    broken.nnz += 1;
+    let err = server.register_matrix("broken", broken).unwrap_err();
+    match &err {
+        ServeError::Rejected(RejectReason::InvalidPlan { detail }) => {
+            assert!(detail.contains("nnz_partition"), "got: {detail}");
+        }
+        other => panic!("expected InvalidPlan, got {other:?}"),
+    }
+
+    // Corrupt serialized bytes bounce at decode with the same reason.
+    let mut blob = Vec::new();
+    DaspMatrix::from_csr(&dasp_matgen::banded(32, 1, 3, 2))
+        .write_to(&mut blob)
+        .unwrap();
+    blob.truncate(blob.len() / 2);
+    let err = server
+        .register_serialized("trunc", &mut blob.as_slice())
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        ServeError::Rejected(RejectReason::InvalidPlan { .. })
+    ));
+
+    // A pristine pre-built matrix passes the same gate.
+    let mut blob = Vec::new();
+    DaspMatrix::from_csr(&dasp_matgen::banded(32, 1, 3, 2))
+        .write_to(&mut blob)
+        .unwrap();
+    let info = server
+        .register_serialized("prebuilt", &mut blob.as_slice())
+        .unwrap();
+    assert_eq!(info.rows, 32);
+
+    // The rejections never reached a queue or worker: requests against
+    // resident matrices still serve, and "broken" was never registered.
+    let h = server.handle();
+    let x = dasp_matgen::dense_vector(good.cols, 3);
+    let t = h.spmv("t", "good", x).unwrap();
+    server.flush();
+    t.wait_vector().unwrap();
+    let miss = h.spmv("t", "broken", vec![0.0; 33]).unwrap().wait();
+    assert_eq!(miss, Err(ServeError::Rejected(RejectReason::UnknownMatrix)));
+
+    let report = server.shutdown();
+    assert_eq!(report.registry.counter(metrics::MATRICES_REJECTED), Some(2));
+    assert_eq!(
+        report.registry.counter(metrics::MATRICES_REGISTERED),
+        Some(2)
+    );
+}

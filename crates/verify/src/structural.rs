@@ -1,0 +1,704 @@
+//! Layer 1: the exhaustive plan/format structural validator ("fsck for
+//! plans").
+//!
+//! A pure function over [`DaspMatrix`] (+ its attached [`DaspPlan`], when
+//! present) that re-derives every invariant the kernels assume and
+//! records each breach as a [`Violation`] instead of stopping at the
+//! first. All arithmetic is checked: a corrupt header must be *rejected*,
+//! never allowed to overflow or to provoke a multi-gigabyte transient
+//! allocation.
+
+use dasp_core::consts::{BLOCK_ELEMS, GROUP_ELEMS, MMA_K, MMA_M};
+use dasp_core::format::{DaspMatrix, GATHER_PADDING, NO_ROW};
+use dasp_core::PlanView;
+use dasp_fp16::Scalar;
+
+use crate::report::{Invariant, VerifyReport, Violation};
+
+/// How many per-element breaches of one invariant at one site are recorded
+/// individually before the scan summarizes the remainder (counts stay
+/// exact via the summary's tally).
+const PER_SCAN_SITES: usize = 4;
+
+struct Ctx<'a> {
+    report: &'a mut VerifyReport,
+}
+
+impl Ctx<'_> {
+    fn check(&mut self, ok: bool, inv: Invariant, site: &str, detail: impl FnOnce() -> String) {
+        self.report.note_check();
+        if !ok {
+            self.report.record(Violation {
+                invariant: inv,
+                site: site.to_string(),
+                detail: detail(),
+            });
+        }
+    }
+
+    /// Scans `it`, recording a violation per failing element: the first
+    /// [`PER_SCAN_SITES`] individually, the remainder counted exactly
+    /// behind one summary site.
+    fn scan<T: Copy>(
+        &mut self,
+        it: impl Iterator<Item = T>,
+        pred: impl Fn(T) -> bool,
+        inv: Invariant,
+        site: &str,
+        detail: impl Fn(usize, T) -> String,
+    ) {
+        self.report.note_check();
+        let mut shown = 0usize;
+        let mut extra = 0u64;
+        for (i, x) in it.enumerate() {
+            if !pred(x) {
+                if shown < PER_SCAN_SITES {
+                    self.report.record(Violation {
+                        invariant: inv,
+                        site: site.to_string(),
+                        detail: detail(i, x),
+                    });
+                    shown += 1;
+                } else {
+                    extra += 1;
+                }
+            }
+        }
+        self.report.record_bulk(inv, site, extra);
+    }
+}
+
+/// Monotone-pointer check: first element 0, non-decreasing, with an
+/// optional per-step stride rule.
+fn check_ptr(ctx: &mut Ctx<'_>, ptr: &[usize], site: &str, strict: bool, stride: Option<usize>) {
+    ctx.check(
+        ptr.first() == Some(&0),
+        Invariant::PtrMonotone,
+        site,
+        || format!("pointer must start with 0, got {:?}", ptr.first()),
+    );
+    ctx.scan(
+        ptr.windows(2).map(|w| (w[0], w[1])),
+        |(a, b)| if strict { a < b } else { a <= b },
+        Invariant::PtrMonotone,
+        site,
+        |i, (a, b)| {
+            format!(
+                "pointer step {i}: {a} -> {b} not {}",
+                if strict {
+                    "increasing"
+                } else {
+                    "non-decreasing"
+                }
+            )
+        },
+    );
+    if let Some(s) = stride {
+        ctx.scan(
+            ptr.windows(2).map(|w| (w[0], w[1])),
+            |(a, b)| b.wrapping_sub(a) % s == 0,
+            Invariant::PtrMonotone,
+            site,
+            |i, (a, b)| format!("pointer step {i}: {a} -> {b} not a multiple of {s}"),
+        );
+    }
+}
+
+/// Exhaustively validates a converted matrix (and its attached plan, when
+/// one rides on it) against every structural invariant the kernels
+/// assume. Pure: no allocation beyond two transient bitmaps, no
+/// mutation.
+pub fn verify_matrix<S: Scalar>(m: &DaspMatrix<S>) -> VerifyReport {
+    let mut report = VerifyReport::new();
+    let ctx = &mut Ctx {
+        report: &mut report,
+    };
+
+    verify_long(ctx, m);
+    verify_medium(ctx, m);
+    verify_short(ctx, m);
+    verify_partition(ctx, m);
+
+    if let Some(plan) = m.plan() {
+        verify_plan_view(ctx, &plan.view());
+        verify_pair(ctx, m);
+    }
+    report
+}
+
+/// Exhaustively validates a standalone plan (no matrix needed): pointer,
+/// offset, and gather-bijection invariants over the [`PlanView`].
+pub fn verify_plan(view: &PlanView<'_>) -> VerifyReport {
+    let mut report = VerifyReport::new();
+    let ctx = &mut Ctx {
+        report: &mut report,
+    };
+    verify_plan_view(ctx, view);
+    report
+}
+
+fn verify_long<S: Scalar>(ctx: &mut Ctx<'_>, m: &DaspMatrix<S>) {
+    let l = &m.long;
+    check_ptr(ctx, &l.group_ptr, "long.group_ptr", true, None);
+    ctx.check(
+        l.group_ptr.len() == l.rows.len() + 1,
+        Invariant::LenConsistency,
+        "long.group_ptr",
+        || format!("length {} != rows {} + 1", l.group_ptr.len(), l.rows.len()),
+    );
+    let groups = l.group_ptr.last().copied().unwrap_or(0);
+    ctx.check(
+        Some(l.vals.len()) == groups.checked_mul(GROUP_ELEMS),
+        Invariant::LenConsistency,
+        "long.vals",
+        || format!("length {} != {groups} groups x {GROUP_ELEMS}", l.vals.len()),
+    );
+    ctx.check(
+        l.cids.len() == l.vals.len(),
+        Invariant::PayloadSize,
+        "long",
+        || {
+            format!(
+                "cids {} / vals {} must pair 1:1",
+                l.cids.len(),
+                l.vals.len()
+            )
+        },
+    );
+    ctx.check(
+        l.nnz_orig <= l.vals.len(),
+        Invariant::NnzPartition,
+        "long",
+        || format!("nnz_orig {} exceeds stored {}", l.nnz_orig, l.vals.len()),
+    );
+    scan_cids(ctx, &l.cids, m.cols, "long.cids");
+    scan_rows(ctx, &l.rows, m.rows, false, "long.rows");
+}
+
+fn verify_medium<S: Scalar>(ctx: &mut Ctx<'_>, m: &DaspMatrix<S>) {
+    let md = &m.medium;
+    ctx.check(
+        !md.rowblock_ptr.is_empty(),
+        Invariant::LenConsistency,
+        "medium.rowblock_ptr",
+        || "must hold at least [0]".to_string(),
+    );
+    if md.rowblock_ptr.is_empty() {
+        return;
+    }
+    check_ptr(
+        ctx,
+        &md.rowblock_ptr,
+        "medium.rowblock_ptr",
+        false,
+        Some(BLOCK_ELEMS),
+    );
+    let expect_blocks = md.rows.len().div_ceil(MMA_M);
+    ctx.check(
+        md.rows.is_empty() || md.rowblock_ptr.len() == expect_blocks + 1,
+        Invariant::LenConsistency,
+        "medium.rowblock_ptr",
+        || {
+            format!(
+                "length {} != ceil({} rows / {MMA_M}) + 1",
+                md.rowblock_ptr.len(),
+                md.rows.len()
+            )
+        },
+    );
+    ctx.check(
+        md.rowblock_ptr.last() == Some(&md.reg_val.len()),
+        Invariant::LenConsistency,
+        "medium.reg_val",
+        || {
+            format!(
+                "length {} != rowblock_ptr end {:?}",
+                md.reg_val.len(),
+                md.rowblock_ptr.last()
+            )
+        },
+    );
+    ctx.check(
+        md.reg_cid.len() == md.reg_val.len(),
+        Invariant::PayloadSize,
+        "medium.reg",
+        || {
+            format!(
+                "cids {} / vals {} must pair 1:1",
+                md.reg_cid.len(),
+                md.reg_val.len()
+            )
+        },
+    );
+    check_ptr(ctx, &md.irreg_ptr, "medium.irreg_ptr", false, None);
+    ctx.check(
+        md.irreg_ptr.len() == md.rows.len() + 1,
+        Invariant::LenConsistency,
+        "medium.irreg_ptr",
+        || {
+            format!(
+                "length {} != rows {} + 1",
+                md.irreg_ptr.len(),
+                md.rows.len()
+            )
+        },
+    );
+    ctx.check(
+        md.irreg_ptr.last() == Some(&md.irreg_val.len()),
+        Invariant::LenConsistency,
+        "medium.irreg_val",
+        || {
+            format!(
+                "length {} != irreg_ptr end {:?}",
+                md.irreg_val.len(),
+                md.irreg_ptr.last()
+            )
+        },
+    );
+    ctx.check(
+        md.irreg_cid.len() == md.irreg_val.len(),
+        Invariant::PayloadSize,
+        "medium.irreg",
+        || {
+            format!(
+                "cids {} / vals {} must pair 1:1",
+                md.irreg_cid.len(),
+                md.irreg_val.len()
+            )
+        },
+    );
+    ctx.check(
+        md.nnz_orig <= md.reg_val.len() + md.irreg_val.len(),
+        Invariant::NnzPartition,
+        "medium",
+        || {
+            format!(
+                "nnz_orig {} exceeds stored {}",
+                md.nnz_orig,
+                md.reg_val.len() + md.irreg_val.len()
+            )
+        },
+    );
+    scan_cids(ctx, &md.reg_cid, m.cols, "medium.reg_cid");
+    scan_cids(ctx, &md.irreg_cid, m.cols, "medium.irreg_cid");
+    scan_rows(ctx, &md.rows, m.rows, false, "medium.rows");
+}
+
+fn verify_short<S: Scalar>(ctx: &mut Ctx<'_>, m: &DaspMatrix<S>) {
+    let s = &m.short;
+    let elems_13 = s.n13_warps.checked_mul(2 * BLOCK_ELEMS);
+    let elems_4 = s.n4_warps.checked_mul(4 * BLOCK_ELEMS);
+    let elems_22 = s.n22_warps.checked_mul(2 * BLOCK_ELEMS);
+    ctx.check(
+        Some(s.off4) == elems_13,
+        Invariant::LenConsistency,
+        "short.off4",
+        || format!("off4 {} != 1&3 region end {:?}", s.off4, elems_13),
+    );
+    ctx.check(
+        Some(s.off22) == elems_4.and_then(|e| e.checked_add(s.off4)),
+        Invariant::LenConsistency,
+        "short.off22",
+        || format!("off22 {} != len-4 region end", s.off22),
+    );
+    ctx.check(
+        Some(s.off1) == elems_22.and_then(|e| e.checked_add(s.off22)),
+        Invariant::LenConsistency,
+        "short.off1",
+        || format!("off1 {} != 2&2 region end", s.off1),
+    );
+    ctx.check(
+        Some(s.vals.len()) == s.off1.checked_add(s.n1),
+        Invariant::LenConsistency,
+        "short.vals",
+        || format!("length {} != off1 {} + n1 {}", s.vals.len(), s.off1, s.n1),
+    );
+    ctx.check(
+        s.cids.len() == s.vals.len(),
+        Invariant::PayloadSize,
+        "short",
+        || {
+            format!(
+                "cids {} / vals {} must pair 1:1",
+                s.cids.len(),
+                s.vals.len()
+            )
+        },
+    );
+    for (perm, warps, name) in [
+        (&s.perm13, Some(s.n13_warps), "short.perm13"),
+        (&s.perm4, Some(s.n4_warps), "short.perm4"),
+        (&s.perm22, Some(s.n22_warps), "short.perm22"),
+        (&s.perm1, None, "short.perm1"),
+    ] {
+        let want = match warps {
+            Some(w) => w.checked_mul(32),
+            None => Some(s.n1),
+        };
+        ctx.check(
+            Some(perm.len()) == want,
+            Invariant::LenConsistency,
+            name,
+            || format!("length {} != expected {:?}", perm.len(), want),
+        );
+        scan_rows(ctx, perm, m.rows, true, name);
+    }
+    ctx.check(
+        s.nnz_orig <= s.vals.len(),
+        Invariant::NnzPartition,
+        "short",
+        || format!("nnz_orig {} exceeds stored {}", s.nnz_orig, s.vals.len()),
+    );
+    scan_cids(ctx, &s.cids, m.cols, "short.cids");
+}
+
+fn verify_partition<S: Scalar>(ctx: &mut Ctx<'_>, m: &DaspMatrix<S>) {
+    // Disjointness: every original row owns at most one category slot.
+    // Bitmap, not vec![bool]: `rows` is header data.
+    let mut seen = vec![0u64; m.rows.div_ceil(64)];
+    let mut dups = 0u64;
+    let mut first: Option<usize> = None;
+    let mut mark = |r: u32| {
+        let i = r as usize;
+        if i >= m.rows {
+            return; // already reported by the range scans
+        }
+        if seen[i / 64] & (1 << (i % 64)) != 0 {
+            dups += 1;
+            first.get_or_insert(i);
+        } else {
+            seen[i / 64] |= 1 << (i % 64);
+        }
+    };
+    for &r in m.long.rows.iter().chain(&m.medium.rows) {
+        mark(r);
+    }
+    for perm in [
+        &m.short.perm13,
+        &m.short.perm4,
+        &m.short.perm22,
+        &m.short.perm1,
+    ] {
+        for &r in perm.iter() {
+            if r != NO_ROW {
+                mark(r);
+            }
+        }
+    }
+    ctx.check(dups == 0, Invariant::RowPartition, "partition", || {
+        format!(
+            "{dups} row slot(s) duplicated (first: row {})",
+            first.unwrap_or(0)
+        )
+    });
+
+    let sum = m
+        .long
+        .nnz_orig
+        .checked_add(m.medium.nnz_orig)
+        .and_then(|s| s.checked_add(m.short.nnz_orig));
+    ctx.check(
+        sum == Some(m.nnz),
+        Invariant::NnzPartition,
+        "header",
+        || {
+            format!(
+                "nnz {} disagrees with category sum {} + {} + {}",
+                m.nnz, m.long.nnz_orig, m.medium.nnz_orig, m.short.nnz_orig
+            )
+        },
+    );
+}
+
+/// Plan-side invariants over the borrow view (shared by attached-plan and
+/// standalone-plan verification).
+fn verify_plan_view(ctx: &mut Ctx<'_>, p: &PlanView<'_>) {
+    check_ptr(ctx, p.long_group_ptr, "plan.long.group_ptr", true, None);
+    ctx.check(
+        p.long_group_ptr.len() == p.long_rows.len() + 1,
+        Invariant::LenConsistency,
+        "plan.long.group_ptr",
+        || {
+            format!(
+                "length {} != rows {} + 1",
+                p.long_group_ptr.len(),
+                p.long_rows.len()
+            )
+        },
+    );
+    let groups = p.long_group_ptr.last().copied().unwrap_or(0);
+    ctx.check(
+        Some(p.long_cids.len()) == groups.checked_mul(GROUP_ELEMS),
+        Invariant::LenConsistency,
+        "plan.long.cids",
+        || {
+            format!(
+                "length {} != {groups} groups x {GROUP_ELEMS}",
+                p.long_cids.len()
+            )
+        },
+    );
+
+    check_ptr(
+        ctx,
+        p.med_rowblock_ptr,
+        "plan.medium.rowblock_ptr",
+        false,
+        Some(BLOCK_ELEMS),
+    );
+    check_ptr(ctx, p.med_irreg_ptr, "plan.medium.irreg_ptr", false, None);
+    let n_blocks = p.med_rows.len().div_ceil(MMA_M);
+    ctx.check(
+        p.med_rowblock_ptr.len() == n_blocks + 1,
+        Invariant::LenConsistency,
+        "plan.medium.rowblock_ptr",
+        || {
+            format!(
+                "length {} != {n_blocks} blocks + 1",
+                p.med_rowblock_ptr.len()
+            )
+        },
+    );
+    ctx.check(
+        p.med_irreg_ptr.len()
+            == if p.med_rows.is_empty() {
+                1
+            } else {
+                p.med_rows.len() + 1
+            },
+        Invariant::LenConsistency,
+        "plan.medium.irreg_ptr",
+        || {
+            format!(
+                "length {} inconsistent with {} rows",
+                p.med_irreg_ptr.len(),
+                p.med_rows.len()
+            )
+        },
+    );
+    ctx.check(
+        p.med_rowblock_ptr.last() == Some(&p.med_reg_cid.len()),
+        Invariant::LenConsistency,
+        "plan.medium.reg_cid",
+        || format!("length {} != rowblock_ptr end", p.med_reg_cid.len()),
+    );
+    ctx.check(
+        p.med_irreg_ptr.last() == Some(&p.med_irreg_cid.len()),
+        Invariant::LenConsistency,
+        "plan.medium.irreg_cid",
+        || format!("length {} != irreg_ptr end", p.med_irreg_cid.len()),
+    );
+
+    let elems_13 = p.n13_warps.checked_mul(2 * MMA_M * MMA_K);
+    ctx.check(
+        Some(p.off4) == elems_13,
+        Invariant::LenConsistency,
+        "plan.short.off4",
+        || format!("off4 {} != 1&3 region end", p.off4),
+    );
+    ctx.check(
+        Some(p.off22)
+            == p.n4_warps
+                .checked_mul(4 * MMA_M * MMA_K)
+                .and_then(|e| e.checked_add(p.off4)),
+        Invariant::LenConsistency,
+        "plan.short.off22",
+        || format!("off22 {} != len-4 region end", p.off22),
+    );
+    ctx.check(
+        Some(p.off1)
+            == p.n22_warps
+                .checked_mul(2 * MMA_M * MMA_K)
+                .and_then(|e| e.checked_add(p.off22)),
+        Invariant::LenConsistency,
+        "plan.short.off1",
+        || format!("off1 {} != 2&2 region end", p.off1),
+    );
+    ctx.check(
+        Some(p.short_cids.len()) == p.off1.checked_add(p.n1),
+        Invariant::LenConsistency,
+        "plan.short.cids",
+        || {
+            format!(
+                "length {} != off1 {} + n1 {}",
+                p.short_cids.len(),
+                p.off1,
+                p.n1
+            )
+        },
+    );
+    for (perm, warps, name) in [
+        (p.perm13, Some(p.n13_warps), "plan.short.perm13"),
+        (p.perm4, Some(p.n4_warps), "plan.short.perm4"),
+        (p.perm22, Some(p.n22_warps), "plan.short.perm22"),
+        (p.perm1, None, "plan.short.perm1"),
+    ] {
+        let want = match warps {
+            Some(w) => w.checked_mul(32),
+            None => Some(p.n1),
+        };
+        ctx.check(
+            Some(perm.len()) == want,
+            Invariant::LenConsistency,
+            name,
+            || format!("length {} != expected {:?}", perm.len(), want),
+        );
+        scan_rows(ctx, perm, p.rows, true, name);
+    }
+
+    scan_cids(ctx, p.long_cids, p.cols, "plan.long.cids");
+    scan_cids(ctx, p.med_reg_cid, p.cols, "plan.medium.reg_cid");
+    scan_cids(ctx, p.med_irreg_cid, p.cols, "plan.medium.irreg_cid");
+    scan_cids(ctx, p.short_cids, p.cols, "plan.short.cids");
+    scan_rows(ctx, p.long_rows, p.rows, false, "plan.long.rows");
+    scan_rows(ctx, p.med_rows, p.rows, false, "plan.medium.rows");
+
+    ctx.check(
+        p.long_nnz
+            .checked_add(p.med_nnz)
+            .and_then(|s| s.checked_add(p.short_nnz))
+            == Some(p.nnz),
+        Invariant::NnzPartition,
+        "plan.header",
+        || {
+            format!(
+                "nnz {} disagrees with category sum {} + {} + {}",
+                p.nnz, p.long_nnz, p.med_nnz, p.short_nnz
+            )
+        },
+    );
+
+    // Gather: exactly one slot per CSR element, padding elsewhere.
+    let total_slots =
+        p.long_cids.len() + p.med_reg_cid.len() + p.med_irreg_cid.len() + p.short_cids.len();
+    ctx.check(
+        p.gather.len() == total_slots,
+        Invariant::GatherBijection,
+        "plan.gather",
+        || format!("length {} != total slots {total_slots}", p.gather.len()),
+    );
+    // A bijection onto nnz needs >= nnz non-padding slots; reject before
+    // allocating the bitmap when a corrupt header inflates nnz.
+    ctx.check(
+        p.nnz <= p.gather.len(),
+        Invariant::GatherBijection,
+        "plan.gather",
+        || format!("nnz {} exceeds total slots {}", p.nnz, p.gather.len()),
+    );
+    if p.nnz <= p.gather.len() {
+        let mut seen = vec![0u64; p.nnz.div_ceil(64)];
+        let mut oob = 0u64;
+        let mut dup = 0u64;
+        for &g in p.gather {
+            if g == GATHER_PADDING {
+                continue;
+            }
+            let g = g as usize;
+            if g >= p.nnz {
+                oob += 1;
+            } else if seen[g / 64] & (1 << (g % 64)) != 0 {
+                dup += 1;
+            } else {
+                seen[g / 64] |= 1 << (g % 64);
+            }
+        }
+        let covered: u64 = seen.iter().map(|w| u64::from(w.count_ones())).sum();
+        ctx.check(oob == 0, Invariant::GatherBijection, "plan.gather", || {
+            format!("{oob} slot(s) gather from beyond nnz {}", p.nnz)
+        });
+        ctx.check(dup == 0, Invariant::GatherBijection, "plan.gather", || {
+            format!("{dup} CSR element(s) gathered by two slots")
+        });
+        ctx.check(
+            covered == p.nnz as u64,
+            Invariant::GatherBijection,
+            "plan.gather",
+            || format!("only {covered} of {} elements covered", p.nnz),
+        );
+    }
+}
+
+/// Plan-vs-matrix agreement: the attached plan must describe exactly the
+/// pattern the matrix carries, including shape, params, and the reorder
+/// flag (the `FLAG_REORDER` serialization round-trip rule).
+fn verify_pair<S: Scalar>(ctx: &mut Ctx<'_>, m: &DaspMatrix<S>) {
+    let plan = m.plan().expect("caller checked");
+    let p = plan.view();
+    ctx.check(
+        (p.rows, p.cols, p.nnz) == (m.rows, m.cols, m.nnz),
+        Invariant::PlanMatch,
+        "plan",
+        || {
+            format!(
+                "plan shape {}x{} nnz {} != matrix {}x{} nnz {}",
+                p.rows, p.cols, p.nnz, m.rows, m.cols, m.nnz
+            )
+        },
+    );
+    ctx.check(
+        p.params.reorder == m.params.reorder,
+        Invariant::ReorderFlag,
+        "plan.params",
+        || {
+            format!(
+                "plan reorder={} but matrix reorder={}",
+                p.params.reorder, m.params.reorder
+            )
+        },
+    );
+    ctx.check(
+        p.params.max_len == m.params.max_len
+            && p.params.threshold == m.params.threshold
+            && p.params.short_piecing == m.params.short_piecing,
+        Invariant::PlanMatch,
+        "plan.params",
+        || "plan params disagree with matrix params".to_string(),
+    );
+    let pattern_eq = p.long_rows == m.long.rows.as_slice()
+        && p.long_group_ptr == m.long.group_ptr.as_slice()
+        && p.long_cids == m.long.cids.as_slice()
+        && p.long_nnz == m.long.nnz_orig
+        && p.med_rows == m.medium.rows.as_slice()
+        && p.med_rowblock_ptr == m.medium.rowblock_ptr.as_slice()
+        && p.med_reg_cid == m.medium.reg_cid.as_slice()
+        && p.med_irreg_cid == m.medium.irreg_cid.as_slice()
+        && p.med_irreg_ptr == m.medium.irreg_ptr.as_slice()
+        && p.med_nnz == m.medium.nnz_orig
+        && p.short_cids == m.short.cids.as_slice()
+        && (p.n13_warps, p.n4_warps, p.n22_warps, p.n1)
+            == (
+                m.short.n13_warps,
+                m.short.n4_warps,
+                m.short.n22_warps,
+                m.short.n1,
+            )
+        && (p.off4, p.off22, p.off1) == (m.short.off4, m.short.off22, m.short.off1)
+        && p.perm13 == m.short.perm13.as_slice()
+        && p.perm4 == m.short.perm4.as_slice()
+        && p.perm22 == m.short.perm22.as_slice()
+        && p.perm1 == m.short.perm1.as_slice()
+        && p.short_nnz == m.short.nnz_orig;
+    ctx.check(pattern_eq, Invariant::PlanMatch, "plan.pattern", || {
+        "plan pattern arrays disagree with the matrix pattern".to_string()
+    });
+}
+
+fn scan_cids(ctx: &mut Ctx<'_>, cids: &[u32], cols: usize, site: &str) {
+    ctx.scan(
+        cids.iter().copied(),
+        |c| (c as usize) < cols,
+        Invariant::CidRange,
+        site,
+        |i, c| format!("cid {c} at {i} >= cols {cols}"),
+    );
+}
+
+fn scan_rows(ctx: &mut Ctx<'_>, rows: &[u32], n_rows: usize, padding_ok: bool, site: &str) {
+    ctx.scan(
+        rows.iter().copied(),
+        |r| (padding_ok && r == NO_ROW) || (r as usize) < n_rows,
+        Invariant::RowRange,
+        site,
+        |i, r| format!("row {r} at {i} >= rows {n_rows}"),
+    );
+}
